@@ -1,0 +1,38 @@
+"""Shared full-scale context for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper at the
+library's full default scale (40k CPU2006 intervals, 24k OMP2001
+intervals, 10% train splits).  The context — data generation plus the
+two fitted trees — is built once per session; each benchmark times its
+own regeneration step and writes the rendered artifact to
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    context = ExperimentContext(ExperimentConfig())
+    # Force the expensive artifacts once, outside any timing loop.
+    context.tree(context.CPU)
+    context.tree(context.OMP)
+    return context
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    path = Path(__file__).parent / "output"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def write_artifact(artifact_dir: Path, name: str, text: str) -> None:
+    (artifact_dir / name).write_text(text + "\n")

@@ -1,0 +1,45 @@
+"""E10 — M5' design-choice and measurement-pipeline ablation.
+
+Timed step: the full ablation battery (tree variants, dedicated-counter
+pipeline, train-fraction sweep).  Shape assertions: pruning shrinks the
+tree massively at equal accuracy, the 10% training fraction sits on the
+accuracy plateau (the paper's choice), and multiplexed counting costs
+little accuracy versus dedicated counters.
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.ablations import run_tree_ablation
+
+
+def test_tree_design_ablation(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(
+        run_tree_ablation, args=(ctx,), rounds=1, iterations=1
+    )
+    write_artifact(artifact_dir, "ablation_tree.txt", str(result))
+
+    full = result.data["full M5' (prune+smooth+eliminate)"]
+    unpruned = result.data["no pruning"]
+    unsmoothed = result.data["no smoothing"]
+    dedicated = result.data["dedicated_counters"]
+    sweep = result.data["train_fraction_sweep"]
+
+    print("\nablation summary:")
+    print(f"  pruning: {unpruned['n_leaves']} -> {full['n_leaves']} leaves, "
+          f"MAE {unpruned['MAE']:.4f} -> {full['MAE']:.4f}")
+    print(f"  smoothing off: MAE {unsmoothed['MAE']:.4f}")
+    print(f"  dedicated counters: MAE {dedicated['MAE']:.4f} "
+          f"(multiplexed {full['MAE']:.4f})")
+    print(f"  train sweep: {sorted(sweep.items())}")
+
+    # Pruning: much smaller tree, accuracy within 15%.
+    assert full["n_leaves"] < unpruned["n_leaves"]
+    assert full["MAE"] < unpruned["MAE"] * 1.15
+    # Smoothing never hurts much.
+    assert full["MAE"] < unsmoothed["MAE"] * 1.10
+    # Multiplexing (2 of 20 counters) costs under 40% accuracy vs ideal.
+    assert full["MAE"] < dedicated["MAE"] * 1.4
+    # The 10% point sits on the plateau: within 35% of 25% training data,
+    # and clearly better than 1%.
+    assert sweep[0.10] < sweep[0.01]
+    assert sweep[0.10] < sweep[0.25] * 1.35

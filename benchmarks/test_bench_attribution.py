@@ -1,0 +1,41 @@
+"""E13 — per-event CPI attribution for both suites.
+
+Timed step: the full attribution decomposition over both suites'
+complete data sets.  Shape assertions: the decomposition reconstructs
+each suite's CPI, memory-hierarchy events carry the CPU2006 cost, and
+the SIMD/L1D/store family carries the OMP2001 cost — the structural
+reason the models do not transfer.
+"""
+
+import pytest
+from conftest import write_artifact
+
+from repro.experiments.attribution import run
+
+
+def test_cpi_attribution(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(run, args=(ctx,), rounds=1, iterations=1)
+    write_artifact(artifact_dir, "attribution.txt", str(result))
+
+    cpu = result.data["cpu2006"]["attribution"]
+    omp = result.data["omp2001"]["attribution"]
+    print("\ntop cost events:")
+    print(f"  CPU2006: {result.data['cpu_top_events']}")
+    print(f"  OMP2001: {result.data['omp_top_events']}")
+
+    # Attribution reconstructs suite CPI (unsmoothed model vs measured).
+    assert sum(cpu.values()) == pytest.approx(
+        result.data["cpu2006"]["mean_cpi"], rel=0.1
+    )
+    assert sum(omp.values()) == pytest.approx(
+        result.data["omp2001"]["mean_cpi"], rel=0.1
+    )
+    # CPU2006 cost is memory-hierarchy driven.
+    cpu_memory = cpu["L2Miss"] + cpu["DtlbMiss"] + cpu["L1DMiss"]
+    assert cpu_memory > 0.04
+    # OMP2001 cost is SIMD/L1D/store driven, and more so than CPU2006.
+    omp_simd_family = omp["SIMD"] + omp["L1DMiss"] + omp["Store"]
+    cpu_simd_family = cpu["SIMD"] + cpu["L1DMiss"] + cpu["Store"]
+    assert omp_simd_family > cpu_simd_family
+    # The ranked event lists differ across suites.
+    assert result.data["cpu_top_events"] != result.data["omp_top_events"]

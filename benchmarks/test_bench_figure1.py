@@ -1,0 +1,44 @@
+"""E2 — regenerate Figure 1: the SPEC CPU2006 model tree.
+
+Timed step: fitting the M5' tree on the 10% training split (the
+paper's modeling step).  Shape assertions follow Section IV.A:
+
+* the root tests a memory-hierarchy event (the paper: DTLB misses),
+* the largest linear model covers a large plurality of samples
+  (paper: LM1 = 45.28%),
+* the three largest models cover most of the suite (paper: 68.04%),
+* held-out accuracy is inside the paper's acceptability thresholds.
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.registry import run_experiment
+from repro.mtree.tree import ModelTree
+
+
+def test_figure1_tree(benchmark, ctx, artifact_dir):
+    train = ctx.train_set(ctx.CPU)
+
+    def fit():
+        return ModelTree(ctx.config.tree).fit_sample_set(train)
+
+    tree = benchmark.pedantic(fit, rounds=3, iterations=1, warmup_rounds=1)
+    result = run_experiment("E2", ctx)
+    write_artifact(artifact_dir, "figure1.txt", str(result))
+
+    print("\npaper vs measured (Figure 1):")
+    print(f"  root split:        DtlbMiss  | {result.data['root_feature']}")
+    print(f"  linear models:     24        | {result.data['n_leaves']}")
+    print(f"  largest LM share:  45.28%    | "
+          f"{result.data['largest_leaf_share_pct']:.2f}%")
+    print(f"  top-3 LM share:    68.04%    | {result.data['top3_share_pct']:.2f}%")
+    print(f"  suite average CPI: 0.96      | {result.data['train_mean_cpi']:.2f}")
+
+    assert result.data["root_feature"] in ("DtlbMiss", "PageWalk", "L2Miss")
+    assert 8 <= result.data["n_leaves"] <= 50
+    assert 35.0 <= result.data["largest_leaf_share_pct"] <= 60.0
+    assert result.data["top3_share_pct"] >= 55.0
+    assert 0.8 <= result.data["train_mean_cpi"] <= 1.2
+    assert result.data["test_correlation"] > 0.85
+    assert result.data["test_mae"] < 0.15
+    assert tree.n_leaves == result.data["n_leaves"]

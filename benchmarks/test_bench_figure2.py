@@ -1,0 +1,45 @@
+"""E5 — regenerate Figure 2: the SPEC OMP2001 model tree.
+
+Timed step: fitting the OMP2001 M5' tree on its 10% split.  Shape
+assertions follow Section V: the tree is driven by load-block-overlap,
+store, SIMD and L1D-miss events (not the DTLB/L2 chain of CPU2006),
+the suite CPI is higher than CPU2006's (paper: 1.27 vs 0.96), and the
+block-dominated region covers a large share of samples (paper: LM17+
+LM18 cover more than half).
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.registry import run_experiment
+from repro.mtree.tree import ModelTree
+
+
+def test_figure2_tree(benchmark, ctx, artifact_dir):
+    train = ctx.train_set(ctx.OMP)
+
+    def fit():
+        return ModelTree(ctx.config.tree).fit_sample_set(train)
+
+    benchmark.pedantic(fit, rounds=3, iterations=1, warmup_rounds=1)
+    result = run_experiment("E5", ctx)
+    write_artifact(artifact_dir, "figure2.txt", str(result))
+
+    cpu_result = run_experiment("E2", ctx)
+    print("\npaper vs measured (Figure 2):")
+    print(f"  linear models:     18    | {result.data['n_leaves']}")
+    print(f"  suite average CPI: 1.27  | {result.data['train_mean_cpi']:.2f}")
+    print(f"  split events: LdBlkOlp/Store/SIMD... | "
+          f"{sorted(result.data['split_features'])}")
+
+    omp_events = set(result.data["split_features"])
+    cpu_events = set(cpu_result.data["split_features"])
+    # The OMP model must lean on the overlap/store/SIMD family...
+    assert omp_events & {"LdBlkOlp", "Store", "SIMD", "L1DMiss"}
+    # ...and must not be the same event set as the CPU2006 model
+    # ("many of the key events in one tree do not appear in the other").
+    assert omp_events != cpu_events
+    assert 6 <= result.data["n_leaves"] <= 40
+    assert result.data["train_mean_cpi"] > cpu_result.data["train_mean_cpi"]
+    assert 1.0 <= result.data["train_mean_cpi"] <= 1.6
+    assert result.data["test_correlation"] > 0.85
+    assert result.data["test_mae"] < 0.15

@@ -1,0 +1,32 @@
+"""E15 — generational transferability (CPU2006 model on CPU2000).
+
+Timed step: generating the 26-benchmark CPU2000 suite and running the
+three-way assessment.  Shape assertions: the MAE ordering
+within <= generational <= cross-family holds, and the generational
+direction sits strictly between the paper's two extremes.
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.generational import run
+
+
+def test_generational_transfer(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(run, args=(ctx,), rounds=1, iterations=1)
+    write_artifact(artifact_dir, "generational.txt", str(result))
+
+    within = result.data["within (2006 -> 2006 test)"]
+    generational = result.data["generational (2006 -> 2000)"]
+    cross = result.data["cross-family (2006 -> OMP2001)"]
+    print("\nMAE ladder:")
+    print(f"  within       {within['MAE']:.4f}")
+    print(f"  generational {generational['MAE']:.4f}")
+    print(f"  cross-family {cross['MAE']:.4f}")
+
+    assert result.data["ordering_holds"]
+    # Strict separation: generational is measurably worse than within
+    # and measurably better than cross-family.
+    assert generational["MAE"] > within["MAE"] * 1.1
+    assert generational["MAE"] < cross["MAE"] * 0.7
+    assert generational["C"] > cross["C"] + 0.1
+    assert not cross["transferable"]

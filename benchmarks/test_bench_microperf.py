@@ -1,0 +1,70 @@
+"""Library micro-performance: the operations a user pays for.
+
+Not a paper artifact — these benchmarks track the cost of the
+library's hot paths (suite generation, tree fitting, prediction,
+classification) so performance regressions are visible next to the
+reproduction results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+from repro.workloads.spec_cpu2006 import spec_cpu2006
+from repro.workloads.suite import SuiteGenerationConfig
+
+
+@pytest.fixture(scope="module")
+def perf_data():
+    return spec_cpu2006().generate(
+        SuiteGenerationConfig(total_samples=10_000, seed=77)
+    )
+
+
+@pytest.fixture(scope="module")
+def perf_tree(perf_data):
+    return ModelTree(ModelTreeConfig(min_leaf=40)).fit_sample_set(perf_data)
+
+
+def test_perf_suite_generation(benchmark):
+    """Full measurement pipeline for 10k intervals over 29 benchmarks."""
+    suite = spec_cpu2006()
+
+    def generate():
+        return suite.generate(
+            SuiteGenerationConfig(total_samples=10_000, seed=5)
+        )
+
+    data = benchmark.pedantic(generate, rounds=3, iterations=1)
+    assert len(data) == 10_000
+
+
+def test_perf_tree_fit(benchmark, perf_data):
+    """M5' fit (grow + prune + eliminate) on 10k x 20 samples."""
+    def fit():
+        return ModelTree(ModelTreeConfig(min_leaf=40)).fit_sample_set(
+            perf_data
+        )
+
+    tree = benchmark.pedantic(fit, rounds=3, iterations=1)
+    assert tree.n_leaves >= 1
+
+
+def test_perf_predict(benchmark, perf_data, perf_tree):
+    """Smoothed prediction throughput over 10k samples."""
+    predictions = benchmark(perf_tree.predict, perf_data.X)
+    assert predictions.shape == (10_000,)
+
+
+def test_perf_assign_leaves(benchmark, perf_data, perf_tree):
+    """Classification (Table II machinery) throughput."""
+    names = benchmark(perf_tree.assign_leaves, perf_data.X)
+    assert names.shape == (10_000,)
+
+
+def test_perf_profile(benchmark, perf_data, perf_tree):
+    """Per-benchmark profile construction over the full set."""
+    from repro.characterization.profile import profile_sample_set
+
+    profile = benchmark(profile_sample_set, perf_tree, perf_data)
+    assert len(profile.benchmarks) == 29

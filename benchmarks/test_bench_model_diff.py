@@ -1,0 +1,30 @@
+"""E16 — structural model dissimilarity across three suites.
+
+Timed step: generating the CPU2000 data, fitting its tree and running
+the three pairwise comparisons.  Shape assertions: the same-family
+(CPU2006/CPU2000) structural overlap exceeds the cross-family
+(CPU2006/OMP2001) overlap — the mechanism behind the paper's
+transferability result, and both trees share at most part of their
+split-event sets.
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.model_diff import run
+
+
+def test_model_dissimilarity(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(run, args=(ctx,), rounds=1, iterations=1)
+    write_artifact(artifact_dir, "model_diff.txt", str(result))
+
+    same = result.data["same_family_overlap"]
+    cross = result.data["cross_family_overlap"]
+    print(f"\nimportance-weighted overlap: same-family {same:.3f}, "
+          f"cross-family {cross:.3f}")
+
+    assert same > cross
+    assert same > 0.25
+    assert cross < 0.5
+    cpu_omp = result.data["comparisons"]["cpu2006-vs-omp2001"]
+    # "Many of the key events in one tree do not appear in the other."
+    assert cpu_omp.only_in_a or cpu_omp.only_in_b

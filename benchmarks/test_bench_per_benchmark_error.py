@@ -1,0 +1,30 @@
+"""E18 — per-benchmark decomposition of the cross-suite error.
+
+Timed step: predicting all OMP2001 samples with the CPU2006 model and
+tabulating per benchmark.  Shape assertions: the error concentrates in
+the OMP members whose regimes the CPU2006 model never trained on, with
+an order-of-magnitude spread between the worst and best benchmarks,
+and the unseen regimes are systematically *under*-predicted.
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.per_benchmark_error import run
+
+
+def test_per_benchmark_error(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(run, args=(ctx,), rounds=1, iterations=1)
+    write_artifact(artifact_dir, "per_benchmark_error.txt", str(result))
+
+    rows = result.data["rows"]
+    print(f"\nworst {result.data['worst']} / best {result.data['best']} "
+          f"(spread {result.data['spread']:.1f}x)")
+
+    assert len(rows) == 11
+    assert result.data["spread"] > 5.0
+    # The starved-SIMD pair carries the error and is under-predicted.
+    for name in ("312.swim_m", "316.applu_m"):
+        assert rows[name]["mae"] > result.data["overall_mae"]
+        assert rows[name]["bias"] < 0
+    # The quiet scalar member transfers fine.
+    assert rows["330.art_m"]["mae"] < 0.15

@@ -1,0 +1,27 @@
+"""E17 — phase-detection quality on multiplex-noisy traces.
+
+Timed step: generating seven 1200-interval traces, observing them
+through the PMU simulator, and scoring the detector against the
+generator's ground truth.  Shape assertions: good recall on benchmarks
+with real phase structure, and no hallucinated phases on the two
+single-phase benchmarks.
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.phase_quality import run
+
+
+def test_phase_detection_quality(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(run, args=(ctx,), rounds=1, iterations=1)
+    write_artifact(artifact_dir, "phase_quality.txt", str(result))
+
+    print(f"\nmulti-phase mean F1: {result.data['multi_phase_mean_f1']:.2f}")
+    print(f"single-phase false positives: "
+          f"{result.data['single_phase_false_positives']}")
+
+    assert result.data["multi_phase_mean_f1"] > 0.6
+    assert result.data["single_phase_false_positives"] <= 2
+    # Every multi-phase benchmark individually achieves useful recall.
+    for name in ("429.mcf", "482.sphinx3"):
+        assert result.data[name]["recall"] > 0.5

@@ -1,0 +1,29 @@
+"""E20 — event-level simulation validates the workload specs.
+
+Timed step: running the three archetypal access patterns through the
+Core-2-shaped cache/TLB/predictor models.  Shape assertions: each
+pattern's measured densities land in the intended ground-truth regime,
+and the cross-pattern orderings the specs rely on hold.
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.sim_validation import run
+
+
+def test_sim_validation(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(run, args=(ctx,), rounds=1, iterations=1)
+    write_artifact(artifact_dir, "sim_validation.txt", str(result))
+
+    print(f"\nregime placement: {result.data['n_matches']}/"
+          f"{result.data['n_scenarios']}")
+
+    assert result.data["n_matches"] == result.data["n_scenarios"]
+    chase = result.data["pointer chase (64 MiB)"]["densities"]
+    stream = result.data["stream (32 MiB sweep)"]["densities"]
+    compute = result.data["compute (16 KiB working set)"]["densities"]
+    # Pointer chasing defeats the TLB; streaming defeats the caches at
+    # line granularity; a resident working set misses nothing.
+    assert chase["DtlbMiss"] > 10 * stream["DtlbMiss"]
+    assert stream["L1DMiss"] > 100 * max(compute["L1DMiss"], 1e-9)
+    assert compute["MisprBr"] < stream["MisprBr"] * 5

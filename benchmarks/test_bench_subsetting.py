@@ -1,0 +1,33 @@
+"""E11 — subsetting strategy comparison (related work §II).
+
+Timed step: the full three-strategy comparison over four subset sizes.
+Shape assertions: profile-driven selection beats random selection on
+the representativeness error at every k, errors shrink as k grows, and
+a k=8 subset of the 29 benchmarks already reproduces the suite profile
+to within ~10%.
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.subsetting_exp import run
+
+
+def test_subsetting_strategies(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(run, args=(ctx,), rounds=1, iterations=1)
+    write_artifact(artifact_dir, "subsetting.txt", str(result))
+
+    print("\nrepresentativeness error by strategy:")
+    for k in sorted(result.data):
+        row = result.data[k]
+        print(
+            f"  k={k:2d}: greedy {row['greedy'].error:5.2f}%  "
+            f"pca+kmeans {row['pca_kmeans'].error:5.2f}%  "
+            f"random {row['random'].error:5.2f}%"
+        )
+
+    for k, row in result.data.items():
+        assert row["greedy"].error <= row["random"].error + 1e-9
+        assert row["greedy"].error <= row["pca_kmeans"].error + 1e-9
+    ks = sorted(result.data)
+    assert result.data[ks[-1]]["greedy"].error <= result.data[ks[0]]["greedy"].error + 1e-9
+    assert result.data[8]["greedy"].error < 10.0

@@ -1,0 +1,15 @@
+"""E1 — regenerate Table I (the metric catalog)."""
+
+from conftest import write_artifact
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table1(benchmark, ctx, artifact_dir):
+    result = benchmark(run_experiment, "E1", ctx)
+    write_artifact(artifact_dir, "table1.txt", str(result))
+    # Paper: CPI modeled as a function of 20 other counters; five
+    # hardware counters, three of them fixed.
+    assert result.data["n_predictors"] == 20
+    assert len(result.data["fixed_events"]) == 3
+    assert "CPU_CLK_UNHALTED.CORE" in result.data["fixed_events"]

@@ -1,0 +1,43 @@
+"""E3 — regenerate Table II: CPU2006 sample distribution across LMs.
+
+Timed step: classifying the full 40k-interval suite through the tree
+and tabulating per benchmark.  Shape assertions follow Section IV.B:
+the most popular model holds ~45% of the suite, ten-ish benchmarks put
+over half their samples there, and the five HPC benchmarks the paper
+calls out put over 90% there.
+"""
+
+from conftest import write_artifact
+
+from repro.characterization.profile import profile_sample_set
+from repro.experiments.registry import run_experiment
+
+PAPER_OVER_90 = {"456.hmmer", "444.namd", "435.gromacs",
+                 "454.calculix", "447.dealII"}
+
+
+def test_table2_profiles(benchmark, ctx, artifact_dir):
+    tree = ctx.tree(ctx.CPU)
+    data = ctx.data(ctx.CPU)
+    profile = benchmark(profile_sample_set, tree, data)
+    result = run_experiment("E3", ctx)
+    write_artifact(artifact_dir, "table2.txt", str(result))
+
+    largest = result.data["largest_lm"]
+    print("\npaper vs measured (Table II):")
+    print(f"  largest LM suite share: 45.28% | "
+          f"{result.data['largest_lm_suite_share']:.2f}%")
+    print(f"  benchmarks > 50% there: 10     | "
+          f"{len(result.data['benchmarks_over_50pct'])}")
+    print(f"  benchmarks > 90% there: 5      | "
+          f"{len(result.data['benchmarks_over_90pct'])}")
+
+    assert 35.0 <= result.data["largest_lm_suite_share"] <= 60.0
+    assert 7 <= len(result.data["benchmarks_over_50pct"]) <= 18
+    over_90 = set(result.data["benchmarks_over_90pct"])
+    # The paper's five LM1-dominated benchmarks must be (mostly) there.
+    assert len(over_90 & PAPER_OVER_90) >= 3
+    # Every benchmark profile really is a distribution.
+    for bench in profile.benchmarks:
+        assert abs(sum(bench.shares.values()) - 100.0) < 1e-6
+    assert largest == "LM1"

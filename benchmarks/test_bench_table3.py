@@ -1,0 +1,44 @@
+"""E4 — regenerate Table III: pairwise benchmark differences (Eq. 4).
+
+Timed step: building the full similarity matrix over the Table III
+subset.  Shape assertions: the paper's similar HPC group stays tight
+(paper: 1.6-8.1%), the dissimilar trio stays far apart (paper:
+93.6-97.7%), and the two bands do not overlap.
+"""
+
+from conftest import write_artifact
+
+from repro.characterization.profile import profile_sample_set
+from repro.characterization.similarity import similarity_matrix
+from repro.experiments.registry import run_experiment
+from repro.experiments.similarity import TABLE3_BENCHMARKS
+
+
+def test_table3_similarity(benchmark, ctx, artifact_dir):
+    profile = profile_sample_set(ctx.tree(ctx.CPU), ctx.data(ctx.CPU))
+    matrix = benchmark(similarity_matrix, profile, TABLE3_BENCHMARKS)
+    result = run_experiment("E4", ctx)
+    write_artifact(artifact_dir, "table3.txt", str(result))
+
+    print("\npaper vs measured (Table III):")
+    print(f"  hmmer-namd:    1.6%  | {matrix.distance('456.hmmer', '444.namd'):.1f}%")
+    print(f"  gromacs-namd:  2.0%  | {matrix.distance('435.gromacs', '444.namd'):.1f}%")
+    print(f"  calculix-dealII: 2.8% | "
+          f"{matrix.distance('454.calculix', '447.dealII'):.1f}%")
+    print(f"  mcf-namd:      97.7% | {matrix.distance('429.mcf', '444.namd'):.1f}%")
+    print(f"  mcf-GemsFDTD:  93.6% | "
+          f"{matrix.distance('429.mcf', '459.GemsFDTD'):.1f}%")
+    print(f"  namd-GemsFDTD: 96.3% | "
+          f"{matrix.distance('444.namd', '459.GemsFDTD'):.1f}%")
+
+    assert result.data["max_similar_distance"] < 15.0
+    assert result.data["min_dissimilar_distance"] > 70.0
+    assert (
+        result.data["max_similar_distance"]
+        < result.data["min_dissimilar_distance"]
+    )
+    # Symmetry and self-distance of the rendered matrix.
+    assert matrix.distance("429.mcf", "429.mcf") == 0.0
+    assert matrix.distance("429.mcf", "444.namd") == matrix.distance(
+        "444.namd", "429.mcf"
+    )

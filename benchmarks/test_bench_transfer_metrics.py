@@ -1,0 +1,43 @@
+"""E8 — regenerate Section VI.B: prediction accuracy metrics.
+
+Timed step: the four-direction metric battery.  Shape assertions
+against the paper's headline numbers:
+
+* CPU2006 -> CPU2006: C = 0.9214, MAE = 0.0988  (transferable)
+* CPU2006 -> OMP2001: C = 0.4337, MAE = 0.3721  (not transferable)
+* OMP2001 symmetric results
+
+The acceptance thresholds are C > 0.85 and MAE < 0.15.
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.transferability import run_metrics
+
+
+def test_transfer_metrics(benchmark, ctx, artifact_dir):
+    result = benchmark(run_metrics, ctx)
+    write_artifact(artifact_dir, "transfer_metrics.txt", str(result))
+
+    within = result.data["SPEC CPU2006 -> SPEC CPU2006 (independent test set)"]
+    cross = result.data["SPEC CPU2006 -> SPEC OMP2001"]
+    omp_within = result.data["SPEC OMP2001 -> SPEC OMP2001 (independent test set)"]
+    omp_cross = result.data["SPEC OMP2001 -> SPEC CPU2006"]
+
+    print("\npaper vs measured (Section VI.B):")
+    print(f"  CPU->CPU: C 0.9214/{within['C']:.4f}  MAE 0.0988/{within['MAE']:.4f}")
+    print(f"  CPU->OMP: C 0.4337/{cross['C']:.4f}  MAE 0.3721/{cross['MAE']:.4f}")
+    print(f"  OMP->OMP: C -/{omp_within['C']:.4f}  MAE -/{omp_within['MAE']:.4f}")
+    print(f"  OMP->CPU: C -/{omp_cross['C']:.4f}  MAE -/{omp_cross['MAE']:.4f}")
+
+    # Within-suite: past the thresholds, comfortably.
+    assert within["C"] > 0.85 and within["MAE"] < 0.15
+    assert omp_within["C"] > 0.85 and omp_within["MAE"] < 0.15
+    # Cross-suite: fails both thresholds in both directions.
+    assert cross["C"] < 0.85 and cross["MAE"] > 0.15
+    assert omp_cross["C"] < 0.85 or omp_cross["MAE"] > 0.15
+    assert not cross["transferable"] and not omp_cross["transferable"]
+    # Crossover factor: cross-suite MAE is several times within-suite
+    # (paper: 0.3721 / 0.0988 = 3.8x).
+    assert cross["MAE"] / within["MAE"] > 2.5
+    assert result.data["all_match_paper"]

@@ -1,0 +1,34 @@
+"""E7 — regenerate Section VI.A: two-sample t-tests.
+
+Timed step: the complete four-direction hypothesis-test battery.
+Shape assertions: within-suite tests accept H0 (|t| < 1.96 — the
+paper's CPU->CPU test statistics were 1.212 and 0.966), cross-suite
+tests reject overwhelmingly (paper: 125.4 and 32.6).
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.transferability import run_ttests
+
+
+def test_transfer_ttests(benchmark, ctx, artifact_dir):
+    result = benchmark(run_ttests, ctx)
+    write_artifact(artifact_dir, "transfer_ttests.txt", str(result))
+
+    within = result.data["SPEC CPU2006 -> SPEC CPU2006 (independent test set)"]
+    cross = result.data["SPEC CPU2006 -> SPEC OMP2001"]
+    print("\npaper vs measured (Section VI.A, CPU2006 model):")
+    print(f"  within-suite dependent t:  1.212  | {within['dependent_t']:.3f}")
+    print(f"  within-suite prediction t: 0.966  | {within['prediction_t']:.3f}")
+    print(f"  cross-suite dependent t:   125.4  | {abs(cross['dependent_t']):.1f}")
+    print(f"  cross-suite prediction t:  32.6   | {abs(cross['prediction_t']):.1f}")
+
+    # Within-suite: both tests accept at 95%.
+    assert abs(within["dependent_t"]) < within["critical"]
+    assert abs(within["prediction_t"]) < within["critical"]
+    # Cross-suite: both tests reject hard (far beyond the critical value).
+    assert abs(cross["dependent_t"]) > 3 * cross["critical"]
+    assert abs(cross["prediction_t"]) > 3 * cross["critical"]
+    # All four directions agree with the paper.
+    assert result.data["all_match_paper"]

@@ -1,0 +1,38 @@
+"""E12 — the M5' parameter-tuning frontier (Section III).
+
+Timed step: the full 4x3 (penalty x min_leaf) sweep, each point a tree
+fit plus held-out evaluation.  Shape assertions: model size responds to
+both knobs; the default operating point sits on the accuracy plateau
+while keeping the tree an order of magnitude smaller than the least
+regularized corner.
+"""
+
+from conftest import write_artifact
+
+from repro.experiments.tuning import run
+
+
+def test_tuning_frontier(benchmark, ctx, artifact_dir):
+    result = benchmark.pedantic(run, args=(ctx,), rounds=1, iterations=1)
+    write_artifact(artifact_dir, "tuning.txt", str(result))
+    frontier = result.data["frontier"]
+
+    default = frontier[(4.0, 40)]
+    loosest = frontier[(1.0, 20)]
+    tightest = frontier[(8.0, 80)]
+    print("\ntuning frontier corners (leaves, MAE):")
+    print(f"  loosest  (penalty 1, min_leaf 20): "
+          f"{loosest['n_leaves']}, {loosest['MAE']:.4f}")
+    print(f"  default  (penalty 4, min_leaf 40): "
+          f"{default['n_leaves']}, {default['MAE']:.4f}")
+    print(f"  tightest (penalty 8, min_leaf 80): "
+          f"{tightest['n_leaves']}, {tightest['MAE']:.4f}")
+
+    # Size responds to regularization across the frontier.
+    assert tightest["n_leaves"] < default["n_leaves"] < loosest["n_leaves"]
+    # The default point is on the accuracy plateau (within 15% of the
+    # loosest corner) at a fraction of its size.
+    assert default["MAE"] < loosest["MAE"] * 1.15
+    assert default["n_leaves"] < loosest["n_leaves"] / 2
+    # Over-regularizing costs real accuracy.
+    assert tightest["MAE"] > default["MAE"]

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Working-set sweep through the structural machine models.
+
+The classic characterization curve: sweep a workload's working-set
+size through the modeled Core 2 memory hierarchy and watch the miss
+densities (and hence the predicted CPI) step up as each structure's
+capacity is exceeded — L1D at 32 KiB, the 256-entry TLB at 1 MiB of
+4 KiB pages, L2 at 4 MiB.
+
+Run:  python examples/cache_sensitivity.py  (takes ~a minute)
+"""
+
+import numpy as np
+
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.sim import random_working_set_stream, simulate_phase
+from repro.uarch import build_core2_cost_model
+from repro.viz import scatter
+from repro.workloads.defaults import DEFAULT_DENSITIES
+
+WORKING_SETS_KIB = (8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+                    16384)
+N_ACCESSES = 24_000
+
+
+def main() -> None:
+    cost_model = build_core2_cost_model()
+    rng = np.random.default_rng(0)
+
+    print(f"{'WS (KiB)':>9s} {'L1DMiss':>9s} {'L2Miss':>9s} "
+          f"{'DtlbMiss':>9s} {'CPI':>6s}  regime")
+    print("-" * 60)
+    sizes, cpis = [], []
+    for ws_kib in WORKING_SETS_KIB:
+        stream = random_working_set_stream(
+            N_ACCESSES, ws_kib * 1024, rng, element_bytes=64
+        )
+        phase = simulate_phase(stream, rng, branch_taken_probability=0.97)
+        row_values = dict(DEFAULT_DENSITIES)
+        for event in ("LdBlkOlp", "LdBlkStA", "SplitLoad", "Misalign"):
+            row_values[event] = 0.0
+        row_values.update(phase.densities)
+        row = np.array([[row_values[n] for n in PREDICTOR_NAMES]])
+        cpi = float(cost_model.cpi(row)[0])
+        regime = str(cost_model.regime_names(row)[0])
+        print(f"{ws_kib:9d} {phase.density('L1DMiss'):9.5f} "
+              f"{phase.density('L2Miss'):9.5f} "
+              f"{phase.density('DtlbMiss'):9.5f} {cpi:6.2f}  {regime}")
+        sizes.append(np.log2(ws_kib))
+        cpis.append(cpi)
+
+    print()
+    print(scatter(np.array(sizes), np.array(cpis), width=56, height=12,
+                  title="predicted CPI vs log2(working set KiB): the "
+                        "capacity staircase"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Transfer-or-retrain: the engineering decision behind Section VI.
+
+The paper motivates transferability with "economy of scale in modeling
+and simulation investments."  This example shows the operational form
+of that argument: you have a model trained on SPEC CPU2006 and a *small
+probe* (a few hundred intervals) of a new workload — should you reuse
+the model, retrain, or measure more first?
+
+Three probes are evaluated:
+
+* held-out CPU2006 intervals      -> expect REUSE
+* SPEC CPU2000 intervals          -> generational: usually reuse
+* SPEC OMP2001 intervals          -> expect RETRAIN
+
+Run:  python examples/model_reuse_decision.py
+"""
+
+import numpy as np
+
+from repro import ExperimentConfig, ExperimentContext
+from repro.transfer.decision import decide_transfer
+from repro.uarch import ExecutionEngine, build_core2_cost_model
+from repro.workloads import SuiteGenerationConfig, spec_cpu2000
+
+PROBE_SIZE = 400
+
+
+def main() -> None:
+    ctx = ExperimentContext(
+        ExperimentConfig(cpu_samples=20_000, omp_samples=12_000)
+    )
+    model = ctx.tree(ctx.CPU)
+    rng = np.random.default_rng(7)
+
+    # The previous-generation suite, measured on the same machine.
+    engine = ExecutionEngine(build_core2_cost_model())
+    cpu2000 = spec_cpu2000().generate(
+        SuiteGenerationConfig(total_samples=2_000, seed=99), engine=engine
+    )
+
+    pools = (
+        ("held-out SPEC CPU2006", ctx.test_set(ctx.CPU)),
+        ("SPEC CPU2000 (previous generation)", cpu2000),
+        ("SPEC OMP2001", ctx.train_set(ctx.OMP)),
+    )
+
+    for label, pool in pools:
+        print(f"=== probe: {label} ===")
+        size = PROBE_SIZE
+        while True:
+            size = min(size, len(pool))
+            probe = pool.take(rng.choice(len(pool), size, replace=False))
+            decision = decide_transfer(model, probe, seed=1)
+            print(decision.summary())
+            # The 'collect more' loop the decision API is built for:
+            # double the probe until the verdict is decisive.
+            if decision.action != "collect_more" or size == len(pool):
+                break
+            size *= 2
+            print(f"  -> growing probe to {min(size, len(pool))} intervals")
+        print()
+
+
+if __name__ == "__main__":
+    main()

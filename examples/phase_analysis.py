@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Phase detection and per-phase characterization of one benchmark.
+
+Related work ([12]) characterizes benchmarks at *phase* granularity
+rather than whole-run averages.  This example streams 403.gcc's
+intervals in execution order, detects phase boundaries from the noisy
+observed densities, then characterizes each detected segment through
+the suite's model tree — showing that one benchmark can visit several
+distinct behaviour regimes.
+
+Run:  python examples/phase_analysis.py
+"""
+
+import numpy as np
+
+from repro import ExperimentConfig, ExperimentContext
+from repro.datasets.dataset import SampleSet
+from repro.phases import PhaseDetector, PhaseDetectorConfig, boundaries_to_segments
+from repro.pmu.collector import PmuCollector
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.uarch import ExecutionEngine, build_core2_cost_model
+from repro.workloads.spec_cpu2006 import CPU2006_BENCHMARKS
+
+
+def main() -> None:
+    # Stream 1500 intervals of 403.gcc in execution order.
+    spec = CPU2006_BENCHMARKS["403.gcc"]
+    rng = np.random.default_rng(42)
+    engine = ExecutionEngine(build_core2_cost_model())
+    collector = PmuCollector()
+    true_densities = spec.sample_true_densities(1500, rng)
+    observed = collector.observe_densities(true_densities, rng)
+    cpi = collector.observe_cpi(engine.true_cpi(true_densities, rng), rng)
+
+    # Detect phase boundaries from the observed stream.
+    detector = PhaseDetector(PhaseDetectorConfig(window=10, threshold=6.0,
+                                                 min_gap=20))
+    boundaries = detector.detect(observed)
+    segments = boundaries_to_segments(boundaries, len(observed))
+    print(f"{spec.name}: {len(boundaries)} phase changes detected "
+          f"-> {len(segments)} segments over 1500 intervals")
+
+    # Characterize each (long enough) segment through the suite model.
+    ctx = ExperimentContext(ExperimentConfig(cpu_samples=20_000, omp_samples=4_000))
+    tree = ctx.tree(ctx.CPU)
+    print(f"\n{'segment':>16s} {'intervals':>10s} {'CPI':>6s}  dominant models")
+    for segment in segments:
+        if segment.length < 20:
+            continue
+        rows = slice(segment.start, segment.end)
+        samples = SampleSet(
+            PREDICTOR_NAMES,
+            observed[rows],
+            cpi[rows],
+            ["seg"] * (segment.end - segment.start),
+        )
+        leaves = tree.assign_leaves(samples.X)
+        names, counts = np.unique(leaves, return_counts=True)
+        top = sorted(zip(names, counts), key=lambda t: -t[1])[:2]
+        top_text = ", ".join(
+            f"{n} ({100 * c / segment.length:.0f}%)" for n, c in top
+        )
+        print(f"[{segment.start:5d},{segment.end:5d}) "
+              f"{segment.length:10d} {samples.y.mean():6.2f}  {top_text}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Section VI end-to-end: is a CPU2006 model useful for OMP2001?
+
+Trains a model tree on 10% of each suite, then runs the paper's full
+transferability battery in all four directions: two-sample t-tests on
+the dependent variable and on predicted-vs-actual CPI, plus the
+prediction accuracy metrics with the C > 0.85 / MAE < 0.15 thresholds.
+
+Run:  python examples/transferability_study.py
+"""
+
+from repro import (
+    ExperimentConfig,
+    ExperimentContext,
+    assess_transferability,
+)
+
+
+def main() -> None:
+    ctx = ExperimentContext(
+        ExperimentConfig(cpu_samples=20_000, omp_samples=12_000)
+    )
+    directions = (
+        (ctx.CPU, ctx.CPU),
+        (ctx.CPU, ctx.OMP),
+        (ctx.OMP, ctx.OMP),
+        (ctx.OMP, ctx.CPU),
+    )
+    for source, target in directions:
+        target_set = (
+            ctx.test_set(target) if source == target else ctx.train_set(target)
+        )
+        report = assess_transferability(
+            ctx.tree(source),
+            ctx.train_set(source),
+            target_set,
+            source_name=ctx.suite_label(source),
+            target_name=ctx.suite_label(target),
+        )
+        print(report.summary())
+        print()
+
+
+if __name__ == "__main__":
+    main()

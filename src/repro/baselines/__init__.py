@@ -1,0 +1,22 @@
+"""Baseline regressors for the model-family comparison.
+
+The related work the paper builds on ([15]) compared model trees
+against other regression algorithms (ANNs, SVMs, linear regression)
+and found model trees competitive while remaining interpretable.
+These baselines support that ablation: global ordinary least squares,
+a CART-style regression tree with constant leaves, k-nearest
+neighbors, and a small multilayer perceptron — all numpy-only,
+all sharing the ``fit(X, y)`` / ``predict(X)`` interface.
+"""
+
+from repro.baselines.linreg import LinearRegressionBaseline
+from repro.baselines.cart import CartRegressionTree
+from repro.baselines.knn import KnnRegressor
+from repro.baselines.mlp import MlpRegressor
+
+__all__ = [
+    "CartRegressionTree",
+    "KnnRegressor",
+    "LinearRegressionBaseline",
+    "MlpRegressor",
+]

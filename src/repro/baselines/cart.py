@@ -1,0 +1,122 @@
+"""CART-style regression tree with constant leaves.
+
+Same SDR split machinery as the model tree, but every leaf predicts
+its training mean — isolating the value of M5's leaf *linear models*
+in the ablation (a constant-leaf tree needs far more leaves to
+approximate a sloped regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.mtree.splitting import find_best_split
+
+__all__ = ["CartRegressionTree"]
+
+
+@dataclass
+class _Leaf:
+    value: float
+    n: int
+
+
+@dataclass
+class _Split:
+    feature_index: int
+    threshold: float
+    left: "_Node"
+    right: "_Node"
+    n: int
+
+
+_Node = Union[_Leaf, _Split]
+
+
+class CartRegressionTree:
+    """Variance-reduction regression tree with mean-valued leaves."""
+
+    def __init__(
+        self,
+        min_leaf: int = 10,
+        max_depth: int = 14,
+        sd_threshold: float = 0.01,
+    ) -> None:
+        if min_leaf < 1:
+            raise ValueError(f"min_leaf must be >= 1, got {min_leaf}")
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.min_leaf = min_leaf
+        self.max_depth = max_depth
+        self.sd_threshold = sd_threshold
+        self._root: Optional[_Node] = None
+        self._n_features = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "CartRegressionTree":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ValueError(f"inconsistent shapes X={X.shape}, y={y.shape}")
+        if X.shape[0] < 1:
+            raise ValueError("need at least 1 sample")
+        self._n_features = X.shape[1]
+        root_sd = float(np.std(y))
+        self._root = self._build(X, y, 0, root_sd)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int, root_sd: float) -> _Node:
+        n = y.size
+        if (
+            n < 2 * self.min_leaf
+            or depth >= self.max_depth
+            or float(np.std(y)) <= self.sd_threshold * root_sd
+        ):
+            return _Leaf(value=float(np.mean(y)), n=n)
+        split = find_best_split(X, y, self.min_leaf)
+        if split is None:
+            return _Leaf(value=float(np.mean(y)), n=n)
+        mask = X[:, split.feature_index] <= split.threshold
+        return _Split(
+            feature_index=split.feature_index,
+            threshold=split.threshold,
+            left=self._build(X[mask], y[mask], depth + 1, root_sd),
+            right=self._build(X[~mask], y[~mask], depth + 1, root_sd),
+            n=n,
+        )
+
+    @property
+    def n_leaves(self) -> int:
+        def count(node: _Node) -> int:
+            if isinstance(node, _Leaf):
+                return 1
+            return count(node.left) + count(node.right)
+
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+        return count(self._root)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected (n, {self._n_features}) inputs, got {X.shape}"
+            )
+        out = np.empty(X.shape[0], dtype=float)
+
+        def visit(node: _Node, rows: np.ndarray) -> None:
+            if rows.size == 0:
+                return
+            if isinstance(node, _Leaf):
+                out[rows] = node.value
+                return
+            go_left = X[rows, node.feature_index] <= node.threshold
+            visit(node.left, rows[go_left])
+            visit(node.right, rows[~go_left])
+
+        visit(self._root, np.arange(X.shape[0]))
+        return out

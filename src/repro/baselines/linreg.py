@@ -1,0 +1,54 @@
+"""Global multiple linear regression.
+
+The single-hyperplane model every other technique is measured against:
+"most other linear and non-linear regression techniques fit a single
+function" (Section III).  Its failure to capture the regime structure
+is precisely why the paper uses model trees.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LinearRegressionBaseline"]
+
+
+class LinearRegressionBaseline:
+    """Ordinary least squares with a ridge-stabilized normal solve."""
+
+    def __init__(self, ridge: float = 1e-8) -> None:
+        if ridge < 0:
+            raise ValueError(f"ridge must be non-negative, got {ridge}")
+        self.ridge = ridge
+        self.intercept_: float = 0.0
+        self.coef_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegressionBaseline":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ValueError(f"inconsistent shapes X={X.shape}, y={y.shape}")
+        if X.shape[0] < 2:
+            raise ValueError("need at least 2 samples")
+        design = np.column_stack([np.ones(X.shape[0]), X])
+        gram = design.T @ design
+        gram[np.arange(1, gram.shape[0]), np.arange(1, gram.shape[0])] += self.ridge
+        try:
+            beta = np.linalg.solve(gram, design.T @ y)
+        except np.linalg.LinAlgError:
+            beta, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.intercept_ = float(beta[0])
+        self.coef_ = beta[1:]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.coef_.size:
+            raise ValueError(
+                f"expected (n, {self.coef_.size}) inputs, got {X.shape}"
+            )
+        return X @ self.coef_ + self.intercept_

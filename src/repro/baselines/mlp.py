@@ -1,0 +1,131 @@
+"""A small multilayer perceptron regressor (numpy only).
+
+Stands in for the artificial-neural-network comparison of [15]: a
+single ReLU hidden layer trained with Adam on mini-batches of the
+squared error.  Inputs are z-scored and the target is centered/scaled
+on the training set; the point of the baseline is accuracy-versus-
+interpretability, not deep-learning sophistication.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["MlpRegressor"]
+
+
+class MlpRegressor:
+    """One-hidden-layer ReLU network trained with Adam."""
+
+    def __init__(
+        self,
+        hidden: int = 32,
+        epochs: int = 60,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        l2: float = 1e-5,
+        seed: int = 0,
+    ) -> None:
+        if hidden < 1:
+            raise ValueError(f"hidden must be >= 1, got {hidden}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.seed = seed
+        self._params: Optional[dict] = None
+        self._x_mean: Optional[np.ndarray] = None
+        self._x_scale: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MlpRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ValueError(f"inconsistent shapes X={X.shape}, y={y.shape}")
+        if X.shape[0] < 2:
+            raise ValueError("need at least 2 samples")
+        rng = np.random.default_rng(self.seed)
+        self._x_mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._x_scale = scale
+        Z = (X - self._x_mean) / self._x_scale
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        target = (y - self._y_mean) / self._y_scale
+
+        d = Z.shape[1]
+        params = {
+            "W1": rng.normal(0.0, np.sqrt(2.0 / d), (d, self.hidden)),
+            "b1": np.zeros(self.hidden),
+            "W2": rng.normal(0.0, np.sqrt(1.0 / self.hidden), (self.hidden,)),
+            "b2": 0.0,
+        }
+        moments = {k: (np.zeros_like(np.asarray(v)), np.zeros_like(np.asarray(v)))
+                   for k, v in params.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        n = Z.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                xb, yb = Z[batch], target[batch]
+                # Forward.
+                pre = xb @ params["W1"] + params["b1"]
+                act = np.maximum(pre, 0.0)
+                pred = act @ params["W2"] + params["b2"]
+                err = pred - yb
+                m = xb.shape[0]
+                # Backward.
+                grad_W2 = act.T @ err / m + self.l2 * params["W2"]
+                grad_b2 = float(err.mean())
+                upstream = np.outer(err, params["W2"]) * (pre > 0.0)
+                grad_W1 = xb.T @ upstream / m + self.l2 * params["W1"]
+                grad_b1 = upstream.mean(axis=0)
+                grads = {
+                    "W1": grad_W1,
+                    "b1": grad_b1,
+                    "W2": grad_W2,
+                    "b2": grad_b2,
+                }
+                step += 1
+                for key in params:
+                    g = np.asarray(grads[key])
+                    m1, m2 = moments[key]
+                    m1 = beta1 * m1 + (1 - beta1) * g
+                    m2 = beta2 * m2 + (1 - beta2) * g**2
+                    moments[key] = (m1, m2)
+                    m1_hat = m1 / (1 - beta1**step)
+                    m2_hat = m2 / (1 - beta2**step)
+                    update = self.learning_rate * m1_hat / (np.sqrt(m2_hat) + eps)
+                    if key == "b2":
+                        params[key] = float(params[key] - update)
+                    else:
+                        params[key] = params[key] - update
+        self._params = params
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._params is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self._x_mean.size:
+            raise ValueError(
+                f"expected (n, {self._x_mean.size}) inputs, got {X.shape}"
+            )
+        Z = (X - self._x_mean) / self._x_scale
+        act = np.maximum(Z @ self._params["W1"] + self._params["b1"], 0.0)
+        pred = act @ self._params["W2"] + self._params["b2"]
+        return pred * self._y_scale + self._y_mean

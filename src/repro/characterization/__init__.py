@@ -1,0 +1,42 @@
+"""Characterization layer: leaf profiles and benchmark similarity.
+
+Implements Section IV.B / V.B of the paper: classify every sample of a
+data set into the linear models of a fitted tree, tabulate the
+distribution per benchmark (Tables II and IV), and compare benchmarks
+by the L1 (Manhattan) distance between their distributions (Table III,
+Equation 4).
+"""
+
+from repro.characterization.profile import (
+    BenchmarkProfile,
+    SuiteProfile,
+    profile_sample_set,
+)
+from repro.characterization.similarity import (
+    SimilarityMatrix,
+    l1_difference,
+    similarity_matrix,
+)
+from repro.characterization.report import (
+    format_profile_table,
+    format_similarity_table,
+)
+from repro.characterization.salience import (
+    SalientFeature,
+    find_salient_features,
+    render_salience,
+)
+
+__all__ = [
+    "SalientFeature",
+    "find_salient_features",
+    "render_salience",
+    "BenchmarkProfile",
+    "SimilarityMatrix",
+    "SuiteProfile",
+    "format_profile_table",
+    "format_similarity_table",
+    "l1_difference",
+    "profile_sample_set",
+    "similarity_matrix",
+]

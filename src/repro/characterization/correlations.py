@@ -1,0 +1,83 @@
+"""Event correlation analysis.
+
+The related work the paper builds on ([19]) applies correlation
+analysis to program attributes before modeling.  Two views:
+
+* event-vs-CPI correlations — the zeroth-order answer to "what events
+  correlate with changes in performance", useful as a sanity backdrop
+  for the tree's split choices (a tree can exploit *conditional*
+  structure that marginal correlations miss, which is the point of
+  using model trees at all);
+* the event-event correlation matrix — the collinearity (loads vs L1D
+  misses, DTLB misses vs page walks) that makes single linear models
+  hard to interpret and motivates PCA in the subsetting pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets.dataset import SampleSet
+
+__all__ = [
+    "cpi_correlations",
+    "event_correlation_matrix",
+    "strongest_pairs",
+    "format_cpi_correlations",
+]
+
+
+def cpi_correlations(data: SampleSet) -> Dict[str, float]:
+    """Pearson correlation of each event density with CPI, sorted by |r|."""
+    out = {}
+    y = data.y
+    sy = y.std()
+    if sy == 0:
+        raise ValueError("CPI is constant; correlations undefined")
+    for name in data.feature_names:
+        x = data.column(name)
+        sx = x.std()
+        if sx == 0:
+            out[name] = 0.0
+        else:
+            out[name] = float(np.mean((x - x.mean()) * (y - y.mean())) / (sx * sy))
+    return dict(sorted(out.items(), key=lambda kv: -abs(kv[1])))
+
+
+def event_correlation_matrix(data: SampleSet) -> Tuple[Tuple[str, ...], np.ndarray]:
+    """(feature names, correlation matrix) over the event densities.
+
+    Constant columns get zero off-diagonal correlation (not NaN).
+    """
+    X = data.X
+    stds = X.std(axis=0)
+    safe = np.where(stds == 0.0, 1.0, stds)
+    Z = (X - X.mean(axis=0)) / safe
+    matrix = Z.T @ Z / X.shape[0]
+    matrix[stds == 0.0, :] = 0.0
+    matrix[:, stds == 0.0] = 0.0
+    np.fill_diagonal(matrix, 1.0)
+    return data.feature_names, matrix
+
+
+def strongest_pairs(
+    data: SampleSet, k: int = 10
+) -> List[Tuple[str, str, float]]:
+    """The k most correlated distinct event pairs, by |r|."""
+    names, matrix = event_correlation_matrix(data)
+    pairs = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            pairs.append((names[i], names[j], float(matrix[i, j])))
+    return sorted(pairs, key=lambda p: -abs(p[2]))[:k]
+
+
+def format_cpi_correlations(data: SampleSet, k: int = 12) -> str:
+    """Text table of the top-k |r(event, CPI)| values."""
+    correlations = cpi_correlations(data)
+    lines = [f"{'event':16s} {'r(event, CPI)':>14s}", "-" * 31]
+    for name, r in list(correlations.items())[:k]:
+        lines.append(f"{name:16s} {r:+14.3f}")
+    return "\n".join(lines)

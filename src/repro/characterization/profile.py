@@ -1,0 +1,118 @@
+"""Sample-distribution profiles over a tree's linear models.
+
+Once a model tree is built, "it can be used to characterize other sets
+of sample data containing the same performance-monitoring events"
+(Section IV.B): each sample is classified by the split points into one
+leaf, and the per-benchmark distribution over leaves is the benchmark's
+*profile*.  Tables II and IV of the paper are exactly these profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.datasets.dataset import SampleSet
+from repro.mtree.tree import ModelTree
+
+__all__ = ["BenchmarkProfile", "SuiteProfile", "profile_sample_set"]
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Distribution of one benchmark's samples over leaf models.
+
+    ``shares`` maps LM name to the *percentage* (0-100) of the
+    benchmark's samples classified into that model; ``mean_cpi`` is the
+    benchmark's average measured CPI.
+    """
+
+    benchmark: str
+    n_samples: int
+    shares: Mapping[str, float]
+    mean_cpi: float
+
+    def share(self, lm_name: str) -> float:
+        """Percentage of samples in the given LM (0 if none)."""
+        return self.shares.get(lm_name, 0.0)
+
+    def dominant(self, k: int = 3) -> List[Tuple[str, float]]:
+        """The k most-populated linear models, largest first."""
+        ranked = sorted(self.shares.items(), key=lambda item: -item[1])
+        return [(name, share) for name, share in ranked[:k] if share > 0.0]
+
+
+@dataclass(frozen=True)
+class SuiteProfile:
+    """All benchmark profiles plus the Suite and Average rows.
+
+    ``suite_row`` weights each benchmark by its sample count (the paper
+    weights by instruction count; with equal-size intervals they are
+    the same thing).  ``average_row`` gives each benchmark equal weight.
+    """
+
+    lm_names: Tuple[str, ...]
+    benchmarks: Tuple[BenchmarkProfile, ...]
+    suite_row: Mapping[str, float]
+    average_row: Mapping[str, float]
+
+    def benchmark(self, name: str) -> BenchmarkProfile:
+        for profile in self.benchmarks:
+            if profile.benchmark == name:
+                return profile
+        raise KeyError(
+            f"no profile for {name!r}; have "
+            f"{[p.benchmark for p in self.benchmarks]}"
+        )
+
+    def as_matrix(self) -> np.ndarray:
+        """(n_benchmarks, n_lms) share matrix in lm_names order."""
+        return np.array(
+            [
+                [profile.share(lm) for lm in self.lm_names]
+                for profile in self.benchmarks
+            ],
+            dtype=float,
+        )
+
+
+def profile_sample_set(tree: ModelTree, data: SampleSet) -> SuiteProfile:
+    """Classify ``data`` through ``tree`` and tabulate per benchmark."""
+    if len(data) == 0:
+        raise ValueError("cannot profile an empty sample set")
+    lm_names = tuple(tree.leaf_names())
+    assignments = tree.assign_leaves(data.X)
+
+    profiles: List[BenchmarkProfile] = []
+    for name in data.benchmark_names():
+        mask = data.benchmarks == name
+        subset = assignments[mask]
+        n = int(mask.sum())
+        counts: Dict[str, int] = {}
+        for lm in subset:
+            counts[lm] = counts.get(lm, 0) + 1
+        shares = {lm: 100.0 * counts.get(lm, 0) / n for lm in lm_names}
+        profiles.append(
+            BenchmarkProfile(
+                benchmark=name,
+                n_samples=n,
+                shares=shares,
+                mean_cpi=float(data.y[mask].mean()),
+            )
+        )
+
+    total = len(data)
+    suite_row = {
+        lm: 100.0 * float(np.sum(assignments == lm)) / total for lm in lm_names
+    }
+    average_row = {
+        lm: float(np.mean([p.share(lm) for p in profiles])) for lm in lm_names
+    }
+    return SuiteProfile(
+        lm_names=lm_names,
+        benchmarks=tuple(profiles),
+        suite_row=suite_row,
+        average_row=average_row,
+    )

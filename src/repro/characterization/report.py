@@ -1,0 +1,79 @@
+"""Plain-text tables in the paper's layout.
+
+``format_profile_table`` renders Tables II/IV (benchmark rows, LM
+columns, 'Suite' and 'Average' footer rows, contributions above a
+highlight threshold marked); ``format_similarity_table`` renders
+Table III (pairwise differences plus the vs-suite row).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.characterization.profile import SuiteProfile
+from repro.characterization.similarity import SimilarityMatrix
+
+__all__ = ["format_profile_table", "format_similarity_table"]
+
+
+def _short(name: str, width: int) -> str:
+    """Trim a benchmark name to fit a column."""
+    return name if len(name) <= width else name[: width - 1] + "~"
+
+
+def format_profile_table(
+    profile: SuiteProfile,
+    highlight: float = 20.0,
+    name_width: int = 16,
+) -> str:
+    """Render a Table II/IV-style profile table.
+
+    Shares at or above ``highlight`` percent are wrapped in ``*`` the
+    way the paper bolds contributions above 20%.
+    """
+    lm_names = profile.lm_names
+    cell = max(6, max(len(n) for n in lm_names) + 1)
+
+    def fmt_row(label: str, shares) -> str:
+        cells = []
+        for lm in lm_names:
+            value = shares.get(lm, 0.0)
+            text = f"{value:.1f}"
+            if value >= highlight:
+                text = f"*{text}*"
+            cells.append(text.rjust(cell))
+        return _short(label, name_width).ljust(name_width) + "".join(cells)
+
+    header = "".ljust(name_width) + "".join(n.rjust(cell) for n in lm_names)
+    lines = [header]
+    for bench in profile.benchmarks:
+        lines.append(fmt_row(bench.benchmark, bench.shares))
+    lines.append("-" * len(header))
+    lines.append(fmt_row("Suite", profile.suite_row))
+    lines.append(fmt_row("Average", profile.average_row))
+    return "\n".join(lines)
+
+
+def format_similarity_table(
+    matrix: SimilarityMatrix,
+    benchmarks: Sequence[str] = (),
+    name_width: int = 16,
+) -> str:
+    """Render a Table III-style pairwise difference table."""
+    names = list(benchmarks) if benchmarks else list(matrix.benchmark_names)
+    cell = max(8, min(12, max(len(_short(n, 10)) for n in names) + 2))
+    header = "".ljust(name_width) + "".join(
+        _short(n, cell - 1).rjust(cell) for n in names
+    )
+    lines = [header]
+    for a in names:
+        row = [_short(a, name_width).ljust(name_width)]
+        for b in names:
+            row.append(f"{matrix.distance(a, b):.1f}".rjust(cell))
+        lines.append("".join(row))
+    lines.append("-" * len(header))
+    suite_row = ["Suite".ljust(name_width)]
+    for b in names:
+        suite_row.append(f"{matrix.suite_distance(b):.1f}".rjust(cell))
+    lines.append("".join(suite_row))
+    return "\n".join(lines)

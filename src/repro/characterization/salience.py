@@ -1,0 +1,122 @@
+"""Salient-profile detection — automating Section IV.B's narrative.
+
+The paper walks Table II and calls out benchmarks "that have
+particularly salient profiles": sole contributors to a linear model
+(482.sphinx3 and LM18, 471.omnetpp and LM24), pairs of benchmarks that
+own a model family (470.lbm / 436.cactusADM and the SIMD models), and
+benchmarks that concentrate in one model.  This module finds those
+stories mechanically so they can be asserted and regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.characterization.profile import SuiteProfile
+
+__all__ = ["SalientFeature", "find_salient_features", "render_salience"]
+
+
+@dataclass(frozen=True)
+class SalientFeature:
+    """One noteworthy fact about a benchmark/model relationship."""
+
+    kind: str  # 'sole-contributor' | 'concentrated' | 'suite-like'
+    benchmark: str
+    lm_name: str
+    share: float
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.benchmark}: {self.detail}"
+
+
+def find_salient_features(
+    profile: SuiteProfile,
+    sole_threshold: float = 50.0,
+    concentration_threshold: float = 70.0,
+    suite_like_distance: float = 25.0,
+) -> List[SalientFeature]:
+    """Extract the Section IV.B-style observations from a profile.
+
+    * ``sole-contributor``: a benchmark holds >= ``sole_threshold``
+      percent of its samples in a model no other benchmark puts more
+      than a fifth of that share into.
+    * ``concentrated``: a benchmark puts >= ``concentration_threshold``
+      percent of its samples into a single model.
+    * ``suite-like``: a benchmark's profile is within
+      ``suite_like_distance`` (Eq. 4) of the suite's own profile.
+    """
+    from repro.characterization.similarity import l1_difference
+
+    features: List[SalientFeature] = []
+    for bench in profile.benchmarks:
+        top_lm, top_share = max(bench.shares.items(), key=lambda kv: kv[1])
+        others = [
+            p.share(top_lm)
+            for p in profile.benchmarks
+            if p.benchmark != bench.benchmark
+        ]
+        max_other = max(others) if others else 0.0
+        if top_share >= sole_threshold and max_other <= top_share / 5.0:
+            features.append(
+                SalientFeature(
+                    kind="sole-contributor",
+                    benchmark=bench.benchmark,
+                    lm_name=top_lm,
+                    share=top_share,
+                    detail=(
+                        f"effectively the only workload in {top_lm} "
+                        f"({top_share:.1f}% of its samples; no other "
+                        f"benchmark exceeds {max_other:.1f}%), "
+                        f"average CPI {bench.mean_cpi:.2f}"
+                    ),
+                )
+            )
+        elif top_share >= concentration_threshold:
+            features.append(
+                SalientFeature(
+                    kind="concentrated",
+                    benchmark=bench.benchmark,
+                    lm_name=top_lm,
+                    share=top_share,
+                    detail=(
+                        f"concentrates {top_share:.1f}% of its samples "
+                        f"in {top_lm}, average CPI {bench.mean_cpi:.2f}"
+                    ),
+                )
+            )
+        distance = l1_difference(bench.shares, profile.suite_row)
+        if distance <= suite_like_distance:
+            features.append(
+                SalientFeature(
+                    kind="suite-like",
+                    benchmark=bench.benchmark,
+                    lm_name="",
+                    share=distance,
+                    detail=(
+                        f"profile within {distance:.1f}% of the overall "
+                        f"suite (a representative member)"
+                    ),
+                )
+            )
+    return features
+
+
+def render_salience(features: List[SalientFeature]) -> str:
+    """Bullet list grouped by kind, Section IV.B style."""
+    sections: List[Tuple[str, str]] = [
+        ("sole-contributor", "Benchmarks that own a linear model:"),
+        ("concentrated", "Benchmarks concentrated in one model:"),
+        ("suite-like", "Benchmarks most similar to the whole suite:"),
+    ]
+    lines: List[str] = []
+    for kind, heading in sections:
+        selected = [f for f in features if f.kind == kind]
+        if not selected:
+            continue
+        lines.append(heading)
+        for feature in selected:
+            lines.append(f"  - {feature}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Benchmark similarity via the L1 distance of leaf profiles.
+
+Equation 4 of the paper:
+
+    D_{j,k} = (1/2) * sum_i | s_{i,j} - s_{i,k} |
+
+where ``s_{i,n}`` is the percentage of benchmark ``n``'s samples in
+linear model ``i``.  The factor 1/2 normalizes to 0..100: identical
+profiles give 0, disjoint ones 100.  Table III is this distance over
+benchmark pairs, and the last row compares each benchmark to the
+suite-weighted profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.characterization.profile import SuiteProfile
+
+__all__ = ["l1_difference", "SimilarityMatrix", "similarity_matrix"]
+
+
+def l1_difference(
+    shares_a: Mapping[str, float], shares_b: Mapping[str, float]
+) -> float:
+    """Equation 4: half the L1 distance between two share profiles."""
+    lms = set(shares_a) | set(shares_b)
+    return 0.5 * sum(
+        abs(shares_a.get(lm, 0.0) - shares_b.get(lm, 0.0)) for lm in lms
+    )
+
+
+@dataclass(frozen=True)
+class SimilarityMatrix:
+    """Pairwise benchmark differences plus the vs-suite row."""
+
+    benchmark_names: Tuple[str, ...]
+    distances: np.ndarray  # (n, n), symmetric, zero diagonal
+    vs_suite: np.ndarray  # (n,), distance of each benchmark to the suite row
+
+    def distance(self, a: str, b: str) -> float:
+        """D_{a,b} from Equation 4."""
+        i = self.benchmark_names.index(a)
+        j = self.benchmark_names.index(b)
+        return float(self.distances[i, j])
+
+    def suite_distance(self, name: str) -> float:
+        """Distance of one benchmark's profile from the suite profile."""
+        return float(self.vs_suite[self.benchmark_names.index(name)])
+
+    def most_similar_pairs(self, k: int = 5) -> List[Tuple[str, str, float]]:
+        """The k closest distinct benchmark pairs."""
+        return self._ranked_pairs()[:k]
+
+    def most_dissimilar_pairs(self, k: int = 5) -> List[Tuple[str, str, float]]:
+        """The k most distant benchmark pairs."""
+        return self._ranked_pairs()[::-1][:k]
+
+    def _ranked_pairs(self) -> List[Tuple[str, str, float]]:
+        pairs = []
+        n = len(self.benchmark_names)
+        for i in range(n):
+            for j in range(i + 1, n):
+                pairs.append(
+                    (
+                        self.benchmark_names[i],
+                        self.benchmark_names[j],
+                        float(self.distances[i, j]),
+                    )
+                )
+        return sorted(pairs, key=lambda item: item[2])
+
+
+def similarity_matrix(
+    profile: SuiteProfile, benchmarks: Sequence[str] = ()
+) -> SimilarityMatrix:
+    """Compute Table III for all (or a subset of) benchmarks."""
+    selected = list(benchmarks) if benchmarks else [
+        p.benchmark for p in profile.benchmarks
+    ]
+    rows = [profile.benchmark(name) for name in selected]
+    n = len(rows)
+    distances = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = l1_difference(rows[i].shares, rows[j].shares)
+            distances[i, j] = distances[j, i] = d
+    vs_suite = np.array(
+        [l1_difference(row.shares, profile.suite_row) for row in rows]
+    )
+    return SimilarityMatrix(
+        benchmark_names=tuple(selected),
+        distances=distances,
+        vs_suite=vs_suite,
+    )

@@ -1,0 +1,293 @@
+"""Command-line interface: ``repro <experiment-id> [...]``.
+
+Examples::
+
+    repro E3                 # regenerate Table II
+    repro all                # run the full battery
+    repro E7 --scale 0.25    # quarter-size quick run
+    repro list               # show the experiment index
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+_TITLES = {
+    "E1": "Table I (metric catalog)",
+    "E2": "Figure 1 (CPU2006 model tree)",
+    "E3": "Table II (CPU2006 profiles)",
+    "E4": "Table III (CPU2006 similarity)",
+    "E5": "Figure 2 (OMP2001 model tree)",
+    "E6": "Table IV (OMP2001 profiles)",
+    "E7": "Section VI.A (transfer t-tests)",
+    "E8": "Section VI.B (transfer metrics)",
+    "E9": "Ablation (model families)",
+    "E10": "Ablation (tree design / pipeline)",
+    "E11": "Extension (benchmark subsetting strategies)",
+    "E12": "Extension (M5' parameter tuning frontier)",
+    "E13": "Extension (per-event CPI attribution)",
+    "E14": "Extension (seed robustness of transferability)",
+    "E15": "Extension (generational transfer: CPU2006 -> CPU2000)",
+    "E16": "Extension (structural model dissimilarity)",
+    "E17": "Extension (phase-detection quality)",
+    "E18": "Extension (per-benchmark cross-suite error)",
+    "E19": "Extension (cross-machine transferability)",
+    "E20": "Extension (event-level simulation validation)",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the tables and figures of 'Characterization of "
+            "SPEC CPU2006 and SPEC OMP2001' (ISPASS 2008)"
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=(
+            "experiment ids (E1..E20), 'all', 'list', 'report', "
+            "'catalog <suite>', 'describe <benchmark>', 'rules <suite>', "
+            "'dot <suite>', or 'export <suite> <path>'"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scale factor on sample counts (default 1.0)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the master seed"
+    )
+    parser.add_argument(
+        "--output",
+        default="repro_report.md",
+        help="output path for 'report' (default repro_report.md)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache generated suite data in this directory",
+    )
+    return parser
+
+
+_SUITES = {"cpu2006": "cpu2006", "omp2001": "omp2001", "cpu2000": "cpu2000"}
+
+
+def _suite_by_name(name: str):
+    from repro.workloads import spec_cpu2000, spec_cpu2006, spec_omp2001
+
+    factories = {
+        "cpu2006": spec_cpu2006,
+        "omp2001": spec_omp2001,
+        "cpu2000": spec_cpu2000,
+    }
+    key = name.lower()
+    if key not in factories:
+        raise KeyError(f"unknown suite {name!r}; have {sorted(factories)}")
+    return factories[key]()
+
+
+def _run_subcommand(args) -> Optional[int]:
+    """Handle 'catalog', 'dot' and 'export'; None means not handled."""
+    words = [w for w in args.experiments]
+    command = words[0].lower()
+    if command == "catalog":
+        if len(words) != 2:
+            print("usage: repro catalog <cpu2006|omp2001|cpu2000>",
+                  file=sys.stderr)
+            return 2
+        from repro.workloads.catalog import format_suite_catalog
+
+        try:
+            print(format_suite_catalog(_suite_by_name(words[1])))
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        return 0
+    if command == "dot":
+        if len(words) != 2 or words[1].lower() not in ("cpu2006", "omp2001"):
+            print("usage: repro dot <cpu2006|omp2001>", file=sys.stderr)
+            return 2
+        from repro.experiments.context import ExperimentContext
+        from repro.mtree.render import render_dot
+
+        ctx = ExperimentContext(ExperimentConfig().scaled(args.scale))
+        which = words[1].lower()
+        print(render_dot(ctx.tree(which), title=ctx.suite_label(which)))
+        return 0
+    if command == "rules":
+        if len(words) != 2 or words[1].lower() not in ("cpu2006", "omp2001"):
+            print("usage: repro rules <cpu2006|omp2001>", file=sys.stderr)
+            return 2
+        from repro.experiments.context import ExperimentContext
+        from repro.mtree.rules import render_rules
+
+        ctx = ExperimentContext(ExperimentConfig().scaled(args.scale))
+        print(render_rules(ctx.tree(words[1].lower())))
+        return 0
+    if command == "quality":
+        if len(words) != 2:
+            print("usage: repro quality <cpu2006|omp2001|cpu2000>",
+                  file=sys.stderr)
+            return 2
+        from repro.pmu.collector import PmuCollector
+        from repro.pmu.diagnostics import (
+            data_quality_report,
+            format_quality_table,
+        )
+        from repro.workloads.suite import SuiteGenerationConfig
+
+        config = ExperimentConfig().scaled(args.scale)
+        try:
+            suite = _suite_by_name(words[1])
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        data = suite.generate(
+            SuiteGenerationConfig(
+                total_samples=config.cpu_samples, seed=config.seed
+            )
+        )
+        print(format_quality_table(data_quality_report(data, PmuCollector())))
+        return 0
+    if command == "describe":
+        if len(words) != 2:
+            print("usage: repro describe <benchmark>", file=sys.stderr)
+            return 2
+        return _describe_benchmark(words[1], args)
+    if command == "export":
+        if len(words) != 3:
+            print("usage: repro export <suite> <path.csv|path.arff>",
+                  file=sys.stderr)
+            return 2
+        from repro.datasets import save_arff, save_csv
+        from repro.workloads.suite import SuiteGenerationConfig
+
+        config = ExperimentConfig().scaled(args.scale)
+        try:
+            suite = _suite_by_name(words[1])
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        data = suite.generate(
+            SuiteGenerationConfig(
+                total_samples=config.cpu_samples, seed=config.seed
+            )
+        )
+        path = words[2]
+        if path.endswith(".arff"):
+            save_arff(data, path)
+        else:
+            save_csv(data, path)
+        print(f"wrote {len(data)} intervals to {path}")
+        return 0
+    return None
+
+
+def _describe_benchmark(name: str, args) -> int:
+    """Full per-benchmark page: metadata, profile, equations, neighbors."""
+    from repro.characterization.profile import profile_sample_set
+    from repro.characterization.similarity import similarity_matrix
+    from repro.experiments.context import ExperimentContext
+    from repro.workloads.catalog import format_benchmark_detail
+
+    ctx = ExperimentContext(ExperimentConfig().scaled(args.scale))
+    for which in ("cpu2006", "omp2001"):
+        suite = ctx.suite(which)
+        try:
+            suite.benchmark(name)
+        except KeyError:
+            continue
+        print(format_benchmark_detail(suite, name))
+        profile = profile_sample_set(ctx.tree(which), ctx.data(which))
+        bench = profile.benchmark(name)
+        print(f"\naverage CPI: {bench.mean_cpi:.2f} "
+              f"(suite: {ctx.data(which).y.mean():.2f})")
+        print("dominant linear models:")
+        tree = ctx.tree(which)
+        for lm, share in bench.dominant(4):
+            print(f"  {lm} ({share:.1f}%): {tree.leaf(lm).model.equation()}")
+        matrix = similarity_matrix(profile)
+        ranked = sorted(
+            (
+                (other.benchmark, matrix.distance(name, other.benchmark))
+                for other in profile.benchmarks
+                if other.benchmark != name
+            ),
+            key=lambda item: item[1],
+        )
+        print("most similar benchmarks (Eq. 4):")
+        for other, distance in ranked[:4]:
+            print(f"  {other:20s} {distance:5.1f}%")
+        print(f"distance from suite profile: "
+              f"{matrix.suite_distance(name):.1f}%")
+        return 0
+    print(f"unknown benchmark {name!r} (try 'repro catalog cpu2006')",
+          file=sys.stderr)
+    return 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    handled = _run_subcommand(args)
+    if handled is not None:
+        return handled
+
+    requested = [e.upper() for e in args.experiments]
+
+    if "LIST" in requested:
+        for key in sorted(EXPERIMENTS, key=lambda k: int(k[1:])):
+            print(f"{key:5s} {_TITLES[key]}")
+        return 0
+
+    if "ALL" in requested:
+        requested = sorted(EXPERIMENTS, key=lambda k: int(k[1:]))
+
+    want_report = "REPORT" in requested
+    requested = [e for e in requested if e != "REPORT"]
+
+    unknown = [e for e in requested if e not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s) {unknown}; run 'repro list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = ExperimentConfig()
+    if args.seed is not None:
+        config = ExperimentConfig(
+            cpu_samples=config.cpu_samples,
+            omp_samples=config.omp_samples,
+            seed=args.seed,
+        )
+    if args.scale != 1.0:
+        config = config.scaled(args.scale)
+    ctx = ExperimentContext(config, cache_dir=args.cache_dir)
+    for key in requested:
+        print(run_experiment(key, ctx))
+        print()
+    if want_report:
+        from repro.experiments.report_gen import generate_report
+
+        generate_report(ctx, path=args.output)
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""ARFF import/export — the paper's actual modeling-tool format.
+
+The authors fed their counter data to WEKA, whose native input is the
+ARFF (Attribute-Relation File Format) text format.  ``save_arff``
+writes a SampleSet so a real WEKA M5P run can be pointed at the same
+data this library models; ``load_arff`` reads the subset of ARFF this
+library emits (numeric attributes plus one nominal benchmark column).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.datasets.dataset import SampleSet
+
+__all__ = ["save_arff", "load_arff"]
+
+
+def save_arff(
+    data: SampleSet, path: Union[str, Path], relation: str = "repro-counters"
+) -> None:
+    """Write a SampleSet as an ARFF file (CPI last, WEKA's default target)."""
+    path = Path(path)
+    benchmarks = sorted(set(data.benchmarks.tolist()))
+    lines: List[str] = [f"@RELATION {relation}", ""]
+    quoted = ",".join(f"'{b}'" for b in benchmarks)
+    lines.append(f"@ATTRIBUTE benchmark {{{quoted}}}")
+    for name in data.feature_names:
+        lines.append(f"@ATTRIBUTE {name} NUMERIC")
+    lines.append("@ATTRIBUTE CPI NUMERIC")
+    lines.append("")
+    lines.append("@DATA")
+    for i in range(len(data)):
+        row = ",".join(repr(float(v)) for v in data.X[i])
+        lines.append(f"'{data.benchmarks[i]}',{row},{float(data.y[i])!r}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def load_arff(path: Union[str, Path]) -> SampleSet:
+    """Read an ARFF file written by :func:`save_arff`."""
+    path = Path(path)
+    attributes: List[str] = []
+    data_rows: List[List[str]] = []
+    in_data = False
+    for line_no, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("%"):
+            continue
+        upper = line.upper()
+        if upper.startswith("@RELATION"):
+            continue
+        if upper.startswith("@ATTRIBUTE"):
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                raise ValueError(f"{path}:{line_no}: malformed @ATTRIBUTE")
+            attributes.append(parts[1])
+            continue
+        if upper.startswith("@DATA"):
+            in_data = True
+            continue
+        if in_data:
+            data_rows.append([f.strip().strip("'") for f in line.split(",")])
+    if not attributes:
+        raise ValueError(f"{path}: no @ATTRIBUTE declarations found")
+    if attributes[0] != "benchmark" or attributes[-1] != "CPI":
+        raise ValueError(
+            f"{path}: expected benchmark first and CPI last, got "
+            f"{attributes[0]!r}..{attributes[-1]!r}"
+        )
+    if not data_rows:
+        raise ValueError(f"{path}: no data rows")
+    feature_names = attributes[1:-1]
+    width = len(attributes)
+    benchmarks = []
+    X = []
+    y = []
+    for row in data_rows:
+        if len(row) != width:
+            raise ValueError(
+                f"{path}: data row has {len(row)} fields, expected {width}"
+            )
+        benchmarks.append(row[0])
+        X.append([float(v) for v in row[1:-1]])
+        y.append(float(row[-1]))
+    return SampleSet(feature_names, np.asarray(X), np.asarray(y), benchmarks)

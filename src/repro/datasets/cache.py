@@ -1,0 +1,102 @@
+"""Disk caching of generated sample sets.
+
+Suite generation is deterministic given its configuration, so a
+generated SampleSet can be cached on disk keyed by a digest of
+everything that determines it (suite name and benchmark specs, sample
+count, seed, collector and noise parameters, cost model identity).
+Repeated CLI invocations and notebook sessions then skip the generation
+cost entirely.
+
+Caching is opt-in: pass ``cache_dir`` to :func:`cached_generate`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.datasets.dataset import SampleSet
+from repro.datasets.io import load_csv, save_csv
+
+if TYPE_CHECKING:  # avoid a layering inversion at runtime
+    from repro.uarch.execution import ExecutionEngine
+    from repro.workloads.suite import Suite, SuiteGenerationConfig
+
+__all__ = ["generation_digest", "cached_generate"]
+
+
+def generation_digest(
+    suite: "Suite",
+    config: "SuiteGenerationConfig",
+    engine: Optional["ExecutionEngine"] = None,
+) -> str:
+    """A stable hex digest of everything that determines the output."""
+    payload = {
+        "suite": suite.name,
+        "benchmarks": [
+            {
+                "name": spec.name,
+                "weight": spec.weight,
+                "persistence": spec.persistence,
+                "phases": [
+                    {
+                        "name": phase.name,
+                        "weight": phase.weight,
+                        "densities": dict(sorted(phase.densities.items())),
+                        "spread": phase.spread,
+                        "spreads": dict(sorted(phase.spreads.items())),
+                    }
+                    for phase in spec.phases
+                ],
+            }
+            for spec in suite.benchmarks
+        ],
+        "total_samples": config.total_samples,
+        "seed": config.seed,
+        "collector": {
+            "interval_instructions": config.collector.interval_instructions,
+            "n_programmable": config.collector.n_programmable,
+            "multiplex": config.collector.multiplex,
+        },
+        "noise": {
+            "additive_sigma": config.noise.additive_sigma,
+            "relative_sigma": config.noise.relative_sigma,
+            "floor_cpi": config.noise.floor_cpi,
+        },
+    }
+    if engine is not None:
+        payload["cost_model"] = engine.cost_model.describe()
+        payload["engine_noise"] = {
+            "additive_sigma": engine.noise.additive_sigma,
+            "relative_sigma": engine.noise.relative_sigma,
+            "floor_cpi": engine.noise.floor_cpi,
+        }
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:24]
+
+
+def cached_generate(
+    suite: "Suite",
+    config: "SuiteGenerationConfig",
+    cache_dir: Union[str, Path],
+    engine: Optional["ExecutionEngine"] = None,
+) -> SampleSet:
+    """Generate through a disk cache.
+
+    On a hit the CSV is loaded; on a miss the suite is generated,
+    written, then returned.  Corrupt cache entries are regenerated.
+    """
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    digest = generation_digest(suite, config, engine)
+    path = cache_dir / f"{suite.name.replace(' ', '_')}-{digest}.csv"
+    if path.exists():
+        try:
+            return load_csv(path)
+        except (ValueError, OSError):
+            path.unlink(missing_ok=True)
+    data = suite.generate(config, engine=engine)
+    save_csv(data, path)
+    return data

@@ -1,0 +1,169 @@
+"""Numpy-backed sample container with named columns and benchmark labels.
+
+A :class:`SampleSet` holds one row per sampled execution interval: the
+20 per-instruction predictor densities (``X``), the measured CPI
+(``y``), and the benchmark each interval came from.  It is the common
+currency between the workload generator, the model tree, the
+characterization layer and the transferability analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SampleSet"]
+
+
+class SampleSet:
+    """An immutable-by-convention table of (densities, CPI, benchmark).
+
+    Parameters
+    ----------
+    feature_names:
+        Column names for ``X``, in order (typically Table I's 20 metrics).
+    X:
+        Array of shape (n_samples, n_features) of per-instruction densities.
+    y:
+        Array of shape (n_samples,) of CPI values.
+    benchmarks:
+        Sequence of benchmark names, one per sample (optional; defaults
+        to the empty string for all samples).
+    """
+
+    def __init__(
+        self,
+        feature_names: Sequence[str],
+        X: np.ndarray,
+        y: np.ndarray,
+        benchmarks: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.feature_names: Tuple[str, ...] = tuple(feature_names)
+        self.X = np.asarray(X, dtype=float)
+        self.y = np.asarray(y, dtype=float)
+        if self.X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {self.X.shape}")
+        if self.y.ndim != 1:
+            raise ValueError(f"y must be 1-D, got shape {self.y.shape}")
+        if self.X.shape[0] != self.y.shape[0]:
+            raise ValueError(
+                f"X has {self.X.shape[0]} rows but y has {self.y.shape[0]}"
+            )
+        if self.X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"X has {self.X.shape[1]} columns but "
+                f"{len(self.feature_names)} feature names were given"
+            )
+        if len(set(self.feature_names)) != len(self.feature_names):
+            raise ValueError("feature names must be unique")
+        if benchmarks is None:
+            self.benchmarks = np.full(self.X.shape[0], "", dtype=object)
+        else:
+            self.benchmarks = np.asarray(benchmarks, dtype=object)
+            if self.benchmarks.shape != (self.X.shape[0],):
+                raise ValueError(
+                    f"benchmarks has shape {self.benchmarks.shape}, "
+                    f"expected ({self.X.shape[0]},)"
+                )
+
+    # -- basic protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    def __repr__(self) -> str:
+        names = self.benchmark_names()
+        suites = f", benchmarks={len(names)}" if names and names != [""] else ""
+        return f"SampleSet(n={len(self)}, features={self.n_features}{suites})"
+
+    # -- column access ---------------------------------------------------
+
+    def column_index(self, name: str) -> int:
+        """Index of a feature column by name."""
+        try:
+            return self.feature_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown feature {name!r}; have {list(self.feature_names)}"
+            ) from None
+
+    def column(self, name: str) -> np.ndarray:
+        """One feature column, by name ('CPI' returns y)."""
+        if name == "CPI":
+            return self.y
+        return self.X[:, self.column_index(name)]
+
+    # -- row selection ---------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "SampleSet":
+        """A new SampleSet containing the given row indices."""
+        idx = np.asarray(indices)
+        return SampleSet(
+            self.feature_names, self.X[idx], self.y[idx], self.benchmarks[idx]
+        )
+
+    def where(self, mask: np.ndarray) -> "SampleSet":
+        """A new SampleSet of rows where the boolean mask is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise ValueError(f"mask shape {mask.shape} != ({len(self)},)")
+        return self.take(np.nonzero(mask)[0])
+
+    def for_benchmark(self, name: str) -> "SampleSet":
+        """Only the samples of one benchmark."""
+        subset = self.where(self.benchmarks == name)
+        if len(subset) == 0:
+            raise KeyError(
+                f"no samples for benchmark {name!r}; "
+                f"have {self.benchmark_names()}"
+            )
+        return subset
+
+    def benchmark_names(self) -> List[str]:
+        """Sorted list of distinct benchmark names present."""
+        return sorted(set(self.benchmarks.tolist()))
+
+    def by_benchmark(self) -> Dict[str, "SampleSet"]:
+        """Mapping of benchmark name to its samples."""
+        return {name: self.for_benchmark(name) for name in self.benchmark_names()}
+
+    def benchmark_weights(self) -> Dict[str, float]:
+        """Fraction of all samples contributed by each benchmark.
+
+        The paper weights the 'Suite' row of Tables II/IV by each
+        benchmark's share of executed instructions; with equal-length
+        sampling intervals that share equals the sample share.
+        """
+        names, counts = np.unique(self.benchmarks, return_counts=True)
+        total = float(len(self))
+        return {str(n): c / total for n, c in zip(names, counts)}
+
+    # -- combination -------------------------------------------------------
+
+    @staticmethod
+    def concat(parts: Iterable["SampleSet"]) -> "SampleSet":
+        """Concatenate sample sets with identical feature schemas."""
+        parts = list(parts)
+        if not parts:
+            raise ValueError("concat requires at least one SampleSet")
+        names = parts[0].feature_names
+        for p in parts[1:]:
+            if p.feature_names != names:
+                raise ValueError(
+                    f"feature schema mismatch: {p.feature_names} != {names}"
+                )
+        return SampleSet(
+            names,
+            np.concatenate([p.X for p in parts], axis=0),
+            np.concatenate([p.y for p in parts]),
+            np.concatenate([p.benchmarks for p in parts]),
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "SampleSet":
+        """A new SampleSet with rows in random order."""
+        return self.take(rng.permutation(len(self)))

@@ -1,0 +1,62 @@
+"""CSV persistence for sample sets.
+
+The on-disk format is a plain CSV with a header row: ``benchmark``
+first, then ``CPI``, then the feature columns — readable by any
+external tool (the paper's pipeline exported counter data to WEKA's ARFF;
+CSV is the modern equivalent).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.dataset import SampleSet
+
+__all__ = ["save_csv", "load_csv"]
+
+
+def save_csv(data: SampleSet, path: Union[str, Path]) -> None:
+    """Write a SampleSet to ``path`` as CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["benchmark", "CPI", *data.feature_names])
+        for i in range(len(data)):
+            writer.writerow(
+                [data.benchmarks[i], repr(float(data.y[i]))]
+                + [repr(float(v)) for v in data.X[i]]
+            )
+
+
+def load_csv(path: Union[str, Path]) -> SampleSet:
+    """Read a SampleSet previously written by :func:`save_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        if len(header) < 3 or header[0] != "benchmark" or header[1] != "CPI":
+            raise ValueError(
+                f"{path} does not look like a SampleSet CSV "
+                f"(header starts {header[:3]})"
+            )
+        feature_names = header[2:]
+        benchmarks = []
+        rows = []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_no}: expected {len(header)} fields, got {len(row)}"
+                )
+            benchmarks.append(row[0])
+            rows.append([float(v) for v in row[1:]])
+    if not rows:
+        raise ValueError(f"{path} contains a header but no samples")
+    table = np.asarray(rows, dtype=float)
+    return SampleSet(feature_names, table[:, 1:], table[:, 0], benchmarks)

@@ -1,0 +1,84 @@
+"""Random and stratified train/test splits.
+
+Section VI of the paper trains on a random 10% of a suite's samples and
+tests on an independent random 10%; :func:`train_test_split` produces
+such disjoint fractions.  :func:`stratified_split` additionally keeps
+each benchmark's share equal across the parts, which the paper's
+uniform random sampling achieves in expectation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.dataset import SampleSet
+
+__all__ = ["train_test_split", "stratified_split"]
+
+
+def _validate_fractions(fractions: Sequence[float]) -> None:
+    if not fractions:
+        raise ValueError("at least one fraction is required")
+    if any(f <= 0.0 for f in fractions):
+        raise ValueError(f"fractions must be positive, got {list(fractions)}")
+    if sum(fractions) > 1.0 + 1e-9:
+        raise ValueError(f"fractions sum to {sum(fractions)} > 1")
+
+
+def train_test_split(
+    data: SampleSet,
+    fractions: Sequence[float],
+    rng: np.random.Generator,
+) -> List[SampleSet]:
+    """Split into disjoint random subsets of the given fractions.
+
+    ``fractions=(0.1, 0.1)`` reproduces the paper's setup: a 10%
+    training set and an independent 10% test set (the remaining 80% is
+    simply unused).  Returns one SampleSet per fraction.
+    """
+    _validate_fractions(fractions)
+    order = rng.permutation(len(data))
+    parts: List[SampleSet] = []
+    start = 0
+    for fraction in fractions:
+        count = int(round(fraction * len(data)))
+        count = min(count, len(data) - start)
+        if count == 0:
+            raise ValueError(
+                f"fraction {fraction} of {len(data)} samples yields an empty part"
+            )
+        parts.append(data.take(order[start : start + count]))
+        start += count
+    return parts
+
+
+def stratified_split(
+    data: SampleSet,
+    fractions: Sequence[float],
+    rng: np.random.Generator,
+) -> List[SampleSet]:
+    """Like :func:`train_test_split` but per-benchmark proportional.
+
+    Each part receives (approximately) the same benchmark mix as the
+    full data set, which stabilizes small-fraction experiments.
+    """
+    _validate_fractions(fractions)
+    per_benchmark: List[List[np.ndarray]] = [[] for _ in fractions]
+    for name in data.benchmark_names():
+        indices = np.nonzero(data.benchmarks == name)[0]
+        order = rng.permutation(indices)
+        start = 0
+        for slot, fraction in enumerate(fractions):
+            count = int(round(fraction * len(indices)))
+            count = min(count, len(indices) - start)
+            per_benchmark[slot].append(order[start : start + count])
+            start += count
+    parts = []
+    for slot in range(len(fractions)):
+        merged = np.concatenate(per_benchmark[slot]) if per_benchmark[slot] else np.array([], dtype=int)
+        if merged.size == 0:
+            raise ValueError("stratified split produced an empty part")
+        parts.append(data.take(rng.permutation(merged)))
+    return parts

@@ -1,0 +1,25 @@
+"""Experiment runners: one per paper table/figure plus ablations.
+
+Every experiment consumes a shared :class:`ExperimentContext` (which
+caches the generated suites, the 10% train/test splits and the two
+fitted model trees) and returns an :class:`ExperimentResult` with both
+structured data and a formatted text report.
+
+Experiment ids follow DESIGN.md: E1 = Table I, E2 = Figure 1,
+E3 = Table II, E4 = Table III, E5 = Figure 2, E6 = Table IV,
+E7 = Section VI.A t-tests, E8 = Section VI.B metrics, E9/E10 =
+ablations.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.result import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "ExperimentContext",
+    "ExperimentResult",
+    "run_experiment",
+]

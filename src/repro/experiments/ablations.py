@@ -1,0 +1,164 @@
+"""E9 / E10 — ablations behind the paper's design choices.
+
+E9 compares the model-tree family against the baselines of related
+work [15] (linear regression, CART, kNN, MLP) on the CPU2006 data.
+
+E10 ablates the M5' machinery itself — pruning, smoothing, attribute
+elimination — plus the two measurement-pipeline choices: multiplexed
+vs. dedicated counters and the 10% training fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.cart import CartRegressionTree
+from repro.baselines.knn import KnnRegressor
+from repro.baselines.linreg import LinearRegressionBaseline
+from repro.baselines.mlp import MlpRegressor
+from repro.datasets.splits import train_test_split
+from repro.experiments.context import ExperimentContext
+from repro.experiments.result import ExperimentResult
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+from repro.pmu.collector import CollectorConfig
+from repro.transfer.metrics import prediction_metrics
+from repro.uarch.core2 import build_core2_cost_model
+from repro.uarch.execution import ExecutionEngine
+from repro.workloads.suite import SuiteGenerationConfig
+
+__all__ = ["run_model_comparison", "run_tree_ablation"]
+
+
+def run_model_comparison(ctx: ExperimentContext) -> ExperimentResult:
+    """E9 — model families on the CPU2006 data (cf. [15])."""
+    train = ctx.train_set(ctx.CPU)
+    test = ctx.test_set(ctx.CPU)
+    models = {
+        "M5' model tree": ctx.tree(ctx.CPU),
+        "linear regression": LinearRegressionBaseline().fit(train.X, train.y),
+        "CART (constant leaves)": CartRegressionTree(min_leaf=20).fit(
+            train.X, train.y
+        ),
+        "kNN (k=10, weighted)": KnnRegressor(k=10).fit(train.X, train.y),
+        "MLP (32 hidden)": MlpRegressor(seed=ctx.config.seed).fit(
+            train.X, train.y
+        ),
+    }
+    rows = {}
+    lines = [
+        f"{'model':24s}{'C':>9s}{'MAE':>9s}{'RMSE':>9s}{'RAE%':>9s}",
+        "-" * 60,
+    ]
+    for name, model in models.items():
+        metrics = prediction_metrics(model.predict(test.X), test.y)
+        rows[name] = metrics
+        lines.append(
+            f"{name:24s}{metrics.correlation:9.4f}{metrics.mae:9.4f}"
+            f"{metrics.rmse:9.4f}{metrics.rae * 100:9.1f}"
+        )
+    tree_mae = rows["M5' model tree"].mae
+    linreg_mae = rows["linear regression"].mae
+    lines.append("")
+    lines.append(
+        f"model tree vs single linear model: {linreg_mae / tree_mae:.2f}x "
+        f"lower MAE (the regime structure a single hyperplane cannot fit)"
+    )
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Ablation: model families on SPEC CPU2006 (cf. [15])",
+        text="\n".join(lines),
+        data={name: m for name, m in rows.items()},
+    )
+
+
+def _fit_eval(train, test, config: ModelTreeConfig):
+    tree = ModelTree(config).fit_sample_set(train)
+    return tree, prediction_metrics(tree.predict(test.X), test.y)
+
+
+def run_tree_ablation(ctx: ExperimentContext) -> ExperimentResult:
+    """E10 — M5' design choices and measurement-pipeline ablations."""
+    base_cfg = ctx.config.tree
+    train = ctx.train_set(ctx.CPU)
+    test = ctx.test_set(ctx.CPU)
+
+    variants = {
+        "full M5' (prune+smooth+eliminate)": base_cfg,
+        "no pruning": ModelTreeConfig(
+            min_leaf=base_cfg.min_leaf, prune=False, smooth=base_cfg.smooth
+        ),
+        "no smoothing": ModelTreeConfig(
+            min_leaf=base_cfg.min_leaf, smooth=False
+        ),
+        "no attribute elimination": ModelTreeConfig(
+            min_leaf=base_cfg.min_leaf, eliminate=False
+        ),
+    }
+    lines = [
+        f"{'variant':36s}{'leaves':>8s}{'C':>9s}{'MAE':>9s}",
+        "-" * 62,
+    ]
+    data = {}
+    for name, cfg in variants.items():
+        tree, metrics = _fit_eval(train, test, cfg)
+        lines.append(
+            f"{name:36s}{tree.n_leaves:8d}{metrics.correlation:9.4f}"
+            f"{metrics.mae:9.4f}"
+        )
+        data[name] = {
+            "n_leaves": tree.n_leaves,
+            "C": metrics.correlation,
+            "MAE": metrics.mae,
+        }
+
+    # Multiplexing ablation: dedicated counters (no multiplexing noise).
+    ideal_cfg = SuiteGenerationConfig(
+        total_samples=ctx.config.cpu_samples,
+        seed=ctx.config.seed,
+        collector=CollectorConfig(multiplex=False),
+        noise=ctx.config.noise,
+    )
+    engine = ExecutionEngine(build_core2_cost_model(), ctx.config.noise)
+    ideal_data = ctx.suite(ctx.CPU).generate(ideal_cfg, engine=engine)
+    rng = np.random.default_rng(ctx.config.seed + 100)
+    ideal_train, ideal_test = train_test_split(
+        ideal_data,
+        (ctx.config.train_fraction, ctx.config.test_fraction),
+        rng,
+    )
+    _, ideal_metrics = _fit_eval(ideal_train, ideal_test, base_cfg)
+    mux_metrics = data["full M5' (prune+smooth+eliminate)"]
+    lines.append("")
+    lines.append("measurement pipeline:")
+    lines.append(
+        f"  multiplexed counters (2 of {len(train.feature_names)}): "
+        f"MAE={mux_metrics['MAE']:.4f}"
+    )
+    lines.append(
+        f"  dedicated counter per event:  MAE={ideal_metrics.mae:.4f}"
+    )
+    data["dedicated_counters"] = {
+        "C": ideal_metrics.correlation,
+        "MAE": ideal_metrics.mae,
+    }
+
+    # Training-fraction sweep: why 10% is enough.
+    lines.append("")
+    lines.append("training-fraction sweep (test MAE):")
+    full = ctx.data(ctx.CPU)
+    sweep = {}
+    for fraction in (0.01, 0.02, 0.05, 0.10, 0.25):
+        rng = np.random.default_rng(ctx.config.seed + 200)
+        sweep_train, sweep_test = train_test_split(
+            full, (fraction, ctx.config.test_fraction), rng
+        )
+        _, metrics = _fit_eval(sweep_train, sweep_test, base_cfg)
+        sweep[fraction] = metrics.mae
+        lines.append(f"  {fraction * 100:5.1f}% train -> MAE={metrics.mae:.4f}")
+    data["train_fraction_sweep"] = sweep
+    return ExperimentResult(
+        experiment_id="E10",
+        title="Ablation: M5' design choices and measurement pipeline",
+        text="\n".join(lines),
+        data=data,
+    )

@@ -1,0 +1,64 @@
+"""Shared experiment configuration.
+
+Sample counts are scaled down ~50x from the paper's (which had
+n = 208,373 in a 10% CPU2006 split, i.e. ~2M intervals per suite) so
+the full experiment battery runs in minutes; the ratios — 10% train,
+10% independent test, instruction-weighted benchmark shares — follow
+the paper exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mtree.tree import ModelTreeConfig
+from repro.pmu.collector import CollectorConfig
+from repro.uarch.execution import NoiseConfig
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that parameterizes the experiment battery."""
+
+    cpu_samples: int = 40_000
+    omp_samples: int = 24_000
+    seed: int = 20080401
+    train_fraction: float = 0.10
+    test_fraction: float = 0.10
+    tree: ModelTreeConfig = field(
+        default_factory=lambda: ModelTreeConfig(min_leaf=40)
+    )
+    collector: CollectorConfig = field(default_factory=CollectorConfig)
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+
+    def __post_init__(self) -> None:
+        if self.cpu_samples < 1000 or self.omp_samples < 1000:
+            raise ValueError(
+                "experiments need at least 1000 samples per suite to be "
+                "statistically meaningful"
+            )
+        if not 0.0 < self.train_fraction <= 0.5:
+            raise ValueError(
+                f"train_fraction must be in (0, 0.5], got {self.train_fraction}"
+            )
+        if not 0.0 < self.test_fraction <= 0.5:
+            raise ValueError(
+                f"test_fraction must be in (0, 0.5], got {self.test_fraction}"
+            )
+
+    def scaled(self, factor: float) -> "ExperimentConfig":
+        """A copy with sample counts scaled (for quick runs and tests)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return ExperimentConfig(
+            cpu_samples=max(1000, int(self.cpu_samples * factor)),
+            omp_samples=max(1000, int(self.omp_samples * factor)),
+            seed=self.seed,
+            train_fraction=self.train_fraction,
+            test_fraction=self.test_fraction,
+            tree=self.tree,
+            collector=self.collector,
+            noise=self.noise,
+        )

@@ -1,0 +1,112 @@
+"""Shared, lazily-computed experiment state.
+
+Generating a suite and fitting a model tree are the expensive steps;
+every experiment that needs "the CPU2006 tree" must see the *same*
+tree (Table II classifies with the Figure 1 model).  The context
+computes each artifact once and caches it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datasets.dataset import SampleSet
+from repro.datasets.splits import train_test_split
+from repro.experiments.config import ExperimentConfig
+from repro.mtree.tree import ModelTree
+from repro.uarch.core2 import build_core2_cost_model
+from repro.uarch.execution import ExecutionEngine
+from repro.workloads.spec_cpu2006 import spec_cpu2006
+from repro.workloads.spec_omp2001 import spec_omp2001
+from repro.workloads.suite import Suite, SuiteGenerationConfig
+
+__all__ = ["ExperimentContext"]
+
+
+class ExperimentContext:
+    """Caches suites, data sets, splits and fitted trees."""
+
+    CPU = "cpu2006"
+    OMP = "omp2001"
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        self.config = config or ExperimentConfig()
+        self.cache_dir = cache_dir
+        self._suites: Dict[str, Suite] = {}
+        self._data: Dict[str, SampleSet] = {}
+        self._splits: Dict[str, List[SampleSet]] = {}
+        self._trees: Dict[str, ModelTree] = {}
+
+    # -- raw materials ---------------------------------------------------
+
+    def suite(self, which: str) -> Suite:
+        if which not in (self.CPU, self.OMP):
+            raise ValueError(f"unknown suite {which!r}")
+        if which not in self._suites:
+            self._suites[which] = (
+                spec_cpu2006() if which == self.CPU else spec_omp2001()
+            )
+        return self._suites[which]
+
+    def data(self, which: str) -> SampleSet:
+        """The full generated sample set for one suite."""
+        if which not in self._data:
+            cfg = self.config
+            total = cfg.cpu_samples if which == self.CPU else cfg.omp_samples
+            seed = cfg.seed if which == self.CPU else cfg.seed + 1
+            engine = ExecutionEngine(build_core2_cost_model(), cfg.noise)
+            generation = SuiteGenerationConfig(
+                total_samples=total,
+                seed=seed,
+                collector=cfg.collector,
+                noise=cfg.noise,
+            )
+            if self.cache_dir is not None:
+                from repro.datasets.cache import cached_generate
+
+                self._data[which] = cached_generate(
+                    self.suite(which), generation, self.cache_dir, engine
+                )
+            else:
+                self._data[which] = self.suite(which).generate(
+                    generation, engine=engine
+                )
+        return self._data[which]
+
+    def _split(self, which: str) -> List[SampleSet]:
+        if which not in self._splits:
+            cfg = self.config
+            rng = np.random.default_rng(cfg.seed + 100)
+            self._splits[which] = train_test_split(
+                self.data(which),
+                (cfg.train_fraction, cfg.test_fraction),
+                rng,
+            )
+        return self._splits[which]
+
+    def train_set(self, which: str) -> SampleSet:
+        """The random 10% training split (the paper's L1 set)."""
+        return self._split(which)[0]
+
+    def test_set(self, which: str) -> SampleSet:
+        """The independent random 10% test split (the paper's L2 set)."""
+        return self._split(which)[1]
+
+    # -- models ---------------------------------------------------------
+
+    def tree(self, which: str) -> ModelTree:
+        """The suite's M5' model, trained on its 10% split."""
+        if which not in self._trees:
+            tree = ModelTree(self.config.tree)
+            tree.fit_sample_set(self.train_set(which))
+            self._trees[which] = tree
+        return self._trees[which]
+
+    def suite_label(self, which: str) -> str:
+        return "SPEC CPU2006" if which == self.CPU else "SPEC OMP2001"

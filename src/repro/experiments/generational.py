@@ -1,0 +1,97 @@
+"""E15 — generational transferability (extension).
+
+The paper shows a model transfers within a suite but not across the
+CPU2006/OMP2001 divide.  What about across *generations* of the same
+suite family?  SPEC CPU2000 exercises the same serial CPU/memory
+behaviours as CPU2006 with systematically milder cache/TLB pressure, so
+a CPU2006 model should land *between* the paper's two extremes:
+clearly more transferable than to OMP2001, clearly less than to held-out
+CPU2006 data.  This experiment measures exactly that ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.result import ExperimentResult
+from repro.transfer.assess import assess_transferability
+from repro.uarch.core2 import build_core2_cost_model
+from repro.uarch.execution import ExecutionEngine
+from repro.workloads.spec_cpu2000 import spec_cpu2000
+from repro.workloads.suite import SuiteGenerationConfig
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    cfg = ctx.config
+    engine = ExecutionEngine(build_core2_cost_model(), cfg.noise)
+    cpu2000 = spec_cpu2000().generate(
+        SuiteGenerationConfig(
+            total_samples=max(cfg.cpu_samples // 2, 2000),
+            seed=cfg.seed + 2,
+            collector=cfg.collector,
+            noise=cfg.noise,
+        ),
+        engine=engine,
+    )
+    model = ctx.tree(ctx.CPU)
+    source = ctx.train_set(ctx.CPU)
+
+    within = assess_transferability(
+        model, source, ctx.test_set(ctx.CPU),
+        source_name="SPEC CPU2006", target_name="SPEC CPU2006 (test)",
+    )
+    generational = assess_transferability(
+        model, source, cpu2000,
+        source_name="SPEC CPU2006", target_name="SPEC CPU2000",
+    )
+    cross = assess_transferability(
+        model, source, ctx.train_set(ctx.OMP),
+        source_name="SPEC CPU2006", target_name="SPEC OMP2001",
+    )
+
+    lines = [
+        "Generational transferability of the SPEC CPU2006 model "
+        "(extension beyond the paper)",
+        "",
+        f"CPU2000 suite: {len(spec_cpu2000())} benchmarks, "
+        f"{len(cpu2000)} intervals, average CPI {cpu2000.y.mean():.3f} "
+        f"(CPU2006: {np.mean(ctx.data(ctx.CPU).y):.3f})",
+        "",
+    ]
+    rows = {}
+    for label, report in (
+        ("within (2006 -> 2006 test)", within),
+        ("generational (2006 -> 2000)", generational),
+        ("cross-family (2006 -> OMP2001)", cross),
+    ):
+        lines.append(f"{label}:")
+        lines.append(f"  {report.metrics}")
+        lines.append(
+            f"  metric verdict: "
+            f"{'transferable' if report.metrics_transferable else 'not transferable'}"
+        )
+        lines.append("")
+        rows[label] = {
+            "C": report.metrics.correlation,
+            "MAE": report.metrics.mae,
+            "transferable": report.metrics_transferable,
+        }
+    ordering = (
+        rows["within (2006 -> 2006 test)"]["MAE"]
+        <= rows["generational (2006 -> 2000)"]["MAE"]
+        <= rows["cross-family (2006 -> OMP2001)"]["MAE"]
+    )
+    lines.append(
+        "MAE ordering within <= generational <= cross-family: "
+        + ("holds" if ordering else "VIOLATED")
+    )
+    rows["ordering_holds"] = ordering
+    return ExperimentResult(
+        experiment_id="E15",
+        title="Extension: generational transferability (CPU2006 -> CPU2000)",
+        text="\n".join(lines),
+        data=rows,
+    )

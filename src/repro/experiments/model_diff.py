@@ -1,0 +1,84 @@
+"""E16 — structural model dissimilarity (extension).
+
+Quantifies the paper's structural explanation of non-transferability:
+"many of the key events that appear in one tree model do not appear in
+the other."  Compares the CPU2006, OMP2001 and CPU2000 trees pairwise
+by split-event overlap — and shows the overlap *predicts* the
+transferability ordering of E8/E15.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.result import ExperimentResult
+from repro.mtree.compare import compare_trees
+from repro.mtree.tree import ModelTree
+from repro.uarch.core2 import build_core2_cost_model
+from repro.uarch.execution import ExecutionEngine
+from repro.workloads.spec_cpu2000 import spec_cpu2000
+from repro.workloads.suite import SuiteGenerationConfig
+
+__all__ = ["run"]
+
+
+def _cpu2000_tree(ctx: ExperimentContext) -> ModelTree:
+    cfg = ctx.config
+    engine = ExecutionEngine(build_core2_cost_model(), cfg.noise)
+    data = spec_cpu2000().generate(
+        SuiteGenerationConfig(
+            total_samples=max(cfg.cpu_samples // 2, 2000),
+            seed=cfg.seed + 2,
+            collector=cfg.collector,
+            noise=cfg.noise,
+        ),
+        engine=engine,
+    )
+    import numpy as np
+
+    from repro.datasets.splits import train_test_split
+
+    rng = np.random.default_rng(cfg.seed + 400)
+    fraction = min(max(cfg.train_fraction * 2, 0.2), 0.5)
+    (train,) = train_test_split(data, (fraction,), rng)
+    return ModelTree(cfg.tree).fit_sample_set(train)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    cpu2006 = ctx.tree(ctx.CPU)
+    omp2001 = ctx.tree(ctx.OMP)
+    cpu2000 = _cpu2000_tree(ctx)
+
+    pairs = {
+        "cpu2006-vs-cpu2000": compare_trees(
+            cpu2006, cpu2000, "CPU2006", "CPU2000"
+        ),
+        "cpu2006-vs-omp2001": compare_trees(
+            cpu2006, omp2001, "CPU2006", "OMP2001"
+        ),
+        "cpu2000-vs-omp2001": compare_trees(
+            cpu2000, omp2001, "CPU2000", "OMP2001"
+        ),
+    }
+    lines = []
+    for comparison in pairs.values():
+        lines.append(comparison.summary())
+        lines.append("")
+    same_family = pairs["cpu2006-vs-cpu2000"].weighted_overlap
+    cross_family = pairs["cpu2006-vs-omp2001"].weighted_overlap
+    lines.append(
+        f"structural overlap predicts transferability: same-family "
+        f"overlap {same_family:.3f} > cross-family overlap "
+        f"{cross_family:.3f} "
+        f"({'consistent' if same_family > cross_family else 'INCONSISTENT'} "
+        f"with E8/E15)"
+    )
+    return ExperimentResult(
+        experiment_id="E16",
+        title="Extension: structural model dissimilarity",
+        text="\n".join(lines),
+        data={
+            "comparisons": pairs,
+            "same_family_overlap": same_family,
+            "cross_family_overlap": cross_family,
+        },
+    )

@@ -1,0 +1,59 @@
+"""E3 / E6 — Tables II and IV: per-benchmark leaf distributions."""
+
+from __future__ import annotations
+
+from repro.characterization.profile import profile_sample_set
+from repro.characterization.report import format_profile_table
+from repro.experiments.context import ExperimentContext
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["run_cpu2006", "run_omp2001"]
+
+
+def _run(ctx: ExperimentContext, which: str, experiment_id: str, table: str) -> ExperimentResult:
+    tree = ctx.tree(which)
+    data = ctx.data(which)
+    profile = profile_sample_set(tree, data)
+    # The observations Section IV.B leads with.
+    largest_lm = max(profile.suite_row, key=profile.suite_row.get)
+    over_half = [
+        p.benchmark for p in profile.benchmarks if p.share(largest_lm) > 50.0
+    ]
+    over_ninety = [
+        p.benchmark for p in profile.benchmarks if p.share(largest_lm) > 90.0
+    ]
+    lines = [
+        f"{table}: sample distribution across linear models by benchmark "
+        f"(shares >= 20% marked with *)",
+        "",
+        format_profile_table(profile),
+        "",
+        f"most populated model: {largest_lm} "
+        f"({profile.suite_row[largest_lm]:.1f}% of suite samples)",
+        f"benchmarks with > 50% of samples in {largest_lm}: "
+        f"{len(over_half)} ({', '.join(over_half)})",
+        f"benchmarks with > 90% of samples in {largest_lm}: "
+        f"{len(over_ninety)} ({', '.join(over_ninety)})",
+    ]
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{table}: {ctx.suite_label(which)} profiles",
+        text="\n".join(lines),
+        data={
+            "profile": profile,
+            "largest_lm": largest_lm,
+            "largest_lm_suite_share": profile.suite_row[largest_lm],
+            "benchmarks_over_50pct": over_half,
+            "benchmarks_over_90pct": over_ninety,
+        },
+    )
+
+
+def run_cpu2006(ctx: ExperimentContext) -> ExperimentResult:
+    """E3 — Table II: SPEC CPU2006 distribution across linear models."""
+    return _run(ctx, ctx.CPU, "E3", "Table II")
+
+
+def run_omp2001(ctx: ExperimentContext) -> ExperimentResult:
+    """E6 — Table IV: SPEC OMP2001 distribution across linear models."""
+    return _run(ctx, ctx.OMP, "E6", "Table IV")

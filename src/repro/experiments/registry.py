@@ -1,0 +1,68 @@
+"""Registry mapping experiment ids to runners."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    ablations,
+    attribution,
+    generational,
+    machine_transfer,
+    model_diff,
+    per_benchmark_error,
+    phase_quality,
+    profiles,
+    robustness,
+    sim_validation,
+    similarity,
+    subsetting_exp,
+    table1,
+    transferability,
+    tree_models,
+    tuning,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
+    "E1": table1.run,
+    "E2": tree_models.run_cpu2006,
+    "E3": profiles.run_cpu2006,
+    "E4": similarity.run,
+    "E5": tree_models.run_omp2001,
+    "E6": profiles.run_omp2001,
+    "E7": transferability.run_ttests,
+    "E8": transferability.run_metrics,
+    "E9": ablations.run_model_comparison,
+    "E10": ablations.run_tree_ablation,
+    "E11": subsetting_exp.run,
+    "E12": tuning.run,
+    "E13": attribution.run,
+    "E14": robustness.run,
+    "E15": generational.run,
+    "E16": model_diff.run,
+    "E17": phase_quality.run,
+    "E18": per_benchmark_error.run,
+    "E19": machine_transfer.run,
+    "E20": sim_validation.run,
+}
+
+
+def run_experiment(
+    experiment_id: str,
+    ctx: Optional[ExperimentContext] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"E3"``), creating a context if needed."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; have {sorted(EXPERIMENTS)}"
+        )
+    if ctx is None:
+        ctx = ExperimentContext(config)
+    return EXPERIMENTS[key](ctx)

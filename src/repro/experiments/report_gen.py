@@ -1,0 +1,143 @@
+"""Full reproduction report generation.
+
+``generate_report`` runs every registered experiment against one shared
+context and assembles a single self-contained text/markdown report —
+the machine-written companion to EXPERIMENTS.md.  Exposed on the CLI as
+``repro report``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.characterization.profile import profile_sample_set
+from repro.characterization.salience import (
+    find_salient_features,
+    render_salience,
+)
+from repro.experiments.context import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["generate_report"]
+
+
+def generate_report(
+    ctx: Optional[ExperimentContext] = None,
+    experiments: Sequence[str] = (),
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Run experiments and return (and optionally write) the report.
+
+    ``experiments`` defaults to every registered id in numeric order.
+    """
+    ctx = ctx or ExperimentContext()
+    ids = list(experiments) or sorted(EXPERIMENTS, key=lambda k: int(k[1:]))
+    unknown = [e for e in ids if e.upper() not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}")
+
+    cfg = ctx.config
+    sections = [
+        "# Reproduction report",
+        "",
+        "Characterization of SPEC CPU2006 and SPEC OMP2001: Regression "
+        "Models and their Transferability (ISPASS 2008)",
+        "",
+        f"- CPU2006 intervals: {cfg.cpu_samples}",
+        f"- OMP2001 intervals: {cfg.omp_samples}",
+        f"- train/test fractions: {cfg.train_fraction:.0%} / "
+        f"{cfg.test_fraction:.0%}",
+        f"- master seed: {cfg.seed}",
+        f"- tree config: min_leaf={cfg.tree.min_leaf}, "
+        f"penalty={cfg.tree.penalty}, smoothing="
+        f"{'on' if cfg.tree.smooth else 'off'}",
+        "",
+    ]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, ctx)
+        sections.append(f"## {result.experiment_id}: {result.title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(result.text)
+        sections.append("```")
+        sections.append("")
+
+    # Close with the Section IV.B-style narratives for both suites.
+    for which in (ctx.CPU, ctx.OMP):
+        profile = profile_sample_set(ctx.tree(which), ctx.data(which))
+        salience = render_salience(find_salient_features(profile))
+        sections.append(f"## Salient profiles: {ctx.suite_label(which)}")
+        sections.append("")
+        sections.append("```")
+        sections.append(salience)
+        sections.append("```")
+        sections.append("")
+
+    # Figure-like views: CPI distributions and the transfer scatter.
+    from repro.viz.ascii_plots import histogram, scatter
+
+    sections.append("## CPI distributions")
+    sections.append("")
+    for which in (ctx.CPU, ctx.OMP):
+        sections.append("```")
+        sections.append(
+            histogram(
+                ctx.data(which).y,
+                bins=16,
+                title=f"{ctx.suite_label(which)} CPI distribution",
+            )
+        )
+        sections.append("```")
+        sections.append("")
+
+    # Marginal correlations: the zeroth-order view the tree improves on.
+    from repro.characterization.correlations import format_cpi_correlations
+
+    sections.append("## Marginal event-CPI correlations")
+    sections.append("")
+    for which in (ctx.CPU, ctx.OMP):
+        sections.append(f"{ctx.suite_label(which)}:")
+        sections.append("```")
+        sections.append(format_cpi_correlations(ctx.data(which)))
+        sections.append("```")
+        sections.append("")
+
+    # Counter-data quality: which event densities the modeling can trust.
+    from repro.pmu.collector import PmuCollector
+    from repro.pmu.diagnostics import data_quality_report, format_quality_table
+
+    collector = PmuCollector(ctx.config.collector)
+    sections.append("## Counter-data quality (CPU2006, multiplexed)")
+    sections.append("")
+    sections.append("```")
+    sections.append(
+        format_quality_table(data_quality_report(ctx.data(ctx.CPU), collector))
+    )
+    sections.append("```")
+    sections.append("")
+
+    sections.append("## Predicted vs. actual (CPU2006 model)")
+    sections.append("")
+    cpu_model = ctx.tree(ctx.CPU)
+    for target, label in (
+        (ctx.test_set(ctx.CPU), "on held-out CPU2006 (transfers)"),
+        (ctx.train_set(ctx.OMP), "on OMP2001 (does not transfer)"),
+    ):
+        sections.append("```")
+        sections.append(
+            scatter(
+                target.y,
+                cpu_model.predict(target.X),
+                title=f"{label}; x = actual CPI, y = predicted CPI, "
+                f"/ = perfect prediction",
+                diagonal=True,
+            )
+        )
+        sections.append("```")
+        sections.append("")
+
+    report = "\n".join(sections)
+    if path is not None:
+        Path(path).write_text(report)
+    return report

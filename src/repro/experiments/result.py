@@ -1,0 +1,27 @@
+"""Uniform experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One experiment's output.
+
+    ``experiment_id`` matches DESIGN.md (e.g. "E3"); ``title`` names
+    the paper artifact ("Table II"); ``text`` is the formatted report;
+    ``data`` holds the structured values benchmarks and tests assert on.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        bar = "=" * 72
+        return f"{bar}\n{self.experiment_id}: {self.title}\n{bar}\n{self.text}"

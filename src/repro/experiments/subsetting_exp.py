@@ -1,0 +1,77 @@
+"""E11 — benchmark subsetting strategy comparison (related work §II).
+
+Compares three ways of choosing k representative CPU2006 benchmarks:
+
+* PCA + k-means medoids over mean-density features ([13]/[14]),
+* greedy matching of the model-tree profile mixture (this paper's
+  machinery), and
+* random selection (the control; best of 20 draws),
+
+scoring each by the representativeness error — the Eq. 4 distance
+between the subset's weighted profile mixture and the full suite's
+profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.characterization.profile import profile_sample_set
+from repro.experiments.context import ExperimentContext
+from repro.experiments.result import ExperimentResult
+from repro.subsetting.features import density_feature_matrix
+from repro.subsetting.select import (
+    greedy_profile_subset,
+    pca_cluster_subset,
+    random_subset,
+)
+
+__all__ = ["run"]
+
+SUBSET_SIZES = (4, 6, 8, 12)
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    data = ctx.data(ctx.CPU)
+    profile = profile_sample_set(ctx.tree(ctx.CPU), data)
+    weights = data.benchmark_weights()
+    names, densities = density_feature_matrix(data)
+
+    rng = np.random.default_rng(ctx.config.seed + 300)
+    lines = [
+        "Representativeness error (Eq. 4 distance of the subset mixture "
+        "to the suite profile; lower is better)",
+        "",
+        f"{'k':>3s}  {'greedy profile':>15s}  {'PCA+k-means':>12s}  "
+        f"{'random(best of 20)':>19s}",
+    ]
+    data_out = {}
+    for k in SUBSET_SIZES:
+        greedy = greedy_profile_subset(profile, weights, k)
+        pca = pca_cluster_subset(
+            names, densities, profile, weights, k, seed=ctx.config.seed
+        )
+        rand = random_subset(profile, weights, k, rng, n_trials=20)
+        lines.append(
+            f"{k:3d}  {greedy.error:14.2f}%  {pca.error:11.2f}%  "
+            f"{rand.error:18.2f}%"
+        )
+        data_out[k] = {
+            "greedy": greedy,
+            "pca_kmeans": pca,
+            "random": rand,
+        }
+    final = data_out[max(SUBSET_SIZES)]
+    lines += [
+        "",
+        f"k={max(SUBSET_SIZES)} subsets:",
+        f"  {final['greedy']}",
+        f"  {final['pca_kmeans']}",
+        f"  {final['random']}",
+    ]
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Extension: benchmark subsetting strategies (related work §II)",
+        text="\n".join(lines),
+        data=data_out,
+    )

@@ -1,0 +1,44 @@
+"""E1 — Table I: the CPU performance metrics used in the study."""
+
+from __future__ import annotations
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.result import ExperimentResult
+from repro.pmu.events import EVENT_TABLE, FIXED_EVENTS, PREDICTOR_EVENTS
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Render the metric catalog plus the counter budget."""
+    name_w = max(len(e.name) for e in EVENT_TABLE) + 2
+    event_w = max(len(e.pmu_event) for e in EVENT_TABLE) + 2
+    lines = [
+        f"{'Metric'.ljust(name_w)}{'PMU event'.ljust(event_w)}Description",
+        "-" * (name_w + event_w + 40),
+    ]
+    for event in EVENT_TABLE:
+        lines.append(
+            f"{event.name.ljust(name_w)}{event.pmu_event.ljust(event_w)}"
+            f"{event.description}"
+        )
+    lines.append("")
+    lines.append(
+        f"Fixed counters: {', '.join(e.pmu_event for e in FIXED_EVENTS)}"
+    )
+    lines.append(
+        f"Programmable events multiplexed 2 at a time: "
+        f"{len(PREDICTOR_EVENTS)} events -> "
+        f"{(len(PREDICTOR_EVENTS) + 1) // 2} rotation groups, duty cycle "
+        f"{2 / len(PREDICTOR_EVENTS):.2f} per interval"
+    )
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Table I: CPU performance metrics used in this study",
+        text="\n".join(lines),
+        data={
+            "n_predictors": len(PREDICTOR_EVENTS),
+            "predictor_names": [e.name for e in PREDICTOR_EVENTS],
+            "fixed_events": [e.pmu_event for e in FIXED_EVENTS],
+        },
+    )

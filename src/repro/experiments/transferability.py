@@ -1,0 +1,165 @@
+"""E7 / E8 — Section VI: model transferability.
+
+Runs the paper's four transfer directions:
+
+* CPU2006 model -> independent CPU2006 test set  (expected: transferable)
+* CPU2006 model -> OMP2001 set                   (expected: not)
+* OMP2001 model -> independent OMP2001 test set  (expected: transferable)
+* OMP2001 model -> CPU2006 set                   (expected: not)
+
+E7 reports the two-sample t statistics against the 1.96 critical value
+(Section VI.A); E8 reports C and MAE against the 0.85 / 0.15 thresholds
+(Section VI.B).  Both are produced from the same
+:func:`repro.transfer.assess.assess_transferability` reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.result import ExperimentResult
+from repro.stats.descriptive import summarize
+from repro.transfer.assess import TransferabilityReport, assess_transferability
+
+__all__ = ["transfer_reports", "run_ttests", "run_metrics", "DIRECTIONS"]
+
+#: (source suite, target suite, expected transferable) per the paper.
+DIRECTIONS: Tuple[Tuple[str, str, bool], ...] = (
+    ("cpu2006", "cpu2006", True),
+    ("cpu2006", "omp2001", False),
+    ("omp2001", "omp2001", True),
+    ("omp2001", "cpu2006", False),
+)
+
+
+def transfer_reports(
+    ctx: ExperimentContext,
+) -> List[Tuple[TransferabilityReport, bool]]:
+    """All four direction reports, each with the paper's expectation."""
+    reports = []
+    for source, target, expected in DIRECTIONS:
+        model = ctx.tree(source)
+        source_set = ctx.train_set(source)
+        # Within-suite: the *independent* test split; cross-suite: the
+        # other suite's training split (what the paper's Section VI uses).
+        target_set = (
+            ctx.test_set(target) if source == target else ctx.train_set(target)
+        )
+        report = assess_transferability(
+            model,
+            source_set,
+            target_set,
+            source_name=ctx.suite_label(source),
+            target_name=ctx.suite_label(target)
+            + (" (independent test set)" if source == target else ""),
+        )
+        reports.append((report, expected))
+    return reports
+
+
+def run_ttests(ctx: ExperimentContext) -> ExperimentResult:
+    """E7 — Section VI.A: two-sample hypothesis tests."""
+    lines = []
+    data: Dict[str, object] = {}
+    all_match = True
+    for report, expected in transfer_reports(ctx):
+        key = f"{report.source_name} -> {report.target_name}"
+        lines.append(key)
+        source_summary = summarize(
+            ctx.train_set(_which(report.source_name)).y
+        )
+        lines.append(f"  source CPI: {source_summary}")
+        lines.append(f"  {report.dependent_test}")
+        lines.append(f"  {report.prediction_test}")
+        verdict = report.hypothesis_transferable
+        match = verdict == expected
+        all_match = all_match and match
+        lines.append(
+            f"  hypothesis-test verdict: "
+            f"{'transferable' if verdict else 'not transferable'} "
+            f"(paper: {'transferable' if expected else 'not transferable'}) "
+            f"{'[MATCH]' if match else '[MISMATCH]'}"
+        )
+        lines.append("")
+        data[key] = {
+            "dependent_t": report.dependent_test.statistic,
+            "prediction_t": report.prediction_test.statistic,
+            "critical": report.dependent_test.critical_value,
+            "transferable": verdict,
+            "expected": expected,
+        }
+    data["all_match_paper"] = all_match
+    return ExperimentResult(
+        experiment_id="E7",
+        title="Section VI.A: two-sample t-tests for transferability",
+        text="\n".join(lines),
+        data=data,
+    )
+
+
+def run_metrics(ctx: ExperimentContext) -> ExperimentResult:
+    """E8 — Section VI.B: prediction accuracy metrics.
+
+    Extends the paper's point estimates with percentile-bootstrap 95%
+    intervals, so each verdict is checked against a whole interval
+    rather than a single draw.
+    """
+    from repro.transfer.bootstrap import bootstrap_metric_intervals
+
+    lines = [
+        "Acceptance thresholds (paper): C > 0.85 and MAE < 0.15",
+        "Paper values: CPU->CPU C=0.9214 MAE=0.0988; "
+        "CPU->OMP C=0.4337 MAE=0.3721",
+        "",
+    ]
+    data: Dict[str, object] = {}
+    all_match = True
+    for report, expected in transfer_reports(ctx):
+        key = f"{report.source_name} -> {report.target_name}"
+        verdict = report.metrics_transferable
+        match = verdict == expected
+        all_match = all_match and match
+        source = ctx.tree(_which(report.source_name))
+        target_set = (
+            ctx.test_set(_which(report.target_name))
+            if report.source_name.split(" (")[0]
+            == report.target_name.split(" (")[0]
+            else ctx.train_set(_which(report.target_name))
+        )
+        intervals = bootstrap_metric_intervals(
+            source.predict(target_set.X),
+            target_set.y,
+            n_resamples=400,
+            seed=ctx.config.seed,
+        )
+        lines.append(key)
+        lines.append(f"  {report.metrics}")
+        lines.append(f"  C   bootstrap 95%: {intervals.correlation}")
+        lines.append(f"  MAE bootstrap 95%: {intervals.mae}")
+        lines.append(
+            f"  metric verdict: "
+            f"{'transferable' if verdict else 'not transferable'} "
+            f"(paper: {'transferable' if expected else 'not transferable'}) "
+            f"{'[MATCH]' if match else '[MISMATCH]'}"
+        )
+        lines.append("")
+        data[key] = {
+            "C": report.metrics.correlation,
+            "MAE": report.metrics.mae,
+            "C_interval": intervals.correlation,
+            "MAE_interval": intervals.mae,
+            "transferable": verdict,
+            "expected": expected,
+        }
+    data["all_match_paper"] = all_match
+    return ExperimentResult(
+        experiment_id="E8",
+        title="Section VI.B: prediction accuracy metrics for transferability",
+        text="\n".join(lines),
+        data=data,
+    )
+
+
+def _which(label: str) -> str:
+    return "cpu2006" if "CPU2006" in label else "omp2001"

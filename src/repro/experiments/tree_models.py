@@ -1,0 +1,76 @@
+"""E2 / E5 — Figures 1 and 2: the per-suite M5' model trees.
+
+Reports the tree structure (root split, split-variable counts, leaf
+count), the Figure-style rendering, and the leaf equations with their
+sample shares and average CPI — the content of Section IV.A / V.A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.result import ExperimentResult
+from repro.mtree.render import render_ascii, render_equations
+from repro.transfer.metrics import prediction_metrics
+
+__all__ = ["run_cpu2006", "run_omp2001"]
+
+
+def _run(ctx: ExperimentContext, which: str, experiment_id: str, figure: str) -> ExperimentResult:
+    tree = ctx.tree(which)
+    train = ctx.train_set(which)
+    test = ctx.test_set(which)
+    metrics = prediction_metrics(tree.predict(test.X), test.y)
+    leaves = sorted(tree.leaves(), key=lambda leaf: -leaf.share)
+    top3 = leaves[:3]
+    top3_share = sum(leaf.share for leaf in top3) * 100
+
+    lines = [
+        f"{ctx.suite_label(which)} model tree "
+        f"(trained on {len(train)} samples = "
+        f"{ctx.config.train_fraction * 100:.0f}% of the suite data)",
+        "",
+        f"root split variable:   {tree.root_split_feature()}",
+        f"linear models:         {tree.n_leaves}",
+        f"tree depth:            {tree.depth()}",
+        f"split variable counts: {tree.split_features()}",
+        f"train-set average CPI: {np.mean(train.y):.3f}",
+        f"held-out accuracy:     {metrics}",
+        "",
+        f"three largest linear models "
+        f"({top3_share:.1f}% of samples, paper: LM1+LM7+LM8 = 68.04%):",
+    ]
+    for leaf in top3:
+        lines.append(
+            f"  {leaf.name}: {leaf.share * 100:.2f}% of samples, "
+            f"avg CPI {leaf.mean_y:.2f}"
+        )
+    lines += ["", "tree:", render_ascii(tree), "", "leaf equations:",
+              render_equations(tree)]
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{figure}: {ctx.suite_label(which)} model tree",
+        text="\n".join(lines),
+        data={
+            "root_feature": tree.root_split_feature(),
+            "n_leaves": tree.n_leaves,
+            "depth": tree.depth(),
+            "split_features": tree.split_features(),
+            "top3_share_pct": top3_share,
+            "largest_leaf_share_pct": leaves[0].share * 100,
+            "test_correlation": metrics.correlation,
+            "test_mae": metrics.mae,
+            "train_mean_cpi": float(np.mean(train.y)),
+        },
+    )
+
+
+def run_cpu2006(ctx: ExperimentContext) -> ExperimentResult:
+    """E2 — Figure 1: SPEC CPU2006 model tree."""
+    return _run(ctx, ctx.CPU, "E2", "Figure 1")
+
+
+def run_omp2001(ctx: ExperimentContext) -> ExperimentResult:
+    """E5 — Figure 2: SPEC OMP2001 model tree."""
+    return _run(ctx, ctx.OMP, "E5", "Figure 2")

@@ -1,0 +1,117 @@
+"""Structural comparison of model trees.
+
+Section VI explains non-transferability structurally: "the
+microarchitectural events that are found most significant ... are very
+different for the two suites" and "many of the key events that appear
+in one tree model do not appear in the other."  This module turns that
+observation into numbers:
+
+* the split-event sets of two trees and their Jaccard overlap,
+* an importance-weighted overlap (events weighted by how much target
+  deviation their splits control), and
+* the leaf-model event usage overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.mtree.importance import split_importance
+from repro.mtree.tree import ModelTree
+
+__all__ = ["ModelComparison", "compare_trees"]
+
+
+def _jaccard(a: FrozenSet[str], b: FrozenSet[str]) -> float:
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Structural similarity of two fitted model trees."""
+
+    name_a: str
+    name_b: str
+    split_events_a: FrozenSet[str]
+    split_events_b: FrozenSet[str]
+    leaf_events_a: FrozenSet[str]
+    leaf_events_b: FrozenSet[str]
+    split_jaccard: float
+    leaf_jaccard: float
+    weighted_overlap: float
+
+    @property
+    def shared_split_events(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.split_events_a & self.split_events_b))
+
+    @property
+    def only_in_a(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.split_events_a - self.split_events_b))
+
+    @property
+    def only_in_b(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.split_events_b - self.split_events_a))
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"model comparison: {self.name_a} vs {self.name_b}",
+                f"  split events {self.name_a}: "
+                f"{sorted(self.split_events_a)}",
+                f"  split events {self.name_b}: "
+                f"{sorted(self.split_events_b)}",
+                f"  shared: {list(self.shared_split_events)}",
+                f"  only in {self.name_a}: {list(self.only_in_a)}",
+                f"  only in {self.name_b}: {list(self.only_in_b)}",
+                f"  split-event Jaccard:      {self.split_jaccard:.3f}",
+                f"  leaf-event Jaccard:       {self.leaf_jaccard:.3f}",
+                f"  importance-weighted overlap: {self.weighted_overlap:.3f}",
+            ]
+        )
+
+
+def _leaf_events(tree: ModelTree) -> FrozenSet[str]:
+    events = set()
+    for leaf in tree.leaves():
+        events.update(leaf.model.active_features())
+    return frozenset(events)
+
+
+def compare_trees(
+    tree_a: ModelTree,
+    tree_b: ModelTree,
+    name_a: str = "A",
+    name_b: str = "B",
+) -> ModelComparison:
+    """Compare the event structure of two fitted trees.
+
+    ``weighted_overlap`` weights each split event by its (normalized)
+    deviation-controlled importance and sums the smaller of the two
+    weights over shared events — 1.0 means both trees distribute their
+    discriminating power over the same events identically, 0.0 means no
+    shared split event at all.
+    """
+    if tree_a.root is None or tree_b.root is None:
+        raise RuntimeError("both trees must be fitted")
+    splits_a = frozenset(tree_a.split_features())
+    splits_b = frozenset(tree_b.split_features())
+    importance_a = split_importance(tree_a)
+    importance_b = split_importance(tree_b)
+    weighted = sum(
+        min(importance_a.get(event, 0.0), importance_b.get(event, 0.0))
+        for event in splits_a | splits_b
+    )
+    return ModelComparison(
+        name_a=name_a,
+        name_b=name_b,
+        split_events_a=splits_a,
+        split_events_b=splits_b,
+        leaf_events_a=_leaf_events(tree_a),
+        leaf_events_b=_leaf_events(tree_b),
+        split_jaccard=_jaccard(splits_a, splits_b),
+        leaf_jaccard=_jaccard(_leaf_events(tree_a), _leaf_events(tree_b)),
+        weighted_overlap=weighted,
+    )

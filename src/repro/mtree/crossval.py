@@ -1,0 +1,97 @@
+"""k-fold cross-validation for model trees.
+
+The paper evaluates on a single independent split; k-fold CV gives the
+same information with variance estimates, which the tuning experiment
+(E12) uses to distinguish real accuracy differences from split luck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datasets.dataset import SampleSet
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+from repro.transfer.metrics import PredictionMetrics, prediction_metrics
+
+__all__ = ["CrossValResult", "kfold_indices", "cross_validate"]
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold (train_idx, test_idx) pairs covering 0..n-1.
+
+    Fold sizes differ by at most one; folds are disjoint and cover all
+    samples exactly once as test data.
+    """
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if n < k:
+        raise ValueError(f"need at least k={k} samples, got {n}")
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    pairs = []
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        pairs.append((train, test))
+    return pairs
+
+
+@dataclass(frozen=True)
+class CrossValResult:
+    """Per-fold metrics plus aggregates."""
+
+    fold_metrics: Tuple[PredictionMetrics, ...]
+    fold_leaves: Tuple[int, ...]
+
+    @property
+    def k(self) -> int:
+        return len(self.fold_metrics)
+
+    @property
+    def mean_mae(self) -> float:
+        return float(np.mean([m.mae for m in self.fold_metrics]))
+
+    @property
+    def std_mae(self) -> float:
+        return float(np.std([m.mae for m in self.fold_metrics]))
+
+    @property
+    def mean_correlation(self) -> float:
+        return float(np.mean([m.correlation for m in self.fold_metrics]))
+
+    @property
+    def mean_leaves(self) -> float:
+        return float(np.mean(self.fold_leaves))
+
+    def __str__(self) -> str:
+        return (
+            f"{self.k}-fold: MAE {self.mean_mae:.4f} +/- {self.std_mae:.4f}, "
+            f"C {self.mean_correlation:.4f}, "
+            f"{self.mean_leaves:.1f} leaves/fold"
+        )
+
+
+def cross_validate(
+    config: ModelTreeConfig,
+    data: SampleSet,
+    k: int = 5,
+    seed: int = 0,
+) -> CrossValResult:
+    """Train/evaluate a tree configuration across k folds."""
+    rng = np.random.default_rng(seed)
+    metrics = []
+    leaves = []
+    for train_idx, test_idx in kfold_indices(len(data), k, rng):
+        train = data.take(train_idx)
+        test = data.take(test_idx)
+        tree = ModelTree(config).fit_sample_set(train)
+        metrics.append(prediction_metrics(tree.predict(test.X), test.y))
+        leaves.append(tree.n_leaves)
+    return CrossValResult(
+        fold_metrics=tuple(metrics), fold_leaves=tuple(leaves)
+    )

@@ -1,0 +1,36 @@
+"""Pruning decision logic.
+
+M5 grows a large tree, then walks it bottom-up: at every interior node
+it fits a single linear model on the node's samples (using only
+attributes that appear in the subtree) and compares that model's
+*adjusted* error against the subtree's adjusted error.  If the single
+model is estimated to do at least as well, the subtree is replaced by
+a leaf — this is what turns most of the grown tree into the paper's
+two-dozen interpretable linear models.
+"""
+
+from __future__ import annotations
+
+from repro.mtree.linear import LinearModel, adjusted_error
+
+__all__ = ["node_model_error", "combine_subtree_errors", "should_prune"]
+
+
+def node_model_error(model: LinearModel, penalty: float = 2.0) -> float:
+    """Adjusted error of a node's own linear model."""
+    return adjusted_error(model.train_mae, model.n_samples, model.n_params, penalty)
+
+
+def combine_subtree_errors(
+    left_error: float, n_left: int, right_error: float, n_right: int
+) -> float:
+    """Sample-weighted adjusted error of a split node's two subtrees."""
+    if n_left <= 0 or n_right <= 0:
+        raise ValueError("both subtrees must contain samples")
+    total = n_left + n_right
+    return (n_left * left_error + n_right * right_error) / total
+
+
+def should_prune(model_error: float, subtree_error: float) -> bool:
+    """Replace the subtree when the single model is at least as good."""
+    return model_error <= subtree_error

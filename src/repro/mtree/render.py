@@ -1,0 +1,108 @@
+"""Rendering model trees the way the paper presents them.
+
+``render_ascii`` produces the Figure 1/2 information as text: every
+split node shows its variable, the share of samples in its subtree and
+the average CPI; every leaf shows its LM name, share and average CPI.
+``render_equations`` lists the leaf equations the way Section IV.A
+prints LM1/LM7/LM8.  ``render_dot`` emits Graphviz for a faithful
+visual reproduction of the figures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mtree.tree import LeafNode, ModelTree, SplitNode, TreeNode
+
+__all__ = ["render_ascii", "render_equations", "render_dot"]
+
+
+def render_ascii(tree: ModelTree) -> str:
+    """Indented text rendering of the tree."""
+    lines: List[str] = []
+
+    def visit(node: TreeNode, depth: int, prefix: str) -> None:
+        pad = "  " * depth
+        if isinstance(node, LeafNode):
+            lines.append(
+                f"{pad}{prefix}{node.name} [{node.share * 100:.2f}% of samples, "
+                f"avg CPI {node.mean_y:.2f}]"
+            )
+            return
+        lines.append(
+            f"{pad}{prefix}({node.feature_name}) [{node.share * 100:.2f}%, "
+            f"avg CPI {node.mean_y:.2f}]"
+        )
+        visit(node.left, depth + 1, f"{node.feature_name} <= {node.threshold:.6g}: ")
+        visit(node.right, depth + 1, f"{node.feature_name} > {node.threshold:.6g}: ")
+
+    root = tree.root
+    if root is None:
+        raise RuntimeError("cannot render an unfitted tree")
+    visit(root, 0, "")
+    return "\n".join(lines)
+
+
+def render_equations(tree: ModelTree, min_share: float = 0.0) -> str:
+    """The leaf equations, largest share first (paper Section IV.A)."""
+    leaves = sorted(tree.leaves(), key=lambda leaf: -leaf.share)
+    lines = []
+    for leaf in leaves:
+        if leaf.share < min_share:
+            continue
+        lines.append(
+            f"{leaf.name} ({leaf.share * 100:.2f}% of samples, "
+            f"avg CPI {leaf.mean_y:.2f}):"
+        )
+        lines.append(f"    {leaf.model.equation()}")
+    return "\n".join(lines)
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def render_dot(tree: ModelTree, title: str = "model tree") -> str:
+    """Graphviz DOT output mirroring the paper's figures.
+
+    Split nodes are ovals labeled with the split variable, subtree
+    sample share and average CPI; leaves are boxes labeled with the LM
+    name, share and average CPI; arcs carry the split criteria.
+    """
+    root = tree.root
+    if root is None:
+        raise RuntimeError("cannot render an unfitted tree")
+    lines = [
+        "digraph model_tree {",
+        f'  label="{_dot_escape(title)}";',
+        "  node [fontname=Helvetica];",
+    ]
+    counter = [0]
+
+    def visit(node: TreeNode) -> str:
+        counter[0] += 1
+        node_id = f"n{counter[0]}"
+        if isinstance(node, LeafNode):
+            label = (
+                f"{node.name}\\n{node.share * 100:.1f}%\\nCPI {node.mean_y:.2f}"
+            )
+            lines.append(f'  {node_id} [shape=box, label="{label}"];')
+            return node_id
+        label = (
+            f"{node.feature_name}\\n{node.share * 100:.1f}%\\n"
+            f"CPI {node.mean_y:.2f}"
+        )
+        lines.append(f'  {node_id} [shape=oval, label="{label}"];')
+        left_id = visit(node.left)
+        right_id = visit(node.right)
+        lines.append(
+            f'  {node_id} -> {left_id} [label="<= {node.threshold:.6g}"];'
+        )
+        lines.append(
+            f'  {node_id} -> {right_id} [label="> {node.threshold:.6g}"];'
+        )
+        return node_id
+
+    visit(root)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Decision-rule extraction: the paper's "detailed recipes".
+
+The abstract promises "detailed recipes for identifying the key
+performance factors".  A model tree *is* such a recipe: every leaf is
+reachable by one conjunction of threshold tests, and inside it one
+linear equation prices each event.  This module flattens a fitted tree
+into those rules — ``IF DtlbMiss <= 0.00019 AND ... THEN CPI = ...`` —
+for reading, for export, and for programmatic consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.mtree.tree import LeafNode, ModelTree, SplitNode, TreeNode
+
+__all__ = ["Condition", "Rule", "extract_rules", "render_rules"]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One threshold test on the path to a leaf."""
+
+    feature: str
+    op: str  # '<=' or '>'
+    threshold: float
+
+    def __str__(self) -> str:
+        return f"{self.feature} {self.op} {self.threshold:.6g}"
+
+    def matches(self, X: np.ndarray, feature_index: int) -> np.ndarray:
+        column = X[:, feature_index]
+        if self.op == "<=":
+            return column <= self.threshold
+        return column > self.threshold
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One leaf as a standalone IF/THEN rule."""
+
+    lm_name: str
+    conditions: Tuple[Condition, ...]
+    equation: str
+    share: float
+    mean_cpi: float
+
+    def __str__(self) -> str:
+        if self.conditions:
+            condition_text = " AND ".join(str(c) for c in self.conditions)
+        else:
+            condition_text = "TRUE"
+        return (
+            f"IF {condition_text}\n"
+            f"THEN {self.equation}"
+            f"    [{self.lm_name}: {self.share * 100:.1f}% of samples, "
+            f"avg CPI {self.mean_cpi:.2f}]"
+        )
+
+
+def extract_rules(tree: ModelTree) -> List[Rule]:
+    """Flatten a fitted tree into one rule per leaf (LM1 first)."""
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    rules: List[Rule] = []
+
+    def visit(node: TreeNode, path: Tuple[Condition, ...]) -> None:
+        if isinstance(node, LeafNode):
+            rules.append(
+                Rule(
+                    lm_name=node.name,
+                    conditions=path,
+                    equation=node.model.equation(),
+                    share=node.share,
+                    mean_cpi=node.mean_y,
+                )
+            )
+            return
+        assert isinstance(node, SplitNode)
+        visit(
+            node.left,
+            path + (Condition(node.feature_name, "<=", node.threshold),),
+        )
+        visit(
+            node.right,
+            path + (Condition(node.feature_name, ">", node.threshold),),
+        )
+
+    visit(tree.root, ())
+    return rules
+
+
+def render_rules(tree: ModelTree, min_share: float = 0.0) -> str:
+    """All rules as text, largest leaves first."""
+    rules = sorted(extract_rules(tree), key=lambda r: -r.share)
+    return "\n\n".join(str(r) for r in rules if r.share >= min_share)

@@ -1,0 +1,126 @@
+"""JSON-compatible serialization of fitted model trees.
+
+``tree_to_dict``/``tree_from_dict`` round-trip a fitted tree through
+plain dicts/lists so models can be archived next to experiment outputs
+(the shape of a characterization study depends on the exact tree, so
+persisting it matters for reproducibility).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.mtree.linear import LinearModel
+from repro.mtree.tree import LeafNode, ModelTree, ModelTreeConfig, SplitNode, TreeNode
+
+__all__ = ["tree_to_dict", "tree_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def _model_to_dict(model: LinearModel) -> Dict[str, Any]:
+    return {
+        "intercept": model.intercept,
+        "coef": model.coef.tolist(),
+        "n_samples": model.n_samples,
+        "train_mae": model.train_mae,
+    }
+
+
+def _model_from_dict(payload: Dict[str, Any], feature_names) -> LinearModel:
+    return LinearModel(
+        feature_names=tuple(feature_names),
+        intercept=float(payload["intercept"]),
+        coef=np.asarray(payload["coef"], dtype=float),
+        n_samples=int(payload["n_samples"]),
+        train_mae=float(payload["train_mae"]),
+    )
+
+
+def _node_to_dict(node: TreeNode) -> Dict[str, Any]:
+    if isinstance(node, LeafNode):
+        return {
+            "kind": "leaf",
+            "name": node.name,
+            "n_samples": node.n_samples,
+            "mean_y": node.mean_y,
+            "share": node.share,
+            "model": _model_to_dict(node.model),
+        }
+    return {
+        "kind": "split",
+        "feature_index": node.feature_index,
+        "feature_name": node.feature_name,
+        "threshold": node.threshold,
+        "n_samples": node.n_samples,
+        "mean_y": node.mean_y,
+        "share": node.share,
+        "model": _model_to_dict(node.model),
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(payload: Dict[str, Any], feature_names) -> TreeNode:
+    if payload["kind"] == "leaf":
+        return LeafNode(
+            model=_model_from_dict(payload["model"], feature_names),
+            n_samples=int(payload["n_samples"]),
+            mean_y=float(payload["mean_y"]),
+            name=str(payload["name"]),
+            share=float(payload["share"]),
+        )
+    if payload["kind"] != "split":
+        raise ValueError(f"unknown node kind {payload.get('kind')!r}")
+    return SplitNode(
+        feature_index=int(payload["feature_index"]),
+        feature_name=str(payload["feature_name"]),
+        threshold=float(payload["threshold"]),
+        left=_node_from_dict(payload["left"], feature_names),
+        right=_node_from_dict(payload["right"], feature_names),
+        model=_model_from_dict(payload["model"], feature_names),
+        n_samples=int(payload["n_samples"]),
+        mean_y=float(payload["mean_y"]),
+        share=float(payload["share"]),
+    )
+
+
+def tree_to_dict(tree: ModelTree) -> Dict[str, Any]:
+    """Serialize a fitted tree to a JSON-compatible dict."""
+    if tree.root is None:
+        raise RuntimeError("cannot serialize an unfitted tree")
+    config = tree.config
+    return {
+        "format_version": _FORMAT_VERSION,
+        "config": {
+            "min_leaf": config.min_leaf,
+            "sd_threshold": config.sd_threshold,
+            "max_depth": config.max_depth,
+            "prune": config.prune,
+            "smooth": config.smooth,
+            "smoothing_k": config.smoothing_k,
+            "eliminate": config.eliminate,
+            "penalty": config.penalty,
+        },
+        "feature_names": list(tree.feature_names),
+        "n_train": tree.n_train,
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def tree_from_dict(payload: Dict[str, Any]) -> ModelTree:
+    """Reconstruct a fitted tree from :func:`tree_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model tree format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    tree = ModelTree(ModelTreeConfig(**payload["config"]))
+    tree.feature_names = tuple(payload["feature_names"])
+    tree.n_train = int(payload["n_train"])
+    tree.root = _node_from_dict(payload["root"], tree.feature_names)
+    tree._finalize_from_loaded()
+    return tree

@@ -1,0 +1,112 @@
+"""M5 prediction smoothing.
+
+When smoothing is enabled, the raw prediction of a leaf is blended with
+the linear models of its ancestors on the way back to the root:
+
+    p' = (n * p_below + k * p_node) / (n + k)
+
+where ``n`` is the number of training samples at the node below and
+``k`` a smoothing constant (Quinlan used 15).  Smoothing compensates
+for sharp discontinuities between adjacent leaf models; the paper's
+WEKA M5' uses it by default.
+
+Because every model involved is linear, the blend can be *composed*
+into the leaves exactly (WEKA does this when it prints a smoothed
+tree): :func:`compose_smoothed` returns an equivalent tree whose leaf
+equations already include the ancestor influence, so its raw
+predictions equal the original tree's smoothed predictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SMOOTHING_K", "smoothed_combine", "compose_smoothed"]
+
+#: Quinlan's default smoothing constant.
+SMOOTHING_K = 15.0
+
+
+def smoothed_combine(
+    below_pred: np.ndarray,
+    below_n: int,
+    node_pred: np.ndarray,
+    k: float = SMOOTHING_K,
+) -> np.ndarray:
+    """Blend a subtree's prediction with its parent model's prediction."""
+    if below_n <= 0:
+        raise ValueError(f"below_n must be positive, got {below_n}")
+    if k < 0:
+        raise ValueError(f"smoothing constant must be non-negative, got {k}")
+    return (below_n * below_pred + k * node_pred) / (below_n + k)
+
+
+def compose_smoothed(tree: "ModelTree") -> "ModelTree":
+    """An equivalent tree with smoothing compiled into the leaf models.
+
+    For each leaf, walk its root-to-leaf path and fold every ancestor's
+    model into the leaf model with the same (n, k) weights the runtime
+    smoothing uses.  The returned tree has ``smooth=False`` and its raw
+    predictions equal the input tree's smoothed predictions exactly
+    (up to floating-point associativity).
+
+    Reading the composed equations shows what the smoothed model
+    *actually* computes — useful because smoothing quietly reintroduces
+    ancestor attributes that leaf-level elimination removed.
+    """
+    from dataclasses import replace as dataclass_replace
+
+    from repro.mtree.linear import LinearModel
+    from repro.mtree.tree import LeafNode, ModelTree, ModelTreeConfig, SplitNode
+
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    k = tree.config.smoothing_k
+
+    def blend(child: LinearModel, child_n: int, parent: LinearModel) -> LinearModel:
+        weight_child = child_n / (child_n + k)
+        weight_parent = k / (child_n + k)
+        return LinearModel(
+            feature_names=child.feature_names,
+            intercept=weight_child * child.intercept
+            + weight_parent * parent.intercept,
+            coef=weight_child * child.coef + weight_parent * parent.coef,
+            n_samples=child.n_samples,
+            train_mae=child.train_mae,
+        )
+
+    def visit(node, ancestors):
+        if isinstance(node, LeafNode):
+            model = node.model
+            n_below = node.n_samples
+            # Fold ancestors nearest-first, exactly as the runtime
+            # smoothing unwinds the recursion.
+            for ancestor in reversed(ancestors):
+                model = blend(model, n_below, ancestor.model)
+                n_below = ancestor.n_samples
+            return LeafNode(
+                model=model,
+                n_samples=node.n_samples,
+                mean_y=node.mean_y,
+                name=node.name,
+                share=node.share,
+            )
+        assert isinstance(node, SplitNode)
+        return SplitNode(
+            feature_index=node.feature_index,
+            feature_name=node.feature_name,
+            threshold=node.threshold,
+            left=visit(node.left, ancestors + [node]),
+            right=visit(node.right, ancestors + [node]),
+            model=node.model,
+            n_samples=node.n_samples,
+            mean_y=node.mean_y,
+            share=node.share,
+        )
+
+    composed = ModelTree(dataclass_replace(tree.config, smooth=False))
+    composed.feature_names = tree.feature_names
+    composed.n_train = tree.n_train
+    composed.root = visit(tree.root, [])
+    composed._finalize_from_loaded()
+    return composed

@@ -1,0 +1,379 @@
+"""The M5' model tree.
+
+:class:`ModelTree` ties the pieces together: SDR growth
+(:mod:`repro.mtree.splitting`), leaf models with attribute elimination
+(:mod:`repro.mtree.linear`), bottom-up pruning
+(:mod:`repro.mtree.pruning`) and prediction smoothing
+(:mod:`repro.mtree.smoothing`).  After fitting, leaves are named LM1,
+LM2, ... left-to-right exactly as in the paper's Figures 1 and 2, and
+:meth:`ModelTree.assign_leaves` classifies arbitrary samples into
+those models — the operation behind Tables II and IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.datasets.dataset import SampleSet
+from repro.mtree.linear import LinearModel, fit_linear_model
+from repro.mtree.pruning import (
+    combine_subtree_errors,
+    node_model_error,
+    should_prune,
+)
+from repro.mtree.smoothing import SMOOTHING_K, smoothed_combine
+from repro.mtree.splitting import find_best_split
+
+__all__ = ["ModelTreeConfig", "LeafNode", "SplitNode", "ModelTree"]
+
+
+@dataclass(frozen=True)
+class ModelTreeConfig:
+    """M5' hyperparameters.
+
+    ``min_leaf`` is WEKA's -M (minimum instances per leaf);
+    ``sd_threshold`` stops splitting once a node's target deviation
+    falls below that fraction of the root's (M5's 5% rule);
+    ``smooth`` enables Quinlan's prediction smoothing;
+    ``penalty`` scales the parameter-count term of the adjusted error.
+    The paper "varied M5' parameters to achieve a balance between
+    tractable model size and good prediction accuracy" — these are the
+    parameters it varied.
+    """
+
+    min_leaf: int = 25
+    sd_threshold: float = 0.05
+    max_depth: int = 12
+    prune: bool = True
+    smooth: bool = True
+    smoothing_k: float = SMOOTHING_K
+    eliminate: bool = True
+    penalty: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.min_leaf < 1:
+            raise ValueError(f"min_leaf must be >= 1, got {self.min_leaf}")
+        if not 0.0 <= self.sd_threshold < 1.0:
+            raise ValueError(
+                f"sd_threshold must be in [0, 1), got {self.sd_threshold}"
+            )
+        if self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {self.max_depth}")
+        if self.smoothing_k < 0:
+            raise ValueError(
+                f"smoothing_k must be non-negative, got {self.smoothing_k}"
+            )
+
+
+@dataclass
+class LeafNode:
+    """A leaf: one linear model plus its training statistics."""
+
+    model: LinearModel
+    n_samples: int
+    mean_y: float
+    name: str = ""
+    share: float = 0.0  # fraction of training samples, filled after fit
+
+
+@dataclass
+class SplitNode:
+    """An interior node: a threshold test plus a model for smoothing."""
+
+    feature_index: int
+    feature_name: str
+    threshold: float
+    left: "TreeNode"
+    right: "TreeNode"
+    model: LinearModel
+    n_samples: int
+    mean_y: float
+    share: float = 0.0
+
+
+TreeNode = Union[LeafNode, SplitNode]
+
+
+class ModelTree:
+    """An M5' regression model tree.
+
+    Typical use::
+
+        tree = ModelTree(ModelTreeConfig(min_leaf=40))
+        tree.fit_sample_set(train)
+        predictions = tree.predict(test.X)
+        leaf_names = tree.assign_leaves(test.X)
+    """
+
+    def __init__(self, config: Optional[ModelTreeConfig] = None) -> None:
+        self.config = config or ModelTreeConfig()
+        self.feature_names: Tuple[str, ...] = ()
+        self.root: Optional[TreeNode] = None
+        self.n_train: int = 0
+        self._leaves: List[LeafNode] = []
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, feature_names: Sequence[str]
+    ) -> "ModelTree":
+        """Fit the tree to samples ``(X, y)``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        feature_names = tuple(feature_names)
+        if X.ndim != 2 or X.shape[1] != len(feature_names):
+            raise ValueError(
+                f"X shape {X.shape} does not match {len(feature_names)} features"
+            )
+        if y.shape != (X.shape[0],):
+            raise ValueError(f"y shape {y.shape} != ({X.shape[0]},)")
+        if X.shape[0] < 2:
+            raise ValueError("need at least 2 samples to fit a model tree")
+        self.feature_names = feature_names
+        self.n_train = X.shape[0]
+        root_sd = float(np.std(y))
+        self.root, _ = self._build(X, y, depth=0, root_sd=root_sd)
+        self._finalize()
+        return self
+
+    def fit_sample_set(self, data: SampleSet) -> "ModelTree":
+        """Fit from a :class:`SampleSet` (CPI as the target)."""
+        return self.fit(data.X, data.y, data.feature_names)
+
+    def _constant_leaf(self, y: np.ndarray) -> LeafNode:
+        model = LinearModel(
+            feature_names=self.feature_names,
+            intercept=float(np.mean(y)),
+            coef=np.zeros(len(self.feature_names)),
+            n_samples=y.size,
+            train_mae=float(np.mean(np.abs(y - np.mean(y)))),
+        )
+        return LeafNode(model=model, n_samples=y.size, mean_y=float(np.mean(y)))
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, depth: int, root_sd: float
+    ) -> Tuple[TreeNode, float]:
+        """Grow and (optionally) prune; returns (node, adjusted error)."""
+        cfg = self.config
+        n = y.size
+        stop = (
+            n < 2 * cfg.min_leaf
+            or depth >= cfg.max_depth
+            or float(np.std(y)) < cfg.sd_threshold * root_sd
+        )
+        split = None if stop else find_best_split(X, y, cfg.min_leaf)
+        if split is None:
+            leaf = self._constant_leaf(y)
+            return leaf, node_model_error(leaf.model, cfg.penalty)
+
+        mask = X[:, split.feature_index] <= split.threshold
+        left, left_error = self._build(X[mask], y[mask], depth + 1, root_sd)
+        right, right_error = self._build(X[~mask], y[~mask], depth + 1, root_sd)
+
+        candidates = sorted(
+            self._subtree_features(left)
+            | self._subtree_features(right)
+            | {self.feature_names[split.feature_index]}
+        )
+        model = fit_linear_model(
+            X,
+            y,
+            self.feature_names,
+            candidate_features=candidates,
+            eliminate=cfg.eliminate,
+            penalty=cfg.penalty,
+        )
+        model_error = node_model_error(model, cfg.penalty)
+        subtree_error = combine_subtree_errors(
+            left_error, self._node_n(left), right_error, self._node_n(right)
+        )
+        if cfg.prune and should_prune(model_error, subtree_error):
+            leaf = LeafNode(model=model, n_samples=n, mean_y=float(np.mean(y)))
+            return leaf, model_error
+        node = SplitNode(
+            feature_index=split.feature_index,
+            feature_name=self.feature_names[split.feature_index],
+            threshold=split.threshold,
+            left=left,
+            right=right,
+            model=model,
+            n_samples=n,
+            mean_y=float(np.mean(y)),
+        )
+        return node, subtree_error
+
+    @staticmethod
+    def _node_n(node: TreeNode) -> int:
+        return node.n_samples
+
+    def _subtree_features(self, node: TreeNode) -> set:
+        """Features used by splits or models anywhere in the subtree."""
+        if isinstance(node, LeafNode):
+            return set(node.model.active_features())
+        return (
+            {node.feature_name}
+            | set(node.model.active_features())
+            | self._subtree_features(node.left)
+            | self._subtree_features(node.right)
+        )
+
+    def _finalize(self) -> None:
+        """Name leaves LM1..LMk left-to-right and fill share fields."""
+        self._leaves = []
+
+        def visit(node: TreeNode) -> None:
+            node.share = node.n_samples / self.n_train
+            if isinstance(node, LeafNode):
+                node.name = f"LM{len(self._leaves) + 1}"
+                self._leaves.append(node)
+            else:
+                visit(node.left)
+                visit(node.right)
+
+        assert self.root is not None
+        visit(self.root)
+
+    def _finalize_from_loaded(self) -> None:
+        """Rebuild the leaf list of a deserialized tree (names kept)."""
+        self._leaves = []
+
+        def visit(node: TreeNode) -> None:
+            if isinstance(node, LeafNode):
+                self._leaves.append(node)
+            else:
+                visit(node.left)
+                visit(node.right)
+
+        visit(self._require_fitted())
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.root is not None
+
+    def _require_fitted(self) -> TreeNode:
+        if self.root is None:
+            raise RuntimeError("model tree is not fitted yet")
+        return self.root
+
+    def leaves(self) -> List[LeafNode]:
+        """All leaves, left-to-right (LM1 first)."""
+        self._require_fitted()
+        return list(self._leaves)
+
+    def leaf_names(self) -> List[str]:
+        return [leaf.name for leaf in self.leaves()]
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves())
+
+    def leaf(self, name: str) -> LeafNode:
+        """Look up a leaf by its LM name."""
+        for candidate in self.leaves():
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no leaf named {name!r}; have {self.leaf_names()}")
+
+    def depth(self) -> int:
+        """Maximum depth (a lone leaf has depth 0)."""
+
+        def measure(node: TreeNode) -> int:
+            if isinstance(node, LeafNode):
+                return 0
+            return 1 + max(measure(node.left), measure(node.right))
+
+        return measure(self._require_fitted())
+
+    def split_features(self) -> Dict[str, int]:
+        """How many split nodes test each feature."""
+        counts: Dict[str, int] = {}
+
+        def visit(node: TreeNode) -> None:
+            if isinstance(node, SplitNode):
+                counts[node.feature_name] = counts.get(node.feature_name, 0) + 1
+                visit(node.left)
+                visit(node.right)
+
+        visit(self._require_fitted())
+        return counts
+
+    def root_split_feature(self) -> Optional[str]:
+        """The most discriminating performance factor (root test)."""
+        root = self._require_fitted()
+        return root.feature_name if isinstance(root, SplitNode) else None
+
+    # -- prediction --------------------------------------------------------
+
+    def _check_X(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"expected (n, {len(self.feature_names)}) inputs, got {X.shape}"
+            )
+        return X
+
+    def predict(self, X: np.ndarray, smooth: Optional[bool] = None) -> np.ndarray:
+        """Predicted CPI per row; smoothing per config unless overridden."""
+        root = self._require_fitted()
+        X = self._check_X(X)
+        use_smoothing = self.config.smooth if smooth is None else smooth
+        out = np.empty(X.shape[0], dtype=float)
+
+        def visit(node: TreeNode, rows: np.ndarray) -> None:
+            if rows.size == 0:
+                return
+            if isinstance(node, LeafNode):
+                out[rows] = node.model.predict(X[rows])
+                return
+            go_left = X[rows, node.feature_index] <= node.threshold
+            left_rows = rows[go_left]
+            right_rows = rows[~go_left]
+            visit(node.left, left_rows)
+            visit(node.right, right_rows)
+            if use_smoothing and self.config.smoothing_k > 0:
+                for child, child_rows in (
+                    (node.left, left_rows),
+                    (node.right, right_rows),
+                ):
+                    if child_rows.size:
+                        out[child_rows] = smoothed_combine(
+                            out[child_rows],
+                            child.n_samples,
+                            node.model.predict(X[child_rows]),
+                            self.config.smoothing_k,
+                        )
+
+        visit(root, np.arange(X.shape[0]))
+        return out
+
+    def assign_leaves(self, X: np.ndarray) -> np.ndarray:
+        """Leaf (LM) name each row is classified into."""
+        root = self._require_fitted()
+        X = self._check_X(X)
+        out = np.empty(X.shape[0], dtype=object)
+
+        def visit(node: TreeNode, rows: np.ndarray) -> None:
+            if rows.size == 0:
+                return
+            if isinstance(node, LeafNode):
+                out[rows] = node.name
+                return
+            go_left = X[rows, node.feature_index] <= node.threshold
+            visit(node.left, rows[go_left])
+            visit(node.right, rows[~go_left])
+
+        visit(root, np.arange(X.shape[0]))
+        return out
+
+    def __repr__(self) -> str:
+        if not self.is_fitted:
+            return "ModelTree(unfitted)"
+        return (
+            f"ModelTree(n_leaves={self.n_leaves}, depth={self.depth()}, "
+            f"n_train={self.n_train})"
+        )

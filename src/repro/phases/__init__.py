@@ -1,0 +1,24 @@
+"""Phase analysis over interval streams.
+
+The subsetting literature the paper reviews ([12]) looks for similar
+*phases* across benchmarks rather than whole-benchmark averages.  The
+workload generator already produces autocorrelated phase structure
+(geometric dwell times); this package detects it back out of the noisy
+observed stream:
+
+* :mod:`repro.phases.detect` — change-point detection on the interval
+  density stream (sliding two-window mean-shift test).
+* :mod:`repro.phases.segments` — segment containers and scoring of a
+  detected segmentation against ground truth.
+"""
+
+from repro.phases.detect import PhaseDetector, PhaseDetectorConfig
+from repro.phases.segments import Segment, boundaries_to_segments, segmentation_score
+
+__all__ = [
+    "PhaseDetector",
+    "PhaseDetectorConfig",
+    "Segment",
+    "boundaries_to_segments",
+    "segmentation_score",
+]

@@ -1,0 +1,75 @@
+"""Segment containers and segmentation scoring."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["Segment", "boundaries_to_segments", "segmentation_score"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A half-open interval range [start, end) of one detected phase."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"invalid segment [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+def boundaries_to_segments(boundaries: Sequence[int], n: int) -> List[Segment]:
+    """Turn sorted change points into a covering list of segments.
+
+    ``boundaries`` are indices where a *new* phase starts (0 excluded);
+    ``n`` is the stream length.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    cuts = sorted(set(boundaries))
+    if cuts and (cuts[0] <= 0 or cuts[-1] >= n):
+        raise ValueError(f"boundaries must lie strictly inside (0, {n})")
+    edges = [0] + cuts + [n]
+    return [Segment(a, b) for a, b in zip(edges[:-1], edges[1:])]
+
+
+def segmentation_score(
+    detected: Sequence[int],
+    truth: Sequence[int],
+    n: int,
+    tolerance: int = 5,
+) -> dict:
+    """Precision/recall of detected change points against ground truth.
+
+    A detected boundary is a hit if it falls within ``tolerance``
+    intervals of an unmatched true boundary (each true boundary can be
+    matched once).  Returns precision, recall and F1.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    detected = sorted(set(detected))
+    truth = sorted(set(truth))
+    unmatched = list(truth)
+    hits = 0
+    for boundary in detected:
+        for i, true_boundary in enumerate(unmatched):
+            if abs(boundary - true_boundary) <= tolerance:
+                hits += 1
+                unmatched.pop(i)
+                break
+    precision = hits / len(detected) if detected else (1.0 if not truth else 0.0)
+    recall = hits / len(truth) if truth else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1, "hits": hits}

@@ -1,0 +1,40 @@
+"""Performance-monitoring-unit substrate.
+
+Simulates the paper's data-collection infrastructure: a Core-2-like PMU
+with three fixed counters (core cycles, instructions retired, reference
+cycles) and two programmable counters that are round-robin multiplexed
+over the remaining events of Table I, sampling 2M-instruction intervals.
+"""
+
+from repro.pmu.events import (
+    CPI,
+    EVENT_TABLE,
+    FIXED_EVENTS,
+    PREDICTOR_EVENTS,
+    PREDICTOR_NAMES,
+    Event,
+    event_by_name,
+)
+from repro.pmu.counters import MultiplexSchedule
+from repro.pmu.collector import CollectorConfig, PmuCollector
+from repro.pmu.constraints import (
+    CounterConstraints,
+    ConstrainedSchedule,
+    build_constrained_schedule,
+)
+
+__all__ = [
+    "ConstrainedSchedule",
+    "CounterConstraints",
+    "build_constrained_schedule",
+    "CPI",
+    "CollectorConfig",
+    "EVENT_TABLE",
+    "Event",
+    "FIXED_EVENTS",
+    "MultiplexSchedule",
+    "PREDICTOR_EVENTS",
+    "PREDICTOR_NAMES",
+    "PmuCollector",
+    "event_by_name",
+]

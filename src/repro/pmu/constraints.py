@@ -1,0 +1,136 @@
+"""Counter-assignment constraints and a constraint-aware scheduler.
+
+Real PMUs restrict which events each counter can measure: on the Core 2
+family several memory and FP events count only on PMC0 or PMC1.  When
+those constraints bind, a naive round-robin schedule is infeasible —
+two PMC0-only events cannot share a rotation group.  This module
+models the restriction and builds a feasible rotation with a greedy
+first-fit scheduler, reporting the (possibly longer) rotation length —
+i.e. the duty-cycle cost of constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["CounterConstraints", "ConstrainedSchedule", "build_constrained_schedule"]
+
+#: Core-2-style restrictions: these Table I events can only be counted
+#: on the named programmable counter (0 or 1); all others are flexible.
+CORE2_EVENT_RESTRICTIONS: Mapping[str, int] = {
+    "L1DMiss": 0,   # MEM_LOAD_RETIRED.* -> PMC0 only
+    "L2Miss": 0,
+    "FpAsst": 1,    # FP_ASSIST -> PMC1 only
+    "Mul": 1,
+    "Div": 1,
+}
+
+
+@dataclass(frozen=True)
+class CounterConstraints:
+    """Which programmable counter(s) each event may use.
+
+    ``restrictions`` maps event name -> required counter index; events
+    not listed may use any counter.
+    """
+
+    n_counters: int = 2
+    restrictions: Mapping[str, int] = field(
+        default_factory=lambda: dict(CORE2_EVENT_RESTRICTIONS)
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_counters < 1:
+            raise ValueError(f"need at least one counter, got {self.n_counters}")
+        for event, counter in self.restrictions.items():
+            if not 0 <= counter < self.n_counters:
+                raise ValueError(
+                    f"event {event!r} restricted to counter {counter}, "
+                    f"but only {self.n_counters} counters exist"
+                )
+
+    def allowed_counters(self, event: str) -> Tuple[int, ...]:
+        if event in self.restrictions:
+            return (self.restrictions[event],)
+        return tuple(range(self.n_counters))
+
+
+@dataclass(frozen=True)
+class ConstrainedSchedule:
+    """A feasible rotation: one (event -> counter) map per time slice."""
+
+    groups: Tuple[Mapping[str, int], ...]
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def duty_cycle(self) -> float:
+        return 1.0 / self.n_groups
+
+    def counter_of(self, event: str) -> Tuple[int, int]:
+        """(group index, counter index) where the event is measured."""
+        for group_index, group in enumerate(self.groups):
+            if event in group:
+                return group_index, group[event]
+        raise KeyError(f"event {event!r} is not scheduled")
+
+    def validate(self, constraints: CounterConstraints) -> None:
+        """Raise if any slice violates the constraints."""
+        for group_index, group in enumerate(self.groups):
+            used: Dict[int, str] = {}
+            for event, counter in group.items():
+                if counter in used:
+                    raise ValueError(
+                        f"group {group_index}: counter {counter} assigned to "
+                        f"both {used[counter]!r} and {event!r}"
+                    )
+                used[counter] = event
+                if counter not in constraints.allowed_counters(event):
+                    raise ValueError(
+                        f"group {group_index}: event {event!r} not allowed "
+                        f"on counter {counter}"
+                    )
+
+
+def build_constrained_schedule(
+    event_names: Sequence[str],
+    constraints: CounterConstraints,
+) -> ConstrainedSchedule:
+    """Greedy first-fit rotation construction.
+
+    Restricted events are placed first (they have fewer options); each
+    event goes into the earliest group with a free, allowed counter.
+    The result is always feasible; with many same-counter restrictions
+    it simply uses more groups than the unconstrained ceiling
+    ``ceil(n_events / n_counters)``.
+    """
+    names = list(event_names)
+    if not names:
+        raise ValueError("at least one event is required")
+    if len(set(names)) != len(names):
+        raise ValueError("event names must be unique")
+    # Most-constrained-first: fewer allowed counters first, stable order.
+    order = sorted(
+        names, key=lambda e: (len(constraints.allowed_counters(e)))
+    )
+    groups: List[Dict[str, int]] = []
+    for event in order:
+        allowed = constraints.allowed_counters(event)
+        placed = False
+        for group in groups:
+            taken = set(group.values())
+            for counter in allowed:
+                if counter not in taken:
+                    group[event] = counter
+                    placed = True
+                    break
+            if placed:
+                break
+        if not placed:
+            groups.append({event: allowed[0]})
+    schedule = ConstrainedSchedule(groups=tuple(groups))
+    schedule.validate(constraints)
+    return schedule

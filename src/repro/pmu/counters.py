@@ -1,0 +1,72 @@
+"""Round-robin multiplexing schedule for the programmable counters.
+
+The Core 2 PMU of the paper has five counters: three fixed (core
+cycles, instructions retired, reference cycles) and two programmable.
+The 20 predictor events of Table I share the two programmable counters,
+each event being observed for a contiguous fraction of every
+2M-instruction interval and its count scaled up by the inverse of that
+fraction.  :class:`MultiplexSchedule` captures that rotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["MultiplexSchedule"]
+
+
+@dataclass(frozen=True)
+class MultiplexSchedule:
+    """Assignment of events to programmable counters over one interval.
+
+    Parameters
+    ----------
+    event_names:
+        The events to multiplex, in rotation order.
+    n_counters:
+        Number of programmable counters available simultaneously.
+    """
+
+    event_names: Tuple[str, ...]
+    n_counters: int = 2
+
+    def __init__(self, event_names: Sequence[str], n_counters: int = 2) -> None:
+        if n_counters < 1:
+            raise ValueError(f"need at least one counter, got {n_counters}")
+        names = tuple(event_names)
+        if not names:
+            raise ValueError("at least one event is required")
+        if len(set(names)) != len(names):
+            raise ValueError("event names must be unique")
+        object.__setattr__(self, "event_names", names)
+        object.__setattr__(self, "n_counters", n_counters)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of rotation groups (time slices) per interval."""
+        n = len(self.event_names)
+        return (n + self.n_counters - 1) // self.n_counters
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of each interval during which any one event is observed.
+
+        With 20 events over 2 counters, each event is live for 1/10 of
+        every interval — the source of the multiplexing estimation noise.
+        """
+        return 1.0 / self.n_groups
+
+    def groups(self) -> List[Tuple[str, ...]]:
+        """The rotation groups, each at most ``n_counters`` events."""
+        names = self.event_names
+        k = self.n_counters
+        return [tuple(names[i : i + k]) for i in range(0, len(names), k)]
+
+    def group_of(self, event_name: str) -> int:
+        """Index of the rotation group that carries ``event_name``."""
+        try:
+            position = self.event_names.index(event_name)
+        except ValueError:
+            raise KeyError(f"event {event_name!r} is not in the schedule") from None
+        return position // self.n_counters

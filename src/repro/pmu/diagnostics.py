@@ -1,0 +1,84 @@
+"""Counter-data quality diagnostics.
+
+Multiplexed counting is an estimation procedure, and some events are
+estimated far worse than others: a rare event observed for a tenth of
+each interval yields single-digit raw counts and double-digit relative
+error.  These diagnostics quantify that per event — which events'
+densities the modeling can trust, and which are noise-dominated — so a
+practitioner can justify longer intervals or dedicated counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.datasets.dataset import SampleSet
+from repro.pmu.collector import PmuCollector
+
+__all__ = ["EventQuality", "data_quality_report", "format_quality_table"]
+
+
+@dataclass(frozen=True)
+class EventQuality:
+    """Observation-quality summary of one event's density column."""
+
+    event: str
+    mean_density: float
+    mean_raw_count: float
+    relative_error: float  # expected Poisson rel. error of one estimate
+
+    @property
+    def well_observed(self) -> bool:
+        """Rule of thumb: <10% expected relative error per interval."""
+        return self.relative_error < 0.10
+
+
+def data_quality_report(
+    data: SampleSet, collector: PmuCollector
+) -> Dict[str, EventQuality]:
+    """Per-event observation quality for a collected sample set.
+
+    The expected per-interval relative error of a multiplex-scaled
+    estimate of a Poisson count N is 1/sqrt(N); N is the density times
+    the observation window (interval length x duty cycle).
+    """
+    if tuple(data.feature_names) != tuple(collector.schedule.event_names):
+        raise ValueError(
+            "sample set schema does not match the collector's event list"
+        )
+    window = collector.duty_cycle * collector.config.interval_instructions
+    report = {}
+    for name in data.feature_names:
+        density = float(data.column(name).mean())
+        raw = density * window
+        report[name] = EventQuality(
+            event=name,
+            mean_density=density,
+            mean_raw_count=raw,
+            relative_error=1.0 / np.sqrt(raw) if raw > 0 else float("inf"),
+        )
+    return report
+
+
+def format_quality_table(
+    report: Dict[str, EventQuality]
+) -> str:
+    """Render the quality report, worst-observed events first."""
+    rows: Tuple[EventQuality, ...] = tuple(
+        sorted(report.values(), key=lambda q: -q.relative_error)
+    )
+    lines = [
+        f"{'event':16s} {'density':>12s} {'raw count':>11s} "
+        f"{'rel.err':>8s}  quality",
+        "-" * 60,
+    ]
+    for q in rows:
+        flag = "ok" if q.well_observed else "NOISY"
+        lines.append(
+            f"{q.event:16s} {q.mean_density:12.3g} {q.mean_raw_count:11.1f} "
+            f"{q.relative_error:8.1%}  {flag}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""The event and metric catalog of Table I.
+
+The paper predicts CPI from 20 per-instruction event densities measured
+on an Intel Core 2 Duo.  Three events have dedicated (fixed) counters;
+the rest share the two programmable counters via round-robin
+multiplexing.
+
+Two rows of Table I were lost to OCR in the source text; the equations
+and Figure 2 use ``LdBlkOlp`` (LOAD_BLOCK.OVERLAP_STORE) prominently,
+and the Core 2 LOAD_BLOCK event family also includes UNTIL_RETIRE,
+so those two complete the catalog of 20 predictors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "Event",
+    "CPI",
+    "FIXED_EVENTS",
+    "PREDICTOR_EVENTS",
+    "PREDICTOR_NAMES",
+    "EVENT_TABLE",
+    "event_by_name",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One PMU-derived per-instruction metric.
+
+    ``name`` is the short metric name used in models and equations;
+    ``pmu_event`` is the underlying hardware event (divided by
+    INST_RETIRED.ANY to get a per-instruction density); ``fixed`` marks
+    events with a dedicated counter (observed for the whole interval,
+    never multiplexed).
+    """
+
+    name: str
+    pmu_event: str
+    description: str
+    fixed: bool = False
+
+
+CPI = Event(
+    name="CPI",
+    pmu_event="CPU_CLK_UNHALTED.CORE",
+    description="CPU clock cycles per instruction (the modeled quantity)",
+    fixed=True,
+)
+
+#: Fixed-counter events besides the two used to form CPI.  These exist in
+#: the collection pipeline but are not predictors (REF cycles track CORE
+#: cycles up to frequency scaling).
+FIXED_EVENTS: Tuple[Event, ...] = (
+    CPI,
+    Event("Instructions", "INST_RETIRED.ANY", "Instructions retired", fixed=True),
+    Event("RefCycles", "CPU_CLK_UNHALTED.REF", "Reference clock cycles", fixed=True),
+)
+
+#: The 20 predictor metrics of Table I, in table order.
+PREDICTOR_EVENTS: Tuple[Event, ...] = (
+    Event("Load", "INST_RETIRED.LOADS", "Loads"),
+    Event("Store", "INST_RETIRED.STORES", "Stores"),
+    Event("MisprBr", "BR_INST_RETIRED.MISPRED", "Mispredicted branches"),
+    Event("Br", "BR_INST_RETIRED.ANY", "Branches"),
+    Event("L1DMiss", "MEM_LOAD_RETIRED.L1D_MISSES", "L1 data misses"),
+    Event("L1IMiss", "L1I_MISSES", "L1 instruction misses"),
+    Event("L2Miss", "MEM_LOAD_RETIRED.L2_MISSES", "L2 misses"),
+    Event("DtlbMiss", "DTLB_MISSES.ANY", "Last level DTLB misses"),
+    Event("LdBlkStA", "LOAD_BLOCK.STA", "Load blocks due to store-address events"),
+    Event("LdBlkStD", "LOAD_BLOCK.STD", "Load blocks due to store-data events"),
+    Event("LdBlkOlp", "LOAD_BLOCK.OVERLAP_STORE", "Loads blocked by overlapping stores"),
+    Event("LdBlkUntilRet", "LOAD_BLOCK.UNTIL_RETIRE", "Loads blocked until retirement"),
+    Event("SplitLoad", "L1D_SPLIT.LOADS", "L1 data splits on loads"),
+    Event("SplitStore", "L1D_SPLIT.STORES", "L1 data splits on stores"),
+    Event("Misalign", "MISALIGN_MEM_REF", "Misaligned memory references"),
+    Event("Div", "DIV", "Divide operations"),
+    Event("PageWalk", "PAGE_WALKS.COUNT", "Page walks"),
+    Event("Mul", "MUL", "Multiply operations"),
+    Event("FpAsst", "FP_ASSIST", "Floating point assists"),
+    Event("SIMD", "SIMD_INST_RETIRED.ANY", "Retired streaming SIMD instructions"),
+)
+
+#: Predictor metric names in canonical column order.
+PREDICTOR_NAMES: Tuple[str, ...] = tuple(e.name for e in PREDICTOR_EVENTS)
+
+#: Full Table I: CPI first, then the 20 predictors.
+EVENT_TABLE: Tuple[Event, ...] = (CPI,) + PREDICTOR_EVENTS
+
+_BY_NAME: Dict[str, Event] = {e.name: e for e in EVENT_TABLE + FIXED_EVENTS[1:]}
+
+
+def event_by_name(name: str) -> Event:
+    """Look up an event by its short metric name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown event {name!r}; known events: {sorted(_BY_NAME)}"
+        ) from None

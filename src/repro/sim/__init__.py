@@ -1,0 +1,41 @@
+"""Event-level microarchitecture simulation.
+
+The main pipeline *specifies* per-phase event densities; this package
+*derives* them, the way the paper's hardware did: synthetic address
+and branch streams run through structural models of the Core 2's
+caches, TLB and branch predictor, and the miss/mispredict densities
+fall out.  Experiment E20 uses it to validate that the density vectors
+the workload specs assert are actually producible by concrete access
+patterns on the modeled structures.
+
+* :mod:`repro.sim.streams` — synthetic address/branch stream generators
+  (sequential streaming, strided, random-in-working-set, pointer chase).
+* :mod:`repro.sim.cache` — set-associative LRU cache model.
+* :mod:`repro.sim.tlb` — fully-associative LRU TLB model.
+* :mod:`repro.sim.branch` — two-bit bimodal branch predictor.
+* :mod:`repro.sim.engine` — runs a stream mix through the hierarchy
+  and reports Table I-style densities.
+"""
+
+from repro.sim.branch import BimodalPredictor
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.engine import SimulatedPhase, simulate_phase
+from repro.sim.streams import (
+    pointer_chase_stream,
+    random_working_set_stream,
+    sequential_stream,
+    strided_stream,
+)
+from repro.sim.tlb import Tlb
+
+__all__ = [
+    "BimodalPredictor",
+    "SetAssociativeCache",
+    "SimulatedPhase",
+    "Tlb",
+    "pointer_chase_stream",
+    "random_working_set_stream",
+    "sequential_stream",
+    "simulate_phase",
+    "strided_stream",
+]

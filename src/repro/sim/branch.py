@@ -1,0 +1,59 @@
+"""Two-bit bimodal branch predictor."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+__all__ = ["BimodalPredictor"]
+
+
+class BimodalPredictor:
+    """A table of saturating two-bit counters indexed by branch PC.
+
+    Counter states 0-1 predict not-taken, 2-3 predict taken; the
+    counter moves toward the actual outcome on every resolution —
+    Smith's classic scheme, a reasonable stand-in for the Core 2's
+    (much fancier) predictor at the fidelity this library needs.
+    """
+
+    def __init__(self, table_entries: int = 4096) -> None:
+        if table_entries <= 0 or table_entries & (table_entries - 1):
+            raise ValueError(
+                f"table size must be a positive power of two, got {table_entries}"
+            )
+        self.table_entries = table_entries
+        self._mask = table_entries - 1
+        self._counters: Dict[int, int] = {}
+        self.branches = 0
+        self.mispredicts = 0
+
+    def reset_counters(self) -> None:
+        self.branches = 0
+        self.mispredicts = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    def resolve(self, pc: int, taken: bool) -> bool:
+        """Predict and update one branch; returns True if predicted right."""
+        index = pc & self._mask
+        counter = self._counters.get(index, 2)  # weakly taken initially
+        predicted_taken = counter >= 2
+        correct = predicted_taken == taken
+        self.branches += 1
+        if not correct:
+            self.mispredicts += 1
+        if taken and counter < 3:
+            counter += 1
+        elif not taken and counter > 0:
+            counter -= 1
+        self._counters[index] = counter
+        return correct
+
+    def resolve_many(self, pcs: Iterable[int], outcomes: Iterable[bool]) -> int:
+        """Resolve a stream; returns the number of mispredicts."""
+        before = self.mispredicts
+        for pc, taken in zip(pcs, outcomes):
+            self.resolve(int(pc), bool(taken))
+        return self.mispredicts - before

@@ -1,0 +1,113 @@
+"""Synthetic address and branch streams.
+
+Each generator returns an integer numpy array of byte addresses with a
+characteristic locality structure — the access-pattern vocabulary that
+the SPEC codes are commonly described with:
+
+* ``sequential_stream`` — unit-stride streaming over a large array
+  (470.lbm-style sweeps): perfect spatial locality, no temporal reuse.
+* ``strided_stream`` — fixed-stride accesses (column-major matrix
+  walks): spatial locality controlled by the stride/line ratio.
+* ``random_working_set_stream`` — uniform accesses within a working
+  set (hash tables): hit rate controlled by working-set size vs cache.
+* ``pointer_chase_stream`` — a random permutation cycle over a large
+  region (429.mcf-style linked structures): no spatial locality and no
+  short-term reuse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sequential_stream",
+    "strided_stream",
+    "random_working_set_stream",
+    "pointer_chase_stream",
+    "interleave_streams",
+]
+
+
+def _check(n: int, region_bytes: int) -> None:
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if region_bytes <= 0:
+        raise ValueError(f"region_bytes must be positive, got {region_bytes}")
+
+
+def sequential_stream(
+    n: int, region_bytes: int, element_bytes: int = 8, base: int = 0
+) -> np.ndarray:
+    """Unit-stride sweep over a region, wrapping around."""
+    _check(n, region_bytes)
+    offsets = (np.arange(n, dtype=np.int64) * element_bytes) % region_bytes
+    return base + offsets
+
+
+def strided_stream(
+    n: int, region_bytes: int, stride_bytes: int, base: int = 0
+) -> np.ndarray:
+    """Fixed-stride walk over a region, wrapping around."""
+    _check(n, region_bytes)
+    if stride_bytes <= 0:
+        raise ValueError(f"stride_bytes must be positive, got {stride_bytes}")
+    offsets = (np.arange(n, dtype=np.int64) * stride_bytes) % region_bytes
+    return base + offsets
+
+
+def random_working_set_stream(
+    n: int,
+    working_set_bytes: int,
+    rng: np.random.Generator,
+    element_bytes: int = 8,
+    base: int = 0,
+) -> np.ndarray:
+    """Uniform random accesses within a working set."""
+    _check(n, working_set_bytes)
+    n_elements = max(working_set_bytes // element_bytes, 1)
+    indices = rng.integers(0, n_elements, size=n)
+    return base + indices * element_bytes
+
+
+def interleave_streams(*streams: np.ndarray) -> np.ndarray:
+    """Round-robin interleave several equal-length streams.
+
+    Models code whose inner loop touches several structures per
+    iteration (e.g. a stream of matrix data plus an index array).
+    """
+    if not streams:
+        raise ValueError("at least one stream is required")
+    arrays = [np.asarray(s, dtype=np.int64) for s in streams]
+    length = arrays[0].size
+    if any(a.size != length for a in arrays) or length == 0:
+        raise ValueError("streams must be non-empty and of equal length")
+    out = np.empty(length * len(arrays), dtype=np.int64)
+    for i, a in enumerate(arrays):
+        out[i :: len(arrays)] = a
+    return out
+
+
+def pointer_chase_stream(
+    n: int,
+    region_bytes: int,
+    rng: np.random.Generator,
+    node_bytes: int = 64,
+    base: int = 0,
+) -> np.ndarray:
+    """Follow a random permutation cycle of nodes (linked-list walk).
+
+    Every node is visited before any repeats: the worst case for both
+    caches and TLBs once the region exceeds their reach.
+    """
+    _check(n, region_bytes)
+    n_nodes = max(region_bytes // node_bytes, 2)
+    order = rng.permutation(n_nodes)
+    # next[order[i]] = order[i+1]: one big cycle.
+    next_node = np.empty(n_nodes, dtype=np.int64)
+    next_node[order] = np.roll(order, -1)
+    addresses = np.empty(n, dtype=np.int64)
+    node = int(order[0])
+    for i in range(n):
+        addresses[i] = base + node * node_bytes
+        node = int(next_node[node])
+    return addresses

@@ -1,0 +1,57 @@
+"""Fully-associative LRU translation lookaside buffer."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+__all__ = ["Tlb"]
+
+
+class Tlb:
+    """A fully-associative LRU TLB over fixed-size pages.
+
+    The Core 2's second-level DTLB holds 256 4-KiB entries; a miss
+    triggers a page walk (counted one-for-one, matching the PageWalk
+    event of Table I).
+    """
+
+    def __init__(self, entries: int = 256, page_bytes: int = 4096) -> None:
+        if entries <= 0:
+            raise ValueError(f"entries must be positive, got {entries}")
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise ValueError(
+                f"page size must be a positive power of two, got {page_bytes}"
+            )
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.accesses = 0
+        self.misses = 0
+
+    def reset_counters(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def access(self, address: int) -> bool:
+        """Translate one address; returns True on TLB hit."""
+        page = address // self.page_bytes
+        self.accesses += 1
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            return True
+        self.misses += 1
+        self._pages[page] = None
+        if len(self._pages) > self.entries:
+            self._pages.popitem(last=False)
+        return False
+
+    def access_many(self, addresses: Iterable[int]) -> int:
+        before = self.misses
+        for address in addresses:
+            self.access(int(address))
+        return self.misses - before

@@ -1,0 +1,61 @@
+"""Statistics substrate.
+
+Everything the transferability analysis of the paper (Section VI) needs,
+implemented from first principles:
+
+* :mod:`repro.stats.special` — special functions (erf, log-gamma,
+  regularized incomplete beta/gamma) via series and continued fractions.
+* :mod:`repro.stats.distributions` — Normal, Student-t, F and chi-square
+  distributions built on the special functions.
+* :mod:`repro.stats.descriptive` — the unbiased estimators of
+  Equations 8-11 of the paper plus general descriptive summaries.
+
+scipy is deliberately *not* imported here; it is only used in the test
+suite as an oracle to validate these implementations.
+"""
+
+from repro.stats.descriptive import (
+    Summary,
+    corrcoef,
+    covariance,
+    mean,
+    sample_std,
+    sample_var,
+    standard_error_of_difference,
+    summarize,
+)
+from repro.stats.distributions import (
+    ChiSquare,
+    FDistribution,
+    Normal,
+    StudentT,
+)
+from repro.stats.special import (
+    erf,
+    erfc,
+    log_beta,
+    log_gamma,
+    regularized_incomplete_beta,
+    regularized_lower_gamma,
+)
+
+__all__ = [
+    "ChiSquare",
+    "FDistribution",
+    "Normal",
+    "StudentT",
+    "Summary",
+    "corrcoef",
+    "covariance",
+    "erf",
+    "erfc",
+    "log_beta",
+    "log_gamma",
+    "mean",
+    "regularized_incomplete_beta",
+    "regularized_lower_gamma",
+    "sample_std",
+    "sample_var",
+    "standard_error_of_difference",
+    "summarize",
+]

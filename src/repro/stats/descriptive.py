@@ -1,0 +1,131 @@
+"""Descriptive estimators — Equations 8-11 of the paper.
+
+The paper estimates means (Eq. 8), unbiased variances (Eq. 9) and the
+standard error of the difference between two sample means (Eqs. 10-11)
+before forming the two-sample t statistics.  Those estimators live
+here, together with covariance/correlation used by the prediction
+accuracy metrics (Eq. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Summary",
+    "mean",
+    "sample_var",
+    "sample_std",
+    "covariance",
+    "corrcoef",
+    "standard_error_of_difference",
+    "summarize",
+]
+
+
+def _as_array(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D sequence, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("expected a non-empty sequence")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("sequence contains NaN or infinite values")
+    return arr
+
+
+def mean(values: Sequence[float]) -> float:
+    """Sample mean (Eq. 8)."""
+    return float(_as_array(values).mean())
+
+
+def sample_var(values: Sequence[float]) -> float:
+    """Unbiased sample variance with the n-1 denominator (Eq. 9)."""
+    arr = _as_array(values)
+    if arr.size < 2:
+        raise ValueError("sample variance requires at least 2 observations")
+    return float(arr.var(ddof=1))
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Unbiased-variance-based sample standard deviation."""
+    return float(np.sqrt(sample_var(values)))
+
+
+def covariance(x: Sequence[float], y: Sequence[float]) -> float:
+    """Unbiased sample covariance between two equal-length sequences."""
+    ax, ay = _as_array(x), _as_array(y)
+    if ax.size != ay.size:
+        raise ValueError(f"length mismatch: {ax.size} vs {ay.size}")
+    if ax.size < 2:
+        raise ValueError("covariance requires at least 2 observations")
+    return float(np.cov(ax, ay, ddof=1)[0, 1])
+
+
+def corrcoef(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient.
+
+    This is the paper's metric ``C`` (Eq. 12) when ``x`` holds the
+    predicted values and ``y`` the actual values.  Returns 0.0 when
+    either sequence is constant (no linear relationship measurable).
+    """
+    ax, ay = _as_array(x), _as_array(y)
+    if ax.size != ay.size:
+        raise ValueError(f"length mismatch: {ax.size} vs {ay.size}")
+    sx = ax.std(ddof=1)
+    sy = ay.std(ddof=1)
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(np.cov(ax, ay, ddof=1)[0, 1] / (sx * sy))
+
+
+def standard_error_of_difference(
+    var_a: float, n_a: int, var_b: float, n_b: int
+) -> float:
+    """Unbiased standard error of the difference of two means (Eqs. 10-11).
+
+    ``sqrt(S_a^2 / n_a + S_b^2 / n_b)`` — the unpooled (Welch-style) form
+    used by the paper for both the L1-vs-L2 and actual-vs-predicted tests.
+    """
+    if n_a < 2 or n_b < 2:
+        raise ValueError("each sample needs at least 2 observations")
+    if var_a < 0.0 or var_b < 0.0:
+        raise ValueError("variances must be non-negative")
+    return float(np.sqrt(var_a / n_a + var_b / n_b))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive summary of one sample, in the paper's notation."""
+
+    n: int
+    mean: float
+    var: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.6g} std={self.std:.6g} "
+            f"min={self.minimum:.6g} median={self.median:.6g} max={self.maximum:.6g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute the full descriptive summary of a sample."""
+    arr = _as_array(values)
+    var = float(arr.var(ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        var=var,
+        std=float(np.sqrt(var)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )

@@ -1,0 +1,167 @@
+"""Probability distributions needed by the hypothesis tests.
+
+Each distribution exposes ``cdf`` and ``sf`` (survival function) plus a
+``two_sided_p(statistic)`` helper where that notion makes sense, and an
+inverse CDF via bisection (``ppf``) so the tests can report critical
+values like the paper's 1.960 threshold at 95% confidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.stats.special import (
+    erf,
+    regularized_incomplete_beta,
+    regularized_lower_gamma,
+)
+
+__all__ = ["Normal", "StudentT", "FDistribution", "ChiSquare"]
+
+
+def _bisect_ppf(cdf, p: float, lo: float, hi: float, tol: float = 1e-12) -> float:
+    """Invert a monotone CDF by bisection on a bracketing interval."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"ppf requires 0 < p < 1, got {p}")
+    # Expand the bracket until it contains the quantile.
+    for _ in range(200):
+        if cdf(lo) <= p:
+            break
+        lo *= 2.0 if lo < 0 else 0.5
+        lo = lo if lo != 0.0 else -1.0
+    for _ in range(200):
+        if cdf(hi) >= p:
+            break
+        hi *= 2.0 if hi > 0 else 0.5
+        hi = hi if hi != 0.0 else 1.0
+    for _ in range(400):
+        mid = 0.5 * (lo + hi)
+        if cdf(mid) < p:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol * max(1.0, abs(hi)):
+            break
+    return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class Normal:
+    """Normal distribution with the given mean and standard deviation."""
+
+    mu: float = 0.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0.0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+
+    def cdf(self, x: float) -> float:
+        z = (x - self.mu) / (self.sigma * math.sqrt(2.0))
+        return 0.5 * (1.0 + erf(z))
+
+    def sf(self, x: float) -> float:
+        return 1.0 - self.cdf(x)
+
+    def pdf(self, x: float) -> float:
+        z = (x - self.mu) / self.sigma
+        return math.exp(-0.5 * z * z) / (self.sigma * math.sqrt(2.0 * math.pi))
+
+    def ppf(self, p: float) -> float:
+        return _bisect_ppf(self.cdf, p, self.mu - 20 * self.sigma, self.mu + 20 * self.sigma)
+
+    def two_sided_p(self, statistic: float) -> float:
+        """P(|Z| >= |statistic|) for the standardized statistic."""
+        z = abs(statistic - self.mu) / self.sigma
+        return 2.0 * Normal().sf(z)
+
+
+@dataclass(frozen=True)
+class StudentT:
+    """Student-t distribution with ``df`` degrees of freedom."""
+
+    df: float
+
+    def __post_init__(self) -> None:
+        if self.df <= 0.0:
+            raise ValueError(f"degrees of freedom must be positive, got {self.df}")
+
+    def cdf(self, x: float) -> float:
+        if x == 0.0:
+            return 0.5
+        tail = 0.5 * regularized_incomplete_beta(
+            0.5 * self.df, 0.5, self.df / (self.df + x * x)
+        )
+        return 1.0 - tail if x > 0.0 else tail
+
+    def sf(self, x: float) -> float:
+        return self.cdf(-x)
+
+    def ppf(self, p: float) -> float:
+        return _bisect_ppf(self.cdf, p, -50.0, 50.0)
+
+    def two_sided_p(self, statistic: float) -> float:
+        """P(|T| >= |statistic|)."""
+        return regularized_incomplete_beta(
+            0.5 * self.df, 0.5, self.df / (self.df + statistic * statistic)
+        )
+
+    def critical_value(self, confidence: float = 0.95) -> float:
+        """Two-sided critical value, e.g. ~1.960 at 95% for large df."""
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+        return self.ppf(0.5 + confidence / 2.0)
+
+
+@dataclass(frozen=True)
+class FDistribution:
+    """F distribution with ``dfn`` numerator and ``dfd`` denominator df."""
+
+    dfn: float
+    dfd: float
+
+    def __post_init__(self) -> None:
+        if self.dfn <= 0.0 or self.dfd <= 0.0:
+            raise ValueError(
+                f"degrees of freedom must be positive, got dfn={self.dfn}, dfd={self.dfd}"
+            )
+
+    def cdf(self, x: float) -> float:
+        if x <= 0.0:
+            return 0.0
+        return regularized_incomplete_beta(
+            0.5 * self.dfn, 0.5 * self.dfd, self.dfn * x / (self.dfn * x + self.dfd)
+        )
+
+    def sf(self, x: float) -> float:
+        if x <= 0.0:
+            return 1.0
+        return regularized_incomplete_beta(
+            0.5 * self.dfd, 0.5 * self.dfn, self.dfd / (self.dfn * x + self.dfd)
+        )
+
+    def ppf(self, p: float) -> float:
+        return _bisect_ppf(self.cdf, p, 1e-12, 1e6)
+
+
+@dataclass(frozen=True)
+class ChiSquare:
+    """Chi-square distribution with ``df`` degrees of freedom."""
+
+    df: float
+
+    def __post_init__(self) -> None:
+        if self.df <= 0.0:
+            raise ValueError(f"degrees of freedom must be positive, got {self.df}")
+
+    def cdf(self, x: float) -> float:
+        if x <= 0.0:
+            return 0.0
+        return regularized_lower_gamma(0.5 * self.df, 0.5 * x)
+
+    def sf(self, x: float) -> float:
+        return 1.0 - self.cdf(x)
+
+    def ppf(self, p: float) -> float:
+        return _bisect_ppf(self.cdf, p, 1e-12, 1e7)

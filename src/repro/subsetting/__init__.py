@@ -1,0 +1,43 @@
+"""Benchmark subsetting — the related-work application (Section II).
+
+The studies the paper builds on ([11], [13], [14]) select representative
+benchmark subsets for (expensive) simulation using PCA plus clustering
+over per-benchmark feature vectors.  This package reproduces that
+pipeline from scratch and adds the model-tree alternative the paper's
+profiles enable:
+
+* :mod:`repro.subsetting.pca` — principal component analysis (SVD).
+* :mod:`repro.subsetting.kmeans` — k-means with k-means++ seeding.
+* :mod:`repro.subsetting.features` — per-benchmark feature vectors
+  (raw event-density means, or leaf-profile shares).
+* :mod:`repro.subsetting.select` — subsetting strategies: PCA+k-means
+  medoids, greedy profile matching, and random selection, plus the
+  representativeness error that scores them.
+"""
+
+from repro.subsetting.features import (
+    density_feature_matrix,
+    profile_feature_matrix,
+)
+from repro.subsetting.kmeans import KMeans, KMeansResult
+from repro.subsetting.pca import PCA
+from repro.subsetting.select import (
+    SubsetResult,
+    greedy_profile_subset,
+    pca_cluster_subset,
+    random_subset,
+    representativeness_error,
+)
+
+__all__ = [
+    "KMeans",
+    "KMeansResult",
+    "PCA",
+    "SubsetResult",
+    "density_feature_matrix",
+    "greedy_profile_subset",
+    "pca_cluster_subset",
+    "profile_feature_matrix",
+    "random_subset",
+    "representativeness_error",
+]

@@ -1,0 +1,45 @@
+"""Per-benchmark feature vectors for subsetting.
+
+Two views of a benchmark:
+
+* *density features* — the mean per-instruction event densities, the
+  microarchitecture-dependent view used by [13];
+* *profile features* — the distribution over the model tree's linear
+  models (the rows of Tables II/IV), the view this paper's machinery
+  makes possible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.characterization.profile import SuiteProfile
+from repro.datasets.dataset import SampleSet
+
+__all__ = ["density_feature_matrix", "profile_feature_matrix"]
+
+
+def density_feature_matrix(data: SampleSet) -> Tuple[List[str], np.ndarray]:
+    """(benchmark names, mean-density matrix) for a sample set.
+
+    Rows follow ``data.benchmark_names()`` order; columns are the
+    sample set's features.
+    """
+    names = data.benchmark_names()
+    if names == [""]:
+        raise ValueError("sample set has no benchmark labels")
+    matrix = np.array(
+        [data.for_benchmark(name).X.mean(axis=0) for name in names]
+    )
+    return names, matrix
+
+
+def profile_feature_matrix(profile: SuiteProfile) -> Tuple[List[str], np.ndarray]:
+    """(benchmark names, leaf-share matrix) from a suite profile.
+
+    Shares are percentages, one column per linear model.
+    """
+    names = [p.benchmark for p in profile.benchmarks]
+    return names, profile.as_matrix()

@@ -1,0 +1,127 @@
+"""k-means clustering with k-means++ seeding (numpy only).
+
+Used by the PCA+clustering subsetting pipeline of [13]/[14]: cluster
+the benchmarks in PCA space, then keep the medoid of every cluster as
+the suite's representative subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeans", "KMeansResult"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """One clustering outcome."""
+
+    centers: np.ndarray  # (k, d)
+    labels: np.ndarray  # (n,)
+    inertia: float
+    n_iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centers.shape[0]
+
+    def medoid_indices(self, X: np.ndarray) -> np.ndarray:
+        """Index of the sample closest to each cluster center."""
+        X = np.asarray(X, dtype=float)
+        medoids = []
+        for cluster in range(self.k):
+            members = np.nonzero(self.labels == cluster)[0]
+            if members.size == 0:
+                continue
+            d2 = np.sum((X[members] - self.centers[cluster]) ** 2, axis=1)
+            medoids.append(int(members[np.argmin(d2)]))
+        return np.array(sorted(medoids), dtype=int)
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding and restarts."""
+
+    def __init__(
+        self,
+        k: int,
+        n_restarts: int = 8,
+        max_iterations: int = 200,
+        tol: float = 1e-9,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if n_restarts < 1:
+            raise ValueError(f"n_restarts must be >= 1, got {n_restarts}")
+        self.k = k
+        self.n_restarts = n_restarts
+        self.max_iterations = max_iterations
+        self.tol = tol
+        self.seed = seed
+
+    def fit(self, X: np.ndarray) -> KMeansResult:
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] < self.k:
+            raise ValueError(
+                f"need at least k={self.k} samples, got {X.shape[0]}"
+            )
+        rng = np.random.default_rng(self.seed)
+        best: KMeansResult | None = None
+        for _ in range(self.n_restarts):
+            result = self._run_once(X, rng)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    def _seed_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++: spread initial centers by squared distance."""
+        n = X.shape[0]
+        centers = [X[rng.integers(n)]]
+        for _ in range(1, self.k):
+            d2 = np.min(
+                [np.sum((X - c) ** 2, axis=1) for c in centers], axis=0
+            )
+            total = d2.sum()
+            if total == 0.0:
+                centers.append(X[rng.integers(n)])
+                continue
+            centers.append(X[rng.choice(n, p=d2 / total)])
+        return np.array(centers)
+
+    def _run_once(self, X: np.ndarray, rng: np.random.Generator) -> KMeansResult:
+        centers = self._seed_centers(X, rng)
+        labels = np.zeros(X.shape[0], dtype=int)
+        for iteration in range(1, self.max_iterations + 1):
+            d2 = (
+                np.sum(X**2, axis=1)[:, None]
+                - 2.0 * X @ centers.T
+                + np.sum(centers**2, axis=1)[None, :]
+            )
+            labels = np.argmin(d2, axis=1)
+            new_centers = centers.copy()
+            for cluster in range(self.k):
+                members = X[labels == cluster]
+                if members.shape[0]:
+                    new_centers[cluster] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    farthest = int(np.argmax(np.min(d2, axis=1)))
+                    new_centers[cluster] = X[farthest]
+            shift = float(np.max(np.abs(new_centers - centers)))
+            centers = new_centers
+            if shift < self.tol:
+                break
+        d2 = np.min(
+            np.sum((X[:, None, :] - centers[None, :, :]) ** 2, axis=2), axis=1
+        )
+        return KMeansResult(
+            centers=centers,
+            labels=labels,
+            inertia=float(d2.sum()),
+            n_iterations=iteration,
+        )

@@ -1,0 +1,113 @@
+"""Principal component analysis via singular value decomposition.
+
+The subsetting studies the paper cites project per-benchmark feature
+vectors onto a handful of principal components before clustering,
+because the raw 20-event space is strongly correlated (loads correlate
+with L1D misses, DTLB misses with page walks, ...).  This is a
+standard-score PCA: columns are centered and (optionally) scaled to
+unit variance before the SVD.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """PCA fitted by SVD on standardized data.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep; ``None`` keeps all.
+    standardize:
+        Scale columns to unit variance (recommended: the Table I
+        densities span four orders of magnitude).
+    """
+
+    def __init__(
+        self, n_components: Optional[int] = None, standardize: bool = True
+    ) -> None:
+        if n_components is not None and n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.standardize = standardize
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None  # (k, d)
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        n, d = X.shape
+        if n < 2:
+            raise ValueError("PCA needs at least 2 samples")
+        self.mean_ = X.mean(axis=0)
+        if self.standardize:
+            scale = X.std(axis=0)
+            scale[scale == 0.0] = 1.0
+        else:
+            scale = np.ones(d)
+        self.scale_ = scale
+        Z = (X - self.mean_) / self.scale_
+        # SVD of the centered matrix: right singular vectors are the
+        # principal directions; singular values give the variances.
+        _, s, vt = np.linalg.svd(Z, full_matrices=False)
+        k = min(self.n_components or d, vt.shape[0])
+        self.components_ = vt[:k]
+        variance = (s**2) / (n - 1)
+        self.explained_variance_ = variance[:k]
+        total = variance.sum()
+        self.explained_variance_ratio_ = (
+            variance[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.components_ is None:
+            raise RuntimeError("PCA is not fitted")
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project rows of ``X`` onto the principal components."""
+        self._require_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.mean_.size:
+            raise ValueError(
+                f"expected (n, {self.mean_.size}) inputs, got {X.shape}"
+            )
+        return (X - self.mean_) / self.scale_ @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, scores: np.ndarray) -> np.ndarray:
+        """Reconstruct (approximately) from component scores."""
+        self._require_fitted()
+        scores = np.asarray(scores, dtype=float)
+        if scores.ndim != 2 or scores.shape[1] != self.components_.shape[0]:
+            raise ValueError(
+                f"expected (n, {self.components_.shape[0]}) scores, "
+                f"got {scores.shape}"
+            )
+        return scores @ self.components_ * self.scale_ + self.mean_
+
+    def n_components_for_variance(self, fraction: float) -> int:
+        """Smallest component count explaining >= ``fraction`` variance.
+
+        [13] keeps the components covering ~85-90% of the variance.
+        """
+        self._require_fitted()
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        cumulative = np.cumsum(self.explained_variance_ratio_)
+        indices = np.nonzero(cumulative >= fraction - 1e-12)[0]
+        if indices.size == 0:
+            return int(self.components_.shape[0])
+        return int(indices[0]) + 1

@@ -1,0 +1,204 @@
+"""Subset selection strategies and their common score.
+
+All strategies return a :class:`SubsetResult`; all are scored by
+:func:`representativeness_error` — the Equation 4 distance between the
+weighted profile mixture of the chosen subset and the full suite's
+profile.  Lower is better; 0 means the subset reproduces the suite's
+behaviour distribution exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.characterization.profile import SuiteProfile
+from repro.characterization.similarity import l1_difference
+from repro.subsetting.kmeans import KMeans
+from repro.subsetting.pca import PCA
+
+__all__ = [
+    "SubsetResult",
+    "representativeness_error",
+    "pca_cluster_subset",
+    "greedy_profile_subset",
+    "random_subset",
+]
+
+
+@dataclass(frozen=True)
+class SubsetResult:
+    """A chosen subset plus bookkeeping."""
+
+    strategy: str
+    benchmarks: Tuple[str, ...]
+    error: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.strategy}: {len(self.benchmarks)} benchmarks, "
+            f"representativeness error {self.error:.2f}% "
+            f"[{', '.join(self.benchmarks)}]"
+        )
+
+
+def _mixture(
+    profile: SuiteProfile, chosen: Sequence[str], weights: Dict[str, float]
+) -> Dict[str, float]:
+    total = sum(weights[name] for name in chosen)
+    mixture = {lm: 0.0 for lm in profile.lm_names}
+    for name in chosen:
+        bench = profile.benchmark(name)
+        for lm in profile.lm_names:
+            mixture[lm] += weights[name] / total * bench.share(lm)
+    return mixture
+
+
+def representativeness_error(
+    profile: SuiteProfile,
+    chosen: Sequence[str],
+    weights: Dict[str, float],
+) -> float:
+    """Eq. 4 distance of the subset's weighted mixture to the suite row."""
+    if not chosen:
+        raise ValueError("subset must contain at least one benchmark")
+    missing = [name for name in chosen if name not in weights]
+    if missing:
+        raise ValueError(f"no weights for {missing}")
+    return l1_difference(_mixture(profile, chosen, weights), profile.suite_row)
+
+
+def pca_cluster_subset(
+    names: Sequence[str],
+    features: np.ndarray,
+    profile: SuiteProfile,
+    weights: Dict[str, float],
+    k: int,
+    variance_fraction: float = 0.9,
+    seed: int = 0,
+) -> SubsetResult:
+    """The [13]/[14] pipeline: PCA, k-means, keep cluster medoids."""
+    names = list(names)
+    features = np.asarray(features, dtype=float)
+    if features.shape[0] != len(names):
+        raise ValueError(
+            f"{features.shape[0]} feature rows for {len(names)} names"
+        )
+    if not 1 <= k <= len(names):
+        raise ValueError(f"k must be in [1, {len(names)}], got {k}")
+    pca = PCA().fit(features)
+    n_components = pca.n_components_for_variance(variance_fraction)
+    scores = pca.transform(features)[:, :n_components]
+    clustering = KMeans(k=k, seed=seed).fit(scores)
+    medoids = clustering.medoid_indices(scores)
+    chosen = tuple(names[i] for i in medoids)
+    return SubsetResult(
+        strategy=f"PCA({n_components} comps)+k-means",
+        benchmarks=chosen,
+        error=representativeness_error(profile, chosen, weights),
+    )
+
+
+def _exchange_refine(
+    profile: SuiteProfile,
+    weights: Dict[str, float],
+    candidates: Sequence[str],
+    chosen: List[str],
+) -> Tuple[List[str], float]:
+    """Swap members for non-members while the error improves."""
+    error = representativeness_error(profile, chosen, weights)
+    improved = True
+    while improved:
+        improved = False
+        for position in range(len(chosen)):
+            for name in candidates:
+                if name in chosen:
+                    continue
+                trial = list(chosen)
+                trial[position] = name
+                trial_error = representativeness_error(profile, trial, weights)
+                if trial_error < error - 1e-12:
+                    chosen, error = trial, trial_error
+                    improved = True
+    return chosen, error
+
+
+def greedy_profile_subset(
+    profile: SuiteProfile,
+    weights: Dict[str, float],
+    k: int,
+    n_restarts: int = 4,
+    seed: int = 0,
+) -> SubsetResult:
+    """Profile matching: greedy growth + multi-start exchange refinement.
+
+    Greedy growth (always add the benchmark that most reduces the
+    representativeness error) gives one starting subset; ``n_restarts``
+    random subsets give more.  Each start is refined by exchange moves
+    (swap a member for a non-member while the error improves) and the
+    best local optimum wins.  Multi-start matters: the error landscape
+    has genuinely distinct basins.
+    """
+    candidates = [p.benchmark for p in profile.benchmarks]
+    if not 1 <= k <= len(candidates):
+        raise ValueError(f"k must be in [1, {len(candidates)}], got {k}")
+    if n_restarts < 0:
+        raise ValueError(f"n_restarts must be non-negative, got {n_restarts}")
+    chosen: List[str] = []
+    for _ in range(k):
+        best_name, best_error = None, float("inf")
+        for name in candidates:
+            if name in chosen:
+                continue
+            error = representativeness_error(profile, chosen + [name], weights)
+            if error < best_error:
+                best_name, best_error = name, error
+        assert best_name is not None
+        chosen.append(best_name)
+
+    starts: List[List[str]] = [chosen]
+    rng = np.random.default_rng(seed)
+    for _ in range(n_restarts):
+        starts.append(
+            list(rng.choice(candidates, size=k, replace=False).tolist())
+        )
+    best_subset: List[str] = chosen
+    best_error = float("inf")
+    for start in starts:
+        refined, error = _exchange_refine(profile, weights, candidates, start)
+        if error < best_error:
+            best_subset, best_error = refined, error
+    return SubsetResult(
+        strategy="greedy profile matching",
+        benchmarks=tuple(best_subset),
+        error=best_error,
+    )
+
+
+def random_subset(
+    profile: SuiteProfile,
+    weights: Dict[str, float],
+    k: int,
+    rng: np.random.Generator,
+    n_trials: int = 1,
+) -> SubsetResult:
+    """Uniformly random subsets (the control); best of ``n_trials``."""
+    candidates = [p.benchmark for p in profile.benchmarks]
+    if not 1 <= k <= len(candidates):
+        raise ValueError(f"k must be in [1, {len(candidates)}], got {k}")
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    best: Tuple[str, ...] = ()
+    best_error = float("inf")
+    for _ in range(n_trials):
+        chosen = tuple(rng.choice(candidates, size=k, replace=False).tolist())
+        error = representativeness_error(profile, chosen, weights)
+        if error < best_error:
+            best, best_error = chosen, error
+    return SubsetResult(
+        strategy=f"random (best of {n_trials})",
+        benchmarks=best,
+        error=best_error,
+    )

@@ -1,0 +1,63 @@
+"""Model transferability analysis (Section VI of the paper).
+
+Two complementary methodologies:
+
+* :mod:`repro.transfer.hypothesis` — two-sample hypothesis tests on
+  (a) the dependent variable across the two data sets and (b) the
+  predicted vs. actual values on the target set (Eqs. 8-11), with the
+  two-sample t-test plus the non-parametric Levene and Mann-Whitney
+  alternatives the paper mentions.
+* :mod:`repro.transfer.metrics` — prediction accuracy metrics: the
+  correlation coefficient C (Eq. 12) and MAE (Eq. 13), plus the other
+  standard WEKA regression metrics (RMSE, RAE, RRSE).
+
+:mod:`repro.transfer.assess` combines both into a transferability
+verdict against the paper's acceptance thresholds (C > 0.85,
+MAE < 0.15).
+"""
+
+from repro.transfer.hypothesis import (
+    TwoSampleTestResult,
+    levene_test,
+    mann_whitney_u,
+    two_sample_t_test,
+    welch_t_test,
+)
+from repro.transfer.metrics import (
+    PredictionMetrics,
+    correlation_coefficient,
+    mean_absolute_error,
+    prediction_metrics,
+)
+from repro.transfer.assess import (
+    TransferabilityCriteria,
+    TransferabilityReport,
+    assess_transferability,
+)
+from repro.transfer.bootstrap import (
+    BootstrapInterval,
+    bootstrap_metric_intervals,
+)
+from repro.transfer.decision import TransferDecision, decide_transfer
+from repro.transfer.nonparametric import chi_square_profiles, ks_two_sample
+
+__all__ = [
+    "TransferDecision",
+    "decide_transfer",
+    "BootstrapInterval",
+    "bootstrap_metric_intervals",
+    "chi_square_profiles",
+    "ks_two_sample",
+    "PredictionMetrics",
+    "TransferabilityCriteria",
+    "TransferabilityReport",
+    "TwoSampleTestResult",
+    "assess_transferability",
+    "correlation_coefficient",
+    "levene_test",
+    "mann_whitney_u",
+    "mean_absolute_error",
+    "prediction_metrics",
+    "two_sample_t_test",
+    "welch_t_test",
+]

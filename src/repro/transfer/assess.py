@@ -1,0 +1,135 @@
+"""Transferability verdicts combining both methodologies.
+
+``assess_transferability(model, source, target)`` runs the complete
+Section VI procedure: the two-sample t-test on the dependent variable
+of the two data sets, the t-test on predicted-vs-actual values on the
+target, and the prediction accuracy metrics, then applies the paper's
+acceptance thresholds (C > 0.85, MAE < 0.15 by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.datasets.dataset import SampleSet
+from repro.transfer.hypothesis import TwoSampleTestResult, two_sample_t_test
+from repro.transfer.metrics import PredictionMetrics, prediction_metrics
+
+__all__ = [
+    "Predictor",
+    "TransferabilityCriteria",
+    "TransferabilityReport",
+    "assess_transferability",
+]
+
+
+class Predictor(Protocol):
+    """Anything with a ``predict(X) -> y`` method (tree or baseline)."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class TransferabilityCriteria:
+    """Acceptance thresholds; the paper's illustrative values."""
+
+    min_correlation: float = 0.85
+    max_mae: float = 0.15
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not -1.0 <= self.min_correlation <= 1.0:
+            raise ValueError(
+                f"min_correlation must be in [-1, 1], got {self.min_correlation}"
+            )
+        if self.max_mae <= 0:
+            raise ValueError(f"max_mae must be positive, got {self.max_mae}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+
+
+@dataclass(frozen=True)
+class TransferabilityReport:
+    """Everything Section VI reports for one (model, source, target).
+
+    ``dependent_test`` compares source CPI vs. target CPI (H0: same
+    generating distribution); ``prediction_test`` compares predicted
+    vs. actual CPI on the target.  ``metrics`` holds C/MAE etc.
+    """
+
+    source_name: str
+    target_name: str
+    dependent_test: TwoSampleTestResult
+    prediction_test: TwoSampleTestResult
+    metrics: PredictionMetrics
+    criteria: TransferabilityCriteria
+
+    @property
+    def metrics_transferable(self) -> bool:
+        """Verdict by prediction accuracy (Section VI.B)."""
+        return (
+            self.metrics.correlation > self.criteria.min_correlation
+            and self.metrics.mae < self.criteria.max_mae
+        )
+
+    @property
+    def hypothesis_transferable(self) -> bool:
+        """Verdict by hypothesis testing (Section VI.A).
+
+        Transferable when neither test rejects its null hypothesis.
+        """
+        return not (self.dependent_test.reject or self.prediction_test.reject)
+
+    @property
+    def transferable(self) -> bool:
+        """Overall verdict: both methodologies must agree it transfers."""
+        return self.metrics_transferable and self.hypothesis_transferable
+
+    def summary(self) -> str:
+        verdict = "TRANSFERABLE" if self.transferable else "NOT TRANSFERABLE"
+        return "\n".join(
+            [
+                f"Transferability: {self.source_name} -> {self.target_name}",
+                f"  dependent-variable test: {self.dependent_test}",
+                f"  predicted-vs-actual test: {self.prediction_test}",
+                f"  prediction metrics: {self.metrics}",
+                (
+                    f"  thresholds: C > {self.criteria.min_correlation}, "
+                    f"MAE < {self.criteria.max_mae}"
+                ),
+                f"  verdict: {verdict}",
+            ]
+        )
+
+
+def assess_transferability(
+    model: Predictor,
+    source: SampleSet,
+    target: SampleSet,
+    criteria: TransferabilityCriteria = TransferabilityCriteria(),
+    source_name: str = "source",
+    target_name: str = "target",
+) -> TransferabilityReport:
+    """Run the full Section VI transferability assessment.
+
+    ``model`` must have been trained on ``source`` (the L1 data set);
+    ``target`` is the L2 data set the model is being transferred to.
+    """
+    predicted = model.predict(target.X)
+    return TransferabilityReport(
+        source_name=source_name,
+        target_name=target_name,
+        dependent_test=two_sample_t_test(
+            source.y, target.y, criteria.confidence
+        ),
+        prediction_test=two_sample_t_test(
+            predicted, target.y, criteria.confidence
+        ),
+        metrics=prediction_metrics(predicted, target.y),
+        criteria=criteria,
+    )

@@ -1,0 +1,78 @@
+"""Transfer-or-retrain decision support.
+
+The paper's motivation for transferability is "economy of scale in
+modeling and simulation investments": reuse an existing model when it
+is good enough, retrain only when it is not.  This module operationalizes
+that decision: given an existing model and a small *probe* sample from
+the new workload, bootstrap the accuracy metrics on the probe and
+decide —
+
+* ``reuse``    — the whole MAE interval is below the threshold and the
+  whole C interval above: the model is demonstrably good enough;
+* ``retrain``  — the whole MAE interval is above the threshold or the
+  whole C interval below: demonstrably not good enough;
+* ``collect_more`` — the intervals straddle a threshold: the probe is
+  too small to tell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.dataset import SampleSet
+from repro.transfer.assess import Predictor, TransferabilityCriteria
+from repro.transfer.bootstrap import MetricIntervals, bootstrap_metric_intervals
+
+__all__ = ["TransferDecision", "decide_transfer"]
+
+
+@dataclass(frozen=True)
+class TransferDecision:
+    """Outcome of a probe-based transfer decision."""
+
+    action: str  # 'reuse' | 'retrain' | 'collect_more'
+    intervals: MetricIntervals
+    criteria: TransferabilityCriteria
+    probe_size: int
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"probe: {self.probe_size} intervals",
+                f"  C   {self.intervals.correlation} "
+                f"(need > {self.criteria.min_correlation})",
+                f"  MAE {self.intervals.mae} "
+                f"(need < {self.criteria.max_mae})",
+                f"decision: {self.action.upper()}",
+            ]
+        )
+
+
+def decide_transfer(
+    model: Predictor,
+    probe: SampleSet,
+    criteria: TransferabilityCriteria = TransferabilityCriteria(),
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> TransferDecision:
+    """Decide whether ``model`` can be reused on the probe's workload."""
+    predicted = model.predict(probe.X)
+    intervals = bootstrap_metric_intervals(
+        predicted, probe.y, n_resamples=n_resamples, seed=seed
+    )
+    mae_ok = intervals.mae.entirely_below(criteria.max_mae)
+    mae_bad = intervals.mae.entirely_above(criteria.max_mae)
+    c_ok = intervals.correlation.entirely_above(criteria.min_correlation)
+    c_bad = intervals.correlation.entirely_below(criteria.min_correlation)
+    if mae_ok and c_ok:
+        action = "reuse"
+    elif mae_bad or c_bad:
+        action = "retrain"
+    else:
+        action = "collect_more"
+    return TransferDecision(
+        action=action,
+        intervals=intervals,
+        criteria=criteria,
+        probe_size=len(probe),
+    )

@@ -1,0 +1,222 @@
+"""Two-sample hypothesis tests (Section VI.A).
+
+The paper's transferability tests compare either the dependent
+variable of two data sets (H0: the generating distributions agree) or
+the predicted values against the actual values on the target set.  It
+uses the two-sample t statistic built from the unbiased estimators of
+Equations 8-11, judged against the 1.96 critical value at 95%
+confidence.  Levene's test (variance equality) and the Mann-Whitney U
+test (distribution shift, rank-based) are the non-parametric
+alternatives the paper cites; all three are implemented here from
+scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.descriptive import standard_error_of_difference
+from repro.stats.distributions import FDistribution, Normal, StudentT
+
+__all__ = [
+    "TwoSampleTestResult",
+    "two_sample_t_test",
+    "welch_t_test",
+    "levene_test",
+    "mann_whitney_u",
+]
+
+
+@dataclass(frozen=True)
+class TwoSampleTestResult:
+    """Outcome of one two-sample test.
+
+    ``reject`` is the decision at the requested confidence: True means
+    the samples differ significantly (the model is *not* transferable
+    by this criterion).
+    """
+
+    test: str
+    statistic: float
+    df: float
+    p_value: float
+    critical_value: float
+    confidence: float
+
+    @property
+    def reject(self) -> bool:
+        return abs(self.statistic) > self.critical_value
+
+    def __str__(self) -> str:
+        verdict = "reject H0" if self.reject else "fail to reject H0"
+        return (
+            f"{self.test}: statistic={self.statistic:.4g} "
+            f"(critical {self.critical_value:.4g} at "
+            f"{self.confidence * 100:.0f}%), p={self.p_value:.4g} -> {verdict}"
+        )
+
+
+def _as_sample(values: Sequence[float], label: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size < 2:
+        raise ValueError(f"{label} must be a 1-D sample with >= 2 values")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{label} contains NaN or infinite values")
+    return arr
+
+
+def two_sample_t_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+) -> TwoSampleTestResult:
+    """The paper's two-sample t-test (Eqs. 8-11).
+
+    Uses the unpooled standard error ``sqrt(S_a^2/n + S_b^2/m)`` and
+    ``n + m - 2`` degrees of freedom, exactly as in Section VI.A.  The
+    paper notes this is robust for large samples of similar size.
+    """
+    a = _as_sample(a, "sample a")
+    b = _as_sample(b, "sample b")
+    se = standard_error_of_difference(
+        float(a.var(ddof=1)), a.size, float(b.var(ddof=1)), b.size
+    )
+    if se == 0.0:
+        raise ValueError("both samples are constant; t statistic undefined")
+    statistic = (float(a.mean()) - float(b.mean())) / se
+    df = a.size + b.size - 2
+    dist = StudentT(df)
+    return TwoSampleTestResult(
+        test="two-sample t",
+        statistic=statistic,
+        df=float(df),
+        p_value=dist.two_sided_p(statistic),
+        critical_value=dist.critical_value(confidence),
+        confidence=confidence,
+    )
+
+
+def welch_t_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+) -> TwoSampleTestResult:
+    """Welch's t-test: same statistic, Satterthwaite degrees of freedom.
+
+    Provided for the unequal-variance case the paper's robustness
+    discussion covers.
+    """
+    a = _as_sample(a, "sample a")
+    b = _as_sample(b, "sample b")
+    var_a = float(a.var(ddof=1))
+    var_b = float(b.var(ddof=1))
+    se = standard_error_of_difference(var_a, a.size, var_b, b.size)
+    if se == 0.0:
+        raise ValueError("both samples are constant; t statistic undefined")
+    statistic = (float(a.mean()) - float(b.mean())) / se
+    ra = var_a / a.size
+    rb = var_b / b.size
+    df = (ra + rb) ** 2 / (ra**2 / (a.size - 1) + rb**2 / (b.size - 1))
+    dist = StudentT(df)
+    return TwoSampleTestResult(
+        test="Welch t",
+        statistic=statistic,
+        df=float(df),
+        p_value=dist.two_sided_p(statistic),
+        critical_value=dist.critical_value(confidence),
+        confidence=confidence,
+    )
+
+
+def levene_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    center: str = "median",
+) -> TwoSampleTestResult:
+    """Levene's test of variance equality (Brown-Forsythe variant).
+
+    The statistic is a one-way ANOVA F on the absolute deviations from
+    each sample's center (median by default, which is robust).
+    """
+    a = _as_sample(a, "sample a")
+    b = _as_sample(b, "sample b")
+    if center == "median":
+        za = np.abs(a - np.median(a))
+        zb = np.abs(b - np.median(b))
+    elif center == "mean":
+        za = np.abs(a - a.mean())
+        zb = np.abs(b - b.mean())
+    else:
+        raise ValueError(f"center must be 'median' or 'mean', got {center!r}")
+    n, m = a.size, b.size
+    total = n + m
+    grand = (za.sum() + zb.sum()) / total
+    between = n * (za.mean() - grand) ** 2 + m * (zb.mean() - grand) ** 2
+    within = ((za - za.mean()) ** 2).sum() + ((zb - zb.mean()) ** 2).sum()
+    if within == 0.0:
+        raise ValueError("zero within-group deviation; F statistic undefined")
+    statistic = (total - 2) * between / within
+    dist = FDistribution(1.0, float(total - 2))
+    return TwoSampleTestResult(
+        test="Levene (Brown-Forsythe)",
+        statistic=statistic,
+        df=float(total - 2),
+        p_value=dist.sf(statistic),
+        critical_value=dist.ppf(confidence),
+        confidence=confidence,
+    )
+
+
+def mann_whitney_u(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+) -> TwoSampleTestResult:
+    """Mann-Whitney U test with the large-sample normal approximation.
+
+    Rank-based and hence distribution-free; ties receive midranks with
+    the standard variance correction.  The reported statistic is the
+    standardized z of U.
+    """
+    a = _as_sample(a, "sample a")
+    b = _as_sample(b, "sample b")
+    n, m = a.size, b.size
+    combined = np.concatenate([a, b])
+    order = np.argsort(combined, kind="stable")
+    ranks = np.empty(n + m, dtype=float)
+    sorted_values = combined[order]
+    # Midranks for ties.
+    i = 0
+    position = 1
+    while i < n + m:
+        j = i
+        while j + 1 < n + m and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        midrank = 0.5 * (position + position + (j - i))
+        ranks[order[i : j + 1]] = midrank
+        position += j - i + 1
+        i = j + 1
+    rank_sum_a = ranks[:n].sum()
+    u = rank_sum_a - n * (n + 1) / 2.0
+    mean_u = n * m / 2.0
+    # Tie correction on the variance.
+    _, tie_counts = np.unique(sorted_values, return_counts=True)
+    tie_term = float(np.sum(tie_counts**3 - tie_counts))
+    total = n + m
+    var_u = n * m / 12.0 * ((total + 1) - tie_term / (total * (total - 1)))
+    if var_u <= 0.0:
+        raise ValueError("all values tie; U statistic undefined")
+    z = (u - mean_u) / np.sqrt(var_u)
+    normal = Normal()
+    return TwoSampleTestResult(
+        test="Mann-Whitney U",
+        statistic=float(z),
+        df=float("nan"),
+        p_value=normal.two_sided_p(z),
+        critical_value=normal.ppf(0.5 + confidence / 2.0),
+        confidence=confidence,
+    )

@@ -1,0 +1,100 @@
+"""Prediction accuracy metrics (Section VI.B).
+
+The paper's two headline metrics are the correlation coefficient C
+(Eq. 12) and the mean absolute error MAE (Eq. 13).  WEKA's evaluation
+output — which the authors were reading — also reports RMSE, relative
+absolute error (RAE) and root relative squared error (RRSE), so those
+are included for completeness and used by the baseline comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.descriptive import corrcoef
+
+__all__ = [
+    "PredictionMetrics",
+    "correlation_coefficient",
+    "mean_absolute_error",
+    "prediction_metrics",
+]
+
+
+def _paired(predicted: Sequence[float], actual: Sequence[float]):
+    p = np.asarray(predicted, dtype=float)
+    a = np.asarray(actual, dtype=float)
+    if p.ndim != 1 or a.ndim != 1 or p.size != a.size:
+        raise ValueError(
+            f"predicted/actual must be equal-length 1-D arrays, "
+            f"got shapes {p.shape} and {a.shape}"
+        )
+    if p.size == 0:
+        raise ValueError("need at least one prediction")
+    if not (np.all(np.isfinite(p)) and np.all(np.isfinite(a))):
+        raise ValueError("predictions or actuals contain NaN/inf")
+    return p, a
+
+
+def correlation_coefficient(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Equation 12: Pearson correlation of predicted vs. actual."""
+    p, a = _paired(predicted, actual)
+    return corrcoef(p, a)
+
+
+def mean_absolute_error(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> float:
+    """Equation 13: mean absolute error, in CPI units."""
+    p, a = _paired(predicted, actual)
+    return float(np.mean(np.abs(p - a)))
+
+
+@dataclass(frozen=True)
+class PredictionMetrics:
+    """The full WEKA-style metric set for one evaluation."""
+
+    n: int
+    correlation: float
+    mae: float
+    rmse: float
+    rae: float
+    rrse: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} C={self.correlation:.4f} MAE={self.mae:.4f} "
+            f"RMSE={self.rmse:.4f} RAE={self.rae * 100:.1f}% "
+            f"RRSE={self.rrse * 100:.1f}%"
+        )
+
+
+def prediction_metrics(
+    predicted: Sequence[float], actual: Sequence[float]
+) -> PredictionMetrics:
+    """Compute C, MAE, RMSE, RAE and RRSE for one prediction run.
+
+    RAE normalizes MAE by the error of always predicting the actuals'
+    mean; RRSE does the same for RMSE.  Values above 1 mean the model
+    is worse than that trivial predictor.
+    """
+    p, a = _paired(predicted, actual)
+    residual = p - a
+    mae = float(np.mean(np.abs(residual)))
+    rmse = float(np.sqrt(np.mean(residual**2)))
+    baseline = a - a.mean()
+    baseline_mae = float(np.mean(np.abs(baseline)))
+    baseline_rmse = float(np.sqrt(np.mean(baseline**2)))
+    return PredictionMetrics(
+        n=int(p.size),
+        correlation=correlation_coefficient(p, a),
+        mae=mae,
+        rmse=rmse,
+        rae=mae / baseline_mae if baseline_mae > 0 else float("inf"),
+        rrse=rmse / baseline_rmse if baseline_rmse > 0 else float("inf"),
+    )

@@ -1,0 +1,119 @@
+"""Additional distribution-comparison tests.
+
+Section VI.A notes that "several hypothesis testing techniques can be
+used" and divides them into parametric and non-parametric families.
+Beyond the t/Levene/Mann-Whitney trio, two more tests round out the
+toolbox:
+
+* the two-sample Kolmogorov-Smirnov test — sensitive to *any*
+  difference between the two CPI distributions, not just location or
+  scale; and
+* the chi-square homogeneity test on leaf profiles — do two benchmarks
+  (or suites) distribute their samples over the tree's linear models
+  in the same way?  This puts a significance value behind the Table
+  II/IV comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.stats.distributions import ChiSquare
+from repro.transfer.hypothesis import TwoSampleTestResult, _as_sample
+
+__all__ = ["ks_two_sample", "chi_square_profiles"]
+
+
+def _ks_sf(statistic: float, n: int, m: int) -> float:
+    """Asymptotic Kolmogorov survival function with effective size."""
+    en = math.sqrt(n * m / (n + m))
+    # Stephens' correction improves small-sample accuracy.
+    lam = (en + 0.12 + 0.11 / en) * statistic
+    if lam < 1e-8:
+        return 1.0
+    total = 0.0
+    for j in range(1, 101):
+        term = 2.0 * (-1.0) ** (j - 1) * math.exp(-2.0 * j * j * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return min(max(total, 0.0), 1.0)
+
+
+def ks_two_sample(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+) -> TwoSampleTestResult:
+    """Two-sample Kolmogorov-Smirnov test (asymptotic p-value).
+
+    The statistic is the maximum vertical distance between the two
+    empirical CDFs; H0 is that both samples come from one distribution.
+    """
+    a = np.sort(_as_sample(a, "sample a"))
+    b = np.sort(_as_sample(b, "sample b"))
+    n, m = a.size, b.size
+    # Evaluate both ECDFs over the pooled sample points.
+    pooled = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, pooled, side="right") / n
+    cdf_b = np.searchsorted(b, pooled, side="right") / m
+    statistic = float(np.max(np.abs(cdf_a - cdf_b)))
+    p_value = _ks_sf(statistic, n, m)
+    # Critical D at the requested confidence (asymptotic formula).
+    alpha = 1.0 - confidence
+    c_alpha = math.sqrt(-0.5 * math.log(alpha / 2.0))
+    critical = c_alpha * math.sqrt((n + m) / (n * m))
+    return TwoSampleTestResult(
+        test="Kolmogorov-Smirnov",
+        statistic=statistic,
+        df=float("nan"),
+        p_value=p_value,
+        critical_value=critical,
+        confidence=confidence,
+    )
+
+
+def chi_square_profiles(
+    counts_a: Mapping[str, float],
+    counts_b: Mapping[str, float],
+    confidence: float = 0.95,
+) -> TwoSampleTestResult:
+    """Chi-square homogeneity test over two leaf-count profiles.
+
+    ``counts_a``/``counts_b`` map LM name to *sample counts* (not
+    percentages).  Cells with zero expected count are dropped; H0 is
+    that both profiles draw from the same distribution over models.
+    """
+    lms = sorted(set(counts_a) | set(counts_b))
+    a = np.array([float(counts_a.get(lm, 0.0)) for lm in lms])
+    b = np.array([float(counts_b.get(lm, 0.0)) for lm in lms])
+    if np.any(a < 0) or np.any(b < 0):
+        raise ValueError("counts must be non-negative")
+    total_a, total_b = a.sum(), b.sum()
+    if total_a == 0 or total_b == 0:
+        raise ValueError("both profiles need at least one sample")
+    pooled = a + b
+    keep = pooled > 0
+    a, b, pooled = a[keep], b[keep], pooled[keep]
+    if keep.sum() < 2:
+        raise ValueError("need at least two populated cells")
+    grand = total_a + total_b
+    expected_a = pooled * total_a / grand
+    expected_b = pooled * total_b / grand
+    statistic = float(
+        np.sum((a - expected_a) ** 2 / expected_a)
+        + np.sum((b - expected_b) ** 2 / expected_b)
+    )
+    df = float(keep.sum() - 1)
+    dist = ChiSquare(df)
+    return TwoSampleTestResult(
+        test="chi-square homogeneity",
+        statistic=statistic,
+        df=df,
+        p_value=dist.sf(statistic),
+        critical_value=dist.ppf(confidence),
+        confidence=confidence,
+    )

@@ -1,0 +1,27 @@
+"""Microarchitecture substrate.
+
+The paper measured a real Intel Core 2 Duo; we stand in for the silicon
+with a ground-truth *cost model*: a piecewise-linear mapping from the 20
+per-instruction event densities of Table I to CPI, with the regime
+structure the paper itself reverse-engineered (DTLB/L2-dominated CPU
+regimes, store-forwarding-blocked and SIMD-bound OMP regimes).
+
+The cost model is the "machine"; the PMU collector observes it; the M5'
+model tree then has to rediscover its structure from noisy samples.
+"""
+
+from repro.uarch.machine import MachineConfig, CORE2_DUO
+from repro.uarch.costmodel import CostModel, OracleLeaf, OracleSplit
+from repro.uarch.core2 import build_core2_cost_model
+from repro.uarch.execution import ExecutionEngine, NoiseConfig
+
+__all__ = [
+    "CORE2_DUO",
+    "CostModel",
+    "ExecutionEngine",
+    "MachineConfig",
+    "NoiseConfig",
+    "OracleLeaf",
+    "OracleSplit",
+    "build_core2_cost_model",
+]

@@ -1,0 +1,210 @@
+"""The Core-2-like ground-truth cost model.
+
+The regime tree below encodes, as machine ground truth, the performance
+structure the paper reverse-engineered from its measurements:
+
+* In the low load-block-overlap region (where SPEC CPU2006 lives) the
+  dominant discriminators are DTLB misses, L2 misses, load blocks due
+  to store address and branch mispredicts — the split chain of
+  Figure 1 — with the published LM1/LM7/LM8 equations used verbatim as
+  regime equations.
+* In the high load-block-overlap region (where much of SPEC OMP2001
+  lives) the discriminator is the store rate — the LM17/LM18 split at
+  the top of Figure 2 — again with the published equations.
+* SIMD-heavy code is split by whether the SIMD units are starved
+  (high L1D miss / misaligned operands → the expensive OMP LM16-like
+  regime) or well fed (the cheap 470.lbm / 436.cactusADM regimes).
+
+Thresholds are the paper's own split points where stated (0.00019
+DTLB misses/instruction, 0.00048 L2 misses, 0.00045 load-block-STA,
+0.00019 branch mispredicts, 0.0074 load-block-overlap, 0.077 stores,
+0.84/0.77 SIMD fractions).
+"""
+
+from __future__ import annotations
+
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.uarch.costmodel import CostModel, OracleLeaf, OracleSplit
+
+__all__ = ["build_core2_cost_model", "THRESHOLDS"]
+
+#: The paper's split thresholds (per-instruction densities).
+THRESHOLDS = {
+    "DtlbMiss": 0.00019,
+    "L2Miss": 0.00048,
+    "LdBlkStA": 0.00045,
+    "MisprBr": 0.00019,
+    "LdBlkOlp": 0.0074,
+    "Store": 0.077,
+    "SIMD_major": 0.60,
+    "SIMD_starved_l1d": 0.012,
+    "SplitLoad": 0.004,
+    "Br_heavy": 0.15,
+    "L2_simd": 0.0003,
+}
+
+
+def build_core2_cost_model() -> CostModel:
+    """Construct the ground-truth regime tree for the Core 2 platform."""
+    # --- CPU2006-region leaves (paper Section IV equations) -----------
+    lm_base = OracleLeaf(
+        "BASE",  # the paper's LM1 (Eq. 1): 45% of CPU2006 samples
+        0.53,
+        {
+            "L1DMiss": 4.73,
+            "Div": 7.71,
+            "L2Miss": 63.0,
+            "Mul": 0.254,
+            "Misalign": 7.88,
+            "MisprBr": 17.5,
+            "LdBlkStD": 4.37,
+            "PageWalk": 15.7,
+            "SIMD": 0.046,
+            "DtlbMiss": 503.0,
+            "L1IMiss": 6.42,
+            "LdBlkStA": 3.22,
+            "LdBlkOlp": 2.98,
+            "Load": 0.128,
+            "Store": -0.198,
+            "Br": -0.251,
+        },
+    )
+    lm_tlb_moderate = OracleLeaf(
+        "TLB_MODERATE",  # DTLB pressure but no L2/store-block pathology
+        1.02,
+        {"DtlbMiss": 430.0, "L1DMiss": 9.0, "PageWalk": 22.0, "MisprBr": 12.0},
+    )
+    lm_split_load = OracleLeaf(
+        "SPLIT_LOAD",  # the paper's LM18 (482.sphinx3): split loads
+        0.98,
+        {"L1DMiss": 16.47, "DtlbMiss": 56.15, "LdBlkStA": 6.80, "SplitLoad": 28.0},
+    )
+    lm_sta_serial = OracleLeaf(
+        "STA_SERIALIZED",  # the paper's LM7: serialized L2 misses
+        0.24,
+        {
+            "L2Miss": 1172.0,
+            "Store": 2.72,
+            "DtlbMiss": 17.82,
+            "L1IMiss": 24.18,
+            "LdBlkOlp": 2.37,
+            "SplitStore": 101.67,
+            "SIMD": 0.26,
+        },
+    )
+    lm_sta_mispredict = OracleLeaf(
+        "STA_MISPREDICT",  # the paper's LM8: adds branch mispredicts
+        0.61,
+        {
+            "Div": -7.99,
+            "Mul": -0.23,
+            "MisprBr": 13.85,
+            "DtlbMiss": 17.44,
+            "L1IMiss": 15.20,
+            "LdBlkStD": 1.44,
+            "PageWalk": 11.35,
+            "SIMD": 0.16,
+        },
+    )
+    lm_stream_memory = OracleLeaf(
+        "STREAM_MEMORY",  # regular high-L2 streaming (459.GemsFDTD-like)
+        0.78,
+        {"L2Miss": 260.0, "DtlbMiss": 350.0, "L1DMiss": 6.0},
+    )
+    lm_pointer_chase = OracleLeaf(
+        "POINTER_CHASE",  # the paper's LM24 region (471.omnetpp, 429.mcf)
+        0.88,
+        {"L2Miss": 380.0, "DtlbMiss": 620.0, "LdBlkOlp": 3.0, "Br": 1.1},
+    )
+    # --- SIMD-heavy leaves -----------------------------------------------
+    lm_simd_fed = OracleLeaf(
+        "SIMD_FED",  # 436.cactusADM-like (paper LM11 region): CPI ~1.2
+        1.02,
+        {"SIMD": 0.15, "Misalign": 95.0, "L1DMiss": 3.0},
+    )
+    lm_simd_stream = OracleLeaf(
+        "SIMD_STREAM",  # 470.lbm-like (paper LM5 region): CPI ~1.6
+        0.82,
+        {"SIMD": 0.34, "L2Miss": 230.0, "LdBlkOlp": 4.2},
+    )
+    lm_simd_starved = OracleLeaf(
+        "SIMD_STARVED",  # the paper's OMP LM16: SIMD units data-starved
+        0.65,
+        {"L1DMiss": 9.51, "Br": -1.11, "SIMD": 1.98, "Misalign": 70.0},
+    )
+    # --- OMP-region leaves (paper Section V equations) ----------------
+    lm_block_light_store = OracleLeaf(
+        "BLOCK_LIGHT_STORE",  # the paper's OMP LM17
+        0.80,
+        {
+            "L1DMiss": 39.1,
+            "Mul": -0.281,
+            "Br": -0.941,
+            "LdBlkStA": 9.1,
+            "LdBlkOlp": 5.6,
+            "PageWalk": 34.6,
+            "SIMD": 0.129,
+        },
+    )
+    lm_block_heavy_store = OracleLeaf(
+        "BLOCK_HEAVY_STORE",  # the paper's OMP LM18
+        0.95,
+        {
+            "Div": -4.7,
+            "Store": 2.08,
+            "PageWalk": 53.0,
+            "SIMD": 0.427,
+            "LdBlkOlp": 6.5,
+        },
+    )
+
+    t = THRESHOLDS
+    cpu_low_tlb = lm_base
+    cpu_high_tlb = OracleSplit(
+        "L2Miss",
+        t["L2Miss"],
+        left=OracleSplit(
+            "LdBlkStA",
+            t["LdBlkStA"],
+            left=OracleSplit(
+                "SplitLoad",
+                t["SplitLoad"],
+                left=lm_tlb_moderate,
+                right=lm_split_load,
+            ),
+            right=OracleSplit(
+                "MisprBr",
+                t["MisprBr"],
+                left=lm_sta_serial,
+                right=lm_sta_mispredict,
+            ),
+        ),
+        right=OracleSplit(
+            "Br",
+            t["Br_heavy"],
+            left=lm_stream_memory,
+            right=lm_pointer_chase,
+        ),
+    )
+    scalar_region = OracleSplit(
+        "DtlbMiss", t["DtlbMiss"], left=cpu_low_tlb, right=cpu_high_tlb
+    )
+    simd_region = OracleSplit(
+        "L1DMiss",
+        t["SIMD_starved_l1d"],
+        left=OracleSplit(
+            "L2Miss", t["L2_simd"], left=lm_simd_fed, right=lm_simd_stream
+        ),
+        right=lm_simd_starved,
+    )
+    low_overlap = OracleSplit(
+        "SIMD", t["SIMD_major"], left=scalar_region, right=simd_region
+    )
+    high_overlap = OracleSplit(
+        "Store",
+        t["Store"],
+        left=lm_block_light_store,
+        right=lm_block_heavy_store,
+    )
+    root = OracleSplit("LdBlkOlp", t["LdBlkOlp"], left=low_overlap, right=high_overlap)
+    return CostModel(root, PREDICTOR_NAMES)

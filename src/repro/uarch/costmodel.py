@@ -1,0 +1,172 @@
+"""Piecewise-linear ground-truth CPI cost model.
+
+A :class:`CostModel` is a binary decision tree over event densities:
+interior :class:`OracleSplit` nodes route each interval by a threshold
+test and :class:`OracleLeaf` nodes hold a sparse linear equation
+``CPI = intercept + sum(coef_e * density_e)``.  This is the structure
+the paper attributes to the machine itself ("distinct linear behavior
+models"), and it is what the M5' model tree has to rediscover from
+noisy observations.
+
+The concrete Core-2-like instance lives in :mod:`repro.uarch.core2`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["OracleLeaf", "OracleSplit", "CostModel"]
+
+
+@dataclass(frozen=True)
+class OracleLeaf:
+    """A linear CPI regime: ``CPI = intercept + sum(coefs[e] * e)``."""
+
+    name: str
+    intercept: float
+    coefs: Mapping[str, float] = field(default_factory=dict)
+
+    def evaluate(self, X: np.ndarray, index: Mapping[str, int]) -> np.ndarray:
+        """CPI for each row of ``X`` (columns named by ``index``)."""
+        cpi = np.full(X.shape[0], self.intercept, dtype=float)
+        for feature, coef in self.coefs.items():
+            cpi += coef * X[:, index[feature]]
+        return cpi
+
+    def describe(self) -> str:
+        terms = " + ".join(
+            f"{coef:g}*{feature}" for feature, coef in self.coefs.items()
+        )
+        return f"{self.name}: CPI = {self.intercept:g}" + (f" + {terms}" if terms else "")
+
+
+@dataclass(frozen=True)
+class OracleSplit:
+    """An interior node: rows with ``feature <= threshold`` go left."""
+
+    feature: str
+    threshold: float
+    left: "OracleNode"
+    right: "OracleNode"
+
+
+OracleNode = Union[OracleLeaf, OracleSplit]
+
+
+class CostModel:
+    """The machine: evaluates ground-truth CPI and regime membership."""
+
+    def __init__(self, root: OracleNode, feature_names: Sequence[str]) -> None:
+        self.root = root
+        self.feature_names: Tuple[str, ...] = tuple(feature_names)
+        self._index: Dict[str, int] = {n: i for i, n in enumerate(self.feature_names)}
+        for leaf in self.leaves():
+            unknown = set(leaf.coefs) - set(self.feature_names)
+            if unknown:
+                raise ValueError(
+                    f"leaf {leaf.name!r} references unknown features {sorted(unknown)}"
+                )
+        for split in self._splits(self.root):
+            if split.feature not in self._index:
+                raise ValueError(f"split references unknown feature {split.feature!r}")
+        names = [leaf.name for leaf in self.leaves()]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate leaf names: {names}")
+
+    # -- structure ----------------------------------------------------
+
+    def leaves(self) -> List[OracleLeaf]:
+        """All leaf regimes, left-to-right."""
+        out: List[OracleLeaf] = []
+
+        def visit(node: OracleNode) -> None:
+            if isinstance(node, OracleLeaf):
+                out.append(node)
+            else:
+                visit(node.left)
+                visit(node.right)
+
+        visit(self.root)
+        return out
+
+    @staticmethod
+    def _splits(node: OracleNode) -> List[OracleSplit]:
+        if isinstance(node, OracleLeaf):
+            return []
+        return (
+            [node]
+            + CostModel._splits(node.left)
+            + CostModel._splits(node.right)
+        )
+
+    def split_features(self) -> List[str]:
+        """Features used by interior nodes, in preorder."""
+        return [s.feature for s in self._splits(self.root)]
+
+    # -- evaluation -----------------------------------------------------
+
+    def _check(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"expected (n, {len(self.feature_names)}) densities, got {X.shape}"
+            )
+        return X
+
+    def regime_names(self, X: np.ndarray) -> np.ndarray:
+        """Name of the regime each row falls into."""
+        X = self._check(X)
+        out = np.empty(X.shape[0], dtype=object)
+
+        def route(node: OracleNode, rows: np.ndarray) -> None:
+            if rows.size == 0:
+                return
+            if isinstance(node, OracleLeaf):
+                out[rows] = node.name
+                return
+            values = X[rows, self._index[node.feature]]
+            go_left = values <= node.threshold
+            route(node.left, rows[go_left])
+            route(node.right, rows[~go_left])
+
+        route(self.root, np.arange(X.shape[0]))
+        return out
+
+    def cpi(self, X: np.ndarray) -> np.ndarray:
+        """Ground-truth (noise-free) CPI for each row."""
+        X = self._check(X)
+        out = np.empty(X.shape[0], dtype=float)
+
+        def route(node: OracleNode, rows: np.ndarray) -> None:
+            if rows.size == 0:
+                return
+            if isinstance(node, OracleLeaf):
+                out[rows] = node.evaluate(X[rows], self._index)
+                return
+            values = X[rows, self._index[node.feature]]
+            go_left = values <= node.threshold
+            route(node.left, rows[go_left])
+            route(node.right, rows[~go_left])
+
+        route(self.root, np.arange(X.shape[0]))
+        return out
+
+    def describe(self) -> str:
+        """Multi-line rendering of the regime tree."""
+        lines: List[str] = []
+
+        def visit(node: OracleNode, depth: int) -> None:
+            pad = "  " * depth
+            if isinstance(node, OracleLeaf):
+                lines.append(pad + node.describe())
+            else:
+                lines.append(f"{pad}{node.feature} <= {node.threshold:g}?")
+                visit(node.left, depth + 1)
+                lines.append(f"{pad}{node.feature} > {node.threshold:g}?")
+                visit(node.right, depth + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Interval execution: densities in, noisy ground-truth CPI out.
+
+The cost model is deterministic; real machines are not.  The execution
+engine adds the residual the regression can never explain: cycle-level
+effects (prefetcher luck, bus contention from the second core, OS
+jitter) that are uncorrelated with the 20 observed densities.  Its
+magnitude sets the noise floor of every downstream accuracy number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.uarch.costmodel import CostModel
+
+__all__ = ["NoiseConfig", "ExecutionEngine"]
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Residual-noise parameters.
+
+    ``additive_sigma`` is in CPI units; ``relative_sigma`` scales with
+    the interval's CPI (slow intervals are noisier in absolute terms).
+    ``floor_cpi`` is the machine's best case (issue-width bound).
+    """
+
+    additive_sigma: float = 0.045
+    relative_sigma: float = 0.035
+    floor_cpi: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.additive_sigma < 0 or self.relative_sigma < 0:
+            raise ValueError("noise sigmas must be non-negative")
+        if self.floor_cpi <= 0:
+            raise ValueError(f"floor_cpi must be positive, got {self.floor_cpi}")
+
+
+class ExecutionEngine:
+    """Evaluates the machine on a batch of intervals."""
+
+    def __init__(
+        self, cost_model: CostModel, noise: Optional[NoiseConfig] = None
+    ) -> None:
+        self.cost_model = cost_model
+        self.noise = noise or NoiseConfig()
+
+    def true_cpi(
+        self, densities: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """CPI for each interval; noisy when a generator is given."""
+        cpi = self.cost_model.cpi(densities)
+        if rng is not None:
+            sigma = np.sqrt(
+                self.noise.additive_sigma**2
+                + (self.noise.relative_sigma * cpi) ** 2
+            )
+            cpi = cpi + rng.normal(0.0, sigma)
+        return np.maximum(cpi, self.noise.floor_cpi)
+
+    def regimes(self, densities: np.ndarray) -> np.ndarray:
+        """Ground-truth regime name per interval (for validation only)."""
+        return self.cost_model.regime_names(densities)

@@ -1,0 +1,61 @@
+"""Machine description matching the paper's experimental platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineConfig", "CORE2_DUO"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of the measured machine.
+
+    Latencies are representative Core 2 numbers and are used to sanity
+    check the cost model's coefficients (e.g. an L2 miss that goes to
+    memory cannot cost less than the memory latency).
+    """
+
+    name: str
+    frequency_ghz: float
+    n_cores: int
+    l1d_kib: int
+    l1i_kib: int
+    l2_kib: int
+    l2_shared: bool
+    memory_gib: int
+    # Representative penalty cycles.
+    l1_miss_cycles: float
+    l2_miss_cycles: float
+    branch_mispredict_cycles: float
+    dtlb_miss_cycles: float
+    page_walk_cycles: float
+    store_forward_block_cycles: float
+    split_access_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_ghz}")
+        if self.n_cores < 1:
+            raise ValueError(f"need at least one core, got {self.n_cores}")
+
+
+#: The paper's platform: Intel Core 2 Duo, 2.13 GHz, 4 MB shared L2,
+#: 32 KB split L1 caches, 4 GB memory.
+CORE2_DUO = MachineConfig(
+    name="Intel Core 2 Duo (Merom) 2.13 GHz",
+    frequency_ghz=2.13,
+    n_cores=2,
+    l1d_kib=32,
+    l1i_kib=32,
+    l2_kib=4096,
+    l2_shared=True,
+    memory_gib=4,
+    l1_miss_cycles=14.0,
+    l2_miss_cycles=165.0,
+    branch_mispredict_cycles=15.0,
+    dtlb_miss_cycles=10.0,
+    page_walk_cycles=30.0,
+    store_forward_block_cycles=12.0,
+    split_access_cycles=20.0,
+)

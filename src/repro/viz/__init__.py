@@ -1,0 +1,10 @@
+"""Dependency-free ASCII visualization.
+
+The experiment reports are plain text; these helpers render the
+figure-like views (CPI distributions, predicted-vs-actual scatter,
+share bars) directly into them without any plotting dependency.
+"""
+
+from repro.viz.ascii_plots import bar_chart, histogram, scatter
+
+__all__ = ["bar_chart", "histogram", "scatter"]

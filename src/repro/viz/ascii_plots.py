@@ -1,0 +1,128 @@
+"""ASCII histograms, scatter plots and bar charts."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["histogram", "scatter", "bar_chart"]
+
+
+def _check_values(values: Sequence[float], label: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"{label} must be a non-empty 1-D sequence")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{label} contains NaN or infinite values")
+    return arr
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 20,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal ASCII histogram.
+
+    Each row is one bin: ``[lo, hi) count |#####``.
+    """
+    arr = _check_values(values, "values")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [title] if title else []
+    label_width = max(
+        len(f"{edges[i]:.3g}") + len(f"{edges[i + 1]:.3g}") + 4
+        for i in range(bins)
+    )
+    for i in range(bins):
+        label = f"[{edges[i]:.3g}, {edges[i + 1]:.3g})".ljust(label_width)
+        bar = "#" * int(round(width * counts[i] / peak))
+        lines.append(f"{label} {counts[i]:>7d} |{bar}")
+    return "\n".join(lines)
+
+
+def scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 60,
+    height: int = 20,
+    title: str = "",
+    diagonal: bool = False,
+) -> str:
+    """Character-grid scatter plot.
+
+    Density is rendered with ``. : * #`` (1, 2-3, 4-7, 8+ points per
+    cell).  With ``diagonal`` the y = x line is drawn (for
+    predicted-vs-actual plots, the perfect-prediction locus).
+    """
+    ax = _check_values(x, "x")
+    ay = _check_values(y, "y")
+    if ax.size != ay.size:
+        raise ValueError(f"length mismatch: {ax.size} vs {ay.size}")
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+    lo_x, hi_x = float(ax.min()), float(ax.max())
+    lo_y, hi_y = float(ay.min()), float(ay.max())
+    if diagonal:
+        lo = min(lo_x, lo_y)
+        hi = max(hi_x, hi_y)
+        lo_x = lo_y = lo
+        hi_x = hi_y = hi
+    span_x = (hi_x - lo_x) or 1.0
+    span_y = (hi_y - lo_y) or 1.0
+    grid = np.zeros((height, width), dtype=int)
+    cols = np.minimum(((ax - lo_x) / span_x * (width - 1)).astype(int), width - 1)
+    rows = np.minimum(((ay - lo_y) / span_y * (height - 1)).astype(int), height - 1)
+    for r, c in zip(rows, cols):
+        grid[height - 1 - r, c] += 1
+    glyphs = np.full(grid.shape, " ", dtype="<U1")
+    glyphs[grid >= 1] = "."
+    glyphs[grid >= 2] = ":"
+    glyphs[grid >= 4] = "*"
+    glyphs[grid >= 8] = "#"
+    if diagonal:
+        for c in range(width):
+            r = int(round(c / (width - 1) * (height - 1)))
+            row_index = height - 1 - r
+            if glyphs[row_index, c] == " ":
+                glyphs[row_index, c] = "/"
+    lines = [title] if title else []
+    lines.append(f"{hi_y:.3g}".rjust(9) + " +" + "-" * width + "+")
+    for row in glyphs:
+        lines.append(" " * 9 + " |" + "".join(row) + "|")
+    lines.append(f"{lo_y:.3g}".rjust(9) + " +" + "-" * width + "+")
+    lines.append(
+        " " * 11 + f"{lo_x:.3g}".ljust(width // 2) + f"{hi_x:.3g}".rjust(width // 2)
+    )
+    return "\n".join(lines)
+
+
+def bar_chart(
+    shares: Mapping[str, float],
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.1f}",
+) -> str:
+    """Horizontal labeled bar chart (e.g. LM shares, importances)."""
+    if not shares:
+        raise ValueError("shares must be non-empty")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    values = {k: float(v) for k, v in shares.items()}
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(str(k)) for k in values)
+    value_width = max(len(fmt.format(v)) for v in values.values())
+    lines = [title] if title else []
+    for key, value in values.items():
+        bar = "#" * int(round(width * abs(value) / peak))
+        lines.append(
+            f"{str(key).ljust(label_width)} "
+            f"{fmt.format(value).rjust(value_width)} |{bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Workload synthesis substrate.
+
+Stands in for the licensed SPEC suites: each benchmark is specified as
+a mixture of execution *phases*, each phase a point in the 20-event
+density space of Table I with lognormal dispersion.  Phase means are
+chosen to match the paper's qualitative characterization of each
+benchmark (which microarchitectural events dominate it, and its
+approximate CPI on the Core 2 platform).
+"""
+
+from repro.workloads.phase import PhaseSpec
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.defaults import DEFAULT_DENSITIES, DEFAULT_SPREAD
+from repro.workloads.suite import Suite, SuiteGenerationConfig
+from repro.workloads.spec_cpu2000 import spec_cpu2000
+from repro.workloads.spec_cpu2006 import spec_cpu2006
+from repro.workloads.spec_omp2001 import spec_omp2001
+
+__all__ = [
+    "BenchmarkSpec",
+    "DEFAULT_DENSITIES",
+    "DEFAULT_SPREAD",
+    "PhaseSpec",
+    "Suite",
+    "SuiteGenerationConfig",
+    "spec_cpu2000",
+    "spec_cpu2006",
+    "spec_omp2001",
+]

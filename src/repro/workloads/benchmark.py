@@ -1,0 +1,130 @@
+"""Benchmark specifications: phase mixtures with persistence."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.workloads.phase import PhaseSpec
+
+__all__ = ["BenchmarkSpec"]
+
+#: Mean number of consecutive sampling intervals spent in one phase
+#: before the program moves on (geometric dwell time).
+_DEFAULT_PERSISTENCE = 12.0
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One synthetic benchmark.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name in SPEC style (e.g. ``"429.mcf"``).
+    phases:
+        The phase mixture; weights are normalized internally.
+    language / category / description:
+        Metadata mirrored from the SPEC documentation, used by reports.
+    weight:
+        Relative instruction count of the benchmark within its suite
+        (drives the sample share, as in the paper's 'Suite' rows).
+    persistence:
+        Mean dwell time, in sampling intervals, within one phase.
+    """
+
+    name: str
+    phases: Tuple[PhaseSpec, ...]
+    language: str = ""
+    category: str = ""
+    description: str = ""
+    weight: float = 1.0
+    persistence: float = _DEFAULT_PERSISTENCE
+
+    def __init__(
+        self,
+        name: str,
+        phases: Sequence[PhaseSpec],
+        language: str = "",
+        category: str = "",
+        description: str = "",
+        weight: float = 1.0,
+        persistence: float = _DEFAULT_PERSISTENCE,
+    ) -> None:
+        if not name:
+            raise ValueError("benchmark name must be non-empty")
+        phases = tuple(phases)
+        if not phases:
+            raise ValueError(f"benchmark {name!r} needs at least one phase")
+        names = [p.name for p in phases]
+        if len(set(names)) != len(names):
+            raise ValueError(f"benchmark {name!r} has duplicate phase names: {names}")
+        if weight <= 0:
+            raise ValueError(f"benchmark {name!r}: weight must be positive")
+        if persistence < 1:
+            raise ValueError(f"benchmark {name!r}: persistence must be >= 1")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "phases", phases)
+        object.__setattr__(self, "language", language)
+        object.__setattr__(self, "category", category)
+        object.__setattr__(self, "description", description)
+        object.__setattr__(self, "weight", weight)
+        object.__setattr__(self, "persistence", persistence)
+
+    @property
+    def phase_weights(self) -> np.ndarray:
+        """Normalized phase weights."""
+        w = np.array([p.weight for p in self.phases], dtype=float)
+        return w / w.sum()
+
+    def sample_phase_indices(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Phase index per interval, with geometric dwell times.
+
+        Phases are chosen by weight; once entered, execution stays in the
+        phase for a geometric number of intervals with mean
+        ``persistence``.  The stationary phase shares equal the weights.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        weights = self.phase_weights
+        indices = np.empty(n, dtype=int)
+        filled = 0
+        while filled < n:
+            phase = int(rng.choice(len(self.phases), p=weights))
+            dwell = int(rng.geometric(1.0 / self.persistence))
+            dwell = min(dwell, n - filled)
+            indices[filled : filled + dwell] = phase
+            filled += dwell
+        return indices
+
+    def sample_trace(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        feature_names: Sequence[str] = PREDICTOR_NAMES,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` ordered intervals with their ground-truth phases.
+
+        Returns ``(densities, phase_indices)``; the indices are the
+        ground truth a phase detector should recover.
+        """
+        indices = self.sample_phase_indices(n, rng)
+        out = np.empty((n, len(feature_names)), dtype=float)
+        for phase_index, phase in enumerate(self.phases):
+            rows = np.nonzero(indices == phase_index)[0]
+            if rows.size:
+                out[rows] = phase.sample(rows.size, rng, feature_names)
+        return out, indices
+
+    def sample_true_densities(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        feature_names: Sequence[str] = PREDICTOR_NAMES,
+    ) -> np.ndarray:
+        """Draw ``n`` true per-instruction density vectors."""
+        densities, _ = self.sample_trace(n, rng, feature_names)
+        return densities

@@ -1,0 +1,58 @@
+"""Human-readable suite catalogs.
+
+Renders the metadata of a suite — member benchmarks, languages,
+categories, instruction weights, phase structure — the way the SPEC
+documentation tables the paper references present them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.suite import Suite
+
+__all__ = ["format_suite_catalog", "format_benchmark_detail"]
+
+
+def format_suite_catalog(suite: Suite) -> str:
+    """One-line-per-benchmark summary table."""
+    name_w = max(len(b.name) for b in suite.benchmarks) + 2
+    lang_w = max(len(b.language) for b in suite.benchmarks) + 2
+    cat_w = max((len(b.category) for b in suite.benchmarks), default=4) + 2
+    header = (
+        f"{'benchmark'.ljust(name_w)}{'lang'.ljust(lang_w)}"
+        f"{'category'.ljust(cat_w)}{'weight':>7s} {'phases':>7s}  description"
+    )
+    lines = [f"{suite.name} ({len(suite)} benchmarks)", header,
+             "-" * len(header)]
+    total_weight = sum(b.weight for b in suite.benchmarks)
+    for bench in suite.benchmarks:
+        lines.append(
+            f"{bench.name.ljust(name_w)}{bench.language.ljust(lang_w)}"
+            f"{bench.category.ljust(cat_w)}"
+            f"{bench.weight / total_weight:7.1%} {len(bench.phases):7d}  "
+            f"{bench.description}"
+        )
+    return "\n".join(lines)
+
+
+def format_benchmark_detail(suite: Suite, name: str) -> str:
+    """Full phase breakdown of one benchmark."""
+    bench = suite.benchmark(name)
+    lines: List[str] = [
+        f"{bench.name} — {bench.description}",
+        f"  language: {bench.language}   category: {bench.category}   "
+        f"suite weight: {bench.weight}",
+        f"  phase persistence: ~{bench.persistence:.0f} intervals",
+        "  phases:",
+    ]
+    weights = bench.phase_weights
+    for phase, weight in zip(bench.phases, weights):
+        overrides = ", ".join(
+            f"{k}={v:g}" for k, v in sorted(phase.densities.items())
+        )
+        lines.append(
+            f"    {phase.name:24s} {weight:6.1%}  "
+            f"{overrides if overrides else '(baseline densities)'}"
+        )
+    return "\n".join(lines)

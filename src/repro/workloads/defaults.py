@@ -1,0 +1,51 @@
+"""Baseline per-instruction event densities.
+
+These are the densities of a bland, well-behaved integer code region on
+a Core 2 class machine: a third of instructions are loads, a sixth
+branches, caches mostly hit, and pathology events (load blocks, splits,
+assists) are rare.  Phase specifications override individual entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.pmu.events import PREDICTOR_NAMES
+
+__all__ = ["DEFAULT_DENSITIES", "DEFAULT_SPREAD", "FRACTION_FEATURES"]
+
+#: Baseline density (events per instruction) for each Table I metric.
+DEFAULT_DENSITIES: Dict[str, float] = {
+    "Load": 0.30,
+    "Store": 0.10,
+    "MisprBr": 0.00007,
+    "Br": 0.16,
+    "L1DMiss": 0.0035,
+    "L1IMiss": 0.0004,
+    "L2Miss": 0.00008,
+    "DtlbMiss": 0.00004,
+    "LdBlkStA": 0.00015,
+    "LdBlkStD": 0.00008,
+    "LdBlkOlp": 0.0009,
+    "LdBlkUntilRet": 0.0002,
+    "SplitLoad": 0.0004,
+    "SplitStore": 0.00015,
+    "Misalign": 0.0002,
+    "Div": 0.0015,
+    "PageWalk": 0.00004,
+    "Mul": 0.015,
+    "FpAsst": 0.000005,
+    "SIMD": 0.04,
+}
+
+#: Default lognormal sigma of within-phase density variation.
+DEFAULT_SPREAD: float = 0.30
+
+#: Features that are fractions of retired instructions and hence <= 1.
+FRACTION_FEATURES = frozenset(
+    {"Load", "Store", "Br", "MisprBr", "SIMD", "Mul", "Div"}
+)
+
+_missing = set(PREDICTOR_NAMES) - set(DEFAULT_DENSITIES)
+if _missing:  # pragma: no cover - schema drift guard
+    raise RuntimeError(f"DEFAULT_DENSITIES is missing entries for {_missing}")

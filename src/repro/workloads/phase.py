@@ -1,0 +1,110 @@
+"""Phase specifications.
+
+A phase is a statistically homogeneous stretch of a benchmark's
+execution: a mean density for every Table I event plus lognormal
+dispersion around it.  Benchmarks are mixtures of phases with
+persistence (real programs stay in a phase for many consecutive
+sampling intervals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.workloads.defaults import (
+    DEFAULT_DENSITIES,
+    DEFAULT_SPREAD,
+    FRACTION_FEATURES,
+)
+
+__all__ = ["PhaseSpec"]
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One execution phase.
+
+    Parameters
+    ----------
+    name:
+        Human-readable phase label (e.g. ``"pointer-chase"``).
+    weight:
+        Relative share of the benchmark's intervals spent in this phase.
+    densities:
+        Overrides of :data:`DEFAULT_DENSITIES` (events per instruction).
+    spread:
+        Lognormal sigma of within-phase variation (applies to every
+        feature unless overridden in ``spreads``).
+    spreads:
+        Per-feature sigma overrides (e.g. tighter SIMD fraction).
+    """
+
+    name: str
+    weight: float = 1.0
+    densities: Mapping[str, float] = field(default_factory=dict)
+    spread: float = DEFAULT_SPREAD
+    spreads: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"phase {self.name!r}: weight must be positive")
+        if self.spread < 0:
+            raise ValueError(f"phase {self.name!r}: spread must be non-negative")
+        unknown = set(self.densities) - set(PREDICTOR_NAMES)
+        if unknown:
+            raise ValueError(
+                f"phase {self.name!r}: unknown density features {sorted(unknown)}"
+            )
+        unknown = set(self.spreads) - set(PREDICTOR_NAMES)
+        if unknown:
+            raise ValueError(
+                f"phase {self.name!r}: unknown spread features {sorted(unknown)}"
+            )
+        for feature, value in self.densities.items():
+            if value < 0:
+                raise ValueError(
+                    f"phase {self.name!r}: density {feature}={value} is negative"
+                )
+
+    def mean_vector(
+        self, feature_names: Sequence[str] = PREDICTOR_NAMES
+    ) -> np.ndarray:
+        """Phase mean density for each feature, in the given order."""
+        return np.array(
+            [
+                self.densities.get(name, DEFAULT_DENSITIES[name])
+                for name in feature_names
+            ],
+            dtype=float,
+        )
+
+    def sample(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        feature_names: Sequence[str] = PREDICTOR_NAMES,
+    ) -> np.ndarray:
+        """Draw ``n`` true density vectors from this phase.
+
+        Each feature is lognormal around the phase mean with the phase's
+        sigma; the ``exp(-sigma^2/2)`` correction keeps the arithmetic
+        mean at the specified value.  Fraction-valued features are
+        capped at 1 event per instruction.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        means = self.mean_vector(feature_names)
+        sigmas = np.array(
+            [self.spreads.get(name, self.spread) for name in feature_names],
+            dtype=float,
+        )
+        noise = rng.standard_normal((n, len(feature_names)))
+        draws = means * np.exp(sigmas * noise - 0.5 * sigmas**2)
+        for column, name in enumerate(feature_names):
+            if name in FRACTION_FEATURES:
+                np.minimum(draws[:, column], 1.0, out=draws[:, column])
+        return draws

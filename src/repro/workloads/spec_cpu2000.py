@@ -1,0 +1,303 @@
+"""Synthetic SPEC CPU2000: the suite CPU2006 replaced.
+
+An *extension* beyond the paper: CPU2000 is the predecessor suite the
+paper mentions in passing ("SPEC CPU2006 was released in 2006 to
+replace CPU2000"), and several of the related-work studies ([11])
+characterized it.  Its members run the same kind of serial CPU- and
+memory-bound code as CPU2006 — same region of the event space, smaller
+working sets (reference inputs were sized for late-90s machines, so
+cache and TLB pressure is systematically milder).  That placement makes
+it the natural probe for *generational* transferability: a CPU2006
+model should transfer far better to CPU2000 than to OMP2001, without
+being quite as good as within-suite.
+
+All 26 benchmarks (12 CINT + 14 CFP) are modeled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.phase import PhaseSpec
+from repro.workloads.suite import Suite
+
+__all__ = ["spec_cpu2000", "CPU2000_BENCHMARKS"]
+
+
+def _phase(name: str, weight: float, **densities: float) -> PhaseSpec:
+    spreads = {"SIMD": 0.10} if densities.get("SIMD", 0.0) > 0.6 else {}
+    return PhaseSpec(name=name, weight=weight, densities=densities, spreads=spreads)
+
+
+def _base(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    return _phase("base", weight, **overrides)
+
+
+def _tlb(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    # Milder than the 2006 equivalent: smaller working sets.
+    densities = {
+        "DtlbMiss": 0.00035,
+        "PageWalk": 0.00015,
+        "L1DMiss": 0.005,
+        "L2Miss": 0.00012,
+        **overrides,
+    }
+    return _phase("tlb-pressure", weight, **densities)
+
+
+def _sta(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    densities = {
+        "DtlbMiss": 0.0004,
+        "L2Miss": 0.0002,
+        "LdBlkStA": 0.0009,
+        "MisprBr": 0.00006,
+        "PageWalk": 0.00018,
+        **overrides,
+    }
+    return _phase("store-addr", weight, **densities)
+
+
+def _stream(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    densities = {
+        "DtlbMiss": 0.00035,
+        "L2Miss": 0.0010,
+        "L1DMiss": 0.016,
+        "Br": 0.07,
+        "MisprBr": 0.00003,
+        "PageWalk": 0.00018,
+        **overrides,
+    }
+    return _phase("memory-stream", weight, **densities)
+
+
+def _pointer(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    densities = {
+        "DtlbMiss": 0.0008,
+        "L2Miss": 0.0009,
+        "L1DMiss": 0.024,
+        "Br": 0.20,
+        "MisprBr": 0.0011,
+        "LdBlkOlp": 0.0025,
+        "PageWalk": 0.0004,
+        **overrides,
+    }
+    return _phase("pointer-chase", weight, **densities)
+
+
+CPU2000_BENCHMARKS: Dict[str, BenchmarkSpec] = {}
+
+
+def _add(spec: BenchmarkSpec) -> None:
+    CPU2000_BENCHMARKS[spec.name] = spec
+
+
+# ----------------------------------------------------------------- CINT
+_add(BenchmarkSpec(
+    "164.gzip",
+    phases=(_base(0.85, Load=0.32, Br=0.15, L1DMiss=0.004), _tlb(0.15)),
+    language="C", category="CINT2000",
+    description="LZ77 compression", weight=1.0,
+))
+_add(BenchmarkSpec(
+    "175.vpr",
+    phases=(_base(0.55, Br=0.18, L1DMiss=0.006), _tlb(0.30), _sta(0.15)),
+    language="C", category="CINT2000",
+    description="FPGA placement and routing", weight=0.9,
+))
+_add(BenchmarkSpec(
+    "176.gcc",
+    phases=(
+        _base(0.55, Br=0.21, L1IMiss=0.0018, Store=0.13),
+        _tlb(0.28, L1IMiss=0.002),
+        _sta(0.17, MisprBr=0.0007, Br=0.20),
+    ),
+    language="C", category="CINT2000",
+    description="GNU C compiler (2000-era inputs)", weight=0.7,
+))
+_add(BenchmarkSpec(
+    "181.mcf",
+    phases=(
+        _pointer(0.80, DtlbMiss=0.0016, L2Miss=0.0028, Br=0.24),
+        _stream(0.20, L2Miss=0.0014),
+    ),
+    language="C", category="CINT2000",
+    description="Vehicle scheduling (network simplex), smaller footprint",
+    weight=0.6,
+))
+_add(BenchmarkSpec(
+    "186.crafty",
+    phases=(_base(0.82, Br=0.20, MisprBr=0.0002, L1IMiss=0.0012), _tlb(0.18)),
+    language="C", category="CINT2000",
+    description="Chess engine", weight=0.9,
+))
+_add(BenchmarkSpec(
+    "197.parser",
+    phases=(_base(0.52, Br=0.19, L1DMiss=0.006), _tlb(0.33), _sta(0.15)),
+    language="C", category="CINT2000",
+    description="Link-grammar English parser", weight=1.0,
+))
+_add(BenchmarkSpec(
+    "252.eon",
+    phases=(_base(0.88, Mul=0.04, Div=0.004, L1DMiss=0.003,
+                  DtlbMiss=0.00004), _tlb(0.12)),
+    language="C++", category="CINT2000",
+    description="Probabilistic ray tracing", weight=0.5,
+))
+_add(BenchmarkSpec(
+    "253.perlbmk",
+    phases=(
+        _base(0.62, Br=0.22, L1IMiss=0.0012, MisprBr=0.00012),
+        _tlb(0.22),
+        _sta(0.16, MisprBr=0.0008),
+    ),
+    language="C", category="CINT2000",
+    description="Perl interpreter", weight=0.9,
+))
+_add(BenchmarkSpec(
+    "254.gap",
+    phases=(_base(0.68, Load=0.33, L1DMiss=0.005), _tlb(0.32)),
+    language="C", category="CINT2000",
+    description="Computational group theory", weight=0.9,
+))
+_add(BenchmarkSpec(
+    "255.vortex",
+    phases=(
+        _base(0.55, L1IMiss=0.0025, Store=0.15),
+        _tlb(0.30, L1IMiss=0.003),
+        _sta(0.15, L1IMiss=0.0025),
+    ),
+    language="C", category="CINT2000",
+    description="Object-oriented database", weight=1.0,
+))
+_add(BenchmarkSpec(
+    "256.bzip2",
+    phases=(_base(0.78, Load=0.33, Br=0.14, L1DMiss=0.0045), _tlb(0.22)),
+    language="C", category="CINT2000",
+    description="Burrows-Wheeler compression (2000-era inputs)", weight=0.9,
+))
+_add(BenchmarkSpec(
+    "300.twolf",
+    phases=(_base(0.45, L1DMiss=0.008, Br=0.17), _tlb(0.40, L1DMiss=0.009),
+            _sta(0.15)),
+    language="C", category="CINT2000",
+    description="Standard-cell place and route", weight=1.0,
+))
+
+# ----------------------------------------------------------------- CFP
+_add(BenchmarkSpec(
+    "168.wupwise",
+    phases=(_base(0.75, Mul=0.05, SIMD=0.25, DtlbMiss=0.00004),
+            _phase("simd-fed", 0.25, SIMD=0.68, L1DMiss=0.004,
+                   L2Miss=0.00015, Br=0.03)),
+    language="Fortran", category="CFP2000",
+    description="Lattice gauge theory (serial)", weight=1.0,
+))
+_add(BenchmarkSpec(
+    "171.swim",
+    phases=(
+        _phase("stencil", 0.70, SIMD=0.72, L1DMiss=0.016, L2Miss=0.0009,
+               Br=0.03, Load=0.40),
+        _stream(0.30, SIMD=0.35),
+    ),
+    language="Fortran", category="CFP2000",
+    description="Shallow-water stencil (serial)", weight=0.8,
+))
+_add(BenchmarkSpec(
+    "172.mgrid",
+    phases=(_stream(0.55, SIMD=0.3, L2Miss=0.0008), _sta(0.45, SIMD=0.3,
+            L1DMiss=0.010)),
+    language="Fortran", category="CFP2000",
+    description="Multigrid solver (serial)", weight=1.1,
+))
+_add(BenchmarkSpec(
+    "173.applu",
+    phases=(
+        _phase("ssor", 0.55, SIMD=0.70, L1DMiss=0.015, Mul=0.08, Br=0.04),
+        _sta(0.45, SIMD=0.3, Mul=0.06),
+    ),
+    language="Fortran", category="CFP2000",
+    description="Parabolic/elliptic PDEs (serial)", weight=0.9,
+))
+_add(BenchmarkSpec(
+    "177.mesa",
+    phases=(_base(0.80, Mul=0.05, SIMD=0.3, L1DMiss=0.004,
+                  DtlbMiss=0.00005), _tlb(0.20)),
+    language="C", category="CFP2000",
+    description="Software OpenGL rasterizer", weight=0.9,
+))
+_add(BenchmarkSpec(
+    "178.galgel",
+    phases=(_sta(0.55, SIMD=0.35, L1DMiss=0.011, Store=0.12),
+            _base(0.45, SIMD=0.3, Store=0.12, MisprBr=0.0003)),
+    language="Fortran", category="CFP2000",
+    description="Fluid oscillation analysis (serial)", weight=0.9,
+))
+_add(BenchmarkSpec(
+    "179.art",
+    phases=(
+        _stream(0.70, L2Miss=0.0022, L1DMiss=0.035, Br=0.16,
+                DtlbMiss=0.0006),
+        _base(0.30, Br=0.20, L1DMiss=0.003),
+    ),
+    language="C", category="CFP2000",
+    description="Adaptive resonance neural network (cache-thrashing)",
+    weight=0.5,
+))
+_add(BenchmarkSpec(
+    "183.equake",
+    phases=(
+        _sta(0.40, MisprBr=0.0008, L2Miss=0.0002, LdBlkStA=0.0008),
+        _stream(0.30, L2Miss=0.0007),
+        _base(0.30, L1DMiss=0.007),
+    ),
+    language="C", category="CFP2000",
+    description="Earthquake ground motion (serial)", weight=0.7,
+))
+_add(BenchmarkSpec(
+    "187.facerec",
+    phases=(_base(0.60, SIMD=0.35, Mul=0.05, L1DMiss=0.005), _stream(0.40,
+            SIMD=0.35, L2Miss=0.0007)),
+    language="Fortran", category="CFP2000",
+    description="Face recognition (graph matching)", weight=0.9,
+))
+_add(BenchmarkSpec(
+    "188.ammp",
+    phases=(_sta(0.45, L1DMiss=0.009), _tlb(0.35, L1DMiss=0.008),
+            _base(0.20, Div=0.004)),
+    language="C", category="CFP2000",
+    description="Molecular mechanics (serial)", weight=1.0,
+))
+_add(BenchmarkSpec(
+    "189.lucas",
+    phases=(_phase("fft", 0.70, SIMD=0.65, L1DMiss=0.008, L2Miss=0.0005,
+                   Mul=0.06, Br=0.03), _stream(0.30, SIMD=0.3)),
+    language="Fortran", category="CFP2000",
+    description="Lucas-Lehmer primality (FFT multiply)", weight=0.8,
+))
+_add(BenchmarkSpec(
+    "191.fma3d",
+    phases=(_sta(0.55, Store=0.13, LdBlkStD=0.0005, L1DMiss=0.008),
+            _base(0.45, Store=0.13)),
+    language="Fortran", category="CFP2000",
+    description="Crash simulation (serial)", weight=1.1,
+))
+_add(BenchmarkSpec(
+    "200.sixtrack",
+    phases=(_base(0.85, Mul=0.06, SIMD=0.3, L1IMiss=0.0012,
+                  DtlbMiss=0.00005), _tlb(0.15)),
+    language="Fortran", category="CFP2000",
+    description="Particle accelerator beam tracking", weight=1.0,
+))
+_add(BenchmarkSpec(
+    "301.apsi",
+    phases=(_sta(0.50, L1DMiss=0.008, PageWalk=0.0003),
+            _tlb(0.30), _base(0.20)),
+    language="Fortran", category="CFP2000",
+    description="Air-pollution meteorology (serial)", weight=0.9,
+))
+
+
+def spec_cpu2000() -> Suite:
+    """The synthetic SPEC CPU2000 suite (26 benchmarks)."""
+    return Suite("SPEC CPU2000", list(CPU2000_BENCHMARKS.values()))

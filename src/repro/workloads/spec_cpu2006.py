@@ -1,0 +1,428 @@
+"""Synthetic SPEC CPU2006: 29 benchmarks with reference-input weights.
+
+Each benchmark's phase mixture is placed in the density space so that
+its dominant ground-truth regimes match the paper's characterization
+(Section IV.B): e.g. 456.hmmer/444.namd/435.gromacs/454.calculix/
+447.dealII live almost entirely in the well-behaved base regime (the
+paper's LM1, >90% each), 482.sphinx3 is split-load bound, 471.omnetpp
+and 429.mcf are DTLB/L2 pointer chasers, 470.lbm and 436.cactusADM are
+the two SIMD-dominant members, and so on.
+
+Weights approximate each benchmark's retired-instruction count on the
+reference inputs (arbitrary units); they drive the sample shares of the
+'Suite' rows in Tables II/III.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.phase import PhaseSpec
+from repro.workloads.suite import Suite
+
+__all__ = ["spec_cpu2006", "CPU2006_BENCHMARKS"]
+
+
+def _phase(name: str, weight: float, **densities: float) -> PhaseSpec:
+    spreads = {"SIMD": 0.10} if densities.get("SIMD", 0.0) > 0.6 else {}
+    return PhaseSpec(name=name, weight=weight, densities=densities, spreads=spreads)
+
+
+# Recurring phase shapes (returned fresh so specs stay independent).
+def _base(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    return _phase("base", weight, **overrides)
+
+
+def _tlb(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    densities = {
+        "DtlbMiss": 0.00055,
+        "PageWalk": 0.00022,
+        "L1DMiss": 0.006,
+        "L2Miss": 0.00018,
+        **overrides,
+    }
+    return _phase("tlb-pressure", weight, **densities)
+
+
+def _sta_serial(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    densities = {
+        "DtlbMiss": 0.00055,
+        "L2Miss": 0.00026,
+        "LdBlkStA": 0.0012,
+        "LdBlkStD": 0.0004,
+        "MisprBr": 0.00005,
+        "SplitStore": 0.0004,
+        "PageWalk": 0.00025,
+        **overrides,
+    }
+    return _phase("store-addr-serialized", weight, **densities)
+
+
+def _sta_mispredict(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    densities = {
+        "DtlbMiss": 0.0005,
+        "L2Miss": 0.00024,
+        "LdBlkStA": 0.0011,
+        "MisprBr": 0.0009,
+        "Br": 0.20,
+        "PageWalk": 0.00022,
+        **overrides,
+    }
+    return _phase("store-addr-mispredict", weight, **densities)
+
+
+def _stream(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    densities = {
+        "DtlbMiss": 0.0005,
+        "L2Miss": 0.0016,
+        "L1DMiss": 0.02,
+        "Br": 0.07,
+        "MisprBr": 0.00003,
+        "PageWalk": 0.00025,
+        **overrides,
+    }
+    return _phase("memory-stream", weight, **densities)
+
+
+def _pointer(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    densities = {
+        "DtlbMiss": 0.0011,
+        "L2Miss": 0.0014,
+        "L1DMiss": 0.03,
+        "Br": 0.21,
+        "MisprBr": 0.0013,
+        "LdBlkOlp": 0.003,
+        "PageWalk": 0.0006,
+        **overrides,
+    }
+    return _phase("pointer-chase", weight, **densities)
+
+
+CPU2006_BENCHMARKS: Dict[str, BenchmarkSpec] = {}
+
+
+def _add(spec: BenchmarkSpec) -> None:
+    CPU2006_BENCHMARKS[spec.name] = spec
+
+
+# ----------------------------------------------------------------- CINT
+_add(BenchmarkSpec(
+    "400.perlbench",
+    phases=(
+        _base(0.62, Br=0.22, MisprBr=0.00012, L1IMiss=0.0012, Load=0.28),
+        _tlb(0.23, L1IMiss=0.0015, Br=0.22),
+        _sta_mispredict(0.15, L1IMiss=0.0014),
+    ),
+    language="C", category="CINT",
+    description="Cut-down Perl interpreter running SPEC scripts",
+    weight=2.1,
+))
+_add(BenchmarkSpec(
+    "401.bzip2",
+    phases=(
+        _base(0.74, Load=0.33, Br=0.14, MisprBr=0.00011, L1DMiss=0.005),
+        _tlb(0.26, L1DMiss=0.009, MisprBr=0.0003),
+    ),
+    language="C", category="CINT",
+    description="Burrows-Wheeler compression of mixed input data",
+    weight=2.4,
+))
+_add(BenchmarkSpec(
+    "403.gcc",
+    phases=(
+        _base(0.48, Br=0.21, MisprBr=0.00013, L1IMiss=0.002, Store=0.14),
+        _tlb(0.30, L1IMiss=0.0022, Store=0.14),
+        _sta_mispredict(0.22, L1IMiss=0.002),
+    ),
+    language="C", category="CINT",
+    description="GNU C compiler building its inputs at -O",
+    weight=1.1,
+))
+_add(BenchmarkSpec(
+    "429.mcf",
+    phases=(
+        _pointer(0.86, DtlbMiss=0.0024, L2Miss=0.0042, Br=0.24, Load=0.36),
+        _stream(0.14, L2Miss=0.002),
+    ),
+    language="C", category="CINT",
+    description="Single-depot vehicle scheduling (network simplex)",
+    weight=0.9,
+))
+_add(BenchmarkSpec(
+    "445.gobmk",
+    phases=(
+        _base(0.68, Br=0.22, MisprBr=0.00022, L1IMiss=0.0016),
+        _tlb(0.20, MisprBr=0.0004),
+        _sta_mispredict(0.12),
+    ),
+    language="C", category="CINT",
+    description="Go-playing engine analysing board positions",
+    weight=1.6,
+))
+_add(BenchmarkSpec(
+    "456.hmmer",
+    phases=(
+        _base(1.0, Load=0.34, Br=0.11, Mul=0.02, L1DMiss=0.0035,
+              DtlbMiss=0.00004),
+    ),
+    language="C", category="CINT",
+    description="Profile HMM search over DNA sequences",
+    weight=2.0,
+))
+_add(BenchmarkSpec(
+    "458.sjeng",
+    phases=(
+        _base(0.80, Br=0.21, MisprBr=0.00025, L1IMiss=0.0012),
+        _tlb(0.20, MisprBr=0.00045),
+    ),
+    language="C", category="CINT",
+    description="Chess engine searching game trees",
+    weight=2.2,
+))
+_add(BenchmarkSpec(
+    "462.libquantum",
+    phases=(
+        _phase("quantum-stream", 0.82, DtlbMiss=0.00055, L2Miss=0.0013,
+               L1DMiss=0.016, Br=0.13, MisprBr=0.00004, PageWalk=0.00028),
+        _base(0.18, Br=0.24),
+    ),
+    language="C", category="CINT",
+    description="Quantum computer simulation (Shor factoring)",
+    weight=3.0,
+))
+_add(BenchmarkSpec(
+    "464.h264ref",
+    phases=(
+        _base(0.55, Load=0.36, SIMD=0.18, Mul=0.03, L1DMiss=0.004),
+        _tlb(0.25, SIMD=0.18),
+        _sta_serial(0.20, SIMD=0.18, MisprBr=0.00008),
+    ),
+    language="C", category="CINT",
+    description="H.264/AVC video encoder (reference code)",
+    weight=3.3,
+))
+_add(BenchmarkSpec(
+    "471.omnetpp",
+    phases=(
+        _pointer(0.84, DtlbMiss=0.00095, L2Miss=0.0013, Br=0.20,
+                 LdBlkOlp=0.0032, Store=0.16),
+        _tlb(0.16, Store=0.15),
+    ),
+    language="C++", category="CINT",
+    description="Discrete-event simulation of an Ethernet network",
+    weight=1.0,
+))
+_add(BenchmarkSpec(
+    "473.astar",
+    phases=(
+        _base(0.50, Br=0.16, L1DMiss=0.006),
+        _tlb(0.28, L1DMiss=0.009),
+        _sta_mispredict(0.12),
+        _pointer(0.10, DtlbMiss=0.0007, L2Miss=0.0009),
+    ),
+    language="C++", category="CINT",
+    description="A* path-finding over 2-D maps",
+    weight=1.3,
+))
+_add(BenchmarkSpec(
+    "483.xalancbmk",
+    phases=(
+        _tlb(0.52, L1IMiss=0.0025, Br=0.23, MisprBr=0.0003),
+        _base(0.30, Br=0.23, L1IMiss=0.002),
+        _sta_mispredict(0.18, L1IMiss=0.002),
+    ),
+    language="C++", category="CINT",
+    description="XSLT processor transforming XML documents",
+    weight=1.2,
+))
+
+# ----------------------------------------------------------------- CFP
+_add(BenchmarkSpec(
+    "410.bwaves",
+    phases=(
+        _sta_serial(0.55, L1DMiss=0.014, Mul=0.06, SIMD=0.3),
+        _stream(0.45, L2Miss=0.0012, SIMD=0.3, Mul=0.06),
+    ),
+    language="Fortran", category="CFP",
+    description="Blast-wave CFD on 3-D grids",
+    weight=1.9,
+))
+_add(BenchmarkSpec(
+    "416.gamess",
+    phases=(
+        _base(0.88, Mul=0.05, Div=0.004, SIMD=0.22, L1DMiss=0.003,
+              DtlbMiss=0.00004),
+        _tlb(0.12, Mul=0.05),
+    ),
+    language="Fortran", category="CFP",
+    description="Ab-initio quantum chemistry",
+    weight=2.7,
+))
+_add(BenchmarkSpec(
+    "433.milc",
+    phases=(
+        _sta_serial(0.62, L1DMiss=0.018, SIMD=0.34, Mul=0.05),
+        _stream(0.38, SIMD=0.34, L2Miss=0.0013),
+    ),
+    language="C", category="CFP",
+    description="Lattice QCD with dynamical quarks",
+    weight=1.4,
+))
+_add(BenchmarkSpec(
+    "434.zeusmp",
+    phases=(
+        _sta_serial(0.50, SIMD=0.3, Mul=0.05, L1DMiss=0.012),
+        _tlb(0.30, SIMD=0.3),
+        _stream(0.20, SIMD=0.3),
+    ),
+    language="Fortran", category="CFP",
+    description="Astrophysical magnetohydrodynamics",
+    weight=1.8,
+))
+_add(BenchmarkSpec(
+    "435.gromacs",
+    phases=(
+        _base(1.0, Mul=0.05, Div=0.006, SIMD=0.30, L1DMiss=0.004,
+              Load=0.32, Br=0.10, DtlbMiss=0.00004),
+    ),
+    language="C/Fortran", category="CFP",
+    description="Molecular dynamics of Lysozyme in solvent",
+    weight=2.0,
+))
+_add(BenchmarkSpec(
+    "436.cactusADM",
+    phases=(
+        _phase("simd-kernel", 0.80, SIMD=0.93, L1DMiss=0.005,
+               L2Miss=0.00015, Misalign=0.0011, Mul=0.04, Br=0.04,
+               Load=0.42, DtlbMiss=0.00008),
+        _base(0.20, SIMD=0.3, Mul=0.04),
+    ),
+    language="Fortran/C", category="CFP",
+    description="Einstein evolution equations (ADM formulation)",
+    weight=1.6,
+))
+_add(BenchmarkSpec(
+    "437.leslie3d",
+    phases=(
+        _sta_serial(0.58, SIMD=0.35, L1DMiss=0.015, Mul=0.05),
+        _stream(0.42, SIMD=0.35, L2Miss=0.0014),
+    ),
+    language="Fortran", category="CFP",
+    description="Large-eddy turbulence simulation",
+    weight=1.7,
+))
+_add(BenchmarkSpec(
+    "444.namd",
+    phases=(
+        _base(1.0, Mul=0.06, Div=0.004, SIMD=0.28, L1DMiss=0.0035,
+              Load=0.33, Br=0.09, DtlbMiss=0.00004),
+    ),
+    language="C++", category="CFP",
+    description="Biomolecular simulation of large systems",
+    weight=2.3,
+))
+_add(BenchmarkSpec(
+    "447.dealII",
+    phases=(
+        _base(0.96, Load=0.36, L1DMiss=0.005, Mul=0.04, SIMD=0.25,
+              Br=0.13, DtlbMiss=0.00004),
+        _tlb(0.04),
+    ),
+    language="C++", category="CFP",
+    description="Adaptive finite elements for PDEs",
+    weight=2.2,
+))
+_add(BenchmarkSpec(
+    "450.soplex",
+    phases=(
+        _sta_mispredict(0.40, L1DMiss=0.012),
+        _stream(0.32, L2Miss=0.0011),
+        _tlb(0.28),
+    ),
+    language="C++", category="CFP",
+    description="Simplex linear-program solver",
+    weight=1.0,
+))
+_add(BenchmarkSpec(
+    "453.povray",
+    phases=(
+        _base(0.82, Br=0.17, MisprBr=0.00015, Div=0.005, Mul=0.05,
+              L1DMiss=0.003),
+        _tlb(0.18, Div=0.005),
+    ),
+    language="C++", category="CFP",
+    description="Ray tracing a complex scene",
+    weight=1.1,
+))
+_add(BenchmarkSpec(
+    "454.calculix",
+    phases=(
+        _base(0.96, Mul=0.05, SIMD=0.33, L1DMiss=0.0045, Load=0.32,
+              DtlbMiss=0.00004),
+        _tlb(0.04),
+    ),
+    language="Fortran/C", category="CFP",
+    description="Finite-element structural mechanics",
+    weight=1.7,
+))
+_add(BenchmarkSpec(
+    "459.GemsFDTD",
+    phases=(
+        _stream(0.78, L2Miss=0.0019, DtlbMiss=0.00055, L1DMiss=0.024,
+                SIMD=0.3),
+        _sta_serial(0.22, SIMD=0.3),
+    ),
+    language="Fortran", category="CFP",
+    description="Finite-difference time-domain Maxwell solver",
+    weight=1.5,
+))
+_add(BenchmarkSpec(
+    "465.tonto",
+    phases=(
+        _base(0.78, Mul=0.05, Div=0.005, SIMD=0.2, L1IMiss=0.0012),
+        _tlb(0.22),
+    ),
+    language="Fortran", category="CFP",
+    description="Quantum crystallography",
+    weight=1.9,
+))
+_add(BenchmarkSpec(
+    "470.lbm",
+    phases=(
+        _phase("lattice-sweep", 0.72, SIMD=0.80, L1DMiss=0.007,
+               L2Miss=0.0016, LdBlkOlp=0.0042, Misalign=0.0004,
+               Load=0.38, Store=0.18, Br=0.02, DtlbMiss=0.00012),
+        _stream(0.28, SIMD=0.35),
+    ),
+    language="C", category="CFP",
+    description="Lattice-Boltzmann fluid dynamics",
+    weight=1.4,
+))
+_add(BenchmarkSpec(
+    "481.wrf",
+    phases=(
+        _sta_serial(0.45, SIMD=0.3, L1DMiss=0.01),
+        _tlb(0.33, SIMD=0.3),
+        _base(0.22, SIMD=0.3, Mul=0.05),
+    ),
+    language="Fortran/C", category="CFP",
+    description="Weather research and forecasting model",
+    weight=2.0,
+))
+_add(BenchmarkSpec(
+    "482.sphinx3",
+    phases=(
+        _phase("acoustic-scoring", 0.76, SplitLoad=0.0065, L1DMiss=0.007,
+               DtlbMiss=0.00050, L2Miss=0.00020, LdBlkStA=0.00018,
+               Load=0.36, Mul=0.04, PageWalk=0.00024),
+        _base(0.24, Mul=0.04),
+    ),
+    language="C", category="CFP",
+    description="CMU Sphinx-3 speech recognition",
+    weight=2.4,
+))
+
+def spec_cpu2006() -> Suite:
+    """The synthetic SPEC CPU2006 suite (29 benchmarks)."""
+    return Suite("SPEC CPU2006", list(CPU2006_BENCHMARKS.values()))

@@ -1,0 +1,234 @@
+"""Synthetic SPEC OMP2001 (medium input set): 11 benchmarks.
+
+The suite occupies a different region of the density space than
+CPU2006, per Section V of the paper: half the suite is dominated by
+loads blocked by overlapping stores (LM17/LM18 regimes split by store
+rate), and nearly half by high SIMD instruction rates — including the
+data-starved SIMD regime (the paper's LM16, average CPI 2.50).  Suite
+average CPI is ~1.27 versus CPU2006's ~0.96.
+
+Benchmark placement follows Section V.B: 328.fma3d_m and 318.galgel_m
+fall almost entirely into the heavy-store block regime; 314.mgrid_m and
+330.ammp_m into the light-store block regime; 316.applu_m and
+312.swim_m into the starved-SIMD regime; 330.art_m is the low-CPI
+outlier; 320.equake_m spreads across most regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.phase import PhaseSpec
+from repro.workloads.suite import Suite
+
+__all__ = ["spec_omp2001", "OMP2001_BENCHMARKS"]
+
+
+def _phase(name: str, weight: float, **densities: float) -> PhaseSpec:
+    spreads = {"SIMD": 0.10} if densities.get("SIMD", 0.0) > 0.6 else {}
+    return PhaseSpec(name=name, weight=weight, densities=densities, spreads=spreads)
+
+
+def _block_light(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    """Paper LM17 region: high load-block-overlap, modest stores."""
+    densities = {
+        "LdBlkOlp": 0.013,
+        "Store": 0.048,
+        "L1DMiss": 0.008,
+        "LdBlkStA": 0.0004,
+        "PageWalk": 0.00020,
+        "DtlbMiss": 0.00012,
+        "Br": 0.08,
+        "SIMD": 0.12,
+        **overrides,
+    }
+    return _phase("block-light-store", weight, **densities)
+
+
+def _block_heavy(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    """Paper LM18 region: high load-block-overlap plus heavy stores."""
+    densities = {
+        "LdBlkOlp": 0.014,
+        "Store": 0.145,
+        "PageWalk": 0.00045,
+        "DtlbMiss": 0.00020,
+        "Div": 0.001,
+        "SIMD": 0.12,
+        "Br": 0.07,
+        **overrides,
+    }
+    return _phase("block-heavy-store", weight, **densities)
+
+
+def _simd_starved(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    """Paper LM16 region: SIMD-rich code starved by L1D misses."""
+    densities = {
+        "SIMD": 0.87,
+        "L1DMiss": 0.021,
+        "Misalign": 0.0007,
+        "Br": 0.04,
+        "Load": 0.40,
+        "Mul": 0.08,
+        "DtlbMiss": 0.00010,
+        **overrides,
+    }
+    return _phase("simd-starved", weight, **densities)
+
+
+def _simd_stream(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    """Well-fed vector streaming (the cheaper SIMD regimes)."""
+    densities = {
+        "SIMD": 0.78,
+        "L1DMiss": 0.007,
+        "L2Miss": 0.0012,
+        "LdBlkOlp": 0.004,
+        "Br": 0.03,
+        "Load": 0.40,
+        "DtlbMiss": 0.00010,
+        **overrides,
+    }
+    return _phase("simd-stream", weight, **densities)
+
+
+def _scalar(weight: float = 1.0, **overrides: float) -> PhaseSpec:
+    densities = {"SIMD": 0.15, "Mul": 0.04, **overrides}
+    return _phase("scalar", weight, **densities)
+
+
+OMP2001_BENCHMARKS: Dict[str, BenchmarkSpec] = {}
+
+
+def _add(spec: BenchmarkSpec) -> None:
+    OMP2001_BENCHMARKS[spec.name] = spec
+
+
+_add(BenchmarkSpec(
+    "310.wupwise_m",
+    phases=(
+        _scalar(0.45, L1DMiss=0.003, Br=0.08, DtlbMiss=0.00005),
+        _phase("simd-fed", 0.30, SIMD=0.70, L1DMiss=0.004,
+               L2Miss=0.00015, Br=0.03, DtlbMiss=0.00008),
+        _phase("scalar-stores", 0.25, SIMD=0.15, Mul=0.04, Store=0.20,
+               MisprBr=0.0004, DtlbMiss=0.00005),
+    ),
+    language="Fortran", category="OMPM",
+    description="Lattice gauge theory (quantum chromodynamics)",
+    weight=1.4,
+))
+_add(BenchmarkSpec(
+    "312.swim_m",
+    phases=(
+        _simd_starved(0.72, SIMD=0.80, L1DMiss=0.024, Mul=0.04),
+        _simd_stream(0.28, L2Miss=0.0015),
+    ),
+    language="Fortran", category="OMPM",
+    description="Shallow-water weather prediction kernel",
+    weight=1.2,
+))
+_add(BenchmarkSpec(
+    "314.mgrid_m",
+    phases=(
+        _block_light(0.78, L1DMiss=0.009),
+        _simd_stream(0.14),
+        _scalar(0.08),
+    ),
+    language="Fortran", category="OMPM",
+    description="Multigrid solver on 3-D potential fields",
+    weight=1.5,
+))
+_add(BenchmarkSpec(
+    "316.applu_m",
+    phases=(
+        _simd_starved(0.66, Mul=0.10),
+        _block_light(0.18),
+        _simd_stream(0.16),
+    ),
+    language="Fortran", category="OMPM",
+    description="Parabolic/elliptic PDE solver (SSOR)",
+    weight=1.3,
+))
+_add(BenchmarkSpec(
+    "318.galgel_m",
+    phases=(
+        _block_heavy(0.85, Store=0.135, SIMD=0.16),
+        _scalar(0.15, Store=0.12, MisprBr=0.0003),
+    ),
+    language="Fortran", category="OMPM",
+    description="Galerkin finite-element fluid oscillation analysis",
+    weight=1.1,
+))
+_add(BenchmarkSpec(
+    "320.equake_m",
+    phases=(
+        _phase("assembly-mispredict", 0.24, MisprBr=0.0010, Br=0.19,
+               DtlbMiss=0.00045, LdBlkStA=0.0009, L2Miss=0.00022,
+               PageWalk=0.00022),
+        _block_light(0.30, L1DMiss=0.011),
+        _block_heavy(0.22, Store=0.12),
+        _scalar(0.24, L1DMiss=0.008, DtlbMiss=0.00008),
+    ),
+    language="C", category="OMPM",
+    description="Earthquake ground-motion finite elements",
+    weight=1.0,
+))
+_add(BenchmarkSpec(
+    "324.apsi_m",
+    phases=(
+        _block_light(0.70, LdBlkOlp=0.011, Store=0.055, L1DMiss=0.0065),
+        _phase("sta-pagewalk", 0.18, LdBlkStA=0.0013, DtlbMiss=0.00050,
+               L2Miss=0.00022, PageWalk=0.00035, MisprBr=0.00005),
+        _scalar(0.12),
+    ),
+    language="Fortran", category="OMPM",
+    description="Air-pollution dispersion meteorology",
+    weight=1.2,
+))
+_add(BenchmarkSpec(
+    "326.gafort_m",
+    phases=(
+        _phase("crossover-stores", 0.55, Store=0.16, DtlbMiss=0.00032,
+               L1DMiss=0.006, MisprBr=0.0005, Br=0.14, LdBlkOlp=0.002),
+        _scalar(0.45, Store=0.15, Br=0.14, DtlbMiss=0.00005),
+    ),
+    language="Fortran", category="OMPM",
+    description="Genetic algorithm optimization",
+    weight=1.1,
+))
+_add(BenchmarkSpec(
+    "328.fma3d_m",
+    phases=(
+        _block_heavy(0.95, LdBlkOlp=0.015, Store=0.15, PageWalk=0.00050),
+        _scalar(0.05),
+    ),
+    language="Fortran", category="OMPM",
+    description="Crash simulation with finite elements",
+    weight=1.6,
+))
+_add(BenchmarkSpec(
+    "330.art_m",
+    phases=(
+        _phase("resonance-scan", 1.0, Load=0.28, Br=0.20, L1DMiss=0.002,
+               SIMD=0.02, Mul=0.01, DtlbMiss=0.00004, Store=0.08),
+    ),
+    language="C", category="OMPM",
+    description="Adaptive resonance theory neural network (thermal image recognition)",
+    weight=0.9,
+))
+_add(BenchmarkSpec(
+    "332.ammp_m",
+    phases=(
+        _block_light(0.74, LdBlkOlp=0.010, L1DMiss=0.0075, Store=0.042),
+        _phase("neighbor-lists", 0.16, LdBlkStA=0.0011, DtlbMiss=0.00048,
+               L2Miss=0.00020, PageWalk=0.00028, MisprBr=0.00006),
+        _scalar(0.10, Div=0.004),
+    ),
+    language="C", category="OMPM",
+    description="Molecular mechanics of ions in water",
+    weight=1.3,
+))
+
+
+def spec_omp2001() -> Suite:
+    """The synthetic SPEC OMP2001 medium suite (11 benchmarks)."""
+    return Suite("SPEC OMP2001", list(OMP2001_BENCHMARKS.values()))

@@ -1,0 +1,136 @@
+"""Suites: collections of benchmarks plus the generation pipeline.
+
+``Suite.generate`` runs the full measurement chain the paper used:
+workload phases produce true event densities, the machine (ground-truth
+cost model + residual noise) produces true CPI, and the multiplexed PMU
+collector produces the *observed* densities and CPI that make up the
+final :class:`~repro.datasets.SampleSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.dataset import SampleSet
+from repro.pmu.collector import CollectorConfig, PmuCollector
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.uarch.core2 import build_core2_cost_model
+from repro.uarch.execution import ExecutionEngine, NoiseConfig
+from repro.workloads.benchmark import BenchmarkSpec
+
+__all__ = ["Suite", "SuiteGenerationConfig"]
+
+
+@dataclass(frozen=True)
+class SuiteGenerationConfig:
+    """Knobs of the measurement pipeline.
+
+    ``total_samples`` is distributed over benchmarks in proportion to
+    their instruction-count weights (the paper samples every 2M
+    instructions, so longer benchmarks contribute more samples).
+    """
+
+    total_samples: int = 30_000
+    seed: int = 20080401
+    collector: CollectorConfig = CollectorConfig()
+    noise: NoiseConfig = NoiseConfig()
+
+    def __post_init__(self) -> None:
+        if self.total_samples <= 0:
+            raise ValueError(
+                f"total_samples must be positive, got {self.total_samples}"
+            )
+
+
+class Suite:
+    """A named set of benchmarks sharing one machine."""
+
+    def __init__(self, name: str, benchmarks: Sequence[BenchmarkSpec]) -> None:
+        if not name:
+            raise ValueError("suite name must be non-empty")
+        benchmarks = tuple(benchmarks)
+        if not benchmarks:
+            raise ValueError(f"suite {name!r} needs at least one benchmark")
+        names = [b.name for b in benchmarks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"suite {name!r} has duplicate benchmarks: {names}")
+        self.name = name
+        self.benchmarks: Tuple[BenchmarkSpec, ...] = benchmarks
+
+    def __len__(self) -> int:
+        return len(self.benchmarks)
+
+    def __repr__(self) -> str:
+        return f"Suite({self.name!r}, {len(self)} benchmarks)"
+
+    def benchmark(self, name: str) -> BenchmarkSpec:
+        """Look up a member benchmark by name."""
+        for spec in self.benchmarks:
+            if spec.name == name:
+                return spec
+        raise KeyError(
+            f"no benchmark {name!r} in suite {self.name!r}; "
+            f"have {[b.name for b in self.benchmarks]}"
+        )
+
+    def sample_allocation(self, total_samples: int) -> Dict[str, int]:
+        """Samples per benchmark, proportional to instruction weight.
+
+        Every benchmark receives at least one sample; the allocation
+        sums exactly to ``total_samples``.
+        """
+        if total_samples < len(self.benchmarks):
+            raise ValueError(
+                f"total_samples={total_samples} is fewer than the "
+                f"{len(self.benchmarks)} benchmarks in {self.name!r}"
+            )
+        weights = np.array([b.weight for b in self.benchmarks], dtype=float)
+        shares = weights / weights.sum() * total_samples
+        counts = np.maximum(np.floor(shares).astype(int), 1)
+        # Distribute the remainder to the largest fractional parts.
+        deficit = total_samples - int(counts.sum())
+        if deficit > 0:
+            order = np.argsort(-(shares - np.floor(shares)))
+            for i in range(deficit):
+                counts[order[i % len(counts)]] += 1
+        elif deficit < 0:
+            order = np.argsort(shares - np.floor(shares))
+            taken = 0
+            for i in order:
+                while counts[i] > 1 and taken < -deficit:
+                    counts[i] -= 1
+                    taken += 1
+                if taken >= -deficit:
+                    break
+        return {b.name: int(c) for b, c in zip(self.benchmarks, counts)}
+
+    def generate(
+        self,
+        config: Optional[SuiteGenerationConfig] = None,
+        engine: Optional[ExecutionEngine] = None,
+    ) -> SampleSet:
+        """Run the measurement pipeline and return the observed samples."""
+        config = config or SuiteGenerationConfig()
+        engine = engine or ExecutionEngine(build_core2_cost_model(), config.noise)
+        collector = PmuCollector(config.collector)
+        rng = np.random.default_rng(config.seed)
+        allocation = self.sample_allocation(config.total_samples)
+        parts = []
+        for spec in self.benchmarks:
+            n = allocation[spec.name]
+            true_densities = spec.sample_true_densities(n, rng)
+            true_cpi = engine.true_cpi(true_densities, rng)
+            observed_densities = collector.observe_densities(true_densities, rng)
+            observed_cpi = collector.observe_cpi(true_cpi, rng)
+            parts.append(
+                SampleSet(
+                    PREDICTOR_NAMES,
+                    observed_densities,
+                    observed_cpi,
+                    [spec.name] * n,
+                )
+            )
+        return SampleSet.concat(parts)

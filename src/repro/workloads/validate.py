@@ -1,0 +1,99 @@
+"""Physical-consistency validation of workload specifications.
+
+Event densities are not free parameters: a benchmark cannot mispredict
+more branches than it retires, miss in L2 more often than it misses in
+L1D, or block more loads than it issues.  These cross-event constraints
+catch specification mistakes that per-feature range checks cannot.
+Every suite shipped with the library must validate cleanly (enforced
+by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.defaults import DEFAULT_DENSITIES
+from repro.workloads.suite import Suite
+
+__all__ = ["SpecViolation", "validate_benchmark", "validate_suite"]
+
+#: (numerator event, denominator event, description).  The numerator's
+#: phase-mean density must not exceed the denominator's.
+_DOMINANCE_RULES: Tuple[Tuple[str, str, str], ...] = (
+    ("MisprBr", "Br", "cannot mispredict more branches than are retired"),
+    ("L2Miss", "L1DMiss", "an L2 miss requires an L1D miss first"),
+    ("LdBlkStA", "Load", "only loads can be blocked (store-address)"),
+    ("LdBlkStD", "Load", "only loads can be blocked (store-data)"),
+    ("LdBlkOlp", "Load", "only loads can be blocked (overlap)"),
+    ("SplitLoad", "Load", "only loads can split"),
+    ("SplitStore", "Store", "only stores can split"),
+    ("L1DMiss", "Load", "L1D load misses cannot exceed loads"),
+)
+
+#: Hard per-event ceilings (events per instruction).
+_CEILINGS: Tuple[Tuple[str, float], ...] = (
+    ("Load", 1.0),
+    ("Store", 1.0),
+    ("Br", 1.0),
+    ("SIMD", 1.0),
+    ("Mul", 1.0),
+    ("Div", 1.0),
+    ("DtlbMiss", 0.05),
+    ("L2Miss", 0.05),
+    ("PageWalk", 0.05),
+)
+
+
+@dataclass(frozen=True)
+class SpecViolation:
+    """One physically inconsistent density in one phase."""
+
+    benchmark: str
+    phase: str
+    rule: str
+
+    def __str__(self) -> str:
+        return f"{self.benchmark}/{self.phase}: {self.rule}"
+
+
+def validate_benchmark(spec: BenchmarkSpec) -> List[SpecViolation]:
+    """All physical-consistency violations of one benchmark spec."""
+    violations: List[SpecViolation] = []
+    for phase in spec.phases:
+        def density(event: str) -> float:
+            return phase.densities.get(event, DEFAULT_DENSITIES[event])
+
+        for numerator, denominator, description in _DOMINANCE_RULES:
+            if density(numerator) > density(denominator):
+                violations.append(
+                    SpecViolation(
+                        benchmark=spec.name,
+                        phase=phase.name,
+                        rule=(
+                            f"{numerator}={density(numerator):g} > "
+                            f"{denominator}={density(denominator):g} "
+                            f"({description})"
+                        ),
+                    )
+                )
+        for event, ceiling in _CEILINGS:
+            if density(event) > ceiling:
+                violations.append(
+                    SpecViolation(
+                        benchmark=spec.name,
+                        phase=phase.name,
+                        rule=f"{event}={density(event):g} exceeds "
+                        f"ceiling {ceiling:g}",
+                    )
+                )
+    return violations
+
+
+def validate_suite(suite: Suite) -> List[SpecViolation]:
+    """All violations across a suite (empty list = clean)."""
+    violations: List[SpecViolation] = []
+    for spec in suite.benchmarks:
+        violations.extend(validate_benchmark(spec))
+    return violations

@@ -1,0 +1,141 @@
+"""Baseline regressors: correctness and the shared interface."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cart import CartRegressionTree
+from repro.baselines.knn import KnnRegressor
+from repro.baselines.linreg import LinearRegressionBaseline
+from repro.baselines.mlp import MlpRegressor
+
+ALL_BASELINES = [
+    lambda: LinearRegressionBaseline(),
+    lambda: CartRegressionTree(min_leaf=10),
+    lambda: KnnRegressor(k=5),
+    lambda: MlpRegressor(epochs=20, hidden=16),
+]
+
+
+def linear_problem(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 3))
+    y = 1.0 + 2.0 * X[:, 0] - X[:, 2] + 0.01 * rng.standard_normal(n)
+    return X, y
+
+
+def step_problem(n=600, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    y = np.where(X[:, 0] > 0.5, 4.0, 1.0) + 0.05 * rng.standard_normal(n)
+    return X, y
+
+
+class TestSharedInterface:
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_fit_predict_shapes(self, factory):
+        X, y = linear_problem()
+        model = factory().fit(X, y)
+        pred = model.predict(X[:17])
+        assert pred.shape == (17,)
+        assert np.all(np.isfinite(pred))
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_unfitted_raises(self, factory):
+        with pytest.raises(RuntimeError):
+            factory().predict(np.ones((2, 3)))
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_wrong_width_raises(self, factory):
+        X, y = linear_problem()
+        model = factory().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.ones((2, 7)))
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_fit_validation(self, factory):
+        with pytest.raises(ValueError):
+            factory().fit(np.ones((10, 2)), np.ones(9))
+
+
+class TestLinearRegression:
+    def test_exact_recovery(self):
+        X, y = linear_problem()
+        model = LinearRegressionBaseline().fit(X, y)
+        assert model.intercept_ == pytest.approx(1.0, abs=0.02)
+        assert model.coef_[0] == pytest.approx(2.0, abs=0.02)
+        assert model.coef_[1] == pytest.approx(0.0, abs=0.02)
+
+    def test_rejects_negative_ridge(self):
+        with pytest.raises(ValueError):
+            LinearRegressionBaseline(ridge=-1.0)
+
+
+class TestCart:
+    def test_learns_step(self):
+        X, y = step_problem()
+        model = CartRegressionTree(min_leaf=10).fit(X, y)
+        pred = model.predict(X)
+        assert np.mean(np.abs(pred - y)) < 0.1
+
+    def test_n_leaves(self):
+        X, y = step_problem()
+        model = CartRegressionTree(min_leaf=10).fit(X, y)
+        assert model.n_leaves >= 2
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).random((100, 2))
+        model = CartRegressionTree().fit(X, np.full(100, 2.0))
+        assert model.n_leaves == 1
+        np.testing.assert_allclose(model.predict(X[:5]), 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CartRegressionTree(min_leaf=0)
+        with pytest.raises(ValueError):
+            CartRegressionTree(max_depth=0)
+
+
+class TestKnn:
+    def test_exact_neighbor(self):
+        X = np.array([[0.0, 0.0], [10.0, 10.0]])
+        y = np.array([1.0, 5.0])
+        model = KnnRegressor(k=1).fit(X, y)
+        np.testing.assert_allclose(
+            model.predict(np.array([[0.1, 0.1], [9.9, 9.9]])), [1.0, 5.0]
+        )
+
+    def test_unweighted_mean(self):
+        X = np.array([[0.0], [1.0], [100.0]])
+        y = np.array([2.0, 4.0, 100.0])
+        model = KnnRegressor(k=2, weighted=False).fit(X, y)
+        assert model.predict(np.array([[0.5]]))[0] == pytest.approx(3.0)
+
+    def test_learns_step(self):
+        X, y = step_problem()
+        model = KnnRegressor(k=7).fit(X, y)
+        assert np.mean(np.abs(model.predict(X) - y)) < 0.15
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KnnRegressor(k=0)
+        with pytest.raises(ValueError):
+            KnnRegressor(k=10).fit(np.ones((5, 2)), np.ones(5))
+
+
+class TestMlp:
+    def test_learns_linear(self):
+        X, y = linear_problem()
+        model = MlpRegressor(epochs=80, hidden=16, seed=0).fit(X, y)
+        assert np.mean(np.abs(model.predict(X) - y)) < 0.15
+
+    def test_deterministic_given_seed(self):
+        X, y = linear_problem()
+        a = MlpRegressor(epochs=5, seed=3).fit(X, y).predict(X[:10])
+        b = MlpRegressor(epochs=5, seed=3).fit(X, y).predict(X[:10])
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MlpRegressor(hidden=0)
+        with pytest.raises(ValueError):
+            MlpRegressor(learning_rate=0.0)

@@ -1,0 +1,67 @@
+"""Event correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.correlations import (
+    cpi_correlations,
+    event_correlation_matrix,
+    format_cpi_correlations,
+    strongest_pairs,
+)
+from repro.datasets.dataset import SampleSet
+
+
+class TestCpiCorrelations:
+    def test_on_cpu_data(self, cpu_data):
+        correlations = cpi_correlations(cpu_data)
+        # Memory-hierarchy events must correlate positively with CPI.
+        assert correlations["L2Miss"] > 0.3
+        assert correlations["DtlbMiss"] > 0.3
+        # Sorted by absolute value.
+        values = [abs(v) for v in correlations.values()]
+        assert values == sorted(values, reverse=True)
+
+    def test_constant_column_zero(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([np.full(50, 3.0), rng.random(50)])
+        y = X[:, 1] * 2.0
+        data = SampleSet(("const", "signal"), X, y)
+        correlations = cpi_correlations(data)
+        assert correlations["const"] == 0.0
+        assert correlations["signal"] == pytest.approx(1.0)
+
+    def test_constant_cpi_rejected(self):
+        data = SampleSet(("a",), np.random.default_rng(1).random((10, 1)),
+                         np.full(10, 1.0))
+        with pytest.raises(ValueError):
+            cpi_correlations(data)
+
+
+class TestEventMatrix:
+    def test_symmetric_unit_diagonal(self, cpu_data):
+        _, matrix = event_correlation_matrix(cpu_data)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-10)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        assert np.all(np.abs(matrix) <= 1.0 + 1e-9)
+
+    def test_known_collinearity(self, cpu_data):
+        """DTLB misses and page walks travel together by construction."""
+        names, matrix = event_correlation_matrix(cpu_data)
+        i = names.index("DtlbMiss")
+        j = names.index("PageWalk")
+        assert matrix[i, j] > 0.5
+
+    def test_strongest_pairs(self, cpu_data):
+        pairs = strongest_pairs(cpu_data, k=5)
+        assert len(pairs) == 5
+        magnitudes = [abs(r) for *_, r in pairs]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+        assert all(a != b for a, b, _ in pairs)
+
+
+class TestFormat:
+    def test_table(self, cpu_data):
+        text = format_cpi_correlations(cpu_data, k=5)
+        assert "r(event, CPI)" in text
+        assert len(text.splitlines()) == 7  # header + rule + 5 rows

@@ -1,0 +1,89 @@
+"""Leaf-distribution profiles (Tables II/IV machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.profile import profile_sample_set
+from repro.datasets.dataset import SampleSet
+
+
+@pytest.fixture(scope="module")
+def cpu_profile(cpu_tree, cpu_data):
+    return profile_sample_set(cpu_tree, cpu_data)
+
+
+class TestShares:
+    def test_each_benchmark_sums_to_100(self, cpu_profile):
+        for bench in cpu_profile.benchmarks:
+            assert sum(bench.shares.values()) == pytest.approx(100.0)
+
+    def test_suite_row_sums_to_100(self, cpu_profile):
+        assert sum(cpu_profile.suite_row.values()) == pytest.approx(100.0)
+
+    def test_average_row_sums_to_100(self, cpu_profile):
+        assert sum(cpu_profile.average_row.values()) == pytest.approx(100.0)
+
+    def test_all_29_benchmarks_present(self, cpu_profile):
+        assert len(cpu_profile.benchmarks) == 29
+
+    def test_suite_row_is_sample_weighted(self, cpu_profile, cpu_data):
+        """Suite share of each LM = weighted combination of benchmarks."""
+        weights = cpu_data.benchmark_weights()
+        for lm in cpu_profile.lm_names:
+            expected = sum(
+                weights[p.benchmark] * p.share(lm)
+                for p in cpu_profile.benchmarks
+            )
+            assert cpu_profile.suite_row[lm] == pytest.approx(expected, abs=1e-6)
+
+    def test_average_row_is_unweighted(self, cpu_profile):
+        for lm in cpu_profile.lm_names:
+            expected = np.mean([p.share(lm) for p in cpu_profile.benchmarks])
+            assert cpu_profile.average_row[lm] == pytest.approx(expected)
+
+
+class TestAccessors:
+    def test_benchmark_lookup(self, cpu_profile):
+        assert cpu_profile.benchmark("429.mcf").benchmark == "429.mcf"
+        with pytest.raises(KeyError):
+            cpu_profile.benchmark("nope")
+
+    def test_share_of_missing_lm_is_zero(self, cpu_profile):
+        assert cpu_profile.benchmarks[0].share("LM9999") == 0.0
+
+    def test_dominant_sorted(self, cpu_profile):
+        dominant = cpu_profile.benchmark("456.hmmer").dominant(3)
+        shares = [s for _, s in dominant]
+        assert shares == sorted(shares, reverse=True)
+        assert all(s > 0 for s in shares)
+
+    def test_as_matrix_shape(self, cpu_profile):
+        matrix = cpu_profile.as_matrix()
+        assert matrix.shape == (29, len(cpu_profile.lm_names))
+        np.testing.assert_allclose(matrix.sum(axis=1), 100.0)
+
+    def test_mean_cpi_recorded(self, cpu_profile, cpu_data):
+        mcf = cpu_profile.benchmark("429.mcf")
+        assert mcf.mean_cpi == pytest.approx(
+            cpu_data.for_benchmark("429.mcf").y.mean()
+        )
+
+
+class TestPaperShape:
+    def test_mcf_and_hmmer_disjoint_profiles(self, cpu_profile):
+        """The paper's starkest contrast must hold."""
+        mcf = cpu_profile.benchmark("429.mcf")
+        hmmer = cpu_profile.benchmark("456.hmmer")
+        overlap = sum(
+            min(mcf.share(lm), hmmer.share(lm)) for lm in cpu_profile.lm_names
+        )
+        assert overlap < 20.0
+
+    def test_empty_data_rejected(self, cpu_tree):
+        empty = SampleSet(
+            cpu_tree.feature_names,
+            np.empty((0, len(cpu_tree.feature_names))),
+            np.empty(0),
+        )
+        with pytest.raises(ValueError):
+            profile_sample_set(cpu_tree, empty)

@@ -1,0 +1,51 @@
+"""Table formatting."""
+
+import pytest
+
+from repro.characterization.profile import profile_sample_set
+from repro.characterization.report import (
+    format_profile_table,
+    format_similarity_table,
+)
+from repro.characterization.similarity import similarity_matrix
+
+
+@pytest.fixture(scope="module")
+def profile(cpu_tree, cpu_data):
+    return profile_sample_set(cpu_tree, cpu_data)
+
+
+class TestProfileTable:
+    def test_contains_rows_and_footer(self, profile):
+        table = format_profile_table(profile)
+        assert "429.mcf" in table
+        assert "Suite" in table and "Average" in table
+        for lm in profile.lm_names:
+            assert lm in table
+
+    def test_highlight_marks_large_shares(self, profile):
+        table = format_profile_table(profile, highlight=20.0)
+        assert "*" in table  # LM1-dominated benchmarks exceed 20%
+
+    def test_high_threshold_removes_marks(self, profile):
+        table = format_profile_table(profile, highlight=1000.0)
+        assert "*" not in table
+
+    def test_long_names_trimmed(self, profile):
+        table = format_profile_table(profile, name_width=8)
+        # A name longer than the column is trimmed with the ~ marker...
+        assert "400.per~" in table
+        assert "400.perlbench" not in table
+        # ...and every label stays within its column.
+        for line in table.splitlines()[1:]:
+            if line and not line.startswith("-"):
+                assert line[8] in " *-0123456789"
+
+
+class TestSimilarityTable:
+    def test_contains_pairs_and_suite_row(self, profile):
+        matrix = similarity_matrix(profile, ("429.mcf", "456.hmmer"))
+        table = format_similarity_table(matrix)
+        assert "429.mcf" in table
+        assert "Suite" in table
+        assert "0.0" in table  # the diagonal

@@ -1,0 +1,88 @@
+"""Equation 4 distances and the similarity matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.characterization.profile import profile_sample_set
+from repro.characterization.similarity import l1_difference, similarity_matrix
+
+share_dicts = st.dictionaries(
+    st.sampled_from([f"LM{i}" for i in range(1, 8)]),
+    st.floats(0.0, 100.0),
+    min_size=1,
+    max_size=7,
+)
+
+
+class TestL1Difference:
+    def test_identical_is_zero(self):
+        shares = {"LM1": 60.0, "LM2": 40.0}
+        assert l1_difference(shares, dict(shares)) == 0.0
+
+    def test_disjoint_is_100(self):
+        a = {"LM1": 100.0}
+        b = {"LM2": 100.0}
+        assert l1_difference(a, b) == pytest.approx(100.0)
+
+    def test_paper_equation(self):
+        # D = 1/2 * sum |s_i,j - s_i,k|
+        a = {"LM1": 70.0, "LM2": 30.0}
+        b = {"LM1": 50.0, "LM2": 50.0}
+        assert l1_difference(a, b) == pytest.approx(0.5 * (20 + 20))
+
+    def test_missing_keys_treated_as_zero(self):
+        assert l1_difference({"LM1": 10.0}, {}) == pytest.approx(5.0)
+
+    @given(share_dicts, share_dicts)
+    @settings(max_examples=100)
+    def test_metric_properties(self, a, b):
+        d = l1_difference(a, b)
+        assert d >= 0.0
+        assert d == pytest.approx(l1_difference(b, a))  # symmetry
+        assert l1_difference(a, a) == 0.0
+
+    @given(share_dicts, share_dicts, share_dicts)
+    @settings(max_examples=100)
+    def test_triangle_inequality(self, a, b, c):
+        assert l1_difference(a, c) <= (
+            l1_difference(a, b) + l1_difference(b, c) + 1e-9
+        )
+
+
+class TestSimilarityMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self, cpu_tree, cpu_data):
+        profile = profile_sample_set(cpu_tree, cpu_data)
+        return similarity_matrix(profile)
+
+    def test_symmetric_zero_diagonal(self, matrix):
+        np.testing.assert_allclose(matrix.distances, matrix.distances.T)
+        np.testing.assert_allclose(np.diag(matrix.distances), 0.0)
+
+    def test_range(self, matrix):
+        assert matrix.distances.min() >= 0.0
+        assert matrix.distances.max() <= 100.0 + 1e-9
+
+    def test_distance_lookup(self, matrix):
+        d = matrix.distance("429.mcf", "456.hmmer")
+        assert d == matrix.distance("456.hmmer", "429.mcf")
+        assert d > 50.0  # the paper's starkest contrast
+
+    def test_subset_selection(self, cpu_tree, cpu_data):
+        profile = profile_sample_set(cpu_tree, cpu_data)
+        subset = similarity_matrix(profile, ("429.mcf", "456.hmmer"))
+        assert subset.benchmark_names == ("429.mcf", "456.hmmer")
+        assert subset.distances.shape == (2, 2)
+
+    def test_ranked_pairs(self, matrix):
+        closest = matrix.most_similar_pairs(3)
+        farthest = matrix.most_dissimilar_pairs(3)
+        assert closest[0][2] <= closest[-1][2]
+        assert farthest[0][2] >= farthest[-1][2]
+        assert closest[0][2] <= farthest[-1][2]
+
+    def test_vs_suite_row(self, matrix):
+        assert matrix.vs_suite.shape == (len(matrix.benchmark_names),)
+        assert matrix.vs_suite.min() >= 0.0

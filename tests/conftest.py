@@ -1,0 +1,66 @@
+"""Shared fixtures.
+
+Data generation is the slow part of the pipeline, so the suites and the
+fitted trees are session-scoped: every test that needs "a CPU2006-like
+sample set" or "a fitted model tree" shares one instance.  Sizes are
+kept small (a few thousand intervals) — large-scale behaviour belongs
+to the benchmarks, not the unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import train_test_split
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+from repro.workloads.spec_cpu2006 import spec_cpu2006
+from repro.workloads.spec_omp2001 import spec_omp2001
+from repro.workloads.suite import SuiteGenerationConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def cpu_data():
+    """A small synthetic SPEC CPU2006 sample set (session-cached)."""
+    return spec_cpu2006().generate(
+        SuiteGenerationConfig(total_samples=8000, seed=2006)
+    )
+
+
+@pytest.fixture(scope="session")
+def omp_data():
+    """A small synthetic SPEC OMP2001 sample set (session-cached)."""
+    return spec_omp2001().generate(
+        SuiteGenerationConfig(total_samples=6000, seed=2001)
+    )
+
+
+@pytest.fixture(scope="session")
+def cpu_split(cpu_data):
+    """(train, test) random 25%/25% split of the CPU data."""
+    rng = np.random.default_rng(7)
+    return tuple(train_test_split(cpu_data, (0.25, 0.25), rng))
+
+
+@pytest.fixture(scope="session")
+def omp_split(omp_data):
+    rng = np.random.default_rng(8)
+    return tuple(train_test_split(omp_data, (0.25, 0.25), rng))
+
+
+@pytest.fixture(scope="session")
+def cpu_tree(cpu_split):
+    """A model tree fitted on the CPU training split."""
+    train, _ = cpu_split
+    return ModelTree(ModelTreeConfig(min_leaf=30)).fit_sample_set(train)
+
+
+@pytest.fixture(scope="session")
+def omp_tree(omp_split):
+    train, _ = omp_split
+    return ModelTree(ModelTreeConfig(min_leaf=30)).fit_sample_set(train)

@@ -1,0 +1,96 @@
+"""ARFF round-trip and format checks."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.arff import load_arff, save_arff
+from repro.datasets.dataset import SampleSet
+
+
+def make(n=20):
+    rng = np.random.default_rng(9)
+    return SampleSet(
+        ("Load", "Store", "L2Miss"),
+        rng.random((n, 3)),
+        rng.random(n) + 0.5,
+        [f"b{i % 2}" for i in range(n)],
+    )
+
+
+class TestRoundTrip:
+    def test_exact(self, tmp_path):
+        original = make()
+        path = tmp_path / "data.arff"
+        save_arff(original, path)
+        loaded = load_arff(path)
+        assert loaded.feature_names == original.feature_names
+        np.testing.assert_array_equal(loaded.X, original.X)
+        np.testing.assert_array_equal(loaded.y, original.y)
+        assert list(loaded.benchmarks) == list(original.benchmarks)
+
+    def test_weka_header_shape(self, tmp_path):
+        path = tmp_path / "data.arff"
+        save_arff(make(), path, relation="my-run")
+        text = path.read_text()
+        assert text.startswith("@RELATION my-run")
+        assert "@ATTRIBUTE benchmark {'b0','b1'}" in text
+        assert "@ATTRIBUTE CPI NUMERIC" in text
+        assert "@DATA" in text
+
+    def test_cpi_is_last_attribute(self, tmp_path):
+        # WEKA's default prediction target is the last attribute.
+        path = tmp_path / "data.arff"
+        save_arff(make(), path)
+        attrs = [
+            line.split()[1]
+            for line in path.read_text().splitlines()
+            if line.startswith("@ATTRIBUTE")
+        ]
+        assert attrs[-1] == "CPI"
+        assert attrs[0] == "benchmark"
+
+
+class TestErrors:
+    def test_missing_attributes(self, tmp_path):
+        path = tmp_path / "bad.arff"
+        path.write_text("@DATA\n1,2\n")
+        with pytest.raises(ValueError, match="no @ATTRIBUTE"):
+            load_arff(path)
+
+    def test_wrong_column_order(self, tmp_path):
+        path = tmp_path / "bad.arff"
+        path.write_text(
+            "@RELATION x\n@ATTRIBUTE CPI NUMERIC\n"
+            "@ATTRIBUTE benchmark {'a'}\n@DATA\n1.0,'a'\n"
+        )
+        with pytest.raises(ValueError, match="benchmark first"):
+            load_arff(path)
+
+    def test_no_data(self, tmp_path):
+        path = tmp_path / "bad.arff"
+        path.write_text(
+            "@RELATION x\n@ATTRIBUTE benchmark {'a'}\n"
+            "@ATTRIBUTE Load NUMERIC\n@ATTRIBUTE CPI NUMERIC\n@DATA\n"
+        )
+        with pytest.raises(ValueError, match="no data rows"):
+            load_arff(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "bad.arff"
+        path.write_text(
+            "@RELATION x\n@ATTRIBUTE benchmark {'a'}\n"
+            "@ATTRIBUTE Load NUMERIC\n@ATTRIBUTE CPI NUMERIC\n@DATA\n'a',1.0\n"
+        )
+        with pytest.raises(ValueError, match="fields"):
+            load_arff(path)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "ok.arff"
+        path.write_text(
+            "% a comment\n@RELATION x\n\n@ATTRIBUTE benchmark {'a'}\n"
+            "@ATTRIBUTE Load NUMERIC\n@ATTRIBUTE CPI NUMERIC\n@DATA\n"
+            "% another\n'a',0.5,1.0\n"
+        )
+        loaded = load_arff(path)
+        assert len(loaded) == 1
+        assert loaded.y[0] == 1.0

@@ -1,0 +1,80 @@
+"""Disk caching of generated suites."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cache import cached_generate, generation_digest
+from repro.workloads.spec_omp2001 import spec_omp2001
+from repro.workloads.suite import SuiteGenerationConfig
+
+
+@pytest.fixture
+def small_config():
+    return SuiteGenerationConfig(total_samples=1200, seed=3)
+
+
+class TestDigest:
+    def test_stable(self, small_config):
+        suite = spec_omp2001()
+        assert generation_digest(suite, small_config) == generation_digest(
+            spec_omp2001(), small_config
+        )
+
+    def test_sensitive_to_seed(self, small_config):
+        suite = spec_omp2001()
+        other = SuiteGenerationConfig(total_samples=1200, seed=4)
+        assert generation_digest(suite, small_config) != generation_digest(
+            suite, other
+        )
+
+    def test_sensitive_to_sample_count(self, small_config):
+        suite = spec_omp2001()
+        other = SuiteGenerationConfig(total_samples=1300, seed=3)
+        assert generation_digest(suite, small_config) != generation_digest(
+            suite, other
+        )
+
+    def test_sensitive_to_engine(self, small_config):
+        from repro.uarch.core2 import build_core2_cost_model
+        from repro.uarch.execution import ExecutionEngine
+        from repro.uarch.nextgen import build_nextgen_cost_model
+
+        suite = spec_omp2001()
+        core2 = ExecutionEngine(build_core2_cost_model())
+        nextgen = ExecutionEngine(build_nextgen_cost_model())
+        assert generation_digest(suite, small_config, core2) != (
+            generation_digest(suite, small_config, nextgen)
+        )
+
+
+class TestCachedGenerate:
+    def test_roundtrip_identical(self, small_config, tmp_path):
+        suite = spec_omp2001()
+        first = cached_generate(suite, small_config, tmp_path)
+        assert len(list(tmp_path.glob("*.csv"))) == 1
+        second = cached_generate(suite, small_config, tmp_path)
+        np.testing.assert_array_equal(first.X, second.X)
+        np.testing.assert_array_equal(first.y, second.y)
+        assert list(first.benchmarks) == list(second.benchmarks)
+
+    def test_matches_direct_generation(self, small_config, tmp_path):
+        suite = spec_omp2001()
+        cached = cached_generate(suite, small_config, tmp_path)
+        direct = suite.generate(small_config)
+        np.testing.assert_array_equal(cached.X, direct.X)
+
+    def test_different_configs_different_entries(self, small_config, tmp_path):
+        suite = spec_omp2001()
+        cached_generate(suite, small_config, tmp_path)
+        cached_generate(
+            suite, SuiteGenerationConfig(total_samples=1200, seed=9), tmp_path
+        )
+        assert len(list(tmp_path.glob("*.csv"))) == 2
+
+    def test_corrupt_entry_regenerated(self, small_config, tmp_path):
+        suite = spec_omp2001()
+        cached_generate(suite, small_config, tmp_path)
+        entry = next(tmp_path.glob("*.csv"))
+        entry.write_text("garbage")
+        data = cached_generate(suite, small_config, tmp_path)
+        assert len(data) == 1200

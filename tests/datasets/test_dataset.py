@@ -1,0 +1,139 @@
+"""SampleSet container invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.dataset import SampleSet
+
+
+def make(n=10, features=("a", "b", "c"), benchmarks=None):
+    rng = np.random.default_rng(0)
+    return SampleSet(
+        features,
+        rng.random((n, len(features))),
+        rng.random(n),
+        benchmarks,
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = make(5)
+        assert len(s) == 5
+        assert s.n_features == 3
+        assert s.feature_names == ("a", "b", "c")
+
+    def test_default_benchmarks_empty_string(self):
+        s = make(3)
+        assert list(s.benchmarks) == ["", "", ""]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SampleSet(("a",), np.ones(3), np.ones(3))  # X not 2-D
+        with pytest.raises(ValueError):
+            SampleSet(("a",), np.ones((3, 1)), np.ones((3, 1)))  # y not 1-D
+        with pytest.raises(ValueError):
+            SampleSet(("a",), np.ones((3, 1)), np.ones(4))  # row mismatch
+        with pytest.raises(ValueError):
+            SampleSet(("a", "b"), np.ones((3, 1)), np.ones(3))  # col mismatch
+
+    def test_duplicate_feature_names_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSet(("a", "a"), np.ones((2, 2)), np.ones(2))
+
+    def test_benchmark_length_validation(self):
+        with pytest.raises(ValueError):
+            make(3, benchmarks=["x", "y"])
+
+    def test_repr(self):
+        assert "n=5" in repr(make(5))
+
+
+class TestColumns:
+    def test_column_by_name(self):
+        s = make(4)
+        np.testing.assert_array_equal(s.column("b"), s.X[:, 1])
+
+    def test_cpi_column_is_y(self):
+        s = make(4)
+        np.testing.assert_array_equal(s.column("CPI"), s.y)
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            make().column("nope")
+
+    def test_column_index(self):
+        assert make().column_index("c") == 2
+
+
+class TestSelection:
+    def test_take_preserves_alignment(self):
+        s = make(6, benchmarks=list("abcdef"))
+        t = s.take(np.array([5, 0, 2]))
+        assert list(t.benchmarks) == ["f", "a", "c"]
+        np.testing.assert_array_equal(t.y, s.y[[5, 0, 2]])
+        np.testing.assert_array_equal(t.X, s.X[[5, 0, 2]])
+
+    def test_where(self):
+        s = make(6, benchmarks=["p", "q", "p", "q", "p", "q"])
+        t = s.where(s.benchmarks == "p")
+        assert len(t) == 3
+        assert set(t.benchmarks) == {"p"}
+
+    def test_where_shape_check(self):
+        with pytest.raises(ValueError):
+            make(4).where(np.array([True, False]))
+
+    def test_for_benchmark(self):
+        s = make(6, benchmarks=["p"] * 4 + ["q"] * 2)
+        assert len(s.for_benchmark("q")) == 2
+
+    def test_for_missing_benchmark(self):
+        with pytest.raises(KeyError):
+            make(3, benchmarks=["p", "p", "p"]).for_benchmark("zz")
+
+    def test_by_benchmark_partition(self):
+        s = make(9, benchmarks=["a", "b", "c"] * 3)
+        parts = s.by_benchmark()
+        assert sorted(parts) == ["a", "b", "c"]
+        assert sum(len(p) for p in parts.values()) == 9
+
+    def test_benchmark_weights_sum_to_one(self):
+        s = make(10, benchmarks=["a"] * 7 + ["b"] * 3)
+        w = s.benchmark_weights()
+        assert w["a"] == pytest.approx(0.7)
+        assert sum(w.values()) == pytest.approx(1.0)
+
+
+class TestConcatShuffle:
+    def test_concat(self):
+        a, b = make(3, benchmarks=["x"] * 3), make(4, benchmarks=["y"] * 4)
+        c = SampleSet.concat([a, b])
+        assert len(c) == 7
+        assert c.benchmark_names() == ["x", "y"]
+
+    def test_concat_schema_mismatch(self):
+        a = make(2)
+        b = make(2, features=("a", "b", "z"))
+        with pytest.raises(ValueError):
+            SampleSet.concat([a, b])
+
+    def test_concat_empty(self):
+        with pytest.raises(ValueError):
+            SampleSet.concat([])
+
+    def test_shuffled_is_permutation(self):
+        s = make(20)
+        t = s.shuffled(np.random.default_rng(3))
+        assert sorted(t.y.tolist()) == sorted(s.y.tolist())
+        assert not np.array_equal(t.y, s.y)  # astronomically unlikely
+
+    @given(st.integers(1, 30), st.integers(0, 29))
+    @settings(max_examples=50)
+    def test_take_single_row_roundtrip(self, n, i):
+        s = make(max(n, i + 1))
+        row = s.take(np.array([i]))
+        assert len(row) == 1
+        np.testing.assert_array_equal(row.X[0], s.X[i])

@@ -1,0 +1,61 @@
+"""CSV round-trip and error handling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import SampleSet
+from repro.datasets.io import load_csv, save_csv
+
+
+def make(n=25):
+    rng = np.random.default_rng(5)
+    return SampleSet(
+        ("Load", "Store"),
+        rng.random((n, 2)) * 1e-3,
+        rng.random(n) + 0.5,
+        [f"bench{i % 3}" for i in range(n)],
+    )
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, tmp_path):
+        original = make()
+        path = tmp_path / "data.csv"
+        save_csv(original, path)
+        loaded = load_csv(path)
+        assert loaded.feature_names == original.feature_names
+        np.testing.assert_array_equal(loaded.X, original.X)
+        np.testing.assert_array_equal(loaded.y, original.y)
+        assert list(loaded.benchmarks) == list(original.benchmarks)
+
+    def test_header_format(self, tmp_path):
+        path = tmp_path / "data.csv"
+        save_csv(make(2), path)
+        header = path.read_text().splitlines()[0]
+        assert header == "benchmark,CPI,Load,Store"
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_csv(path)
+
+    def test_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,z\n1,2,3\n")
+        with pytest.raises(ValueError, match="does not look like"):
+            load_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "headeronly.csv"
+        path.write_text("benchmark,CPI,Load\n")
+        with pytest.raises(ValueError, match="no samples"):
+            load_csv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("benchmark,CPI,Load\nb,1.0\n")
+        with pytest.raises(ValueError, match="expected 3 fields"):
+            load_csv(path)

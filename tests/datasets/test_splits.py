@@ -1,0 +1,65 @@
+"""Train/test split behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import SampleSet
+from repro.datasets.splits import stratified_split, train_test_split
+
+
+def make(n=100, benchmarks=None):
+    rng = np.random.default_rng(1)
+    return SampleSet(("f1", "f2"), rng.random((n, 2)), np.arange(n, dtype=float),
+                     benchmarks)
+
+
+class TestTrainTestSplit:
+    def test_fraction_sizes(self, rng):
+        parts = train_test_split(make(1000), (0.1, 0.1), rng)
+        assert [len(p) for p in parts] == [100, 100]
+
+    def test_disjoint(self, rng):
+        # y holds row ids, so overlap is detectable.
+        train, test = train_test_split(make(500), (0.3, 0.3), rng)
+        assert not set(train.y.tolist()) & set(test.y.tolist())
+
+    def test_single_fraction(self, rng):
+        (part,) = train_test_split(make(50), (0.5,), rng)
+        assert len(part) == 25
+
+    def test_deterministic_given_seed(self):
+        data = make(200)
+        a = train_test_split(data, (0.2,), np.random.default_rng(42))[0]
+        b = train_test_split(data, (0.2,), np.random.default_rng(42))[0]
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_rejects_bad_fractions(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(make(10), (), rng)
+        with pytest.raises(ValueError):
+            train_test_split(make(10), (-0.1,), rng)
+        with pytest.raises(ValueError):
+            train_test_split(make(10), (0.7, 0.7), rng)
+
+    def test_rejects_empty_part(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(make(10), (0.001,), rng)
+
+
+class TestStratifiedSplit:
+    def test_preserves_benchmark_mix(self, rng):
+        data = make(1000, benchmarks=["a"] * 800 + ["b"] * 200)
+        train, test = stratified_split(data, (0.25, 0.25), rng)
+        for part in (train, test):
+            w = part.benchmark_weights()
+            assert w["a"] == pytest.approx(0.8, abs=0.02)
+            assert w["b"] == pytest.approx(0.2, abs=0.02)
+
+    def test_disjoint(self, rng):
+        data = make(400, benchmarks=["a", "b"] * 200)
+        train, test = stratified_split(data, (0.3, 0.3), rng)
+        assert not set(train.y.tolist()) & set(test.y.tolist())
+
+    def test_rejects_bad_fractions(self, rng):
+        with pytest.raises(ValueError):
+            stratified_split(make(10), (1.5,), rng)

@@ -1,0 +1,25 @@
+"""Shared reduced-scale experiment context for this test package."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.mtree.tree import ModelTreeConfig
+
+
+@pytest.fixture(scope="package")
+def ctx():
+    """A reduced-scale shared context — big enough for shape checks.
+
+    A 25% train fraction compensates for the smaller suites so the
+    trees keep the paper's structure (the full-scale defaults use 10%).
+    """
+    return ExperimentContext(
+        ExperimentConfig(
+            cpu_samples=16_000,
+            omp_samples=10_000,
+            train_fraction=0.25,
+            test_fraction=0.25,
+            tree=ModelTreeConfig(min_leaf=30),
+        )
+    )

@@ -1,0 +1,27 @@
+"""Report generation."""
+
+import pytest
+
+from repro.experiments.report_gen import generate_report
+
+
+class TestReport:
+    def test_selected_experiments(self, ctx, tmp_path):
+        path = tmp_path / "report.md"
+        report = generate_report(ctx, experiments=["E1"], path=path)
+        assert path.read_text() == report
+        assert "# Reproduction report" in report
+        assert "## E1" in report
+        assert "## E2" not in report
+        # Salience sections always close the report.
+        assert "Salient profiles: SPEC CPU2006" in report
+        assert "Salient profiles: SPEC OMP2001" in report
+
+    def test_config_recorded(self, ctx):
+        report = generate_report(ctx, experiments=["E1"])
+        assert f"master seed: {ctx.config.seed}" in report
+        assert f"min_leaf={ctx.config.tree.min_leaf}" in report
+
+    def test_unknown_experiment(self, ctx):
+        with pytest.raises(KeyError):
+            generate_report(ctx, experiments=["E99"])

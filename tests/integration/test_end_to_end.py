@@ -1,0 +1,86 @@
+"""Integration: the complete paper pipeline on shared fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.profile import profile_sample_set
+from repro.characterization.similarity import similarity_matrix
+from repro.transfer.assess import assess_transferability
+from repro.transfer.metrics import prediction_metrics
+
+
+class TestWithinSuiteTransfer:
+    def test_cpu_model_transfers_to_cpu(self, cpu_tree, cpu_split):
+        train, test = cpu_split
+        report = assess_transferability(cpu_tree, train, test)
+        assert report.metrics.correlation > 0.85
+        assert report.metrics.mae < 0.15
+        assert report.transferable
+
+    def test_omp_model_transfers_to_omp(self, omp_tree, omp_split):
+        train, test = omp_split
+        report = assess_transferability(omp_tree, train, test)
+        assert report.transferable
+
+
+class TestCrossSuiteTransfer:
+    def test_cpu_model_fails_on_omp(self, cpu_tree, cpu_split, omp_split):
+        cpu_train, _ = cpu_split
+        omp_train, _ = omp_split
+        report = assess_transferability(cpu_tree, cpu_train, omp_train)
+        assert not report.transferable
+        assert report.dependent_test.reject
+        # Shape: errors several times the within-suite level (paper:
+        # 0.3721 vs 0.0988).
+        assert report.metrics.mae > 0.2
+
+    def test_omp_model_fails_on_cpu(self, omp_tree, omp_split, cpu_split):
+        omp_train, _ = omp_split
+        cpu_train, _ = cpu_split
+        report = assess_transferability(omp_tree, omp_train, cpu_train)
+        assert not report.transferable
+
+
+class TestModelsDiffer:
+    def test_key_events_differ_between_suites(self, cpu_tree, omp_tree):
+        """Paper: 'many of the key events in one tree do not appear in
+        the other' — the structural explanation of non-transferability."""
+        cpu_events = set(cpu_tree.split_features())
+        omp_events = set(omp_tree.split_features())
+        assert cpu_events != omp_events
+
+    def test_omp_uses_overlap_or_store_events(self, omp_tree):
+        features = set(omp_tree.split_features())
+        assert features & {"LdBlkOlp", "Store", "SIMD", "L1DMiss"}
+
+
+class TestCharacterizationPipeline:
+    def test_profile_then_similarity(self, cpu_tree, cpu_data):
+        profile = profile_sample_set(cpu_tree, cpu_data)
+        matrix = similarity_matrix(profile)
+        # The paper's headline pair relations must survive end-to-end.
+        assert matrix.distance("456.hmmer", "444.namd") < 30.0
+        assert matrix.distance("429.mcf", "444.namd") > 70.0
+
+    def test_classification_covers_all_samples(self, cpu_tree, cpu_data):
+        names = cpu_tree.assign_leaves(cpu_data.X)
+        assert set(names) <= set(cpu_tree.leaf_names())
+        assert len(names) == len(cpu_data)
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree(self, cpu_split):
+        from repro.mtree.tree import ModelTree, ModelTreeConfig
+
+        train, test = cpu_split
+        a = ModelTree(ModelTreeConfig(min_leaf=30)).fit_sample_set(train)
+        b = ModelTree(ModelTreeConfig(min_leaf=30)).fit_sample_set(train)
+        np.testing.assert_array_equal(a.predict(test.X), b.predict(test.X))
+        assert a.leaf_names() == b.leaf_names()
+
+
+class TestAccuracyFloor:
+    def test_tree_beats_mean_predictor_substantially(self, cpu_tree, cpu_split):
+        _, test = cpu_split
+        metrics = prediction_metrics(cpu_tree.predict(test.X), test.y)
+        assert metrics.rae < 0.5  # at least 2x better than the mean

@@ -1,0 +1,102 @@
+"""Property-based fuzzing of the full pipeline.
+
+Random (but physically plausible) workload specs go through the entire
+measurement-and-modeling chain; the invariants that must survive any
+input are checked at each stage.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.dataset import SampleSet
+from repro.datasets.io import load_csv, save_csv
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+from repro.pmu.collector import PmuCollector
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.uarch.core2 import build_core2_cost_model
+from repro.uarch.execution import ExecutionEngine
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.phase import PhaseSpec
+
+# Strategy: a random phase with densities scaled off the defaults so
+# the physical-dominance constraints hold by construction.
+phase_scales = st.fixed_dictionaries(
+    {
+        "L1DMiss": st.floats(0.0005, 0.03),
+        "L2Miss": st.floats(0.00001, 0.0004),
+        "DtlbMiss": st.floats(0.00001, 0.003),
+        "Br": st.floats(0.02, 0.3),
+        "SIMD": st.floats(0.0, 0.95),
+        "Store": st.floats(0.01, 0.3),
+        "LdBlkOlp": st.floats(0.0, 0.02),
+    }
+)
+
+
+def make_spec(scales_list):
+    phases = tuple(
+        PhaseSpec(f"phase{i}", weight=1.0, densities=dict(scales))
+        for i, scales in enumerate(scales_list)
+    )
+    return BenchmarkSpec("fuzz.bench", phases=phases, persistence=5.0)
+
+
+class TestPipelineFuzz:
+    @given(st.lists(phase_scales, min_size=1, max_size=4), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_measurement_chain_invariants(self, scales_list, seed):
+        spec = make_spec(scales_list)
+        rng = np.random.default_rng(seed)
+        engine = ExecutionEngine(build_core2_cost_model())
+        collector = PmuCollector()
+        densities = spec.sample_true_densities(120, rng)
+        assert densities.shape == (120, len(PREDICTOR_NAMES))
+        assert np.all(densities >= 0.0)
+        cpi = engine.true_cpi(densities, rng)
+        assert np.all(cpi >= engine.noise.floor_cpi)
+        assert np.all(np.isfinite(cpi))
+        observed = collector.observe_densities(densities, rng)
+        observed_cpi = collector.observe_cpi(cpi, rng)
+        assert np.all(observed >= 0.0)
+        assert np.all(observed_cpi > 0.0)
+
+    @given(st.lists(phase_scales, min_size=2, max_size=3), st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_modeling_chain_invariants(self, scales_list, seed):
+        spec = make_spec(scales_list)
+        rng = np.random.default_rng(seed)
+        engine = ExecutionEngine(build_core2_cost_model())
+        collector = PmuCollector()
+        densities = spec.sample_true_densities(400, rng)
+        cpi = collector.observe_cpi(engine.true_cpi(densities, rng), rng)
+        observed = collector.observe_densities(densities, rng)
+        data = SampleSet(PREDICTOR_NAMES, observed, cpi)
+        tree = ModelTree(ModelTreeConfig(min_leaf=30)).fit_sample_set(data)
+        predictions = tree.predict(data.X)
+        assert np.all(np.isfinite(predictions))
+        assert sum(l.share for l in tree.leaves()) == pytest.approx(1.0)
+        assignments = tree.assign_leaves(data.X)
+        assert set(assignments) <= set(tree.leaf_names())
+
+    @given(st.integers(0, 10_000), st.integers(5, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_csv_roundtrip_arbitrary_data(self, seed, n):
+        rng = np.random.default_rng(seed)
+        data = SampleSet(
+            ("a", "b"),
+            rng.lognormal(0, 2, size=(n, 2)),
+            rng.lognormal(0, 1, size=n),
+            [f"bench{i % 3}" for i in range(n)],
+        )
+        import io
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "fuzz.csv"
+            save_csv(data, path)
+            loaded = load_csv(path)
+        np.testing.assert_array_equal(loaded.X, data.X)
+        np.testing.assert_array_equal(loaded.y, data.y)

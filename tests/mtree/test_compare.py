@@ -1,0 +1,62 @@
+"""Structural tree comparison."""
+
+import numpy as np
+import pytest
+
+from repro.mtree.compare import compare_trees
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+
+FEATURES = ("a", "b", "c")
+
+
+def fit(target_fn, seed=0, n=2000):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 3))
+    y = target_fn(X) + 0.02 * rng.standard_normal(n)
+    return ModelTree(ModelTreeConfig(min_leaf=25, smooth=False)).fit(
+        X, y, FEATURES
+    )
+
+
+@pytest.fixture(scope="module")
+def tree_on_a():
+    return fit(lambda X: np.where(X[:, 0] <= 0.5, 1.0, 3.0))
+
+
+@pytest.fixture(scope="module")
+def tree_on_b():
+    return fit(lambda X: np.where(X[:, 1] <= 0.5, 1.0, 3.0), seed=1)
+
+
+class TestCompare:
+    def test_self_comparison_is_perfect(self, tree_on_a):
+        result = compare_trees(tree_on_a, tree_on_a)
+        assert result.split_jaccard == 1.0
+        assert result.leaf_jaccard == 1.0
+        assert result.weighted_overlap == pytest.approx(1.0)
+
+    def test_disjoint_split_events(self, tree_on_a, tree_on_b):
+        result = compare_trees(tree_on_a, tree_on_b, "A", "B")
+        assert "a" in result.split_events_a
+        assert "b" in result.split_events_b
+        assert result.split_jaccard < 1.0
+        assert "a" in result.only_in_a or "b" in result.only_in_b
+
+    def test_weighted_overlap_bounds(self, tree_on_a, tree_on_b):
+        result = compare_trees(tree_on_a, tree_on_b)
+        assert 0.0 <= result.weighted_overlap <= 1.0
+
+    def test_summary_mentions_names(self, tree_on_a, tree_on_b):
+        text = compare_trees(tree_on_a, tree_on_b, "X2006", "X2001").summary()
+        assert "X2006" in text and "X2001" in text
+        assert "Jaccard" in text
+
+    def test_unfitted_rejected(self, tree_on_a):
+        with pytest.raises(RuntimeError):
+            compare_trees(tree_on_a, ModelTree())
+
+    def test_suite_trees_differ(self, cpu_tree, omp_tree):
+        """The paper's structural claim on the real suite trees."""
+        result = compare_trees(cpu_tree, omp_tree, "CPU2006", "OMP2001")
+        assert result.split_jaccard < 1.0
+        assert result.only_in_a or result.only_in_b

@@ -1,0 +1,53 @@
+"""k-fold cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.mtree.crossval import cross_validate, kfold_indices
+from repro.mtree.tree import ModelTreeConfig
+
+
+class TestKfold:
+    def test_partition_properties(self, rng):
+        pairs = kfold_indices(103, 5, rng)
+        assert len(pairs) == 5
+        all_test = np.concatenate([test for _, test in pairs])
+        assert sorted(all_test.tolist()) == list(range(103))
+        for train, test in pairs:
+            assert not set(train.tolist()) & set(test.tolist())
+            assert len(train) + len(test) == 103
+
+    def test_fold_sizes_balanced(self, rng):
+        pairs = kfold_indices(100, 3, rng)
+        sizes = [len(test) for _, test in pairs]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            kfold_indices(10, 1, rng)
+        with pytest.raises(ValueError):
+            kfold_indices(3, 5, rng)
+
+
+class TestCrossValidate:
+    def test_on_cpu_data(self, cpu_split):
+        train, _ = cpu_split
+        result = cross_validate(
+            ModelTreeConfig(min_leaf=30), train, k=3, seed=1
+        )
+        assert result.k == 3
+        assert result.mean_mae < 0.15
+        assert result.mean_correlation > 0.85
+        assert result.std_mae < result.mean_mae
+        assert result.mean_leaves >= 1
+
+    def test_deterministic(self, cpu_split):
+        train, _ = cpu_split
+        a = cross_validate(ModelTreeConfig(min_leaf=40), train, k=3, seed=2)
+        b = cross_validate(ModelTreeConfig(min_leaf=40), train, k=3, seed=2)
+        assert a.mean_mae == b.mean_mae
+
+    def test_str(self, cpu_split):
+        train, _ = cpu_split
+        result = cross_validate(ModelTreeConfig(min_leaf=60), train, k=2)
+        assert "MAE" in str(result)

@@ -1,0 +1,160 @@
+"""Importance and CPI attribution."""
+
+import numpy as np
+import pytest
+
+from repro.mtree.importance import (
+    cpi_attribution,
+    permutation_importance,
+    split_importance,
+)
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+
+FEATURES = ("signal", "slope", "noise")
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """Two regimes split on 'signal'; 'slope' matters inside each."""
+    rng = np.random.default_rng(0)
+    X = rng.random((3000, 3))
+    y = np.where(X[:, 0] <= 0.5, 1.0 + 0.5 * X[:, 1], 4.0 - X[:, 1])
+    y = y + 0.02 * rng.standard_normal(3000)
+    tree = ModelTree(ModelTreeConfig(min_leaf=30, smooth=False)).fit(
+        X, y, FEATURES
+    )
+    return tree, X, y
+
+
+class TestSplitImportance:
+    def test_signal_dominates(self, fitted):
+        tree, *_ = fitted
+        importance = split_importance(tree)
+        assert max(importance, key=importance.get) == "signal"
+
+    def test_normalized_sums_to_one(self, fitted):
+        tree, *_ = fitted
+        importance = split_importance(tree)
+        assert sum(importance.values()) == pytest.approx(1.0)
+
+    def test_unnormalized_positive(self, fitted):
+        tree, *_ = fitted
+        raw = split_importance(tree, normalize=False)
+        assert all(v > 0 for v in raw.values())
+
+    def test_unused_feature_absent(self, fitted):
+        tree, *_ = fitted
+        assert "noise" not in split_importance(tree)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            split_importance(ModelTree())
+
+
+class TestPermutationImportance:
+    def test_signal_feature_hurts_most(self, fitted):
+        tree, X, y = fitted
+        importance = permutation_importance(tree, X, y)
+        assert max(importance, key=importance.get) == "signal"
+        assert importance["signal"] > 10 * abs(importance["noise"])
+
+    def test_noise_feature_near_zero(self, fitted):
+        tree, X, y = fitted
+        importance = permutation_importance(tree, X, y)
+        assert abs(importance["noise"]) < 0.02
+
+    def test_validation(self, fitted):
+        tree, X, y = fitted
+        with pytest.raises(ValueError):
+            permutation_importance(tree, X, y[:-1])
+        with pytest.raises(ValueError):
+            permutation_importance(tree, X, y, n_repeats=0)
+        with pytest.raises(RuntimeError):
+            permutation_importance(ModelTree(), X, y)
+
+
+class TestPartialDependence:
+    def test_monotone_response_recovered(self, fitted):
+        from repro.mtree.importance import partial_dependence
+
+        tree, X, _ = fitted
+        grid, means = partial_dependence(tree, X, "signal", n_grid=15)
+        assert grid.shape == means.shape == (15,)
+        # Crossing the regime boundary at 0.5 raises average CPI by ~3.
+        assert means[-1] - means[0] > 1.5
+
+    def test_inactive_feature_flat(self, fitted):
+        from repro.mtree.importance import partial_dependence
+
+        tree, X, _ = fitted
+        _, means = partial_dependence(tree, X, "noise", n_grid=10)
+        assert means.max() - means.min() < 0.05
+
+    def test_custom_grid(self, fitted):
+        from repro.mtree.importance import partial_dependence
+
+        tree, X, _ = fitted
+        grid, means = partial_dependence(
+            tree, X, "signal", grid=np.array([0.1, 0.9])
+        )
+        assert grid.tolist() == [0.1, 0.9]
+        assert means.shape == (2,)
+
+    def test_validation(self, fitted):
+        from repro.mtree.importance import partial_dependence
+
+        tree, X, _ = fitted
+        with pytest.raises(KeyError):
+            partial_dependence(tree, X, "bogus")
+        with pytest.raises(ValueError):
+            partial_dependence(tree, X, "signal", grid=np.empty(0))
+
+
+class TestAttribution:
+    def test_contributions_sum_to_prediction(self, fitted):
+        tree, X, _ = fitted
+        contributions = cpi_attribution(tree, X)
+        total = sum(contributions.values())
+        np.testing.assert_allclose(
+            total, tree.predict(X, smooth=False), rtol=1e-10, atol=1e-10
+        )
+
+    def test_base_is_leaf_intercept(self, fitted):
+        tree, X, _ = fitted
+        contributions = cpi_attribution(tree, X)
+        assignments = tree.assign_leaves(X)
+        for leaf in tree.leaves():
+            rows = assignments == leaf.name
+            if rows.any():
+                np.testing.assert_allclose(
+                    contributions["Base"][rows], leaf.model.intercept
+                )
+
+    def test_all_features_present(self, fitted):
+        tree, X, _ = fitted
+        contributions = cpi_attribution(tree, X)
+        assert set(contributions) == set(FEATURES) | {"Base"}
+
+    def test_inactive_feature_contributes_zero(self, fitted):
+        tree, X, _ = fitted
+        contributions = cpi_attribution(tree, X)
+        np.testing.assert_allclose(contributions["noise"], 0.0, atol=1e-12)
+
+    def test_shape_validation(self, fitted):
+        tree, *_ = fitted
+        with pytest.raises(ValueError):
+            cpi_attribution(tree, np.ones((3, 7)))
+
+    def test_on_suite_tree(self, cpu_tree, cpu_data):
+        contributions = cpi_attribution(cpu_tree, cpu_data.X)
+        total = sum(contributions.values())
+        np.testing.assert_allclose(
+            total, cpu_tree.predict(cpu_data.X, smooth=False), rtol=1e-9
+        )
+        # The memory hierarchy must carry real cost on CPU2006.
+        memory = (
+            contributions["L2Miss"].mean()
+            + contributions["DtlbMiss"].mean()
+            + contributions["L1DMiss"].mean()
+        )
+        assert memory > 0.02

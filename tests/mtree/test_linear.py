@@ -1,0 +1,139 @@
+"""Leaf linear models and attribute elimination."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mtree.linear import LinearModel, adjusted_error, fit_linear_model
+
+FEATURES = ("a", "b", "c", "d")
+
+
+def linear_data(n=200, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 4))
+    y = 1.5 + 2.0 * X[:, 0] - 3.0 * X[:, 2] + noise * rng.standard_normal(n)
+    return X, y
+
+
+class TestAdjustedError:
+    def test_inflates_with_params(self):
+        assert adjusted_error(1.0, 100, 5) > adjusted_error(1.0, 100, 1)
+
+    def test_infinite_when_saturated(self):
+        assert adjusted_error(1.0, 5, 5) == float("inf")
+        assert adjusted_error(1.0, 4, 5) == float("inf")
+
+    def test_formula(self):
+        # e * (n + penalty*v) / (n - v)
+        assert adjusted_error(2.0, 100, 10, penalty=2.0) == pytest.approx(
+            2.0 * 120 / 90
+        )
+
+
+class TestExactRecovery:
+    def test_noise_free_coefficients(self):
+        X, y = linear_data()
+        model = fit_linear_model(X, y, FEATURES)
+        assert model.intercept == pytest.approx(1.5, abs=1e-6)
+        assert model.coef[0] == pytest.approx(2.0, abs=1e-6)
+        assert model.coef[2] == pytest.approx(-3.0, abs=1e-6)
+        assert model.train_mae == pytest.approx(0.0, abs=1e-8)
+
+    def test_elimination_drops_irrelevant(self):
+        X, y = linear_data(noise=0.05)
+        model = fit_linear_model(X, y, FEATURES)
+        active = model.active_features()
+        assert "a" in active and "c" in active
+        # b and d carry no signal; elimination should remove them.
+        assert "b" not in active and "d" not in active
+
+    def test_without_elimination_keeps_everything(self):
+        X, y = linear_data(noise=0.05)
+        model = fit_linear_model(X, y, FEATURES, eliminate=False)
+        assert len(model.active_features()) == 4
+
+    def test_constant_target_gives_constant_model(self):
+        X = np.random.default_rng(1).random((50, 4))
+        model = fit_linear_model(X, np.full(50, 3.3), FEATURES)
+        assert model.active_features() == ()
+        assert model.intercept == pytest.approx(3.3)
+
+
+class TestCandidates:
+    def test_restricted_candidates(self):
+        X, y = linear_data()
+        model = fit_linear_model(X, y, FEATURES, candidate_features=["a"])
+        assert set(model.active_features()) <= {"a"}
+
+    def test_unknown_candidate(self):
+        X, y = linear_data()
+        with pytest.raises(ValueError, match="unknown candidate"):
+            fit_linear_model(X, y, FEATURES, candidate_features=["zz"])
+
+    def test_empty_candidates_constant(self):
+        X, y = linear_data()
+        model = fit_linear_model(X, y, FEATURES, candidate_features=[])
+        assert model.intercept == pytest.approx(float(y.mean()))
+
+    def test_constant_column_dropped(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((100, 4))
+        X[:, 1] = 7.0  # constant column
+        y = 2.0 * X[:, 0]
+        model = fit_linear_model(X, y, FEATURES)
+        assert "b" not in model.active_features()
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_linear_model(np.ones((5, 3)), np.ones(5), FEATURES)
+        with pytest.raises(ValueError):
+            fit_linear_model(np.ones((5, 4)), np.ones(4), FEATURES)
+
+    def test_zero_samples(self):
+        with pytest.raises(ValueError):
+            fit_linear_model(np.empty((0, 4)), np.empty(0), FEATURES)
+
+    def test_more_params_than_samples_handled(self):
+        X, y = linear_data(n=3)
+        model = fit_linear_model(X, y, FEATURES)  # must not blow up
+        assert np.isfinite(model.predict(X)).all()
+
+
+class TestLinearModelObject:
+    def test_predict_shape_check(self):
+        X, y = linear_data()
+        model = fit_linear_model(X, y, FEATURES)
+        with pytest.raises(ValueError):
+            model.predict(np.ones((3, 2)))
+
+    def test_coef_shape_check(self):
+        with pytest.raises(ValueError):
+            LinearModel(FEATURES, 0.0, np.zeros(2), 10, 0.0)
+
+    def test_n_params(self):
+        X, y = linear_data()
+        model = fit_linear_model(X, y, FEATURES, eliminate=False)
+        assert model.n_params == len(model.active_features()) + 1
+
+    def test_equation_rendering(self):
+        model = LinearModel(FEATURES, 1.5, np.array([2.0, 0.0, -3.0, 0.0]), 10, 0.1)
+        eq = model.equation()
+        assert eq.startswith("CPI = 1.5")
+        assert "+ 2*a" in eq
+        assert "- 3*c" in eq
+        assert "b" not in eq
+
+    @given(st.lists(st.floats(-10, 10), min_size=4, max_size=4))
+    @settings(max_examples=50)
+    def test_predict_is_affine(self, coefs):
+        model = LinearModel(FEATURES, 0.7, np.array(coefs), 10, 0.0)
+        x1 = np.ones((1, 4))
+        x2 = 2 * np.ones((1, 4))
+        # affine: f(2x) - f(x) = f(3x) - f(2x)
+        d1 = model.predict(x2)[0] - model.predict(x1)[0]
+        d2 = model.predict(3 * x1)[0] - model.predict(x2)[0]
+        assert d1 == pytest.approx(d2, rel=1e-9, abs=1e-9)

@@ -1,0 +1,44 @@
+"""Pruning decision arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.mtree.linear import LinearModel
+from repro.mtree.pruning import (
+    combine_subtree_errors,
+    node_model_error,
+    should_prune,
+)
+
+
+def model(n=100, v_active=2, mae=0.5):
+    coef = np.zeros(4)
+    coef[:v_active] = 1.0
+    return LinearModel(("a", "b", "c", "d"), 0.0, coef, n, mae)
+
+
+class TestNodeModelError:
+    def test_matches_adjusted_error(self):
+        m = model(n=100, v_active=2, mae=0.5)
+        # v = 2 coefficients + intercept = 3; penalty 2 by default.
+        assert node_model_error(m) == pytest.approx(0.5 * (100 + 6) / (100 - 3))
+
+
+class TestCombine:
+    def test_weighted_average(self):
+        assert combine_subtree_errors(1.0, 30, 3.0, 10) == pytest.approx(1.5)
+
+    def test_rejects_empty_side(self):
+        with pytest.raises(ValueError):
+            combine_subtree_errors(1.0, 0, 1.0, 10)
+
+
+class TestShouldPrune:
+    def test_prunes_on_tie(self):
+        assert should_prune(1.0, 1.0)
+
+    def test_keeps_better_subtree(self):
+        assert not should_prune(1.1, 1.0)
+
+    def test_prunes_worse_subtree(self):
+        assert should_prune(0.9, 1.0)

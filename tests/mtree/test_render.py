@@ -1,0 +1,81 @@
+"""Tree rendering (ASCII, equations, DOT)."""
+
+import numpy as np
+import pytest
+
+from repro.mtree.render import render_ascii, render_dot, render_equations
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+
+
+@pytest.fixture(scope="module")
+def small_tree():
+    rng = np.random.default_rng(0)
+    X = rng.random((800, 2))
+    y = np.where(X[:, 0] <= 0.5, 1.0, 3.0 + 2.0 * X[:, 1])
+    return ModelTree(ModelTreeConfig(min_leaf=20)).fit(X, y, ("alpha", "beta"))
+
+
+class TestAscii:
+    def test_contains_structure(self, small_tree):
+        text = render_ascii(small_tree)
+        assert "(alpha)" in text
+        assert "alpha <= " in text and "alpha > " in text
+        assert "LM1" in text
+        assert "% of samples" in text
+        assert "avg CPI" in text
+
+    def test_all_leaves_present(self, small_tree):
+        text = render_ascii(small_tree)
+        for name in small_tree.leaf_names():
+            assert name in text
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            render_ascii(ModelTree())
+
+
+class TestEquations:
+    def test_sorted_by_share(self, small_tree):
+        text = render_equations(small_tree)
+        shares = [
+            float(line.split("(")[1].split("%")[0])
+            for line in text.splitlines()
+            if line.startswith("LM")
+        ]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_min_share_filters(self, small_tree):
+        everything = render_equations(small_tree, min_share=0.0)
+        nothing = render_equations(small_tree, min_share=1.1)
+        assert everything and not nothing
+
+    def test_equation_format(self, small_tree):
+        assert "CPI = " in render_equations(small_tree)
+
+
+class TestDot:
+    def test_valid_digraph(self, small_tree):
+        dot = render_dot(small_tree, title="test tree")
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert 'label="test tree"' in dot
+
+    def test_split_ovals_and_leaf_boxes(self, small_tree):
+        dot = render_dot(small_tree)
+        assert "shape=oval" in dot
+        assert "shape=box" in dot
+
+    def test_arcs_carry_criteria(self, small_tree):
+        dot = render_dot(small_tree)
+        assert 'label="<= ' in dot
+        assert 'label="> ' in dot
+
+    def test_edge_count(self, small_tree):
+        dot = render_dot(small_tree)
+        n_edges = dot.count("->")
+        n_nodes = dot.count("[shape=")
+        assert n_edges == n_nodes - 1  # a tree
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            render_dot(ModelTree())

@@ -1,0 +1,92 @@
+"""Rule extraction."""
+
+import numpy as np
+import pytest
+
+from repro.mtree.rules import Condition, extract_rules, render_rules
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+
+FEATURES = ("alpha", "beta")
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.random((1500, 2))
+    y = np.where(X[:, 0] <= 0.5, 1.0, 3.0 + X[:, 1])
+    tree = ModelTree(ModelTreeConfig(min_leaf=25, smooth=False)).fit(
+        X, y, FEATURES
+    )
+    return tree, X
+
+
+class TestCondition:
+    def test_str(self):
+        assert str(Condition("a", "<=", 0.5)) == "a <= 0.5"
+
+    def test_matches(self):
+        X = np.array([[0.2, 0.0], [0.8, 0.0]])
+        le = Condition("a", "<=", 0.5)
+        gt = Condition("a", ">", 0.5)
+        np.testing.assert_array_equal(le.matches(X, 0), [True, False])
+        np.testing.assert_array_equal(gt.matches(X, 0), [False, True])
+
+
+class TestExtraction:
+    def test_one_rule_per_leaf(self, fitted):
+        tree, _ = fitted
+        rules = extract_rules(tree)
+        assert len(rules) == tree.n_leaves
+        assert [r.lm_name for r in rules] == tree.leaf_names()
+
+    def test_rules_partition_samples(self, fitted):
+        """Every sample satisfies exactly one rule's conditions."""
+        tree, X = fitted
+        rules = extract_rules(tree)
+        feature_index = {name: i for i, name in enumerate(tree.feature_names)}
+        membership = np.zeros(X.shape[0], dtype=int)
+        for rule in rules:
+            mask = np.ones(X.shape[0], dtype=bool)
+            for condition in rule.conditions:
+                mask &= condition.matches(X, feature_index[condition.feature])
+            membership += mask.astype(int)
+        np.testing.assert_array_equal(membership, 1)
+
+    def test_rules_agree_with_assign_leaves(self, fitted):
+        tree, X = fitted
+        rules = extract_rules(tree)
+        feature_index = {name: i for i, name in enumerate(tree.feature_names)}
+        assignments = tree.assign_leaves(X)
+        for rule in rules:
+            mask = np.ones(X.shape[0], dtype=bool)
+            for condition in rule.conditions:
+                mask &= condition.matches(X, feature_index[condition.feature])
+            assert set(assignments[mask]) <= {rule.lm_name}
+
+    def test_shares_sum_to_one(self, fitted):
+        tree, _ = fitted
+        assert sum(r.share for r in extract_rules(tree)) == pytest.approx(1.0)
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            extract_rules(ModelTree())
+
+
+class TestRendering:
+    def test_render_contains_if_then(self, fitted):
+        tree, _ = fitted
+        text = render_rules(tree)
+        assert "IF " in text and "THEN CPI = " in text
+        assert "alpha" in text
+
+    def test_min_share_filters(self, fitted):
+        tree, _ = fitted
+        assert render_rules(tree, min_share=1.1) == ""
+
+    def test_single_leaf_rule_is_true(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((100, 2))
+        y = np.full(100, 2.0)
+        tree = ModelTree(ModelTreeConfig(min_leaf=10)).fit(X, y, FEATURES)
+        text = render_rules(tree)
+        assert "IF TRUE" in text

@@ -1,0 +1,66 @@
+"""Tree serialization round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.mtree.serialize import tree_from_dict, tree_to_dict
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(3)
+    X = rng.random((600, 3))
+    y = np.where(X[:, 1] <= 0.4, 2.0 * X[:, 0], 5.0 - X[:, 2])
+    tree = ModelTree(ModelTreeConfig(min_leaf=15)).fit(X, y, ("p", "q", "r"))
+    return tree, X
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, fitted):
+        tree, X = fitted
+        clone = tree_from_dict(tree_to_dict(tree))
+        np.testing.assert_array_equal(clone.predict(X), tree.predict(X))
+
+    def test_leaf_assignments_identical(self, fitted):
+        tree, X = fitted
+        clone = tree_from_dict(tree_to_dict(tree))
+        np.testing.assert_array_equal(clone.assign_leaves(X), tree.assign_leaves(X))
+
+    def test_structure_preserved(self, fitted):
+        tree, _ = fitted
+        clone = tree_from_dict(tree_to_dict(tree))
+        assert clone.n_leaves == tree.n_leaves
+        assert clone.leaf_names() == tree.leaf_names()
+        assert clone.feature_names == tree.feature_names
+        assert clone.n_train == tree.n_train
+        assert clone.config == tree.config
+
+    def test_json_compatible(self, fitted):
+        tree, _ = fitted
+        payload = tree_to_dict(tree)
+        restored = json.loads(json.dumps(payload))
+        clone = tree_from_dict(restored)
+        assert clone.n_leaves == tree.n_leaves
+
+
+class TestErrors:
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            tree_to_dict(ModelTree())
+
+    def test_bad_version_rejected(self, fitted):
+        tree, _ = fitted
+        payload = tree_to_dict(tree)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            tree_from_dict(payload)
+
+    def test_bad_node_kind_rejected(self, fitted):
+        tree, _ = fitted
+        payload = tree_to_dict(tree)
+        payload["root"]["kind"] = "mystery"
+        with pytest.raises(ValueError, match="node kind"):
+            tree_from_dict(payload)

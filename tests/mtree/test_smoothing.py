@@ -1,0 +1,98 @@
+"""Smoothing: runtime blending and exact composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mtree.smoothing import compose_smoothed, smoothed_combine
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+
+FEATURES = ("u", "v", "w")
+
+
+def fit_tree(seed=0, smooth=True, k=15.0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((2500, 3))
+    y = (
+        np.where(X[:, 0] <= 0.4, 1.0 + X[:, 1], 3.0 - 2.0 * X[:, 2])
+        + np.where(X[:, 1] <= 0.7, 0.0, 0.8)
+        + 0.05 * rng.standard_normal(2500)
+    )
+    config = ModelTreeConfig(min_leaf=40, smooth=smooth, smoothing_k=k)
+    return ModelTree(config).fit(X, y, FEATURES), X
+
+
+class TestCombine:
+    def test_weighted_mean(self):
+        out = smoothed_combine(np.array([2.0]), 30, np.array([4.0]), k=10.0)
+        assert out[0] == pytest.approx((30 * 2.0 + 10 * 4.0) / 40)
+
+    def test_k_zero_is_identity(self):
+        below = np.array([1.5, 2.5])
+        out = smoothed_combine(below, 10, np.array([9.0, 9.0]), k=0.0)
+        np.testing.assert_array_equal(out, below)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smoothed_combine(np.ones(1), 0, np.ones(1))
+        with pytest.raises(ValueError):
+            smoothed_combine(np.ones(1), 5, np.ones(1), k=-1.0)
+
+
+class TestComposition:
+    def test_composed_equals_smoothed_exactly(self):
+        tree, X = fit_tree()
+        composed = compose_smoothed(tree)
+        np.testing.assert_allclose(
+            composed.predict(X),  # composed tree is smooth=False
+            tree.predict(X),      # original smoothed predictions
+            rtol=1e-10,
+            atol=1e-12,
+        )
+
+    def test_composed_on_unseen_inputs(self):
+        tree, _ = fit_tree()
+        composed = compose_smoothed(tree)
+        probe = np.random.default_rng(9).random((500, 3)) * 2.0
+        np.testing.assert_allclose(
+            composed.predict(probe), tree.predict(probe), rtol=1e-10
+        )
+
+    def test_structure_preserved(self):
+        tree, _ = fit_tree()
+        composed = compose_smoothed(tree)
+        assert composed.n_leaves == tree.n_leaves
+        assert composed.leaf_names() == tree.leaf_names()
+        assert composed.split_features() == tree.split_features()
+        assert not composed.config.smooth
+
+    def test_smoothing_reintroduces_ancestor_attributes(self):
+        """Composed leaves may use features the raw leaves eliminated."""
+        tree, _ = fit_tree()
+        composed = compose_smoothed(tree)
+        raw_counts = [len(l.model.active_features()) for l in tree.leaves()]
+        composed_counts = [
+            len(l.model.active_features()) for l in composed.leaves()
+        ]
+        assert sum(composed_counts) >= sum(raw_counts)
+
+    def test_original_tree_unchanged(self):
+        tree, X = fit_tree()
+        before = tree.predict(X).copy()
+        compose_smoothed(tree)
+        np.testing.assert_array_equal(tree.predict(X), before)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            compose_smoothed(ModelTree())
+
+    @given(st.floats(0.0, 100.0), st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_equivalence_for_any_k(self, k, seed):
+        tree, X = fit_tree(seed=seed % 5, k=k)
+        composed = compose_smoothed(tree)
+        np.testing.assert_allclose(
+            composed.predict(X[:200]), tree.predict(X[:200]), rtol=1e-9,
+            atol=1e-10,
+        )

@@ -1,0 +1,80 @@
+"""SDR split search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mtree.splitting import best_split_for_feature, find_best_split
+
+
+class TestSingleFeature:
+    def test_obvious_split_found(self):
+        values = np.concatenate([np.zeros(50), np.ones(50)])
+        y = np.concatenate([np.zeros(50), np.full(50, 10.0)])
+        result = best_split_for_feature(values, y, min_leaf=5)
+        assert result is not None
+        assert result.threshold == pytest.approx(0.5)
+        assert result.n_left == 50 and result.n_right == 50
+        # Perfect split removes all deviation: SDR = sd(y).
+        assert result.sdr == pytest.approx(float(np.std(y)), rel=1e-9)
+
+    def test_constant_target_returns_none(self):
+        values = np.arange(20.0)
+        assert best_split_for_feature(values, np.ones(20), min_leaf=2) is None
+
+    def test_constant_feature_returns_none(self):
+        values = np.ones(20)
+        y = np.arange(20.0)
+        assert best_split_for_feature(values, y, min_leaf=2) is None
+
+    def test_min_leaf_respected(self):
+        # Outlier at one end: best raw cut would isolate it, but
+        # min_leaf forbids leaves smaller than 5.
+        values = np.arange(20.0)
+        y = np.zeros(20)
+        y[-1] = 100.0
+        result = best_split_for_feature(values, y, min_leaf=5)
+        assert result is not None
+        assert result.n_left >= 5 and result.n_right >= 5
+
+    def test_too_few_samples(self):
+        assert best_split_for_feature(np.arange(5.0), np.arange(5.0), 3) is None
+
+    def test_threshold_between_values(self):
+        values = np.array([1.0, 1.0, 4.0, 4.0])
+        y = np.array([0.0, 0.0, 8.0, 8.0])
+        result = best_split_for_feature(values, y, min_leaf=1)
+        assert result.threshold == pytest.approx(2.5)
+
+
+class TestMultiFeature:
+    def test_picks_most_informative_feature(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((200, 3))
+        y = np.where(X[:, 1] > 0.6, 5.0, 0.0)  # only feature 1 matters
+        result = find_best_split(X, y, min_leaf=10)
+        assert result.feature_index == 1
+        assert result.threshold == pytest.approx(0.6, abs=0.05)
+
+    def test_returns_none_when_no_split(self):
+        X = np.ones((20, 2))
+        assert find_best_split(X, np.arange(20.0), min_leaf=2) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_best_split(np.ones((5, 2)), np.ones(4), 1)
+        with pytest.raises(ValueError):
+            find_best_split(np.ones((5, 2)), np.ones(5), 0)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_sdr_non_negative_and_sides_legal(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.random((60, 2))
+        y = rng.random(60)
+        result = find_best_split(X, y, min_leaf=5)
+        if result is not None:
+            assert result.sdr >= -1e-12
+            assert result.n_left >= 5 and result.n_right >= 5
+            assert result.n_left + result.n_right == 60

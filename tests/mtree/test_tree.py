@@ -1,0 +1,158 @@
+"""ModelTree end-to-end behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mtree.smoothing import smoothed_combine
+from repro.mtree.tree import LeafNode, ModelTree, ModelTreeConfig
+
+FEATURES = ("x0", "x1", "x2")
+
+
+def piecewise_data(n=2000, noise=0.02, seed=0):
+    """Two linear regimes split on x0 at 0.5 — M5's home turf."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 3))
+    y = np.where(
+        X[:, 0] <= 0.5,
+        1.0 + 2.0 * X[:, 1],
+        5.0 - 3.0 * X[:, 2],
+    ) + noise * rng.standard_normal(n)
+    return X, y
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelTreeConfig(min_leaf=0)
+        with pytest.raises(ValueError):
+            ModelTreeConfig(sd_threshold=1.0)
+        with pytest.raises(ValueError):
+            ModelTreeConfig(max_depth=0)
+        with pytest.raises(ValueError):
+            ModelTreeConfig(smoothing_k=-1)
+
+
+class TestStructureRecovery:
+    def test_recovers_split_and_models(self):
+        X, y = piecewise_data()
+        tree = ModelTree(ModelTreeConfig(min_leaf=20, smooth=False)).fit(
+            X, y, FEATURES
+        )
+        assert tree.root_split_feature() == "x0"
+        root = tree.root
+        assert root.threshold == pytest.approx(0.5, abs=0.05)
+        # Accuracy: the two regimes must be modeled nearly exactly.
+        pred = tree.predict(X)
+        assert np.mean(np.abs(pred - y)) < 0.05
+
+    def test_pure_linear_data_prunes_to_single_leaf(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((1000, 3))
+        y = 1.0 + 2.0 * X[:, 0] + 0.01 * rng.standard_normal(1000)
+        tree = ModelTree(ModelTreeConfig(min_leaf=20)).fit(X, y, FEATURES)
+        assert tree.n_leaves == 1
+        assert isinstance(tree.root, LeafNode)
+        assert tree.depth() == 0
+
+    def test_leaf_names_sequential(self, cpu_tree):
+        names = cpu_tree.leaf_names()
+        assert names == [f"LM{i + 1}" for i in range(len(names))]
+
+    def test_shares_sum_to_one(self, cpu_tree):
+        assert sum(l.share for l in cpu_tree.leaves()) == pytest.approx(1.0)
+
+    def test_leaf_lookup(self, cpu_tree):
+        assert cpu_tree.leaf("LM1").name == "LM1"
+        with pytest.raises(KeyError):
+            cpu_tree.leaf("LM999")
+
+    def test_min_leaf_respected(self):
+        X, y = piecewise_data(n=500)
+        tree = ModelTree(ModelTreeConfig(min_leaf=50)).fit(X, y, FEATURES)
+        assert min(l.n_samples for l in tree.leaves()) >= 50
+
+    def test_max_depth_respected(self):
+        X, y = piecewise_data(n=2000, noise=0.3)
+        tree = ModelTree(
+            ModelTreeConfig(min_leaf=5, max_depth=2, prune=False)
+        ).fit(X, y, FEATURES)
+        assert tree.depth() <= 2
+
+
+class TestPrediction:
+    def test_assign_leaves_consistent_with_predict(self):
+        X, y = piecewise_data()
+        tree = ModelTree(ModelTreeConfig(min_leaf=20, smooth=False)).fit(
+            X, y, FEATURES
+        )
+        names = tree.assign_leaves(X)
+        pred = tree.predict(X)
+        for leaf in tree.leaves():
+            rows = names == leaf.name
+            np.testing.assert_allclose(
+                pred[rows], leaf.model.predict(X[rows]), rtol=1e-10
+            )
+
+    def test_smoothing_changes_predictions(self):
+        X, y = piecewise_data()
+        tree = ModelTree(ModelTreeConfig(min_leaf=20, smooth=True)).fit(
+            X, y, FEATURES
+        )
+        smooth = tree.predict(X)
+        raw = tree.predict(X, smooth=False)
+        if tree.n_leaves > 1:
+            assert not np.allclose(smooth, raw)
+
+    def test_smoothing_stays_between_child_and_parent(self):
+        below = np.array([1.0])
+        node = np.array([3.0])
+        blended = smoothed_combine(below, 45, node, k=15.0)
+        assert 1.0 < blended[0] < 3.0
+        assert blended[0] == pytest.approx((45 * 1.0 + 15 * 3.0) / 60)
+
+    def test_unfitted_raises(self):
+        tree = ModelTree()
+        with pytest.raises(RuntimeError):
+            tree.predict(np.ones((1, 3)))
+        with pytest.raises(RuntimeError):
+            tree.leaves()
+
+    def test_predict_shape_check(self, cpu_tree):
+        with pytest.raises(ValueError):
+            cpu_tree.predict(np.ones((3, 2)))
+
+    def test_fit_validation(self):
+        tree = ModelTree()
+        with pytest.raises(ValueError):
+            tree.fit(np.ones((5, 2)), np.ones(5), ("a",))
+        with pytest.raises(ValueError):
+            tree.fit(np.ones((1, 1)), np.ones(1), ("a",))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_predictions_finite(self, seed):
+        X, y = piecewise_data(n=300, noise=0.5, seed=seed)
+        tree = ModelTree(ModelTreeConfig(min_leaf=20)).fit(X, y, FEATURES)
+        rng = np.random.default_rng(seed + 1)
+        probe = rng.random((100, 3)) * 2.0  # includes out-of-range inputs
+        assert np.all(np.isfinite(tree.predict(probe)))
+
+
+class TestOnSuiteData:
+    def test_reasonable_accuracy(self, cpu_tree, cpu_split):
+        _, test = cpu_split
+        pred = cpu_tree.predict(test.X)
+        mae = float(np.mean(np.abs(pred - test.y)))
+        assert mae < 0.15  # the paper's own acceptability threshold
+
+    def test_memory_events_drive_splits(self, cpu_tree):
+        # Paper: DTLB and cache-miss events figure prominently.
+        split_features = set(cpu_tree.split_features())
+        assert split_features & {"DtlbMiss", "L2Miss", "L1DMiss", "PageWalk"}
+
+    def test_repr(self, cpu_tree):
+        assert "n_leaves=" in repr(cpu_tree)
+        assert repr(ModelTree()) == "ModelTree(unfitted)"

@@ -1,0 +1,110 @@
+"""Change-point detection on synthetic and workload streams."""
+
+import numpy as np
+import pytest
+
+from repro.phases.detect import PhaseDetector, PhaseDetectorConfig
+from repro.phases.segments import segmentation_score
+
+
+def step_stream(n=300, change_at=150, shift=1.0, noise=0.1, d=5, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0.0, noise, (n, d))
+    X[change_at:, 0] += shift
+    return X
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseDetectorConfig(window=1)
+        with pytest.raises(ValueError):
+            PhaseDetectorConfig(threshold=0.0)
+        with pytest.raises(ValueError):
+            PhaseDetectorConfig(min_gap=0)
+
+
+class TestScore:
+    def test_peaks_at_change_point(self):
+        X = step_stream()
+        detector = PhaseDetector(PhaseDetectorConfig(window=10))
+        scores = detector.score(X)
+        assert abs(int(np.argmax(scores)) - 150) <= 3
+
+    def test_flat_stream_low_scores(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0.0, 1.0, (200, 4))
+        scores = PhaseDetector(PhaseDetectorConfig(window=10)).score(X)
+        # No change: scores stay in the noise band.
+        assert np.max(scores) < 8.0
+
+    def test_short_stream_all_zero(self):
+        X = np.ones((5, 3))
+        scores = PhaseDetector(PhaseDetectorConfig(window=8)).score(X)
+        assert np.all(scores == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseDetector().score(np.ones(10))
+
+
+class TestDetect:
+    def test_single_change_found(self):
+        X = step_stream(shift=2.0)
+        detector = PhaseDetector(PhaseDetectorConfig(window=10, threshold=4.0))
+        boundaries = detector.detect(X)
+        score = segmentation_score(boundaries, [150], n=300, tolerance=5)
+        assert score["recall"] == 1.0
+        assert score["precision"] >= 0.5
+
+    def test_multiple_changes(self):
+        rng = np.random.default_rng(2)
+        parts = [
+            rng.normal(0.0, 0.1, (100, 4)),
+            rng.normal(1.0, 0.1, (100, 4)),
+            rng.normal(-1.0, 0.1, (100, 4)),
+        ]
+        X = np.vstack(parts)
+        detector = PhaseDetector(PhaseDetectorConfig(window=10, threshold=4.0))
+        boundaries = detector.detect(X)
+        score = segmentation_score(boundaries, [100, 200], n=300, tolerance=5)
+        assert score["recall"] == 1.0
+
+    def test_min_gap_suppresses_plateau(self):
+        X = step_stream(shift=3.0)
+        detector = PhaseDetector(
+            PhaseDetectorConfig(window=10, threshold=3.0, min_gap=15)
+        )
+        boundaries = detector.detect(X)
+        diffs = np.diff(sorted(boundaries))
+        assert np.all(diffs >= 15) if len(boundaries) > 1 else True
+
+    def test_no_change_no_boundaries(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(0.0, 1.0, (300, 4))
+        detector = PhaseDetector(PhaseDetectorConfig(window=12, threshold=8.0))
+        assert detector.detect(X) == []
+
+
+class TestOnWorkloadStream:
+    def test_detects_phase_structure_in_benchmark(self):
+        """The generator's geometric phase dwells must be detectable."""
+        from repro.workloads.benchmark import BenchmarkSpec
+        from repro.workloads.phase import PhaseSpec
+
+        spec = BenchmarkSpec(
+            "phasey",
+            phases=(
+                PhaseSpec("quiet", weight=0.5, densities={"L2Miss": 0.00005},
+                          spread=0.1),
+                PhaseSpec("missy", weight=0.5, densities={"L2Miss": 0.004},
+                          spread=0.1),
+            ),
+            persistence=60.0,
+        )
+        rng = np.random.default_rng(4)
+        X = spec.sample_true_densities(600, rng)
+        detector = PhaseDetector(PhaseDetectorConfig(window=8, threshold=4.0))
+        boundaries = detector.detect(X)
+        # With ~10 expected dwell segments, several boundaries must fire.
+        assert len(boundaries) >= 3

@@ -1,0 +1,86 @@
+"""Segment containers and segmentation scoring."""
+
+import pytest
+
+from repro.phases.segments import (
+    Segment,
+    boundaries_to_segments,
+    segmentation_score,
+)
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(3, 10).length == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Segment(-1, 5)
+        with pytest.raises(ValueError):
+            Segment(5, 5)
+        with pytest.raises(ValueError):
+            Segment(6, 5)
+
+
+class TestBoundariesToSegments:
+    def test_no_boundaries_one_segment(self):
+        segments = boundaries_to_segments([], 100)
+        assert segments == [Segment(0, 100)]
+
+    def test_partition_covers_stream(self):
+        segments = boundaries_to_segments([10, 40], 100)
+        assert segments == [Segment(0, 10), Segment(10, 40), Segment(40, 100)]
+        assert sum(s.length for s in segments) == 100
+
+    def test_duplicates_collapsed(self):
+        assert boundaries_to_segments([10, 10], 20) == [
+            Segment(0, 10),
+            Segment(10, 20),
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            boundaries_to_segments([], 0)
+        with pytest.raises(ValueError):
+            boundaries_to_segments([0], 10)
+        with pytest.raises(ValueError):
+            boundaries_to_segments([10], 10)
+
+
+class TestScore:
+    def test_perfect_detection(self):
+        score = segmentation_score([10, 50], [10, 50], n=100)
+        assert score["precision"] == 1.0
+        assert score["recall"] == 1.0
+        assert score["f1"] == 1.0
+
+    def test_tolerance_window(self):
+        score = segmentation_score([12, 48], [10, 50], n=100, tolerance=5)
+        assert score["hits"] == 2
+        score = segmentation_score([20], [10], n=100, tolerance=5)
+        assert score["hits"] == 0
+
+    def test_each_truth_matched_once(self):
+        # Two detections near one truth: only one hit, precision 0.5.
+        score = segmentation_score([9, 11], [10], n=100, tolerance=5)
+        assert score["hits"] == 1
+        assert score["precision"] == pytest.approx(0.5)
+
+    def test_no_detections(self):
+        score = segmentation_score([], [10], n=100)
+        assert score["recall"] == 0.0
+        assert score["precision"] == 0.0
+
+    def test_no_truth_no_detections_is_perfect(self):
+        score = segmentation_score([], [], n=100)
+        assert score["precision"] == 1.0
+        assert score["recall"] == 1.0
+
+    def test_false_positives_hurt_precision(self):
+        score = segmentation_score([10, 70, 90], [10], n=100)
+        assert score["precision"] == pytest.approx(1 / 3)
+        assert score["recall"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            segmentation_score([1], [1], n=10, tolerance=-1)

@@ -1,0 +1,116 @@
+"""Simulated PMU collection: unbiasedness and noise scaling."""
+
+import numpy as np
+import pytest
+
+from repro.pmu.collector import CollectorConfig, PmuCollector
+from repro.pmu.events import PREDICTOR_NAMES
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = CollectorConfig()
+        assert cfg.interval_instructions == 2_000_000
+        assert cfg.n_programmable == 2
+        assert cfg.multiplex
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollectorConfig(interval_instructions=0)
+        with pytest.raises(ValueError):
+            CollectorConfig(n_programmable=0)
+
+
+class TestObserveDensities:
+    def test_estimates_are_unbiased(self, rng):
+        collector = PmuCollector()
+        true = np.full((20_000, 20), 1e-3)
+        observed = collector.observe_densities(true, rng)
+        assert observed.mean() == pytest.approx(1e-3, rel=0.02)
+
+    def test_noise_shrinks_without_multiplexing(self, rng):
+        true = np.full((5_000, 20), 2e-4)
+        mux = PmuCollector(CollectorConfig(multiplex=True))
+        ideal = PmuCollector(CollectorConfig(multiplex=False))
+        mux_std = mux.observe_densities(true, np.random.default_rng(1)).std()
+        ideal_std = ideal.observe_densities(true, np.random.default_rng(1)).std()
+        # Poisson error scales with 1/sqrt(window); duty cycle is 1/10,
+        # so multiplexed estimates are ~sqrt(10) noisier.
+        assert mux_std == pytest.approx(ideal_std * np.sqrt(10), rel=0.15)
+
+    def test_duty_cycle(self):
+        assert PmuCollector().duty_cycle == pytest.approx(0.1)
+        assert PmuCollector(CollectorConfig(multiplex=False)).duty_cycle == 1.0
+
+    def test_zero_density_stays_zero(self, rng):
+        collector = PmuCollector()
+        true = np.zeros((10, 20))
+        np.testing.assert_array_equal(
+            collector.observe_densities(true, rng), np.zeros((10, 20))
+        )
+
+    def test_validation(self, rng):
+        collector = PmuCollector()
+        with pytest.raises(ValueError):
+            collector.observe_densities(np.ones(20), rng)  # 1-D
+        with pytest.raises(ValueError):
+            collector.observe_densities(np.ones((3, 5)), rng)  # wrong width
+        with pytest.raises(ValueError):
+            collector.observe_densities(-np.ones((3, 20)), rng)
+
+    def test_custom_event_subset(self, rng):
+        collector = PmuCollector(event_names=("a", "b", "c"))
+        observed = collector.observe_densities(np.full((5, 3), 1e-3), rng)
+        assert observed.shape == (5, 3)
+
+
+class TestConstrainedCollection:
+    def test_constraints_shrink_duty_cycle_when_binding(self, rng):
+        from repro.pmu.constraints import CounterConstraints
+
+        # Force three events onto counter 0: rotation lengthens.
+        constraints = CounterConstraints(
+            n_counters=2, restrictions={"a": 0, "b": 0, "c": 0}
+        )
+        collector = PmuCollector(
+            event_names=("a", "b", "c"), constraints=constraints
+        )
+        assert collector.duty_cycle == pytest.approx(1 / 3)
+        unconstrained = PmuCollector(event_names=("a", "b", "c"))
+        assert unconstrained.duty_cycle == pytest.approx(1 / 2)
+
+    def test_core2_constraints_keep_ten_groups(self):
+        from repro.pmu.constraints import CounterConstraints
+
+        collector = PmuCollector(constraints=CounterConstraints())
+        # The real Core 2 restrictions happen not to lengthen the
+        # 20-event rotation (at most one restricted event per counter
+        # per group is needed).
+        assert collector.duty_cycle == pytest.approx(0.1)
+
+    def test_constrained_observation_still_unbiased(self, rng):
+        from repro.pmu.constraints import CounterConstraints
+
+        collector = PmuCollector(constraints=CounterConstraints())
+        true = np.full((20_000, 20), 1e-3)
+        observed = collector.observe_densities(true, rng)
+        assert observed.mean() == pytest.approx(1e-3, rel=0.02)
+
+
+class TestObserveCpi:
+    def test_tiny_relative_error(self, rng):
+        collector = PmuCollector()
+        true = np.full(1000, 1.0)
+        observed = collector.observe_cpi(true, rng)
+        # Fixed-counter noise is ~1/sqrt(2M cycles): well under 0.1%.
+        assert np.abs(observed - 1.0).max() < 0.01
+        assert observed.mean() == pytest.approx(1.0, abs=1e-4)
+
+    def test_positive_output(self, rng):
+        collector = PmuCollector(CollectorConfig(interval_instructions=100))
+        observed = collector.observe_cpi(np.full(100, 0.3), rng)
+        assert np.all(observed > 0)
+
+    def test_rejects_non_positive_cpi(self, rng):
+        with pytest.raises(ValueError):
+            PmuCollector().observe_cpi(np.array([1.0, 0.0]), rng)

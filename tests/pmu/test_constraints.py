@@ -1,0 +1,85 @@
+"""Counter constraints and the constraint-aware scheduler."""
+
+import pytest
+
+from repro.pmu.constraints import (
+    CORE2_EVENT_RESTRICTIONS,
+    ConstrainedSchedule,
+    CounterConstraints,
+    build_constrained_schedule,
+)
+from repro.pmu.events import PREDICTOR_NAMES
+
+
+class TestConstraints:
+    def test_default_core2_restrictions(self):
+        constraints = CounterConstraints()
+        assert constraints.allowed_counters("L1DMiss") == (0,)
+        assert constraints.allowed_counters("FpAsst") == (1,)
+        assert constraints.allowed_counters("Load") == (0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterConstraints(n_counters=0)
+        with pytest.raises(ValueError):
+            CounterConstraints(n_counters=2, restrictions={"x": 5})
+
+
+class TestScheduler:
+    def test_unconstrained_is_optimal(self):
+        constraints = CounterConstraints(n_counters=2, restrictions={})
+        schedule = build_constrained_schedule(PREDICTOR_NAMES, constraints)
+        assert schedule.n_groups == 10  # ceil(20 / 2)
+        schedule.validate(constraints)
+
+    def test_core2_constraints_feasible(self):
+        constraints = CounterConstraints()
+        schedule = build_constrained_schedule(PREDICTOR_NAMES, constraints)
+        schedule.validate(constraints)  # no exception
+        # All 20 events scheduled exactly once.
+        scheduled = [e for group in schedule.groups for e in group]
+        assert sorted(scheduled) == sorted(PREDICTOR_NAMES)
+
+    def test_constraints_can_lengthen_rotation(self):
+        # Three events all forced onto counter 0 with 2 counters: they
+        # cannot share groups, so >= 3 groups despite ceil(3/2) = 2.
+        constraints = CounterConstraints(
+            n_counters=2, restrictions={"a": 0, "b": 0, "c": 0}
+        )
+        schedule = build_constrained_schedule(("a", "b", "c"), constraints)
+        assert schedule.n_groups == 3
+        schedule.validate(constraints)
+
+    def test_restricted_events_on_their_counter(self):
+        constraints = CounterConstraints()
+        schedule = build_constrained_schedule(PREDICTOR_NAMES, constraints)
+        for event, counter in CORE2_EVENT_RESTRICTIONS.items():
+            _, assigned = schedule.counter_of(event)
+            assert assigned == counter
+
+    def test_counter_of_unknown(self):
+        constraints = CounterConstraints(restrictions={})
+        schedule = build_constrained_schedule(("a",), constraints)
+        with pytest.raises(KeyError):
+            schedule.counter_of("zz")
+
+    def test_duty_cycle(self):
+        constraints = CounterConstraints(restrictions={})
+        schedule = build_constrained_schedule(("a", "b", "c", "d"), constraints)
+        assert schedule.duty_cycle == pytest.approx(0.5)
+
+    def test_validate_catches_violations(self):
+        constraints = CounterConstraints(n_counters=2, restrictions={"a": 0})
+        bad = ConstrainedSchedule(groups=({"a": 1},))
+        with pytest.raises(ValueError, match="not allowed"):
+            bad.validate(constraints)
+        double = ConstrainedSchedule(groups=({"a": 0, "b": 0},))
+        with pytest.raises(ValueError, match="assigned to both"):
+            double.validate(CounterConstraints(n_counters=2, restrictions={}))
+
+    def test_input_validation(self):
+        constraints = CounterConstraints(restrictions={})
+        with pytest.raises(ValueError):
+            build_constrained_schedule((), constraints)
+        with pytest.raises(ValueError):
+            build_constrained_schedule(("a", "a"), constraints)

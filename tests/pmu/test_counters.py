@@ -1,0 +1,46 @@
+"""Multiplexing schedule arithmetic."""
+
+import pytest
+
+from repro.pmu.counters import MultiplexSchedule
+from repro.pmu.events import PREDICTOR_NAMES
+
+
+class TestSchedule:
+    def test_paper_configuration(self):
+        # 20 events over 2 counters -> 10 groups, 10% duty cycle.
+        s = MultiplexSchedule(PREDICTOR_NAMES, n_counters=2)
+        assert s.n_groups == 10
+        assert s.duty_cycle == pytest.approx(0.1)
+
+    def test_groups_partition_events(self):
+        s = MultiplexSchedule(("a", "b", "c", "d", "e"), n_counters=2)
+        groups = s.groups()
+        assert groups == [("a", "b"), ("c", "d"), ("e",)]
+        flat = [name for group in groups for name in group]
+        assert flat == list(s.event_names)
+
+    def test_odd_event_count_rounds_up(self):
+        assert MultiplexSchedule(("a", "b", "c"), n_counters=2).n_groups == 2
+
+    def test_group_of(self):
+        s = MultiplexSchedule(("a", "b", "c", "d"), n_counters=2)
+        assert s.group_of("a") == 0
+        assert s.group_of("d") == 1
+
+    def test_group_of_unknown(self):
+        with pytest.raises(KeyError):
+            MultiplexSchedule(("a",)).group_of("zz")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiplexSchedule((), n_counters=2)
+        with pytest.raises(ValueError):
+            MultiplexSchedule(("a", "a"))
+        with pytest.raises(ValueError):
+            MultiplexSchedule(("a",), n_counters=0)
+
+    def test_single_counter(self):
+        s = MultiplexSchedule(("a", "b", "c"), n_counters=1)
+        assert s.n_groups == 3
+        assert s.duty_cycle == pytest.approx(1 / 3)

@@ -1,0 +1,49 @@
+"""Counter-data quality diagnostics."""
+
+import pytest
+
+from repro.pmu.collector import CollectorConfig, PmuCollector
+from repro.pmu.diagnostics import data_quality_report, format_quality_table
+
+
+class TestQualityReport:
+    def test_rare_events_flagged_noisy(self, cpu_data):
+        collector = PmuCollector()
+        report = data_quality_report(cpu_data, collector)
+        # Loads happen ~0.3/instruction: 60k counts in a 200k window.
+        assert report["Load"].well_observed
+        # FP assists are ~5e-6/instruction: ~1 count per window.
+        assert not report["FpAsst"].well_observed
+        assert report["FpAsst"].relative_error > report["Load"].relative_error
+
+    def test_relative_error_formula(self, cpu_data):
+        collector = PmuCollector()
+        report = data_quality_report(cpu_data, collector)
+        q = report["Load"]
+        window = collector.duty_cycle * collector.config.interval_instructions
+        assert q.mean_raw_count == pytest.approx(q.mean_density * window)
+        assert q.relative_error == pytest.approx(q.mean_raw_count**-0.5)
+
+    def test_dedicated_counters_improve_quality(self, cpu_data):
+        mux = data_quality_report(cpu_data, PmuCollector())
+        ideal = data_quality_report(
+            cpu_data, PmuCollector(CollectorConfig(multiplex=False))
+        )
+        for name in cpu_data.feature_names:
+            assert ideal[name].relative_error <= mux[name].relative_error
+
+    def test_schema_mismatch(self, cpu_data):
+        collector = PmuCollector(event_names=("a", "b"))
+        with pytest.raises(ValueError, match="schema"):
+            data_quality_report(cpu_data, collector)
+
+
+class TestFormat:
+    def test_table(self, cpu_data):
+        report = data_quality_report(cpu_data, PmuCollector())
+        text = format_quality_table(report)
+        assert "NOISY" in text and "ok" in text
+        # Worst first: the first data row is the noisiest event.
+        first_row = text.splitlines()[2]
+        worst = max(report.values(), key=lambda q: q.relative_error)
+        assert first_row.startswith(worst.event)

@@ -1,0 +1,53 @@
+"""Table I catalog invariants."""
+
+import pytest
+
+from repro.pmu.events import (
+    CPI,
+    EVENT_TABLE,
+    FIXED_EVENTS,
+    PREDICTOR_EVENTS,
+    PREDICTOR_NAMES,
+    event_by_name,
+)
+
+
+class TestCatalog:
+    def test_twenty_predictors(self):
+        # The paper models CPI as a function of 20 other counters.
+        assert len(PREDICTOR_EVENTS) == 20
+        assert len(PREDICTOR_NAMES) == 20
+
+    def test_cpi_heads_table(self):
+        assert EVENT_TABLE[0] is CPI
+        assert len(EVENT_TABLE) == 21
+
+    def test_names_unique(self):
+        names = [e.name for e in EVENT_TABLE]
+        assert len(set(names)) == len(names)
+
+    def test_three_fixed_counters(self):
+        # CPU_CLK_UNHALTED.CORE, INST_RETIRED.ANY, CPU_CLK_UNHALTED.REF
+        assert len(FIXED_EVENTS) == 3
+        assert all(e.fixed for e in FIXED_EVENTS)
+
+    def test_predictors_are_programmable(self):
+        assert not any(e.fixed for e in PREDICTOR_EVENTS)
+
+    def test_paper_events_present(self):
+        # Every event named in the paper's equations must exist.
+        for name in (
+            "Load", "Store", "MisprBr", "Br", "L1DMiss", "L1IMiss",
+            "L2Miss", "DtlbMiss", "LdBlkStA", "LdBlkStD", "LdBlkOlp",
+            "SplitLoad", "SplitStore", "Misalign", "Div", "PageWalk",
+            "Mul", "FpAsst", "SIMD",
+        ):
+            assert name in PREDICTOR_NAMES
+
+    def test_lookup(self):
+        assert event_by_name("DtlbMiss").pmu_event == "DTLB_MISSES.ANY"
+        assert event_by_name("CPI") is CPI
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError, match="unknown event"):
+            event_by_name("Bogus")

@@ -1,0 +1,77 @@
+"""Set-associative cache model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cache import SetAssociativeCache
+
+
+class TestConstruction:
+    def test_geometry(self):
+        cache = SetAssociativeCache(32 * 1024, line_bytes=64, ways=8)
+        assert cache.n_sets == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(100, line_bytes=64, ways=8)  # not divisible
+        with pytest.raises(ValueError):
+            SetAssociativeCache(3 * 64 * 8, line_bytes=64, ways=8)  # 3 sets
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, line_bytes=48, ways=1)  # line not 2^k
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(1024, line_bytes=64, ways=2)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)  # same line
+        assert not cache.access(64)  # next line
+
+    def test_lru_eviction(self):
+        # 2-way set: A, B fill it; C evicts A (least recent).
+        cache = SetAssociativeCache(2 * 64 * 1, line_bytes=64, ways=2)  # 1 set
+        a, b, c = 0, 64, 128
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a
+        assert cache.access(b)
+        assert cache.access(c)
+        assert not cache.access(a)  # was evicted
+
+    def test_lru_promotion(self):
+        cache = SetAssociativeCache(2 * 64, line_bytes=64, ways=2)
+        a, b, c = 0, 64, 128
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # promote a; b is now LRU
+        cache.access(c)  # evicts b
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_working_set_within_capacity_all_hits(self):
+        cache = SetAssociativeCache(32 * 1024, line_bytes=64, ways=8)
+        addresses = np.arange(0, 16 * 1024, 8)
+        cache.access_many(addresses)  # warm
+        cache.reset_counters()
+        cache.access_many(addresses)
+        assert cache.misses == 0
+
+    def test_streaming_miss_rate_is_line_reuse(self):
+        cache = SetAssociativeCache(32 * 1024, line_bytes=64, ways=8)
+        addresses = np.arange(0, 4 * 1024 * 1024, 8)  # 8-byte stride sweep
+        cache.reset_counters()
+        cache.access_many(addresses)
+        # One miss per 64-byte line = 1 per 8 accesses.
+        assert cache.miss_rate == pytest.approx(1 / 8, rel=0.02)
+
+    def test_thrash_beyond_capacity(self):
+        cache = SetAssociativeCache(1024, line_bytes=64, ways=2)
+        # Cyclic sweep over 4x capacity at line stride: ~100% misses.
+        sweep = np.tile(np.arange(0, 4096, 64), 10)
+        cache.access_many(sweep[:64])  # warm
+        cache.reset_counters()
+        cache.access_many(sweep)
+        assert cache.miss_rate > 0.95

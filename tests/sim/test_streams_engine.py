@@ -1,0 +1,136 @@
+"""Stream generators and the phase simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import simulate_phase
+from repro.sim.streams import (
+    pointer_chase_stream,
+    random_working_set_stream,
+    sequential_stream,
+    strided_stream,
+)
+
+
+class TestStreams:
+    def test_sequential_wraps(self):
+        stream = sequential_stream(10, region_bytes=32, element_bytes=8)
+        assert stream.tolist() == [0, 8, 16, 24, 0, 8, 16, 24, 0, 8]
+
+    def test_strided(self):
+        stream = strided_stream(4, region_bytes=1024, stride_bytes=256)
+        assert stream.tolist() == [0, 256, 512, 768]
+
+    def test_random_within_working_set(self, rng):
+        stream = random_working_set_stream(1000, 4096, rng)
+        assert stream.min() >= 0
+        assert stream.max() < 4096
+
+    def test_pointer_chase_visits_all_nodes_before_repeat(self, rng):
+        stream = pointer_chase_stream(8, region_bytes=8 * 64, rng=rng)
+        assert len(set(stream.tolist())) == 8  # full cycle, no repeats
+
+    def test_base_offset(self, rng):
+        stream = sequential_stream(5, 1024, base=1 << 20)
+        assert stream.min() >= 1 << 20
+
+    def test_interleave(self):
+        from repro.sim.streams import interleave_streams
+
+        a = np.array([0, 2, 4], dtype=np.int64)
+        b = np.array([1, 3, 5], dtype=np.int64)
+        out = interleave_streams(a, b)
+        assert out.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_interleave_validation(self):
+        from repro.sim.streams import interleave_streams
+
+        with pytest.raises(ValueError):
+            interleave_streams()
+        with pytest.raises(ValueError):
+            interleave_streams(np.array([1]), np.array([1, 2]))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sequential_stream(0, 64)
+        with pytest.raises(ValueError):
+            strided_stream(5, 64, stride_bytes=0)
+        with pytest.raises(ValueError):
+            random_working_set_stream(5, 0, rng)
+
+
+class TestEngine:
+    def test_small_working_set_hits_everything(self, rng):
+        stream = random_working_set_stream(20_000, 16 * 1024, rng)
+        phase = simulate_phase(stream, rng, branch_taken_probability=0.99)
+        assert phase.density("L1DMiss") < 0.001
+        assert phase.density("DtlbMiss") < 0.001
+        assert phase.density("MisprBr") < 0.01
+
+    def test_streaming_misses_at_line_rate(self, rng):
+        stream = sequential_stream(40_000, 32 * 1024 * 1024)
+        phase = simulate_phase(stream, rng)
+        # 8-byte elements on 64-byte lines: 1/8 of accesses miss; the
+        # load share of that is (0.3/0.4) / (1/0.4) per instruction.
+        expected = (1 / 8) * 0.3 / 1.0 * (1 / 0.4) * 0.4
+        assert phase.density("L1DMiss") == pytest.approx(expected, rel=0.2)
+        # Streams larger than L2 miss all the way out.
+        assert phase.density("L2Miss") == pytest.approx(
+            phase.density("L1DMiss"), rel=0.05
+        )
+
+    def test_pointer_chase_breaks_tlb(self, rng):
+        stream = pointer_chase_stream(30_000, 64 * 1024 * 1024, rng)
+        phase = simulate_phase(stream, rng)
+        # 16k pages against a 256-entry TLB: essentially every access
+        # needs a walk.
+        assert phase.density("DtlbMiss") > 0.3
+        assert phase.density("PageWalk") == phase.density("DtlbMiss")
+
+    def test_l2_capacity_separates_streams(self, rng):
+        from repro.sim.cache import SetAssociativeCache
+
+        # Use a small L2 (256 KiB) so both streams wrap it many times
+        # within a fast test: a 128 KiB region fits and gets reuse
+        # hits; a 1 MiB region thrashes.
+        def run(region_bytes):
+            stream = sequential_stream(80_000, region_bytes)
+            return simulate_phase(
+                stream,
+                np.random.default_rng(0),
+                l1d=SetAssociativeCache(32 * 1024, ways=8),
+                l2=SetAssociativeCache(256 * 1024, ways=16),
+            )
+
+        phase_fits = run(128 * 1024)
+        phase_breaks = run(1024 * 1024)
+        assert phase_fits.density("L2Miss") < 0.2 * phase_breaks.density("L2Miss")
+        # L1D (32 KiB) misses either way.
+        assert phase_fits.density("L1DMiss") == pytest.approx(
+            phase_breaks.density("L1DMiss"), rel=0.2
+        )
+
+    def test_predictable_branches_rarely_mispredict(self, rng):
+        stream = random_working_set_stream(20_000, 16 * 1024, rng)
+        loopy = simulate_phase(stream, np.random.default_rng(1),
+                               branch_taken_probability=0.98)
+        random_branches = simulate_phase(stream, np.random.default_rng(1),
+                                         branch_taken_probability=0.5)
+        assert loopy.density("MisprBr") < 0.2 * random_branches.density("MisprBr")
+
+    def test_instruction_mix_passthrough(self, rng):
+        stream = random_working_set_stream(5_000, 4096, rng)
+        phase = simulate_phase(stream, rng, load_fraction=0.4,
+                               store_fraction=0.2, branch_fraction=0.1)
+        assert phase.density("Load") == 0.4
+        assert phase.density("Store") == 0.2
+        assert phase.density("Br") == 0.1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_phase(np.empty(0, dtype=np.int64), rng)
+        stream = np.arange(100, dtype=np.int64)
+        with pytest.raises(ValueError):
+            simulate_phase(stream, rng, load_fraction=0.9, store_fraction=0.3)
+        with pytest.raises(ValueError):
+            simulate_phase(stream, rng, warmup_fraction=1.0)

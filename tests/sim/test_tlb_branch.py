@@ -1,0 +1,84 @@
+"""TLB and branch-predictor models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.branch import BimodalPredictor
+from repro.sim.tlb import Tlb
+
+
+class TestTlb:
+    def test_page_granularity(self):
+        tlb = Tlb(entries=4, page_bytes=4096)
+        assert not tlb.access(0)
+        assert tlb.access(4095)  # same page
+        assert not tlb.access(4096)  # next page
+
+    def test_lru(self):
+        tlb = Tlb(entries=2, page_bytes=4096)
+        tlb.access(0)  # page 0
+        tlb.access(4096)  # page 1
+        tlb.access(8192)  # page 2 evicts page 0
+        assert tlb.access(4096)
+        assert not tlb.access(0)
+
+    def test_working_set_within_reach(self):
+        tlb = Tlb(entries=256)
+        addresses = np.arange(0, 256 * 4096, 512)
+        tlb.access_many(addresses)
+        tlb.reset_counters()
+        tlb.access_many(addresses)
+        assert tlb.misses == 0
+
+    def test_beyond_reach_always_misses(self):
+        tlb = Tlb(entries=16)
+        # Sequential pages, 64 pages, cyclic: each revisit is evicted.
+        pages = np.tile(np.arange(64) * 4096, 5)
+        tlb.access_many(pages[:64])
+        tlb.reset_counters()
+        tlb.access_many(pages)
+        assert tlb.miss_rate > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=0)
+        with pytest.raises(ValueError):
+            Tlb(page_bytes=1000)
+
+
+class TestBimodal:
+    def test_learns_biased_branch(self):
+        predictor = BimodalPredictor()
+        for _ in range(100):
+            predictor.resolve(pc=7, taken=True)
+        predictor.reset_counters()
+        for _ in range(100):
+            predictor.resolve(pc=7, taken=True)
+        assert predictor.mispredict_rate == 0.0
+
+    def test_random_branch_near_half(self, rng):
+        predictor = BimodalPredictor()
+        outcomes = rng.random(20_000) < 0.5
+        predictor.resolve_many(np.zeros(20_000, dtype=int), outcomes)
+        assert predictor.mispredict_rate == pytest.approx(0.5, abs=0.03)
+
+    def test_biased_branch_rate_matches_theory(self, rng):
+        # For a p-biased branch, a 2-bit counter mispredicts ~min(p,1-p)
+        # (it saturates toward the majority direction).
+        predictor = BimodalPredictor()
+        p = 0.9
+        outcomes = rng.random(50_000) < p
+        predictor.resolve_many(np.zeros(50_000, dtype=int), outcomes)
+        assert predictor.mispredict_rate == pytest.approx(0.1, abs=0.03)
+
+    def test_aliasing_distinct_pcs(self):
+        predictor = BimodalPredictor(table_entries=2)
+        # pcs 0 and 2 alias to entry 0 with opposite biases: interference.
+        for _ in range(200):
+            predictor.resolve(0, True)
+            predictor.resolve(2, False)
+        assert predictor.mispredict_rate > 0.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(table_entries=1000)

@@ -1,0 +1,123 @@
+"""Descriptive estimators (Equations 8-11) validated against numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stats.descriptive import (
+    corrcoef,
+    covariance,
+    mean,
+    sample_std,
+    sample_var,
+    standard_error_of_difference,
+    summarize,
+)
+
+finite_arrays = hnp.arrays(
+    dtype=float,
+    shape=st.integers(2, 50),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestEstimators:
+    def test_mean_known(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_var_is_unbiased_form(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        # Eq. 9 uses the n-1 denominator.
+        assert sample_var(data) == pytest.approx(np.var(data, ddof=1))
+
+    def test_std_is_sqrt_var(self):
+        data = [0.5, 1.5, 2.5, 10.0]
+        assert sample_std(data) == pytest.approx(np.sqrt(sample_var(data)))
+
+    @given(finite_arrays)
+    @settings(max_examples=100)
+    def test_matches_numpy(self, arr):
+        assert mean(arr) == pytest.approx(float(arr.mean()), rel=1e-9, abs=1e-9)
+        assert sample_var(arr) == pytest.approx(
+            float(arr.var(ddof=1)), rel=1e-9, abs=1e-9
+        )
+
+    def test_rejects_empty_and_nan(self):
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            mean([1.0, float("nan")])
+        with pytest.raises(ValueError):
+            sample_var([1.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            mean(np.ones((2, 2)))
+
+
+class TestCovarianceCorrelation:
+    def test_covariance_matches_numpy(self, rng):
+        x = rng.normal(size=100)
+        y = rng.normal(size=100)
+        assert covariance(x, y) == pytest.approx(np.cov(x, y, ddof=1)[0, 1])
+
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert corrcoef(x, 3 * x + 1) == pytest.approx(1.0)
+        assert corrcoef(x, -2 * x) == pytest.approx(-1.0)
+
+    def test_constant_input_gives_zero(self):
+        assert corrcoef(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            covariance([1.0, 2.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            corrcoef([1.0, 2.0], [1.0])
+
+    @given(finite_arrays)
+    @settings(max_examples=50)
+    def test_corr_bounded(self, arr):
+        noise = np.sin(np.arange(arr.size))
+        c = corrcoef(arr, arr * 0.5 + noise)
+        assert -1.0 - 1e-9 <= c <= 1.0 + 1e-9
+
+
+class TestStandardError:
+    def test_formula(self):
+        # Eq. 10: sqrt(S1^2/n + S2^2/m)
+        assert standard_error_of_difference(4.0, 100, 9.0, 400) == pytest.approx(
+            np.sqrt(4.0 / 100 + 9.0 / 400)
+        )
+
+    def test_rejects_small_samples(self):
+        with pytest.raises(ValueError):
+            standard_error_of_difference(1.0, 1, 1.0, 10)
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ValueError):
+            standard_error_of_difference(-1.0, 10, 1.0, 10)
+
+
+class TestSummary:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert s.n == 5
+        assert s.minimum == 1.0
+        assert s.maximum == 100.0
+        assert s.median == 3.0
+        assert s.mean == pytest.approx(22.0)
+        assert s.var == pytest.approx(np.var([1, 2, 3, 4, 100], ddof=1))
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.n == 1
+        assert s.var == 0.0
+        assert s.std == 0.0
+
+    def test_str_contains_stats(self):
+        text = str(summarize([1.0, 2.0, 3.0]))
+        assert "n=3" in text
+        assert "mean=2" in text

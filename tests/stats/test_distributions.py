@@ -1,0 +1,118 @@
+"""Distribution CDFs/quantiles validated against scipy."""
+
+import numpy as np
+import pytest
+import scipy.stats as ss
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import ChiSquare, FDistribution, Normal, StudentT
+
+
+class TestNormal:
+    @pytest.mark.parametrize("x", [-4.0, -1.0, 0.0, 0.5, 2.3])
+    def test_cdf_matches_scipy(self, x):
+        assert Normal().cdf(x) == pytest.approx(ss.norm.cdf(x), abs=1e-12)
+
+    def test_location_scale(self):
+        d = Normal(mu=2.0, sigma=3.0)
+        assert d.cdf(2.0) == pytest.approx(0.5)
+        assert d.cdf(5.0) == pytest.approx(ss.norm.cdf(1.0), abs=1e-12)
+
+    def test_pdf_matches_scipy(self):
+        d = Normal(1.0, 2.0)
+        assert d.pdf(0.0) == pytest.approx(ss.norm.pdf(0.0, 1.0, 2.0), abs=1e-12)
+
+    def test_ppf_roundtrip(self):
+        d = Normal()
+        for p in (0.01, 0.5, 0.975, 0.999):
+            assert d.cdf(d.ppf(p)) == pytest.approx(p, abs=1e-9)
+
+    def test_975_quantile_is_1_96(self):
+        assert Normal().ppf(0.975) == pytest.approx(1.959964, abs=1e-4)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            Normal(sigma=0.0)
+
+    def test_two_sided_p(self):
+        assert Normal().two_sided_p(1.96) == pytest.approx(0.05, abs=1e-3)
+
+
+class TestStudentT:
+    @pytest.mark.parametrize("df", [1, 2, 5, 30, 1000])
+    @pytest.mark.parametrize("x", [-3.0, -0.7, 0.0, 1.5, 4.0])
+    def test_cdf_matches_scipy(self, df, x):
+        assert StudentT(df).cdf(x) == pytest.approx(ss.t.cdf(x, df), abs=1e-10)
+
+    def test_two_sided_p_matches_scipy(self):
+        for df, t in ((10, 2.1), (100000, 1.2), (3, 5.0)):
+            expected = 2 * ss.t.sf(abs(t), df)
+            assert StudentT(df).two_sided_p(t) == pytest.approx(expected, rel=1e-8)
+
+    def test_critical_value_large_df(self):
+        # The paper's 1.960 threshold at 95% for its huge samples.
+        assert StudentT(400000).critical_value(0.95) == pytest.approx(1.960, abs=1e-3)
+
+    def test_critical_value_small_df(self):
+        assert StudentT(10).critical_value(0.95) == pytest.approx(
+            ss.t.ppf(0.975, 10), abs=1e-6
+        )
+
+    def test_symmetry(self):
+        d = StudentT(7)
+        assert d.cdf(-1.3) == pytest.approx(1.0 - d.cdf(1.3), abs=1e-12)
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            StudentT(0)
+        with pytest.raises(ValueError):
+            StudentT(10).critical_value(1.5)
+
+    @given(st.floats(1.0, 500.0), st.floats(-20.0, 20.0))
+    @settings(max_examples=100)
+    def test_cdf_in_unit_interval(self, df, x):
+        assert 0.0 <= StudentT(df).cdf(x) <= 1.0
+
+
+class TestFDistribution:
+    @pytest.mark.parametrize(
+        "dfn,dfd,x", [(1, 10, 0.5), (1, 10, 4.0), (5, 2, 1.0), (20, 20, 2.5)]
+    )
+    def test_cdf_matches_scipy(self, dfn, dfd, x):
+        assert FDistribution(dfn, dfd).cdf(x) == pytest.approx(
+            ss.f.cdf(x, dfn, dfd), abs=1e-10
+        )
+
+    def test_sf_complement(self):
+        d = FDistribution(3, 17)
+        for x in (0.2, 1.0, 3.7):
+            assert d.cdf(x) + d.sf(x) == pytest.approx(1.0, abs=1e-12)
+
+    def test_ppf_roundtrip(self):
+        d = FDistribution(1, 50)
+        for p in (0.1, 0.5, 0.95):
+            assert d.cdf(d.ppf(p)) == pytest.approx(p, abs=1e-8)
+
+    def test_negative_x(self):
+        d = FDistribution(2, 2)
+        assert d.cdf(-1.0) == 0.0
+        assert d.sf(-1.0) == 1.0
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            FDistribution(0, 1)
+
+
+class TestChiSquare:
+    @pytest.mark.parametrize("df,x", [(1, 0.5), (2, 2.0), (10, 9.3), (50, 67.5)])
+    def test_cdf_matches_scipy(self, df, x):
+        assert ChiSquare(df).cdf(x) == pytest.approx(ss.chi2.cdf(x, df), abs=1e-10)
+
+    def test_ppf_roundtrip(self):
+        d = ChiSquare(5)
+        assert d.cdf(d.ppf(0.95)) == pytest.approx(0.95, abs=1e-8)
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            ChiSquare(-1)

@@ -1,0 +1,157 @@
+"""Special functions validated against scipy and known identities."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.special as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.special import (
+    erf,
+    erfc,
+    log_beta,
+    log_gamma,
+    regularized_incomplete_beta,
+    regularized_lower_gamma,
+)
+
+
+class TestLogGamma:
+    @pytest.mark.parametrize("x", [0.1, 0.5, 1.0, 1.5, 2.0, 5.0, 10.5, 100.0, 1e4])
+    def test_matches_scipy(self, x):
+        assert log_gamma(x) == pytest.approx(sp.gammaln(x), abs=1e-10)
+
+    def test_factorial_identity(self):
+        # Gamma(n) = (n-1)!
+        for n in range(1, 15):
+            assert log_gamma(n) == pytest.approx(
+                math.log(math.factorial(n - 1)), rel=1e-12
+            )
+
+    def test_half_integer(self):
+        # Gamma(1/2) = sqrt(pi)
+        assert log_gamma(0.5) == pytest.approx(0.5 * math.log(math.pi), abs=1e-12)
+
+    def test_rejects_non_positive_integers(self):
+        with pytest.raises(ValueError):
+            log_gamma(0.0)
+        with pytest.raises(ValueError):
+            log_gamma(-3.0)
+
+    def test_reflection_negative_non_integer(self):
+        assert log_gamma(-0.5) == pytest.approx(sp.gammaln(-0.5), abs=1e-10)
+
+
+class TestLogBeta:
+    @pytest.mark.parametrize("a,b", [(0.5, 0.5), (1, 1), (2, 3), (10, 0.1), (50, 50)])
+    def test_matches_scipy(self, a, b):
+        assert log_beta(a, b) == pytest.approx(sp.betaln(a, b), abs=1e-10)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            log_beta(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_beta(1.0, -1.0)
+
+
+class TestErf:
+    @pytest.mark.parametrize("x", [-5.0, -2.0, -0.5, 0.0, 0.3, 1.0, 2.5, 6.0])
+    def test_matches_scipy(self, x):
+        assert erf(x) == pytest.approx(sp.erf(x), abs=1e-12)
+
+    def test_odd_function(self):
+        for x in (0.1, 0.7, 1.9):
+            assert erf(-x) == pytest.approx(-erf(x), abs=1e-14)
+
+    def test_erfc_complement(self):
+        for x in (-2.0, -0.3, 0.0, 0.4, 1.7):
+            assert erf(x) + erfc(x) == pytest.approx(1.0, abs=1e-12)
+
+    def test_erfc_deep_tail_relative_accuracy(self):
+        # 1 - erf(x) loses precision; erfc must not.
+        for x in (3.0, 5.0, 8.0):
+            assert erfc(x) == pytest.approx(sp.erfc(x), rel=1e-10)
+
+    @given(st.floats(-10, 10))
+    @settings(max_examples=100)
+    def test_bounded(self, x):
+        assert -1.0 <= erf(x) <= 1.0
+
+
+class TestIncompleteGamma:
+    @pytest.mark.parametrize(
+        "a,x",
+        [(0.5, 0.1), (0.5, 2.0), (1.0, 1.0), (3.0, 0.5), (3.0, 10.0), (30.0, 25.0)],
+    )
+    def test_matches_scipy(self, a, x):
+        assert regularized_lower_gamma(a, x) == pytest.approx(
+            sp.gammainc(a, x), abs=1e-12
+        )
+
+    def test_boundaries(self):
+        assert regularized_lower_gamma(2.0, 0.0) == 0.0
+        assert regularized_lower_gamma(2.0, 1e6) == pytest.approx(1.0, abs=1e-12)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            regularized_lower_gamma(0.0, 1.0)
+        with pytest.raises(ValueError):
+            regularized_lower_gamma(1.0, -0.1)
+
+    @given(
+        st.floats(0.1, 50.0),
+        st.floats(0.0, 100.0),
+        st.floats(0.01, 10.0),
+    )
+    @settings(max_examples=100)
+    def test_monotone_in_x(self, a, x, dx):
+        assert regularized_lower_gamma(a, x + dx) >= regularized_lower_gamma(a, x)
+
+
+class TestIncompleteBeta:
+    @pytest.mark.parametrize(
+        "a,b,x",
+        [
+            (0.5, 0.5, 0.3),
+            (1.0, 1.0, 0.5),
+            (2.0, 5.0, 0.1),
+            (5.0, 2.0, 0.9),
+            (100.0, 100.0, 0.5),
+            (1000.0, 0.5, 0.999),
+        ],
+    )
+    def test_matches_scipy(self, a, b, x):
+        assert regularized_incomplete_beta(a, b, x) == pytest.approx(
+            sp.betainc(a, b, x), abs=1e-10
+        )
+
+    def test_boundaries(self):
+        assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+    def test_symmetry(self):
+        # I_x(a,b) = 1 - I_{1-x}(b,a)
+        a, b, x = 3.0, 7.0, 0.42
+        assert regularized_incomplete_beta(a, b, x) == pytest.approx(
+            1.0 - regularized_incomplete_beta(b, a, 1.0 - x), abs=1e-12
+        )
+
+    def test_uniform_case(self):
+        # Beta(1,1) is uniform: I_x(1,1) = x.
+        for x in np.linspace(0.05, 0.95, 7):
+            assert regularized_incomplete_beta(1.0, 1.0, x) == pytest.approx(
+                x, abs=1e-12
+            )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(0.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(1.0, 1.0, 1.5)
+
+    @given(st.floats(0.2, 20.0), st.floats(0.2, 20.0), st.floats(0.0, 1.0))
+    @settings(max_examples=150)
+    def test_in_unit_interval(self, a, b, x):
+        assert 0.0 <= regularized_incomplete_beta(a, b, x) <= 1.0

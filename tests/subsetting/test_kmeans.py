@@ -1,0 +1,90 @@
+"""k-means on known cluster structure."""
+
+import numpy as np
+import pytest
+
+from repro.subsetting.kmeans import KMeans
+
+
+def three_blobs(n_per=60, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    X = np.vstack(
+        [c + 0.5 * rng.standard_normal((n_per, 2)) for c in centers]
+    )
+    labels = np.repeat(np.arange(3), n_per)
+    return X, labels, centers
+
+
+class TestClustering:
+    def test_recovers_blobs(self):
+        X, truth, centers = three_blobs()
+        result = KMeans(k=3, seed=1).fit(X)
+        # Every true cluster maps to exactly one predicted cluster.
+        mapping = {}
+        for true_label in range(3):
+            predicted = result.labels[truth == true_label]
+            values, counts = np.unique(predicted, return_counts=True)
+            dominant = values[np.argmax(counts)]
+            assert counts.max() / counts.sum() > 0.95
+            mapping[true_label] = dominant
+        assert len(set(mapping.values())) == 3
+
+    def test_centers_near_truth(self):
+        X, _, centers = three_blobs()
+        result = KMeans(k=3, seed=1).fit(X)
+        for c in centers:
+            nearest = np.min(np.sum((result.centers - c) ** 2, axis=1))
+            assert nearest < 0.5
+
+    def test_inertia_decreases_with_k(self):
+        X, *_ = three_blobs()
+        inertias = [KMeans(k=k, seed=2).fit(X).inertia for k in (1, 2, 3)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_k1_center_is_mean(self):
+        X, *_ = three_blobs()
+        result = KMeans(k=1).fit(X)
+        np.testing.assert_allclose(result.centers[0], X.mean(axis=0), atol=1e-9)
+
+    def test_deterministic_given_seed(self):
+        X, *_ = three_blobs()
+        a = KMeans(k=3, seed=5).fit(X)
+        b = KMeans(k=3, seed=5).fit(X)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_k_equals_n(self):
+        X = np.arange(8.0).reshape(4, 2)
+        result = KMeans(k=4, seed=0).fit(X)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+
+class TestMedoids:
+    def test_medoids_are_members(self):
+        X, truth, _ = three_blobs()
+        result = KMeans(k=3, seed=1).fit(X)
+        medoids = result.medoid_indices(X)
+        assert medoids.shape == (3,)
+        # A medoid belongs to the cluster it represents.
+        for idx in medoids:
+            center = result.centers[result.labels[idx]]
+            d_self = np.sum((X[idx] - center) ** 2)
+            same_cluster = X[result.labels == result.labels[idx]]
+            d_min = np.min(np.sum((same_cluster - center) ** 2, axis=1))
+            assert d_self == pytest.approx(d_min)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            KMeans(k=0)
+        with pytest.raises(ValueError):
+            KMeans(k=2, n_restarts=0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            KMeans(k=5).fit(np.ones((3, 2)))
+
+    def test_non_2d(self):
+        with pytest.raises(ValueError):
+            KMeans(k=1).fit(np.ones(5))

@@ -1,0 +1,101 @@
+"""PCA validated against known structure and numpy identities."""
+
+import numpy as np
+import pytest
+
+from repro.subsetting.pca import PCA
+
+
+def correlated_data(n=500, seed=0):
+    """3 informative dims embedded in 6, plus noise."""
+    rng = np.random.default_rng(seed)
+    latent = rng.standard_normal((n, 3))
+    mixing = rng.standard_normal((3, 6))
+    return latent @ mixing + 0.01 * rng.standard_normal((n, 6))
+
+
+class TestFit:
+    def test_components_orthonormal(self):
+        pca = PCA().fit(correlated_data())
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(gram.shape[0]), atol=1e-10)
+
+    def test_variance_ratios_sum_to_one(self):
+        pca = PCA().fit(correlated_data())
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_variances_sorted_descending(self):
+        pca = PCA().fit(correlated_data())
+        v = pca.explained_variance_
+        assert np.all(np.diff(v) <= 1e-12)
+
+    def test_rank3_structure_detected(self):
+        pca = PCA().fit(correlated_data())
+        # 3 latent dims: the first 3 components carry ~all variance.
+        assert pca.explained_variance_ratio_[:3].sum() > 0.99
+
+    def test_n_components_truncates(self):
+        pca = PCA(n_components=2).fit(correlated_data())
+        assert pca.components_.shape == (2, 6)
+        assert pca.explained_variance_.shape == (2,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError):
+            PCA().fit(np.ones(5))
+        with pytest.raises(ValueError):
+            PCA().fit(np.ones((1, 3)))
+
+    def test_constant_column_handled(self):
+        X = correlated_data()
+        X[:, 2] = 5.0
+        pca = PCA().fit(X)
+        assert np.all(np.isfinite(pca.transform(X)))
+
+
+class TestTransform:
+    def test_scores_uncorrelated(self):
+        X = correlated_data()
+        scores = PCA().fit_transform(X)[:, :3]
+        corr = np.corrcoef(scores.T)
+        np.testing.assert_allclose(corr, np.eye(3), atol=1e-6)
+
+    def test_inverse_transform_roundtrip(self):
+        X = correlated_data()
+        pca = PCA().fit(X)  # full rank kept
+        back = pca.inverse_transform(pca.transform(X))
+        np.testing.assert_allclose(back, X, atol=1e-8)
+
+    def test_truncated_reconstruction_close(self):
+        X = correlated_data()
+        pca = PCA(n_components=3).fit(X)
+        back = pca.inverse_transform(pca.transform(X))
+        # 3 components carry ~99.9% of the variance here.
+        assert np.sqrt(np.mean((back - X) ** 2)) < 0.05 * X.std()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA().transform(np.ones((2, 3)))
+
+    def test_shape_checks(self):
+        pca = PCA().fit(correlated_data())
+        with pytest.raises(ValueError):
+            pca.transform(np.ones((2, 4)))
+        with pytest.raises(ValueError):
+            pca.inverse_transform(np.ones((2, 99)))
+
+
+class TestVarianceSelection:
+    def test_fraction_one_keeps_all(self):
+        pca = PCA().fit(correlated_data())
+        assert pca.n_components_for_variance(1.0) <= 6
+
+    def test_rank3_needs_three(self):
+        pca = PCA().fit(correlated_data())
+        assert pca.n_components_for_variance(0.99) == 3
+
+    def test_validation(self):
+        pca = PCA().fit(correlated_data())
+        with pytest.raises(ValueError):
+            pca.n_components_for_variance(0.0)

@@ -1,0 +1,117 @@
+"""Subset selection strategies and scoring."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.profile import profile_sample_set
+from repro.subsetting.features import (
+    density_feature_matrix,
+    profile_feature_matrix,
+)
+from repro.subsetting.select import (
+    greedy_profile_subset,
+    pca_cluster_subset,
+    random_subset,
+    representativeness_error,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(cpu_tree, cpu_data):
+    profile = profile_sample_set(cpu_tree, cpu_data)
+    weights = cpu_data.benchmark_weights()
+    return profile, weights, cpu_data
+
+
+class TestFeatures:
+    def test_density_features(self, setup):
+        _, _, data = setup
+        names, matrix = density_feature_matrix(data)
+        assert len(names) == 29
+        assert matrix.shape == (29, data.n_features)
+        mcf_row = matrix[names.index("429.mcf")]
+        hmmer_row = matrix[names.index("456.hmmer")]
+        l2 = data.column_index("L2Miss")
+        assert mcf_row[l2] > 5 * hmmer_row[l2]
+
+    def test_density_features_need_labels(self):
+        from repro.datasets.dataset import SampleSet
+
+        unlabeled = SampleSet(("a",), np.ones((3, 1)), np.ones(3))
+        with pytest.raises(ValueError):
+            density_feature_matrix(unlabeled)
+
+    def test_profile_features(self, setup):
+        profile, _, _ = setup
+        names, matrix = profile_feature_matrix(profile)
+        assert len(names) == 29
+        np.testing.assert_allclose(matrix.sum(axis=1), 100.0)
+
+
+class TestScore:
+    def test_full_suite_is_perfect(self, setup):
+        profile, weights, _ = setup
+        names = [p.benchmark for p in profile.benchmarks]
+        assert representativeness_error(profile, names, weights) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_single_benchmark_is_imperfect(self, setup):
+        profile, weights, _ = setup
+        error = representativeness_error(profile, ["429.mcf"], weights)
+        assert error > 30.0
+
+    def test_validation(self, setup):
+        profile, weights, _ = setup
+        with pytest.raises(ValueError):
+            representativeness_error(profile, [], weights)
+        with pytest.raises(ValueError):
+            representativeness_error(profile, ["429.mcf"], {})
+
+
+class TestStrategies:
+    def test_greedy_monotone_improvement(self, setup):
+        profile, weights, _ = setup
+        errors = [
+            greedy_profile_subset(profile, weights, k).error for k in (2, 6, 12)
+        ]
+        # Greedy never removes benchmarks, so more budget can't hurt much.
+        assert errors[2] <= errors[0] + 1e-9
+
+    def test_greedy_beats_random(self, setup):
+        profile, weights, _ = setup
+        rng = np.random.default_rng(0)
+        greedy = greedy_profile_subset(profile, weights, 6)
+        rand = random_subset(profile, weights, 6, rng, n_trials=5)
+        assert greedy.error <= rand.error + 1e-9
+
+    def test_pca_cluster_runs(self, setup):
+        profile, weights, data = setup
+        names, features = density_feature_matrix(data)
+        result = pca_cluster_subset(names, features, profile, weights, k=6)
+        assert len(result.benchmarks) <= 6
+        assert set(result.benchmarks) <= set(names)
+        assert result.error >= 0.0
+
+    def test_random_subset_size(self, setup):
+        profile, weights, _ = setup
+        rng = np.random.default_rng(1)
+        result = random_subset(profile, weights, 5, rng)
+        assert len(result.benchmarks) == 5
+        assert len(set(result.benchmarks)) == 5
+
+    def test_k_validation(self, setup):
+        profile, weights, data = setup
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            greedy_profile_subset(profile, weights, 0)
+        with pytest.raises(ValueError):
+            random_subset(profile, weights, 100, rng)
+        names, features = density_feature_matrix(data)
+        with pytest.raises(ValueError):
+            pca_cluster_subset(names, features, profile, weights, k=0)
+
+    def test_str(self, setup):
+        profile, weights, _ = setup
+        text = str(greedy_profile_subset(profile, weights, 3))
+        assert "greedy" in text and "error" in text

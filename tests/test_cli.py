@@ -1,0 +1,129 @@
+"""CLI behaviour (fast paths only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E10" in out
+        assert "Table II" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_e1(self, capsys):
+        # E1 needs no data generation; it must be instant.
+        assert main(["E1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "DTLB_MISSES.ANY" in out
+
+    def test_scaled_run(self, capsys):
+        assert main(["E2", "--scale", "0.1", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "model tree" in out
+        assert "root split variable" in out
+
+
+class TestSubcommands:
+    def test_catalog(self, capsys):
+        assert main(["catalog", "omp2001"]) == 0
+        out = capsys.readouterr().out
+        assert "SPEC OMP2001" in out
+        assert "330.art_m" in out
+
+    def test_catalog_unknown_suite(self, capsys):
+        assert main(["catalog", "spec2017"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_catalog_usage(self, capsys):
+        assert main(["catalog"]) == 2
+
+    def test_dot(self, capsys):
+        assert main(["dot", "cpu2006", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "shape=box" in out
+
+    def test_dot_usage(self, capsys):
+        assert main(["dot", "cpu2000"]) == 2
+
+    def test_export_csv(self, capsys, tmp_path):
+        target = tmp_path / "data.csv"
+        assert main(["export", "omp2001", str(target), "--scale", "0.1"]) == 0
+        assert target.exists()
+        header = target.read_text().splitlines()[0]
+        assert header.startswith("benchmark,CPI,")
+
+    def test_export_arff(self, capsys, tmp_path):
+        target = tmp_path / "data.arff"
+        assert main(["export", "cpu2000", str(target), "--scale", "0.1"]) == 0
+        assert target.read_text().startswith("@RELATION")
+
+    def test_export_usage(self, capsys):
+        assert main(["export", "omp2001"]) == 2
+
+    def test_rules(self, capsys):
+        assert main(["rules", "omp2001", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "IF " in out and "THEN CPI = " in out
+
+    def test_rules_usage(self, capsys):
+        assert main(["rules"]) == 2
+        assert main(["rules", "cpu2000"]) == 2
+
+    def test_describe(self, capsys):
+        assert main(["describe", "429.mcf", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "vehicle scheduling" in out
+        assert "dominant linear models:" in out
+        assert "most similar benchmarks" in out
+
+    def test_describe_omp_member(self, capsys):
+        assert main(["describe", "330.art_m", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "thermal image" in out
+
+    def test_cache_dir(self, capsys, tmp_path):
+        # E2 forces data generation through the cache...
+        assert main(["E2", "--scale", "0.1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        first = capsys.readouterr().out
+        assert list(tmp_path.glob("*.csv"))
+        # ...and a second run served from the cache is bit-identical.
+        assert main(["E2", "--scale", "0.1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        second = capsys.readouterr().out
+        assert second == first
+
+    def test_quality(self, capsys):
+        assert main(["quality", "cpu2006", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "rel.err" in out
+        assert "NOISY" in out
+
+    def test_quality_usage(self, capsys):
+        assert main(["quality"]) == 2
+        assert main(["quality", "spec95"]) == 2
+
+    def test_describe_unknown(self, capsys):
+        assert main(["describe", "999.zz", "--scale", "0.1"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestPublicApi:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

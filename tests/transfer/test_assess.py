@@ -1,0 +1,91 @@
+"""Transferability verdict logic."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import SampleSet
+from repro.transfer.assess import (
+    TransferabilityCriteria,
+    assess_transferability,
+)
+
+
+class PerfectModel:
+    """Predicts the hidden linear rule exactly."""
+
+    def predict(self, X):
+        return 1.0 + X[:, 0]
+
+
+class BrokenModel:
+    """Systematically wrong."""
+
+    def predict(self, X):
+        return np.full(X.shape[0], 10.0)
+
+
+def make_set(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    y = 1.0 + X[:, 0] + 0.01 * rng.standard_normal(n)
+    return SampleSet(("f0", "f1"), X, y)
+
+
+class TestCriteria:
+    def test_defaults_are_papers(self):
+        criteria = TransferabilityCriteria()
+        assert criteria.min_correlation == 0.85
+        assert criteria.max_mae == 0.15
+        assert criteria.confidence == 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferabilityCriteria(min_correlation=2.0)
+        with pytest.raises(ValueError):
+            TransferabilityCriteria(max_mae=0.0)
+        with pytest.raises(ValueError):
+            TransferabilityCriteria(confidence=1.0)
+
+
+class TestVerdicts:
+    def test_perfect_model_transfers(self):
+        source, target = make_set(seed=1), make_set(seed=2)
+        report = assess_transferability(PerfectModel(), source, target)
+        assert report.metrics_transferable
+        assert report.hypothesis_transferable
+        assert report.transferable
+
+    def test_broken_model_fails_both(self):
+        source, target = make_set(seed=1), make_set(seed=2)
+        report = assess_transferability(BrokenModel(), source, target)
+        assert not report.metrics_transferable
+        assert not report.hypothesis_transferable
+        assert not report.transferable
+
+    def test_distribution_shift_detected(self):
+        source = make_set(seed=1)
+        target = make_set(seed=2)
+        target = SampleSet(target.feature_names, target.X, target.y + 1.0)
+        report = assess_transferability(PerfectModel(), source, target)
+        # The dependent-variable test must reject even though... the
+        # prediction test also rejects (model underpredicts by 1).
+        assert report.dependent_test.reject
+        assert not report.transferable
+
+    def test_summary_text(self):
+        source, target = make_set(seed=1), make_set(seed=2)
+        report = assess_transferability(
+            PerfectModel(), source, target,
+            source_name="CPU", target_name="OMP",
+        )
+        text = report.summary()
+        assert "CPU -> OMP" in text
+        assert "TRANSFERABLE" in text
+
+    def test_custom_criteria(self):
+        source, target = make_set(seed=1), make_set(seed=2)
+        strict = TransferabilityCriteria(min_correlation=0.9999999, max_mae=1e-9)
+        report = assess_transferability(
+            PerfectModel(), source, target, criteria=strict
+        )
+        assert not report.metrics_transferable

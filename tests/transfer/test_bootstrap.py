@@ -1,0 +1,96 @@
+"""Bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.transfer.bootstrap import (
+    BootstrapInterval,
+    bootstrap_metric_intervals,
+)
+
+
+def good_predictions(n=300, sigma=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    actual = rng.random(n) + 0.5
+    predicted = actual + sigma * rng.standard_normal(n)
+    return predicted, actual
+
+
+class TestInterval:
+    def test_contains(self):
+        ci = BootstrapInterval(0.5, 0.4, 0.6, 0.95)
+        assert ci.contains(0.5)
+        assert not ci.contains(0.7)
+
+    def test_threshold_relations(self):
+        ci = BootstrapInterval(0.1, 0.08, 0.12, 0.95)
+        assert ci.entirely_below(0.15)
+        assert not ci.entirely_below(0.1)
+        assert ci.entirely_above(0.05)
+
+    def test_str(self):
+        text = str(BootstrapInterval(0.5, 0.4, 0.6, 0.95))
+        assert "[0.4000, 0.6000]" in text
+
+
+class TestBootstrap:
+    def test_point_estimates_match_direct(self):
+        predicted, actual = good_predictions()
+        intervals = bootstrap_metric_intervals(predicted, actual, seed=1)
+        assert intervals.mae.point == pytest.approx(
+            float(np.mean(np.abs(predicted - actual)))
+        )
+        assert intervals.correlation.point == pytest.approx(
+            float(np.corrcoef(predicted, actual)[0, 1])
+        )
+
+    def test_intervals_bracket_point(self):
+        predicted, actual = good_predictions()
+        intervals = bootstrap_metric_intervals(predicted, actual, seed=1)
+        assert intervals.mae.low <= intervals.mae.point <= intervals.mae.high
+        assert (
+            intervals.correlation.low
+            <= intervals.correlation.point
+            <= intervals.correlation.high
+        )
+
+    def test_interval_narrows_with_more_data(self):
+        small = bootstrap_metric_intervals(
+            *good_predictions(n=50, seed=2), seed=3
+        )
+        big = bootstrap_metric_intervals(
+            *good_predictions(n=2000, seed=2), seed=3
+        )
+        assert (big.mae.high - big.mae.low) < (small.mae.high - small.mae.low)
+
+    def test_coverage_of_true_mae(self):
+        """~95% intervals should cover the true MAE most of the time."""
+        sigma = 0.1
+        true_mae = sigma * np.sqrt(2 / np.pi)  # E|N(0, sigma)|
+        covered = 0
+        trials = 20
+        for seed in range(trials):
+            predicted, actual = good_predictions(n=400, sigma=sigma, seed=seed)
+            ci = bootstrap_metric_intervals(
+                predicted, actual, n_resamples=400, seed=seed
+            )
+            covered += ci.mae.contains(true_mae)
+        assert covered >= trials - 4  # allow a couple of misses
+
+    def test_deterministic_given_seed(self):
+        predicted, actual = good_predictions()
+        a = bootstrap_metric_intervals(predicted, actual, seed=9)
+        b = bootstrap_metric_intervals(predicted, actual, seed=9)
+        assert a.mae == b.mae
+        assert a.correlation == b.correlation
+
+    def test_validation(self):
+        predicted, actual = good_predictions()
+        with pytest.raises(ValueError):
+            bootstrap_metric_intervals(predicted[:5], actual[:5])
+        with pytest.raises(ValueError):
+            bootstrap_metric_intervals(predicted, actual, n_resamples=10)
+        with pytest.raises(ValueError):
+            bootstrap_metric_intervals(predicted, actual, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_metric_intervals(predicted, actual[:-1])

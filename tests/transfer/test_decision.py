@@ -1,0 +1,76 @@
+"""Transfer-or-retrain decisions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import SampleSet
+from repro.transfer.assess import TransferabilityCriteria
+from repro.transfer.decision import decide_transfer
+
+
+class ScaledModel:
+    """Predicts truth times a factor (1.0 = perfect)."""
+
+    def __init__(self, factor=1.0, noise=0.02, seed=0):
+        self.factor = factor
+        self.noise = noise
+        self.rng = np.random.default_rng(seed)
+
+    def predict(self, X):
+        truth = 1.0 + X[:, 0]
+        return self.factor * truth + self.noise * self.rng.standard_normal(
+            X.shape[0]
+        )
+
+
+def probe(n=500, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    return SampleSet(("f0", "f1"), X, 1.0 + X[:, 0])
+
+
+class TestDecide:
+    def test_good_model_reused(self):
+        decision = decide_transfer(ScaledModel(1.0), probe())
+        assert decision.action == "reuse"
+
+    def test_bad_model_retrained(self):
+        decision = decide_transfer(ScaledModel(2.0), probe())
+        assert decision.action == "retrain"
+
+    def test_marginal_model_needs_more_data(self):
+        # MAE hovering right at the threshold with a small probe.
+        criteria = TransferabilityCriteria(min_correlation=0.0, max_mae=0.08)
+        marginal = ScaledModel(1.0, noise=0.1)
+        decision = decide_transfer(
+            marginal, probe(n=60), criteria=criteria, seed=3
+        )
+        assert decision.action == "collect_more"
+
+    def test_bigger_probe_resolves(self):
+        criteria = TransferabilityCriteria(min_correlation=0.0, max_mae=0.12)
+        marginal = ScaledModel(1.0, noise=0.1)
+        small = decide_transfer(marginal, probe(n=40), criteria=criteria)
+        large = decide_transfer(marginal, probe(n=5000), criteria=criteria)
+        # More data shrinks the interval; the large probe is decisive.
+        width_small = small.intervals.mae.high - small.intervals.mae.low
+        width_large = large.intervals.mae.high - large.intervals.mae.low
+        assert width_large < width_small
+        assert large.action == "reuse"
+
+    def test_summary(self):
+        decision = decide_transfer(ScaledModel(1.0), probe())
+        text = decision.summary()
+        assert "REUSE" in text
+        assert "probe: 500 intervals" in text
+
+    def test_probe_size_recorded(self):
+        decision = decide_transfer(ScaledModel(1.0), probe(n=123))
+        assert decision.probe_size == 123
+
+
+class TestOnSuiteModels:
+    def test_cross_suite_probe_says_retrain(self, cpu_tree, omp_data, rng):
+        idx = rng.choice(len(omp_data), 600, replace=False)
+        decision = decide_transfer(cpu_tree, omp_data.take(idx))
+        assert decision.action == "retrain"

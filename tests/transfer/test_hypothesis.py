@@ -1,0 +1,137 @@
+"""Hypothesis tests validated against scipy."""
+
+import numpy as np
+import pytest
+import scipy.stats as ss
+
+from repro.transfer.hypothesis import (
+    levene_test,
+    mann_whitney_u,
+    two_sample_t_test,
+    welch_t_test,
+)
+
+
+@pytest.fixture
+def same_dist(rng):
+    return rng.normal(1.0, 0.5, 400), rng.normal(1.0, 0.5, 420)
+
+
+@pytest.fixture
+def shifted(rng):
+    return rng.normal(1.0, 0.5, 400), rng.normal(1.6, 0.5, 420)
+
+
+class TestTwoSampleT:
+    def test_statistic_matches_scipy_welch_form(self, shifted):
+        a, b = shifted
+        # The paper's Eqs. 10-11 use the unpooled standard error, which
+        # is Welch's statistic (the df convention differs).
+        result = two_sample_t_test(a, b)
+        expected = ss.ttest_ind(a, b, equal_var=False)
+        assert result.statistic == pytest.approx(expected.statistic, rel=1e-9)
+
+    def test_accepts_same_distribution(self, same_dist):
+        result = two_sample_t_test(*same_dist)
+        assert not result.reject
+        assert result.p_value > 0.05
+
+    def test_rejects_shifted_distribution(self, shifted):
+        result = two_sample_t_test(*shifted)
+        assert result.reject
+        assert abs(result.statistic) > 1.96
+        assert result.p_value < 0.001
+
+    def test_critical_value_is_1_96_for_large_samples(self, same_dist):
+        result = two_sample_t_test(*same_dist)
+        assert result.critical_value == pytest.approx(1.96, abs=0.01)
+
+    def test_df(self, same_dist):
+        result = two_sample_t_test(*same_dist)
+        assert result.df == 400 + 420 - 2
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ValueError):
+            two_sample_t_test([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            two_sample_t_test([1.0, 1.0], [2.0, 2.0])
+        with pytest.raises(ValueError):
+            two_sample_t_test([1.0, np.nan], [1.0, 2.0])
+
+    def test_str_mentions_verdict(self, shifted):
+        assert "reject H0" in str(two_sample_t_test(*shifted))
+
+
+class TestWelch:
+    def test_matches_scipy(self, rng):
+        a = rng.normal(0.0, 1.0, 100)
+        b = rng.normal(0.2, 3.0, 50)
+        result = welch_t_test(a, b)
+        expected = ss.ttest_ind(a, b, equal_var=False)
+        assert result.statistic == pytest.approx(expected.statistic, rel=1e-9)
+        assert result.p_value == pytest.approx(expected.pvalue, rel=1e-6)
+
+    def test_satterthwaite_df(self, rng):
+        a = rng.normal(0.0, 1.0, 100)
+        b = rng.normal(0.0, 3.0, 50)
+        result = welch_t_test(a, b)
+        # df must fall between min(n,m)-1 and n+m-2.
+        assert 49 <= result.df <= 148
+
+
+class TestLevene:
+    def test_matches_scipy(self, rng):
+        a = rng.normal(0.0, 1.0, 200)
+        b = rng.normal(0.0, 2.0, 180)
+        result = levene_test(a, b)
+        expected = ss.levene(a, b, center="median")
+        assert result.statistic == pytest.approx(expected.statistic, rel=1e-9)
+        assert result.p_value == pytest.approx(expected.pvalue, rel=1e-6)
+
+    def test_detects_variance_difference(self, rng):
+        a = rng.normal(0.0, 1.0, 300)
+        b = rng.normal(0.0, 3.0, 300)
+        assert levene_test(a, b).reject
+
+    def test_accepts_equal_variance(self, rng):
+        a = rng.normal(0.0, 1.0, 300)
+        b = rng.normal(5.0, 1.0, 300)  # different mean, same variance
+        assert not levene_test(a, b).reject
+
+    def test_mean_center_variant(self, rng):
+        a = rng.normal(0.0, 1.0, 100)
+        b = rng.normal(0.0, 1.5, 100)
+        result = levene_test(a, b, center="mean")
+        expected = ss.levene(a, b, center="mean")
+        assert result.statistic == pytest.approx(expected.statistic, rel=1e-9)
+
+    def test_bad_center(self, rng):
+        with pytest.raises(ValueError):
+            levene_test(rng.normal(size=10), rng.normal(size=10), center="mode")
+
+
+class TestMannWhitney:
+    def test_matches_scipy(self, rng):
+        a = rng.normal(0.0, 1.0, 150)
+        b = rng.normal(0.5, 1.0, 130)
+        result = mann_whitney_u(a, b)
+        expected = ss.mannwhitneyu(a, b, alternative="two-sided", method="asymptotic",
+                                   use_continuity=False)
+        assert result.p_value == pytest.approx(expected.pvalue, rel=1e-6)
+
+    def test_handles_ties(self, rng):
+        a = rng.integers(0, 5, 100).astype(float)
+        b = rng.integers(0, 5, 100).astype(float)
+        result = mann_whitney_u(a, b)
+        expected = ss.mannwhitneyu(a, b, alternative="two-sided", method="asymptotic",
+                                   use_continuity=False)
+        assert result.p_value == pytest.approx(expected.pvalue, rel=1e-6)
+
+    def test_detects_shift(self, rng):
+        a = rng.normal(0.0, 1.0, 300)
+        b = rng.normal(1.0, 1.0, 300)
+        assert mann_whitney_u(a, b).reject
+
+    def test_all_ties_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0, 1.0, 1.0], [1.0, 1.0])

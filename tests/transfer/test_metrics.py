@@ -1,0 +1,82 @@
+"""Prediction accuracy metrics (Eqs. 12-13)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.transfer.metrics import (
+    correlation_coefficient,
+    mean_absolute_error,
+    prediction_metrics,
+)
+
+
+class TestMae:
+    def test_known_value(self):
+        assert mean_absolute_error([1.0, 2.0], [1.5, 1.0]) == pytest.approx(0.75)
+
+    def test_perfect_prediction(self):
+        y = np.arange(10.0)
+        assert mean_absolute_error(y, y) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+        with pytest.raises(ValueError):
+            mean_absolute_error([np.nan], [1.0])
+
+
+class TestCorrelation:
+    def test_perfect(self):
+        y = np.arange(20.0)
+        assert correlation_coefficient(y, y) == pytest.approx(1.0)
+
+    def test_scale_invariant(self, rng):
+        y = rng.random(100)
+        assert correlation_coefficient(3 * y + 5, y) == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        y = np.arange(20.0)
+        assert correlation_coefficient(-y, y) == pytest.approx(-1.0)
+
+
+class TestFullMetrics:
+    def test_rae_of_mean_predictor_is_one(self, rng):
+        actual = rng.random(500)
+        predicted = np.full(500, actual.mean())
+        metrics = prediction_metrics(predicted, actual)
+        assert metrics.rae == pytest.approx(1.0, rel=1e-6)
+        assert metrics.rrse == pytest.approx(1.0, rel=1e-6)
+
+    def test_rmse_at_least_mae(self, rng):
+        predicted = rng.random(200)
+        actual = rng.random(200)
+        metrics = prediction_metrics(predicted, actual)
+        assert metrics.rmse >= metrics.mae
+
+    def test_n_recorded(self):
+        metrics = prediction_metrics([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert metrics.n == 3
+
+    def test_constant_actuals_give_infinite_relatives(self):
+        metrics = prediction_metrics([1.0, 2.0], [3.0, 3.0])
+        assert metrics.rae == float("inf")
+
+    def test_str_format(self, rng):
+        text = str(prediction_metrics(rng.random(10), rng.random(10)))
+        assert "C=" in text and "MAE=" in text and "RMSE=" in text
+
+    @given(
+        hnp.arrays(dtype=float, shape=st.integers(2, 40),
+                   elements=st.floats(-100, 100)),
+    )
+    @settings(max_examples=60)
+    def test_mae_bounded_by_max_error(self, actual):
+        predicted = np.zeros_like(actual)
+        metrics = prediction_metrics(predicted, actual)
+        assert metrics.mae <= np.max(np.abs(actual)) + 1e-9
+        assert metrics.mae >= 0.0

@@ -1,0 +1,99 @@
+"""KS and chi-square tests validated against scipy."""
+
+import numpy as np
+import pytest
+import scipy.stats as ss
+
+from repro.transfer.nonparametric import chi_square_profiles, ks_two_sample
+
+
+class TestKs:
+    def test_statistic_matches_scipy(self, rng):
+        a = rng.normal(0.0, 1.0, 200)
+        b = rng.normal(0.3, 1.2, 150)
+        result = ks_two_sample(a, b)
+        expected = ss.ks_2samp(a, b)
+        assert result.statistic == pytest.approx(expected.statistic, abs=1e-12)
+
+    def test_p_value_close_to_scipy_asymptotic(self, rng):
+        a = rng.normal(0.0, 1.0, 500)
+        b = rng.normal(0.2, 1.0, 500)
+        result = ks_two_sample(a, b)
+        expected = ss.ks_2samp(a, b, method="asymp")
+        assert result.p_value == pytest.approx(expected.pvalue, rel=0.1, abs=5e-3)
+
+    def test_same_distribution_accepts(self, rng):
+        a = rng.normal(1.0, 0.5, 400)
+        b = rng.normal(1.0, 0.5, 400)
+        result = ks_two_sample(a, b)
+        assert not result.reject
+
+    def test_detects_scale_difference(self, rng):
+        # Same mean, different variance: t-test is blind, KS is not.
+        a = rng.normal(0.0, 1.0, 800)
+        b = rng.normal(0.0, 2.5, 800)
+        assert ks_two_sample(a, b).reject
+
+    def test_detects_shift(self, rng):
+        a = rng.normal(0.0, 1.0, 300)
+        b = rng.normal(0.8, 1.0, 300)
+        assert ks_two_sample(a, b).reject
+
+    def test_identical_samples(self, rng):
+        a = rng.normal(size=50)
+        result = ks_two_sample(a, a)
+        assert result.statistic == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+
+
+class TestChiSquareProfiles:
+    def test_matches_scipy_contingency(self):
+        counts_a = {"LM1": 50, "LM2": 30, "LM3": 20}
+        counts_b = {"LM1": 20, "LM2": 40, "LM3": 40}
+        result = chi_square_profiles(counts_a, counts_b)
+        table = np.array([[50, 30, 20], [20, 40, 40]])
+        expected = ss.chi2_contingency(table, correction=False)
+        assert result.statistic == pytest.approx(expected.statistic, rel=1e-9)
+        assert result.p_value == pytest.approx(expected.pvalue, rel=1e-6)
+        assert result.df == 2
+
+    def test_identical_profiles_accept(self):
+        counts = {"LM1": 500, "LM2": 300, "LM3": 200}
+        result = chi_square_profiles(counts, dict(counts))
+        assert result.statistic == pytest.approx(0.0)
+        assert not result.reject
+
+    def test_disjoint_profiles_reject(self):
+        result = chi_square_profiles({"LM1": 100}, {"LM2": 100})
+        assert result.reject
+
+    def test_missing_cells_are_zero(self):
+        result = chi_square_profiles(
+            {"LM1": 80, "LM2": 20}, {"LM1": 75, "LM2": 20, "LM3": 5}
+        )
+        assert np.isfinite(result.statistic)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_profiles({"LM1": -1}, {"LM1": 1})
+        with pytest.raises(ValueError):
+            chi_square_profiles({"LM1": 0}, {"LM1": 5})
+        with pytest.raises(ValueError):
+            chi_square_profiles({"LM1": 5}, {"LM1": 5})  # single cell
+
+    def test_on_real_profiles(self, cpu_tree, cpu_data):
+        """mcf and hmmer distribute over LMs detectably differently."""
+        from repro.characterization.profile import profile_sample_set
+
+        profile = profile_sample_set(cpu_tree, cpu_data)
+        mcf = profile.benchmark("429.mcf")
+        hmmer = profile.benchmark("456.hmmer")
+
+        def to_counts(p):
+            return {
+                lm: share / 100.0 * p.n_samples
+                for lm, share in p.shares.items()
+            }
+
+        result = chi_square_profiles(to_counts(mcf), to_counts(hmmer))
+        assert result.reject

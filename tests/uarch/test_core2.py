@@ -1,0 +1,93 @@
+"""The Core-2-like cost model encodes the paper's regime structure."""
+
+import numpy as np
+import pytest
+
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.uarch.core2 import THRESHOLDS, build_core2_cost_model
+from repro.workloads.defaults import DEFAULT_DENSITIES
+
+
+def vector(**overrides):
+    """A density row: defaults plus overrides, in canonical order."""
+    values = dict(DEFAULT_DENSITIES)
+    values.update(overrides)
+    return np.array([[values[name] for name in PREDICTOR_NAMES]])
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_core2_cost_model()
+
+
+class TestRegimePlacement:
+    def test_quiet_code_is_base(self, model):
+        assert model.regime_names(vector())[0] == "BASE"
+
+    def test_paper_thresholds_in_tree(self, model):
+        # The root must test load-block-overlap at the paper's 0.0074.
+        assert model.root.feature == "LdBlkOlp"
+        assert model.root.threshold == THRESHOLDS["LdBlkOlp"]
+
+    def test_block_light_store(self, model):
+        row = vector(LdBlkOlp=0.012, Store=0.05)
+        assert model.regime_names(row)[0] == "BLOCK_LIGHT_STORE"
+
+    def test_block_heavy_store(self, model):
+        row = vector(LdBlkOlp=0.012, Store=0.15)
+        assert model.regime_names(row)[0] == "BLOCK_HEAVY_STORE"
+
+    def test_pointer_chase(self, model):
+        row = vector(DtlbMiss=0.002, L2Miss=0.004, Br=0.22)
+        assert model.regime_names(row)[0] == "POINTER_CHASE"
+
+    def test_stream_memory(self, model):
+        row = vector(DtlbMiss=0.0005, L2Miss=0.002, Br=0.07)
+        assert model.regime_names(row)[0] == "STREAM_MEMORY"
+
+    def test_simd_regimes(self, model):
+        fed = vector(SIMD=0.9, L1DMiss=0.005, L2Miss=0.0001)
+        stream = vector(SIMD=0.8, L1DMiss=0.006, L2Miss=0.001)
+        starved = vector(SIMD=0.85, L1DMiss=0.02)
+        assert model.regime_names(fed)[0] == "SIMD_FED"
+        assert model.regime_names(stream)[0] == "SIMD_STREAM"
+        assert model.regime_names(starved)[0] == "SIMD_STARVED"
+
+    def test_split_load_regime(self, model):
+        row = vector(DtlbMiss=0.0005, SplitLoad=0.007)
+        assert model.regime_names(row)[0] == "SPLIT_LOAD"
+
+
+class TestPaperEquations:
+    def test_base_is_paper_lm1(self, model):
+        # Equation 1's coefficients, verbatim.
+        base = next(l for l in model.leaves() if l.name == "BASE")
+        assert base.intercept == pytest.approx(0.53)
+        assert base.coefs["L1DMiss"] == pytest.approx(4.73)
+        assert base.coefs["DtlbMiss"] == pytest.approx(503.0)
+        assert base.coefs["L2Miss"] == pytest.approx(63.0)
+        assert base.coefs["Store"] == pytest.approx(-0.198)
+
+    def test_block_leaves_are_paper_lm17_lm18(self, model):
+        lm17 = next(l for l in model.leaves() if l.name == "BLOCK_LIGHT_STORE")
+        lm18 = next(l for l in model.leaves() if l.name == "BLOCK_HEAVY_STORE")
+        assert lm17.intercept == pytest.approx(0.80)
+        assert lm17.coefs["L1DMiss"] == pytest.approx(39.1)
+        assert lm18.coefs["Store"] == pytest.approx(2.08)
+        assert lm18.coefs["PageWalk"] == pytest.approx(53.0)
+
+
+class TestCpiSanity:
+    def test_quiet_code_cpi_near_paper_lm1_average(self, model):
+        # Paper: LM1 average CPI is 0.6.
+        assert model.cpi(vector())[0] == pytest.approx(0.6, abs=0.1)
+
+    def test_pointer_chase_is_expensive(self, model):
+        row = vector(DtlbMiss=0.0024, L2Miss=0.0042, Br=0.24, L1DMiss=0.03)
+        assert model.cpi(row)[0] > 3.0
+
+    def test_cpi_positive_over_random_space(self, model):
+        rng = np.random.default_rng(0)
+        base = vector()[0]
+        X = base * rng.lognormal(0.0, 0.5, size=(2000, len(PREDICTOR_NAMES)))
+        assert np.all(model.cpi(X) > 0.0)

@@ -1,0 +1,66 @@
+"""Cost-model tree mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.costmodel import CostModel, OracleLeaf, OracleSplit
+
+
+def tiny_model():
+    left = OracleLeaf("CHEAP", 0.5, {"a": 1.0})
+    right = OracleLeaf("DEAR", 2.0, {"b": 10.0})
+    return CostModel(OracleSplit("a", 0.5, left, right), ("a", "b"))
+
+
+class TestStructure:
+    def test_leaves_in_order(self):
+        assert [l.name for l in tiny_model().leaves()] == ["CHEAP", "DEAR"]
+
+    def test_split_features(self):
+        assert tiny_model().split_features() == ["a"]
+
+    def test_duplicate_leaf_names_rejected(self):
+        a = OracleLeaf("X", 1.0)
+        b = OracleLeaf("X", 2.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            CostModel(OracleSplit("a", 0.5, a, b), ("a",))
+
+    def test_unknown_coef_feature_rejected(self):
+        leaf = OracleLeaf("X", 1.0, {"zz": 1.0})
+        with pytest.raises(ValueError, match="unknown features"):
+            CostModel(leaf, ("a",))
+
+    def test_unknown_split_feature_rejected(self):
+        tree = OracleSplit("zz", 0.5, OracleLeaf("A", 1.0), OracleLeaf("B", 2.0))
+        with pytest.raises(ValueError, match="unknown feature"):
+            CostModel(tree, ("a",))
+
+
+class TestEvaluation:
+    def test_routing(self):
+        model = tiny_model()
+        X = np.array([[0.2, 0.0], [0.9, 0.1]])
+        assert list(model.regime_names(X)) == ["CHEAP", "DEAR"]
+
+    def test_boundary_goes_left(self):
+        model = tiny_model()
+        assert model.regime_names(np.array([[0.5, 0.0]]))[0] == "CHEAP"
+
+    def test_cpi_values(self):
+        model = tiny_model()
+        X = np.array([[0.2, 0.0], [0.9, 0.1]])
+        np.testing.assert_allclose(model.cpi(X), [0.5 + 0.2, 2.0 + 1.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            tiny_model().cpi(np.ones((2, 3)))
+
+    def test_empty_input(self):
+        assert tiny_model().cpi(np.empty((0, 2))).shape == (0,)
+
+    def test_describe_mentions_all_leaves(self):
+        text = tiny_model().describe()
+        assert "CHEAP" in text and "DEAR" in text and "a <= 0.5" in text
+
+    def test_leaf_describe_constant(self):
+        assert OracleLeaf("K", 1.44).describe() == "K: CPI = 1.44"

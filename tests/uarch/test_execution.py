@@ -1,0 +1,54 @@
+"""Execution engine: residual noise behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.uarch.core2 import build_core2_cost_model
+from repro.uarch.execution import ExecutionEngine, NoiseConfig
+from repro.workloads.defaults import DEFAULT_DENSITIES
+
+
+def rows(n=1000):
+    base = np.array([DEFAULT_DENSITIES[f] for f in PREDICTOR_NAMES])
+    return np.tile(base, (n, 1))
+
+
+class TestNoiseConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(additive_sigma=-1.0)
+        with pytest.raises(ValueError):
+            NoiseConfig(floor_cpi=0.0)
+
+
+class TestEngine:
+    def test_deterministic_without_rng(self):
+        engine = ExecutionEngine(build_core2_cost_model())
+        a = engine.true_cpi(rows(10))
+        b = engine.true_cpi(rows(10))
+        np.testing.assert_array_equal(a, b)
+
+    def test_noise_is_centered(self):
+        engine = ExecutionEngine(build_core2_cost_model())
+        clean = engine.true_cpi(rows())
+        noisy = engine.true_cpi(rows(), np.random.default_rng(0))
+        assert noisy.mean() == pytest.approx(clean.mean(), abs=0.01)
+        assert noisy.std() > 0.02
+
+    def test_noise_magnitude_matches_config(self):
+        noise = NoiseConfig(additive_sigma=0.1, relative_sigma=0.0)
+        engine = ExecutionEngine(build_core2_cost_model(), noise)
+        noisy = engine.true_cpi(rows(5000), np.random.default_rng(1))
+        clean = engine.true_cpi(rows(5000))
+        assert (noisy - clean).std() == pytest.approx(0.1, rel=0.1)
+
+    def test_floor_enforced(self):
+        noise = NoiseConfig(additive_sigma=5.0, floor_cpi=0.25)
+        engine = ExecutionEngine(build_core2_cost_model(), noise)
+        noisy = engine.true_cpi(rows(2000), np.random.default_rng(2))
+        assert noisy.min() >= 0.25
+
+    def test_regimes_passthrough(self):
+        engine = ExecutionEngine(build_core2_cost_model())
+        assert engine.regimes(rows(3))[0] == "BASE"

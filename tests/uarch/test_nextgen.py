@@ -1,0 +1,63 @@
+"""The successor machine's cost model."""
+
+import numpy as np
+import pytest
+
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.uarch.core2 import build_core2_cost_model
+from repro.uarch.nextgen import NEXTGEN_COST_SCALING, build_nextgen_cost_model
+from repro.workloads.defaults import DEFAULT_DENSITIES
+
+
+def vector(**overrides):
+    values = dict(DEFAULT_DENSITIES)
+    values.update(overrides)
+    return np.array([[values[name] for name in PREDICTOR_NAMES]])
+
+
+class TestNextgen:
+    def test_same_regime_structure(self):
+        core2 = build_core2_cost_model()
+        nextgen = build_nextgen_cost_model()
+        assert [l.name for l in nextgen.leaves()] == [
+            l.name for l in core2.leaves()
+        ]
+        assert nextgen.split_features() == core2.split_features()
+
+    def test_costs_scaled(self):
+        core2 = build_core2_cost_model()
+        nextgen = build_nextgen_cost_model()
+        base_old = next(l for l in core2.leaves() if l.name == "BASE")
+        base_new = next(l for l in nextgen.leaves() if l.name == "BASE")
+        assert base_new.coefs["L2Miss"] == pytest.approx(
+            base_old.coefs["L2Miss"] * NEXTGEN_COST_SCALING["L2Miss"]
+        )
+        assert base_new.intercept < base_old.intercept
+
+    def test_quiet_code_faster(self):
+        """Wider core: the base regime runs at lower CPI."""
+        core2 = build_core2_cost_model()
+        nextgen = build_nextgen_cost_model()
+        row = vector()
+        assert nextgen.cpi(row)[0] < core2.cpi(row)[0]
+
+    def test_memory_bound_code_slower(self):
+        """Higher relative memory cost: mcf-like code gets worse."""
+        core2 = build_core2_cost_model()
+        nextgen = build_nextgen_cost_model()
+        row = vector(DtlbMiss=0.0024, L2Miss=0.0042, Br=0.24)
+        assert nextgen.cpi(row)[0] > core2.cpi(row)[0]
+
+    def test_store_blocked_code_faster(self):
+        """Improved forwarding: OMP block regimes get cheaper."""
+        core2 = build_core2_cost_model()
+        nextgen = build_nextgen_cost_model()
+        row = vector(LdBlkOlp=0.013, Store=0.05, L1DMiss=0.008)
+        assert nextgen.cpi(row)[0] < core2.cpi(row)[0]
+
+    def test_cpi_positive_everywhere(self):
+        nextgen = build_nextgen_cost_model()
+        rng = np.random.default_rng(0)
+        base = vector()[0]
+        X = base * rng.lognormal(0.0, 0.5, size=(2000, len(PREDICTOR_NAMES)))
+        assert np.all(nextgen.cpi(X) > 0.0)

@@ -1,0 +1,97 @@
+"""ASCII plotting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii_plots import bar_chart, histogram, scatter
+
+
+class TestHistogram:
+    def test_counts_sum(self, rng):
+        values = rng.normal(size=500)
+        text = histogram(values, bins=10)
+        counts = [int(line.split("|")[0].split()[-1]) for line in
+                  text.splitlines()]
+        assert sum(counts) == 500
+
+    def test_bins_rows(self, rng):
+        text = histogram(rng.normal(size=100), bins=7)
+        assert len(text.splitlines()) == 7
+
+    def test_title(self, rng):
+        text = histogram(rng.normal(size=10), title="CPI distribution")
+        assert text.splitlines()[0] == "CPI distribution"
+
+    def test_peak_bin_full_width(self, rng):
+        text = histogram(rng.normal(size=1000), bins=5, width=30)
+        assert max(line.count("#") for line in text.splitlines()) == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([])
+        with pytest.raises(ValueError):
+            histogram([1.0, float("nan")])
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+        with pytest.raises(ValueError):
+            histogram([1.0], width=0)
+
+
+class TestScatter:
+    def test_dimensions(self, rng):
+        text = scatter(rng.normal(size=50), rng.normal(size=50),
+                       width=40, height=10)
+        lines = text.splitlines()
+        # frame rows: top + 10 grid + bottom + x labels
+        assert len(lines) == 13
+        assert all(len(line) >= 40 for line in lines[:-1])
+
+    def test_all_points_marked(self):
+        text = scatter([0.0, 1.0], [0.0, 1.0], width=10, height=5)
+        marks = sum(line.count(".") for line in text.splitlines())
+        assert marks == 2
+
+    def test_density_glyphs(self):
+        x = np.zeros(20)
+        y = np.zeros(20)
+        text = scatter(x, y, width=5, height=3)
+        assert "#" in text  # 20 points in one cell
+
+    def test_diagonal(self):
+        text = scatter([0.0, 1.0], [0.0, 1.0], width=20, height=10,
+                       diagonal=True)
+        assert "/" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            scatter([1.0], [1.0], width=1)
+
+    def test_constant_data(self):
+        # Degenerate spans must not divide by zero.
+        text = scatter([2.0, 2.0], [3.0, 3.0])
+        assert "." in text or ":" in text
+
+
+class TestBarChart:
+    def test_all_labels_present(self):
+        text = bar_chart({"DtlbMiss": 0.6, "L2Miss": 0.3, "SIMD": 0.1})
+        assert "DtlbMiss" in text and "SIMD" in text
+
+    def test_peak_is_full_width(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_negative_values_use_magnitude(self):
+        text = bar_chart({"up": 1.0, "down": -1.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == lines[1].count("#") == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)

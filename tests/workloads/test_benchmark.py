@@ -1,0 +1,81 @@
+"""Benchmark specs: phase mixing with persistence."""
+
+import numpy as np
+import pytest
+
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.phase import PhaseSpec
+
+
+def two_phase(w1=0.7, w2=0.3, persistence=5.0):
+    return BenchmarkSpec(
+        "test.bench",
+        phases=(
+            PhaseSpec("hot", weight=w1, densities={"Load": 0.9}, spread=0.0),
+            PhaseSpec("cold", weight=w2, densities={"Load": 0.1}, spread=0.0),
+        ),
+        persistence=persistence,
+    )
+
+
+class TestValidation:
+    def test_requires_name_and_phases(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec("", phases=(PhaseSpec("p"),))
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", phases=())
+
+    def test_duplicate_phase_names(self):
+        with pytest.raises(ValueError, match="duplicate phase"):
+            BenchmarkSpec("x", phases=(PhaseSpec("p"), PhaseSpec("p")))
+
+    def test_bad_weight_and_persistence(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", phases=(PhaseSpec("p"),), weight=0.0)
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", phases=(PhaseSpec("p"),), persistence=0.5)
+
+
+class TestPhaseWeights:
+    def test_normalized(self):
+        spec = two_phase(3.0, 1.0)
+        np.testing.assert_allclose(spec.phase_weights, [0.75, 0.25])
+
+
+class TestPhaseSequence:
+    def test_stationary_shares_match_weights(self, rng):
+        spec = two_phase(0.7, 0.3)
+        indices = spec.sample_phase_indices(60_000, rng)
+        share_hot = float(np.mean(indices == 0))
+        assert share_hot == pytest.approx(0.7, abs=0.03)
+
+    def test_persistence_creates_runs(self, rng):
+        spec = two_phase(persistence=50.0)
+        indices = spec.sample_phase_indices(10_000, rng)
+        switches = int(np.sum(indices[1:] != indices[:-1]))
+        # With dwell ~50, expect on the order of 10_000/50 segments, far
+        # fewer than the ~4200 switches of iid draws.
+        assert switches < 1000
+
+    def test_negative_n(self, rng):
+        with pytest.raises(ValueError):
+            two_phase().sample_phase_indices(-1, rng)
+
+
+class TestDensities:
+    def test_shape(self, rng):
+        draws = two_phase().sample_true_densities(123, rng)
+        assert draws.shape == (123, len(PREDICTOR_NAMES))
+
+    def test_values_come_from_phases(self, rng):
+        # With zero spread every Load value is exactly one phase mean.
+        draws = two_phase().sample_true_densities(500, rng)
+        load = draws[:, PREDICTOR_NAMES.index("Load")]
+        assert set(np.round(load, 6).tolist()) <= {0.9, 0.1}
+
+    def test_deterministic_given_seed(self):
+        spec = two_phase()
+        a = spec.sample_true_densities(50, np.random.default_rng(3))
+        b = spec.sample_true_densities(50, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,38 @@
+"""Suite catalog rendering."""
+
+import pytest
+
+from repro.workloads.catalog import format_benchmark_detail, format_suite_catalog
+from repro.workloads.spec_cpu2006 import spec_cpu2006
+from repro.workloads.spec_omp2001 import spec_omp2001
+
+
+class TestCatalog:
+    def test_all_members_listed(self):
+        suite = spec_cpu2006()
+        text = format_suite_catalog(suite)
+        for bench in suite.benchmarks:
+            assert bench.name in text
+        assert "29 benchmarks" in text
+
+    def test_weights_sum_to_one(self):
+        text = format_suite_catalog(spec_omp2001())
+        shares = [
+            float(tok.rstrip("%"))
+            for line in text.splitlines()[3:]
+            for tok in line.split()
+            if tok.endswith("%")
+        ]
+        assert sum(shares) == pytest.approx(100.0, abs=1.0)
+
+    def test_benchmark_detail(self):
+        suite = spec_cpu2006()
+        text = format_benchmark_detail(suite, "482.sphinx3")
+        assert "sphinx3" in text
+        assert "acoustic-scoring" in text
+        assert "SplitLoad" in text
+        assert "phases:" in text
+
+    def test_detail_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            format_benchmark_detail(spec_cpu2006(), "999.nope")

@@ -1,0 +1,53 @@
+"""SPEC CPU2000 suite definition and placement."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.spec_cpu2000 import CPU2000_BENCHMARKS, spec_cpu2000
+from repro.workloads.suite import SuiteGenerationConfig
+
+
+@pytest.fixture(scope="module")
+def cpu2000_data():
+    return spec_cpu2000().generate(
+        SuiteGenerationConfig(total_samples=5200, seed=2000)
+    )
+
+
+class TestDefinition:
+    def test_26_benchmarks(self):
+        assert len(spec_cpu2000()) == 26
+
+    def test_12_int_14_fp(self):
+        categories = [b.category for b in CPU2000_BENCHMARKS.values()]
+        assert categories.count("CINT2000") == 12
+        assert categories.count("CFP2000") == 14
+
+    def test_classic_members_present(self):
+        for name in ("181.mcf", "164.gzip", "179.art", "171.swim",
+                     "255.vortex", "300.twolf"):
+            assert name in CPU2000_BENCHMARKS
+
+
+class TestPlacement:
+    def test_same_family_as_cpu2006(self, cpu2000_data, cpu_data):
+        """CPU2000 lives in the CPU2006 region: low load-block-overlap."""
+        threshold = 0.0074
+        share = np.mean(cpu2000_data.column("LdBlkOlp") > threshold)
+        assert share < 0.05
+
+    def test_milder_memory_pressure_than_2006(self, cpu2000_data, cpu_data):
+        """Smaller reference inputs -> systematically fewer L2 misses."""
+        assert (
+            cpu2000_data.column("L2Miss").mean()
+            < cpu_data.column("L2Miss").mean()
+        )
+        assert (
+            cpu2000_data.column("DtlbMiss").mean()
+            < cpu_data.column("DtlbMiss").mean()
+        )
+
+    def test_cpi_plausible(self, cpu2000_data, cpu_data):
+        assert 0.6 < cpu2000_data.y.mean() < 1.2
+        # Milder pressure: CPU2000 should not be slower than CPU2006.
+        assert cpu2000_data.y.mean() <= cpu_data.y.mean() + 0.05

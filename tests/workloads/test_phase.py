@@ -1,0 +1,86 @@
+"""Phase sampling: mean preservation, positivity, clipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.workloads.defaults import DEFAULT_DENSITIES
+from repro.workloads.phase import PhaseSpec
+
+
+class TestValidation:
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("p", weight=0.0)
+
+    def test_rejects_unknown_feature(self):
+        with pytest.raises(ValueError, match="unknown density"):
+            PhaseSpec("p", densities={"Bogus": 1.0})
+        with pytest.raises(ValueError, match="unknown spread"):
+            PhaseSpec("p", spreads={"Bogus": 0.1})
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("p", densities={"Load": -0.1})
+
+    def test_rejects_negative_spread(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("p", spread=-0.1)
+
+
+class TestMeanVector:
+    def test_defaults_fill_gaps(self):
+        phase = PhaseSpec("p", densities={"Load": 0.5})
+        means = phase.mean_vector()
+        assert means[PREDICTOR_NAMES.index("Load")] == 0.5
+        assert means[PREDICTOR_NAMES.index("Store")] == DEFAULT_DENSITIES["Store"]
+
+
+class TestSampling:
+    def test_arithmetic_mean_preserved(self, rng):
+        # The -sigma^2/2 correction keeps E[X] at the specified mean.
+        phase = PhaseSpec("p", densities={"L2Miss": 1e-3}, spread=0.4)
+        draws = phase.sample(60_000, rng)
+        col = draws[:, PREDICTOR_NAMES.index("L2Miss")]
+        assert col.mean() == pytest.approx(1e-3, rel=0.02)
+
+    def test_all_positive(self, rng):
+        draws = PhaseSpec("p", spread=0.8).sample(5000, rng)
+        assert np.all(draws >= 0.0)
+
+    def test_fraction_features_capped(self, rng):
+        phase = PhaseSpec("p", densities={"SIMD": 0.95}, spread=0.5)
+        draws = phase.sample(5000, rng)
+        assert draws[:, PREDICTOR_NAMES.index("SIMD")].max() <= 1.0
+
+    def test_zero_spread_is_deterministic(self, rng):
+        phase = PhaseSpec("p", spread=0.0)
+        draws = phase.sample(10, rng)
+        np.testing.assert_allclose(draws, np.tile(phase.mean_vector(), (10, 1)))
+
+    def test_per_feature_spread_override(self, rng):
+        phase = PhaseSpec(
+            "p", densities={"SIMD": 0.5}, spread=0.6, spreads={"SIMD": 0.01}
+        )
+        draws = phase.sample(2000, rng)
+        simd = draws[:, PREDICTOR_NAMES.index("SIMD")]
+        load = draws[:, PREDICTOR_NAMES.index("Load")]
+        assert simd.std() / simd.mean() < 0.05
+        assert load.std() / load.mean() > 0.3
+
+    def test_zero_samples(self, rng):
+        assert PhaseSpec("p").sample(0, rng).shape == (0, len(PREDICTOR_NAMES))
+
+    def test_negative_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PhaseSpec("p").sample(-1, rng)
+
+    @given(st.floats(0.0, 0.9), st.integers(1, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_shapes_and_positivity(self, spread, n):
+        phase = PhaseSpec("p", spread=spread)
+        draws = phase.sample(n, np.random.default_rng(0))
+        assert draws.shape == (n, len(PREDICTOR_NAMES))
+        assert np.all(draws >= 0.0)

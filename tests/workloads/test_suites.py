@@ -1,0 +1,109 @@
+"""Suite definitions and the generation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.pmu.events import PREDICTOR_NAMES
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.phase import PhaseSpec
+from repro.workloads.spec_cpu2006 import CPU2006_BENCHMARKS, spec_cpu2006
+from repro.workloads.spec_omp2001 import OMP2001_BENCHMARKS, spec_omp2001
+from repro.workloads.suite import Suite, SuiteGenerationConfig
+
+
+class TestSuiteDefinitions:
+    def test_cpu2006_has_29_benchmarks(self):
+        assert len(spec_cpu2006()) == 29
+
+    def test_omp2001_has_11_benchmarks(self):
+        assert len(spec_omp2001()) == 11
+
+    def test_spec_naming_convention(self):
+        for name in CPU2006_BENCHMARKS:
+            number, base = name.split(".", 1)
+            assert number.isdigit() and base
+        for name in OMP2001_BENCHMARKS:
+            assert name.endswith("_m")  # medium input set
+
+    def test_paper_headline_benchmarks_present(self):
+        for name in ("429.mcf", "456.hmmer", "482.sphinx3", "470.lbm",
+                     "436.cactusADM", "471.omnetpp", "459.GemsFDTD"):
+            assert name in CPU2006_BENCHMARKS
+        for name in ("328.fma3d_m", "318.galgel_m", "314.mgrid_m",
+                     "330.art_m", "316.applu_m"):
+            assert name in OMP2001_BENCHMARKS
+
+    def test_benchmark_lookup(self):
+        suite = spec_cpu2006()
+        assert suite.benchmark("429.mcf").language == "C"
+        with pytest.raises(KeyError):
+            suite.benchmark("999.nope")
+
+    def test_duplicate_benchmarks_rejected(self):
+        spec = BenchmarkSpec("x", phases=(PhaseSpec("p"),))
+        with pytest.raises(ValueError):
+            Suite("s", [spec, spec])
+
+
+class TestAllocation:
+    def test_sums_exactly(self):
+        suite = spec_cpu2006()
+        for total in (29, 100, 999, 20_000):
+            allocation = suite.sample_allocation(total)
+            assert sum(allocation.values()) == total
+            assert all(v >= 1 for v in allocation.values())
+
+    def test_proportional_to_weights(self):
+        suite = spec_cpu2006()
+        allocation = suite.sample_allocation(29_000)
+        weights = {b.name: b.weight for b in suite.benchmarks}
+        total_weight = sum(weights.values())
+        for name, count in allocation.items():
+            expected = 29_000 * weights[name] / total_weight
+            assert count == pytest.approx(expected, abs=2)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            spec_cpu2006().sample_allocation(5)
+
+
+class TestGeneration:
+    def test_output_shape_and_labels(self, cpu_data):
+        assert cpu_data.n_features == len(PREDICTOR_NAMES)
+        assert cpu_data.feature_names == PREDICTOR_NAMES
+        assert len(cpu_data.benchmark_names()) == 29
+
+    def test_deterministic_given_seed(self):
+        cfg = SuiteGenerationConfig(total_samples=2000, seed=11)
+        a = spec_omp2001().generate(cfg)
+        b = spec_omp2001().generate(cfg)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = spec_omp2001().generate(SuiteGenerationConfig(total_samples=2000, seed=1))
+        b = spec_omp2001().generate(SuiteGenerationConfig(total_samples=2000, seed=2))
+        assert not np.array_equal(a.y, b.y)
+
+    def test_cpi_plausible(self, cpu_data, omp_data):
+        # Paper: suite CPIs ~0.96 (CPU2006) and ~1.27 (OMP2001), OMP higher.
+        assert 0.7 < cpu_data.y.mean() < 1.3
+        assert 0.9 < omp_data.y.mean() < 1.6
+        assert omp_data.y.mean() > cpu_data.y.mean()
+
+    def test_densities_non_negative(self, cpu_data):
+        assert cpu_data.X.min() >= 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SuiteGenerationConfig(total_samples=0)
+
+
+class TestSuiteSeparation:
+    def test_omp_exercises_load_block_overlap(self, cpu_data, omp_data):
+        """The transferability story: OMP lives where CPU2006 does not."""
+        threshold = 0.0074  # the paper's LdBlkOlp split point
+        cpu_share = np.mean(cpu_data.column("LdBlkOlp") > threshold)
+        omp_share = np.mean(omp_data.column("LdBlkOlp") > threshold)
+        assert cpu_share < 0.05
+        assert omp_share > 0.30

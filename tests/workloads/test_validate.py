@@ -1,0 +1,62 @@
+"""Physical-consistency validation — and the shipped suites pass it."""
+
+import pytest
+
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.phase import PhaseSpec
+from repro.workloads.spec_cpu2000 import spec_cpu2000
+from repro.workloads.spec_cpu2006 import spec_cpu2006
+from repro.workloads.spec_omp2001 import spec_omp2001
+from repro.workloads.validate import validate_benchmark, validate_suite
+
+
+class TestRules:
+    def test_mispredicts_bounded_by_branches(self):
+        bad = BenchmarkSpec(
+            "bad", phases=(PhaseSpec("p", densities={"MisprBr": 0.3,
+                                                     "Br": 0.1}),)
+        )
+        violations = validate_benchmark(bad)
+        assert any("MisprBr" in str(v) for v in violations)
+
+    def test_l2_bounded_by_l1d(self):
+        bad = BenchmarkSpec(
+            "bad", phases=(PhaseSpec("p", densities={"L2Miss": 0.01,
+                                                     "L1DMiss": 0.001}),)
+        )
+        assert any("L2Miss" in str(v) for v in validate_benchmark(bad))
+
+    def test_blocked_loads_bounded_by_loads(self):
+        bad = BenchmarkSpec(
+            "bad", phases=(PhaseSpec("p", densities={"LdBlkOlp": 0.5,
+                                                     "Load": 0.2}),)
+        )
+        assert any("LdBlkOlp" in str(v) for v in validate_benchmark(bad))
+
+    def test_ceiling(self):
+        bad = BenchmarkSpec(
+            "bad", phases=(PhaseSpec("p", densities={"DtlbMiss": 0.5,
+                                                     "L1DMiss": 0.9}),)
+        )
+        assert any("ceiling" in str(v) for v in validate_benchmark(bad))
+
+    def test_clean_spec_has_no_violations(self):
+        good = BenchmarkSpec("good", phases=(PhaseSpec("p"),))
+        assert validate_benchmark(good) == []
+
+    def test_violation_str(self):
+        bad = BenchmarkSpec(
+            "x", phases=(PhaseSpec("hot", densities={"MisprBr": 0.9,
+                                                     "Br": 0.1}),)
+        )
+        text = str(validate_benchmark(bad)[0])
+        assert text.startswith("x/hot:")
+
+
+class TestShippedSuites:
+    @pytest.mark.parametrize(
+        "factory", [spec_cpu2006, spec_omp2001, spec_cpu2000]
+    )
+    def test_suite_is_physically_consistent(self, factory):
+        violations = validate_suite(factory())
+        assert violations == [], "\n".join(str(v) for v in violations)
