@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Standalone microperf snapshot: the library's five hot paths.
+
+Runs the same operations as ``test_bench_microperf.py`` without the
+pytest-benchmark harness and writes a machine-readable snapshot to
+``BENCH_microperf.json`` (next to this script, or ``--output PATH``).
+Each timing is the best of ``--rounds`` runs (default 3) — the usual
+way to suppress scheduler noise in min-of-k microbenchmarks.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_microperf.py
+    PYTHONPATH=src python benchmarks/run_microperf.py --rounds 5 -o /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+
+def _time_best(fn: Callable[[], object], rounds: int) -> Dict[str, object]:
+    times: List[float] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "best_s": min(times),
+        "mean_s": sum(times) / len(times),
+        "rounds": rounds,
+        "all_s": times,
+    }
+
+
+def run(rounds: int) -> Dict[str, Dict[str, object]]:
+    from repro.characterization.profile import profile_sample_set
+    from repro.mtree.tree import ModelTree, ModelTreeConfig
+    from repro.workloads.spec_cpu2006 import spec_cpu2006
+    from repro.workloads.suite import SuiteGenerationConfig
+
+    suite = spec_cpu2006()
+    config = SuiteGenerationConfig(total_samples=10_000, seed=77)
+    data = suite.generate(config)
+    tree = ModelTree(ModelTreeConfig(min_leaf=40)).fit_sample_set(data)
+
+    operations: Dict[str, Callable[[], object]] = {
+        "suite_generation": lambda: suite.generate(
+            SuiteGenerationConfig(total_samples=10_000, seed=5)
+        ),
+        "tree_fit": lambda: ModelTree(
+            ModelTreeConfig(min_leaf=40)
+        ).fit_sample_set(data),
+        "predict": lambda: tree.predict(data.X),
+        "assign_leaves": lambda: tree.assign_leaves(data.X),
+        "profile": lambda: profile_sample_set(tree, data),
+    }
+    results = {}
+    for name, fn in operations.items():
+        results[name] = _time_best(fn, rounds)
+        print(f"{name:20s} best {results[name]['best_s'] * 1e3:9.2f} ms")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).parent / "BENCH_microperf.json"),
+    )
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error("--rounds must be at least 1")
+
+    snapshot = {
+        "schema": "repro-microperf-v1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": run(args.rounds),
+    }
+    path = Path(args.output)
+    path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

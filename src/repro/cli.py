@@ -80,6 +80,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache generated suite data in this directory",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run experiments across N worker processes; stdout is "
+            "byte-identical to the serial run, per-experiment timings "
+            "go to stderr"
+        ),
+    )
     return parser
 
 
@@ -277,13 +288,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.scale != 1.0:
         config = config.scaled(args.scale)
-    ctx = ExperimentContext(config, cache_dir=args.cache_dir)
-    for key in requested:
-        print(run_experiment(key, ctx))
-        print()
+    if args.jobs is not None and args.jobs < 1:
+        print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    ctx: Optional[ExperimentContext] = None
+    if args.jobs is not None and requested:
+        from repro.experiments.runner import ParallelRunner
+
+        runner = ParallelRunner(
+            config, jobs=args.jobs, cache_dir=args.cache_dir
+        )
+        battery = runner.run(requested)
+        for _, text in battery.texts:
+            print(text)
+            print()
+        print(battery.summary(), file=sys.stderr)
+    else:
+        ctx = ExperimentContext(config, cache_dir=args.cache_dir)
+        for key in requested:
+            print(run_experiment(key, ctx))
+            print()
     if want_report:
         from repro.experiments.report_gen import generate_report
 
+        if ctx is None:
+            ctx = ExperimentContext(config, cache_dir=args.cache_dir)
         generate_report(ctx, path=args.output)
         print(f"report written to {args.output}")
     return 0

@@ -1,13 +1,18 @@
 """Dataset layer: named-column sample containers, splits and I/O."""
 
 from repro.datasets.arff import load_arff, save_arff
-from repro.datasets.cache import cached_generate, generation_digest
+from repro.datasets.cache import (
+    SampleSetCache,
+    cached_generate,
+    generation_digest,
+)
 from repro.datasets.dataset import SampleSet
 from repro.datasets.io import load_csv, save_csv
 from repro.datasets.splits import train_test_split, stratified_split
 
 __all__ = [
     "SampleSet",
+    "SampleSetCache",
     "cached_generate",
     "generation_digest",
     "load_arff",

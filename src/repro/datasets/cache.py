@@ -1,21 +1,32 @@
-"""Disk caching of generated sample sets.
+"""Content-addressed caching of generated sample sets.
 
 Suite generation is deterministic given its configuration, so a
-generated SampleSet can be cached on disk keyed by a digest of
-everything that determines it (suite name and benchmark specs, sample
-count, seed, collector and noise parameters, cost model identity).
-Repeated CLI invocations and notebook sessions then skip the generation
-cost entirely.
+generated SampleSet can be cached keyed by a digest of everything that
+determines it (suite name and benchmark specs, sample count, seed,
+collector and noise parameters, cost model identity).  Repeated CLI
+invocations, experiment batteries and parallel workers then generate
+each distinct dataset exactly once.
 
-Caching is opt-in: pass ``cache_dir`` to :func:`cached_generate`.
+Two layers:
+
+* :class:`SampleSetCache` — the preferred interface: an in-process
+  digest-keyed table backed by an optional on-disk ``.npz`` store that
+  can be shared between processes (writes are atomic, so concurrent
+  workers race benignly).
+* :func:`cached_generate` — the original single-shot CSV helper, kept
+  for scripts that want human-readable cache entries.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+import numpy as np
 
 from repro.datasets.dataset import SampleSet
 from repro.datasets.io import load_csv, save_csv
@@ -24,7 +35,7 @@ if TYPE_CHECKING:  # avoid a layering inversion at runtime
     from repro.uarch.execution import ExecutionEngine
     from repro.workloads.suite import Suite, SuiteGenerationConfig
 
-__all__ = ["generation_digest", "cached_generate"]
+__all__ = ["generation_digest", "cached_generate", "SampleSetCache"]
 
 
 def generation_digest(
@@ -100,3 +111,84 @@ def cached_generate(
     data = suite.generate(config, engine=engine)
     save_csv(data, path)
     return data
+
+
+def _save_npz(data: SampleSet, path: Path) -> None:
+    """Atomically write a SampleSet as a compressed-free ``.npz``."""
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(
+                handle,
+                feature_names=np.asarray(data.feature_names, dtype=str),
+                X=data.X,
+                y=data.y,
+                benchmarks=data.benchmarks.astype(str),
+            )
+        os.replace(tmp, path)
+    except BaseException:
+        Path(tmp).unlink(missing_ok=True)
+        raise
+
+
+def _load_npz(path: Path) -> SampleSet:
+    with np.load(path, allow_pickle=False) as archive:
+        return SampleSet(
+            [str(name) for name in archive["feature_names"]],
+            archive["X"],
+            archive["y"],
+            archive["benchmarks"].astype(object),
+        )
+
+
+class SampleSetCache:
+    """Two-tier content-addressed cache of generated sample sets.
+
+    Hits are served from process memory first, then (when ``cache_dir``
+    is given) from an on-disk ``.npz`` store keyed by
+    :func:`generation_digest`.  Disk writes go through a temp file and
+    an atomic rename, so multiple worker processes can share one
+    directory: concurrent misses regenerate the same bytes and the last
+    rename wins.
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory: Dict[str, SampleSet] = {}
+
+    def _path(self, suite_name: str, digest: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{suite_name.replace(' ', '_')}-{digest}.npz"
+
+    def get_or_generate(
+        self,
+        suite: "Suite",
+        config: "SuiteGenerationConfig",
+        engine: Optional["ExecutionEngine"] = None,
+    ) -> SampleSet:
+        """The sample set for (suite, config, engine), generated at most once."""
+        digest = generation_digest(suite, config, engine)
+        hit = self._memory.get(digest)
+        if hit is not None:
+            return hit
+        if self.cache_dir is not None:
+            path = self._path(suite.name, digest)
+            if path.exists():
+                try:
+                    data = _load_npz(path)
+                except (ValueError, OSError, KeyError):
+                    path.unlink(missing_ok=True)
+                else:
+                    self._memory[digest] = data
+                    return data
+        data = suite.generate(config, engine=engine)
+        self._memory[digest] = data
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            _save_npz(data, self._path(suite.name, digest))
+        return data
+
+    def __len__(self) -> int:
+        return len(self._memory)

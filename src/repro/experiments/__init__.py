@@ -15,11 +15,19 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
 from repro.experiments.result import ExperimentResult
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import (
+    BatteryRun,
+    ExperimentTiming,
+    ParallelRunner,
+)
 
 __all__ = [
     "EXPERIMENTS",
+    "BatteryRun",
     "ExperimentConfig",
     "ExperimentContext",
     "ExperimentResult",
+    "ExperimentTiming",
+    "ParallelRunner",
     "run_experiment",
 ]

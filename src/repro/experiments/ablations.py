@@ -119,7 +119,7 @@ def run_tree_ablation(ctx: ExperimentContext) -> ExperimentResult:
         noise=ctx.config.noise,
     )
     engine = ExecutionEngine(build_core2_cost_model(), ctx.config.noise)
-    ideal_data = ctx.suite(ctx.CPU).generate(ideal_cfg, engine=engine)
+    ideal_data = ctx.generate(ctx.suite(ctx.CPU), ideal_cfg, engine=engine)
     rng = np.random.default_rng(ctx.config.seed + 100)
     ideal_train, ideal_test = train_test_split(
         ideal_data,

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.datasets.cache import SampleSetCache
 from repro.datasets.dataset import SampleSet
 from repro.datasets.splits import train_test_split
 from repro.experiments.config import ExperimentConfig
@@ -38,6 +39,7 @@ class ExperimentContext:
     ) -> None:
         self.config = config or ExperimentConfig()
         self.cache_dir = cache_dir
+        self.cache = SampleSetCache(cache_dir)
         self._suites: Dict[str, Suite] = {}
         self._data: Dict[str, SampleSet] = {}
         self._splits: Dict[str, List[SampleSet]] = {}
@@ -54,6 +56,21 @@ class ExperimentContext:
             )
         return self._suites[which]
 
+    def generate(
+        self,
+        suite: Suite,
+        generation: SuiteGenerationConfig,
+        engine: Optional[ExecutionEngine] = None,
+    ) -> SampleSet:
+        """Generate a dataset through the content-addressed cache.
+
+        Experiments that need extra datasets (other machines, other
+        suites, other seeds) should route generation through here so a
+        battery — serial or parallel — generates each distinct dataset
+        at most once per cache.
+        """
+        return self.cache.get_or_generate(suite, generation, engine)
+
     def data(self, which: str) -> SampleSet:
         """The full generated sample set for one suite."""
         if which not in self._data:
@@ -67,16 +84,9 @@ class ExperimentContext:
                 collector=cfg.collector,
                 noise=cfg.noise,
             )
-            if self.cache_dir is not None:
-                from repro.datasets.cache import cached_generate
-
-                self._data[which] = cached_generate(
-                    self.suite(which), generation, self.cache_dir, engine
-                )
-            else:
-                self._data[which] = self.suite(which).generate(
-                    generation, engine=engine
-                )
+            self._data[which] = self.generate(
+                self.suite(which), generation, engine
+            )
         return self._data[which]
 
     def _split(self, which: str) -> List[SampleSet]:

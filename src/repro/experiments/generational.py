@@ -27,7 +27,8 @@ __all__ = ["run"]
 def run(ctx: ExperimentContext) -> ExperimentResult:
     cfg = ctx.config
     engine = ExecutionEngine(build_core2_cost_model(), cfg.noise)
-    cpu2000 = spec_cpu2000().generate(
+    cpu2000 = ctx.generate(
+        spec_cpu2000(),
         SuiteGenerationConfig(
             total_samples=max(cfg.cpu_samples // 2, 2000),
             seed=cfg.seed + 2,

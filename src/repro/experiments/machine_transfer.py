@@ -30,7 +30,8 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     engine = ExecutionEngine(build_nextgen_cost_model(), cfg.noise)
     from repro.workloads.suite import SuiteGenerationConfig
 
-    nextgen_data = ctx.suite(ctx.CPU).generate(
+    nextgen_data = ctx.generate(
+        ctx.suite(ctx.CPU),
         SuiteGenerationConfig(
             total_samples=cfg.cpu_samples,
             seed=cfg.seed + 3,

@@ -24,7 +24,8 @@ __all__ = ["run"]
 def _cpu2000_tree(ctx: ExperimentContext) -> ModelTree:
     cfg = ctx.config
     engine = ExecutionEngine(build_core2_cost_model(), cfg.noise)
-    data = spec_cpu2000().generate(
+    data = ctx.generate(
+        spec_cpu2000(),
         SuiteGenerationConfig(
             total_samples=max(cfg.cpu_samples // 2, 2000),
             seed=cfg.seed + 2,

@@ -1,0 +1,230 @@
+"""Parallel experiment runner.
+
+The battery's experiments are independent given one
+:class:`ExperimentConfig`: every experiment derives its random streams
+from ``config.seed`` alone, never from shared mutable state, so running
+them in separate processes cannot change any number.  This module
+exploits that independence:
+
+* each worker process owns a full :class:`ExperimentContext`;
+* contexts share generated datasets through the content-addressed
+  on-disk cache (a temporary directory when the caller gave none) and —
+  under the ``fork`` start method — through copy-on-write inheritance
+  of a context pre-warmed in the parent;
+* results are collected as workers finish but emitted in *request*
+  order, so ``repro all --jobs N`` prints stdout byte-identical to the
+  serial run for the same seeds;
+* per-experiment wall-clock and peak-RSS figures are recorded for the
+  run summary (the CLI prints it to stderr, keeping stdout clean).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import resource
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import ExitStack
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS
+
+__all__ = ["ExperimentTiming", "BatteryRun", "ParallelRunner"]
+
+
+@dataclass(frozen=True)
+class ExperimentTiming:
+    """Wall-clock and peak-RSS accounting for one experiment."""
+
+    key: str
+    wall_s: float
+    max_rss_kb: int
+
+
+@dataclass(frozen=True)
+class BatteryRun:
+    """Outcome of one battery invocation.
+
+    ``texts`` holds ``(experiment id, rendered result)`` pairs in the
+    order the experiments were *requested* — not the order workers
+    happened to finish — which is what makes parallel output
+    reproducible.
+    """
+
+    texts: Tuple[Tuple[str, str], ...]
+    timings: Tuple[ExperimentTiming, ...]
+    wall_s: float
+    jobs: int
+
+    def summary(self) -> str:
+        """Human-readable per-experiment timing table."""
+        lines = [f"experiment timings ({self.jobs} worker(s)):"]
+        for timing in self.timings:
+            lines.append(
+                f"  {timing.key:5s} {timing.wall_s:7.2f}s"
+                f"  peak RSS {timing.max_rss_kb / 1024:7.1f} MB"
+            )
+        busy = sum(timing.wall_s for timing in self.timings)
+        lines.append(f"  battery wall time {self.wall_s:.2f}s")
+        if self.wall_s > 0:
+            lines.append(
+                f"  aggregate experiment time {busy:.2f}s "
+                f"({busy / self.wall_s:.1f}x concurrency)"
+            )
+        return "\n".join(lines)
+
+
+# Worker-side context.  Under the ``fork`` start method the parent
+# installs its pre-warmed context here before creating the pool, and
+# children inherit it copy-on-write; under ``spawn`` it stays None and
+# the initializer builds a fresh context fed by the shared disk cache.
+_WORKER_CTX: Optional[ExperimentContext] = None
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def _worker_init(config: ExperimentConfig, cache_dir: Optional[str]) -> None:
+    global _WORKER_CTX
+    if _WORKER_CTX is None:
+        _WORKER_CTX = ExperimentContext(config, cache_dir=cache_dir)
+
+
+def _run_one(key: str) -> Tuple[str, str, float, int]:
+    assert _WORKER_CTX is not None, "worker context missing"
+    start = time.perf_counter()
+    result = EXPERIMENTS[key](_WORKER_CTX)
+    wall = time.perf_counter() - start
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return key, str(result), wall, rss_kb
+
+
+class ParallelRunner:
+    """Run a battery of experiments across a process pool.
+
+    Results and the timing summary come back in request order no matter
+    which worker finished first, and duplicate requests reuse the first
+    execution's rendering (experiments are deterministic, so this is
+    observationally identical to running them again).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        self.config = config or ExperimentConfig()
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.cache_dir = cache_dir
+
+    def run(self, keys: Sequence[str]) -> BatteryRun:
+        keys = [key.upper() for key in keys]
+        unknown = [key for key in keys if key not in EXPERIMENTS]
+        if unknown:
+            raise KeyError(
+                f"unknown experiment(s) {unknown}; have {sorted(EXPERIMENTS)}"
+            )
+        start = time.perf_counter()
+        unique = list(dict.fromkeys(keys))
+        if self.jobs == 1 or len(unique) == 1:
+            texts, timings = self._run_serial(unique)
+        else:
+            texts, timings = self._run_parallel(unique)
+        wall = time.perf_counter() - start
+        return BatteryRun(
+            texts=tuple((key, texts[key]) for key in keys),
+            timings=tuple(timings[key] for key in unique),
+            wall_s=wall,
+            jobs=self.jobs,
+        )
+
+    def _run_serial(
+        self, unique: List[str]
+    ) -> Tuple[Dict[str, str], Dict[str, ExperimentTiming]]:
+        ctx = ExperimentContext(self.config, cache_dir=self.cache_dir)
+        texts: Dict[str, str] = {}
+        timings: Dict[str, ExperimentTiming] = {}
+        for key in unique:
+            t0 = time.perf_counter()
+            result = EXPERIMENTS[key](ctx)
+            wall = time.perf_counter() - t0
+            rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            texts[key] = str(result)
+            timings[key] = ExperimentTiming(key, wall, rss_kb)
+        return texts, timings
+
+    def _run_parallel(
+        self, unique: List[str]
+    ) -> Tuple[Dict[str, str], Dict[str, ExperimentTiming]]:
+        global _WORKER_CTX
+        texts: Dict[str, str] = {}
+        timings: Dict[str, ExperimentTiming] = {}
+        use_fork = "fork" in mp.get_all_start_methods()
+        with ExitStack() as stack:
+            cache_dir = self.cache_dir
+            if cache_dir is None:
+                cache_dir = stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="repro-cache-")
+                )
+            # Pre-warm the shared artifacts once in the parent: the two
+            # suite datasets always go to the disk cache (so spawn
+            # workers never race to regenerate them), and under fork the
+            # fitted trees ride along copy-on-write for free.
+            parent_ctx = ExperimentContext(self.config, cache_dir=cache_dir)
+            for which in (parent_ctx.CPU, parent_ctx.OMP):
+                parent_ctx.data(which)
+                if use_fork:
+                    parent_ctx.tree(which)
+            # Never start more workers than CPUs we can run on: on a
+            # single-CPU machine a pool of N only adds fork and IPC
+            # overhead on top of fully serialized compute.  The clamped
+            # one-worker case keeps the parallel path's observable
+            # behavior (pre-warmed shared cache, identical output) but
+            # runs the experiments in-process.
+            workers = min(self.jobs, len(unique), _available_cpus())
+            if workers == 1:
+                for key in unique:
+                    t0 = time.perf_counter()
+                    result = EXPERIMENTS[key](parent_ctx)
+                    wall = time.perf_counter() - t0
+                    rss_kb = resource.getrusage(
+                        resource.RUSAGE_SELF
+                    ).ru_maxrss
+                    texts[key] = str(result)
+                    timings[key] = ExperimentTiming(key, wall, rss_kb)
+                return texts, timings
+            previous = _WORKER_CTX
+            if use_fork:
+                _WORKER_CTX = parent_ctx
+            try:
+                executor = stack.enter_context(
+                    ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=mp.get_context("fork") if use_fork else None,
+                        initializer=_worker_init,
+                        initargs=(self.config, cache_dir),
+                    )
+                )
+                futures = {
+                    executor.submit(_run_one, key): key for key in unique
+                }
+                for future in as_completed(futures):
+                    key, text, wall, rss_kb = future.result()
+                    texts[key] = text
+                    timings[key] = ExperimentTiming(key, wall, rss_kb)
+            finally:
+                _WORKER_CTX = previous
+        return texts, timings

@@ -94,38 +94,184 @@ class LinearModel:
 
 
 class _NodeFitter:
-    """Caches the node's Gram matrix so elimination trials are O(d^3).
+    """Caches the node's Gram matrix so elimination trials are cheap.
 
-    The design matrix is ``[1 | X]``; ``gram = D^T D`` and ``moment =
-    D^T y`` are computed once, and every candidate subset solves a
-    small sliced system instead of touching the n-row data again
-    (except for the O(n*d) residual pass that scores MAE).
+    ``X`` holds only the columns under consideration (the M5 candidate
+    set), indexed 0..k-1; the caller owns the mapping back to the full
+    schema.  The design matrix is ``D = [1 | X]``; ``gram = D^T D``
+    and ``moment = D^T y`` are computed once.  :meth:`solve` handles
+    one-off subset fits; the greedy elimination loop instead runs on
+    the cached *inverse* Gram, removing one column at a time by a
+    rank-one (Schur-complement) downdate so no trial ever re-solves a
+    system or re-touches the n-row data (see
+    :func:`_eliminate_with_downdates`).
     """
 
     def __init__(self, X: np.ndarray, y: np.ndarray) -> None:
         self.X = X
         self.y = y
-        design = np.column_stack([np.ones(X.shape[0]), X])
+        design = np.empty((X.shape[0], X.shape[1] + 1))
+        design[:, 0] = 1.0
+        design[:, 1:] = X
+        self.design = design
         self.gram = design.T @ design
         self.moment = design.T @ y
 
-    def solve(self, columns: np.ndarray) -> Tuple[float, np.ndarray]:
-        """Ridge-stabilized least squares on the selected columns."""
-        take = np.concatenate([[0], columns + 1])
-        gram = self.gram[np.ix_(take, take)].copy()
-        gram[np.arange(1, take.size), np.arange(1, take.size)] += _RIDGE
+    def ridged_gram(self, columns: np.ndarray) -> np.ndarray:
+        """The Gram submatrix for ``[1 | X[:, columns]]``, ridged."""
+        if columns.size + 1 == self.gram.shape[0]:
+            gram = self.gram.copy()  # full set: plain copy, no gather
+        else:
+            take = np.concatenate([[0], columns + 1])
+            gram = self.gram[take[:, None], take]
+        diagonal = np.arange(1, gram.shape[0])
+        gram[diagonal, diagonal] += _RIDGE
+        return gram
+
+    def solve(
+        self, columns: np.ndarray, gram: Optional[np.ndarray] = None
+    ) -> Tuple[float, np.ndarray]:
+        """Ridge-stabilized least squares on the selected columns.
+
+        ``gram`` lets a caller that already materialized the ridged
+        Gram submatrix (see :meth:`ridged_gram`) skip rebuilding it.
+        """
+        if columns.size + 1 == self.moment.size:
+            moment = self.moment  # full set: solve never mutates it
+        else:
+            take = np.concatenate([[0], columns + 1])
+            moment = self.moment[take]
+        if gram is None:
+            gram = self.ridged_gram(columns)
         try:
-            beta = np.linalg.solve(gram, self.moment[take])
+            beta = np.linalg.solve(gram, moment)
         except np.linalg.LinAlgError:
-            beta, *_ = np.linalg.lstsq(gram, self.moment[take], rcond=None)
+            beta, *_ = np.linalg.lstsq(gram, moment, rcond=None)
         return float(beta[0]), beta[1:]
 
     def mae(self, columns: np.ndarray, intercept: float, coefs: np.ndarray) -> float:
-        if columns.size:
-            pred = self.X[:, columns] @ coefs + intercept
+        # Same arithmetic as mean(|y - (X @ coefs + intercept)|) with
+        # the temporaries folded in place (np.mean of a 1-D float64
+        # array is np.add.reduce(a) / n, bit for bit).
+        if columns.size == self.X.shape[1]:
+            deviations = self.X @ coefs  # full set: skip the gather
+        elif columns.size:
+            deviations = self.X[:, columns] @ coefs
         else:
-            pred = np.full(len(self.y), intercept)
-        return float(np.mean(np.abs(self.y - pred)))
+            deviations = np.abs(self.y - intercept)
+            return float(np.add.reduce(deviations) / deviations.size)
+        deviations += intercept
+        np.subtract(self.y, deviations, out=deviations)
+        np.abs(deviations, out=deviations)
+        return float(np.add.reduce(deviations) / deviations.size)
+
+
+def _eliminate_greedy_slow(
+    fitter: _NodeFitter,
+    columns: np.ndarray,
+    intercept: float,
+    coefs: np.ndarray,
+    best: float,
+    n: int,
+    penalty: float,
+) -> Tuple[np.ndarray, float, np.ndarray]:
+    """Reference elimination: re-solve every candidate subset.
+
+    Kept as the numerical fallback for ill-conditioned Gram matrices
+    and as the readable specification of the greedy rule.
+    """
+    improved = True
+    while improved and columns.size > 0:
+        improved = False
+        drop_choice = None
+        for position in range(columns.size):
+            trial = np.delete(columns, position)
+            t_intercept, t_coefs = fitter.solve(trial)
+            t_err = adjusted_error(
+                fitter.mae(trial, t_intercept, t_coefs),
+                n,
+                trial.size + 1,
+                penalty,
+            )
+            if t_err <= best:
+                best = t_err
+                drop_choice = (trial, t_intercept, t_coefs)
+        if drop_choice is not None:
+            columns, intercept, coefs = drop_choice
+            improved = True
+    return columns, intercept, coefs
+
+
+def _eliminate_with_downdates(
+    fitter: _NodeFitter,
+    columns: np.ndarray,
+    intercept: float,
+    coefs: np.ndarray,
+    best: float,
+    n: int,
+    penalty: float,
+    gram: Optional[np.ndarray] = None,
+) -> Optional[Tuple[np.ndarray, float, np.ndarray]]:
+    """Greedy elimination on the cached inverse Gram.
+
+    With ``H = inv(G)`` for the active set, zeroing one coefficient
+    ``beta_p`` is the constrained solution ``beta - H[:, p] *
+    (beta_p / H[p, p])``; its predictions follow from the cached
+    ``W = D H`` by a single saxpy.  Every trial in a round is scored
+    from one O(n * d) pass, removing the per-trial solves and residual
+    recomputation entirely; accepting a drop downdates ``H`` and ``W``
+    by rank-one updates.  Returns None when the inverse is not
+    trustworthy (caller falls back to :func:`_eliminate_greedy_slow`).
+    """
+    if gram is None:
+        gram = fitter.ridged_gram(columns)
+    try:
+        H = np.linalg.inv(gram)
+    except np.linalg.LinAlgError:
+        return None
+    if not np.all(np.isfinite(H)):
+        return None
+
+    if columns.size + 1 == fitter.design.shape[1]:
+        D = fitter.design  # full starting set: no column gather needed
+    else:
+        D = fitter.design[:, np.concatenate([[0], columns + 1])]
+    beta = np.concatenate([[intercept], coefs])
+    residual = fitter.y - D @ beta
+    W = D @ H
+
+    while columns.size > 0:
+        diag = np.diagonal(H)[1:]
+        if np.any(diag <= 0.0) or not np.all(np.isfinite(H)):
+            return None
+        # Trial p: beta_trial = beta - H[:, p] * shift[p], so the
+        # residual gains shift[p] * W[:, p]; score all trials at once.
+        # (One reused n x d temporary; arithmetic unchanged.)
+        shift = beta[1:] / diag
+        trials = np.multiply(W[:, 1:], shift)
+        np.add(residual[:, None], trials, out=trials)
+        np.abs(trials, out=trials)
+        trial_maes = np.add.reduce(trials, axis=0) / n
+        v = columns.size  # trial parameter count: (size-1) coefs + 1
+        drop = None
+        for position in range(columns.size):
+            t_err = adjusted_error(float(trial_maes[position]), n, v, penalty)
+            if t_err <= best:
+                best = t_err
+                drop = position
+        if drop is None:
+            break
+        p = drop + 1
+        scale = beta[p] / H[p, p]
+        residual = residual + scale * W[:, p]
+        beta = beta - scale * H[:, p]
+        keep = np.arange(beta.size) != p
+        row = H[p, keep] / H[p, p]
+        W = W[:, keep] - np.outer(W[:, p], row)
+        H = H[np.ix_(keep, keep)] - np.outer(H[keep, p], row)
+        beta = beta[keep]
+        columns = np.delete(columns, drop)
+    return columns, float(beta[0]), beta[1:]
 
 
 def fit_linear_model(
@@ -135,6 +281,8 @@ def fit_linear_model(
     candidate_features: Optional[Sequence[str]] = None,
     eliminate: bool = True,
     penalty: float = 2.0,
+    candidate_columns: Optional[np.ndarray] = None,
+    pregathered: bool = False,
 ) -> LinearModel:
     """Fit a leaf model, optionally with greedy backward elimination.
 
@@ -150,11 +298,30 @@ def fit_linear_model(
         Greedily drop attributes while the adjusted error improves.
     penalty:
         Multiplier on the parameter count in the adjusted error.
+    candidate_columns:
+        The candidate set as sorted, unique column indices — the
+        pre-resolved form of ``candidate_features`` used by the tree's
+        hot path to skip the name-to-index round trip.  Mutually
+        exclusive with ``candidate_features``.
+    pregathered:
+        When true, ``X`` holds *only* the candidate columns (one per
+        entry of ``candidate_columns``, which is then required) instead
+        of the full schema.  The tree's hot path gathers exactly those
+        columns from its transposed training matrix, skipping the
+        full-width row gather a schema-shaped ``X`` would force.
     """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float)
     feature_names = tuple(feature_names)
-    if X.ndim != 2 or X.shape[1] != len(feature_names):
+    if pregathered:
+        if candidate_columns is None:
+            raise ValueError("pregathered=True requires candidate_columns")
+        if X.ndim != 2 or X.shape[1] != len(candidate_columns):
+            raise ValueError(
+                f"pregathered X shape {X.shape} does not match "
+                f"{len(candidate_columns)} candidate columns"
+            )
+    elif X.ndim != 2 or X.shape[1] != len(feature_names):
         raise ValueError(
             f"X shape {X.shape} does not match {len(feature_names)} features"
         )
@@ -175,7 +342,13 @@ def fit_linear_model(
             train_mae=0.0,
         )
 
-    if candidate_features is None:
+    if candidate_columns is not None:
+        if candidate_features is not None:
+            raise ValueError(
+                "pass candidate_features or candidate_columns, not both"
+            )
+        columns = np.asarray(candidate_columns, dtype=int)
+    elif candidate_features is None:
         columns = np.arange(len(feature_names))
     else:
         unknown = set(candidate_features) - set(feature_names)
@@ -185,47 +358,52 @@ def fit_linear_model(
             sorted(feature_names.index(f) for f in set(candidate_features)),
             dtype=int,
         )
+    # One gather of the candidate columns; the fitter (and everything
+    # downstream) works on this restricted matrix with local indices
+    # 0..k-1, mapped back to the full schema only at the end.
+    candidates = X if pregathered else X[:, columns]
     # Drop constant columns outright: they carry no signal and destabilize
     # the fit (their effect belongs in the intercept, as the paper notes).
     if columns.size:
-        spans = X[:, columns].max(axis=0) - X[:, columns].min(axis=0)
-        columns = columns[spans > 0.0]
+        spans = candidates.max(axis=0) - candidates.min(axis=0)
+        varying = spans > 0.0
+        if not varying.all():
+            columns = columns[varying]
+            candidates = candidates[:, varying]
     # Never start with more parameters than samples allow.
     if columns.size >= n:
-        columns = columns[: max(n - 2, 0)]
+        width = max(n - 2, 0)
+        columns = columns[:width]
+        candidates = candidates[:, :width]
 
-    fitter = _NodeFitter(X, y)
-    intercept, coefs = fitter.solve(columns)
-    error = fitter.mae(columns, intercept, coefs)
-    best = adjusted_error(error, n, columns.size + 1, penalty)
+    fitter = _NodeFitter(candidates, y)
+    local = np.arange(columns.size)
+    gram = fitter.ridged_gram(local)
+    intercept, coefs = fitter.solve(local, gram)
+    error = fitter.mae(local, intercept, coefs)
+    best = adjusted_error(error, n, local.size + 1, penalty)
 
-    if eliminate:
-        improved = True
-        while improved and columns.size > 0:
-            improved = False
-            drop_choice = None
-            for position in range(columns.size):
-                trial = np.delete(columns, position)
-                t_intercept, t_coefs = fitter.solve(trial)
-                t_err = adjusted_error(
-                    fitter.mae(trial, t_intercept, t_coefs),
-                    n,
-                    trial.size + 1,
-                    penalty,
-                )
-                if t_err <= best:
-                    best = t_err
-                    drop_choice = (trial, t_intercept, t_coefs)
-            if drop_choice is not None:
-                columns, intercept, coefs = drop_choice
-                improved = True
+    train_mae = error
+    if eliminate and local.size > 0:
+        eliminated = _eliminate_with_downdates(
+            fitter, local, intercept, coefs, best, n, penalty, gram
+        )
+        if eliminated is None:
+            eliminated = _eliminate_greedy_slow(
+                fitter, local, intercept, coefs, best, n, penalty
+            )
+        if eliminated[0].size != local.size:
+            local, intercept, coefs = eliminated
+            train_mae = fitter.mae(local, intercept, coefs)
+        # else: nothing was dropped, so the initial fit (and its MAE)
+        # already describes the final model.
 
     full = np.zeros(len(feature_names))
-    full[columns] = coefs
+    full[columns[local]] = coefs
     return LinearModel(
         feature_names=feature_names,
         intercept=intercept,
         coef=full,
         n_samples=n,
-        train_mae=fitter.mae(columns, intercept, coefs),
+        train_mae=train_mae,
     )

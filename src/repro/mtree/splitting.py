@@ -11,6 +11,26 @@ side of the split and maximize the variance between the two sides".
 The search is exact: for every attribute the samples are sorted and
 prefix sums of ``y`` and ``y^2`` give every candidate split's SDR in
 O(n) after the O(n log n) sort.
+
+Two implementations share that algorithm:
+
+* :func:`best_split_for_feature` — the scalar reference, one attribute
+  at a time.  Kept as the readable specification and as the oracle the
+  equivalence tests compare against.
+* :func:`find_best_split` / :func:`best_split_presorted` — the fast
+  path: a single 2-D pass over all attributes at once.  The sort can be
+  amortized across an entire tree fit by passing presorted column
+  orders (one stable ``argsort`` per feature per *fit*, partitioned at
+  each split — see :meth:`repro.mtree.tree.ModelTree._build`).
+
+The fast path is *bit-identical* to the scalar loop, not merely close:
+it performs the same floating-point operations in the same order, row
+by row — per-attribute ``sd(y)`` over the attribute's sort order, the
+prefix pass for the left sides, and the reversed prefix pass for the
+right sides — so near-tie splits resolve the same way and fitted trees
+match the scalar implementation node for node.  Tie-breaking likewise:
+lowest cut index within an attribute, lowest attribute index across
+attributes.
 """
 
 from __future__ import annotations
@@ -20,7 +40,17 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["SplitResult", "best_split_for_feature", "find_best_split"]
+__all__ = [
+    "SplitResult",
+    "best_split_for_feature",
+    "best_split_presorted",
+    "find_best_split",
+]
+
+
+#: Shared ``0..d-1`` row selector for the per-attribute argmax gather;
+#: sliced per call so typical feature counts never re-allocate it.
+_ROW_INDEX = np.arange(64)
 
 
 @dataclass(frozen=True)
@@ -34,13 +64,33 @@ class SplitResult:
     n_right: int
 
 
-def _prefix_sd(y_sorted: np.ndarray) -> np.ndarray:
-    """Standard deviation of every prefix y[:k], k = 1..n (biased)."""
-    k = np.arange(1, y_sorted.size + 1, dtype=float)
-    s = np.cumsum(y_sorted)
-    s2 = np.cumsum(y_sorted**2)
-    var = np.maximum(s2 / k - (s / k) ** 2, 0.0)
-    return np.sqrt(var)
+def _prefix_sd(
+    y_sorted: np.ndarray,
+    y_squared: Optional[np.ndarray] = None,
+    k: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Standard deviation of every prefix y[..., :k], k = 1..n (biased).
+
+    Works on a single sorted vector or row-wise on a (d, n) stack; the
+    arithmetic per row is identical either way.  ``y_squared`` lets a
+    caller that runs both the forward and the reversed pass square the
+    targets once (squaring commutes with reversal bit for bit), and
+    ``k`` lets it share the prefix-length vector ``[1.0 .. n]``.
+    """
+    if y_squared is None:
+        y_squared = y_sorted**2
+    if k is None:
+        k = np.arange(1, y_sorted.shape[-1] + 1, dtype=float)
+    s = np.add.accumulate(y_sorted, axis=-1)
+    s2 = np.add.accumulate(y_squared, axis=-1)
+    # In-place from here on — same elementwise arithmetic as
+    # sqrt(maximum(s2/k - (s/k)**2, 0)) without the temporaries.
+    np.divide(s2, k, out=s2)
+    np.divide(s, k, out=s)
+    np.multiply(s, s, out=s)
+    np.subtract(s2, s, out=s2)
+    np.maximum(s2, 0.0, out=s2)
+    return np.sqrt(s2, out=s2)
 
 
 def best_split_for_feature(
@@ -91,6 +141,108 @@ def best_split_for_feature(
     )
 
 
+def best_split_presorted(
+    values_sorted: np.ndarray,
+    y_sorted: np.ndarray,
+    min_leaf: int,
+) -> Optional[SplitResult]:
+    """Best split over presorted attribute columns, vectorized.
+
+    Parameters
+    ----------
+    values_sorted:
+        Array (n_features, n_samples); row ``j`` holds attribute ``j``'s
+        values in ascending order.
+    y_sorted:
+        Same shape; row ``j`` holds the targets in attribute ``j``'s
+        sort order.  Both stacks must be C-contiguous: the pairwise
+        blocking of the row reductions (and therefore the low bits of
+        the per-attribute standard deviations) depends on the row
+        stride, and the bit-exactness guarantee is stated for
+        contiguous rows — the layout every caller in this package
+        produces.
+    min_leaf:
+        Minimum samples on each side of a split.
+
+    The caller supplies the sorted views so the O(n log n) sorts can be
+    hoisted out of the per-node hot path entirely.
+    """
+    d, n = values_sorted.shape
+    if n < 2 * min_leaf:
+        return None
+
+    # Per-attribute sd over that attribute's sort order — the same
+    # reduction the scalar loop performs row by row, so bit-equal even
+    # though all rows hold the same multiset.  ``np.add.reduce`` over
+    # the last axis applies the 1-D pairwise summation to each row
+    # independently (unlike ``np.std(..., axis=1)``, whose blocking can
+    # drift by an ulp — enough to flip near-tie splits); the remaining
+    # steps are elementwise, so the whole computation is the scalar
+    # loop's float64 arithmetic, batched.
+    sd_all = np.add.reduce(y_sorted, axis=-1)
+    np.divide(sd_all, n, out=sd_all)
+    centered = y_sorted - sd_all[:, None]
+    np.multiply(centered, centered, out=centered)
+    np.add.reduce(centered, axis=-1, out=sd_all)
+    np.divide(sd_all, n, out=sd_all)
+    np.sqrt(sd_all, out=sd_all)
+    if not sd_all.any():
+        return None
+
+    # ``centered`` is spent — reuse its buffer for the squares.
+    y_squared = np.multiply(y_sorted, y_sorted, out=centered)
+    prefix_lengths = np.arange(1, n + 1, dtype=float)
+    left_sd = _prefix_sd(y_sorted, y_squared, prefix_lengths)
+    right_sd = _prefix_sd(
+        y_sorted[:, ::-1], y_squared[:, ::-1], prefix_lengths
+    )[:, ::-1]
+
+    n_left = prefix_lengths[: n - 1]  # 1.0 .. n-1, same bits as before
+    n_right = n - n_left
+    right_factor = np.divide(n_right, n, out=n_right)
+    left_factor = np.divide(n_left, n, out=n_left)  # clobbers the
+    # prefix-lengths vector, which has no readers left at this point.
+    # sdr = sd_all - (n_left/n)*left_sd[:-1] - (n_right/n)*right_sd[1:],
+    # composed left-to-right like the scalar expression, reusing the
+    # prefix-sd buffers (their tails are never read again).
+    sdr = np.multiply(left_sd[:, :-1], left_factor, out=left_sd[:, :-1])
+    np.subtract(sd_all[:, None], sdr, out=sdr)
+    right_term = np.multiply(
+        right_sd[:, 1:], right_factor, out=right_sd[:, 1:]
+    )
+    np.subtract(sdr, right_term, out=sdr)
+
+    admissible = values_sorted[:, :-1] < values_sorted[:, 1:]
+    # The min_leaf constraint only depends on the cut position, so the
+    # forbidden margins are contiguous slices (same final mask as the
+    # elementwise n_left/n_right comparisons, without the full pass).
+    admissible[:, : min_leaf - 1] = False
+    admissible[:, n - min_leaf :] = False
+    if not sd_all.all():  # rare: a zero-sd attribute must not win
+        admissible &= (sd_all != 0.0)[:, None]
+    np.copyto(sdr, -np.inf, where=np.logical_not(admissible, out=admissible))
+
+    # First max per row, then first max across rows: exactly the
+    # scalar loop's tie-breaking (lowest cut index, lowest attribute).
+    best_pos = sdr.argmax(axis=1)
+    rows = _ROW_INDEX[:d] if d <= _ROW_INDEX.size else np.arange(d)
+    best_vals = sdr[rows, best_pos]
+    feature = int(best_vals.argmax())
+    if best_vals[feature] == -np.inf:
+        return None
+    pos = int(best_pos[feature])
+    threshold = 0.5 * (
+        values_sorted[feature, pos] + values_sorted[feature, pos + 1]
+    )
+    return SplitResult(
+        feature_index=feature,
+        threshold=float(threshold),
+        sdr=float(best_vals[feature]),
+        n_left=pos + 1,
+        n_right=n - pos - 1,
+    )
+
+
 def find_best_split(
     X: np.ndarray,
     y: np.ndarray,
@@ -103,17 +255,16 @@ def find_best_split(
         raise ValueError(f"inconsistent shapes X={X.shape}, y={y.shape}")
     if min_leaf < 1:
         raise ValueError(f"min_leaf must be >= 1, got {min_leaf}")
-    best: Optional[SplitResult] = None
-    for feature_index in range(X.shape[1]):
-        candidate = best_split_for_feature(X[:, feature_index], y, min_leaf)
-        if candidate is None:
-            continue
-        if best is None or candidate.sdr > best.sdr:
-            best = SplitResult(
-                feature_index=feature_index,
-                threshold=candidate.threshold,
-                sdr=candidate.sdr,
-                n_left=candidate.n_left,
-                n_right=candidate.n_right,
-            )
-    return best
+    if X.shape[0] < 2 * min_leaf:
+        return None
+    # The transposed argsort is F-ordered; gathering through it as-is
+    # would yield strided rows, and pairwise-summation blocking (hence
+    # the low bits of the per-row reductions) depends on the stride.
+    # A C-contiguous index keeps every gathered row contiguous, which
+    # is what the bit-exactness contract of ``best_split_presorted``
+    # requires.
+    order = np.ascontiguousarray(np.argsort(X, axis=0, kind="stable").T)
+    values_sorted = np.take_along_axis(
+        np.ascontiguousarray(X.T), order, axis=1
+    )
+    return best_split_presorted(values_sorted, y[order], min_leaf)

@@ -12,6 +12,7 @@ those models — the operation behind Tables II and IV.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -25,7 +26,7 @@ from repro.mtree.pruning import (
     should_prune,
 )
 from repro.mtree.smoothing import SMOOTHING_K, smoothed_combine
-from repro.mtree.splitting import find_best_split
+from repro.mtree.splitting import best_split_presorted
 
 __all__ = ["ModelTreeConfig", "LeafNode", "SplitNode", "ModelTree"]
 
@@ -114,6 +115,11 @@ class ModelTree:
         self.root: Optional[TreeNode] = None
         self.n_train: int = 0
         self._leaves: List[LeafNode] = []
+        self._leaf_by_name: Dict[str, LeafNode] = {}
+        # Fit-time working state (populated only inside ``fit``).
+        self._fit_y: Optional[np.ndarray] = None
+        self._fit_XT: Optional[np.ndarray] = None
+        self._left_mask: Optional[np.ndarray] = None
 
     # -- fitting ---------------------------------------------------------
 
@@ -135,7 +141,40 @@ class ModelTree:
         self.feature_names = feature_names
         self.n_train = X.shape[0]
         root_sd = float(np.std(y))
-        self.root, _ = self._build(X, y, depth=0, root_sd=root_sd)
+
+        # Fit-wide working state for the presorted split search: each
+        # feature is stable-sorted ONCE here; `_build` partitions the
+        # sorted index arrays at every split instead of re-sorting.
+        self._fit_y = y
+        self._fit_XT = np.ascontiguousarray(X.T)
+        self._left_mask = np.zeros(X.shape[0], dtype=bool)
+        # int32 indices halve the bandwidth of every per-node gather;
+        # the gathered float64 values are unaffected.  Sorting the
+        # transposed copy row-wise yields the identical stable
+        # permutation as column-sorting X (same sequences, same
+        # tie order) but runs on contiguous memory and needs no
+        # transpose copy afterwards.
+        presorted = np.argsort(
+            self._fit_XT, axis=-1, kind="stable"
+        ).astype(np.int32)
+        # The sorted value/target stacks are gathered once here; every
+        # split below partitions them with a boolean take (which keeps
+        # both order and bits), so no node re-gathers from X or y.
+        values_sorted = self._fit_XT[
+            np.arange(X.shape[1])[:, None], presorted
+        ]
+        try:
+            self.root, _ = self._build(
+                np.arange(X.shape[0], dtype=np.int32),
+                presorted,
+                values_sorted,
+                y[presorted],
+                depth=0,
+                root_sd=root_sd,
+            )
+        finally:
+            self._fit_y = self._fit_XT = None
+            self._left_mask = None
         self._finalize()
         return self
 
@@ -144,45 +183,107 @@ class ModelTree:
         return self.fit(data.X, data.y, data.feature_names)
 
     def _constant_leaf(self, y: np.ndarray) -> LeafNode:
+        # Inlined np.mean/np.std arithmetic (bit-identical: np.mean of a
+        # 1-D float64 array is np.add.reduce(a) / n).
+        mean_y = float(np.add.reduce(y) / y.size)
+        deviations = np.abs(y - mean_y)
         model = LinearModel(
             feature_names=self.feature_names,
-            intercept=float(np.mean(y)),
+            intercept=mean_y,
             coef=np.zeros(len(self.feature_names)),
             n_samples=y.size,
-            train_mae=float(np.mean(np.abs(y - np.mean(y)))),
+            train_mae=float(np.add.reduce(deviations) / y.size),
         )
-        return LeafNode(model=model, n_samples=y.size, mean_y=float(np.mean(y)))
+        return LeafNode(model=model, n_samples=y.size, mean_y=mean_y)
 
     def _build(
-        self, X: np.ndarray, y: np.ndarray, depth: int, root_sd: float
+        self,
+        rows: np.ndarray,
+        presorted: np.ndarray,
+        values_sorted: np.ndarray,
+        y_sorted: np.ndarray,
+        depth: int,
+        root_sd: float,
     ) -> Tuple[TreeNode, float]:
-        """Grow and (optionally) prune; returns (node, adjusted error)."""
+        """Grow and (optionally) prune; returns (node, adjusted error).
+
+        ``rows`` are the node's sample indices in original order;
+        ``presorted`` is (n_features, len(rows)) with row ``j`` holding
+        the same indices sorted by feature ``j``; ``values_sorted`` and
+        ``y_sorted`` carry the matching attribute values and targets.
+        Children inherit order-preserving partitions of all three, so
+        no recursive call ever re-sorts, re-gathers or re-validates
+        anything.
+        """
         cfg = self.config
-        n = y.size
-        stop = (
-            n < 2 * cfg.min_leaf
-            or depth >= cfg.max_depth
-            or float(np.std(y)) < cfg.sd_threshold * root_sd
-        )
-        split = None if stop else find_best_split(X, y, cfg.min_leaf)
+        n = rows.size
+        y = self._fit_y[rows]
+        split = None
+        if n >= 2 * cfg.min_leaf and depth < cfg.max_depth:
+            # The node's deviation only feeds the stopping rule, so it
+            # is skipped entirely when size or depth already stops the
+            # node.  Inlined np.std(y): identical float64 arithmetic
+            # without the per-call dispatch overhead.
+            centered = y - np.add.reduce(y) / n
+            np.multiply(centered, centered, out=centered)
+            sd = math.sqrt(np.add.reduce(centered) / n)
+            if sd >= cfg.sd_threshold * root_sd:
+                split = best_split_presorted(
+                    values_sorted, y_sorted, cfg.min_leaf
+                )
         if split is None:
             leaf = self._constant_leaf(y)
             return leaf, node_model_error(leaf.model, cfg.penalty)
 
-        mask = X[:, split.feature_index] <= split.threshold
-        left, left_error = self._build(X[mask], y[mask], depth + 1, root_sd)
-        right, right_error = self._build(X[~mask], y[~mask], depth + 1, root_sd)
+        mask = self._fit_XT[split.feature_index, rows] <= split.threshold
+        left_rows = rows[mask]
+        right_rows = rows[np.logical_not(mask, out=mask)]
+
+        # Partition each feature's sorted row in place-order: selecting
+        # the surviving positions keeps the sorted order (and the exact
+        # values), so children never pay the O(n log n) sorts or the
+        # gathers again.  The flat position lists are computed once and
+        # reused across all three stacks — a 2-D boolean take visits
+        # elements in the same C order, just slower.
+        self._left_mask[left_rows] = True
+        goes_left = self._left_mask[presorted]
+        self._left_mask[left_rows] = False
+        flat_left = np.flatnonzero(goes_left)
+        flat_right = np.flatnonzero(np.logical_not(goes_left, out=goes_left))
+        n_l, n_r = left_rows.size, right_rows.size
+
+        left, left_error = self._build(
+            left_rows,
+            presorted.take(flat_left).reshape(-1, n_l),
+            values_sorted.take(flat_left).reshape(-1, n_l),
+            y_sorted.take(flat_left).reshape(-1, n_l),
+            depth + 1,
+            root_sd,
+        )
+        right, right_error = self._build(
+            right_rows,
+            presorted.take(flat_right).reshape(-1, n_r),
+            values_sorted.take(flat_right).reshape(-1, n_r),
+            y_sorted.take(flat_right).reshape(-1, n_r),
+            depth + 1,
+            root_sd,
+        )
 
         candidates = sorted(
-            self._subtree_features(left)
-            | self._subtree_features(right)
-            | {self.feature_names[split.feature_index]}
+            self._subtree_feature_indices(left)
+            | self._subtree_feature_indices(right)
+            | {split.feature_index}
         )
+        # Gather only the candidate columns (rows of the transposed
+        # matrix) instead of all schema columns for these rows — the
+        # interior-node fit never looks at the rest.
+        candidate_cols = np.array(candidates, dtype=int)
         model = fit_linear_model(
-            X,
+            self._fit_XT[candidate_cols[:, None], rows].T,
             y,
             self.feature_names,
-            candidate_features=candidates,
+            candidate_columns=candidate_cols,
+            pregathered=True,
             eliminate=cfg.eliminate,
             penalty=cfg.penalty,
         )
@@ -190,8 +291,9 @@ class ModelTree:
         subtree_error = combine_subtree_errors(
             left_error, self._node_n(left), right_error, self._node_n(right)
         )
+        mean_y = float(np.add.reduce(y) / n)
         if cfg.prune and should_prune(model_error, subtree_error):
-            leaf = LeafNode(model=model, n_samples=n, mean_y=float(np.mean(y)))
+            leaf = LeafNode(model=model, n_samples=n, mean_y=mean_y)
             return leaf, model_error
         node = SplitNode(
             feature_index=split.feature_index,
@@ -201,7 +303,7 @@ class ModelTree:
             right=right,
             model=model,
             n_samples=n,
-            mean_y=float(np.mean(y)),
+            mean_y=mean_y,
         )
         return node, subtree_error
 
@@ -209,16 +311,19 @@ class ModelTree:
     def _node_n(node: TreeNode) -> int:
         return node.n_samples
 
-    def _subtree_features(self, node: TreeNode) -> set:
-        """Features used by splits or models anywhere in the subtree."""
-        if isinstance(node, LeafNode):
-            return set(node.model.active_features())
-        return (
-            {node.feature_name}
-            | set(node.model.active_features())
-            | self._subtree_features(node.left)
-            | self._subtree_features(node.right)
-        )
+    def _subtree_feature_indices(self, node: TreeNode) -> set:
+        """Feature columns used by splits or models in the subtree.
+
+        Index-space twin of "which features appear anywhere below":
+        a model's active features are exactly the non-zero coefficient
+        positions, so no name round-trips are needed while fitting.
+        """
+        used = set(np.flatnonzero(node.model.coef).tolist())
+        if isinstance(node, SplitNode):
+            used.add(node.feature_index)
+            used |= self._subtree_feature_indices(node.left)
+            used |= self._subtree_feature_indices(node.right)
+        return used
 
     def _finalize(self) -> None:
         """Name leaves LM1..LMk left-to-right and fill share fields."""
@@ -235,6 +340,7 @@ class ModelTree:
 
         assert self.root is not None
         visit(self.root)
+        self._leaf_by_name = {leaf.name: leaf for leaf in self._leaves}
 
     def _finalize_from_loaded(self) -> None:
         """Rebuild the leaf list of a deserialized tree (names kept)."""
@@ -248,6 +354,7 @@ class ModelTree:
                 visit(node.right)
 
         visit(self._require_fitted())
+        self._leaf_by_name = {leaf.name: leaf for leaf in self._leaves}
 
     # -- introspection ---------------------------------------------------
 
@@ -273,11 +380,14 @@ class ModelTree:
         return len(self.leaves())
 
     def leaf(self, name: str) -> LeafNode:
-        """Look up a leaf by its LM name."""
-        for candidate in self.leaves():
-            if candidate.name == name:
-                return candidate
-        raise KeyError(f"no leaf named {name!r}; have {self.leaf_names()}")
+        """Look up a leaf by its LM name (O(1) dict lookup)."""
+        self._require_fitted()
+        try:
+            return self._leaf_by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no leaf named {name!r}; have {self.leaf_names()}"
+            ) from None
 
     def depth(self) -> int:
         """Maximum depth (a lone leaf has depth 0)."""

@@ -9,13 +9,13 @@ behaviour distribution exactly.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.characterization.profile import SuiteProfile
-from repro.characterization.similarity import l1_difference
 from repro.subsetting.kmeans import KMeans
 from repro.subsetting.pca import PCA
 
@@ -47,6 +47,7 @@ class SubsetResult:
 def _mixture(
     profile: SuiteProfile, chosen: Sequence[str], weights: Dict[str, float]
 ) -> Dict[str, float]:
+    """Readable reference for the mixture the fast path vectorizes."""
     total = sum(weights[name] for name in chosen)
     mixture = {lm: 0.0 for lm in profile.lm_names}
     for name in chosen:
@@ -56,18 +57,68 @@ def _mixture(
     return mixture
 
 
+# Share matrix, benchmark row index and suite vector per profile,
+# keyed by object identity (SuiteProfile holds dict fields and is not
+# hashable).  The weakref guards against a recycled id() after the
+# profile is garbage collected; the subset searches that hammer
+# ``representativeness_error`` thousands of times all hold their
+# profile alive, so hits are the common case.
+_PROFILE_ARRAYS: Dict[int, Tuple[object, Dict[str, int], np.ndarray, np.ndarray]] = {}
+
+
+def _profile_arrays(
+    profile: SuiteProfile,
+) -> Tuple[Dict[str, int], np.ndarray, np.ndarray]:
+    entry = _PROFILE_ARRAYS.get(id(profile))
+    if entry is not None and entry[0]() is profile:
+        return entry[1], entry[2], entry[3]
+    index = {p.benchmark: i for i, p in enumerate(profile.benchmarks)}
+    matrix = np.array(
+        [
+            [p.share(lm) for lm in profile.lm_names]
+            for p in profile.benchmarks
+        ],
+        dtype=float,
+    )
+    suite = np.array(
+        [profile.suite_row.get(lm, 0.0) for lm in profile.lm_names],
+        dtype=float,
+    )
+    if len(_PROFILE_ARRAYS) > 64:
+        _PROFILE_ARRAYS.clear()
+    _PROFILE_ARRAYS[id(profile)] = (weakref.ref(profile), index, matrix, suite)
+    return index, matrix, suite
+
+
 def representativeness_error(
     profile: SuiteProfile,
     chosen: Sequence[str],
     weights: Dict[str, float],
 ) -> float:
-    """Eq. 4 distance of the subset's weighted mixture to the suite row."""
+    """Eq. 4 distance of the subset's weighted mixture to the suite row.
+
+    Computed on a cached per-profile share matrix: the mixture row
+    accumulates benchmark by benchmark in ``chosen`` order (the same
+    per-LM arithmetic as :func:`_mixture`), and the absolute deviations
+    are summed in ``lm_names`` order — deterministic, unlike the
+    set-iteration order a dict-based L1 would inherit from string
+    hashing.
+    """
     if not chosen:
         raise ValueError("subset must contain at least one benchmark")
     missing = [name for name in chosen if name not in weights]
     if missing:
         raise ValueError(f"no weights for {missing}")
-    return l1_difference(_mixture(profile, chosen, weights), profile.suite_row)
+    index, matrix, suite = _profile_arrays(profile)
+    total = sum(weights[name] for name in chosen)
+    mixture = np.zeros(matrix.shape[1])
+    for name in chosen:
+        row = index.get(name)
+        if row is None:
+            profile.benchmark(name)  # raises the canonical KeyError
+        mixture += (weights[name] / total) * matrix[row]
+    deviations = np.abs(np.subtract(mixture, suite, out=mixture))
+    return 0.5 * sum(deviations.tolist())
 
 
 def pca_cluster_subset(

@@ -89,12 +89,20 @@ class BenchmarkSpec:
         """
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
-        weights = self.phase_weights
+        # ``rng.choice(k, p=w)`` normalizes the cumulative weights and
+        # binary-searches them with one uniform draw on every call.
+        # Hoisting the cdf out of the dwell loop performs the identical
+        # arithmetic on the identical draw (same stream consumption,
+        # same index, verified against Generator.choice), without
+        # re-validating the weight vector per phase entry.
+        cdf = self.phase_weights.cumsum()
+        cdf /= cdf[-1]
+        geometric_p = 1.0 / self.persistence
         indices = np.empty(n, dtype=int)
         filled = 0
         while filled < n:
-            phase = int(rng.choice(len(self.phases), p=weights))
-            dwell = int(rng.geometric(1.0 / self.persistence))
+            phase = int(cdf.searchsorted(rng.random(), side="right"))
+            dwell = int(rng.geometric(geometric_p))
             dwell = min(dwell, n - filled)
             indices[filled : filled + dwell] = phase
             filled += dwell

@@ -82,6 +82,31 @@ class PhaseSpec:
             dtype=float,
         )
 
+    def _sampling_constants(
+        self, feature_names: Sequence[str]
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Cached (means, sigmas, fraction-feature mask) for one schema.
+
+        Sampling is called once per (phase, node) in every generated
+        benchmark; rebuilding these vectors from the dicts dominates
+        the per-call cost, so they are memoized on the instance.
+        """
+        key = tuple(feature_names)
+        cache = self.__dict__.get("_sampling_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_sampling_cache", cache)
+        if key not in cache:
+            sigmas = np.array(
+                [self.spreads.get(name, self.spread) for name in key],
+                dtype=float,
+            )
+            fraction = np.array(
+                [name in FRACTION_FEATURES for name in key], dtype=bool
+            )
+            cache[key] = (self.mean_vector(key), sigmas, fraction)
+        return cache[key]
+
     def sample(
         self,
         n: int,
@@ -97,14 +122,8 @@ class PhaseSpec:
         """
         if n < 0:
             raise ValueError(f"n must be non-negative, got {n}")
-        means = self.mean_vector(feature_names)
-        sigmas = np.array(
-            [self.spreads.get(name, self.spread) for name in feature_names],
-            dtype=float,
-        )
+        means, sigmas, fraction = self._sampling_constants(feature_names)
         noise = rng.standard_normal((n, len(feature_names)))
         draws = means * np.exp(sigmas * noise - 0.5 * sigmas**2)
-        for column, name in enumerate(feature_names):
-            if name in FRACTION_FEATURES:
-                np.minimum(draws[:, column], 1.0, out=draws[:, column])
+        draws[:, fraction] = np.minimum(draws[:, fraction], 1.0)
         return draws

@@ -90,21 +90,22 @@ class Suite:
         weights = np.array([b.weight for b in self.benchmarks], dtype=float)
         shares = weights / weights.sum() * total_samples
         counts = np.maximum(np.floor(shares).astype(int), 1)
-        # Distribute the remainder to the largest fractional parts.
         deficit = total_samples - int(counts.sum())
         if deficit > 0:
+            # Hand the remainder to the largest fractional parts, round
+            # robin: every benchmark gets deficit // k, and the first
+            # deficit % k of the fractional ranking get one more.
             order = np.argsort(-(shares - np.floor(shares)))
-            for i in range(deficit):
-                counts[order[i % len(counts)]] += 1
+            extra, remainder = divmod(deficit, len(counts))
+            counts += extra
+            counts[order[:remainder]] += 1
         elif deficit < 0:
+            # Claw back the excess from the smallest fractional parts,
+            # draining each down to its floor of 1 before moving on:
+            # clip the cumulative need against each one's capacity.
             order = np.argsort(shares - np.floor(shares))
-            taken = 0
-            for i in order:
-                while counts[i] > 1 and taken < -deficit:
-                    counts[i] -= 1
-                    taken += 1
-                if taken >= -deficit:
-                    break
+            clipped = np.minimum(np.cumsum(counts[order] - 1), -deficit)
+            counts[order] -= np.diff(clipped, prepend=0)
         return {b.name: int(c) for b, c in zip(self.benchmarks, counts)}
 
     def generate(
@@ -118,19 +119,23 @@ class Suite:
         collector = PmuCollector(config.collector)
         rng = np.random.default_rng(config.seed)
         allocation = self.sample_allocation(config.total_samples)
-        parts = []
+        # One batched allocation for the whole suite: each benchmark's
+        # draws land directly in its slice (no per-benchmark SampleSet
+        # plus concat copies).  The rng is threaded through benchmarks
+        # in suite order, so the sample stream is exactly the one a
+        # per-benchmark loop would produce.
+        total = config.total_samples
+        X = np.empty((total, len(PREDICTOR_NAMES)), dtype=float)
+        y = np.empty(total, dtype=float)
+        labels = np.empty(total, dtype=object)
+        start = 0
         for spec in self.benchmarks:
             n = allocation[spec.name]
+            rows = slice(start, start + n)
             true_densities = spec.sample_true_densities(n, rng)
             true_cpi = engine.true_cpi(true_densities, rng)
-            observed_densities = collector.observe_densities(true_densities, rng)
-            observed_cpi = collector.observe_cpi(true_cpi, rng)
-            parts.append(
-                SampleSet(
-                    PREDICTOR_NAMES,
-                    observed_densities,
-                    observed_cpi,
-                    [spec.name] * n,
-                )
-            )
-        return SampleSet.concat(parts)
+            X[rows] = collector.observe_densities(true_densities, rng)
+            y[rows] = collector.observe_cpi(true_cpi, rng)
+            labels[rows] = spec.name
+            start += n
+        return SampleSet(PREDICTOR_NAMES, X, y, labels)

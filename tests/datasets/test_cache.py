@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.datasets.cache import cached_generate, generation_digest
+from repro.datasets.cache import (
+    SampleSetCache,
+    cached_generate,
+    generation_digest,
+)
 from repro.workloads.spec_omp2001 import spec_omp2001
 from repro.workloads.suite import SuiteGenerationConfig
 
@@ -78,3 +82,53 @@ class TestCachedGenerate:
         entry.write_text("garbage")
         data = cached_generate(suite, small_config, tmp_path)
         assert len(data) == 1200
+
+
+class TestSampleSetCache:
+    def test_memory_tier_returns_same_object(self, small_config):
+        cache = SampleSetCache()
+        suite = spec_omp2001()
+        first = cache.get_or_generate(suite, small_config)
+        second = cache.get_or_generate(suite, small_config)
+        assert first is second
+        assert len(cache) == 1
+
+    def test_matches_direct_generation(self, small_config):
+        cached = SampleSetCache().get_or_generate(spec_omp2001(), small_config)
+        direct = spec_omp2001().generate(small_config)
+        np.testing.assert_array_equal(cached.X, direct.X)
+        np.testing.assert_array_equal(cached.y, direct.y)
+        assert list(cached.benchmarks) == list(direct.benchmarks)
+
+    def test_disk_roundtrip_identical(self, small_config, tmp_path):
+        suite = spec_omp2001()
+        generated = SampleSetCache(tmp_path).get_or_generate(
+            suite, small_config
+        )
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+        # A fresh cache (empty memory tier) must serve the disk entry
+        # bit-for-bit.
+        loaded = SampleSetCache(tmp_path).get_or_generate(suite, small_config)
+        np.testing.assert_array_equal(loaded.X, generated.X)
+        np.testing.assert_array_equal(loaded.y, generated.y)
+        assert loaded.feature_names == generated.feature_names
+        assert list(loaded.benchmarks) == list(generated.benchmarks)
+
+    def test_distinct_configs_distinct_entries(self, small_config, tmp_path):
+        cache = SampleSetCache(tmp_path)
+        cache.get_or_generate(spec_omp2001(), small_config)
+        cache.get_or_generate(
+            spec_omp2001(), SuiteGenerationConfig(total_samples=1200, seed=9)
+        )
+        assert len(cache) == 2
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_corrupt_disk_entry_regenerated(self, small_config, tmp_path):
+        suite = spec_omp2001()
+        SampleSetCache(tmp_path).get_or_generate(suite, small_config)
+        entry = next(tmp_path.glob("*.npz"))
+        entry.write_bytes(b"not an npz archive")
+        data = SampleSetCache(tmp_path).get_or_generate(suite, small_config)
+        assert len(data) == 1200
+        direct = suite.generate(small_config)
+        np.testing.assert_array_equal(data.X, direct.X)

@@ -1,0 +1,70 @@
+"""Parallel experiment runner: ordering, identity and timing."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import BatteryRun, ExperimentTiming, ParallelRunner
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return ExperimentConfig().scaled(0.1)
+
+
+# A cheap, heterogeneous slice of the battery: E1 touches only the
+# metric catalog, E4 the similarity matrix, E16 fits an extra tree.
+KEYS = ["E1", "E4", "E16"]
+
+
+class TestValidation:
+    def test_rejects_unknown_experiment(self, quick_config):
+        with pytest.raises(KeyError, match="E99"):
+            ParallelRunner(quick_config, jobs=1).run(["E1", "E99"])
+
+    def test_rejects_bad_jobs(self, quick_config):
+        with pytest.raises(ValueError):
+            ParallelRunner(quick_config, jobs=0)
+
+
+class TestSerialPath:
+    def test_results_in_request_order(self, quick_config):
+        battery = ParallelRunner(quick_config, jobs=1).run(KEYS)
+        assert [key for key, _ in battery.texts] == KEYS
+        assert [t.key for t in battery.timings] == KEYS
+        for key, text in battery.texts:
+            assert key in text  # every rendering carries its own id
+
+    def test_timings_populated(self, quick_config):
+        battery = ParallelRunner(quick_config, jobs=1).run(["E1"])
+        (timing,) = battery.timings
+        assert isinstance(timing, ExperimentTiming)
+        assert timing.wall_s >= 0
+        assert timing.max_rss_kb > 0
+        assert "E1" in battery.summary()
+        assert "wall time" in battery.summary()
+
+
+class TestParallelPath:
+    def test_matches_serial_byte_for_byte(self, quick_config):
+        serial = ParallelRunner(quick_config, jobs=1).run(KEYS)
+        parallel = ParallelRunner(quick_config, jobs=3).run(KEYS)
+        assert parallel.texts == serial.texts
+
+    def test_request_order_preserved(self, quick_config):
+        reversed_keys = list(reversed(KEYS))
+        battery = ParallelRunner(quick_config, jobs=3).run(reversed_keys)
+        assert [key for key, _ in battery.texts] == reversed_keys
+
+    def test_duplicate_requests_render_twice(self, quick_config):
+        battery = ParallelRunner(quick_config, jobs=2).run(["E1", "E1"])
+        assert len(battery.texts) == 2
+        assert battery.texts[0] == battery.texts[1]
+        assert len(battery.timings) == 1  # executed once
+
+    def test_shared_disk_cache(self, quick_config, tmp_path):
+        battery = ParallelRunner(
+            quick_config, jobs=2, cache_dir=str(tmp_path)
+        ).run(["E1", "E4"])
+        assert isinstance(battery, BatteryRun)
+        # The pre-warm writes both suite datasets for the workers.
+        assert len(list(tmp_path.glob("*.npz"))) == 2

@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mtree.splitting import best_split_for_feature, find_best_split
+from repro.mtree.splitting import (
+    SplitResult,
+    best_split_for_feature,
+    best_split_presorted,
+    find_best_split,
+)
 
 
 class TestSingleFeature:
@@ -78,3 +83,69 @@ class TestMultiFeature:
             assert result.sdr >= -1e-12
             assert result.n_left >= 5 and result.n_right >= 5
             assert result.n_left + result.n_right == 60
+
+
+def _scalar_reference(X, y, min_leaf):
+    """The pre-vectorization search: per-attribute loop, strict-> ties.
+
+    Kept in the tests as the oracle the 2-D fast path must reproduce
+    bit for bit — including its tie-breaking (first best cut within an
+    attribute, first best attribute across attributes).
+    """
+    best = None
+    for index in range(X.shape[1]):
+        candidate = best_split_for_feature(X[:, index], y, min_leaf)
+        if candidate is None:
+            continue
+        if best is None or candidate.sdr > best.sdr:
+            best = SplitResult(
+                feature_index=index,
+                threshold=candidate.threshold,
+                sdr=candidate.sdr,
+                n_left=candidate.n_left,
+                n_right=candidate.n_right,
+            )
+    return best
+
+
+class TestVectorizedEquivalence:
+    """find_best_split must agree *exactly* with the scalar oracle."""
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_matches_scalar_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 120))
+        d = int(rng.integers(1, 6))
+        X = rng.random((n, d))
+        if seed % 2:
+            X = np.round(X, 1)  # heavy within-attribute value ties
+        if seed % 3 == 0 and d >= 2:
+            X[:, -1] = X[:, 0]  # duplicate attribute: exact SDR tie
+        if seed % 5 == 0:
+            X[:, 0] = 0.25  # constant attribute
+        y = np.round(rng.random(n), 2 if seed % 2 else 8)
+        if seed % 7 == 0:
+            y[:] = 1.0  # constant target
+        min_leaf = int(rng.integers(1, 6))
+        assert find_best_split(X, y, min_leaf) == _scalar_reference(
+            X, y, min_leaf
+        )
+
+    def test_cross_feature_tie_prefers_lower_index(self):
+        rng = np.random.default_rng(7)
+        column = rng.random(50)
+        X = np.column_stack([column, column])
+        result = find_best_split(X, rng.random(50), min_leaf=5)
+        assert result is not None
+        assert result.feature_index == 0
+
+    def test_presorted_entry_point_matches(self):
+        rng = np.random.default_rng(3)
+        X = np.round(rng.random((80, 4)), 1)
+        y = rng.random(80)
+        order = np.ascontiguousarray(np.argsort(X, axis=0, kind="stable").T)
+        values_sorted = np.take_along_axis(
+            np.ascontiguousarray(X.T), order, axis=1
+        )
+        presorted = best_split_presorted(values_sorted, y[order], 5)
+        assert presorted == find_best_split(X, y, min_leaf=5)

@@ -94,7 +94,7 @@ class TestSubcommands:
         assert main(["E2", "--scale", "0.1",
                      "--cache-dir", str(tmp_path)]) == 0
         first = capsys.readouterr().out
-        assert list(tmp_path.glob("*.csv"))
+        assert list(tmp_path.glob("*.npz"))
         # ...and a second run served from the cache is bit-identical.
         assert main(["E2", "--scale", "0.1",
                      "--cache-dir", str(tmp_path)]) == 0

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.pmu.events import PREDICTOR_NAMES
 from repro.workloads.benchmark import BenchmarkSpec
@@ -65,6 +67,32 @@ class TestAllocation:
     def test_too_few_samples(self):
         with pytest.raises(ValueError):
             spec_cpu2006().sample_allocation(5)
+
+    @given(st.integers(29, 60_000))
+    @settings(max_examples=80, deadline=None)
+    def test_allocation_invariants_cpu2006(self, total):
+        allocation = spec_cpu2006().sample_allocation(total)
+        assert sum(allocation.values()) == total
+        assert all(count >= 1 for count in allocation.values())
+
+    @given(
+        st.lists(st.floats(0.01, 100.0), min_size=1, max_size=40),
+        st.integers(0, 500),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_allocation_invariants_arbitrary_weights(self, weights, slack):
+        """For any weight vector: exact sum, every benchmark >= 1."""
+        suite = Suite(
+            "synthetic",
+            [
+                BenchmarkSpec(f"b{i}", phases=(PhaseSpec("p"),), weight=w)
+                for i, w in enumerate(weights)
+            ],
+        )
+        total = len(weights) + slack
+        allocation = suite.sample_allocation(total)
+        assert sum(allocation.values()) == total
+        assert all(count >= 1 for count in allocation.values())
 
 
 class TestGeneration:
