@@ -7,6 +7,13 @@ pytest-benchmark harness and writes a machine-readable snapshot to
 Each timing is the best of ``--rounds`` runs (default 3) — the usual
 way to suppress scheduler noise in min-of-k microbenchmarks.
 
+Timings flow through the :mod:`repro.obs.metrics` registry (one
+``microperf.<op>_s`` histogram per operation), so the snapshot carries
+both the derived best/mean figures and the raw registry records — the
+same ``{"name", "kind", ...}`` shape a ``--trace`` JSONL file holds —
+plus the library's own counters (SDR evaluations, cache traffic)
+accumulated while the operations ran.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_microperf.py
@@ -24,12 +31,19 @@ from pathlib import Path
 from typing import Callable, Dict, List
 
 
-def _time_best(fn: Callable[[], object], rounds: int) -> Dict[str, object]:
+def _time_rounds(
+    name: str, fn: Callable[[], object], rounds: int
+) -> Dict[str, object]:
+    from repro.obs.metrics import histogram
+
+    track = histogram(f"microperf.{name}_s")
     times: List[float] = []
     for _ in range(rounds):
         start = time.perf_counter()
         fn()
-        times.append(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        track.observe(elapsed)
+        times.append(elapsed)
     return {
         "best_s": min(times),
         "mean_s": sum(times) / len(times),
@@ -62,7 +76,7 @@ def run(rounds: int) -> Dict[str, Dict[str, object]]:
     }
     results = {}
     for name, fn in operations.items():
-        results[name] = _time_best(fn, rounds)
+        results[name] = _time_rounds(name, fn, rounds)
         print(f"{name:20s} best {results[name]['best_s'] * 1e3:9.2f} ms")
     return results
 
@@ -79,11 +93,16 @@ def main(argv=None) -> int:
     if args.rounds < 1:
         parser.error("--rounds must be at least 1")
 
+    results = run(args.rounds)
+
+    from repro.obs.metrics import get_registry
+
     snapshot = {
         "schema": "repro-microperf-v1",
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "results": run(args.rounds),
+        "results": results,
+        "metrics": get_registry().as_records(),
     }
     path = Path(args.output)
     path.write_text(json.dumps(snapshot, indent=2) + "\n")

@@ -6,6 +6,8 @@ Examples::
     repro all                # run the full battery
     repro E7 --scale 0.25    # quarter-size quick run
     repro list               # show the experiment index
+    repro E7 --trace trace.jsonl   # run with hierarchical tracing
+    repro trace-summary trace.jsonl  # render an exported trace
 """
 
 from __future__ import annotations
@@ -58,7 +60,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment ids (E1..E20), 'all', 'list', 'report', "
             "'catalog <suite>', 'describe <benchmark>', 'rules <suite>', "
-            "'dot <suite>', or 'export <suite> <path>'"
+            "'dot <suite>', 'export <suite> <path>', or "
+            "'trace-summary <trace.jsonl>'"
         ),
     )
     parser.add_argument(
@@ -90,6 +93,21 @@ def _build_parser() -> argparse.ArgumentParser:
             "byte-identical to the serial run, per-experiment timings "
             "go to stderr"
         ),
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable hierarchical tracing and write spans, metrics and "
+            "the run manifest to PATH as JSONL (stdout is unchanged; "
+            "inspect with 'repro trace-summary PATH')"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the process metrics registry to stderr after the run",
     )
     return parser
 
@@ -179,6 +197,18 @@ def _run_subcommand(args) -> Optional[int]:
             print("usage: repro describe <benchmark>", file=sys.stderr)
             return 2
         return _describe_benchmark(words[1], args)
+    if command == "trace-summary":
+        if len(words) != 2:
+            print("usage: repro trace-summary <trace.jsonl>", file=sys.stderr)
+            return 2
+        from repro.obs.summary import render_trace_summary
+
+        try:
+            print(render_trace_summary(words[1]))
+        except (OSError, ValueError) as error:
+            print(f"trace-summary: {error}", file=sys.stderr)
+            return 2
+        return 0
     if command == "export":
         if len(words) != 3:
             print("usage: repro export <suite> <path.csv|path.arff>",
@@ -265,7 +295,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{key:5s} {_TITLES[key]}")
         return 0
 
-    if "ALL" in requested:
+    ran_all = "ALL" in requested
+    if ran_all:
         requested = sorted(EXPERIMENTS, key=lambda k: int(k[1:]))
 
     want_report = "REPORT" in requested
@@ -292,30 +323,76 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
         return 2
 
+    tracer = None
+    if args.trace is not None:
+        from repro.obs.trace import Tracer, set_tracer
+
+        tracer = Tracer()
+        set_tracer(tracer)
+
     ctx: Optional[ExperimentContext] = None
-    if args.jobs is not None and requested:
-        from repro.experiments.runner import ParallelRunner
+    try:
+        if args.jobs is not None and requested:
+            from repro.experiments.runner import ParallelRunner
 
-        runner = ParallelRunner(
-            config, jobs=args.jobs, cache_dir=args.cache_dir
-        )
-        battery = runner.run(requested)
-        for _, text in battery.texts:
-            print(text)
-            print()
-        print(battery.summary(), file=sys.stderr)
-    else:
-        ctx = ExperimentContext(config, cache_dir=args.cache_dir)
-        for key in requested:
-            print(run_experiment(key, ctx))
-            print()
-    if want_report:
-        from repro.experiments.report_gen import generate_report
-
-        if ctx is None:
+            runner = ParallelRunner(
+                config, jobs=args.jobs, cache_dir=args.cache_dir
+            )
+            battery = runner.run(requested)
+            for _, text in battery.texts:
+                print(text)
+                print()
+            print(battery.summary(), file=sys.stderr)
+        else:
             ctx = ExperimentContext(config, cache_dir=args.cache_dir)
-        generate_report(ctx, path=args.output)
-        print(f"report written to {args.output}")
+            for key in requested:
+                print(run_experiment(key, ctx))
+                print()
+            if ran_all and requested:
+                from repro.datasets.cache import format_cache_stats
+
+                print("dataset cache:", file=sys.stderr)
+                print(format_cache_stats(ctx.cache.stats), file=sys.stderr)
+        if want_report:
+            from repro.experiments.report_gen import generate_report
+
+            if ctx is None:
+                ctx = ExperimentContext(config, cache_dir=args.cache_dir)
+            generate_report(ctx, path=args.output)
+            print(f"report written to {args.output}")
+    finally:
+        if tracer is not None:
+            from repro.obs.trace import set_tracer
+
+            set_tracer(None)
+
+    if tracer is not None:
+        from repro.obs.manifest import build_manifest
+        from repro.obs.metrics import get_registry
+
+        manifest = build_manifest(
+            config,
+            experiments=requested,
+            argv=["repro", *(argv if argv is not None else sys.argv[1:])],
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            extra={"scale": args.scale, "trace_path": args.trace},
+        )
+        tracer.write_jsonl(
+            args.trace,
+            manifest=manifest,
+            metrics=get_registry().as_records(),
+        )
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.metrics:
+        from repro.obs.metrics import get_registry
+        from repro.obs.summary import format_metrics_table
+
+        print("metrics:", file=sys.stderr)
+        print(
+            format_metrics_table(get_registry().as_records()),
+            file=sys.stderr,
+        )
     return 0
 
 

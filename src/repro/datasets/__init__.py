@@ -2,8 +2,10 @@
 
 from repro.datasets.arff import load_arff, save_arff
 from repro.datasets.cache import (
+    CacheStats,
     SampleSetCache,
     cached_generate,
+    format_cache_stats,
     generation_digest,
 )
 from repro.datasets.dataset import SampleSet
@@ -11,9 +13,11 @@ from repro.datasets.io import load_csv, save_csv
 from repro.datasets.splits import train_test_split, stratified_split
 
 __all__ = [
+    "CacheStats",
     "SampleSet",
     "SampleSetCache",
     "cached_generate",
+    "format_cache_stats",
     "generation_digest",
     "load_arff",
     "load_csv",

@@ -17,6 +17,7 @@ from repro.datasets.dataset import SampleSet
 from repro.datasets.splits import train_test_split
 from repro.experiments.config import ExperimentConfig
 from repro.mtree.tree import ModelTree
+from repro.obs.trace import span as obs_span
 from repro.uarch.core2 import build_core2_cost_model
 from repro.uarch.execution import ExecutionEngine
 from repro.workloads.spec_cpu2006 import spec_cpu2006
@@ -69,7 +70,13 @@ class ExperimentContext:
         battery — serial or parallel — generates each distinct dataset
         at most once per cache.
         """
-        return self.cache.get_or_generate(suite, generation, engine)
+        with obs_span(
+            "context.generate",
+            suite=suite.name,
+            samples=generation.total_samples,
+            seed=generation.seed,
+        ):
+            return self.cache.get_or_generate(suite, generation, engine)
 
     def data(self, which: str) -> SampleSet:
         """The full generated sample set for one suite."""
@@ -93,11 +100,12 @@ class ExperimentContext:
         if which not in self._splits:
             cfg = self.config
             rng = np.random.default_rng(cfg.seed + 100)
-            self._splits[which] = train_test_split(
-                self.data(which),
-                (cfg.train_fraction, cfg.test_fraction),
-                rng,
-            )
+            with obs_span("context.split", suite=which):
+                self._splits[which] = train_test_split(
+                    self.data(which),
+                    (cfg.train_fraction, cfg.test_fraction),
+                    rng,
+                )
         return self._splits[which]
 
     def train_set(self, which: str) -> SampleSet:
@@ -113,8 +121,9 @@ class ExperimentContext:
     def tree(self, which: str) -> ModelTree:
         """The suite's M5' model, trained on its 10% split."""
         if which not in self._trees:
-            tree = ModelTree(self.config.tree)
-            tree.fit_sample_set(self.train_set(which))
+            with obs_span("context.tree", suite=which):
+                tree = ModelTree(self.config.tree)
+                tree.fit_sample_set(self.train_set(which))
             self._trees[which] = tree
         return self._trees[which]
 

@@ -25,8 +25,12 @@ from repro.experiments import (
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
 from repro.experiments.result import ExperimentResult
+from repro.obs.metrics import counter
+from repro.obs.trace import span as obs_span
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
+
+_EXPERIMENTS_RUN = counter("experiments.completed")
 
 EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "E1": table1.run,
@@ -65,4 +69,8 @@ def run_experiment(
         )
     if ctx is None:
         ctx = ExperimentContext(config)
-    return EXPERIMENTS[key](ctx)
+    with obs_span(f"experiment.{key}", experiment=key) as sp:
+        result = EXPERIMENTS[key](ctx)
+        sp.note(title=result.title)
+    _EXPERIMENTS_RUN.inc()
+    return result

@@ -14,8 +14,18 @@ exploits that independence:
 * results are collected as workers finish but emitted in *request*
   order, so ``repro all --jobs N`` prints stdout byte-identical to the
   serial run for the same seeds;
-* per-experiment wall-clock and peak-RSS figures are recorded for the
-  run summary (the CLI prints it to stderr, keeping stdout clean).
+* per-experiment wall-clock and RSS figures are measured *inside* the
+  process that ran the experiment — each worker reads its own
+  ``ru_maxrss`` immediately before and after the run and ships both
+  back, so the reported per-experiment RSS growth is never polluted by
+  whatever a previous experiment on the same (or another) worker
+  peaked at, as parent-side ``RUSAGE_CHILDREN`` readings would be;
+* when tracing is enabled (:mod:`repro.obs`), every worker records its
+  experiment's span tree and ships it back serialized; the parent
+  adopts them under the battery root span, so a parallel battery still
+  exports one hierarchical trace.  Worker-side metric increments and
+  cache statistics travel the same way and are folded into the
+  parent's registry and the battery's cache totals.
 """
 
 from __future__ import annotations
@@ -27,23 +37,42 @@ import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import ExitStack
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.datasets.cache import CacheStats, format_cache_stats
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
-from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs.metrics import counter_delta, get_registry, histogram
+from repro.obs.trace import (
+    Tracer,
+    current_tracer,
+    set_tracer,
+    span as obs_span,
+    tracing_enabled,
+    use_tracer,
+)
 
 __all__ = ["ExperimentTiming", "BatteryRun", "ParallelRunner"]
+
+_EXPERIMENT_WALL = histogram("runner.experiment_wall_s")
 
 
 @dataclass(frozen=True)
 class ExperimentTiming:
-    """Wall-clock and peak-RSS accounting for one experiment."""
+    """Wall-clock and RSS accounting for one experiment.
+
+    ``max_rss_kb`` is the executing process's high-water RSS right
+    after the experiment finished; ``rss_delta_kb`` is how much that
+    high-water mark *grew* while the experiment ran — the experiment's
+    own contribution, measured in the worker itself.
+    """
 
     key: str
     wall_s: float
     max_rss_kb: int
+    rss_delta_kb: int = 0
 
 
 @dataclass(frozen=True)
@@ -53,13 +82,15 @@ class BatteryRun:
     ``texts`` holds ``(experiment id, rendered result)`` pairs in the
     order the experiments were *requested* — not the order workers
     happened to finish — which is what makes parallel output
-    reproducible.
+    reproducible.  ``cache_stats`` sums the battery's dataset-cache
+    traffic over the parent and every worker.
     """
 
     texts: Tuple[Tuple[str, str], ...]
     timings: Tuple[ExperimentTiming, ...]
     wall_s: float
     jobs: int
+    cache_stats: CacheStats = field(default_factory=CacheStats)
 
     def summary(self) -> str:
         """Human-readable per-experiment timing table."""
@@ -68,6 +99,7 @@ class BatteryRun:
             lines.append(
                 f"  {timing.key:5s} {timing.wall_s:7.2f}s"
                 f"  peak RSS {timing.max_rss_kb / 1024:7.1f} MB"
+                f"  (+{timing.rss_delta_kb / 1024:.1f} MB)"
             )
         busy = sum(timing.wall_s for timing in self.timings)
         lines.append(f"  battery wall time {self.wall_s:.2f}s")
@@ -76,6 +108,7 @@ class BatteryRun:
                 f"  aggregate experiment time {busy:.2f}s "
                 f"({busy / self.wall_s:.1f}x concurrency)"
             )
+        lines.append(format_cache_stats(self.cache_stats))
         return "\n".join(lines)
 
 
@@ -84,6 +117,7 @@ class BatteryRun:
 # children inherit it copy-on-write; under ``spawn`` it stays None and
 # the initializer builds a fresh context fed by the shared disk cache.
 _WORKER_CTX: Optional[ExperimentContext] = None
+_WORKER_TRACE = False
 
 
 def _available_cpus() -> int:
@@ -94,19 +128,66 @@ def _available_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def _worker_init(config: ExperimentConfig, cache_dir: Optional[str]) -> None:
-    global _WORKER_CTX
+def _maxrss_kb() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _worker_init(
+    config: ExperimentConfig,
+    cache_dir: Optional[str],
+    trace: bool,
+) -> None:
+    global _WORKER_CTX, _WORKER_TRACE
+    # A forked child inherits the parent's installed tracer object;
+    # spans recorded into that copy would be lost, so clear it — when
+    # tracing, each _run_one call scopes its own tracer and ships the
+    # spans back explicitly.
+    set_tracer(None)
+    _WORKER_TRACE = trace
     if _WORKER_CTX is None:
         _WORKER_CTX = ExperimentContext(config, cache_dir=cache_dir)
 
 
-def _run_one(key: str) -> Tuple[str, str, float, int]:
+@dataclass(frozen=True)
+class _WorkerResult:
+    """Everything one worker measured while running one experiment."""
+
+    key: str
+    text: str
+    wall_s: float
+    max_rss_kb: int
+    rss_delta_kb: int
+    worker_pid: int
+    span_records: Tuple[Dict[str, Any], ...] = ()
+    metric_delta: Tuple[Tuple[str, int], ...] = ()
+    cache_delta: CacheStats = field(default_factory=CacheStats)
+
+
+def _run_one(key: str) -> _WorkerResult:
     assert _WORKER_CTX is not None, "worker context missing"
+    registry = get_registry()
+    counters_before = registry.counter_values()
+    cache_before = _WORKER_CTX.cache.stats
+    tracer = Tracer() if _WORKER_TRACE else None
+    rss_before = _maxrss_kb()
     start = time.perf_counter()
-    result = EXPERIMENTS[key](_WORKER_CTX)
+    with use_tracer(tracer):
+        result = run_experiment(key, _WORKER_CTX)
     wall = time.perf_counter() - start
-    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    return key, str(result), wall, rss_kb
+    rss_after = _maxrss_kb()
+    return _WorkerResult(
+        key=key,
+        text=str(result),
+        wall_s=wall,
+        max_rss_kb=rss_after,
+        rss_delta_kb=max(0, rss_after - rss_before),
+        worker_pid=os.getpid(),
+        span_records=tuple(tracer.span_records()) if tracer else (),
+        metric_delta=tuple(
+            counter_delta(registry.counter_values(), counters_before).items()
+        ),
+        cache_delta=_WORKER_CTX.cache.stats - cache_before,
+    )
 
 
 class ParallelRunner:
@@ -139,39 +220,58 @@ class ParallelRunner:
             )
         start = time.perf_counter()
         unique = list(dict.fromkeys(keys))
-        if self.jobs == 1 or len(unique) == 1:
-            texts, timings = self._run_serial(unique)
-        else:
-            texts, timings = self._run_parallel(unique)
+        with obs_span(
+            "battery", jobs=self.jobs, experiments=list(unique)
+        ):
+            if self.jobs == 1 or len(unique) == 1:
+                texts, timings, cache_stats = self._run_serial(unique)
+            else:
+                texts, timings, cache_stats = self._run_parallel(unique)
         wall = time.perf_counter() - start
         return BatteryRun(
             texts=tuple((key, texts[key]) for key in keys),
             timings=tuple(timings[key] for key in unique),
             wall_s=wall,
             jobs=self.jobs,
+            cache_stats=cache_stats,
         )
+
+    def _run_in_process(
+        self,
+        ctx: ExperimentContext,
+        unique: List[str],
+        texts: Dict[str, str],
+        timings: Dict[str, ExperimentTiming],
+    ) -> None:
+        """Run experiments in this process, recording worker-style timings."""
+        for key in unique:
+            rss_before = _maxrss_kb()
+            t0 = time.perf_counter()
+            result = run_experiment(key, ctx)
+            wall = time.perf_counter() - t0
+            rss_after = _maxrss_kb()
+            _EXPERIMENT_WALL.observe(wall)
+            texts[key] = str(result)
+            timings[key] = ExperimentTiming(
+                key, wall, rss_after, max(0, rss_after - rss_before)
+            )
 
     def _run_serial(
         self, unique: List[str]
-    ) -> Tuple[Dict[str, str], Dict[str, ExperimentTiming]]:
+    ) -> Tuple[Dict[str, str], Dict[str, ExperimentTiming], CacheStats]:
         ctx = ExperimentContext(self.config, cache_dir=self.cache_dir)
         texts: Dict[str, str] = {}
         timings: Dict[str, ExperimentTiming] = {}
-        for key in unique:
-            t0 = time.perf_counter()
-            result = EXPERIMENTS[key](ctx)
-            wall = time.perf_counter() - t0
-            rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-            texts[key] = str(result)
-            timings[key] = ExperimentTiming(key, wall, rss_kb)
-        return texts, timings
+        self._run_in_process(ctx, unique, texts, timings)
+        return texts, timings, ctx.cache.stats
 
     def _run_parallel(
         self, unique: List[str]
-    ) -> Tuple[Dict[str, str], Dict[str, ExperimentTiming]]:
+    ) -> Tuple[Dict[str, str], Dict[str, ExperimentTiming], CacheStats]:
         global _WORKER_CTX
         texts: Dict[str, str] = {}
         timings: Dict[str, ExperimentTiming] = {}
+        registry = get_registry()
         use_fork = "fork" in mp.get_all_start_methods()
         with ExitStack() as stack:
             cache_dir = self.cache_dir
@@ -184,10 +284,12 @@ class ParallelRunner:
             # workers never race to regenerate them), and under fork the
             # fitted trees ride along copy-on-write for free.
             parent_ctx = ExperimentContext(self.config, cache_dir=cache_dir)
-            for which in (parent_ctx.CPU, parent_ctx.OMP):
-                parent_ctx.data(which)
-                if use_fork:
-                    parent_ctx.tree(which)
+            with obs_span("battery.prewarm"):
+                for which in (parent_ctx.CPU, parent_ctx.OMP):
+                    parent_ctx.data(which)
+                    if use_fork:
+                        parent_ctx.tree(which)
+            cache_stats = parent_ctx.cache.stats
             # Never start more workers than CPUs we can run on: on a
             # single-CPU machine a pool of N only adds fork and IPC
             # overhead on top of fully serialized compute.  The clamped
@@ -196,16 +298,8 @@ class ParallelRunner:
             # runs the experiments in-process.
             workers = min(self.jobs, len(unique), _available_cpus())
             if workers == 1:
-                for key in unique:
-                    t0 = time.perf_counter()
-                    result = EXPERIMENTS[key](parent_ctx)
-                    wall = time.perf_counter() - t0
-                    rss_kb = resource.getrusage(
-                        resource.RUSAGE_SELF
-                    ).ru_maxrss
-                    texts[key] = str(result)
-                    timings[key] = ExperimentTiming(key, wall, rss_kb)
-                return texts, timings
+                self._run_in_process(parent_ctx, unique, texts, timings)
+                return texts, timings, parent_ctx.cache.stats
             previous = _WORKER_CTX
             if use_fork:
                 _WORKER_CTX = parent_ctx
@@ -215,16 +309,31 @@ class ParallelRunner:
                         max_workers=workers,
                         mp_context=mp.get_context("fork") if use_fork else None,
                         initializer=_worker_init,
-                        initargs=(self.config, cache_dir),
+                        initargs=(self.config, cache_dir, tracing_enabled()),
                     )
                 )
                 futures = {
                     executor.submit(_run_one, key): key for key in unique
                 }
                 for future in as_completed(futures):
-                    key, text, wall, rss_kb = future.result()
-                    texts[key] = text
-                    timings[key] = ExperimentTiming(key, wall, rss_kb)
+                    outcome: _WorkerResult = future.result()
+                    texts[outcome.key] = outcome.text
+                    timings[outcome.key] = ExperimentTiming(
+                        outcome.key,
+                        outcome.wall_s,
+                        outcome.max_rss_kb,
+                        outcome.rss_delta_kb,
+                    )
+                    _EXPERIMENT_WALL.observe(outcome.wall_s)
+                    registry.merge_counter_delta(dict(outcome.metric_delta))
+                    cache_stats = cache_stats + outcome.cache_delta
+                    if outcome.span_records:
+                        tracer = current_tracer()
+                        if tracer is not None:
+                            tracer.adopt(
+                                list(outcome.span_records),
+                                worker_pid=outcome.worker_pid,
+                            )
             finally:
                 _WORKER_CTX = previous
-        return texts, timings
+        return texts, timings, cache_stats

@@ -40,6 +40,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.metrics import counter
+
 __all__ = [
     "SplitResult",
     "best_split_for_feature",
@@ -51,6 +53,13 @@ __all__ = [
 #: Shared ``0..d-1`` row selector for the per-attribute argmax gather;
 #: sliced per call so typical feature counts never re-allocate it.
 _ROW_INDEX = np.arange(64)
+
+#: Candidate (attribute, threshold) SDR evaluations performed; each
+#: exact search scores every cut point of every attribute, so one call
+#: adds d * (n - 1).  The counter object is cached at import, making
+#: the per-search cost a single integer add.
+_SDR_EVALUATIONS = counter("mtree.sdr_evaluations")
+_SPLIT_SEARCHES = counter("mtree.split_searches")
 
 
 @dataclass(frozen=True)
@@ -105,6 +114,8 @@ def best_split_for_feature(
     n = values.size
     if n < 2 * min_leaf:
         return None
+    _SPLIT_SEARCHES.inc()
+    _SDR_EVALUATIONS.inc(n - 1)
     order = np.argsort(values, kind="stable")
     v = values[order]
     ys = y[order]
@@ -170,6 +181,8 @@ def best_split_presorted(
     d, n = values_sorted.shape
     if n < 2 * min_leaf:
         return None
+    _SPLIT_SEARCHES.inc()
+    _SDR_EVALUATIONS.inc(d * (n - 1))
 
     # Per-attribute sd over that attribute's sort order — the same
     # reduction the scalar loop performs row by row, so bit-equal even

@@ -27,6 +27,8 @@ from repro.mtree.pruning import (
 )
 from repro.mtree.smoothing import SMOOTHING_K, smoothed_combine
 from repro.mtree.splitting import best_split_presorted
+from repro.obs.metrics import counter
+from repro.obs.trace import span as obs_span
 
 __all__ = ["ModelTreeConfig", "LeafNode", "SplitNode", "ModelTree"]
 
@@ -97,6 +99,11 @@ class SplitNode:
 
 TreeNode = Union[LeafNode, SplitNode]
 
+#: Trees fitted process-wide; cached instruments keep the per-fit
+#: bookkeeping to two integer adds.
+_TREES_FITTED = counter("mtree.fits")
+_NODES_BUILT = counter("mtree.nodes_built")
+
 
 class ModelTree:
     """An M5' regression model tree.
@@ -140,42 +147,51 @@ class ModelTree:
             raise ValueError("need at least 2 samples to fit a model tree")
         self.feature_names = feature_names
         self.n_train = X.shape[0]
-        root_sd = float(np.std(y))
+        _TREES_FITTED.inc()
+        with obs_span(
+            "mtree.fit",
+            n_samples=X.shape[0],
+            n_features=len(feature_names),
+        ) as fit_span:
+            root_sd = float(np.std(y))
 
-        # Fit-wide working state for the presorted split search: each
-        # feature is stable-sorted ONCE here; `_build` partitions the
-        # sorted index arrays at every split instead of re-sorting.
-        self._fit_y = y
-        self._fit_XT = np.ascontiguousarray(X.T)
-        self._left_mask = np.zeros(X.shape[0], dtype=bool)
-        # int32 indices halve the bandwidth of every per-node gather;
-        # the gathered float64 values are unaffected.  Sorting the
-        # transposed copy row-wise yields the identical stable
-        # permutation as column-sorting X (same sequences, same
-        # tie order) but runs on contiguous memory and needs no
-        # transpose copy afterwards.
-        presorted = np.argsort(
-            self._fit_XT, axis=-1, kind="stable"
-        ).astype(np.int32)
-        # The sorted value/target stacks are gathered once here; every
-        # split below partitions them with a boolean take (which keeps
-        # both order and bits), so no node re-gathers from X or y.
-        values_sorted = self._fit_XT[
-            np.arange(X.shape[1])[:, None], presorted
-        ]
-        try:
-            self.root, _ = self._build(
-                np.arange(X.shape[0], dtype=np.int32),
-                presorted,
-                values_sorted,
-                y[presorted],
-                depth=0,
-                root_sd=root_sd,
-            )
-        finally:
-            self._fit_y = self._fit_XT = None
-            self._left_mask = None
-        self._finalize()
+            # Fit-wide working state for the presorted split search:
+            # each feature is stable-sorted ONCE here; `_build`
+            # partitions the sorted index arrays at every split instead
+            # of re-sorting.
+            self._fit_y = y
+            self._fit_XT = np.ascontiguousarray(X.T)
+            self._left_mask = np.zeros(X.shape[0], dtype=bool)
+            # int32 indices halve the bandwidth of every per-node
+            # gather; the gathered float64 values are unaffected.
+            # Sorting the transposed copy row-wise yields the identical
+            # stable permutation as column-sorting X (same sequences,
+            # same tie order) but runs on contiguous memory and needs
+            # no transpose copy afterwards.
+            presorted = np.argsort(
+                self._fit_XT, axis=-1, kind="stable"
+            ).astype(np.int32)
+            # The sorted value/target stacks are gathered once here;
+            # every split below partitions them with a boolean take
+            # (which keeps both order and bits), so no node re-gathers
+            # from X or y.
+            values_sorted = self._fit_XT[
+                np.arange(X.shape[1])[:, None], presorted
+            ]
+            try:
+                self.root, _ = self._build(
+                    np.arange(X.shape[0], dtype=np.int32),
+                    presorted,
+                    values_sorted,
+                    y[presorted],
+                    depth=0,
+                    root_sd=root_sd,
+                )
+            finally:
+                self._fit_y = self._fit_XT = None
+                self._left_mask = None
+            self._finalize()
+            fit_span.note(n_leaves=len(self._leaves))
         return self
 
     def fit_sample_set(self, data: SampleSet) -> "ModelTree":
@@ -218,6 +234,7 @@ class ModelTree:
         cfg = self.config
         n = rows.size
         y = self._fit_y[rows]
+        _NODES_BUILT.inc()
         split = None
         if n >= 2 * cfg.min_leaf and depth < cfg.max_depth:
             # The node's deviation only feeds the stopping rule, so it
@@ -228,9 +245,18 @@ class ModelTree:
             np.multiply(centered, centered, out=centered)
             sd = math.sqrt(np.add.reduce(centered) / n)
             if sd >= cfg.sd_threshold * root_sd:
-                split = best_split_presorted(
-                    values_sorted, y_sorted, cfg.min_leaf
-                )
+                with obs_span(
+                    "mtree.split_search", depth=depth, n=n
+                ) as search_span:
+                    split = best_split_presorted(
+                        values_sorted, y_sorted, cfg.min_leaf
+                    )
+                    if split is not None:
+                        search_span.note(
+                            feature=self.feature_names[split.feature_index],
+                            threshold=split.threshold,
+                            sdr=split.sdr,
+                        )
         if split is None:
             leaf = self._constant_leaf(y)
             return leaf, node_model_error(leaf.model, cfg.penalty)

@@ -1,0 +1,85 @@
+"""repro.obs — observability: tracing, metrics, and run provenance.
+
+Three cooperating pieces (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.trace` — a hierarchical span tracer with a
+  zero-overhead disabled mode; instrumentation sites call
+  :func:`repro.obs.span` and pay a global load + None check until a
+  tracer is installed.
+* :mod:`repro.obs.metrics` — an always-on process-wide registry of
+  counters, gauges and histograms (``repro.obs.counter(...)`` etc.).
+* :mod:`repro.obs.manifest` — run manifests (seed, config, package
+  versions, platform) with schema validation, written as the first
+  line of every exported trace.
+
+Typical CLI-driven use is ``repro E7 --trace trace.jsonl`` followed by
+``repro trace-summary trace.jsonl``; programmatic use::
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    with obs.use_tracer(tracer):
+        with obs.span("my.stage", items=3):
+            ...
+    tracer.write_jsonl("trace.jsonl",
+                       manifest=obs.build_manifest(config),
+                       metrics=obs.get_registry().as_records())
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    manifest_errors,
+    validate_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    counter_delta,
+    gauge,
+    get_registry,
+    histogram,
+)
+from repro.obs.summary import (
+    format_metrics_table,
+    read_trace,
+    render_trace_summary,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    span,
+    tracing_enabled,
+    use_tracer,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "manifest_errors",
+    "validate_manifest",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "counter_delta",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "format_metrics_table",
+    "read_trace",
+    "render_trace_summary",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "set_tracer",
+    "span",
+    "tracing_enabled",
+    "use_tracer",
+]

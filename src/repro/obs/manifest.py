@@ -1,0 +1,179 @@
+"""Run provenance manifests.
+
+A manifest is a single JSON object that fully reconstructs how a run
+was produced: the experiment configuration (seed, sample counts,
+splits, tree hyperparameters, collector and noise models), the exact
+invocation, and the software platform it ran on.  It is written as the
+first line of every trace JSONL file and validated by the schema here,
+so a trace found on disk months later still answers "what produced
+these numbers?".
+
+The schema check is hand-rolled (the container has no ``jsonschema``):
+:data:`MANIFEST_SCHEMA` declares required fields and types in a small
+JSON-Schema-like dialect and :func:`validate_manifest` enforces it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "validate_manifest",
+    "manifest_errors",
+]
+
+MANIFEST_VERSION = "repro-manifest-v1"
+
+#: Required shape of a manifest.  ``type`` names follow JSON Schema
+#: (object/array/string/number/integer); nested ``properties`` entries
+#: are themselves required.
+MANIFEST_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "properties": {
+        "schema": {"type": "string", "const": MANIFEST_VERSION},
+        "created_unix": {"type": "number"},
+        "created_iso": {"type": "string"},
+        "argv": {"type": "array", "items": {"type": "string"}},
+        "experiments": {"type": "array", "items": {"type": "string"}},
+        "config": {
+            "type": "object",
+            "properties": {
+                "seed": {"type": "integer"},
+                "cpu_samples": {"type": "integer"},
+                "omp_samples": {"type": "integer"},
+                "train_fraction": {"type": "number"},
+                "test_fraction": {"type": "number"},
+                "tree": {"type": "object"},
+                "collector": {"type": "object"},
+                "noise": {"type": "object"},
+            },
+        },
+        "platform": {
+            "type": "object",
+            "properties": {
+                "python": {"type": "string"},
+                "implementation": {"type": "string"},
+                "machine": {"type": "string"},
+                "system": {"type": "string"},
+                "release": {"type": "string"},
+            },
+        },
+        "packages": {"type": "object"},
+    },
+}
+
+
+def _package_versions() -> Dict[str, str]:
+    versions: Dict[str, str] = {
+        "python": platform.python_version(),
+    }
+    try:
+        import numpy
+
+        versions["numpy"] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        try:
+            versions["repro"] = version("repro")
+        except PackageNotFoundError:
+            pass
+    except ImportError:  # pragma: no cover - py>=3.8 always has it
+        pass
+    return versions
+
+
+def build_manifest(
+    config: Any,
+    experiments: Sequence[str] = (),
+    argv: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a schema-valid manifest for one run.
+
+    ``config`` is an :class:`~repro.experiments.config.ExperimentConfig`
+    (any dataclass with the same field names works — the manifest
+    stores its full ``asdict`` expansion, so nothing about the run has
+    to be re-derived from defaults later).
+    """
+    now = time.time()
+    config_dict = dataclasses.asdict(config)
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_VERSION,
+        "created_unix": now,
+        "created_iso": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime(now)
+        ),
+        "argv": list(argv if argv is not None else sys.argv),
+        "experiments": [str(e) for e in experiments],
+        "config": config_dict,
+        "platform": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "release": platform.release(),
+        },
+        "packages": _package_versions(),
+    }
+    if jobs is not None:
+        manifest["jobs"] = jobs
+    if cache_dir is not None:
+        manifest["cache_dir"] = str(cache_dir)
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+}
+
+
+def _check(value: Any, schema: Dict[str, Any], path: str, errors: List[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None and not _TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+    for key, sub in schema.get("properties", {}).items():
+        if key not in value:
+            errors.append(f"{path}.{key}: missing")
+        else:
+            _check(value[key], sub, f"{path}.{key}", errors)
+    items = schema.get("items")
+    if items is not None and isinstance(value, list):
+        for index, element in enumerate(value):
+            _check(element, items, f"{path}[{index}]", errors)
+
+
+def manifest_errors(manifest: Any) -> List[str]:
+    """All schema violations (empty list means the manifest is valid)."""
+    errors: List[str] = []
+    _check(manifest, MANIFEST_SCHEMA, "manifest", errors)
+    return errors
+
+
+def validate_manifest(manifest: Any) -> Dict[str, Any]:
+    """Return the manifest if schema-valid, else raise ``ValueError``."""
+    errors = manifest_errors(manifest)
+    if errors:
+        raise ValueError(
+            "invalid run manifest:\n  " + "\n  ".join(errors)
+        )
+    return manifest

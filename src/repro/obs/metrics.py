@@ -1,0 +1,227 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Instrumented code holds onto metric objects (one dict lookup at import
+or first use, then plain attribute arithmetic per event), so counting
+something in a hot loop costs an integer add.  The registry is always
+on — unlike tracing there is no disabled mode to branch on — because
+its per-event cost is negligible and the counts (SDR evaluations,
+cache hits, worker timings) are exactly what the run summary and the
+trace exporter report.
+
+Naming convention (see ``docs/OBSERVABILITY.md``): dotted lowercase
+``<subsystem>.<object>.<event>``, e.g. ``cache.memory.hits``,
+``mtree.sdr_evaluations``, ``runner.experiments_completed``.
+
+``reset()`` zeroes values but keeps the metric *objects*, so cached
+references in instrumented modules stay valid across tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "counter",
+    "counter_delta",
+    "gauge",
+    "histogram",
+]
+
+
+class Counter:
+    """A monotonically increasing integer (or float) count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def as_record(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def as_record(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming distribution summary with log2 buckets.
+
+    Tracks count/sum/min/max exactly plus a coarse shape: bucket ``i``
+    counts observations in ``[2**(i-1), 2**i)`` relative to ``scale``
+    (default 1.0, so observations in seconds land in readable buckets).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "scale")
+
+    # log2 bucket indices are clamped to this symmetric range.
+    _BUCKET_RANGE = 64
+
+    def __init__(self, name: str, scale: float = 1.0) -> None:
+        self.name = name
+        self.scale = scale
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        scaled = value / self.scale
+        if scaled > 0:
+            index = min(
+                self._BUCKET_RANGE,
+                max(-self._BUCKET_RANGE, int(math.ceil(math.log2(scaled)))),
+            )
+        else:
+            index = -self._BUCKET_RANGE
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets = {}
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, scale: float = 1.0) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, scale)
+        return instrument
+
+    # -- reporting -------------------------------------------------------
+
+    def as_records(self) -> List[Dict[str, Any]]:
+        """Every non-trivial metric as a JSON-ready record, sorted by name."""
+        records = [
+            c.as_record() for c in self._counters.values() if c.value != 0
+        ]
+        records += [
+            g.as_record() for g in self._gauges.values() if g.value != 0.0
+        ]
+        records += [
+            h.as_record() for h in self._histograms.values() if h.count > 0
+        ]
+        return sorted(records, key=lambda r: r["name"])
+
+    def counter_values(self) -> Dict[str, int]:
+        """Snapshot of all counter values (including zeros)."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def merge_counter_delta(self, delta: Dict[str, int]) -> None:
+        """Fold counter increments measured elsewhere (a worker) in."""
+        for name, amount in delta.items():
+            if amount:
+                self.counter(name).inc(amount)
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping cached references valid."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for instrument in group.values():
+                instrument.reset()
+
+
+def counter_delta(
+    after: Dict[str, int], before: Dict[str, int]
+) -> Dict[str, int]:
+    """Per-counter increments between two :meth:`counter_values` snapshots."""
+    return {
+        name: value - before.get(name, 0)
+        for name, value in after.items()
+        if value != before.get(name, 0)
+    }
+
+
+_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (created on first use)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = MetricsRegistry()
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return get_registry().counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return get_registry().gauge(name)
+
+
+def histogram(name: str, scale: float = 1.0) -> Histogram:
+    return get_registry().histogram(name, scale)

@@ -1,0 +1,163 @@
+"""Terminal rendering of exported traces: ``repro trace-summary``.
+
+Reads a trace JSONL file (manifest line, span lines, metric lines —
+the format :meth:`repro.obs.trace.Tracer.write_jsonl` writes), rebuilds
+the span tree and prints it time-sorted with per-span wall/CPU/RSS
+figures, followed by the run's top metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = ["read_trace", "render_trace_summary", "format_metrics_table"]
+
+
+def read_trace(
+    path: Union[str, Path]
+) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Parse a trace file into (manifest, span records, metric records)."""
+    manifest: Optional[Dict[str, Any]] = None
+    spans: List[Dict[str, Any]] = []
+    metrics: List[Dict[str, Any]] = []
+    for line_number, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path}:{line_number}: not valid JSON ({error})"
+            ) from None
+        kind = record.get("type")
+        if kind == "manifest":
+            manifest = record
+        elif kind == "span":
+            spans.append(record)
+        elif kind == "metric":
+            metrics.append(record)
+        else:
+            raise ValueError(
+                f"{path}:{line_number}: unknown record type {kind!r}"
+            )
+    return manifest, spans, metrics
+
+
+def _payload_brief(payload: Dict[str, Any], limit: int = 4) -> str:
+    if not payload:
+        return ""
+    parts = []
+    for key, value in list(payload.items())[:limit]:
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    if len(payload) > limit:
+        parts.append("...")
+    return "  [" + " ".join(parts) + "]"
+
+
+def _render_span_tree(spans: List[Dict[str, Any]]) -> List[str]:
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    ids = {record["id"] for record in spans}
+    for record in spans:
+        parent = record.get("parent")
+        if parent not in ids:
+            parent = None
+        children.setdefault(parent, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: r.get("start_wall", 0.0))
+
+    lines: List[str] = []
+
+    def visit(record: Dict[str, Any], depth: int) -> None:
+        indent = "  " * depth
+        wall_ms = record.get("wall_s", 0.0) * 1e3
+        cpu_ms = record.get("cpu_s", 0.0) * 1e3
+        rss_kb = record.get("rss_delta_kb", 0)
+        line = (
+            f"{indent}{record['name']:{max(1, 34 - 2 * depth)}s} "
+            f"{wall_ms:9.2f} ms  cpu {cpu_ms:9.2f} ms"
+        )
+        if rss_kb:
+            line += f"  +rss {rss_kb / 1024:6.1f} MB"
+        line += _payload_brief(record.get("payload", {}))
+        lines.append(line)
+        for child in children.get(record["id"], []):
+            visit(child, depth + 1)
+
+    for root in children.get(None, []):
+        visit(root, 0)
+    return lines
+
+
+def format_metrics_table(
+    metrics: List[Dict[str, Any]], top: int = 20
+) -> str:
+    """The run's metrics, counters first (largest values lead)."""
+    if not metrics:
+        return "(no metrics recorded)"
+    counters = sorted(
+        (m for m in metrics if m.get("kind") == "counter"),
+        key=lambda m: -m.get("value", 0),
+    )
+    gauges = sorted(
+        (m for m in metrics if m.get("kind") == "gauge"),
+        key=lambda m: m["name"],
+    )
+    histograms = sorted(
+        (m for m in metrics if m.get("kind") == "histogram"),
+        key=lambda m: m["name"],
+    )
+    lines: List[str] = []
+    for metric in counters[:top]:
+        lines.append(f"  {metric['name']:40s} {metric['value']:>14,}")
+    for metric in gauges[:top]:
+        lines.append(f"  {metric['name']:40s} {metric['value']:>14.6g}")
+    for metric in histograms[:top]:
+        mean = metric.get("mean", 0.0)
+        lines.append(
+            f"  {metric['name']:40s} n={metric['count']:<8d}"
+            f" mean={mean:.6g} min={metric.get('min')} max={metric.get('max')}"
+        )
+    return "\n".join(lines)
+
+
+def render_trace_summary(path: Union[str, Path]) -> str:
+    """Full terminal report for one trace file."""
+    manifest, spans, metrics = read_trace(path)
+    lines: List[str] = []
+    if manifest is not None:
+        config = manifest.get("config", {})
+        lines.append(
+            f"trace of {' '.join(manifest.get('argv', []))!s}".rstrip()
+        )
+        lines.append(
+            f"  created {manifest.get('created_iso', '?')}"
+            f"  seed {config.get('seed', '?')}"
+            f"  python {manifest.get('platform', {}).get('python', '?')}"
+            f"  machine {manifest.get('platform', {}).get('machine', '?')}"
+        )
+        if manifest.get("experiments"):
+            lines.append(
+                "  experiments " + " ".join(manifest["experiments"])
+            )
+        lines.append("")
+    if spans:
+        total = sum(
+            record.get("wall_s", 0.0)
+            for record in spans
+            if record.get("parent") is None
+        )
+        lines.append(f"spans ({len(spans)}, root wall {total:.3f}s):")
+        lines.extend(_render_span_tree(spans))
+    else:
+        lines.append("(no spans recorded)")
+    lines.append("")
+    lines.append(f"metrics ({len(metrics)}):")
+    lines.append(format_metrics_table(metrics))
+    return "\n".join(lines)

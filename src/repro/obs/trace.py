@@ -1,0 +1,312 @@
+"""Hierarchical span tracing with zero overhead when disabled.
+
+A :class:`Span` records one timed region of the pipeline — wall time,
+CPU time, peak-RSS growth and an arbitrary domain payload — and spans
+nest: entering a span while another is open makes it a child, so one
+battery run produces a single tree rooted at the CLI (or the
+:class:`~repro.experiments.runner.ParallelRunner` battery span) with
+experiments, pipeline stages, tree fits and split searches below it.
+
+Tracing is *opt-in* and off by default.  The instrumentation sites all
+call the module-level :func:`span` helper, which returns a shared
+no-op context manager when no tracer is installed: no :class:`Span`
+objects (or any other per-call objects beyond the caller's keyword
+dict) are allocated, so hot paths such as the per-node split search
+pay only a global load and a ``None`` check.  Enable with::
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        run_experiment("E3", ctx)
+    tracer.write_jsonl("trace.jsonl", manifest=build_manifest(...))
+
+Worker processes build their own tracers and ship serialized spans
+back; :meth:`Tracer.adopt` re-parents them under a span of the
+receiving tracer so a parallel battery still exports one tree.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "current_tracer",
+    "set_tracer",
+    "use_tracer",
+    "tracing_enabled",
+]
+
+#: Number of Span objects ever constructed in this process.  Tests use
+#: this to prove the disabled path allocates no spans.
+SPANS_CREATED = 0
+
+
+def _maxrss_kb() -> int:
+    """Current high-water RSS of this process in KiB."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+class Span:
+    """One timed, named region with payload and children."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "payload",
+        "children",
+        "start_wall",
+        "wall_s",
+        "cpu_s",
+        "rss_delta_kb",
+        "_t0",
+        "_cpu0",
+        "_rss0",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        payload: Dict[str, Any],
+    ) -> None:
+        global SPANS_CREATED
+        SPANS_CREATED += 1
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.payload = payload
+        self.children: List["Span"] = []
+        self.start_wall = 0.0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.rss_delta_kb = 0
+        self._t0 = 0.0
+        self._cpu0 = 0.0
+        self._rss0 = 0
+
+    def note(self, **payload: Any) -> None:
+        """Attach (or overwrite) payload entries while the span is open."""
+        self.payload.update(payload)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_wall": self.start_wall,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "rss_delta_kb": self.rss_delta_kb,
+            "payload": self.payload,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, wall={self.wall_s * 1e3:.2f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in used while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def note(self, **payload: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context manager driving one Span's lifecycle inside a Tracer."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span_obj: Span) -> None:
+        self.tracer = tracer
+        self.span = span_obj
+
+    def __enter__(self) -> Span:
+        tracer, span_obj = self.tracer, self.span
+        parent = tracer._stack[-1] if tracer._stack else None
+        span_obj.parent_id = parent.span_id if parent else None
+        if parent is not None:
+            parent.children.append(span_obj)
+        else:
+            tracer.roots.append(span_obj)
+        tracer._stack.append(span_obj)
+        span_obj.start_wall = time.time()
+        span_obj._rss0 = _maxrss_kb()
+        span_obj._cpu0 = time.process_time()
+        span_obj._t0 = time.perf_counter()
+        return span_obj
+
+    def __exit__(self, *exc: object) -> bool:
+        span_obj = self.span
+        span_obj.wall_s = time.perf_counter() - span_obj._t0
+        span_obj.cpu_s = time.process_time() - span_obj._cpu0
+        span_obj.rss_delta_kb = max(0, _maxrss_kb() - span_obj._rss0)
+        stack = self.tracer._stack
+        if stack and stack[-1] is span_obj:
+            stack.pop()
+        return False
+
+
+class Tracer:
+    """Collects a forest of spans (usually a single root)."""
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, **payload: Any) -> _OpenSpan:
+        self._next_id += 1
+        return _OpenSpan(self, Span(self._next_id, None, name, payload))
+
+    @property
+    def open_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def adopt(
+        self,
+        records: List[Dict[str, Any]],
+        parent: Optional[Span] = None,
+        **extra_payload: Any,
+    ) -> List[Span]:
+        """Graft serialized spans (from another process) into this tree.
+
+        ``records`` is a list of :meth:`Span.to_dict` outputs forming a
+        self-consistent forest.  Ids are rewritten into this tracer's
+        sequence; spans whose parent is not in ``records`` attach under
+        ``parent`` (default: the innermost open span, else a new root).
+        ``extra_payload`` is merged into each adopted root span —
+        e.g. ``worker_pid=...`` to mark where it ran.
+        """
+        if parent is None:
+            parent = self.open_span
+        by_old_id: Dict[int, Span] = {}
+        adopted_roots: List[Span] = []
+        for record in records:
+            self._next_id += 1
+            span_obj = Span(
+                self._next_id, None, record["name"], dict(record["payload"])
+            )
+            span_obj.start_wall = record["start_wall"]
+            span_obj.wall_s = record["wall_s"]
+            span_obj.cpu_s = record["cpu_s"]
+            span_obj.rss_delta_kb = record["rss_delta_kb"]
+            by_old_id[record["id"]] = span_obj
+        for record in records:
+            span_obj = by_old_id[record["id"]]
+            old_parent = record.get("parent")
+            if old_parent in by_old_id:
+                new_parent = by_old_id[old_parent]
+                span_obj.parent_id = new_parent.span_id
+                new_parent.children.append(span_obj)
+            else:
+                span_obj.payload.update(extra_payload)
+                adopted_roots.append(span_obj)
+                if parent is not None:
+                    span_obj.parent_id = parent.span_id
+                    parent.children.append(span_obj)
+                else:
+                    self.roots.append(span_obj)
+        return adopted_roots
+
+    # -- export ----------------------------------------------------------
+
+    def span_records(self) -> List[Dict[str, Any]]:
+        """All spans, depth-first, as JSON-ready dicts."""
+        records: List[Dict[str, Any]] = []
+
+        def visit(span_obj: Span) -> None:
+            records.append(span_obj.to_dict())
+            for child in span_obj.children:
+                visit(child)
+
+        for root in self.roots:
+            visit(root)
+        return records
+
+    def write_jsonl(
+        self,
+        path: Union[str, Path],
+        manifest: Optional[Dict[str, Any]] = None,
+        metrics: Optional[List[Dict[str, Any]]] = None,
+    ) -> Path:
+        """Write manifest + spans (+ metrics) as one JSONL trace file."""
+        path = Path(path)
+        lines: List[str] = []
+        if manifest is not None:
+            lines.append(json.dumps({"type": "manifest", **manifest}))
+        for record in self.span_records():
+            lines.append(json.dumps({"type": "span", **record}))
+        for metric in metrics or []:
+            lines.append(json.dumps({"type": "metric", **metric}))
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+
+# -- module-level switch --------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The installed tracer, or None while tracing is disabled."""
+    return _ACTIVE
+
+
+def tracing_enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or with None, remove) the process-wide tracer."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Scoped :func:`set_tracer`; restores the previous tracer on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **payload: Any) -> Union[_OpenSpan, _NullSpan]:
+    """Open a span on the active tracer, or a shared no-op when disabled.
+
+    The disabled path allocates no Span (nor any helper object): it
+    returns the module's singleton null context manager, making
+    instrumentation safe to leave in hot loops.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **payload)

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.datasets.cache import (
+    CacheStats,
     SampleSetCache,
     cached_generate,
+    format_cache_stats,
     generation_digest,
 )
 from repro.workloads.spec_omp2001 import spec_omp2001
@@ -132,3 +134,98 @@ class TestSampleSetCache:
         assert len(data) == 1200
         direct = suite.generate(small_config)
         np.testing.assert_array_equal(data.X, direct.X)
+
+
+class TestCacheStats:
+    def test_memory_tier_counts(self, small_config):
+        cache = SampleSetCache()
+        suite = spec_omp2001()
+        cache.get_or_generate(suite, small_config)
+        cache.get_or_generate(suite, small_config)
+        stats = cache.stats
+        assert stats.memory_hits == 1
+        assert stats.memory_misses == 1
+        assert stats.generations == 1
+        assert stats.memory_hit_rate == 0.5
+
+    def test_disk_tier_counts_and_bytes(self, small_config, tmp_path):
+        suite = spec_omp2001()
+        writer = SampleSetCache(tmp_path)
+        writer.get_or_generate(suite, small_config)
+        assert writer.stats.disk_misses == 1
+        assert writer.stats.disk_bytes_written > 0
+        # A fresh cache over the same directory hits the disk tier.
+        reader = SampleSetCache(tmp_path)
+        reader.get_or_generate(suite, small_config)
+        stats = reader.stats
+        assert stats.disk_hits == 1
+        assert stats.disk_bytes_read > 0
+        assert stats.generations == 0
+
+    def test_lru_eviction_counted(self, small_config):
+        suite = spec_omp2001()
+        other = SuiteGenerationConfig(total_samples=1200, seed=9)
+        cache = SampleSetCache(max_memory_entries=1)
+        cache.get_or_generate(suite, small_config)
+        cache.get_or_generate(suite, other)  # evicts the first entry
+        assert len(cache) == 1
+        assert cache.stats.memory_evictions == 1
+        # The evicted entry now misses the memory tier and regenerates.
+        cache.get_or_generate(suite, small_config)
+        assert cache.stats.memory_misses == 3
+        assert cache.stats.generations == 3
+
+    def test_lru_refresh_protects_recently_used(self, small_config):
+        suite = spec_omp2001()
+        other = SuiteGenerationConfig(total_samples=1200, seed=9)
+        cache = SampleSetCache(max_memory_entries=2)
+        first = cache.get_or_generate(suite, small_config)
+        cache.get_or_generate(suite, other)
+        # Touch the older entry, then insert a third: the *middle*
+        # entry is now least recently used and gets evicted.
+        assert cache.get_or_generate(suite, small_config) is first
+        cache.get_or_generate(
+            suite, SuiteGenerationConfig(total_samples=1200, seed=10)
+        )
+        assert cache.get_or_generate(suite, small_config) is first
+        assert cache.stats.memory_evictions == 1
+
+    def test_eviction_falls_back_to_disk_tier(self, small_config, tmp_path):
+        suite = spec_omp2001()
+        other = SuiteGenerationConfig(total_samples=1200, seed=9)
+        cache = SampleSetCache(tmp_path, max_memory_entries=1)
+        cache.get_or_generate(suite, small_config)
+        cache.get_or_generate(suite, other)
+        cache.get_or_generate(suite, small_config)  # reload from disk
+        assert cache.stats.disk_hits == 1
+        assert cache.stats.generations == 2
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError, match="max_memory_entries"):
+            SampleSetCache(max_memory_entries=0)
+
+    def test_snapshot_arithmetic(self):
+        a = CacheStats(memory_hits=3, disk_hits=1, generations=2)
+        b = CacheStats(memory_hits=1, generations=1)
+        assert (a - b).memory_hits == 2
+        assert (a - b).generations == 1
+        assert (a + b).memory_hits == 4
+        assert (a + b).disk_hits == 1
+
+    def test_format_mentions_both_tiers(self):
+        text = format_cache_stats(
+            CacheStats(memory_hits=2, memory_misses=2, disk_hits=1)
+        )
+        assert "cache memory:" in text and "cache disk:" in text
+        assert "50% hit rate" in text
+
+    def test_metrics_registry_mirrors_traffic(self, small_config):
+        from repro.obs.metrics import get_registry
+
+        hits = get_registry().counter("cache.memory.hits")
+        before = hits.value
+        cache = SampleSetCache()
+        suite = spec_omp2001()
+        cache.get_or_generate(suite, small_config)
+        cache.get_or_generate(suite, small_config)
+        assert hits.value == before + 1

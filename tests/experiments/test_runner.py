@@ -1,9 +1,17 @@
-"""Parallel experiment runner: ordering, identity and timing."""
+"""Parallel experiment runner: ordering, identity, timing and tracing."""
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import BatteryRun, ExperimentTiming, ParallelRunner
+from repro.obs.trace import Tracer, set_tracer, use_tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    set_tracer(None)
+    yield
+    set_tracer(None)
 
 
 @pytest.fixture(scope="module")
@@ -40,8 +48,18 @@ class TestSerialPath:
         assert isinstance(timing, ExperimentTiming)
         assert timing.wall_s >= 0
         assert timing.max_rss_kb > 0
+        # The per-experiment RSS growth is measured around the run, so
+        # it can never exceed the process high-water mark.
+        assert 0 <= timing.rss_delta_kb <= timing.max_rss_kb
         assert "E1" in battery.summary()
         assert "wall time" in battery.summary()
+
+    def test_summary_reports_cache_traffic(self, quick_config):
+        battery = ParallelRunner(quick_config, jobs=1).run(["E2"])
+        assert battery.cache_stats.generations >= 1
+        summary = battery.summary()
+        assert "cache memory:" in summary
+        assert "cache disk:" in summary
 
 
 class TestParallelPath:
@@ -68,3 +86,66 @@ class TestParallelPath:
         assert isinstance(battery, BatteryRun)
         # The pre-warm writes both suite datasets for the workers.
         assert len(list(tmp_path.glob("*.npz"))) == 2
+
+
+class TestTracing:
+    def _force_pool(self, monkeypatch):
+        """Bypass the CPU clamp so a real worker pool spawns even on a
+        single-CPU machine (the clamped path runs in-process)."""
+        from repro.experiments import runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "_available_cpus", lambda: 8)
+
+    def test_battery_root_span_wraps_run(self, quick_config):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            ParallelRunner(quick_config, jobs=1).run(["E1"])
+        (root,) = tracer.roots
+        assert root.name == "battery"
+        assert [c.name for c in root.children] == ["experiment.E1"]
+
+    def test_worker_spans_nest_under_battery_root(
+        self, quick_config, monkeypatch
+    ):
+        self._force_pool(monkeypatch)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            ParallelRunner(quick_config, jobs=2).run(KEYS)
+        (root,) = tracer.roots
+        assert root.name == "battery"
+        experiments = [
+            child
+            for child in root.children
+            if child.name.startswith("experiment.")
+        ]
+        assert sorted(c.name for c in experiments) == sorted(
+            f"experiment.{key}" for key in KEYS
+        )
+        # Shipped-back worker spans are marked with the worker that ran
+        # them, and their own children (pipeline stages) come along.
+        assert all("worker_pid" in c.payload for c in experiments)
+        e16 = next(c for c in experiments if c.name == "experiment.E16")
+        assert any(g.name == "context.generate" for g in e16.children)
+
+    def test_traced_parallel_output_still_identical(
+        self, quick_config, monkeypatch
+    ):
+        self._force_pool(monkeypatch)
+        serial = ParallelRunner(quick_config, jobs=1).run(KEYS)
+        with use_tracer(Tracer()):
+            traced = ParallelRunner(quick_config, jobs=2).run(KEYS)
+        assert traced.texts == serial.texts
+
+    def test_worker_metrics_and_cache_stats_merged(
+        self, quick_config, monkeypatch
+    ):
+        from repro.obs.metrics import get_registry
+
+        self._force_pool(monkeypatch)
+        fits = get_registry().counter("mtree.fits")
+        before = fits.value
+        battery = ParallelRunner(quick_config, jobs=2).run(["E2", "E16"])
+        # E16 fits at least one extra tree in a worker; its counter
+        # increments must fold back into the parent registry.
+        assert fits.value > before
+        assert battery.cache_stats.generations >= 2

@@ -1,0 +1,102 @@
+"""Run manifests: construction, schema validation, end-to-end smoke."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    manifest_errors,
+    validate_manifest,
+)
+
+
+class TestBuildManifest:
+    def test_is_schema_valid(self):
+        manifest = build_manifest(
+            ExperimentConfig(),
+            experiments=["E1", "E2"],
+            argv=["repro", "E1", "E2"],
+        )
+        assert validate_manifest(manifest) is manifest
+
+    def test_reconstructs_run_configuration(self):
+        config = ExperimentConfig(seed=99, cpu_samples=5000, omp_samples=2000)
+        manifest = build_manifest(config, experiments=["E7"], jobs=4)
+        assert manifest["config"]["seed"] == 99
+        assert manifest["config"]["cpu_samples"] == 5000
+        assert manifest["config"]["omp_samples"] == 2000
+        # The tree/collector/noise sub-configs ride along in full, so
+        # an ExperimentConfig can be rebuilt from the manifest alone.
+        assert manifest["config"]["tree"]["min_leaf"] == 40
+        assert manifest["config"]["collector"]["interval_instructions"] > 0
+        assert manifest["config"]["noise"]["floor_cpi"] > 0
+        assert manifest["jobs"] == 4
+        assert manifest["experiments"] == ["E7"]
+
+    def test_records_platform_and_packages(self):
+        manifest = build_manifest(ExperimentConfig())
+        assert manifest["packages"]["numpy"]
+        assert manifest["platform"]["python"]
+        assert manifest["platform"]["machine"]
+
+
+class TestValidation:
+    def test_missing_key_reported_with_path(self):
+        manifest = build_manifest(ExperimentConfig())
+        del manifest["config"]["seed"]
+        errors = manifest_errors(manifest)
+        assert any("config.seed" in error for error in errors)
+
+    def test_wrong_type_reported(self):
+        manifest = build_manifest(ExperimentConfig())
+        manifest["experiments"] = "E1"
+        assert any("experiments" in e for e in manifest_errors(manifest))
+
+    def test_wrong_schema_const_reported(self):
+        manifest = build_manifest(ExperimentConfig())
+        manifest["schema"] = "something-else"
+        with pytest.raises(ValueError, match="manifest.schema"):
+            validate_manifest(manifest)
+
+    def test_non_object_rejected(self):
+        assert manifest_errors([1, 2, 3])
+
+    def test_schema_declares_required_provenance(self):
+        required = MANIFEST_SCHEMA["properties"]
+        for key in ("config", "platform", "packages", "argv", "experiments"):
+            assert key in required
+
+
+class TestTracedRunSmoke:
+    """Tier-1 smoke: one scaled-down experiment, traced end to end."""
+
+    def test_traced_experiment_produces_valid_manifest(self, tmp_path):
+        from repro.cli import main
+        from repro.obs.summary import read_trace
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["E2", "--scale", "0.1", "--trace", str(trace_path)]) == 0
+        assert trace_path.exists()
+
+        manifest, spans, metrics = read_trace(trace_path)
+        validate_manifest(
+            {k: v for k, v in manifest.items() if k != "type"}
+        )
+        assert manifest["experiments"] == ["E2"]
+        assert manifest["scale"] == 0.1
+
+        names = {record["name"] for record in spans}
+        # Every pipeline stage of a tree-model experiment is present.
+        assert {
+            "experiment.E2",
+            "context.tree",
+            "context.split",
+            "context.generate",
+            "mtree.fit",
+            "mtree.split_search",
+        } <= names
+
+        metric_names = {record["name"] for record in metrics}
+        assert "mtree.sdr_evaluations" in metric_names
+        assert any(name.startswith("cache.") for name in metric_names)

@@ -1,0 +1,116 @@
+"""Metrics registry: instruments, snapshots, deltas, reset semantics."""
+
+import math
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter_delta,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x.hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_same_name_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("depth")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("wall_s")
+        for value in (1.0, 2.0, 4.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == 7.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert math.isclose(h.mean, 7.0 / 3.0)
+
+    def test_log2_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t")
+        h.observe(0.75)  # 2^-1 < 0.75 <= 2^0 -> bucket 0
+        h.observe(3.0)  # 2^1 < 3 <= 2^2   -> bucket 2
+        h.observe(3.5)
+        record = h.as_record()
+        assert record["buckets"] == {"0": 1, "2": 2}
+
+    def test_empty_record(self):
+        h = MetricsRegistry().histogram("empty")
+        record = h.as_record()
+        assert record["count"] == 0
+        assert record["min"] is None and record["max"] is None
+
+
+class TestRegistryReporting:
+    def test_as_records_sorted_and_skips_zeros(self):
+        registry = MetricsRegistry()
+        registry.counter("b.used").inc(2)
+        registry.counter("a.unused")  # stays zero -> omitted
+        registry.gauge("c.gauge").set(1.5)
+        registry.histogram("d.hist").observe(0.1)
+        names = [record["name"] for record in registry.as_records()]
+        assert names == ["b.used", "c.gauge", "d.hist"]
+
+    def test_counter_delta_and_merge(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(5)
+        before = registry.counter_values()
+        registry.counter("x").inc(2)
+        registry.counter("y").inc(1)
+        delta = counter_delta(registry.counter_values(), before)
+        assert delta == {"x": 2, "y": 1}
+
+        other = MetricsRegistry()
+        other.counter("x").inc(10)
+        other.merge_counter_delta(delta)
+        assert other.counter("x").value == 12
+        assert other.counter("y").value == 1
+
+    def test_reset_keeps_instrument_identity(self):
+        registry = MetricsRegistry()
+        c = registry.counter("kept")
+        c.inc(3)
+        h = registry.histogram("h")
+        h.observe(1.0)
+        registry.reset()
+        assert registry.counter("kept") is c
+        assert c.value == 0
+        assert h.count == 0 and h.buckets == {}
+
+
+class TestGlobalRegistry:
+    def test_process_wide_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_library_counters_flow_through_global_registry(self):
+        import numpy as np
+
+        from repro.mtree.tree import ModelTree, ModelTreeConfig
+
+        sdr = get_registry().counter("mtree.sdr_evaluations")
+        fits = get_registry().counter("mtree.fits")
+        sdr_before, fits_before = sdr.value, fits.value
+        rng = np.random.default_rng(1)
+        X = rng.random((200, 3))
+        y = X @ np.array([2.0, 1.0, -1.0]) + rng.random(200)
+        ModelTree(ModelTreeConfig(min_leaf=20)).fit(X, y, ["a", "b", "c"])
+        assert fits.value == fits_before + 1
+        assert sdr.value > sdr_before

@@ -1,0 +1,90 @@
+"""Trace-summary rendering of exported JSONL traces."""
+
+import pytest
+
+from repro.obs.summary import (
+    format_metrics_table,
+    read_trace,
+    render_trace_summary,
+)
+from repro.obs.trace import Tracer, span, use_tracer
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("battery", jobs=2):
+            with span("experiment.E1", experiment="E1"):
+                pass
+            with span("experiment.E4", experiment="E4"):
+                pass
+    return tracer.write_jsonl(
+        tmp_path / "trace.jsonl",
+        manifest={
+            "argv": ["repro", "E1", "E4"],
+            "created_iso": "2026-01-01T00:00:00",
+            "experiments": ["E1", "E4"],
+            "config": {"seed": 42},
+            "platform": {"python": "3.11", "machine": "x86_64"},
+        },
+        metrics=[
+            {"name": "mtree.sdr_evaluations", "kind": "counter", "value": 900},
+            {"name": "cache.memory.hits", "kind": "counter", "value": 3},
+            {
+                "name": "runner.experiment_wall_s",
+                "kind": "histogram",
+                "count": 2,
+                "sum": 1.0,
+                "min": 0.25,
+                "max": 0.75,
+                "mean": 0.5,
+                "buckets": {},
+            },
+        ],
+    )
+
+
+class TestRenderTraceSummary:
+    def test_tree_is_indented_in_time_order(self, trace_file):
+        text = render_trace_summary(trace_file)
+        lines = text.splitlines()
+        battery_at = next(i for i, l in enumerate(lines) if "battery" in l)
+        e1_at = next(i for i, l in enumerate(lines) if "experiment.E1" in l)
+        e4_at = next(i for i, l in enumerate(lines) if "experiment.E4" in l)
+        assert battery_at < e1_at < e4_at
+        assert lines[e1_at].startswith("  ")  # children indented
+
+    def test_manifest_header_rendered(self, trace_file):
+        text = render_trace_summary(trace_file)
+        assert "seed 42" in text
+        assert "experiments E1 E4" in text
+
+    def test_metrics_sorted_by_value(self, trace_file):
+        text = render_trace_summary(trace_file)
+        assert text.index("mtree.sdr_evaluations") < text.index(
+            "cache.memory.hits"
+        )
+        assert "n=2" in text  # histogram line
+
+    def test_counter_values_grouped_with_thousands_separators(
+        self, trace_file
+    ):
+        assert "900" in render_trace_summary(trace_file)
+
+
+class TestReadTrace:
+    def test_rejects_garbage_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_trace(path)
+
+    def test_rejects_unknown_record_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record type"):
+            read_trace(path)
+
+    def test_empty_metrics_table(self):
+        assert "no metrics" in format_metrics_table([])

@@ -1,0 +1,189 @@
+"""Hierarchical tracer: nesting, export round-trip, zero-cost no-op."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+from repro.obs import trace as trace_mod
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    span,
+    tracing_enabled,
+    use_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Every test starts and ends with tracing disabled."""
+    set_tracer(None)
+    yield
+    set_tracer(None)
+
+
+class TestNesting:
+    def test_children_nest_under_open_parent(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("outer", kind="battery"):
+                with span("inner.a"):
+                    pass
+                with span("inner.b"):
+                    pass
+        (root,) = tracer.roots
+        assert root.name == "outer"
+        assert [child.name for child in root.children] == [
+            "inner.a",
+            "inner.b",
+        ]
+        assert all(c.parent_id == root.span_id for c in root.children)
+
+    def test_timings_populated(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("work") as sp:
+                sum(range(10_000))
+        assert sp.wall_s > 0
+        assert sp.cpu_s >= 0
+        assert sp.rss_delta_kb >= 0
+
+    def test_note_updates_payload(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("stage", n=3) as sp:
+                sp.note(outcome="ok", n=4)
+        assert tracer.roots[0].payload == {"n": 4, "outcome": "ok"}
+
+    def test_use_tracer_restores_previous(self):
+        outer = Tracer()
+        set_tracer(outer)
+        with use_tracer(Tracer()) as inner:
+            assert current_tracer() is inner
+        assert current_tracer() is outer
+
+
+class TestNoOpMode:
+    def test_disabled_allocates_no_span_objects(self):
+        assert not tracing_enabled()
+        before = trace_mod.SPANS_CREATED
+        for _ in range(100):
+            with span("hot.loop", i=1) as sp:
+                sp.note(x=2)
+        assert trace_mod.SPANS_CREATED == before
+
+    def test_disabled_returns_shared_singleton(self):
+        assert span("a") is span("b")
+
+    def test_tree_fit_allocates_no_spans_when_disabled(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((300, 4))
+        y = X @ np.array([1.0, -2.0, 0.5, 3.0]) + rng.random(300)
+        before = trace_mod.SPANS_CREATED
+        ModelTree(ModelTreeConfig(min_leaf=20)).fit(
+            X, y, ["a", "b", "c", "d"]
+        )
+        assert trace_mod.SPANS_CREATED == before
+
+    def test_tree_fit_spans_recorded_when_enabled(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((300, 4))
+        y = X @ np.array([1.0, -2.0, 0.5, 3.0]) + rng.random(300)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            ModelTree(ModelTreeConfig(min_leaf=20)).fit(
+                X, y, ["a", "b", "c", "d"]
+            )
+        names = [record["name"] for record in tracer.span_records()]
+        assert "mtree.fit" in names
+        assert "mtree.split_search" in names
+        searches = [
+            record
+            for record in tracer.span_records()
+            if record["name"] == "mtree.split_search"
+        ]
+        assert all("depth" in record["payload"] for record in searches)
+
+
+class TestJsonlRoundTrip:
+    def test_nested_spans_survive_export(self, tmp_path):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("battery", jobs=2):
+                with span("experiment.E1", experiment="E1"):
+                    with span("context.generate", suite="cpu2006"):
+                        pass
+        path = tracer.write_jsonl(
+            tmp_path / "trace.jsonl",
+            manifest={"schema": "test", "seed": 1},
+            metrics=[{"name": "m.count", "kind": "counter", "value": 3}],
+        )
+        from repro.obs.summary import read_trace
+
+        manifest, spans, metrics = read_trace(path)
+        assert manifest["seed"] == 1
+        assert [record["name"] for record in spans] == [
+            "battery",
+            "experiment.E1",
+            "context.generate",
+        ]
+        battery, experiment, generate = spans
+        assert battery["parent"] is None
+        assert experiment["parent"] == battery["id"]
+        assert generate["parent"] == experiment["id"]
+        assert experiment["payload"] == {"experiment": "E1"}
+        assert metrics == [
+            {"type": "metric", "name": "m.count", "kind": "counter", "value": 3}
+        ]
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("only"):
+                pass
+        path = tracer.write_jsonl(tmp_path / "t.jsonl")
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestAdopt:
+    def _worker_records(self):
+        worker = Tracer()
+        with use_tracer(worker):
+            with span("experiment.E4", experiment="E4"):
+                with span("context.generate", suite="omp2001"):
+                    pass
+        return worker.span_records()
+
+    def test_adopts_under_open_span(self):
+        records = self._worker_records()
+        parent = Tracer()
+        with use_tracer(parent):
+            with span("battery") as root_span:
+                adopted = parent.adopt(records, worker_pid=1234)
+        (root,) = parent.roots
+        assert root is root_span
+        (experiment,) = adopted
+        assert experiment.parent_id == root.span_id
+        assert experiment.payload["worker_pid"] == 1234
+        assert [c.name for c in experiment.children] == ["context.generate"]
+        # Non-root adopted spans keep their original payloads untouched.
+        assert "worker_pid" not in experiment.children[0].payload
+
+    def test_adopts_as_root_when_nothing_open(self):
+        records = self._worker_records()
+        parent = Tracer()
+        parent.adopt(records)
+        assert [r.name for r in parent.roots] == ["experiment.E4"]
+
+    def test_ids_rewritten_unique(self):
+        records = self._worker_records()
+        parent = Tracer()
+        parent.adopt(records)
+        parent.adopt(records)
+        ids = [record["id"] for record in parent.span_records()]
+        assert len(ids) == len(set(ids))

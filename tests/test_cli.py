@@ -3,6 +3,14 @@
 import pytest
 
 from repro.cli import main
+from repro.obs.trace import set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    set_tracer(None)
+    yield
+    set_tracer(None)
 
 
 class TestCli:
@@ -114,6 +122,57 @@ class TestSubcommands:
     def test_describe_unknown(self, capsys):
         assert main(["describe", "999.zz", "--scale", "0.1"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_trace_writes_valid_file(self, capsys, tmp_path):
+        from repro.obs.summary import read_trace
+
+        trace = tmp_path / "run.jsonl"
+        assert main(["E1", "--trace", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert "trace written to" in captured.err
+        manifest, spans, metrics = read_trace(trace)
+        assert manifest["experiments"] == ["E1"]
+        assert manifest["trace_path"] == str(trace)
+        assert any(s["name"] == "experiment.E1" for s in spans)
+
+    def test_trace_leaves_stdout_untouched(self, capsys, tmp_path):
+        assert main(["E2", "--scale", "0.1"]) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["E2", "--scale", "0.1", "--trace", str(tmp_path / "t.jsonl")]
+        ) == 0
+        traced = capsys.readouterr().out
+        assert traced == plain
+
+    def test_metrics_printed_to_stderr(self, capsys):
+        assert main(["E2", "--scale", "0.1", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "mtree.sdr_evaluations" in captured.err
+        assert "mtree.sdr_evaluations" not in captured.out
+
+    def test_trace_summary_roundtrip(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(["E1", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace-summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment.E1" in out
+        assert "experiments E1" in out
+
+    def test_trace_summary_usage(self, capsys):
+        assert main(["trace-summary"]) == 2
+
+    def test_trace_summary_missing_file(self, capsys, tmp_path):
+        assert main(["trace-summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "trace-summary:" in capsys.readouterr().err
+
+    def test_trace_summary_bad_content(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace-summary", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
 
 
 class TestPublicApi:
