@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Serving load generator: latency/throughput snapshot for repro.serve.
+
+Publishes a deterministic CPU2006 model into a throwaway registry,
+boots a :class:`~repro.serve.api.ModelServer` on an ephemeral port and
+drives it with ``--threads`` concurrent HTTP clients, each issuing
+``--requests`` predict calls per configured batch size (rows per
+request).  For every batch size the snapshot records client-observed
+p50/p95/p99 latency plus request and row throughput, and the server's
+own engine metrics (batches flushed, rows per batch) so the
+micro-batching effect is visible next to the wire numbers.
+
+Results land in ``BENCH_serve.json`` next to this script (or
+``--output PATH``), keyed by batch size.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_servebench.py
+    PYTHONPATH=src python benchmarks/run_servebench.py --threads 8 -o /tmp/s.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from typing import Dict, List
+
+BATCH_SIZES = (1, 16, 64)
+
+#: Training scale for the served model: large enough for a real tree
+#: (10+ leaves), small enough to keep the benchmark under a minute.
+_TRAIN_SAMPLES = 6000
+_TRAIN_SEED = 20080402
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile on an already-sorted sample."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def _publish_model(registry):
+    from repro.mtree.tree import ModelTree, ModelTreeConfig
+    from repro.workloads.spec_cpu2006 import spec_cpu2006
+    from repro.workloads.suite import SuiteGenerationConfig
+
+    data = spec_cpu2006().generate(
+        SuiteGenerationConfig(total_samples=_TRAIN_SAMPLES, seed=_TRAIN_SEED)
+    )
+    tree = ModelTree(ModelTreeConfig(min_leaf=40)).fit_sample_set(data)
+    record = registry.publish(
+        tree, metadata={"suite": "cpu2006", "origin": "servebench"}
+    )
+    return record, data.X
+
+
+def _drive(url: str, payloads: List[bytes], latencies: List[float]) -> None:
+    """One client thread: fire requests back-to-back, record wall times."""
+    for body in payloads:
+        request = urllib.request.Request(
+            url,
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        start = time.perf_counter()
+        with urllib.request.urlopen(request, timeout=30) as response:
+            response.read()
+        latencies.append(time.perf_counter() - start)
+
+
+def _engine_counters() -> Dict[str, float]:
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    return {
+        "batches": registry.counter("serve.engine.batches").value,
+        "rows": registry.counter("serve.engine.rows").value,
+        "requests": registry.counter("serve.engine.requests").value,
+    }
+
+
+def run(threads: int, requests: int) -> Dict[str, Dict[str, object]]:
+    import numpy as np
+
+    from repro.serve.api import ModelServer
+    from repro.serve.registry import ModelRegistry
+
+    results: Dict[str, Dict[str, object]] = {}
+    with tempfile.TemporaryDirectory(prefix="servebench-") as tmp:
+        registry = ModelRegistry(tmp)
+        record, X_train = _publish_model(registry)
+        rng = np.random.default_rng(99)
+        print(
+            f"serving model {record.model_id} ({record.n_leaves} leaves) "
+            f"to {threads} client thread(s), {requests} requests each"
+        )
+        with ModelServer(registry, port=0) as server:
+            predict_url = f"{server.url}/v1/models/latest/predict"
+            for batch_size in BATCH_SIZES:
+                rows = X_train[
+                    rng.integers(0, len(X_train), size=batch_size)
+                ]
+                body = json.dumps({"instances": rows.tolist()}).encode()
+                payloads = [body] * requests
+                # Warm the path (tree in LRU, threads spawned) off-clock.
+                _drive(predict_url, payloads[:2], [])
+
+                before = _engine_counters()
+                lat: List[List[float]] = [[] for _ in range(threads)]
+                workers = [
+                    threading.Thread(
+                        target=_drive, args=(predict_url, payloads, lat[i])
+                    )
+                    for i in range(threads)
+                ]
+                start = time.perf_counter()
+                for worker in workers:
+                    worker.start()
+                for worker in workers:
+                    worker.join()
+                elapsed = time.perf_counter() - start
+                after = _engine_counters()
+
+                latencies = sorted(t for bucket in lat for t in bucket)
+                n_requests = len(latencies)
+                batches = after["batches"] - before["batches"]
+                results[str(batch_size)] = {
+                    "batch_size": batch_size,
+                    "threads": threads,
+                    "requests": n_requests,
+                    "p50_ms": _percentile(latencies, 0.50) * 1e3,
+                    "p95_ms": _percentile(latencies, 0.95) * 1e3,
+                    "p99_ms": _percentile(latencies, 0.99) * 1e3,
+                    "mean_ms": 1e3 * sum(latencies) / n_requests,
+                    "requests_per_s": n_requests / elapsed,
+                    "rows_per_s": n_requests * batch_size / elapsed,
+                    "engine_batches": batches,
+                    "rows_per_engine_batch": (
+                        (after["rows"] - before["rows"]) / batches
+                        if batches
+                        else float("nan")
+                    ),
+                }
+                r = results[str(batch_size)]
+                print(
+                    f"batch {batch_size:3d}: p50 {r['p50_ms']:7.2f} ms  "
+                    f"p95 {r['p95_ms']:7.2f} ms  p99 {r['p99_ms']:7.2f} ms  "
+                    f"{r['rows_per_s']:10.0f} rows/s"
+                )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=50,
+                        help="requests per thread per batch size")
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).parent / "BENCH_serve.json"),
+    )
+    args = parser.parse_args(argv)
+    if args.threads < 1 or args.requests < 1:
+        parser.error("--threads and --requests must be at least 1")
+
+    results = run(args.threads, args.requests)
+
+    snapshot = {
+        "schema": "repro-servebench-v1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "batch_sizes": list(BATCH_SIZES),
+        "results": results,
+    }
+    path = Path(args.output)
+    path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@ Examples::
     repro list               # show the experiment index
     repro E7 --trace trace.jsonl   # run with hierarchical tracing
     repro trace-summary trace.jsonl  # render an exported trace
+    repro publish cpu2006 --registry ./models   # train + register a model
+    repro serve --registry ./models --port 8080 # serve it over HTTP
 """
 
 from __future__ import annotations
@@ -60,8 +62,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment ids (E1..E20), 'all', 'list', 'report', "
             "'catalog <suite>', 'describe <benchmark>', 'rules <suite>', "
-            "'dot <suite>', 'export <suite> <path>', or "
-            "'trace-summary <trace.jsonl>'"
+            "'dot <suite>', 'export <suite> <path>', "
+            "'trace-summary <trace.jsonl>', 'publish <suite>', or 'serve'"
         ),
     )
     parser.add_argument(
@@ -109,10 +111,69 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the process metrics registry to stderr after the run",
     )
+    serving = parser.add_argument_group("serving ('publish' and 'serve')")
+    serving.add_argument(
+        "--registry",
+        default=None,
+        metavar="DIR",
+        help="model registry directory (required for publish/serve)",
+    )
+    serving.add_argument(
+        "--alias",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="alias(es) to point at a published model (default: latest)",
+    )
+    serving.add_argument(
+        "--host", default="127.0.0.1", help="serve: bind address"
+    )
+    serving.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="serve: TCP port (0 picks an ephemeral port)",
+    )
+    serving.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        metavar="N",
+        help="serve: max rows coalesced into one prediction batch",
+    )
+    serving.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="serve: max time the head request waits for a batch to fill",
+    )
+    serving.add_argument(
+        "--self-test",
+        action="store_true",
+        help=(
+            "serve: boot on an ephemeral port, round-trip one predict "
+            "request, verify bit-identical results, exit"
+        ),
+    )
     return parser
 
 
 _SUITES = {"cpu2006": "cpu2006", "omp2001": "omp2001", "cpu2000": "cpu2000"}
+
+
+def _config_from_args(args) -> ExperimentConfig:
+    """The battery configuration implied by --seed/--scale."""
+    config = ExperimentConfig()
+    if args.seed is not None:
+        config = ExperimentConfig(
+            cpu_samples=config.cpu_samples,
+            omp_samples=config.omp_samples,
+            seed=args.seed,
+        )
+    if args.scale != 1.0:
+        config = config.scaled(args.scale)
+    return config
 
 
 def _suite_by_name(name: str):
@@ -197,6 +258,44 @@ def _run_subcommand(args) -> Optional[int]:
             print("usage: repro describe <benchmark>", file=sys.stderr)
             return 2
         return _describe_benchmark(words[1], args)
+    if command == "publish":
+        if len(words) != 2 or words[1].lower() not in ("cpu2006", "omp2001"):
+            print(
+                "usage: repro publish <cpu2006|omp2001> --registry DIR",
+                file=sys.stderr,
+            )
+            return 2
+        if args.registry is None:
+            print("publish: --registry DIR is required", file=sys.stderr)
+            return 2
+        from repro.serve.publish import publish_from_config
+        from repro.serve.registry import ModelRegistry
+
+        registry = ModelRegistry(args.registry)
+        record = publish_from_config(
+            registry,
+            words[1].lower(),
+            config=_config_from_args(args),
+            cache_dir=args.cache_dir,
+            aliases=tuple(args.alias) if args.alias else ("latest",),
+            argv=["repro", *words],
+        )
+        aliases = ", ".join(args.alias) if args.alias else "latest"
+        print(
+            f"published {record.model_id} ({record.n_leaves} leaves, "
+            f"{record.n_features} features, suite "
+            f"{record.metadata.get('suite')}) -> {aliases}"
+        )
+        return 0
+    if command == "serve":
+        if len(words) != 1:
+            print("usage: repro serve --registry DIR [--port N]",
+                  file=sys.stderr)
+            return 2
+        if args.registry is None:
+            print("serve: --registry DIR is required", file=sys.stderr)
+            return 2
+        return _serve(args)
     if command == "trace-summary":
         if len(words) != 2:
             print("usage: repro trace-summary <trace.jsonl>", file=sys.stderr)
@@ -236,6 +335,63 @@ def _run_subcommand(args) -> Optional[int]:
         print(f"wrote {len(data)} intervals to {path}")
         return 0
     return None
+
+
+def _serve(args) -> int:
+    """Run the model server until SIGTERM/SIGINT, then drain and exit."""
+    from repro.serve.engine import BatchConfig
+
+    try:
+        batch = BatchConfig(
+            max_batch=args.max_batch, max_wait_s=args.max_wait_ms / 1000.0
+        )
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        from repro.serve.selftest import run_self_test
+
+        return run_self_test(args.registry, batch=batch)
+
+    import signal
+    import threading
+
+    from repro.obs.metrics import get_registry
+    from repro.serve.api import ModelServer
+    from repro.serve.registry import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    server = ModelServer(
+        registry, host=args.host, port=args.port, batch=batch
+    )
+    stop = threading.Event()
+
+    def _drain(signum, frame) -> None:
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _drain)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    server.start()
+    host, port = server.address
+    print(
+        f"serving {len(registry)} model(s) on http://{host}:{port} "
+        f"(max_batch={batch.max_batch}, max_wait="
+        f"{batch.max_wait_s * 1e3:g}ms; SIGTERM/Ctrl-C drains and exits)",
+        file=sys.stderr,
+    )
+    try:
+        stop.wait()
+        print("draining...", file=sys.stderr)
+        server.shutdown()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    served = get_registry().counter("serve.http.requests").value
+    print(f"served {served} request(s); bye", file=sys.stderr)
+    return 0
 
 
 def _describe_benchmark(name: str, args) -> int:
@@ -310,15 +466,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    config = ExperimentConfig()
-    if args.seed is not None:
-        config = ExperimentConfig(
-            cpu_samples=config.cpu_samples,
-            omp_samples=config.omp_samples,
-            seed=args.seed,
-        )
-    if args.scale != 1.0:
-        config = config.scaled(args.scale)
+    config = _config_from_args(args)
     if args.jobs is not None and args.jobs < 1:
         print(f"--jobs must be at least 1, got {args.jobs}", file=sys.stderr)
         return 2

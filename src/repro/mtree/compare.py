@@ -55,6 +55,23 @@ class ModelComparison:
     def only_in_b(self) -> Tuple[str, ...]:
         return tuple(sorted(self.split_events_b - self.split_events_a))
 
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (the serving layer's compare endpoint)."""
+        return {
+            "name_a": self.name_a,
+            "name_b": self.name_b,
+            "split_events_a": sorted(self.split_events_a),
+            "split_events_b": sorted(self.split_events_b),
+            "leaf_events_a": sorted(self.leaf_events_a),
+            "leaf_events_b": sorted(self.leaf_events_b),
+            "shared_split_events": list(self.shared_split_events),
+            "only_in_a": list(self.only_in_a),
+            "only_in_b": list(self.only_in_b),
+            "split_jaccard": self.split_jaccard,
+            "leaf_jaccard": self.leaf_jaccard,
+            "weighted_overlap": self.weighted_overlap,
+        }
+
     def summary(self) -> str:
         return "\n".join(
             [

@@ -3,7 +3,14 @@
 ``tree_to_dict``/``tree_from_dict`` round-trip a fitted tree through
 plain dicts/lists so models can be archived next to experiment outputs
 (the shape of a characterization study depends on the exact tree, so
-persisting it matters for reproducibility).
+persisting it matters for reproducibility) and served long after the
+training process exited (:mod:`repro.serve` stores exactly this
+payload as its on-disk artifact).
+
+Versioning: payloads carry ``schema_version`` (current: 2) and, for
+readers predating it, the original ``format_version: 1`` marker.
+Version-1 payloads (no ``schema_version``) load unchanged; unknown
+versions are rejected rather than guessed at.
 """
 
 from __future__ import annotations
@@ -15,9 +22,14 @@ import numpy as np
 from repro.mtree.linear import LinearModel
 from repro.mtree.tree import LeafNode, ModelTree, ModelTreeConfig, SplitNode, TreeNode
 
-__all__ = ["tree_to_dict", "tree_from_dict"]
+__all__ = ["tree_to_dict", "tree_from_dict", "SCHEMA_VERSION"]
 
+#: Legacy marker written by (and required of) version-1 payloads.
 _FORMAT_VERSION = 1
+
+#: Current payload schema.  Bump when the payload shape changes;
+#: ``tree_from_dict`` keeps accepting every version it knows how to read.
+SCHEMA_VERSION = 2
 
 
 def _model_to_dict(model: LinearModel) -> Dict[str, Any]:
@@ -93,6 +105,7 @@ def tree_to_dict(tree: ModelTree) -> Dict[str, Any]:
         raise RuntimeError("cannot serialize an unfitted tree")
     config = tree.config
     return {
+        "schema_version": SCHEMA_VERSION,
         "format_version": _FORMAT_VERSION,
         "config": {
             "min_leaf": config.min_leaf,
@@ -112,11 +125,22 @@ def tree_to_dict(tree: ModelTree) -> Dict[str, Any]:
 
 def tree_from_dict(payload: Dict[str, Any]) -> ModelTree:
     """Reconstruct a fitted tree from :func:`tree_to_dict` output."""
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    schema = payload.get("schema_version")
+    legacy = payload.get("format_version")
+    if schema is None:
+        # Version-1 payload: identified solely by the legacy marker.
+        if legacy != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model tree format version {legacy!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+    elif schema != SCHEMA_VERSION or (
+        legacy is not None and legacy != _FORMAT_VERSION
+    ):
         raise ValueError(
-            f"unsupported model tree format version {version!r} "
-            f"(expected {_FORMAT_VERSION})"
+            f"unsupported model tree schema version {schema!r} "
+            f"(format version {legacy!r}); this reader supports "
+            f"schema <= {SCHEMA_VERSION}"
         )
     tree = ModelTree(ModelTreeConfig(**payload["config"]))
     tree.feature_names = tuple(payload["feature_names"])

@@ -446,10 +446,30 @@ class ModelTree:
     # -- prediction --------------------------------------------------------
 
     def _check_X(self, X: np.ndarray) -> np.ndarray:
+        """Validate prediction inputs at the serving boundary.
+
+        A tree that silently mispredicts on malformed input (a 1-D
+        vector, a transposed matrix, NaN densities from a broken
+        collector) is worse than one that refuses: every caller —
+        including the HTTP serving path — relies on these checks.
+        """
         X = np.asarray(X, dtype=float)
-        if X.ndim != 2 or X.shape[1] != len(self.feature_names):
+        if X.ndim != 2:
             raise ValueError(
-                f"expected (n, {len(self.feature_names)}) inputs, got {X.shape}"
+                f"X must be 2-D (n_samples, {len(self.feature_names)}); "
+                f"got ndim={X.ndim} with shape {X.shape}"
+            )
+        if X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"X has {X.shape[1]} feature column(s); this tree was "
+                f"fitted on {len(self.feature_names)}"
+            )
+        finite = np.isfinite(X)
+        if not finite.all():
+            bad_rows = np.flatnonzero(~finite.all(axis=1))
+            raise ValueError(
+                f"X contains NaN/Inf in {bad_rows.size} row(s) "
+                f"(first bad row: {int(bad_rows[0])})"
             )
         return X
 

@@ -46,6 +46,7 @@ from repro.obs.metrics import (
 from repro.obs.summary import (
     format_metrics_table,
     read_trace,
+    render_prometheus,
     render_trace_summary,
 )
 from repro.obs.trace import (
@@ -74,6 +75,7 @@ __all__ = [
     "histogram",
     "format_metrics_table",
     "read_trace",
+    "render_prometheus",
     "render_trace_summary",
     "Span",
     "Tracer",

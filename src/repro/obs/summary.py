@@ -12,7 +12,12 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-__all__ = ["read_trace", "render_trace_summary", "format_metrics_table"]
+__all__ = [
+    "read_trace",
+    "render_trace_summary",
+    "format_metrics_table",
+    "render_prometheus",
+]
 
 
 def read_trace(
@@ -125,6 +130,49 @@ def format_metrics_table(
             f" mean={mean:.6g} min={metric.get('min')} max={metric.get('max')}"
         )
     return "\n".join(lines)
+
+
+def _prometheus_name(name: str) -> str:
+    """Map a dotted registry name to a Prometheus metric name."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"repro_{cleaned}"
+
+
+def render_prometheus(metrics: List[Dict[str, Any]]) -> str:
+    """Text exposition of registry records (the serving ``/metrics``).
+
+    Counters and gauges render one sample each; histograms render
+    ``_count``/``_sum`` plus cumulative ``_bucket`` samples whose ``le``
+    labels are the upper edges of the registry's log2 buckets.  The
+    output follows the Prometheus text format closely enough for
+    standard scrapers while staying dependency-free.
+    """
+    lines: List[str] = []
+    for record in sorted(metrics, key=lambda m: m.get("name", "")):
+        name = _prometheus_name(record["name"])
+        kind = record.get("kind")
+        if kind == "counter":
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {record['value']}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {record['value']}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            buckets = record.get("buckets", {})
+            for index in sorted(buckets, key=int):
+                cumulative += buckets[index]
+                lines.append(
+                    f'{name}_bucket{{le="{2.0 ** int(index):g}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {record["count"]}')
+            lines.append(f"{name}_sum {record['sum']}")
+            lines.append(f"{name}_count {record['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def render_trace_summary(path: Union[str, Path]) -> str:

@@ -1,0 +1,44 @@
+"""repro.serve — model serving: registry, batching engine, HTTP API.
+
+The paper's end product is a reusable artifact: a trained M5' tree
+that predicts CPI and answers profile/similarity queries.  This
+package keeps such trees alive beyond the training process:
+
+* :mod:`repro.serve.registry` — a versioned, content-addressed on-disk
+  store of serialized trees with integrity hashes, aliases
+  (``latest``) and an in-process LRU of deserialized models.
+* :mod:`repro.serve.engine` — a micro-batching prediction engine:
+  requests coalesce in a queue and flush through the vectorized
+  ``ModelTree.predict`` (max-batch / max-wait knobs).
+* :mod:`repro.serve.api` — a threaded stdlib HTTP/JSON API with
+  structured errors, request-size limits and graceful drain.
+* :mod:`repro.serve.publish` — train-and-register from an experiment
+  configuration, embedding the run manifest as provenance.
+
+CLI entry points: ``repro publish`` and ``repro serve`` (see
+``docs/SERVING.md``).
+"""
+
+from repro.serve.engine import BatchConfig, PredictionEngine
+from repro.serve.api import ApiError, ModelServer
+from repro.serve.publish import publish_from_config
+from repro.serve.registry import (
+    CorruptArtifact,
+    ModelNotFound,
+    ModelRecord,
+    ModelRegistry,
+    RegistryError,
+)
+
+__all__ = [
+    "ApiError",
+    "BatchConfig",
+    "CorruptArtifact",
+    "ModelNotFound",
+    "ModelRecord",
+    "ModelRegistry",
+    "ModelServer",
+    "PredictionEngine",
+    "RegistryError",
+    "publish_from_config",
+]

@@ -1,0 +1,401 @@
+"""Threaded HTTP/JSON API over the registry and prediction engine.
+
+Stdlib only (:mod:`http.server`): each connection is handled on its own
+thread by ``ThreadingHTTPServer`` while all predictions funnel through
+the engine's single batching worker — many slow clients, one fast
+vectorized compute path.
+
+Routes (see ``docs/SERVING.md`` for the full reference)::
+
+    GET  /healthz                          liveness + model count
+    GET  /metrics                          Prometheus text exposition
+    GET  /v1/models                        list published records
+    GET  /v1/models/{ref}                  one record (id or alias)
+    GET  /v1/models/{ref}/profile          leaf models, equations, shares
+    GET  /v1/models/{ref}/compare/{ref2}   structural tree comparison
+    POST /v1/models/{ref}/predict          micro-batched CPI prediction
+
+Errors are structured JSON — ``{"error": {"code", "message"}}`` — with
+conventional status codes: 400 malformed body/shape, 404 unknown model
+or route, 405 wrong method, 413 oversized body, 500 integrity or
+internal failures.  Bodies above ``max_body_bytes`` are rejected
+before being read into memory.
+
+Shutdown is graceful: :meth:`ModelServer.shutdown` stops accepting
+connections, then drains the engine queue so every accepted predict
+request is answered before the process exits (the CLI wires this to
+SIGTERM/SIGINT).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import counter, histogram
+from repro.obs.summary import render_prometheus
+from repro.obs.trace import span as obs_span
+from repro.serve.engine import BatchConfig, PredictionEngine
+from repro.serve.registry import (
+    CorruptArtifact,
+    ModelNotFound,
+    ModelRegistry,
+    RegistryError,
+)
+
+__all__ = ["ApiError", "ModelServer", "DEFAULT_MAX_BODY_BYTES"]
+
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_HTTP_REQUESTS = counter("serve.http.requests")
+_HTTP_2XX = counter("serve.http.responses_2xx")
+_HTTP_4XX = counter("serve.http.responses_4xx")
+_HTTP_5XX = counter("serve.http.responses_5xx")
+_HTTP_LATENCY = histogram("serve.http.latency_s")
+_PREDICTIONS = counter("serve.http.predictions")
+
+
+class ApiError(Exception):
+    """A structured, client-visible failure."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+def _instances_to_matrix(
+    body: Dict[str, Any], feature_names: Tuple[str, ...]
+) -> np.ndarray:
+    """Decode the ``instances`` field into a (n, n_features) matrix.
+
+    Rows may be arrays (schema order) or objects keyed by event name;
+    object rows must cover the schema exactly — a misspelled event is a
+    400, not a silently-zeroed column.
+    """
+    instances = body.get("instances")
+    if not isinstance(instances, list) or not instances:
+        raise ApiError(
+            400, "invalid_instances", "'instances' must be a non-empty list"
+        )
+    rows = []
+    index = {name: i for i, name in enumerate(feature_names)}
+    for row_number, row in enumerate(instances):
+        if isinstance(row, dict):
+            unknown = sorted(set(row) - set(index))
+            missing = sorted(set(index) - set(row))
+            if unknown or missing:
+                raise ApiError(
+                    400,
+                    "invalid_instances",
+                    f"instances[{row_number}]: unknown events {unknown}, "
+                    f"missing events {missing}",
+                )
+            rows.append([row[name] for name in feature_names])
+        elif isinstance(row, list):
+            if len(row) != len(feature_names):
+                raise ApiError(
+                    400,
+                    "invalid_instances",
+                    f"instances[{row_number}] has {len(row)} value(s); "
+                    f"the model expects {len(feature_names)}",
+                )
+            rows.append(row)
+        else:
+            raise ApiError(
+                400,
+                "invalid_instances",
+                f"instances[{row_number}] must be an array or an object",
+            )
+    try:
+        return np.asarray(rows, dtype=float)
+    except (TypeError, ValueError) as error:
+        raise ApiError(
+            400, "invalid_instances", f"non-numeric instance value: {error}"
+        ) from None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Dispatches one request; all state lives on ``self.server``."""
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Access logging is the metrics registry's job; stderr stays
+        # quiet so the CLI and tests are readable.
+        pass
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise ApiError(
+                411, "length_required", "Content-Length header is required"
+            )
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise ApiError(
+                400, "invalid_length", "Content-Length is not an integer"
+            ) from None
+        if length > self.server.max_body_bytes:
+            raise ApiError(
+                413,
+                "body_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes}-byte limit",
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ApiError(
+                400, "invalid_json", f"request body is not valid JSON: {error}"
+            ) from None
+        if not isinstance(body, dict):
+            raise ApiError(
+                400, "invalid_json", "request body must be a JSON object"
+            )
+        return body
+
+    # -- dispatch --------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        start = time.perf_counter()
+        with self.server.stats_lock:
+            _HTTP_REQUESTS.inc()
+        status = 500
+        try:
+            with obs_span("serve.http", method=method, path=self.path):
+                status = self._route(method)
+        except ApiError as error:
+            status = error.status
+            self._send_json(
+                error.status,
+                {"error": {"code": error.code, "message": error.message}},
+            )
+        except ModelNotFound as error:
+            status = 404
+            self._send_json(
+                404, {"error": {"code": "model_not_found", "message": str(error)}}
+            )
+        except CorruptArtifact as error:
+            status = 500
+            self._send_json(
+                500,
+                {"error": {"code": "corrupt_artifact", "message": str(error)}},
+            )
+        except ValueError as error:
+            # The hardened ModelTree.predict boundary surfaces here.
+            status = 400
+            self._send_json(
+                400, {"error": {"code": "invalid_input", "message": str(error)}}
+            )
+        except (BrokenPipeError, ConnectionResetError):
+            status = 499  # client went away; nothing to send
+        except Exception as error:  # pragma: no cover - defensive
+            status = 500
+            self._send_json(
+                500, {"error": {"code": "internal", "message": str(error)}}
+            )
+        finally:
+            with self.server.stats_lock:
+                _HTTP_LATENCY.observe(time.perf_counter() - start)
+                if 200 <= status < 300:
+                    _HTTP_2XX.inc()
+                elif 400 <= status < 500:
+                    _HTTP_4XX.inc()
+                else:
+                    _HTTP_5XX.inc()
+
+    def _route(self, method: str) -> int:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+
+        if path == "/healthz" and method == "GET":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "models": len(self.server.registry),
+                    "engine_running": self.server.engine.running,
+                },
+            )
+            return 200
+        if path == "/metrics" and method == "GET":
+            from repro.obs.metrics import get_registry
+
+            self._send_text(
+                200,
+                render_prometheus(get_registry().as_records()),
+                "text/plain; version=0.0.4",
+            )
+            return 200
+        if parts[:2] == ["v1", "models"]:
+            return self._route_models(method, parts[2:])
+        raise ApiError(404, "not_found", f"no route for {method} {path}")
+
+    def _route_models(self, method: str, rest: list) -> int:
+        registry = self.server.registry
+        engine = self.server.engine
+        if not rest:
+            if method != "GET":
+                raise ApiError(405, "method_not_allowed", "use GET")
+            self._send_json(
+                200,
+                {
+                    "models": [r.as_dict() for r in registry.list_records()],
+                    "aliases": registry.aliases(),
+                },
+            )
+            return 200
+        ref = rest[0]
+        if len(rest) == 1:
+            if method != "GET":
+                raise ApiError(405, "method_not_allowed", "use GET")
+            self._send_json(200, registry.record(ref).as_dict())
+            return 200
+        action = rest[1]
+        if action == "predict" and len(rest) == 2:
+            if method != "POST":
+                raise ApiError(405, "method_not_allowed", "use POST")
+            return self._predict(ref)
+        if action == "profile" and len(rest) == 2:
+            if method == "GET":
+                self._send_json(200, engine.profile(ref))
+                return 200
+            if method == "POST":
+                # Profile *submitted* rows through the model (Eq. 4).
+                body = self._read_body()
+                record, tree = registry.load(ref)
+                X = _instances_to_matrix(body, record.feature_names)
+                self._send_json(200, engine.profile_inputs(ref, X))
+                return 200
+            raise ApiError(405, "method_not_allowed", "use GET or POST")
+        if action == "compare" and len(rest) == 3:
+            if method != "GET":
+                raise ApiError(405, "method_not_allowed", "use GET")
+            self._send_json(200, engine.compare(ref, rest[2]))
+            return 200
+        raise ApiError(
+            404, "not_found", f"no route for {method} {self.path}"
+        )
+
+    def _predict(self, ref: str) -> int:
+        body = self._read_body()
+        record = self.server.registry.record(ref)
+        X = _instances_to_matrix(body, record.feature_names)
+        smooth = body.get("smooth")
+        if smooth is not None and not isinstance(smooth, bool):
+            raise ApiError(400, "invalid_smooth", "'smooth' must be a boolean")
+        predictions = self.server.engine.predict(ref, X, smooth=smooth)
+        with self.server.stats_lock:
+            _PREDICTIONS.inc(X.shape[0])
+        self._send_json(
+            200,
+            {
+                "model_id": record.model_id,
+                "n": int(X.shape[0]),
+                "predictions": predictions.tolist(),
+            },
+        )
+        return 200
+
+
+class ModelServer:
+    """The serving process: registry + engine + threaded HTTP front end.
+
+    ``port=0`` binds an ephemeral port (read :attr:`address` after
+    construction) — the self-test and the test suite rely on this.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        batch: Optional[BatchConfig] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ) -> None:
+        self.registry = registry
+        self.engine = PredictionEngine(registry, batch=batch)
+        self.max_body_bytes = max_body_bytes
+        self.stats_lock = threading.Lock()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        # Handlers reach everything through self.server.<attr>.
+        self._httpd.registry = self.registry  # type: ignore[attr-defined]
+        self._httpd.engine = self.engine  # type: ignore[attr-defined]
+        self._httpd.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
+        self._httpd.stats_lock = self.stats_lock  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) actually bound — port is resolved for port=0."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ModelServer":
+        """Serve on a background thread (tests, benchmarks)."""
+        self.engine.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (the CLI)."""
+        self.engine.start()
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain queued predictions, release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self.engine.stop()
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

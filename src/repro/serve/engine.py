@@ -1,0 +1,344 @@
+"""Micro-batching prediction engine over a model registry.
+
+Individual predict calls (one per HTTP request) are cheap for the
+caller but expensive to run one-by-one: :meth:`ModelTree.predict` is
+vectorized, so 64 single-row traversals cost ~64x what one 64-row
+traversal does.  The engine closes that gap with request coalescing: a
+single worker thread drains a queue, groups consecutive requests by
+(model, smoothing) and flushes a group when it reaches ``max_batch``
+rows or the oldest request has waited ``max_wait_s`` — the standard
+latency/throughput knob pair of model servers.
+
+Because one worker executes all predictions, results are deterministic
+and bit-identical to calling ``tree.predict`` directly on the same
+rows: batching concatenates inputs and splits outputs, and the tree's
+row-partitioned traversal computes each row's prediction independently
+of its batch neighbours.
+
+The engine also answers the characterization queries a model server
+needs beyond raw CPI: leaf profiles (which linear models exist, their
+equations and training shares), Eq. 4 workload profiling (classify
+submitted rows and measure their L1 distance from the training
+distribution), and structural model-vs-model comparison via
+:mod:`repro.mtree.compare`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.characterization.similarity import l1_difference
+from repro.mtree.compare import compare_trees
+from repro.obs.metrics import counter, histogram
+from repro.obs.trace import span as obs_span
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["BatchConfig", "PredictionEngine"]
+
+_REQUESTS = counter("serve.engine.requests")
+_ROWS = counter("serve.engine.rows")
+_BATCHES = counter("serve.engine.batches")
+_ERRORS = counter("serve.engine.errors")
+_BATCH_ROWS = histogram("serve.engine.batch_rows")
+_WAIT_S = histogram("serve.engine.queue_wait_s")
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Micro-batching knobs.
+
+    ``max_batch`` bounds the rows coalesced into one tree traversal;
+    ``max_wait_s`` bounds how long the first request of a batch may sit
+    in the queue waiting for company.  ``max_wait_s=0`` disables
+    coalescing-by-time: each flush takes whatever is already queued.
+    """
+
+    max_batch: int = 256
+    max_wait_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_s < 0:
+            raise ValueError(
+                f"max_wait_s must be non-negative, got {self.max_wait_s}"
+            )
+
+
+class _Request:
+    """One caller's rows plus the event its thread blocks on."""
+
+    __slots__ = ("model_id", "smooth", "X", "event", "result", "error")
+
+    def __init__(self, model_id: str, smooth: Optional[bool], X: np.ndarray):
+        self.model_id = model_id
+        self.smooth = smooth
+        self.X = X
+        self.event = threading.Event()
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
+_SHUTDOWN = object()
+
+
+class PredictionEngine:
+    """Serializes predictions through one batching worker thread.
+
+    Use as a context manager (or call :meth:`start`/:meth:`stop`)::
+
+        engine = PredictionEngine(registry)
+        with engine:
+            cpi = engine.predict("latest", X)
+
+    :meth:`stop` drains: requests already queued are answered before
+    the worker exits, and new submissions are refused.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        batch: Optional[BatchConfig] = None,
+    ) -> None:
+        self.registry = registry
+        self.batch = batch or BatchConfig()
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._worker: Optional[threading.Thread] = None
+        self._closed = True
+        # Serializes the closed-check+enqueue pair against stop(): once
+        # the shutdown sentinel is queued, nothing can enqueue behind it,
+        # so the drain provably answers every accepted request.
+        self._submit_lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and self._worker.is_alive()
+
+    def start(self) -> "PredictionEngine":
+        if self.running:
+            return self
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Refuse new work, answer everything queued, join the worker."""
+        if self._worker is None:
+            return
+        with self._submit_lock:
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout)
+        self._worker = None
+
+    def __enter__(self) -> "PredictionEngine":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- prediction ------------------------------------------------------
+
+    def predict(
+        self,
+        ref: str,
+        X: Any,
+        smooth: Optional[bool] = None,
+        timeout: Optional[float] = 30.0,
+    ) -> np.ndarray:
+        """CPI predictions for ``X`` through the micro-batching worker.
+
+        Validation (model existence, shape, finiteness) happens before
+        enqueueing, so malformed requests fail fast in the caller's
+        thread and never occupy batch capacity.
+        """
+        if self._closed or not self.running:
+            raise RuntimeError("prediction engine is not running")
+        model_id = self.registry.resolve(ref)
+        _, tree = self.registry.load(model_id)
+        X = tree._check_X(X)
+        request = _Request(model_id, smooth, X)
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("prediction engine is not running")
+            _REQUESTS.inc()
+            _ROWS.inc(X.shape[0])
+            self._queue.put(request)
+        if not request.event.wait(timeout):
+            raise TimeoutError(
+                f"prediction for model {model_id!r} timed out after "
+                f"{timeout}s"
+            )
+        if request.error is not None:
+            raise request.error
+        assert request.result is not None
+        return request.result
+
+    # -- characterization queries ---------------------------------------
+
+    def profile(self, ref: str) -> Dict[str, Any]:
+        """The model's linear-model profile (Tables II/IV row schema)."""
+        record, tree = self.registry.load(ref)
+        return {
+            "model_id": record.model_id,
+            "n_leaves": tree.n_leaves,
+            "depth": tree.depth(),
+            "n_train": tree.n_train,
+            "root_split": tree.root_split_feature(),
+            "split_features": tree.split_features(),
+            "leaves": [
+                {
+                    "name": leaf.name,
+                    "share_pct": 100.0 * leaf.share,
+                    "n_samples": leaf.n_samples,
+                    "mean_cpi": leaf.mean_y,
+                    "equation": leaf.model.equation(),
+                }
+                for leaf in tree.leaves()
+            ],
+        }
+
+    def profile_inputs(self, ref: str, X: Any) -> Dict[str, Any]:
+        """Classify rows into leaves and compare against training shares.
+
+        The returned ``l1_vs_training_pct`` is Eq. 4 applied to (input
+        distribution, training distribution): 0 means the submitted
+        workload exercises the model's regimes exactly like its
+        training suite; 100 means completely disjoint regimes — the
+        serving-time transferability warning light.
+        """
+        record, tree = self.registry.load(ref)
+        X = tree._check_X(X)
+        assignments = tree.assign_leaves(X)
+        n = X.shape[0]
+        shares = {
+            leaf.name: 100.0 * float(np.sum(assignments == leaf.name)) / n
+            for leaf in tree.leaves()
+        }
+        training = {
+            leaf.name: 100.0 * leaf.share for leaf in tree.leaves()
+        }
+        return {
+            "model_id": record.model_id,
+            "n": n,
+            "shares_pct": shares,
+            "training_shares_pct": training,
+            "l1_vs_training_pct": l1_difference(shares, training),
+        }
+
+    def compare(self, ref_a: str, ref_b: str) -> Dict[str, Any]:
+        """Structural similarity of two published models (Section VI)."""
+        record_a, tree_a = self.registry.load(ref_a)
+        record_b, tree_b = self.registry.load(ref_b)
+        comparison = compare_trees(
+            tree_a, tree_b, name_a=record_a.model_id, name_b=record_b.model_id
+        )
+        return comparison.as_dict()
+
+    # -- the worker ------------------------------------------------------
+
+    def _run(self) -> None:
+        cfg = self.batch
+        while True:
+            head = self._queue.get()
+            if head is _SHUTDOWN:
+                # Drain whatever arrived before the close flag was seen.
+                pending: List[_Request] = []
+                while True:
+                    try:
+                        item = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if item is not _SHUTDOWN:
+                        pending.append(item)
+                for group in self._group(pending):
+                    self._flush(group)
+                return
+            group = [head]
+            rows = head.X.shape[0]
+            deadline = time.monotonic() + cfg.max_wait_s
+            t_enqueue = time.monotonic()
+            while rows < cfg.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    self._queue.put(_SHUTDOWN)  # re-deliver for the drain
+                    break
+                if (item.model_id, item.smooth) != (
+                    head.model_id,
+                    head.smooth,
+                ):
+                    # Different model/mode: flush what we have, then put
+                    # the newcomer at the head of its own batch.
+                    self._flush(group)
+                    group, head = [item], item
+                    rows = item.X.shape[0]
+                    deadline = time.monotonic() + cfg.max_wait_s
+                    continue
+                group.append(item)
+                rows += item.X.shape[0]
+            _WAIT_S.observe(time.monotonic() - t_enqueue)
+            self._flush(group)
+
+    @staticmethod
+    def _group(requests: List[_Request]) -> List[List[_Request]]:
+        """Partition drained requests into same-(model, smooth) runs."""
+        groups: List[List[_Request]] = []
+        for request in requests:
+            if groups and (
+                groups[-1][0].model_id,
+                groups[-1][0].smooth,
+            ) == (request.model_id, request.smooth):
+                groups[-1].append(request)
+            else:
+                groups.append([request])
+        return groups
+
+    def _flush(self, group: List[_Request]) -> None:
+        if not group:
+            return
+        head = group[0]
+        rows = sum(r.X.shape[0] for r in group)
+        try:
+            with obs_span(
+                "serve.batch",
+                model=head.model_id,
+                requests=len(group),
+                rows=rows,
+            ):
+                _, tree = self.registry.load(head.model_id)
+                if len(group) == 1:
+                    predictions = tree.predict(head.X, smooth=head.smooth)
+                else:
+                    stacked = np.vstack([r.X for r in group])
+                    predictions = tree.predict(stacked, smooth=head.smooth)
+            _BATCHES.inc()
+            _BATCH_ROWS.observe(rows)
+            offset = 0
+            for request in group:
+                n = request.X.shape[0]
+                request.result = predictions[offset : offset + n]
+                offset += n
+                request.event.set()
+        except BaseException as error:  # answer callers, keep serving
+            _ERRORS.inc()
+            for request in group:
+                if request.error is None and request.result is None:
+                    request.error = error
+                request.event.set()

@@ -1,0 +1,63 @@
+"""Train-and-register: from experiment config to published model.
+
+``repro publish`` is this module: it reuses
+:class:`~repro.experiments.context.ExperimentContext` — the same cached
+generation, split and fit path every experiment uses — so the published
+model is bit-identical to the tree Figure 1/2 experiments would build
+from the same configuration, and the registry metadata embeds the full
+run manifest (:mod:`repro.obs.manifest`), answering "what produced this
+model?" long after the training process is gone.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.obs.manifest import build_manifest
+from repro.obs.trace import span as obs_span
+from repro.serve.registry import ModelRecord, ModelRegistry
+
+__all__ = ["publish_from_config"]
+
+
+def publish_from_config(
+    registry: ModelRegistry,
+    which: str,
+    config: Optional[ExperimentConfig] = None,
+    cache_dir: Optional[str] = None,
+    aliases: Sequence[str] = ("latest",),
+    argv: Optional[Sequence[str]] = None,
+) -> ModelRecord:
+    """Train the suite's M5' tree and publish it with full provenance.
+
+    ``which`` is ``"cpu2006"`` or ``"omp2001"``; ``aliases`` are
+    (re-)pointed at the new model, so a serving process resolving
+    ``latest`` picks it up on its next load.
+    """
+    config = config or ExperimentConfig()
+    ctx = ExperimentContext(config, cache_dir=cache_dir)
+    with obs_span("serve.publish", suite=which):
+        tree = ctx.tree(which)
+        train = ctx.train_set(which)
+        manifest = build_manifest(
+            config,
+            experiments=[f"publish:{which}"],
+            argv=list(argv) if argv is not None else sys.argv,
+            cache_dir=cache_dir,
+        )
+        record = registry.publish(
+            tree,
+            metadata={
+                "suite": which,
+                "suite_label": ctx.suite_label(which),
+                "seed": config.seed,
+                "n_train": len(train),
+                "train_fraction": config.train_fraction,
+                "manifest": manifest,
+            },
+            aliases=aliases,
+        )
+    return record

@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.mtree.serialize import tree_from_dict, tree_to_dict
+from repro.mtree.serialize import SCHEMA_VERSION, tree_from_dict, tree_to_dict
 from repro.mtree.tree import ModelTree, ModelTreeConfig
 
 
@@ -44,6 +44,47 @@ class TestRoundTrip:
         restored = json.loads(json.dumps(payload))
         clone = tree_from_dict(restored)
         assert clone.n_leaves == tree.n_leaves
+
+    @pytest.mark.parametrize("smooth", [True, False], ids=["smoothed", "raw"])
+    def test_bit_exact_across_smoothing_modes(self, fitted, smooth):
+        """Registry round trips must not perturb a single bit (serve.registry
+        content-addresses the payload and promises HTTP == direct predict)."""
+        _, X = fitted
+        rng = np.random.default_rng(9)
+        y = 1.5 * X[:, 0] - X[:, 2] + 0.05 * rng.standard_normal(len(X))
+        tree = ModelTree(ModelTreeConfig(min_leaf=20, smooth=smooth)).fit(
+            X, y, ("p", "q", "r")
+        )
+        clone = tree_from_dict(json.loads(json.dumps(tree_to_dict(tree))))
+        assert clone.config.smooth is smooth
+        for override in (None, True, False):
+            np.testing.assert_array_equal(
+                clone.predict(X, smooth=override),
+                tree.predict(X, smooth=override),
+            )
+
+
+class TestVersioning:
+    def test_payload_carries_both_version_markers(self, fitted):
+        tree, _ = fitted
+        payload = tree_to_dict(tree)
+        assert payload["schema_version"] == SCHEMA_VERSION == 2
+        assert payload["format_version"] == 1
+
+    def test_v1_payload_still_loads(self, fitted):
+        """Pre-schema_version payloads (format_version only) stay readable."""
+        tree, X = fitted
+        payload = tree_to_dict(tree)
+        del payload["schema_version"]
+        clone = tree_from_dict(payload)
+        np.testing.assert_array_equal(clone.predict(X), tree.predict(X))
+
+    def test_future_schema_rejected(self, fitted):
+        tree, _ = fitted
+        payload = tree_to_dict(tree)
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            tree_from_dict(payload)
 
 
 class TestErrors:

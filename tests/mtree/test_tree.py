@@ -124,6 +124,36 @@ class TestPrediction:
         with pytest.raises(ValueError):
             cpu_tree.predict(np.ones((3, 2)))
 
+    def test_predict_rejects_non_2d(self, cpu_tree):
+        n = len(cpu_tree.feature_names)
+        with pytest.raises(ValueError, match="2-D"):
+            cpu_tree.predict(np.ones(n))
+        with pytest.raises(ValueError, match="2-D"):
+            cpu_tree.predict(np.ones((2, 2, n)))
+
+    def test_predict_wrong_width_names_both_counts(self, cpu_tree):
+        n = len(cpu_tree.feature_names)
+        with pytest.raises(ValueError, match=rf"{n + 1}.*fitted on {n}"):
+            cpu_tree.predict(np.ones((3, n + 1)))
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_predict_rejects_non_finite(self, cpu_tree, bad):
+        n = len(cpu_tree.feature_names)
+        X = np.ones((4, n))
+        X[2, 0] = bad
+        with pytest.raises(ValueError, match=r"NaN/Inf.*first bad row: 2"):
+            cpu_tree.predict(X)
+        # assign_leaves shares the same validation gate
+        with pytest.raises(ValueError, match="NaN/Inf"):
+            cpu_tree.assign_leaves(X)
+
+    def test_predict_accepts_nested_lists(self, cpu_tree):
+        n = len(cpu_tree.feature_names)
+        rows = np.random.default_rng(5).random((3, n))
+        np.testing.assert_array_equal(
+            cpu_tree.predict(rows.tolist()), cpu_tree.predict(rows)
+        )
+
     def test_fit_validation(self):
         tree = ModelTree()
         with pytest.raises(ValueError):

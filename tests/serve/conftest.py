@@ -1,0 +1,35 @@
+"""Serving fixtures: tiny deterministic trees and a fresh registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+from repro.serve.registry import ModelRegistry
+
+
+def make_tree(seed: int = 3, smooth: bool = True) -> ModelTree:
+    """A small fitted tree over a 3-feature synthetic piecewise target."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((600, 3))
+    y = np.where(X[:, 1] <= 0.4, 2.0 * X[:, 0], 5.0 - X[:, 2])
+    y = y + 0.01 * rng.standard_normal(600)
+    config = ModelTreeConfig(min_leaf=15, smooth=smooth)
+    return ModelTree(config).fit(X, y, ("p", "q", "r"))
+
+
+@pytest.fixture(scope="module")
+def tiny_tree() -> ModelTree:
+    return make_tree()
+
+
+@pytest.fixture
+def registry(tmp_path) -> ModelRegistry:
+    return ModelRegistry(tmp_path / "registry")
+
+
+@pytest.fixture
+def probe() -> np.ndarray:
+    rng = np.random.default_rng(99)
+    return rng.random((32, 3))

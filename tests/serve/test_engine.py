@@ -1,0 +1,238 @@
+"""Prediction engine: batching semantics, equivalence, drain, queries."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import BatchConfig, PredictionEngine
+from repro.serve.registry import ModelNotFound
+
+from tests.serve.conftest import make_tree
+
+
+@pytest.fixture
+def published(registry, tiny_tree):
+    record = registry.publish(tiny_tree, metadata={"suite": "synth"})
+    return registry, record
+
+
+class TestBatchConfig:
+    def test_defaults(self):
+        config = BatchConfig()
+        assert config.max_batch >= 1
+        assert config.max_wait_s >= 0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            BatchConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchConfig(max_wait_s=-1)
+
+
+class TestPredict:
+    def test_bit_identical_to_direct_predict(
+        self, published, tiny_tree, probe
+    ):
+        registry, record = published
+        with PredictionEngine(registry) as engine:
+            result = engine.predict(record.model_id, probe)
+        np.testing.assert_array_equal(result, tiny_tree.predict(probe))
+
+    def test_alias_reference(self, published, tiny_tree, probe):
+        registry, _ = published
+        with PredictionEngine(registry) as engine:
+            result = engine.predict("latest", probe)
+        np.testing.assert_array_equal(result, tiny_tree.predict(probe))
+
+    def test_smoothing_override(self, published, tiny_tree, probe):
+        registry, record = published
+        with PredictionEngine(registry) as engine:
+            raw = engine.predict(record.model_id, probe, smooth=False)
+        np.testing.assert_array_equal(
+            raw, tiny_tree.predict(probe, smooth=False)
+        )
+
+    def test_concurrent_callers_all_get_their_rows(self, published, tiny_tree):
+        """Many threads, coalesced batches, per-caller results intact."""
+        registry, record = published
+        rng = np.random.default_rng(5)
+        inputs = [rng.random((rows, 3)) for rows in (1, 3, 7, 2, 5, 1, 4, 6)]
+        expected = [tiny_tree.predict(X) for X in inputs]
+        results = [None] * len(inputs)
+        errors = []
+        barrier = threading.Barrier(len(inputs))
+
+        def call(index: int) -> None:
+            try:
+                barrier.wait()
+                results[index] = engine.predict(record.model_id, inputs[index])
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        with PredictionEngine(
+            registry, batch=BatchConfig(max_batch=16, max_wait_s=0.01)
+        ) as engine:
+            threads = [
+                threading.Thread(target=call, args=(i,))
+                for i in range(len(inputs))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        for got, want in zip(results, expected):
+            np.testing.assert_allclose(got, want, rtol=0, atol=1e-12)
+
+    def test_mixed_models_in_queue(self, registry, probe):
+        """Requests for different models flush as separate batches."""
+        tree_a, tree_b = make_tree(seed=31), make_tree(seed=32)
+        a = registry.publish(tree_a, aliases=())
+        b = registry.publish(tree_b, aliases=())
+        with PredictionEngine(
+            registry, batch=BatchConfig(max_batch=64, max_wait_s=0.01)
+        ) as engine:
+            results = {}
+            errors = []
+
+            def call(key, ref):
+                try:
+                    results[key] = engine.predict(ref, probe)
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=call, args=(i, ref))
+                for i, ref in enumerate(
+                    [a.model_id, b.model_id, a.model_id, b.model_id]
+                )
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        np.testing.assert_array_equal(results[0], tree_a.predict(probe))
+        np.testing.assert_array_equal(results[1], tree_b.predict(probe))
+        np.testing.assert_array_equal(results[0], results[2])
+        np.testing.assert_array_equal(results[1], results[3])
+
+
+class TestValidation:
+    def test_unknown_model_fails_fast(self, published, probe):
+        registry, _ = published
+        with PredictionEngine(registry) as engine:
+            with pytest.raises(ModelNotFound):
+                engine.predict("ghost", probe)
+
+    def test_bad_shape_fails_fast(self, published):
+        registry, record = published
+        with PredictionEngine(registry) as engine:
+            with pytest.raises(ValueError, match="feature column"):
+                engine.predict(record.model_id, np.ones((4, 7)))
+
+    def test_non_finite_fails_fast(self, published):
+        registry, record = published
+        X = np.ones((3, 3))
+        X[1, 2] = np.nan
+        with PredictionEngine(registry) as engine:
+            with pytest.raises(ValueError, match="NaN/Inf"):
+                engine.predict(record.model_id, X)
+
+    def test_stopped_engine_refuses(self, published, probe):
+        registry, record = published
+        engine = PredictionEngine(registry)
+        with pytest.raises(RuntimeError, match="not running"):
+            engine.predict(record.model_id, probe)
+        engine.start()
+        engine.stop()
+        with pytest.raises(RuntimeError, match="not running"):
+            engine.predict(record.model_id, probe)
+
+
+class TestDrain:
+    def test_stop_answers_queued_work(self, published, tiny_tree, probe):
+        """Requests racing shutdown either finish or fail loudly."""
+        registry, record = published
+        engine = PredictionEngine(
+            registry, batch=BatchConfig(max_batch=4, max_wait_s=0.05)
+        ).start()
+        outcomes = []
+
+        def call() -> None:
+            try:
+                outcomes.append(engine.predict(record.model_id, probe))
+            except RuntimeError:
+                outcomes.append("refused")
+
+        threads = [threading.Thread(target=call) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        engine.stop()
+        for thread in threads:
+            thread.join()
+        assert len(outcomes) == 6
+        expected = tiny_tree.predict(probe)
+        for outcome in outcomes:
+            if not isinstance(outcome, str):
+                np.testing.assert_array_equal(outcome, expected)
+
+    def test_stop_is_idempotent(self, registry):
+        engine = PredictionEngine(registry).start()
+        engine.stop()
+        engine.stop()
+        assert not engine.running
+
+
+class TestQueries:
+    def test_profile(self, published, tiny_tree):
+        registry, record = published
+        engine = PredictionEngine(registry)  # profile works unstarted
+        profile = engine.profile("latest")
+        assert profile["model_id"] == record.model_id
+        assert profile["n_leaves"] == tiny_tree.n_leaves
+        assert len(profile["leaves"]) == tiny_tree.n_leaves
+        shares = sum(leaf["share_pct"] for leaf in profile["leaves"])
+        assert shares == pytest.approx(100.0)
+        assert profile["leaves"][0]["equation"].startswith("CPI =")
+
+    def test_profile_inputs_matches_training_distribution(
+        self, published, tiny_tree
+    ):
+        """Feeding back training-like data gives a small Eq. 4 distance."""
+        registry, record = published
+        rng = np.random.default_rng(3)
+        X = rng.random((2000, 3))
+        engine = PredictionEngine(registry)
+        result = engine.profile_inputs("latest", X)
+        assert result["n"] == 2000
+        assert sum(result["shares_pct"].values()) == pytest.approx(100.0)
+        assert 0.0 <= result["l1_vs_training_pct"] <= 100.0
+
+    def test_profile_inputs_skewed_distribution_is_distant(self, published):
+        registry, record = published
+        X = np.full((50, 3), 0.01)  # everything lands in one leaf
+        engine = PredictionEngine(registry)
+        result = engine.profile_inputs("latest", X)
+        assert max(result["shares_pct"].values()) == pytest.approx(100.0)
+        assert result["l1_vs_training_pct"] > 10.0
+
+    def test_compare_self_is_identical(self, published):
+        registry, record = published
+        engine = PredictionEngine(registry)
+        comparison = engine.compare("latest", record.model_id)
+        assert comparison["split_jaccard"] == 1.0
+        assert comparison["weighted_overlap"] == pytest.approx(1.0)
+
+    def test_compare_distinct_models(self, registry):
+        registry.publish(make_tree(seed=3), aliases=("a",))
+        registry.publish(make_tree(seed=4), aliases=("b",))
+        engine = PredictionEngine(registry)
+        comparison = engine.compare("a", "b")
+        assert 0.0 <= comparison["split_jaccard"] <= 1.0
+        assert set(comparison) >= {
+            "split_events_a",
+            "split_events_b",
+            "weighted_overlap",
+        }

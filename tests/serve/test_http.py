@@ -1,0 +1,235 @@
+"""HTTP API: end-to-end round trips, validation, limits, metrics."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve.api import ModelServer
+from repro.serve.engine import BatchConfig
+
+from tests.serve.conftest import make_tree
+
+
+@pytest.fixture
+def server(registry, tiny_tree):
+    registry.publish(tiny_tree, metadata={"suite": "synth"})
+    with ModelServer(
+        registry,
+        port=0,
+        batch=BatchConfig(max_batch=32, max_wait_s=0.001),
+        max_body_bytes=64 * 1024,
+    ) as running:
+        yield running
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=10) as response:
+        return response.status, response.read()
+
+
+def get_json(server, path):
+    status, body = get(server, path)
+    return status, json.loads(body)
+
+
+def post_json(server, path, payload):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestCoreRoutes:
+    def test_healthz(self, server):
+        status, body = get_json(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["models"] == 1
+        assert body["engine_running"] is True
+
+    def test_list_models(self, server, registry):
+        status, body = get_json(server, "/v1/models")
+        assert status == 200
+        assert len(body["models"]) == 1
+        assert body["aliases"]["latest"] == body["models"][0]["model_id"]
+
+    def test_model_record(self, server):
+        status, body = get_json(server, "/v1/models/latest")
+        assert status == 200
+        assert body["feature_names"] == ["p", "q", "r"]
+        assert body["metadata"]["suite"] == "synth"
+
+    def test_profile(self, server, tiny_tree):
+        status, body = get_json(server, "/v1/models/latest/profile")
+        assert status == 200
+        assert body["n_leaves"] == tiny_tree.n_leaves
+
+    def test_compare(self, server, registry):
+        other = registry.publish(make_tree(seed=8), aliases=("other",))
+        status, body = get_json(server, "/v1/models/latest/compare/other")
+        assert status == 200
+        assert body["name_b"] == other.model_id
+        assert 0.0 <= body["split_jaccard"] <= 1.0
+
+
+class TestPredict:
+    def test_bit_identical_to_direct_call(self, server, tiny_tree, probe):
+        status, body = post_json(
+            server, "/v1/models/latest/predict", {"instances": probe.tolist()}
+        )
+        assert status == 200
+        assert body["n"] == len(probe)
+        np.testing.assert_array_equal(
+            np.asarray(body["predictions"]), tiny_tree.predict(probe)
+        )
+
+    def test_object_rows(self, server, tiny_tree):
+        row = {"p": 0.5, "q": 0.2, "r": 0.9}
+        status, body = post_json(
+            server, "/v1/models/latest/predict", {"instances": [row]}
+        )
+        assert status == 200
+        expected = tiny_tree.predict(np.array([[0.5, 0.2, 0.9]]))
+        assert body["predictions"] == expected.tolist()
+
+    def test_smooth_override(self, server, tiny_tree, probe):
+        status, body = post_json(
+            server,
+            "/v1/models/latest/predict",
+            {"instances": probe.tolist(), "smooth": False},
+        )
+        assert status == 200
+        np.testing.assert_array_equal(
+            np.asarray(body["predictions"]),
+            tiny_tree.predict(probe, smooth=False),
+        )
+
+    def test_profile_inputs_post(self, server, probe):
+        status, body = post_json(
+            server, "/v1/models/latest/profile", {"instances": probe.tolist()}
+        )
+        assert status == 200
+        assert body["n"] == len(probe)
+        assert 0.0 <= body["l1_vs_training_pct"] <= 100.0
+
+
+class TestValidation:
+    def test_unknown_model_404(self, server):
+        status, body = post_json(
+            server, "/v1/models/ghost/predict", {"instances": [[0, 0, 0]]}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "model_not_found"
+
+    def test_unknown_route_404(self, server):
+        status, body = post_json(server, "/v2/oops", {})
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_wrong_method_405(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                server.url + "/v1/models/latest/predict", timeout=10
+            )
+        assert excinfo.value.code == 405
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"]["code"] == "method_not_allowed"
+
+    def test_invalid_json_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/models/latest/predict",
+            data=b"not json{",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"]["code"] == "invalid_json"
+
+    def test_wrong_width_400(self, server):
+        status, body = post_json(
+            server, "/v1/models/latest/predict", {"instances": [[1.0, 2.0]]}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_instances"
+
+    def test_unknown_event_name_400(self, server):
+        status, body = post_json(
+            server,
+            "/v1/models/latest/predict",
+            {"instances": [{"p": 1, "q": 2, "typo": 3}]},
+        )
+        assert status == 400
+        assert "typo" in body["error"]["message"]
+
+    def test_non_finite_400(self, server):
+        status, body = post_json(
+            server,
+            "/v1/models/latest/predict",
+            {"instances": [[float("nan"), 0.0, 0.0]]},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_input"
+
+    def test_empty_instances_400(self, server):
+        status, body = post_json(
+            server, "/v1/models/latest/predict", {"instances": []}
+        )
+        assert status == 400
+
+    def test_oversized_body_413(self, server):
+        huge = {"instances": [[0.0, 0.0, 0.0]] * 6000}  # > 64 KiB limit
+        status, body = post_json(server, "/v1/models/latest/predict", huge)
+        assert status == 413
+        assert body["error"]["code"] == "body_too_large"
+
+    def test_bad_smooth_400(self, server):
+        status, body = post_json(
+            server,
+            "/v1/models/latest/predict",
+            {"instances": [[0.1, 0.1, 0.1]], "smooth": "yes"},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_smooth"
+
+
+class TestMetrics:
+    def test_metrics_reflect_traffic(self, server, probe):
+        from repro.obs.metrics import get_registry
+
+        before = get_registry().counter("serve.http.predictions").value
+        post_json(
+            server, "/v1/models/latest/predict", {"instances": probe.tolist()}
+        )
+        status, body = get(server, "/metrics")
+        text = body.decode()
+        assert status == 200
+        assert "repro_serve_http_requests" in text
+        assert "repro_serve_engine_batch_rows_count" in text
+        after = get_registry().counter("serve.http.predictions").value
+        assert after - before == len(probe)
+
+
+class TestShutdown:
+    def test_shutdown_is_clean_and_idempotent(self, registry, tiny_tree):
+        registry.publish(tiny_tree)
+        server = ModelServer(registry, port=0).start()
+        assert get_json(server, "/healthz")[0] == 200
+        server.shutdown()
+        assert not server.engine.running
+        server.shutdown()  # second call is a no-op
+
+    def test_port_zero_binds_ephemeral(self, registry, tiny_tree):
+        registry.publish(tiny_tree)
+        with ModelServer(registry, port=0) as server:
+            host, port = server.address
+            assert port != 0

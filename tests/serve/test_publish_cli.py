@@ -1,0 +1,187 @@
+"""Publish flow and the serving CLI verbs (scaled for test speed)."""
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.obs.manifest import manifest_errors
+from repro.serve.publish import publish_from_config
+from repro.serve.registry import ModelRegistry
+
+SCALE = 0.05  # floors at 1000/1000 samples — fast but real
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return ExperimentConfig().scaled(SCALE)
+
+
+class TestPublishFromConfig:
+    def test_publishes_the_context_tree(self, tmp_path, small_config):
+        registry = ModelRegistry(tmp_path)
+        record = publish_from_config(registry, "cpu2006", config=small_config)
+        _, loaded = registry.load("latest")
+        direct = ExperimentContext(small_config).tree("cpu2006")
+        probe = np.random.default_rng(1).random((16, record.n_features))
+        np.testing.assert_array_equal(
+            loaded.predict(probe), direct.predict(probe)
+        )
+
+    def test_metadata_carries_valid_manifest(self, tmp_path, small_config):
+        registry = ModelRegistry(tmp_path)
+        record = publish_from_config(
+            registry, "cpu2006", config=small_config, argv=["repro", "publish"]
+        )
+        assert record.metadata["suite"] == "cpu2006"
+        assert record.metadata["seed"] == small_config.seed
+        manifest = record.metadata["manifest"]
+        assert manifest_errors(manifest) == []
+        assert manifest["experiments"] == ["publish:cpu2006"]
+
+    def test_custom_aliases(self, tmp_path, small_config):
+        registry = ModelRegistry(tmp_path)
+        record = publish_from_config(
+            registry,
+            "cpu2006",
+            config=small_config,
+            aliases=("latest", "cpu-prod"),
+        )
+        assert registry.resolve("cpu-prod") == record.model_id
+
+
+class TestCliPublish:
+    def test_publish_verb(self, tmp_path, capsys):
+        registry_dir = tmp_path / "registry"
+        assert (
+            main(
+                [
+                    "publish",
+                    "cpu2006",
+                    "--registry",
+                    str(registry_dir),
+                    "--scale",
+                    str(SCALE),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "published" in out and "latest" in out
+        assert len(ModelRegistry(registry_dir)) == 1
+
+    def test_publish_requires_registry(self, capsys):
+        assert main(["publish", "cpu2006"]) == 2
+        assert "--registry" in capsys.readouterr().err
+
+    def test_publish_unknown_suite(self, capsys, tmp_path):
+        assert (
+            main(["publish", "cpu2017", "--registry", str(tmp_path)]) == 2
+        )
+
+    def test_serve_requires_registry(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--registry" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_batch_knobs(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--registry",
+                    str(tmp_path),
+                    "--max-batch",
+                    "0",
+                    "--self-test",
+                ]
+            )
+            == 2
+        )
+        assert "max_batch" in capsys.readouterr().err
+
+
+class TestSelfTest:
+    def test_self_test_round_trip(self, tmp_path, capsys):
+        """The acceptance smoke: empty registry -> train -> serve -> verify."""
+        assert (
+            main(["serve", "--registry", str(tmp_path), "--self-test"]) == 0
+        )
+        err = capsys.readouterr().err
+        assert "self-test: ok" in err
+        assert "bit-identical" in err
+        # The fallback model was persisted and aliased for future boots.
+        registry = ModelRegistry(tmp_path)
+        assert registry.resolve("selftest") == registry.resolve("latest")
+
+    def test_self_test_reuses_published_model(self, tmp_path, capsys):
+        registry_dir = tmp_path / "registry"
+        assert (
+            main(
+                [
+                    "publish",
+                    "cpu2006",
+                    "--registry",
+                    str(registry_dir),
+                    "--scale",
+                    str(SCALE),
+                ]
+            )
+            == 0
+        )
+        published = ModelRegistry(registry_dir).resolve("latest")
+        assert (
+            main(["serve", "--registry", str(registry_dir), "--self-test"])
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert published[:8] in err  # probed the published model, not a new one
+        assert len(ModelRegistry(registry_dir)) == 1
+
+
+class TestEndToEndAcceptance:
+    def test_cli_publish_then_http_predict_bit_identical(
+        self, tmp_path, capsys
+    ):
+        """The PR's acceptance flow, minus the long-lived process."""
+        from repro.serve.api import ModelServer
+
+        registry_dir = tmp_path / "registry"
+        assert (
+            main(
+                [
+                    "publish",
+                    "cpu2006",
+                    "--registry",
+                    str(registry_dir),
+                    "--scale",
+                    str(SCALE),
+                ]
+            )
+            == 0
+        )
+        registry = ModelRegistry(registry_dir)
+        record, tree = registry.load("latest")
+        config = ExperimentConfig().scaled(SCALE)
+        test_set = ExperimentContext(config).test_set("cpu2006")
+        X = test_set.X[:64]
+        with ModelServer(registry, port=0) as server:
+            request = urllib.request.Request(
+                f"{server.url}/v1/models/latest/predict",
+                data=json.dumps({"instances": X.tolist()}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                reply = json.loads(response.read())
+            with urllib.request.urlopen(
+                f"{server.url}/metrics", timeout=10
+            ) as response:
+                metrics_text = response.read().decode()
+        np.testing.assert_array_equal(
+            np.asarray(reply["predictions"]), tree.predict(X)
+        )
+        assert reply["model_id"] == record.model_id
+        assert "repro_serve_http_predictions" in metrics_text

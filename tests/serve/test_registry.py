@@ -1,0 +1,228 @@
+"""Registry behaviour: publishing, aliasing, integrity, concurrency."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.registry import (
+    CorruptArtifact,
+    ModelNotFound,
+    ModelRecord,
+    ModelRegistry,
+    RegistryError,
+)
+
+from tests.serve.conftest import make_tree
+
+
+class TestPublish:
+    def test_publish_and_load_round_trip(self, registry, tiny_tree, probe):
+        record = registry.publish(tiny_tree, metadata={"suite": "synth"})
+        loaded_record, loaded_tree = registry.load(record.model_id)
+        assert loaded_record.model_id == record.model_id
+        assert loaded_record.metadata["suite"] == "synth"
+        np.testing.assert_array_equal(
+            loaded_tree.predict(probe), tiny_tree.predict(probe)
+        )
+
+    def test_content_addressed_id_is_deterministic(self, registry, tiny_tree):
+        first = registry.publish(tiny_tree)
+        second = registry.publish(tiny_tree)
+        assert first.model_id == second.model_id
+        assert first.artifact_sha256 == second.artifact_sha256
+        assert len(registry) == 1
+
+    def test_different_trees_get_different_ids(self, registry):
+        a = registry.publish(make_tree(seed=3))
+        b = registry.publish(make_tree(seed=4))
+        assert a.model_id != b.model_id
+        assert len(registry) == 2
+
+    def test_record_fields(self, registry, tiny_tree):
+        record = registry.publish(tiny_tree)
+        assert record.n_leaves == tiny_tree.n_leaves
+        assert record.n_features == 3
+        assert record.feature_names == ("p", "q", "r")
+        assert len(record.model_id) == 16
+        restored = ModelRecord.from_dict(
+            json.loads(json.dumps(record.as_dict()))
+        )
+        assert restored == record
+
+    def test_list_records_sorted_oldest_first(self, registry):
+        a = registry.publish(make_tree(seed=3))
+        b = registry.publish(make_tree(seed=4))
+        listed = [r.model_id for r in registry.list_records()]
+        assert set(listed) == {a.model_id, b.model_id}
+
+
+class TestAliases:
+    def test_latest_by_default(self, registry, tiny_tree):
+        record = registry.publish(tiny_tree)
+        assert registry.resolve("latest") == record.model_id
+
+    def test_repointing_latest(self, registry):
+        registry.publish(make_tree(seed=3))
+        newer = registry.publish(make_tree(seed=4))
+        assert registry.resolve("latest") == newer.model_id
+
+    def test_custom_aliases(self, registry, tiny_tree):
+        record = registry.publish(tiny_tree, aliases=("latest", "prod"))
+        assert registry.aliases() == {
+            "latest": record.model_id,
+            "prod": record.model_id,
+        }
+
+    def test_missing_alias_raises_model_not_found(self, registry, tiny_tree):
+        registry.publish(tiny_tree, aliases=())
+        with pytest.raises(ModelNotFound, match="no model or alias"):
+            registry.resolve("latest")
+
+    def test_alias_to_unknown_model_rejected(self, registry):
+        with pytest.raises(ModelNotFound):
+            registry.set_alias("latest", "0" * 16)
+
+    def test_dangling_alias_reported(self, registry, tiny_tree, tmp_path):
+        record = registry.publish(tiny_tree)
+        # Simulate a pruned model left behind by a partial cleanup.
+        (registry.root / "models" / record.model_id / "meta.json").unlink()
+        with pytest.raises(ModelNotFound, match="points at missing model"):
+            registry.resolve("latest")
+
+    def test_invalid_alias_name_rejected(self, registry, tiny_tree):
+        registry.publish(tiny_tree)
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(RegistryError):
+                registry.set_alias(bad, registry.resolve("latest"))
+
+    def test_model_not_found_message_is_prose(self, registry):
+        # KeyError subclasses normally repr() their message; ours must not.
+        try:
+            registry.resolve("ghost")
+        except ModelNotFound as error:
+            assert "no model or alias 'ghost'" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected ModelNotFound")
+
+
+class TestIntegrity:
+    def test_corrupted_artifact_detected(self, registry, tiny_tree):
+        record = registry.publish(tiny_tree)
+        artifact = registry.root / "models" / record.model_id / "artifact.json"
+        payload = json.loads(artifact.read_text())
+        payload["root"]["model"]["intercept"] += 0.25  # the silent killer
+        artifact.write_text(json.dumps(payload))
+        cold = ModelRegistry(registry.root)  # no LRU copy to hide behind
+        with pytest.raises(CorruptArtifact, match="hash mismatch"):
+            cold.load(record.model_id)
+
+    def test_truncated_artifact_detected(self, registry, tiny_tree):
+        record = registry.publish(tiny_tree)
+        artifact = registry.root / "models" / record.model_id / "artifact.json"
+        artifact.write_bytes(artifact.read_bytes()[:-10])
+        with pytest.raises(CorruptArtifact):
+            ModelRegistry(registry.root).load(record.model_id)
+
+    def test_missing_artifact_detected(self, registry, tiny_tree):
+        record = registry.publish(tiny_tree)
+        (registry.root / "models" / record.model_id / "artifact.json").unlink()
+        with pytest.raises(CorruptArtifact, match="missing artifact"):
+            ModelRegistry(registry.root).load(record.model_id)
+
+    def test_cache_shields_corruption_until_eviction(
+        self, registry, tiny_tree
+    ):
+        """A cached tree keeps serving; only a cold load re-reads disk."""
+        record = registry.publish(tiny_tree)
+        artifact = registry.root / "models" / record.model_id / "artifact.json"
+        artifact.write_bytes(b"garbage")
+        _, tree = registry.load(record.model_id)  # LRU hit from publish
+        assert tree.n_leaves == tiny_tree.n_leaves
+        cold = ModelRegistry(registry.root)
+        with pytest.raises(CorruptArtifact):
+            cold.load(record.model_id)
+
+
+class TestLru:
+    def test_lru_bounds_cached_trees(self, tmp_path):
+        registry = ModelRegistry(tmp_path, max_cached_trees=2)
+        for seed in (3, 4, 5):
+            registry.publish(make_tree(seed=seed), aliases=())
+        assert len(registry._trees) == 2
+        assert len(registry) == 3  # everything still on disk
+
+    def test_evicted_tree_reloads_from_disk(self, tmp_path, probe):
+        registry = ModelRegistry(tmp_path, max_cached_trees=1)
+        first = registry.publish(make_tree(seed=3), aliases=())
+        registry.publish(make_tree(seed=4), aliases=())  # evicts first
+        assert first.model_id not in registry._trees
+        _, tree = registry.load(first.model_id)
+        np.testing.assert_array_equal(
+            tree.predict(probe), make_tree(seed=3).predict(probe)
+        )
+
+    def test_invalid_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ModelRegistry(tmp_path, max_cached_trees=0)
+
+
+class TestConcurrentPublish:
+    def test_two_threads_publishing_same_tree(self, tmp_path, probe):
+        """Atomic renames make the same-content race benign."""
+        tree = make_tree(seed=11)
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def publish() -> None:
+            try:
+                registry = ModelRegistry(tmp_path)  # own LRU, shared disk
+                barrier.wait()
+                for _ in range(10):
+                    registry.publish(tree, metadata={"suite": "race"})
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=publish) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        registry = ModelRegistry(tmp_path)
+        assert len(registry) == 1
+        record, loaded = registry.load("latest")
+        np.testing.assert_array_equal(
+            loaded.predict(probe), tree.predict(probe)
+        )
+
+    def test_two_threads_publishing_different_trees(self, tmp_path):
+        trees = [make_tree(seed=21), make_tree(seed=22)]
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def publish(index: int) -> None:
+            try:
+                registry = ModelRegistry(tmp_path)
+                barrier.wait()
+                registry.publish(trees[index])
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=publish, args=(i,)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        registry = ModelRegistry(tmp_path)
+        assert len(registry) == 2
+        # 'latest' ends on whichever publisher renamed last; either way
+        # it must resolve to a loadable, integrity-checked model.
+        record, _ = registry.load("latest")
+        assert record.model_id in {
+            r.model_id for r in registry.list_records()
+        }
