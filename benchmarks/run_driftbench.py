@@ -1,0 +1,278 @@
+#!/usr/bin/env python
+"""Drift-monitoring cost snapshot for repro.drift.
+
+Two questions, two sections in the output:
+
+1. **Per-record overhead** — how long does one
+   :meth:`~repro.drift.monitor.DriftMonitor.observe` call take per
+   record, with the full detector battery (t-tests, rolling C/MAE,
+   leaf-profile L1) evaluating every batch?  Measured by streaming
+   synthetic labelled traffic straight into a monitor, no serving
+   stack in the way.
+
+2. **Serving overhead** — what does monitoring cost end to end?  The
+   servebench workload (64-row labelled batches over HTTP, concurrent
+   client threads) runs against ``ModelServer(monitor=False)`` and
+   against the default monitored server, interleaved for ``--reps``
+   repetitions; the median rows/s ratio is reported against the <= 5%
+   budget.  Drift observation runs on the batching worker after
+   callers are answered, so what is measured here is pipeline (GIL /
+   CPU) cost, not added request latency.
+
+Results land in ``BENCH_drift.json`` next to this script (or
+``--output PATH``).  When ``BENCH_serve.json`` is present its batch-64
+row throughput is embedded for cross-reference against PR 3's
+baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_driftbench.py
+    PYTHONPATH=src python benchmarks/run_driftbench.py --reps 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Streaming geometry matched to the serving defaults.
+WINDOW = 256
+BATCH = 64
+OVERHEAD_TARGET_PCT = 5.0
+
+_TRAIN_SAMPLES = 6000
+_TRAIN_SEED = 20080402
+
+
+def _build_model():
+    from repro.mtree.tree import ModelTree, ModelTreeConfig
+    from repro.workloads.spec_cpu2006 import spec_cpu2006
+    from repro.workloads.suite import SuiteGenerationConfig
+
+    data = spec_cpu2006().generate(
+        SuiteGenerationConfig(total_samples=_TRAIN_SAMPLES, seed=_TRAIN_SEED)
+    )
+    tree = ModelTree(ModelTreeConfig(min_leaf=40)).fit_sample_set(data)
+    return tree, data
+
+
+def _publish(registry, tree, data):
+    return registry.publish(
+        tree,
+        metadata={
+            "suite": "cpu2006",
+            "origin": "driftbench",
+            "train_y": {
+                "n": len(data),
+                "mean": float(data.y.mean()),
+                "var": float(data.y.var(ddof=1)),
+            },
+        },
+    )
+
+
+def bench_monitor(batches: int) -> Dict[str, object]:
+    """Section 1: raw DriftMonitor.observe cost per record."""
+    import numpy as np
+
+    from repro.drift.monitor import (
+        DriftMonitor,
+        DriftMonitorConfig,
+        ModelProfile,
+    )
+    from repro.stats.transfer import SampleMoments
+
+    profile = ModelProfile(
+        model_id="driftbench", training_y=SampleMoments(1000, 2.0, 0.49)
+    )
+    monitor = DriftMonitor(profile, DriftMonitorConfig(window=WINDOW))
+    rng = np.random.default_rng(7)
+    traffic = [
+        (p, p + rng.normal(0.0, 0.05, BATCH))
+        for p in (rng.normal(2.0, 0.7, BATCH) for _ in range(batches))
+    ]
+    # Warm-up: fill the window so the steady state (evictions + full
+    # battery) is what gets timed.
+    for predictions, actuals in traffic[: WINDOW // BATCH]:
+        monitor.observe(predictions, actuals)
+
+    start = time.perf_counter()
+    for predictions, actuals in traffic:
+        monitor.observe(predictions, actuals)
+    elapsed = time.perf_counter() - start
+
+    records = batches * BATCH
+    return {
+        "window": WINDOW,
+        "batch": BATCH,
+        "batches": batches,
+        "records": records,
+        "per_record_us": 1e6 * elapsed / records,
+        "per_batch_ms": 1e3 * elapsed / batches,
+        "final_verdict": monitor.verdict.value,
+    }
+
+
+def _drive(url: str, body: bytes, requests: int) -> None:
+    for _ in range(requests):
+        request = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"}
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            response.read()
+
+
+def _measure_server(
+    registry, monitor: bool, body: bytes, requests: int, threads: int
+) -> float:
+    from repro.serve.api import ModelServer
+
+    with ModelServer(registry, port=0, monitor=monitor) as server:
+        url = f"{server.url}/v1/models/latest/predict"
+        _drive(url, body, 5)  # warm the path off-clock
+        pool = [
+            threading.Thread(target=_drive, args=(url, body, requests))
+            for _ in range(threads)
+        ]
+        start = time.perf_counter()
+        for worker in pool:
+            worker.start()
+        for worker in pool:
+            worker.join()
+        elapsed = time.perf_counter() - start
+    return threads * requests * BATCH / elapsed
+
+
+def bench_serving(
+    requests: int, threads: int, reps: int
+) -> Dict[str, object]:
+    """Section 2: HTTP throughput, monitoring off vs on, interleaved."""
+    import numpy as np
+
+    from repro.serve.registry import ModelRegistry
+
+    tree, data = _build_model()
+    rng = np.random.default_rng(99)
+    rows = data.X[rng.integers(0, len(data), size=BATCH)]
+    actuals = np.asarray(tree.predict(rows)) + rng.normal(0.0, 0.05, BATCH)
+    body = json.dumps(
+        {"instances": rows.tolist(), "actuals": actuals.tolist()}
+    ).encode()
+
+    samples: Dict[str, List[float]] = {"off": [], "on": []}
+    with tempfile.TemporaryDirectory(prefix="driftbench-") as tmp:
+        registry = ModelRegistry(tmp)
+        record = _publish(registry, tree, data)
+        # Interleave off/on so machine-load drift hits both modes alike.
+        for rep in range(reps):
+            for mode in ("off", "on"):
+                rate = _measure_server(
+                    registry, mode == "on", body, requests, threads
+                )
+                samples[mode].append(rate)
+                print(
+                    f"  rep {rep + 1}/{reps} monitor={mode:3s}: "
+                    f"{rate:8.0f} rows/s"
+                )
+    off = statistics.median(samples["off"])
+    on = statistics.median(samples["on"])
+    # Each rep measures off then on back-to-back, so the per-rep ratio
+    # cancels machine-load drift across the run far better than a
+    # ratio of medians; the median ratio is the reported overhead.
+    ratios = [
+        on_rate / off_rate
+        for off_rate, on_rate in zip(samples["off"], samples["on"])
+    ]
+    overhead_pct = 100.0 * (1.0 - statistics.median(ratios))
+    return {
+        "batch_size": BATCH,
+        "threads": threads,
+        "requests_per_thread": requests,
+        "reps": reps,
+        "rows_per_s_monitor_off": off,
+        "rows_per_s_monitor_on": on,
+        "samples_off": samples["off"],
+        "samples_on": samples["on"],
+        "overhead_pct": overhead_pct,
+        "target_pct": OVERHEAD_TARGET_PCT,
+        "within_target": overhead_pct <= OVERHEAD_TARGET_PCT,
+        "model_id": record.model_id,
+    }
+
+
+def _serve_baseline(path: Path) -> Optional[Dict[str, object]]:
+    """Batch-64 throughput from PR 3's serving benchmark, if present."""
+    if not path.exists():
+        return None
+    try:
+        snapshot = json.loads(path.read_text())
+        batch64 = snapshot["results"]["64"]
+        return {
+            "source": path.name,
+            "rows_per_s_batch64": batch64["rows_per_s"],
+            "p95_ms_batch64": batch64["p95_ms"],
+        }
+    except (ValueError, KeyError):
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batches", type=int, default=1000,
+                        help="monitor-only batches to stream (section 1)")
+    parser.add_argument("--requests", type=int, default=100,
+                        help="HTTP requests per thread per measurement")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--reps", type=int, default=5,
+                        help="interleaved off/on repetitions (median wins)")
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).parent / "BENCH_drift.json"),
+    )
+    args = parser.parse_args(argv)
+    if min(args.batches, args.requests, args.threads, args.reps) < 1:
+        parser.error("all sizing arguments must be >= 1")
+
+    monitor = bench_monitor(args.batches)
+    print(
+        f"monitor: {monitor['per_record_us']:.2f} us/record "
+        f"({monitor['per_batch_ms']:.3f} ms per {BATCH}-row batch, "
+        f"window {WINDOW})"
+    )
+    serving = bench_serving(args.requests, args.threads, args.reps)
+    print(
+        f"serving @ batch {BATCH}: median "
+        f"{serving['rows_per_s_monitor_off']:.0f} rows/s off, "
+        f"{serving['rows_per_s_monitor_on']:.0f} rows/s on "
+        f"-> {serving['overhead_pct']:+.2f}% "
+        f"(target <= {OVERHEAD_TARGET_PCT}%)"
+    )
+
+    snapshot = {
+        "schema": "repro-driftbench-v1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "monitor_overhead": monitor,
+        "serving_throughput": serving,
+        "serve_baseline": _serve_baseline(
+            Path(__file__).parent / "BENCH_serve.json"
+        ),
+    }
+    path = Path(args.output)
+    path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0 if serving["within_target"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

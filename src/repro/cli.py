@@ -10,6 +10,9 @@ Examples::
     repro trace-summary trace.jsonl  # render an exported trace
     repro publish cpu2006 --registry ./models   # train + register a model
     repro serve --registry ./models --port 8080 # serve it over HTTP
+    repro monitor cpu2006            # stream held-out traffic, watch drift
+    repro monitor cpu2006 omp2001    # cross-suite traffic -> transfer fails
+    repro serve --registry ./models --shadow cand1  # champion/challenger
 """
 
 from __future__ import annotations
@@ -63,7 +66,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "experiment ids (E1..E20), 'all', 'list', 'report', "
             "'catalog <suite>', 'describe <benchmark>', 'rules <suite>', "
             "'dot <suite>', 'export <suite> <path>', "
-            "'trace-summary <trace.jsonl>', 'publish <suite>', or 'serve'"
+            "'trace-summary <trace.jsonl>', 'publish <suite>', 'serve', "
+            "or 'monitor <model-suite> [<traffic-suite>]'"
         ),
     )
     parser.add_argument(
@@ -155,6 +159,56 @@ def _build_parser() -> argparse.ArgumentParser:
             "serve: boot on an ephemeral port, round-trip one predict "
             "request, verify bit-identical results, exit"
         ),
+    )
+    drift = parser.add_argument_group("drift monitoring ('monitor', 'serve')")
+    drift.add_argument(
+        "--window",
+        type=int,
+        default=256,
+        metavar="N",
+        help="drift window size in records (default 256)",
+    )
+    drift.add_argument(
+        "--stream-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="monitor: records per replayed traffic batch (default 64)",
+    )
+    drift.add_argument(
+        "--model",
+        default=None,
+        metavar="REF",
+        help=(
+            "monitor: watch this registry model (with --registry) instead "
+            "of training one from the suite"
+        ),
+    )
+    drift.add_argument(
+        "--audit",
+        default=None,
+        metavar="PATH",
+        help="append every drift evaluation to PATH as JSONL",
+    )
+    drift.add_argument(
+        "--no-monitor",
+        action="store_true",
+        help="serve: disable online drift monitoring",
+    )
+    drift.add_argument(
+        "--shadow",
+        default=None,
+        metavar="REF",
+        help=(
+            "serve: evaluate this challenger model on the champion's "
+            "live traffic"
+        ),
+    )
+    drift.add_argument(
+        "--shadow-champion",
+        default="latest",
+        metavar="REF",
+        help="serve: the champion the challenger shadows (default: latest)",
     )
     return parser
 
@@ -296,6 +350,32 @@ def _run_subcommand(args) -> Optional[int]:
             print("serve: --registry DIR is required", file=sys.stderr)
             return 2
         return _serve(args)
+    if command == "monitor":
+        suites = ("cpu2006", "omp2001", "cpu2000")
+        if len(words) not in (2, 3):
+            print(
+                "usage: repro monitor <model-suite> [<traffic-suite>]  or  "
+                "repro monitor <traffic-suite> --registry DIR --model REF",
+                file=sys.stderr,
+            )
+            return 2
+        unknown = [w for w in words[1:] if w.lower() not in suites]
+        if unknown:
+            print(
+                f"monitor: unknown suite {unknown[0]!r}; have {list(suites)}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.model is not None and args.registry is None:
+            print("monitor: --model requires --registry DIR", file=sys.stderr)
+            return 2
+        if args.model is not None and len(words) != 2:
+            print(
+                "monitor: with --model, give exactly one traffic suite",
+                file=sys.stderr,
+            )
+            return 2
+        return _monitor(args, [w.lower() for w in words[1:]])
     if command == "trace-summary":
         if len(words) != 2:
             print("usage: repro trace-summary <trace.jsonl>", file=sys.stderr)
@@ -337,6 +417,99 @@ def _run_subcommand(args) -> Optional[int]:
     return None
 
 
+def _monitor(args, suites: List[str]) -> int:
+    """Replay a suite's data as a traffic stream and print the verdict
+    timeline — the live version of E7/E8's offline transferability
+    battery.  Exits 0 while the model holds, 3 on TRANSFER_FAILED.
+    """
+    from repro.drift import (
+        DriftMonitor,
+        DriftMonitorConfig,
+        DriftVerdict,
+        JsonlAudit,
+        ModelProfile,
+    )
+    from repro.stats.transfer import SampleMoments
+
+    try:
+        monitor_config = DriftMonitorConfig(window=args.window)
+    except ValueError as error:
+        print(f"monitor: {error}", file=sys.stderr)
+        return 2
+    if args.stream_batch < 1:
+        print(
+            f"monitor: --stream-batch must be >= 1, got {args.stream_batch}",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = _config_from_args(args)
+    ctx = ExperimentContext(config, cache_dir=args.cache_dir)
+    if args.model is not None:
+        from repro.serve.registry import ModelRegistry, RegistryError
+
+        traffic_suite = suites[0]
+        try:
+            record, tree = ModelRegistry(args.registry).load(args.model)
+        except (RegistryError, KeyError) as error:
+            print(f"monitor: {error}", file=sys.stderr)
+            return 2
+        profile = ModelProfile.from_record(record, tree)
+        model_desc = f"registry model {record.model_id}"
+        traffic = ctx.test_set(traffic_suite)
+    else:
+        model_suite = suites[0]
+        traffic_suite = suites[-1]
+        tree = ctx.tree(model_suite)
+        train = ctx.train_set(model_suite)
+        profile = ModelProfile.from_tree(
+            model_suite, tree, training_y=SampleMoments.from_values(train.y)
+        )
+        model_desc = f"{ctx.suite_label(model_suite)} model"
+        # Same split discipline as E7/E8: held-out data within suite,
+        # the other suite's training-sized pool across suites.
+        traffic = (
+            ctx.test_set(traffic_suite)
+            if traffic_suite == model_suite
+            else ctx.train_set(traffic_suite)
+        )
+
+    actions = []
+    if args.audit is not None:
+        actions.append(JsonlAudit(args.audit))
+    monitor = DriftMonitor(profile, monitor_config, actions)
+    print(
+        f"streaming {len(traffic)} {ctx.suite_label(traffic_suite)} "
+        f"intervals through {model_desc} "
+        f"(window={args.window}, batch={args.stream_batch})"
+    )
+    final_event = None
+    batch = args.stream_batch
+    for start in range(0, len(traffic), batch):
+        Xb = traffic.X[start : start + batch]
+        yb = traffic.y[start : start + batch]
+        event = monitor.observe(
+            tree.predict(Xb), yb, tree.assign_leaves(Xb)
+        )
+        final_event = event
+        if event.changed:
+            detail = "; ".join(str(r) for r in event.breaches) or "clean"
+            print(
+                f"  record {event.records_seen:>7d}: "
+                f"{event.previous_verdict.value} -> {event.verdict.value} "
+                f"({detail})"
+            )
+    if final_event is None:
+        print("monitor: traffic stream was empty", file=sys.stderr)
+        return 2
+    print(f"final verdict: {final_event.verdict.value}")
+    for reading in final_event.readings:
+        print(f"  {reading}")
+    if args.audit is not None:
+        print(f"audit trail: {args.audit}", file=sys.stderr)
+    return 3 if final_event.verdict is DriftVerdict.TRANSFER_FAILED else 0
+
+
 def _serve(args) -> int:
     """Run the model server until SIGTERM/SIGINT, then drain and exit."""
     from repro.serve.engine import BatchConfig
@@ -362,9 +535,20 @@ def _serve(args) -> int:
     from repro.serve.registry import ModelRegistry
 
     registry = ModelRegistry(args.registry)
-    server = ModelServer(
-        registry, host=args.host, port=args.port, batch=batch
-    )
+    try:
+        server = ModelServer(
+            registry,
+            host=args.host,
+            port=args.port,
+            batch=batch,
+            monitor=not args.no_monitor,
+            shadow=args.shadow,
+            shadow_champion=args.shadow_champion,
+            audit_path=args.audit,
+        )
+    except KeyError as error:  # e.g. --shadow ref not in the registry
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
     stop = threading.Event()
 
     def _drain(signum, frame) -> None:

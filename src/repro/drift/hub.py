@@ -1,0 +1,230 @@
+"""Per-model monitor fan-out for a serving process.
+
+The :class:`DriftHub` is what :mod:`repro.serve` actually talks to: a
+registry-backed collection of :class:`~repro.drift.monitor.DriftMonitor`
+instances, created lazily the first time a model's traffic shows up.
+Each monitor is profiled from the model's registry record (leaf
+vocabulary, training leaf shares and — when ``repro publish`` stored it
+— the training CPI moments), so the battery a model gets depends only
+on the provenance it was published with.
+
+The hub also owns the optional champion/challenger
+:class:`~repro.drift.shadow.ShadowEvaluator`: when a shadow pair is
+configured, every batch served by the champion is re-predicted through
+the challenger's tree (off the client latency path — the engine calls
+:meth:`observe` after answering callers) and both prediction streams
+feed the shadow windows.
+
+The registry argument is duck-typed (``resolve``/``load`` — the
+:class:`repro.serve.registry.ModelRegistry` surface) so this module
+does not import :mod:`repro.serve` and the serve package can import it
+without a cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.drift.monitor import (
+    DriftEvent,
+    DriftMonitor,
+    DriftMonitorConfig,
+    ModelProfile,
+)
+from repro.drift.shadow import ShadowEvaluator
+
+__all__ = ["DriftHub"]
+
+
+class _LeafRouter:
+    """Vectorized leaf classifier compiled from a fitted model tree.
+
+    :meth:`~repro.mtree.tree.ModelTree.assign_leaves` walks the tree
+    recursively and returns leaf *names*, which the monitor then maps
+    back to vocabulary indices one record at a time — fine for batch
+    experiments, too slow for the per-served-batch hot path.
+
+    Compilation flattens the tree into its split predicates and one
+    signed path matrix.  A leaf's decision path is a conjunction of
+    split outcomes, so a row belongs to leaf ``l`` exactly when its
+    predicate vector scores ``+1`` on every split the path takes left
+    (``X[:, f] <= t``) and ``-1`` on every split it takes right —
+    i.e. when the signed score equals the number of left turns.  The
+    tree partitions the feature space, so exactly one leaf matches
+    each row.  Classifying a batch is then a constant six numpy calls
+    — predicate gather, compare, one (rows x splits) @ (splits x
+    leaves) product, match, argmax, index take — independent of tree
+    depth, and the emitted values are already monitor vocabulary
+    indices (-1 for a leaf name the profile does not know).
+    """
+
+    def __init__(self, tree, leaf_names: Sequence[str]) -> None:
+        index = {name: i for i, name in enumerate(leaf_names)}
+        split_feature: list = []
+        split_threshold: list = []
+        # Per leaf: its vocabulary index and {split slot: went left}.
+        leaf_index: list = []
+        leaf_paths: list = []
+
+        def walk(node, path) -> None:
+            if hasattr(node, "threshold"):  # SplitNode
+                slot = len(split_feature)
+                split_feature.append(node.feature_index)
+                split_threshold.append(node.threshold)
+                walk(node.left, path + [(slot, True)])
+                walk(node.right, path + [(slot, False)])
+            else:
+                leaf_index.append(index.get(node.name, -1))
+                leaf_paths.append(path)
+
+        walk(tree._require_fitted(), [])
+        n_splits, n_leaves = len(split_feature), len(leaf_index)
+        signs = np.zeros((n_splits, n_leaves))
+        lefts = np.zeros(n_leaves)
+        for l, path in enumerate(leaf_paths):
+            for slot, went_left in path:
+                signs[slot, l] = 1.0 if went_left else -1.0
+                lefts[l] += 1.0 if went_left else 0.0
+        self._split_feature = np.asarray(split_feature, dtype=np.int64)
+        self._split_threshold = np.asarray(split_threshold, dtype=float)
+        self._signs = signs
+        self._lefts = lefts
+        self._leaf = np.asarray(leaf_index, dtype=np.int64)
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        went_left = (
+            X[:, self._split_feature] <= self._split_threshold
+        ).astype(float)
+        # score[r, l] = (left turns taken) - (wrong-way turns at right
+        # splits); it reaches lefts[l] exactly when every split on l's
+        # path went the required way.
+        score = went_left @ self._signs
+        slot = np.argmax(score == self._lefts, axis=1)
+        return self._leaf[slot]
+
+
+class DriftHub:
+    """Lazily monitors every model a serving process predicts with."""
+
+    def __init__(
+        self,
+        registry,
+        config: Optional[DriftMonitorConfig] = None,
+        actions: Sequence[Callable[[DriftEvent], None]] = (),
+        shadow: Optional[Tuple[str, str]] = None,
+    ) -> None:
+        """``shadow`` is an optional (champion ref, challenger ref) pair;
+        both must resolve in ``registry`` at construction time.
+        """
+        self.registry = registry
+        self.config = config or DriftMonitorConfig()
+        self.actions = tuple(actions)
+        self._lock = threading.Lock()
+        self._monitors: Dict[str, DriftMonitor] = {}
+        # Hot-path cache: observe() runs once per served batch, and the
+        # registry's resolve()/load() each touch the filesystem, so the
+        # (monitor, leaf router) pair is pinned per model id after
+        # first use.
+        self._observe_state: Dict[str, Tuple[DriftMonitor, _LeafRouter]] = {}
+        self._shadow: Optional[ShadowEvaluator] = None
+        self._shadow_champion: Optional[str] = None
+        self._shadow_tree = None
+        if shadow is not None:
+            champion_ref, challenger_ref = shadow
+            champion_id = registry.resolve(champion_ref)
+            challenger_id = registry.resolve(challenger_ref)
+            _, self._shadow_tree = registry.load(challenger_id)
+            self._shadow_champion = champion_id
+            criteria = self.config.criteria
+            self._shadow = ShadowEvaluator(
+                champion_id,
+                challenger_id,
+                window=self.config.window,
+                criteria=criteria.transfer,
+                min_labelled=criteria.min_labelled,
+            )
+
+    # -- monitors --------------------------------------------------------
+
+    def monitor_for(self, ref: str) -> DriftMonitor:
+        """The (lazily created) monitor for a model id or alias."""
+        model_id = self.registry.resolve(ref)
+        with self._lock:
+            monitor = self._monitors.get(model_id)
+            if monitor is None:
+                record, tree = self.registry.load(model_id)
+                monitor = DriftMonitor(
+                    ModelProfile.from_record(record, tree),
+                    config=self.config,
+                    actions=self.actions,
+                )
+                self._monitors[model_id] = monitor
+            return monitor
+
+    def observe(
+        self,
+        model_id: str,
+        X: np.ndarray,
+        predictions: np.ndarray,
+        actuals=None,
+    ) -> DriftEvent:
+        """Feed one served batch into the model's monitor (and shadow).
+
+        ``X`` is re-used to classify rows into leaves for the Eq. 4
+        profile detector and, when this model is the shadow champion,
+        to produce the challenger's predictions on identical inputs.
+
+        The engine passes resolved model ids, so the monitor/router
+        pair is cached under the id given here; aliases still share one
+        monitor because creation goes through :meth:`monitor_for`.
+        """
+        state = self._observe_state.get(model_id)
+        if state is None:
+            monitor = self.monitor_for(model_id)
+            _, tree = self.registry.load(model_id)
+            state = (monitor, _LeafRouter(tree, monitor.profile.leaf_names))
+            with self._lock:
+                self._observe_state[model_id] = state
+        monitor, router = state
+        leaves = router(X)
+        event = monitor.observe(predictions, actuals, leaves)
+        shadow = self._shadow
+        if shadow is not None and model_id == self._shadow_champion:
+            challenger_pred = self._shadow_tree.predict(X)
+            shadow.observe(predictions, challenger_pred, actuals)
+        return event
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def shadow(self) -> Optional[ShadowEvaluator]:
+        return self._shadow
+
+    def model_ids(self) -> Tuple[str, ...]:
+        """Ids of every model currently being monitored."""
+        with self._lock:
+            return tuple(sorted(self._monitors))
+
+    def report(self, ref: str) -> Dict[str, object]:
+        """Drift report for one model, without creating a monitor.
+
+        A model that has served no traffic yet reports its verdict as
+        ``insufficient_data`` with zero records rather than erroring.
+        """
+        model_id = self.registry.resolve(ref)
+        with self._lock:
+            monitor = self._monitors.get(model_id)
+        if monitor is None:
+            return {
+                "model_id": model_id,
+                "verdict": "insufficient_data",
+                "evaluations": 0,
+                "records_seen": 0,
+            }
+        payload = monitor.report()
+        if self._shadow is not None and model_id == self._shadow_champion:
+            payload["shadow"] = self._shadow.recommendation()
+        return payload

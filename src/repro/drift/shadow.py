@@ -1,0 +1,158 @@
+"""Champion/challenger shadow evaluation.
+
+``repro serve --shadow <model>`` routes every served batch through a
+second ("challenger") model from the registry while the deployed
+("champion") model keeps answering clients.  Three rolling windows
+accumulate the evidence a promotion decision needs:
+
+* champion predictions vs. observed CPI (rolling C / MAE, Eqs. 12-13),
+* challenger predictions vs. observed CPI (same battery), and
+* challenger vs. champion predictions — agreement on *unlabelled*
+  traffic, which keeps flowing even when no observed CPI arrives.
+
+:meth:`ShadowEvaluator.recommendation` turns that into
+``promote_challenger`` / ``keep_champion`` / ``insufficient_data``:
+a challenger is promotable on evidence when it meets the paper's
+acceptance thresholds while the champion does not, or when both pass
+and the challenger's MAE is at least ``min_improvement`` (relative)
+better.  Promotion itself stays a human/registry action (re-point the
+alias); this module only accumulates and judges the evidence.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.drift.window import StreamWindow
+from repro.stats.transfer import TransferCriteria, meets_accuracy_thresholds
+
+__all__ = ["ShadowEvaluator"]
+
+
+class ShadowEvaluator:
+    """Rolling champion/challenger comparison over served traffic."""
+
+    def __init__(
+        self,
+        champion_id: str,
+        challenger_id: str,
+        window: int = 256,
+        criteria: Optional[TransferCriteria] = None,
+        min_labelled: int = 48,
+        min_improvement: float = 0.05,
+    ) -> None:
+        if min_labelled < 2:
+            raise ValueError(f"min_labelled must be >= 2, got {min_labelled}")
+        if not 0.0 <= min_improvement < 1.0:
+            raise ValueError(
+                f"min_improvement must be in [0, 1), got {min_improvement}"
+            )
+        self.champion_id = champion_id
+        self.challenger_id = challenger_id
+        self.criteria = criteria or TransferCriteria()
+        self.min_labelled = min_labelled
+        self.min_improvement = min_improvement
+        self._lock = threading.Lock()
+        self._champion = StreamWindow(window)
+        self._challenger = StreamWindow(window)
+        self._agreement = StreamWindow(window)
+
+    def observe(
+        self,
+        champion_pred,
+        challenger_pred,
+        actuals=None,
+    ) -> None:
+        """Feed one batch of paired predictions (plus optional CPI)."""
+        champion_pred = np.asarray(champion_pred, dtype=float).ravel()
+        challenger_pred = np.asarray(challenger_pred, dtype=float).ravel()
+        if champion_pred.shape != challenger_pred.shape:
+            raise ValueError(
+                f"champion/challenger predictions must align, got "
+                f"{champion_pred.shape} vs {challenger_pred.shape}"
+            )
+        with self._lock:
+            self._champion.extend(champion_pred, actuals)
+            self._challenger.extend(challenger_pred, actuals)
+            # Agreement treats the champion as ground truth, so it works
+            # on fully unlabelled traffic.
+            self._agreement.extend(challenger_pred, champion_pred)
+
+    # -- judgement -------------------------------------------------------
+
+    def _side(self, window: StreamWindow) -> Dict[str, object]:
+        snapshot = window.snapshot()
+        sufficient = snapshot.n_labelled >= self.min_labelled
+        return {
+            "n": snapshot.n,
+            "n_labelled": snapshot.n_labelled,
+            "rolling_c": snapshot.correlation if sufficient else None,
+            "rolling_mae": snapshot.mae if sufficient else None,
+            "meets_thresholds": (
+                meets_accuracy_thresholds(
+                    snapshot.correlation, snapshot.mae, self.criteria
+                )
+                if sufficient
+                else None
+            ),
+        }
+
+    def recommendation(self) -> Dict[str, object]:
+        """The current promotion judgement, JSON-ready."""
+        with self._lock:
+            champion = self._side(self._champion)
+            challenger = self._side(self._challenger)
+            agreement = self._agreement.snapshot()
+        report: Dict[str, object] = {
+            "champion": {"model_id": self.champion_id, **champion},
+            "challenger": {"model_id": self.challenger_id, **challenger},
+            "agreement": {
+                "n": agreement.n_labelled,
+                "correlation": agreement.correlation,
+                "mean_abs_diff": agreement.mae,
+            },
+            "thresholds": {
+                "min_correlation": self.criteria.min_correlation,
+                "max_mae": self.criteria.max_mae,
+                "min_labelled": self.min_labelled,
+                "min_improvement": self.min_improvement,
+            },
+        }
+        if champion["meets_thresholds"] is None or (
+            challenger["meets_thresholds"] is None
+        ):
+            report["recommendation"] = "insufficient_data"
+            report["reason"] = (
+                f"need >= {self.min_labelled} labelled records per side "
+                f"(champion {champion['n_labelled']}, "
+                f"challenger {challenger['n_labelled']})"
+            )
+            return report
+        champ_mae = champion["rolling_mae"]
+        chal_mae = challenger["rolling_mae"]
+        if challenger["meets_thresholds"] and not champion["meets_thresholds"]:
+            report["recommendation"] = "promote_challenger"
+            report["reason"] = (
+                "challenger meets the acceptance thresholds while the "
+                "champion does not"
+            )
+        elif (
+            challenger["meets_thresholds"]
+            and chal_mae <= champ_mae * (1.0 - self.min_improvement)
+        ):
+            report["recommendation"] = "promote_challenger"
+            report["reason"] = (
+                f"both transfer; challenger MAE {chal_mae:.4f} improves on "
+                f"champion {champ_mae:.4f} by >= "
+                f"{self.min_improvement * 100:.0f}%"
+            )
+        else:
+            report["recommendation"] = "keep_champion"
+            report["reason"] = (
+                "challenger shows no qualifying improvement over the "
+                "champion"
+            )
+        return report

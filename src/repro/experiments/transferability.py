@@ -11,6 +11,13 @@ E7 reports the two-sample t statistics against the 1.96 critical value
 (Section VI.A); E8 reports C and MAE against the 0.85 / 0.15 thresholds
 (Section VI.B).  Both are produced from the same
 :func:`repro.transfer.assess.assess_transferability` reports.
+
+The Eqs. 8-13 arithmetic underneath lives in :mod:`repro.stats.transfer`
+and is shared with the streaming drift detectors (:mod:`repro.drift`),
+so ``repro monitor`` renders the same battery these experiments print —
+continuously, over served traffic.  A bit-identity regression test
+(``tests/experiments/test_transfer_regression.py``) pins these outputs
+to the raw formulas.
 """
 
 from __future__ import annotations

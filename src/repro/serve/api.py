@@ -13,7 +13,12 @@ Routes (see ``docs/SERVING.md`` for the full reference)::
     GET  /v1/models/{ref}                  one record (id or alias)
     GET  /v1/models/{ref}/profile          leaf models, equations, shares
     GET  /v1/models/{ref}/compare/{ref2}   structural tree comparison
+    GET  /v1/models/{ref}/drift            online transferability verdict
     POST /v1/models/{ref}/predict          micro-batched CPI prediction
+
+A predict body may carry ``"actuals"`` — observed CPI values (one per
+instance, ``null`` = unlabelled) that feed the drift monitor without
+affecting the returned predictions.
 
 Errors are structured JSON — ``{"error": {"code", "message"}}`` — with
 conventional status codes: 400 malformed body/shape, 404 unknown model
@@ -119,6 +124,35 @@ def _instances_to_matrix(
         raise ApiError(
             400, "invalid_instances", f"non-numeric instance value: {error}"
         ) from None
+
+
+def _decode_actuals(
+    body: Dict[str, Any], n_rows: int
+) -> Optional[np.ndarray]:
+    """Decode the optional ``actuals`` field (null = unlabelled row)."""
+    actuals = body.get("actuals")
+    if actuals is None:
+        return None
+    if not isinstance(actuals, list) or len(actuals) != n_rows:
+        raise ApiError(
+            400,
+            "invalid_actuals",
+            f"'actuals' must be a list of {n_rows} value(s) "
+            "(null for unlabelled rows)",
+        )
+    decoded = np.empty(n_rows, dtype=float)
+    for i, value in enumerate(actuals):
+        if value is None:
+            decoded[i] = np.nan
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            decoded[i] = float(value)
+        else:
+            raise ApiError(
+                400,
+                "invalid_actuals",
+                f"actuals[{i}] must be a number or null, got {value!r}",
+            )
+    return decoded
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -306,6 +340,23 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ApiError(405, "method_not_allowed", "use GET")
             self._send_json(200, engine.compare(ref, rest[2]))
             return 200
+        if action == "drift" and len(rest) == 2:
+            if method != "GET":
+                raise ApiError(405, "method_not_allowed", "use GET")
+            drift = self.server.drift
+            if drift is None:
+                self._send_json(
+                    200,
+                    {
+                        "monitoring": False,
+                        "model_id": registry.resolve(ref),
+                    },
+                )
+                return 200
+            payload = drift.report(ref)
+            payload["monitoring"] = True
+            self._send_json(200, payload)
+            return 200
         raise ApiError(
             404, "not_found", f"no route for {method} {self.path}"
         )
@@ -317,7 +368,10 @@ class _Handler(BaseHTTPRequestHandler):
         smooth = body.get("smooth")
         if smooth is not None and not isinstance(smooth, bool):
             raise ApiError(400, "invalid_smooth", "'smooth' must be a boolean")
-        predictions = self.server.engine.predict(ref, X, smooth=smooth)
+        actuals = _decode_actuals(body, X.shape[0])
+        predictions = self.server.engine.predict(
+            ref, X, smooth=smooth, actuals=actuals
+        )
         with self.server.stats_lock:
             _PREDICTIONS.inc(X.shape[0])
         self._send_json(
@@ -345,9 +399,35 @@ class ModelServer:
         port: int = 8080,
         batch: Optional[BatchConfig] = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        monitor: bool = True,
+        shadow: Optional[str] = None,
+        shadow_champion: str = "latest",
+        audit_path: Optional[str] = None,
+        drift: Optional[Any] = None,
     ) -> None:
+        """Drift monitoring is on by default (``monitor=False`` turns it
+        off); ``shadow`` names a challenger model evaluated against the
+        ``shadow_champion`` ref on the champion's live traffic, and
+        ``audit_path`` appends every drift evaluation as JSONL.  Pass a
+        pre-built hub via ``drift`` to control everything else.
+        """
         self.registry = registry
-        self.engine = PredictionEngine(registry, batch=batch)
+        if drift is None and monitor:
+            from repro.drift.hub import DriftHub
+            from repro.drift.monitor import JsonlAudit, LogSink
+
+            actions = [LogSink()]
+            if audit_path is not None:
+                actions.append(JsonlAudit(audit_path))
+            drift = DriftHub(
+                registry,
+                actions=actions,
+                shadow=(
+                    (shadow_champion, shadow) if shadow is not None else None
+                ),
+            )
+        self.drift = drift
+        self.engine = PredictionEngine(registry, batch=batch, drift=drift)
         self.max_body_bytes = max_body_bytes
         self.stats_lock = threading.Lock()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -355,6 +435,7 @@ class ModelServer:
         # Handlers reach everything through self.server.<attr>.
         self._httpd.registry = self.registry  # type: ignore[attr-defined]
         self._httpd.engine = self.engine  # type: ignore[attr-defined]
+        self._httpd.drift = drift  # type: ignore[attr-defined]
         self._httpd.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
         self._httpd.stats_lock = self.stats_lock  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None

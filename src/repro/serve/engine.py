@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.characterization.similarity import l1_difference
 from repro.mtree.compare import compare_trees
-from repro.obs.metrics import counter, histogram
+from repro.obs.metrics import counter, gauge, histogram
 from repro.obs.trace import span as obs_span
 from repro.serve.registry import ModelRegistry
 
@@ -46,7 +46,10 @@ _ROWS = counter("serve.engine.rows")
 _BATCHES = counter("serve.engine.batches")
 _ERRORS = counter("serve.engine.errors")
 _BATCH_ROWS = histogram("serve.engine.batch_rows")
+_BATCH_REQUESTS = histogram("serve.engine.batch_requests")
 _WAIT_S = histogram("serve.engine.queue_wait_s")
+_QUEUE_DEPTH = gauge("serve.engine.queue_depth")
+_MONITOR_ERRORS = counter("serve.engine.monitor_errors")
 
 
 @dataclass(frozen=True)
@@ -74,12 +77,27 @@ class BatchConfig:
 class _Request:
     """One caller's rows plus the event its thread blocks on."""
 
-    __slots__ = ("model_id", "smooth", "X", "event", "result", "error")
+    __slots__ = (
+        "model_id",
+        "smooth",
+        "X",
+        "actuals",
+        "event",
+        "result",
+        "error",
+    )
 
-    def __init__(self, model_id: str, smooth: Optional[bool], X: np.ndarray):
+    def __init__(
+        self,
+        model_id: str,
+        smooth: Optional[bool],
+        X: np.ndarray,
+        actuals: Optional[np.ndarray] = None,
+    ):
         self.model_id = model_id
         self.smooth = smooth
         self.X = X
+        self.actuals = actuals
         self.event = threading.Event()
         self.result: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
@@ -105,9 +123,19 @@ class PredictionEngine:
         self,
         registry: ModelRegistry,
         batch: Optional[BatchConfig] = None,
+        drift=None,
     ) -> None:
+        """``drift``, when given, is a :class:`repro.drift.hub.DriftHub`
+        (duck-typed: anything with ``observe(model_id, X, predictions,
+        actuals)``).  The batching worker feeds it each flushed batch
+        *after* answering the callers, so monitoring never sits on the
+        client latency path; monitor failures are counted, never
+        propagated, and every batch flushed before :meth:`stop`
+        returns has been observed.
+        """
         self.registry = registry
         self.batch = batch or BatchConfig()
+        self.drift = drift
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._worker: Optional[threading.Thread] = None
         self._closed = True
@@ -156,25 +184,38 @@ class PredictionEngine:
         X: Any,
         smooth: Optional[bool] = None,
         timeout: Optional[float] = 30.0,
+        actuals: Any = None,
     ) -> np.ndarray:
         """CPI predictions for ``X`` through the micro-batching worker.
 
         Validation (model existence, shape, finiteness) happens before
         enqueueing, so malformed requests fail fast in the caller's
         thread and never occupy batch capacity.
+
+        ``actuals`` optionally carries observed CPI values (one per
+        row; NaN = unlabelled) for the drift monitor.  They do not
+        affect the predictions returned.
         """
         if self._closed or not self.running:
             raise RuntimeError("prediction engine is not running")
         model_id = self.registry.resolve(ref)
         _, tree = self.registry.load(model_id)
         X = tree._check_X(X)
-        request = _Request(model_id, smooth, X)
+        if actuals is not None:
+            actuals = np.asarray(actuals, dtype=float).ravel()
+            if actuals.shape[0] != X.shape[0]:
+                raise ValueError(
+                    f"actuals must have one value per row: got "
+                    f"{actuals.shape[0]} for {X.shape[0]} rows"
+                )
+        request = _Request(model_id, smooth, X, actuals)
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("prediction engine is not running")
             _REQUESTS.inc()
             _ROWS.inc(X.shape[0])
             self._queue.put(request)
+            _QUEUE_DEPTH.set(self._queue.qsize())
         if not request.event.wait(timeout):
             raise TimeoutError(
                 f"prediction for model {model_id!r} timed out after "
@@ -315,6 +356,7 @@ class PredictionEngine:
             return
         head = group[0]
         rows = sum(r.X.shape[0] for r in group)
+        _QUEUE_DEPTH.set(self._queue.qsize())
         try:
             with obs_span(
                 "serve.batch",
@@ -330,15 +372,50 @@ class PredictionEngine:
                     predictions = tree.predict(stacked, smooth=head.smooth)
             _BATCHES.inc()
             _BATCH_ROWS.observe(rows)
+            _BATCH_REQUESTS.observe(len(group))
             offset = 0
             for request in group:
                 n = request.X.shape[0]
                 request.result = predictions[offset : offset + n]
                 offset += n
                 request.event.set()
+            self._notify_drift(group, predictions)
         except BaseException as error:  # answer callers, keep serving
             _ERRORS.inc()
             for request in group:
                 if request.error is None and request.result is None:
                     request.error = error
                 request.event.set()
+
+    def _notify_drift(
+        self, group: List[_Request], predictions: np.ndarray
+    ) -> None:
+        """Feed a flushed batch to the drift hub (callers answered).
+
+        Runs on the batching worker *after* every caller's event is
+        set, so it adds nothing to request latency — only pipeline
+        cost, which ``benchmarks/run_driftbench.py`` keeps honest.
+        """
+        if self.drift is None:
+            return
+        try:
+            head = group[0]
+            if len(group) == 1:
+                X = head.X
+            else:
+                X = np.vstack([r.X for r in group])
+            if any(r.actuals is not None for r in group):
+                actuals = np.concatenate(
+                    [
+                        r.actuals
+                        if r.actuals is not None
+                        else np.full(r.X.shape[0], np.nan)
+                        for r in group
+                    ]
+                )
+            else:
+                actuals = None
+            self.drift.observe(head.model_id, X, predictions, actuals)
+        except Exception:
+            # Monitoring must never take serving down with it.
+            _MONITOR_ERRORS.inc()

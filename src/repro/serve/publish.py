@@ -56,6 +56,14 @@ def publish_from_config(
                 "seed": config.seed,
                 "n_train": len(train),
                 "train_fraction": config.train_fraction,
+                # Training CPI moments: what the drift monitor's
+                # dependent-variable t-test (Eqs. 8-11) compares live
+                # traffic against.
+                "train_y": {
+                    "n": len(train),
+                    "mean": float(train.y.mean()),
+                    "var": float(train.y.var(ddof=1)),
+                },
                 "manifest": manifest,
             },
             aliases=aliases,

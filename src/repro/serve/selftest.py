@@ -3,8 +3,10 @@
 Boots a :class:`~repro.serve.api.ModelServer` on an ephemeral port,
 round-trips one predict request over real HTTP and verifies the
 response is bit-identical to calling the tree directly, then checks
-``/healthz`` and that ``/metrics`` reflects the traffic.  Exits 0 only
-if every check passes — cheap enough for CI, honest enough to catch a
+``/healthz``, sends a labelled predict and confirms the drift monitor
+saw it (``/v1/models/<ref>/drift``), and finally that ``/metrics``
+reflects both the traffic and the drift instruments.  Exits 0 only if
+every check passes — cheap enough for CI, honest enough to catch a
 broken serving path.
 
 If the registry holds no model yet, a small tree is trained and
@@ -17,6 +19,7 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 import urllib.request
 from typing import Optional
 
@@ -55,7 +58,15 @@ def _ensure_model(registry: ModelRegistry) -> str:
     tree = ModelTree(ModelTreeConfig(min_leaf=40)).fit_sample_set(data)
     registry.publish(
         tree,
-        metadata={"suite": "cpu2006", "origin": "serve --self-test"},
+        metadata={
+            "suite": "cpu2006",
+            "origin": "serve --self-test",
+            "train_y": {
+                "n": len(data),
+                "mean": float(data.y.mean()),
+                "var": float(data.y.var(ddof=1)),
+            },
+        },
         aliases=("latest", "selftest"),
     )
     return "latest"
@@ -113,6 +124,38 @@ def run_self_test(
             )
             return 1
 
+        # Drift: a labelled predict must show up in the monitor.  The
+        # engine feeds the hub after answering the caller, so poll
+        # briefly instead of assuming the observation already landed.
+        request = urllib.request.Request(
+            f"{server.url}/v1/models/{ref}/predict",
+            data=json.dumps(
+                {
+                    "instances": probe.tolist(),
+                    "actuals": expected.tolist(),
+                }
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=10):
+            pass
+        drift = {}
+        for _ in range(50):
+            drift = _get_json(f"{server.url}/v1/models/{ref}/drift")
+            if drift.get("records_seen", 0) >= 2 * len(probe):
+                break
+            time.sleep(0.05)
+        if not drift.get("monitoring"):
+            print(f"self-test: drift monitoring not active: {drift}", file=out)
+            return 1
+        if drift.get("records_seen", 0) < 2 * len(probe):
+            print(
+                f"self-test: drift monitor saw {drift.get('records_seen')} "
+                f"records, expected >= {2 * len(probe)}",
+                file=out,
+            )
+            return 1
+
         with urllib.request.urlopen(
             f"{server.url}/metrics", timeout=10
         ) as response:
@@ -120,10 +163,14 @@ def run_self_test(
         if "repro_serve_http_requests" not in metrics_text:
             print("self-test: /metrics missing serve counters", file=out)
             return 1
+        if f"repro_drift_{record.model_id}" not in metrics_text:
+            print("self-test: /metrics missing drift instruments", file=out)
+            return 1
 
     print(
         f"self-test: ok (model {record.model_id}, {record.n_leaves} "
-        f"leaves; {len(probe)} predictions bit-identical over HTTP)",
+        f"leaves; {len(probe)} predictions bit-identical over HTTP; "
+        f"drift verdict {drift.get('verdict')})",
         file=out,
     )
     return 0

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.stats.special import (
     erf,
@@ -17,7 +18,7 @@ from repro.stats.special import (
     regularized_lower_gamma,
 )
 
-__all__ = ["Normal", "StudentT", "FDistribution", "ChiSquare"]
+__all__ = ["Normal", "StudentT", "FDistribution", "ChiSquare", "t_critical_value"]
 
 
 def _bisect_ppf(cdf, p: float, lo: float, hi: float, tol: float = 1e-12) -> float:
@@ -108,10 +109,34 @@ class StudentT:
         )
 
     def critical_value(self, confidence: float = 0.95) -> float:
-        """Two-sided critical value, e.g. ~1.960 at 95% for large df."""
+        """Two-sided critical value, e.g. ~1.960 at 95% for large df.
+
+        Memoized on ``(df, confidence)``: the bisection PPF costs tens
+        of microseconds, and streaming callers (the drift detectors)
+        ask for the same quantile on every evaluation.
+        """
         if not 0.0 < confidence < 1.0:
             raise ValueError(f"confidence must be in (0, 1), got {confidence}")
-        return self.ppf(0.5 + confidence / 2.0)
+        return _t_critical_cached(self.df, confidence)
+
+
+@lru_cache(maxsize=4096)
+def _t_critical_cached(df: float, confidence: float) -> float:
+    return StudentT(df).ppf(0.5 + confidence / 2.0)
+
+
+def t_critical_value(df: float, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value without a distribution object.
+
+    Same memoized quantile as :meth:`StudentT.critical_value`; streaming
+    callers evaluating per batch use this to skip even the dataclass
+    construction.
+    """
+    if df <= 0.0:
+        raise ValueError(f"degrees of freedom must be positive, got {df}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return _t_critical_cached(df, confidence)
 
 
 @dataclass(frozen=True)

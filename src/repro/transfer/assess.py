@@ -15,6 +15,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.datasets.dataset import SampleSet
+from repro.stats.transfer import TransferCriteria, meets_accuracy_thresholds
 from repro.transfer.hypothesis import TwoSampleTestResult, two_sample_t_test
 from repro.transfer.metrics import PredictionMetrics, prediction_metrics
 
@@ -32,25 +33,10 @@ class Predictor(Protocol):
     def predict(self, X: np.ndarray) -> np.ndarray: ...
 
 
-@dataclass(frozen=True)
-class TransferabilityCriteria:
-    """Acceptance thresholds; the paper's illustrative values."""
-
-    min_correlation: float = 0.85
-    max_mae: float = 0.15
-    confidence: float = 0.95
-
-    def __post_init__(self) -> None:
-        if not -1.0 <= self.min_correlation <= 1.0:
-            raise ValueError(
-                f"min_correlation must be in [-1, 1], got {self.min_correlation}"
-            )
-        if self.max_mae <= 0:
-            raise ValueError(f"max_mae must be positive, got {self.max_mae}")
-        if not 0.0 < self.confidence < 1.0:
-            raise ValueError(
-                f"confidence must be in (0, 1), got {self.confidence}"
-            )
+#: The acceptance thresholds now live in :mod:`repro.stats.transfer`
+#: (shared with the streaming drift detectors); the historical name
+#: stays the public one here.
+TransferabilityCriteria = TransferCriteria
 
 
 @dataclass(frozen=True)
@@ -72,9 +58,8 @@ class TransferabilityReport:
     @property
     def metrics_transferable(self) -> bool:
         """Verdict by prediction accuracy (Section VI.B)."""
-        return (
-            self.metrics.correlation > self.criteria.min_correlation
-            and self.metrics.mae < self.criteria.max_mae
+        return meets_accuracy_thresholds(
+            self.metrics.correlation, self.metrics.mae, self.criteria
         )
 
     @property

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.stats.descriptive import standard_error_of_difference
 from repro.stats.distributions import FDistribution, Normal, StudentT
+from repro.stats.transfer import SampleMoments, t_statistic_from_moments
 
 __all__ = [
     "TwoSampleTestResult",
@@ -78,23 +79,28 @@ def two_sample_t_test(
     Uses the unpooled standard error ``sqrt(S_a^2/n + S_b^2/m)`` and
     ``n + m - 2`` degrees of freedom, exactly as in Section VI.A.  The
     paper notes this is robust for large samples of similar size.
+
+    The statistic itself is computed by the shared
+    :func:`repro.stats.transfer.t_statistic_from_moments`, the same
+    arithmetic the streaming drift detectors evaluate on window
+    moments; this batch entry point keeps its historical contract of
+    raising :class:`ValueError` on degenerate inputs.
     """
     a = _as_sample(a, "sample a")
     b = _as_sample(b, "sample b")
-    se = standard_error_of_difference(
-        float(a.var(ddof=1)), a.size, float(b.var(ddof=1)), b.size
+    summary = t_statistic_from_moments(
+        SampleMoments.from_values(a),
+        SampleMoments.from_values(b),
+        confidence,
     )
-    if se == 0.0:
+    if not summary.sufficient:
         raise ValueError("both samples are constant; t statistic undefined")
-    statistic = (float(a.mean()) - float(b.mean())) / se
-    df = a.size + b.size - 2
-    dist = StudentT(df)
     return TwoSampleTestResult(
         test="two-sample t",
-        statistic=statistic,
-        df=float(df),
-        p_value=dist.two_sided_p(statistic),
-        critical_value=dist.critical_value(confidence),
+        statistic=summary.statistic,
+        df=summary.df,
+        p_value=summary.p_value,
+        critical_value=summary.critical_value,
         confidence=confidence,
     )
 

@@ -5,6 +5,11 @@ The paper's two headline metrics are the correlation coefficient C
 output — which the authors were reading — also reports RMSE, relative
 absolute error (RAE) and root relative squared error (RRSE), so those
 are included for completeness and used by the baseline comparisons.
+
+The Eq. 12/13 computations themselves live in the shared
+:mod:`repro.stats.transfer` module (one implementation for this batch
+path and the streaming drift detectors); they are re-exported here
+unchanged for the established ``repro.transfer`` API.
 """
 
 from __future__ import annotations
@@ -14,7 +19,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.stats.descriptive import corrcoef
+from repro.stats.transfer import (
+    correlation_coefficient,
+    mean_absolute_error,
+    paired_arrays as _paired,
+)
 
 __all__ = [
     "PredictionMetrics",
@@ -22,37 +31,6 @@ __all__ = [
     "mean_absolute_error",
     "prediction_metrics",
 ]
-
-
-def _paired(predicted: Sequence[float], actual: Sequence[float]):
-    p = np.asarray(predicted, dtype=float)
-    a = np.asarray(actual, dtype=float)
-    if p.ndim != 1 or a.ndim != 1 or p.size != a.size:
-        raise ValueError(
-            f"predicted/actual must be equal-length 1-D arrays, "
-            f"got shapes {p.shape} and {a.shape}"
-        )
-    if p.size == 0:
-        raise ValueError("need at least one prediction")
-    if not (np.all(np.isfinite(p)) and np.all(np.isfinite(a))):
-        raise ValueError("predictions or actuals contain NaN/inf")
-    return p, a
-
-
-def correlation_coefficient(
-    predicted: Sequence[float], actual: Sequence[float]
-) -> float:
-    """Equation 12: Pearson correlation of predicted vs. actual."""
-    p, a = _paired(predicted, actual)
-    return corrcoef(p, a)
-
-
-def mean_absolute_error(
-    predicted: Sequence[float], actual: Sequence[float]
-) -> float:
-    """Equation 13: mean absolute error, in CPI units."""
-    p, a = _paired(predicted, actual)
-    return float(np.mean(np.abs(p - a)))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,25 @@
+"""Drift fixtures: a small fitted tree plus traffic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+
+
+def make_traffic(rng, n, noise=0.05, shift=0.0):
+    """(predictions, actuals) pairs: actuals = preds + noise + shift."""
+    predictions = rng.normal(2.0, 0.7, n)
+    actuals = predictions + rng.normal(0.0, noise, n) + shift
+    return predictions, actuals
+
+
+@pytest.fixture(scope="module")
+def drift_tree() -> ModelTree:
+    """A tiny deterministic tree for profile/leaf-based tests."""
+    rng = np.random.default_rng(11)
+    X = rng.random((600, 3))
+    y = np.where(X[:, 1] <= 0.4, 2.0 * X[:, 0], 5.0 - X[:, 2])
+    y = y + 0.01 * rng.standard_normal(600)
+    return ModelTree(ModelTreeConfig(min_leaf=15)).fit(X, y, ("p", "q", "r"))

@@ -1,0 +1,210 @@
+"""The paper's Section VI contrast, live: CPU2006 held-out traffic
+through a CPU2006 model stays OK; OMP2001 traffic trips
+TRANSFER_FAILED within one window — the streaming counterpart of
+experiments E7/E8 — plus the serve wiring (hub, engine, CLI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.drift import (
+    DriftHub,
+    DriftMonitor,
+    DriftMonitorConfig,
+    DriftVerdict,
+    ModelProfile,
+)
+from repro.stats.transfer import SampleMoments
+
+
+WINDOW = 256
+BATCH = 64
+
+
+def stream(monitor, tree, sample_set, batch=BATCH, limit=None):
+    """Replay a sample set as labelled traffic; returns the last event."""
+    n = len(sample_set) if limit is None else min(limit, len(sample_set))
+    event = None
+    for start in range(0, n, batch):
+        X = sample_set.X[start : start + batch]
+        y = sample_set.y[start : start + batch]
+        event = monitor.observe(
+            tree.predict(X), y, tree.assign_leaves(X)
+        )
+    return event
+
+
+@pytest.fixture
+def cpu_profile(cpu_tree, cpu_split):
+    train, _ = cpu_split
+    return ModelProfile.from_tree(
+        "cpu2006", cpu_tree, training_y=SampleMoments.from_values(train.y)
+    )
+
+
+class TestPaperContrast:
+    def test_within_suite_traffic_stays_ok(self, cpu_tree, cpu_split,
+                                           cpu_profile):
+        _, test = cpu_split
+        monitor = DriftMonitor(cpu_profile, DriftMonitorConfig(window=WINDOW))
+        event = stream(monitor, cpu_tree, test)
+        assert event.verdict is DriftVerdict.OK
+        readings = {r.detector: r for r in event.readings}
+        # The paper's within-suite regime: C ~ 0.92, MAE ~ 0.10.
+        assert readings["rolling_c"].value > 0.85
+        assert readings["rolling_mae"].value < 0.15
+        assert readings["leaf_l1"].value < 25.0
+
+    def test_cross_suite_traffic_fails_within_one_window(
+        self, cpu_tree, cpu_profile, omp_data
+    ):
+        monitor = DriftMonitor(cpu_profile, DriftMonitorConfig(window=WINDOW))
+        verdicts = []
+        for start in range(0, 5 * WINDOW, BATCH):
+            X = omp_data.X[start : start + BATCH]
+            y = omp_data.y[start : start + BATCH]
+            event = monitor.observe(
+                cpu_tree.predict(X), y, cpu_tree.assign_leaves(X)
+            )
+            verdicts.append(event)
+            if event.verdict is DriftVerdict.TRANSFER_FAILED:
+                break
+        final = verdicts[-1]
+        assert final.verdict is DriftVerdict.TRANSFER_FAILED
+        # "Within one window": before WINDOW records have streamed.
+        assert final.records_seen <= WINDOW
+        readings = {r.detector: r for r in final.readings}
+        # The paper's cross-suite regime: C well below the 0.85 bar
+        # (C ~ 0.43 at full scale), with persistent battery breaches.
+        assert readings["rolling_c"].value < 0.85
+        assert readings["rolling_c"].breached
+        assert len(final.breaches) >= 1
+
+
+class TestHubThroughEngine:
+    """The serve path: engine -> hub -> monitor, off the client path."""
+
+    @pytest.fixture
+    def published(self, cpu_tree, cpu_split, tmp_path):
+        from repro.serve.registry import ModelRegistry
+
+        train, _ = cpu_split
+        registry = ModelRegistry(tmp_path / "registry")
+        record = registry.publish(
+            cpu_tree,
+            metadata={
+                "suite": "cpu2006",
+                "train_y": {
+                    "n": len(train),
+                    "mean": float(train.y.mean()),
+                    "var": float(train.y.var(ddof=1)),
+                },
+            },
+        )
+        return registry, record
+
+    def test_engine_feeds_hub_and_report_reflects_traffic(
+        self, published, cpu_split
+    ):
+        from repro.serve.engine import BatchConfig, PredictionEngine
+
+        registry, record = published
+        _, test = cpu_split
+        hub = DriftHub(registry, DriftMonitorConfig(window=WINDOW))
+        engine = PredictionEngine(
+            registry,
+            batch=BatchConfig(max_batch=BATCH, max_wait_s=0.0),
+            drift=hub,
+        )
+        with engine:
+            for start in range(0, 2 * WINDOW, BATCH):
+                X = test.X[start : start + BATCH]
+                y = test.y[start : start + BATCH]
+                engine.predict("latest", X, actuals=y)
+        # stop() joins the worker, so every observation has landed.
+        report = hub.report(record.model_id)
+        assert report["verdict"] == "ok"
+        assert report["records_seen"] == 2 * WINDOW
+        assert hub.model_ids() == (record.model_id,)
+
+    def test_unserved_model_reports_without_a_monitor(self, published):
+        registry, record = published
+        hub = DriftHub(registry)
+        report = hub.report("latest")
+        assert report["model_id"] == record.model_id
+        assert report["verdict"] == "insufficient_data"
+        assert report["records_seen"] == 0
+
+    def test_monitor_failure_never_breaks_predictions(
+        self, published, cpu_split
+    ):
+        from repro.obs.metrics import get_registry
+        from repro.serve.engine import BatchConfig, PredictionEngine
+
+        registry, _ = published
+        _, test = cpu_split
+
+        class ExplodingHub:
+            def observe(self, *args, **kwargs):
+                raise RuntimeError("monitor boom")
+
+        errors_before = get_registry().counter(
+            "serve.engine.monitor_errors"
+        ).value
+        engine = PredictionEngine(
+            registry, batch=BatchConfig(max_wait_s=0.0), drift=ExplodingHub()
+        )
+        with engine:
+            result = engine.predict("latest", test.X[:10], actuals=test.y[:10])
+        assert result.shape == (10,)
+        assert (
+            get_registry().counter("serve.engine.monitor_errors").value
+            > errors_before
+        )
+
+    def test_shadow_pair_observes_champion_traffic(
+        self, published, cpu_split, omp_tree
+    ):
+        from repro.serve.registry import ModelRegistry
+
+        registry, record = published
+        challenger = registry.publish(omp_tree, aliases=("challenger",))
+        hub = DriftHub(
+            registry,
+            DriftMonitorConfig(window=WINDOW),
+            shadow=("latest", "challenger"),
+        )
+        _, test = cpu_split
+        X, y = test.X[:2 * BATCH], test.y[:2 * BATCH]
+        hub.observe(record.model_id, X, np.asarray(
+            registry.load(record.model_id)[1].predict(X)
+        ), y)
+        recommendation = hub.shadow.recommendation()
+        assert recommendation["champion"]["model_id"] == record.model_id
+        assert recommendation["challenger"]["model_id"] == (
+            challenger.model_id
+        )
+        assert recommendation["champion"]["n"] == 2 * BATCH
+        # The champion's own report embeds the shadow judgement.
+        assert "shadow" in hub.report(record.model_id)
+
+
+class TestMonitorCli:
+    """`repro monitor` end-to-end at reduced scale (exit 0 vs exit 3)."""
+
+    def test_within_suite_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["monitor", "cpu2006", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "final verdict: ok" in out
+
+    def test_cross_suite_exits_three(self, capsys):
+        from repro.cli import main
+
+        code = main(["monitor", "cpu2006", "omp2001", "--scale", "0.1"])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "transfer_failed" in out

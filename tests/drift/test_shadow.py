@@ -1,0 +1,89 @@
+"""ShadowEvaluator: promotion logic over champion/challenger windows."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.drift.shadow import ShadowEvaluator
+
+
+def make_shadow(**kwargs):
+    defaults = dict(window=256, min_labelled=48, min_improvement=0.05)
+    defaults.update(kwargs)
+    return ShadowEvaluator("champ", "chall", **defaults)
+
+
+def feed(shadow, rng, n, champion_err, challenger_err):
+    actuals = rng.normal(2.0, 0.7, n)
+    shadow.observe(
+        actuals + rng.normal(0.0, champion_err, n),
+        actuals + rng.normal(0.0, challenger_err, n),
+        actuals,
+    )
+
+
+class TestValidation:
+    def test_min_labelled(self):
+        with pytest.raises(ValueError, match="min_labelled"):
+            make_shadow(min_labelled=1)
+
+    def test_min_improvement(self):
+        with pytest.raises(ValueError, match="min_improvement"):
+            make_shadow(min_improvement=1.0)
+
+    def test_shape_mismatch(self):
+        shadow = make_shadow()
+        with pytest.raises(ValueError, match="align"):
+            shadow.observe([1.0, 2.0], [1.0])
+
+
+class TestRecommendation:
+    def test_insufficient_before_min_labelled(self):
+        shadow = make_shadow()
+        feed(shadow, np.random.default_rng(0), 10, 0.05, 0.05)
+        report = shadow.recommendation()
+        assert report["recommendation"] == "insufficient_data"
+        assert report["champion"]["rolling_c"] is None
+
+    def test_unlabelled_traffic_still_builds_agreement(self):
+        shadow = make_shadow()
+        rng = np.random.default_rng(1)
+        predictions = rng.normal(2.0, 0.7, 100)
+        shadow.observe(predictions, predictions + 0.01)
+        report = shadow.recommendation()
+        assert report["recommendation"] == "insufficient_data"
+        assert report["agreement"]["n"] == 100
+        assert report["agreement"]["correlation"] > 0.99
+
+    def test_promotes_when_champion_fails_and_challenger_passes(self):
+        shadow = make_shadow()
+        feed(shadow, np.random.default_rng(2), 100, 1.0, 0.02)
+        report = shadow.recommendation()
+        assert report["recommendation"] == "promote_challenger"
+        assert not report["champion"]["meets_thresholds"]
+        assert report["challenger"]["meets_thresholds"]
+
+    def test_keeps_champion_when_both_pass_similarly(self):
+        shadow = make_shadow()
+        feed(shadow, np.random.default_rng(3), 100, 0.05, 0.05)
+        assert shadow.recommendation()["recommendation"] == "keep_champion"
+
+    def test_promotes_on_clear_mae_improvement(self):
+        shadow = make_shadow()
+        feed(shadow, np.random.default_rng(4), 200, 0.10, 0.01)
+        report = shadow.recommendation()
+        assert report["recommendation"] == "promote_challenger"
+        assert "improves" in report["reason"]
+
+    def test_keeps_champion_when_challenger_is_worse(self):
+        shadow = make_shadow()
+        feed(shadow, np.random.default_rng(5), 100, 0.02, 1.0)
+        assert shadow.recommendation()["recommendation"] == "keep_champion"
+
+    def test_report_is_json_serializable(self):
+        shadow = make_shadow()
+        feed(shadow, np.random.default_rng(6), 100, 0.05, 0.05)
+        json.dumps(shadow.recommendation())

@@ -1,0 +1,217 @@
+"""Detector battery: thresholds, insufficiency, streaming-vs-batch parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.drift.stats import (
+    DependentTTest,
+    DetectorStatus,
+    DriftCriteria,
+    LeafProfileDrift,
+    PredictionTTest,
+    RollingCorrelation,
+    RollingMae,
+    build_detectors,
+)
+from repro.drift.window import StreamWindow
+from repro.stats.transfer import SampleMoments
+from repro.transfer.hypothesis import two_sample_t_test
+from repro.transfer.metrics import prediction_metrics
+
+TOL = 1e-10
+
+
+def fill_window(n=100, noise=0.1, shift=0.0, seed=0, capacity=256):
+    rng = np.random.default_rng(seed)
+    predictions = rng.normal(2.0, 0.7, n)
+    actuals = predictions + rng.normal(0.0, noise, n) + shift
+    window = StreamWindow(capacity)
+    window.extend(predictions, actuals)
+    return window, predictions, actuals
+
+
+class TestCriteria:
+    def test_defaults_are_the_papers(self):
+        criteria = DriftCriteria()
+        assert criteria.transfer.min_correlation == 0.85
+        assert criteria.transfer.max_mae == 0.15
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_leaf_l1_pct": 0.0},
+            {"max_leaf_l1_pct": 150.0},
+            {"min_labelled": 1},
+            {"min_leaf_records": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftCriteria(**kwargs)
+
+
+class TestInsufficiency:
+    """Thin windows are a verdict, never a NaN comparison."""
+
+    def test_all_labelled_detectors_insufficient_below_min(self):
+        window, _, _ = fill_window(n=10)
+        snapshot = window.snapshot()
+        for detector in (
+            DependentTTest(SampleMoments(100, 2.0, 0.5), min_labelled=48),
+            PredictionTTest(min_labelled=48),
+            RollingCorrelation(min_labelled=48),
+            RollingMae(min_labelled=48),
+        ):
+            reading = detector.read(snapshot)
+            assert reading.status is DetectorStatus.INSUFFICIENT
+            assert not reading.breached
+            assert "labelled" in reading.detail
+
+    def test_constant_window_is_insufficient_not_nan(self):
+        window = StreamWindow(64)
+        window.extend(np.full(50, 2.0), np.full(50, 2.0))
+        reading = PredictionTTest(min_labelled=48).read(window.snapshot())
+        assert reading.status is DetectorStatus.INSUFFICIENT
+        assert "zero variance" in reading.detail
+
+    def test_dependent_t_requires_usable_reference(self):
+        with pytest.raises(ValueError, match="training reference"):
+            DependentTTest(SampleMoments(1, 2.0, 0.0))
+
+
+class TestStreamingMatchesBatch:
+    """Satellite: windowed statistics == batch Eqs. 8-13 to <= 1e-10."""
+
+    def test_prediction_t_matches_two_sample_t_test(self):
+        window, predictions, actuals = fill_window(n=200, noise=0.4, seed=5)
+        reading = PredictionTTest(min_labelled=48).read(window.snapshot())
+        batch = two_sample_t_test(predictions, actuals)
+        assert reading.value == pytest.approx(batch.statistic, abs=TOL)
+        assert reading.threshold == pytest.approx(
+            batch.critical_value, abs=TOL
+        )
+
+    def test_dependent_t_matches_two_sample_t_test(self):
+        window, _, actuals = fill_window(n=200, noise=0.4, seed=6)
+        reference = np.random.default_rng(7).normal(2.5, 0.6, 500)
+        detector = DependentTTest(
+            SampleMoments.from_values(reference), min_labelled=48
+        )
+        reading = detector.read(window.snapshot())
+        batch = two_sample_t_test(actuals, reference)
+        assert reading.value == pytest.approx(batch.statistic, abs=TOL)
+
+    def test_rolling_c_and_mae_match_prediction_metrics(self):
+        window, predictions, actuals = fill_window(n=200, noise=0.3, seed=8)
+        snapshot = window.snapshot()
+        batch = prediction_metrics(predictions, actuals)
+        c = RollingCorrelation(min_labelled=48).read(snapshot)
+        mae = RollingMae(min_labelled=48).read(snapshot)
+        assert c.value == pytest.approx(batch.correlation, abs=TOL)
+        assert mae.value == pytest.approx(batch.mae, abs=TOL)
+
+    def test_parity_survives_eviction_churn(self):
+        """The guarantee must hold on a window that slid a long way."""
+        rng = np.random.default_rng(13)
+        capacity = 64
+        predictions = rng.normal(2.0, 0.7, 1000)
+        actuals = predictions + rng.normal(0.0, 0.3, 1000)
+        window = StreamWindow(capacity)
+        window.extend(predictions, actuals)
+        snapshot = window.snapshot()
+        p, a = predictions[-capacity:], actuals[-capacity:]
+        batch_t = two_sample_t_test(p, a)
+        batch_m = prediction_metrics(p, a)
+        t = PredictionTTest(min_labelled=48).read(snapshot)
+        c = RollingCorrelation(min_labelled=48).read(snapshot)
+        mae = RollingMae(min_labelled=48).read(snapshot)
+        assert t.value == pytest.approx(batch_t.statistic, abs=TOL)
+        assert c.value == pytest.approx(batch_m.correlation, abs=TOL)
+        assert mae.value == pytest.approx(batch_m.mae, abs=TOL)
+
+
+class TestThresholds:
+    def test_accurate_window_is_ok(self):
+        window, _, _ = fill_window(n=100, noise=0.05)
+        snapshot = window.snapshot()
+        assert not RollingCorrelation(min_labelled=48).read(snapshot).breached
+        assert not RollingMae(min_labelled=48).read(snapshot).breached
+        assert not PredictionTTest(min_labelled=48).read(snapshot).breached
+
+    def test_shifted_window_breaches(self):
+        window, _, _ = fill_window(n=100, noise=0.05, shift=1.0)
+        snapshot = window.snapshot()
+        assert RollingMae(min_labelled=48).read(snapshot).breached
+        assert PredictionTTest(min_labelled=48).read(snapshot).breached
+
+    def test_uncorrelated_window_breaches_c(self):
+        rng = np.random.default_rng(2)
+        window = StreamWindow(256)
+        window.extend(rng.normal(2, 0.5, 100), rng.normal(2, 0.5, 100))
+        assert RollingCorrelation(min_labelled=48).read(
+            window.snapshot()
+        ).breached
+
+
+class TestLeafProfileDrift:
+    def test_matching_profile_ok(self):
+        window = StreamWindow(256, n_leaves=2)
+        window.extend(
+            np.ones(100), leaves=np.array([0] * 60 + [1] * 40)
+        )
+        detector = LeafProfileDrift(
+            ("LM1", "LM2"), {"LM1": 60.0, "LM2": 40.0}, min_records=48
+        )
+        reading = detector.read(window.snapshot())
+        assert reading.status is DetectorStatus.OK
+        assert reading.value == pytest.approx(0.0)
+
+    def test_disjoint_profile_breaches(self):
+        window = StreamWindow(256, n_leaves=2)
+        window.extend(np.ones(100), leaves=np.zeros(100, dtype=int))
+        detector = LeafProfileDrift(
+            ("LM1", "LM2"), {"LM1": 10.0, "LM2": 90.0}, min_records=48
+        )
+        reading = detector.read(window.snapshot())
+        assert reading.breached
+        assert reading.value == pytest.approx(90.0)
+
+    def test_insufficient_below_min_records(self):
+        window = StreamWindow(256, n_leaves=2)
+        window.extend(np.ones(10), leaves=np.zeros(10, dtype=int))
+        detector = LeafProfileDrift(
+            ("LM1", "LM2"), {"LM1": 50.0, "LM2": 50.0}, min_records=48
+        )
+        assert (
+            detector.read(window.snapshot()).status
+            is DetectorStatus.INSUFFICIENT
+        )
+
+    def test_needs_leaf_names(self):
+        with pytest.raises(ValueError, match="leaf name"):
+            LeafProfileDrift((), {})
+
+
+class TestBuildDetectors:
+    def test_full_provenance_gets_full_battery(self):
+        detectors = build_detectors(
+            DriftCriteria(),
+            training_y=SampleMoments(100, 2.0, 0.5),
+            leaf_names=("LM1",),
+            training_shares_pct={"LM1": 100.0},
+        )
+        names = [d.name for d in detectors]
+        assert names == [
+            "dependent_t",
+            "prediction_t",
+            "rolling_c",
+            "rolling_mae",
+            "leaf_l1",
+        ]
+
+    def test_missing_provenance_degrades(self):
+        detectors = build_detectors(DriftCriteria())
+        names = [d.name for d in detectors]
+        assert names == ["prediction_t", "rolling_c", "rolling_mae"]

@@ -1,0 +1,62 @@
+"""Bit-identity regression for the Eqs. 8-13 refactor.
+
+The shared :mod:`repro.stats.transfer` module replaced the arithmetic
+that used to live inline in :mod:`repro.transfer`; E7/E8 outputs must
+not move by a single ULP.  This test recomputes every statistic with
+the raw pre-refactor numpy formulas and asserts *exact* equality (no
+tolerances) against the experiment pipeline's reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.transferability import transfer_reports
+from repro.stats.descriptive import standard_error_of_difference
+from repro.stats.distributions import StudentT
+
+
+def raw_t_statistic(a: np.ndarray, b: np.ndarray):
+    """The historical two_sample_t_test arithmetic, verbatim."""
+    mean_a, mean_b = float(a.mean()), float(b.mean())
+    var_a, var_b = float(a.var(ddof=1)), float(b.var(ddof=1))
+    se = standard_error_of_difference(var_a, a.size, var_b, b.size)
+    statistic = (mean_a - mean_b) / se
+    df = a.size + b.size - 2
+    return statistic, float(df), StudentT(df).critical_value(0.95)
+
+
+def test_e7_e8_statistics_are_bit_identical(ctx):
+    reports = transfer_reports(ctx)
+    assert len(reports) == 4
+    for report, expected in reports:
+        source = "cpu2006" if "CPU2006" in report.source_name else "omp2001"
+        target = "cpu2006" if "CPU2006" in report.target_name else "omp2001"
+        source_set = ctx.train_set(source)
+        target_set = (
+            ctx.test_set(target) if source == target
+            else ctx.train_set(target)
+        )
+        predicted = ctx.tree(source).predict(target_set.X)
+
+        # E7: the dependent-variable and prediction t statistics.
+        t_dep, df_dep, crit = raw_t_statistic(source_set.y, target_set.y)
+        assert report.dependent_test.statistic == t_dep
+        assert report.dependent_test.df == df_dep
+        assert report.dependent_test.critical_value == crit
+        t_pred, _, _ = raw_t_statistic(predicted, target_set.y)
+        assert report.prediction_test.statistic == t_pred
+
+        # E8: C (Eq. 12) and MAE (Eq. 13).  The historical
+        # correlation path was cov/(sx*sy) with ddof=1 throughout.
+        assert report.metrics.mae == float(
+            np.mean(np.abs(predicted - target_set.y))
+        )
+        raw_c = float(
+            np.cov(predicted, target_set.y, ddof=1)[0, 1]
+            / (predicted.std(ddof=1) * target_set.y.std(ddof=1))
+        )
+        assert report.metrics.correlation == raw_c
+
+        # The verdicts driving the experiment text are stable too.
+        assert report.transferable == expected

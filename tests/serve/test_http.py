@@ -201,6 +201,35 @@ class TestValidation:
         assert status == 400
         assert body["error"]["code"] == "invalid_smooth"
 
+    def test_actuals_wrong_length_400(self, server, probe):
+        status, body = post_json(
+            server,
+            "/v1/models/latest/predict",
+            {"instances": probe.tolist(), "actuals": [1.0, 2.0]},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_actuals"
+
+    @pytest.mark.parametrize("bad", ["2.0", True, {}])
+    def test_actuals_wrong_type_400(self, server, bad):
+        status, body = post_json(
+            server,
+            "/v1/models/latest/predict",
+            {"instances": [[0.1, 0.1, 0.1]], "actuals": [bad]},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_actuals"
+
+    def test_actuals_accepts_nulls_for_unlabelled_rows(self, server, probe):
+        actuals = [2.0] * (len(probe) - 1) + [None]
+        status, body = post_json(
+            server,
+            "/v1/models/latest/predict",
+            {"instances": probe.tolist(), "actuals": actuals},
+        )
+        assert status == 200
+        assert body["n"] == len(probe)
+
 
 class TestMetrics:
     def test_metrics_reflect_traffic(self, server, probe):
@@ -215,8 +244,61 @@ class TestMetrics:
         assert status == 200
         assert "repro_serve_http_requests" in text
         assert "repro_serve_engine_batch_rows_count" in text
+        # The batching instruments: per-flush request-count histogram
+        # plus the queue-depth gauge (set on every enqueue and flush).
+        assert "repro_serve_engine_batch_requests" in text
+        assert get_registry().gauge("serve.engine.queue_depth").value >= 0.0
         after = get_registry().counter("serve.http.predictions").value
         assert after - before == len(probe)
+
+    def test_drift_gauges_reach_metrics(self, server, probe, tiny_tree):
+        import time
+
+        expected = tiny_tree.predict(np.asarray(probe))
+        post_json(
+            server,
+            "/v1/models/latest/predict",
+            {"instances": probe.tolist(), "actuals": expected.tolist()},
+        )
+        model_id = server.registry.resolve("latest")
+        prefix = f"repro_drift_{model_id}"
+        for _ in range(50):  # observation lands off the client path
+            text = get(server, "/metrics")[1].decode()
+            if prefix in text:
+                break
+            time.sleep(0.05)
+        assert prefix in text
+
+
+class TestDriftRoute:
+    def test_drift_report_when_monitoring(self, server):
+        status, body = get_json(server, "/v1/models/latest/drift")
+        assert status == 200
+        assert body["monitoring"] is True
+        assert body["model_id"] == server.registry.resolve("latest")
+        assert "verdict" in body
+
+    def test_drift_unknown_model_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                server.url + "/v1/models/ghost/drift", timeout=10
+            )
+        assert excinfo.value.code == 404
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"]["code"] == "model_not_found"
+
+    def test_drift_route_is_get_only(self, server):
+        status, body = post_json(server, "/v1/models/latest/drift", {})
+        assert status == 405
+        assert body["error"]["code"] == "method_not_allowed"
+
+    def test_drift_disabled_server_says_so(self, registry, tiny_tree):
+        registry.publish(tiny_tree)
+        with ModelServer(registry, port=0, monitor=False) as quiet:
+            status, body = get_json(quiet, "/v1/models/latest/drift")
+        assert status == 200
+        assert body["monitoring"] is False
+        assert body["model_id"] == registry.resolve("latest")
 
 
 class TestShutdown:

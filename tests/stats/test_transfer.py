@@ -1,0 +1,150 @@
+"""Shared Eqs. 8-13 arithmetic: moments, edge cases, batch parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.transfer import (
+    SampleMoments,
+    TransferCriteria,
+    correlation_coefficient,
+    mean_absolute_error,
+    meets_accuracy_thresholds,
+    pearson_from_comoments,
+    t_statistic_from_moments,
+)
+from repro.transfer.hypothesis import two_sample_t_test
+
+
+class TestSampleMoments:
+    def test_from_values_matches_numpy(self):
+        values = np.array([1.0, 2.0, 4.0, 8.0])
+        moments = SampleMoments.from_values(values)
+        assert moments.n == 4
+        assert moments.mean == float(values.mean())
+        assert moments.var == float(values.var(ddof=1))
+
+    def test_tiny_samples_have_zero_variance(self):
+        assert SampleMoments.from_values([]).var == 0.0
+        assert SampleMoments.from_values([3.0]) == SampleMoments(1, 3.0, 0.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            SampleMoments.from_values([1.0, float("nan")])
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ValueError, match="variance"):
+            SampleMoments(3, 0.0, -1e-9)
+
+
+class TestTStatisticEdgeCases:
+    """Satellite: small samples are a verdict, never a NaN or warning."""
+
+    @pytest.mark.parametrize(
+        "a, b",
+        [
+            (SampleMoments(0, 0.0, 0.0), SampleMoments(10, 1.0, 1.0)),
+            (SampleMoments(1, 2.0, 0.0), SampleMoments(10, 1.0, 1.0)),
+            (SampleMoments(10, 1.0, 1.0), SampleMoments(1, 2.0, 0.0)),
+        ],
+    )
+    def test_undersized_sample_is_insufficient(self, a, b):
+        summary = t_statistic_from_moments(a, b)
+        assert not summary.sufficient
+        assert summary.reject is False
+        assert "observations" in summary.reason
+        assert "insufficient" in str(summary)
+
+    def test_zero_variance_both_sides_is_insufficient(self):
+        summary = t_statistic_from_moments(
+            SampleMoments(10, 2.0, 0.0), SampleMoments(10, 2.0, 0.0)
+        )
+        assert not summary.sufficient
+        assert summary.reject is False
+        assert "zero variance" in summary.reason
+
+    def test_no_numpy_warnings_on_degenerate_input(self):
+        with np.errstate(all="raise"):
+            t_statistic_from_moments(
+                SampleMoments(5, 1.0, 0.0), SampleMoments(5, 1.0, 0.0)
+            )
+
+    def test_one_sided_zero_variance_is_still_a_test(self):
+        summary = t_statistic_from_moments(
+            SampleMoments(10, 2.0, 0.0), SampleMoments(10, 3.0, 1.0)
+        )
+        assert summary.sufficient
+        assert summary.reject  # a 1.0 mean gap over se ~ 0.316
+
+
+class TestBatchParity:
+    """The moments path must be bit-identical to the array path."""
+
+    def test_matches_two_sample_t_test_exactly(self):
+        rng = np.random.default_rng(17)
+        a = rng.normal(1.1, 0.4, 321)
+        b = rng.normal(1.0, 0.5, 257)
+        summary = t_statistic_from_moments(
+            SampleMoments.from_values(a), SampleMoments.from_values(b)
+        )
+        batch = two_sample_t_test(a, b)
+        assert summary.statistic == batch.statistic  # exact, not approx
+        assert summary.df == batch.df
+        assert summary.p_value == batch.p_value
+        assert summary.critical_value == batch.critical_value
+        assert summary.reject == batch.reject
+
+    def test_array_wrappers_match_numpy(self):
+        rng = np.random.default_rng(18)
+        p = rng.normal(2.0, 0.5, 100)
+        a = p + rng.normal(0.0, 0.1, 100)
+        assert mean_absolute_error(p, a) == float(np.mean(np.abs(p - a)))
+        assert correlation_coefficient(p, a) == pytest.approx(
+            float(np.corrcoef(p, a)[0, 1]), abs=1e-12
+        )
+
+
+class TestPearsonFromComoments:
+    def test_matches_corrcoef(self):
+        rng = np.random.default_rng(19)
+        x = rng.normal(0.0, 1.0, 64)
+        y = 0.5 * x + rng.normal(0.0, 0.5, 64)
+        m2x = float(((x - x.mean()) ** 2).sum())
+        m2y = float(((y - y.mean()) ** 2).sum())
+        co = float(((x - x.mean()) * (y - y.mean())).sum())
+        assert pearson_from_comoments(m2x, m2y, co) == pytest.approx(
+            float(np.corrcoef(x, y)[0, 1]), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("m2x, m2y", [(0.0, 1.0), (1.0, 0.0), (0.0, 0.0)])
+    def test_degenerate_sides_return_zero(self, m2x, m2y):
+        assert pearson_from_comoments(m2x, m2y, 0.5) == 0.0
+
+
+class TestCriteria:
+    def test_defaults(self):
+        criteria = TransferCriteria()
+        assert (criteria.min_correlation, criteria.max_mae) == (0.85, 0.15)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_correlation": 1.5},
+            {"max_mae": 0.0},
+            {"confidence": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TransferCriteria(**kwargs)
+
+    def test_thresholds_fail_closed_on_nan(self):
+        nan = float("nan")
+        assert not meets_accuracy_thresholds(nan, 0.01)
+        assert not meets_accuracy_thresholds(0.99, nan)
+
+    def test_thresholds_are_strict(self):
+        assert not meets_accuracy_thresholds(0.85, 0.10)  # C must exceed
+        assert not meets_accuracy_thresholds(0.90, 0.15)  # MAE must be under
+        assert meets_accuracy_thresholds(0.86, 0.14)

@@ -124,6 +124,42 @@ class TestSubcommands:
         assert "unknown benchmark" in capsys.readouterr().err
 
 
+class TestMonitorUsage:
+    """`repro monitor` argument validation (the happy paths live in
+    tests/drift/test_integration.py, which streams real suite data)."""
+
+    def test_no_suites_is_usage_error(self, capsys):
+        assert main(["monitor"]) == 2
+        assert "monitor" in capsys.readouterr().err
+
+    def test_unknown_suite_is_usage_error(self, capsys):
+        assert main(["monitor", "spec2017"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_model_ref_requires_registry(self, capsys):
+        assert main(["monitor", "cpu2006", "--model", "latest"]) == 2
+        assert "--registry" in capsys.readouterr().err
+
+    def test_bad_window_is_usage_error(self, capsys, tmp_path):
+        assert main(["monitor", "cpu2006", "--window", "1"]) == 2
+        assert capsys.readouterr().err  # the config's complaint
+
+    def test_serve_missing_shadow_ref_is_usage_error(
+        self, capsys, tmp_path
+    ):
+        code = main(
+            [
+                "serve",
+                "--registry",
+                str(tmp_path / "empty-registry"),
+                "--shadow",
+                "ghost",
+            ]
+        )
+        assert code == 2
+        assert capsys.readouterr().err
+
+
 class TestObservabilityFlags:
     def test_trace_writes_valid_file(self, capsys, tmp_path):
         from repro.obs.summary import read_trace
