@@ -10,12 +10,55 @@ own regeneration step and writes the rendered artifact to
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="session", autouse=True)
+def compiled_perf_guard() -> None:
+    """Perf smoke guard: the compiled kernel must beat the recursive
+    walk at the serving batch size (256, the engine's max_batch).
+
+    A regression here means every serving flush, drift replay and
+    transferability cell silently pays the recursive price — fail the
+    whole benchmark session rather than record misleading artifacts.
+    """
+    import numpy as np
+
+    from repro.mtree.tree import ModelTree, ModelTreeConfig
+
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(2000, 8))
+    y = X @ rng.normal(size=8) + np.where(X[:, 0] > 0, 2.0, -1.0)
+    tree = ModelTree(ModelTreeConfig(min_leaf=25)).fit(
+        X, y, [f"f{i}" for i in range(8)]
+    )
+    batch = X[:256]
+    tree.predict(batch)  # warm the compiled cache
+    tree.predict(batch, compiled=False)
+
+    def best_of(fn, repeats: int = 30) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    compiled_s = best_of(lambda: tree.predict(batch))
+    recursive_s = best_of(lambda: tree.predict(batch, compiled=False))
+    if compiled_s > recursive_s:
+        pytest.fail(
+            "compiled predict slower than the recursive walk at batch "
+            f"256: compiled {compiled_s * 1e6:.1f} us vs recursive "
+            f"{recursive_s * 1e6:.1f} us — the repro.mtree.compiled "
+            "kernel has regressed"
+        )
 
 
 @pytest.fixture(scope="session")

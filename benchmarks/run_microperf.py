@@ -14,6 +14,13 @@ same ``{"name", "kind", ...}`` shape a ``--trace`` JSONL file holds —
 plus the library's own counters (SDR evaluations, cache traffic)
 accumulated while the operations ran.
 
+Besides the five historical hot paths the snapshot carries the
+compiled-kernel comparison (``predict_compiled``, ``predict_recursive``,
+``forest_predict``) and a ``compiled_sweep`` section: per-call best
+timings of the compiled kernel vs the recursive walk across batch
+sizes, with the speedup ratio recorded per batch — the evidence for
+the serving-path regime (batch 64–256) where the compiled layout wins.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_microperf.py
@@ -52,8 +59,60 @@ def _time_rounds(
     }
 
 
-def run(rounds: int) -> Dict[str, Dict[str, object]]:
+#: Batch sizes for the compiled-vs-recursive sweep.  64 and 256 are
+#: the serving regimes (engine max_batch defaults to 256); 10_000 is
+#: the offline battery scale.
+SWEEP_BATCHES = (1, 64, 256, 1024, 10_000)
+
+
+def _best_per_call(fn: Callable[[], object], rounds: int, iters: int) -> float:
+    """Best-of-``rounds`` mean per-call time over ``iters`` calls."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, (time.perf_counter() - start) / iters)
+    return best
+
+
+def _compiled_sweep(tree, forest, X, rounds: int) -> Dict[str, Dict[str, float]]:
+    """Per-batch-size compiled vs recursive predict timings."""
+    from repro.obs.metrics import histogram
+
+    sweep: Dict[str, Dict[str, float]] = {}
+    for batch in SWEEP_BATCHES:
+        Xb = X[:batch]
+        # Enough calls per round to dominate timer overhead at small
+        # batches without stretching the large-batch rows.
+        iters = max(1, 4096 // max(batch, 1))
+        tree.predict(Xb)  # warm the compiled cache outside the timing
+        compiled_s = _best_per_call(lambda: tree.predict(Xb), rounds, iters)
+        recursive_s = _best_per_call(
+            lambda: tree.predict(Xb, compiled=False), rounds, iters
+        )
+        forest_s = _best_per_call(lambda: forest.predict(Xb), rounds, iters)
+        histogram(f"microperf.predict_compiled_b{batch}_s").observe(compiled_s)
+        histogram(f"microperf.predict_recursive_b{batch}_s").observe(
+            recursive_s
+        )
+        sweep[str(batch)] = {
+            "compiled_s": compiled_s,
+            "recursive_s": recursive_s,
+            "forest_2x_s": forest_s,
+            "speedup": recursive_s / compiled_s,
+        }
+        print(
+            f"batch {batch:6d}  compiled {compiled_s * 1e6:9.1f} us"
+            f"  recursive {recursive_s * 1e6:9.1f} us"
+            f"  speedup {recursive_s / compiled_s:5.2f}x"
+        )
+    return sweep
+
+
+def run(rounds: int) -> Dict[str, object]:
     from repro.characterization.profile import profile_sample_set
+    from repro.mtree.compiled import CompiledForest
     from repro.mtree.tree import ModelTree, ModelTreeConfig
     from repro.workloads.spec_cpu2006 import spec_cpu2006
     from repro.workloads.suite import SuiteGenerationConfig
@@ -62,6 +121,12 @@ def run(rounds: int) -> Dict[str, Dict[str, object]]:
     config = SuiteGenerationConfig(total_samples=10_000, seed=77)
     data = suite.generate(config)
     tree = ModelTree(ModelTreeConfig(min_leaf=40)).fit_sample_set(data)
+    # The forest pairs the tree with a coarser challenger over the same
+    # schema — the champion/challenger shape the drift hub evaluates.
+    challenger = ModelTree(ModelTreeConfig(min_leaf=120)).fit_sample_set(data)
+    forest = CompiledForest(
+        [("champion", tree), ("challenger", challenger)]
+    )
 
     operations: Dict[str, Callable[[], object]] = {
         "suite_generation": lambda: suite.generate(
@@ -71,13 +136,17 @@ def run(rounds: int) -> Dict[str, Dict[str, object]]:
             ModelTreeConfig(min_leaf=40)
         ).fit_sample_set(data),
         "predict": lambda: tree.predict(data.X),
+        "predict_compiled": lambda: tree.predict(data.X, compiled=True),
+        "predict_recursive": lambda: tree.predict(data.X, compiled=False),
+        "forest_predict": lambda: forest.predict(data.X),
         "assign_leaves": lambda: tree.assign_leaves(data.X),
         "profile": lambda: profile_sample_set(tree, data),
     }
-    results = {}
+    results: Dict[str, object] = {}
     for name, fn in operations.items():
         results[name] = _time_rounds(name, fn, rounds)
         print(f"{name:20s} best {results[name]['best_s'] * 1e3:9.2f} ms")
+    results["compiled_sweep"] = _compiled_sweep(tree, forest, data.X, rounds)
     return results
 
 
@@ -98,7 +167,7 @@ def main(argv=None) -> int:
     from repro.obs.metrics import get_registry
 
     snapshot = {
-        "schema": "repro-microperf-v1",
+        "schema": "repro-microperf-v2",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "results": results,

@@ -485,11 +485,15 @@ def _monitor(args, suites: List[str]) -> int:
     )
     final_event = None
     batch = args.stream_batch
+    # Replay drives every batch through the shared compiled evaluator
+    # (predictions and leaf routing from one handle), the same backend
+    # the serving engine and drift hub use.
+    evaluator = tree.compiled()
     for start in range(0, len(traffic), batch):
         Xb = traffic.X[start : start + batch]
         yb = traffic.y[start : start + batch]
         event = monitor.observe(
-            tree.predict(Xb), yb, tree.assign_leaves(Xb)
+            evaluator.predict(Xb), yb, evaluator.assign_names(Xb)
         )
         final_event = event
         if event.changed:

@@ -15,6 +15,14 @@ the challenger's tree (off the client latency path — the engine calls
 :meth:`observe` after answering callers) and both prediction streams
 feed the shadow windows.
 
+Per-batch tree work runs on the shared compiled evaluator
+(:mod:`repro.mtree.compiled`): the hub builds one
+:class:`~repro.mtree.compiled.CompiledForest` per served model —
+champion plus, for the shadow champion, the challenger — so a single
+fused comparison pass both classifies rows into monitor leaves (the
+Eq. 4 profile detector) and produces the challenger's shadow
+predictions.
+
 The registry argument is duck-typed (``resolve``/``load`` — the
 :class:`repro.serve.registry.ModelRegistry` surface) so this module
 does not import :mod:`repro.serve` and the serve package can import it
@@ -35,75 +43,38 @@ from repro.drift.monitor import (
     ModelProfile,
 )
 from repro.drift.shadow import ShadowEvaluator
+from repro.mtree.compiled import CompiledForest
 
 __all__ = ["DriftHub"]
 
 
-class _LeafRouter:
-    """Vectorized leaf classifier compiled from a fitted model tree.
+class _ObserveState:
+    """Hot-path state pinned per served model after first use.
 
-    :meth:`~repro.mtree.tree.ModelTree.assign_leaves` walks the tree
-    recursively and returns leaf *names*, which the monitor then maps
-    back to vocabulary indices one record at a time — fine for batch
-    experiments, too slow for the per-served-batch hot path.
-
-    Compilation flattens the tree into its split predicates and one
-    signed path matrix.  A leaf's decision path is a conjunction of
-    split outcomes, so a row belongs to leaf ``l`` exactly when its
-    predicate vector scores ``+1`` on every split the path takes left
-    (``X[:, f] <= t``) and ``-1`` on every split it takes right —
-    i.e. when the signed score equals the number of left turns.  The
-    tree partitions the feature space, so exactly one leaf matches
-    each row.  Classifying a batch is then a constant six numpy calls
-    — predicate gather, compare, one (rows x splits) @ (splits x
-    leaves) product, match, argmax, index take — independent of tree
-    depth, and the emitted values are already monitor vocabulary
-    indices (-1 for a leaf name the profile does not know).
+    ``forest`` is the shared compiled evaluator: member 0 is always
+    the served model (used for leaf *routing*), member 1 — present
+    only for the shadow champion — is the challenger (used for shadow
+    *predictions*).  One fused comparison pass feeds both operations.
+    ``vocab`` maps member 0's compiled leaf slots to the monitor's
+    vocabulary indices (-1 for a leaf name the profile does not know),
+    so classification emits monitor-ready indices without any
+    per-record name lookups.
     """
 
-    def __init__(self, tree, leaf_names: Sequence[str]) -> None:
-        index = {name: i for i, name in enumerate(leaf_names)}
-        split_feature: list = []
-        split_threshold: list = []
-        # Per leaf: its vocabulary index and {split slot: went left}.
-        leaf_index: list = []
-        leaf_paths: list = []
+    __slots__ = ("monitor", "forest", "vocab")
 
-        def walk(node, path) -> None:
-            if hasattr(node, "threshold"):  # SplitNode
-                slot = len(split_feature)
-                split_feature.append(node.feature_index)
-                split_threshold.append(node.threshold)
-                walk(node.left, path + [(slot, True)])
-                walk(node.right, path + [(slot, False)])
-            else:
-                leaf_index.append(index.get(node.name, -1))
-                leaf_paths.append(path)
-
-        walk(tree._require_fitted(), [])
-        n_splits, n_leaves = len(split_feature), len(leaf_index)
-        signs = np.zeros((n_splits, n_leaves))
-        lefts = np.zeros(n_leaves)
-        for l, path in enumerate(leaf_paths):
-            for slot, went_left in path:
-                signs[slot, l] = 1.0 if went_left else -1.0
-                lefts[l] += 1.0 if went_left else 0.0
-        self._split_feature = np.asarray(split_feature, dtype=np.int64)
-        self._split_threshold = np.asarray(split_threshold, dtype=float)
-        self._signs = signs
-        self._lefts = lefts
-        self._leaf = np.asarray(leaf_index, dtype=np.int64)
-
-    def __call__(self, X: np.ndarray) -> np.ndarray:
-        went_left = (
-            X[:, self._split_feature] <= self._split_threshold
-        ).astype(float)
-        # score[r, l] = (left turns taken) - (wrong-way turns at right
-        # splits); it reaches lefts[l] exactly when every split on l's
-        # path went the required way.
-        score = went_left @ self._signs
-        slot = np.argmax(score == self._lefts, axis=1)
-        return self._leaf[slot]
+    def __init__(
+        self, monitor: DriftMonitor, forest: CompiledForest
+    ) -> None:
+        self.monitor = monitor
+        self.forest = forest
+        index = {
+            name: i for i, name in enumerate(monitor.profile.leaf_names)
+        }
+        self.vocab = np.asarray(
+            [index.get(name, -1) for name in forest.members[0].leaf_names],
+            dtype=np.int64,
+        )
 
 
 class DriftHub:
@@ -126,9 +97,9 @@ class DriftHub:
         self._monitors: Dict[str, DriftMonitor] = {}
         # Hot-path cache: observe() runs once per served batch, and the
         # registry's resolve()/load() each touch the filesystem, so the
-        # (monitor, leaf router) pair is pinned per model id after
+        # (monitor, compiled forest) state is pinned per model id after
         # first use.
-        self._observe_state: Dict[str, Tuple[DriftMonitor, _LeafRouter]] = {}
+        self._observe_state: Dict[str, _ObserveState] = {}
         self._shadow: Optional[ShadowEvaluator] = None
         self._shadow_champion: Optional[str] = None
         self._shadow_tree = None
@@ -175,26 +146,42 @@ class DriftHub:
 
         ``X`` is re-used to classify rows into leaves for the Eq. 4
         profile detector and, when this model is the shadow champion,
-        to produce the challenger's predictions on identical inputs.
+        to produce the challenger's predictions on identical inputs —
+        both from one fused comparison pass over the model's
+        :class:`~repro.mtree.compiled.CompiledForest`.
 
-        The engine passes resolved model ids, so the monitor/router
-        pair is cached under the id given here; aliases still share one
-        monitor because creation goes through :meth:`monitor_for`.
+        The engine passes resolved model ids, so the monitor/forest
+        state is cached under the id given here; aliases still share
+        one monitor because creation goes through :meth:`monitor_for`.
         """
         state = self._observe_state.get(model_id)
         if state is None:
             monitor = self.monitor_for(model_id)
             _, tree = self.registry.load(model_id)
-            state = (monitor, _LeafRouter(tree, monitor.profile.leaf_names))
+            members = [(model_id, tree)]
+            if self._shadow is not None and model_id == self._shadow_champion:
+                members.append(
+                    (self._shadow.challenger_id, self._shadow_tree)
+                )
+            state = _ObserveState(monitor, CompiledForest(members))
             with self._lock:
                 self._observe_state[model_id] = state
-        monitor, router = state
-        leaves = router(X)
-        event = monitor.observe(predictions, actuals, leaves)
-        shadow = self._shadow
-        if shadow is not None and model_id == self._shadow_champion:
-            challenger_pred = self._shadow_tree.predict(X)
-            shadow.observe(predictions, challenger_pred, actuals)
+        monitor, forest = state.monitor, state.forest
+        went = forest.comparisons(X)
+        slots = forest.members[0].route(
+            X,
+            checked=True,
+            went_left=np.ascontiguousarray(went[:, forest.slices[0]]),
+        )
+        event = monitor.observe(predictions, actuals, state.vocab[slots])
+        if len(forest) > 1:
+            challenger_pred = forest.members[1].predict(
+                X,
+                checked=True,
+                went_left=np.ascontiguousarray(went[:, forest.slices[1]]),
+            )
+            assert self._shadow is not None
+            self._shadow.observe(predictions, challenger_pred, actuals)
         return event
 
     # -- reading ---------------------------------------------------------

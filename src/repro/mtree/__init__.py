@@ -16,7 +16,8 @@ refinements (Wang & Witten), as used by the paper via WEKA:
   (:mod:`repro.mtree.render`), and JSON serialization.
 """
 
-from repro.mtree.linear import LinearModel, fit_linear_model
+from repro.mtree.compiled import CompiledForest, CompiledTree
+from repro.mtree.linear import LinearModel, fit_linear_model, row_dot
 from repro.mtree.tree import LeafNode, ModelTree, ModelTreeConfig, SplitNode
 from repro.mtree.importance import (
     cpi_attribution,
@@ -28,6 +29,8 @@ from repro.mtree.serialize import tree_from_dict, tree_to_dict
 from repro.mtree.smoothing import compose_smoothed
 
 __all__ = [
+    "CompiledForest",
+    "CompiledTree",
     "LeafNode",
     "LinearModel",
     "ModelTree",
@@ -40,6 +43,7 @@ __all__ = [
     "render_ascii",
     "render_dot",
     "render_equations",
+    "row_dot",
     "split_importance",
     "tree_from_dict",
     "tree_to_dict",

@@ -21,10 +21,27 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["LinearModel", "fit_linear_model", "adjusted_error"]
+__all__ = ["LinearModel", "fit_linear_model", "adjusted_error", "row_dot"]
 
 #: Ridge term stabilizing nearly collinear leaf fits (WEKA does the same).
 _RIDGE = 1e-8
+
+
+def row_dot(X: np.ndarray, coef: np.ndarray) -> np.ndarray:
+    """Per-row dot product with batch-invariant rounding.
+
+    ``coef`` is either one coefficient vector shared by every row or a
+    ``(n, n_features)`` matrix holding one vector per row.  The result
+    row ``i`` depends only on ``X[i]`` and its coefficients — never on
+    the batch size, the row's position, or the memory layout.  BLAS
+    ``X @ coef`` does not give that guarantee (its kernels round the
+    remainder rows of a block differently, so ``(X @ c)[rows]`` and
+    ``X[rows] @ c`` can disagree by 1 ulp), which is why every
+    prediction path — the recursive tree walk, the compiled evaluator,
+    the micro-batching engine — funnels through this one primitive:
+    any regrouping of rows is then bit-identical by construction.
+    """
+    return np.einsum("ij,ij->i", X, np.broadcast_to(coef, X.shape))
 
 
 def adjusted_error(error: float, n: int, v: int, penalty: float = 2.0) -> float:
@@ -74,13 +91,17 @@ class LinearModel:
         )
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Predictions for rows of ``X`` (full schema width)."""
+        """Predictions for rows of ``X`` (full schema width).
+
+        Uses :func:`row_dot`, so a row's prediction is bit-identical no
+        matter which batch (or sub-batch) it arrives in.
+        """
         X = np.asarray(X, dtype=float)
         if X.ndim != 2 or X.shape[1] != len(self.feature_names):
             raise ValueError(
                 f"expected (n, {len(self.feature_names)}) inputs, got {X.shape}"
             )
-        return X @ self.coef + self.intercept
+        return row_dot(X, self.coef) + self.intercept
 
     def equation(self, target: str = "CPI", precision: int = 4) -> str:
         """Human-readable equation, paper style."""

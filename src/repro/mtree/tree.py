@@ -25,7 +25,7 @@ from repro.mtree.pruning import (
     node_model_error,
     should_prune,
 )
-from repro.mtree.smoothing import SMOOTHING_K, smoothed_combine
+from repro.mtree.smoothing import SMOOTHING_K, compose_smoothed
 from repro.mtree.splitting import best_split_presorted
 from repro.obs.metrics import counter
 from repro.obs.trace import span as obs_span
@@ -123,6 +123,15 @@ class ModelTree:
         self.n_train: int = 0
         self._leaves: List[LeafNode] = []
         self._leaf_by_name: Dict[str, LeafNode] = {}
+        # Lazily-built compiled evaluators, keyed by dtype and pinned
+        # to the root they were compiled from (refitting replaces the
+        # root object, which invalidates the cache by identity).
+        self._compiled_root: Optional[TreeNode] = None
+        self._compiled_cache: Dict = {}
+        # The smoothing-composed twin (see ``_composed``), cached and
+        # invalidated the same way.
+        self._composed_root: Optional[TreeNode] = None
+        self._composed_tree: Optional["ModelTree"] = None
         # Fit-time working state (populated only inside ``fit``).
         self._fit_y: Optional[np.ndarray] = None
         self._fit_XT: Optional[np.ndarray] = None
@@ -473,11 +482,72 @@ class ModelTree:
             )
         return X
 
-    def predict(self, X: np.ndarray, smooth: Optional[bool] = None) -> np.ndarray:
-        """Predicted CPI per row; smoothing per config unless overridden."""
+    def compiled(self, dtype=np.float64) -> "CompiledTree":
+        """The tree's compiled evaluator (built lazily, cached).
+
+        The cache is keyed by dtype and invalidated when the tree is
+        refitted (the root object changes identity).  Serving paths
+        that hold a tree — the registry LRU, the prediction engine, the
+        drift hub — therefore compile each model exactly once.
+        """
+        from repro.mtree.compiled import CompiledTree
+
+        root = self._require_fitted()
+        if self._compiled_root is not root:
+            self._compiled_cache = {}
+            self._compiled_root = root
+        key = np.dtype(dtype)
+        evaluator = self._compiled_cache.get(key)
+        if evaluator is None:
+            evaluator = CompiledTree(self, dtype=key)
+            self._compiled_cache[key] = evaluator
+        return evaluator
+
+    def _composed(self) -> "ModelTree":
+        """The smoothing-composed twin (cached; ``self`` when k == 0).
+
+        Quinlan smoothing of linear models is itself linear, so it
+        folds into the leaf equations exactly once per fitted tree
+        (:func:`repro.mtree.smoothing.compose_smoothed`).  Both predict
+        backends evaluate these composed leaf models — smoothed
+        prediction costs one dot per row, and the two backends agree
+        bit for bit because they share the arithmetic.
+        """
+        root = self._require_fitted()
+        if self._composed_root is not root:
+            self._composed_root = root
+            self._composed_tree = (
+                compose_smoothed(self) if self.config.smoothing_k > 0 else self
+            )
+        assert self._composed_tree is not None
+        return self._composed_tree
+
+    def predict(
+        self,
+        X: np.ndarray,
+        smooth: Optional[bool] = None,
+        compiled: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Predicted CPI per row; smoothing per config unless overridden.
+
+        Batches evaluate through the compiled kernel
+        (:mod:`repro.mtree.compiled`) by default; pass
+        ``compiled=False`` to force the recursive reference walk.  The
+        two backends are bit-identical in float64 (property-tested), so
+        the flag is a debugging escape hatch, not a semantic choice.
+        """
         root = self._require_fitted()
         X = self._check_X(X)
         use_smoothing = self.config.smooth if smooth is None else smooth
+        if compiled is None or compiled:
+            return self.compiled().predict(
+                X, smooth=use_smoothing, checked=True
+            )
+        if use_smoothing and self.config.smoothing_k > 0:
+            # Smoothing composes into the leaf equations (see
+            # ``_composed``); the reference walk routes the composed
+            # twin and predicts with its raw leaf models.
+            return self._composed().predict(X, smooth=False, compiled=False)
         out = np.empty(X.shape[0], dtype=float)
 
         def visit(node: TreeNode, rows: np.ndarray) -> None:
@@ -487,30 +557,25 @@ class ModelTree:
                 out[rows] = node.model.predict(X[rows])
                 return
             go_left = X[rows, node.feature_index] <= node.threshold
-            left_rows = rows[go_left]
-            right_rows = rows[~go_left]
-            visit(node.left, left_rows)
-            visit(node.right, right_rows)
-            if use_smoothing and self.config.smoothing_k > 0:
-                for child, child_rows in (
-                    (node.left, left_rows),
-                    (node.right, right_rows),
-                ):
-                    if child_rows.size:
-                        out[child_rows] = smoothed_combine(
-                            out[child_rows],
-                            child.n_samples,
-                            node.model.predict(X[child_rows]),
-                            self.config.smoothing_k,
-                        )
+            visit(node.left, rows[go_left])
+            visit(node.right, rows[~go_left])
 
         visit(root, np.arange(X.shape[0]))
         return out
 
-    def assign_leaves(self, X: np.ndarray) -> np.ndarray:
-        """Leaf (LM) name each row is classified into."""
+    def assign_leaves(
+        self, X: np.ndarray, compiled: Optional[bool] = None
+    ) -> np.ndarray:
+        """Leaf (LM) name each row is classified into.
+
+        Routed through the compiled signed-path-matrix classifier by
+        default (comparisons are exact, so both backends agree on
+        every row); ``compiled=False`` forces the recursive walk.
+        """
         root = self._require_fitted()
         X = self._check_X(X)
+        if compiled is None or compiled:
+            return self.compiled().assign_names(X)
         out = np.empty(X.shape[0], dtype=object)
 
         def visit(node: TreeNode, rows: np.ndarray) -> None:

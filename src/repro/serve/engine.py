@@ -11,9 +11,12 @@ latency/throughput knob pair of model servers.
 
 Because one worker executes all predictions, results are deterministic
 and bit-identical to calling ``tree.predict`` directly on the same
-rows: batching concatenates inputs and splits outputs, and the tree's
-row-partitioned traversal computes each row's prediction independently
-of its batch neighbours.
+rows: batching concatenates inputs and splits outputs, and every
+flushed batch evaluates through the compiled kernel
+(:mod:`repro.mtree.compiled`, the default ``tree.predict`` backend),
+whose per-row arithmetic — one routing pass plus one batch-invariant
+row dot against the leaf coefficient matrix — is independent of batch
+composition by construction.
 
 The engine also answers the characterization queries a model server
 needs beyond raw CPI: leaf profiles (which linear models exist, their

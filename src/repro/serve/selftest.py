@@ -2,7 +2,10 @@
 
 Boots a :class:`~repro.serve.api.ModelServer` on an ephemeral port,
 round-trips one predict request over real HTTP and verifies the
-response is bit-identical to calling the tree directly, then checks
+response is bit-identical to calling the tree directly — through both
+the compiled kernel (the serving default) and the recursive reference
+walk, so the float64 equivalence of the two backends is asserted on
+the real serving path, not just in unit tests — then checks
 ``/healthz``, sends a labelled predict and confirms the drift monitor
 saw it (``/v1/models/<ref>/drift``), and finally that ``/metrics``
 reflects both the traffic and the drift instruments.  Exits 0 only if
@@ -93,6 +96,14 @@ def run_self_test(
     rng = np.random.default_rng(7)
     probe = rng.random((5, record.n_features))
     expected = tree.predict(probe)
+    recursive = tree.predict(probe, compiled=False)
+    if not np.array_equal(expected, recursive):
+        print(
+            "self-test: compiled and recursive backends disagree "
+            f"(max diff {np.max(np.abs(expected - recursive)):.3g})",
+            file=out,
+        )
+        return 1
 
     with ModelServer(registry, port=0, batch=batch) as server:
         health = _get_json(f"{server.url}/healthz")
@@ -120,6 +131,15 @@ def run_self_test(
                 "self-test: HTTP predictions differ from direct "
                 f"ModelTree.predict (max diff "
                 f"{np.max(np.abs(got - expected)):.3g})",
+                file=out,
+            )
+            return 1
+        # expected == recursive was asserted above, so HTTP equality
+        # transitively covers both backends; state it explicitly.
+        if not np.array_equal(got, recursive):
+            print(
+                "self-test: HTTP predictions differ from the recursive "
+                "reference walk",
                 file=out,
             )
             return 1
@@ -169,8 +189,8 @@ def run_self_test(
 
     print(
         f"self-test: ok (model {record.model_id}, {record.n_leaves} "
-        f"leaves; {len(probe)} predictions bit-identical over HTTP; "
-        f"drift verdict {drift.get('verdict')})",
+        f"leaves; {len(probe)} predictions bit-identical over HTTP, "
+        f"compiled == recursive; drift verdict {drift.get('verdict')})",
         file=out,
     )
     return 0

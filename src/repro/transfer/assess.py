@@ -105,6 +105,10 @@ def assess_transferability(
     ``model`` must have been trained on ``source`` (the L1 data set);
     ``target`` is the L2 data set the model is being transferred to.
     """
+    # A ModelTree predicts through the compiled batch kernel
+    # (repro.mtree.compiled) by default — the E7/E8 battery evaluates
+    # every (source, target) cell on full target sets, which is
+    # exactly the batched regime the kernel is built for.
     predicted = model.predict(target.X)
     return TransferabilityReport(
         source_name=source_name,

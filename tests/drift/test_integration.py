@@ -208,3 +208,122 @@ class TestMonitorCli:
         assert code == 3
         out = capsys.readouterr().out
         assert "transfer_failed" in out
+
+
+class TestHubCompiledRouting:
+    """The hub's leaf routing is the shared compiled evaluator.
+
+    Regression pins for the ISSUE-6 deduplication: the hub used to
+    carry its own path-matrix compiler; it now routes through
+    ``repro.mtree.compiled`` and must classify every row exactly as
+    the recursive ``assign_leaves`` walk does.
+    """
+
+    @pytest.fixture
+    def published(self, cpu_tree, cpu_split, tmp_path):
+        from repro.serve.registry import ModelRegistry
+
+        train, _ = cpu_split
+        registry = ModelRegistry(tmp_path / "registry")
+        record = registry.publish(
+            cpu_tree,
+            metadata={
+                "suite": "cpu2006",
+                "train_y": {
+                    "n": len(train),
+                    "mean": float(train.y.mean()),
+                    "var": float(train.y.var(ddof=1)),
+                },
+            },
+        )
+        return registry, record
+
+    def test_observe_state_routes_like_recursive_walk(self, drift_tree):
+        from repro.drift.hub import _ObserveState
+        from repro.mtree.compiled import CompiledForest
+
+        monitor = DriftMonitor(ModelProfile.from_tree("m", drift_tree))
+        state = _ObserveState(
+            monitor, CompiledForest([("m", drift_tree)])
+        )
+        rng = np.random.default_rng(23)
+        X = rng.random((512, 3))
+        slots = state.forest.members[0].route(X)
+        expected = monitor.leaf_indices(
+            drift_tree.assign_leaves(X, compiled=False)
+        )
+        assert np.array_equal(state.vocab[slots], expected)
+
+    def test_vocab_marks_unknown_leaves(self, drift_tree):
+        from repro.drift.hub import _ObserveState
+        from repro.mtree.compiled import CompiledForest
+
+        # A profile missing one leaf name: that leaf must map to -1.
+        names = drift_tree.leaf_names()
+        profile = ModelProfile(model_id="m", leaf_names=tuple(names[:-1]))
+        state = _ObserveState(
+            DriftMonitor(profile), CompiledForest([("m", drift_tree)])
+        )
+        assert state.vocab[-1] == -1
+        assert list(state.vocab[:-1]) == list(range(len(names) - 1))
+
+    def test_hub_routing_matches_monitor_fed_names(
+        self, published, cpu_split
+    ):
+        """End-to-end: hub.observe fills the same leaf windows as a
+        monitor fed recursive assign_leaves names."""
+        registry, record = published
+        _, test = cpu_split
+        X = test.X[:2 * BATCH]
+        tree = registry.load(record.model_id)[1]
+        predictions = tree.predict(X)
+
+        hub = DriftHub(registry, DriftMonitorConfig(window=WINDOW))
+        hub.observe(record.model_id, X, predictions, test.y[:2 * BATCH])
+
+        reference = DriftMonitor(
+            ModelProfile.from_record(record, tree),
+            config=DriftMonitorConfig(window=WINDOW),
+        )
+        reference.observe(
+            predictions,
+            test.y[:2 * BATCH],
+            tree.assign_leaves(X, compiled=False),
+        )
+        hub_report = hub.report(record.model_id)
+        ref_report = reference.report()
+        assert hub_report["verdict"] == ref_report["verdict"]
+        assert hub_report["records_seen"] == ref_report["records_seen"]
+        # Readings carry every windowed statistic, including the Eq. 4
+        # leaf-share L1 — identical routing means identical values.
+        assert hub_report["readings"] == ref_report["readings"]
+
+    def test_shadow_predictions_match_challenger_tree(
+        self, published, cpu_split, omp_tree
+    ):
+        from repro.drift.shadow import ShadowEvaluator
+
+        registry, record = published
+        challenger = registry.publish(omp_tree, aliases=("challenger",))
+        hub = DriftHub(
+            registry,
+            DriftMonitorConfig(window=WINDOW),
+            shadow=("latest", "challenger"),
+        )
+        _, test = cpu_split
+        X, y = test.X[:2 * BATCH], test.y[:2 * BATCH]
+        predictions = registry.load(record.model_id)[1].predict(X)
+        hub.observe(record.model_id, X, predictions, y)
+
+        # A reference evaluator fed the challenger tree's own direct
+        # predictions must agree on every windowed statistic — i.e. the
+        # hub's fused-forest challenger predictions are bit-identical.
+        reference = ShadowEvaluator(
+            record.model_id,
+            challenger.model_id,
+            window=WINDOW,
+            criteria=hub.config.criteria.transfer,
+            min_labelled=hub.config.criteria.min_labelled,
+        )
+        reference.observe(predictions, omp_tree.predict(X), y)
+        assert hub.shadow.recommendation() == reference.recommendation()
