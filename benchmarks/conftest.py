@@ -10,6 +10,7 @@ own regeneration step and writes the rendered artifact to
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
 
@@ -17,6 +18,9 @@ import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
+
+#: Maximum tolerated telemetry throughput cost at batch 64.
+_TELEMETRY_OVERHEAD_LIMIT_PCT = 5.0
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -58,6 +62,37 @@ def compiled_perf_guard() -> None:
             f"256: compiled {compiled_s * 1e6:.1f} us vs recursive "
             f"{recursive_s * 1e6:.1f} us — the repro.mtree.compiled "
             "kernel has regressed"
+        )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def telemetry_overhead_guard() -> None:
+    """Telemetry cost guard: the committed ``BENCH_serve.json`` must
+    show request telemetry within 5% of telemetry-off throughput at
+    batch 64.
+
+    The figure is the median of paired, interleaved on/off passes
+    written by ``run_servebench.py`` — deterministic at session time,
+    unlike a live HTTP measurement, whose run-to-run variance at this
+    scale is of the same order as the budget being enforced.  A breach
+    means the zero-overhead-when-disabled discipline leaked work onto
+    the untraced hot path: regenerate the snapshot after fixing it.
+    """
+    path = Path(__file__).parent / "BENCH_serve.json"
+    if not path.exists():  # pragma: no cover - fresh checkout
+        return
+    snapshot = json.loads(path.read_text())
+    overhead = snapshot.get("telemetry_overhead")
+    if not overhead:  # pre-telemetry snapshot; nothing to guard
+        return
+    pct = float(overhead["overhead_pct"])
+    if pct > _TELEMETRY_OVERHEAD_LIMIT_PCT:
+        pytest.fail(
+            f"request telemetry costs {pct:.2f}% of batch-"
+            f"{overhead.get('batch_size', 64)} throughput per "
+            f"BENCH_serve.json (limit "
+            f"{_TELEMETRY_OVERHEAD_LIMIT_PCT:.0f}%) — re-profile "
+            "run_servebench.py after trimming the traced path"
         )
 
 

@@ -13,6 +13,9 @@ Examples::
     repro monitor cpu2006            # stream held-out traffic, watch drift
     repro monitor cpu2006 omp2001    # cross-suite traffic -> transfer fails
     repro serve --registry ./models --shadow cand1  # champion/challenger
+    repro serve --registry ./models --events events.jsonl  # + telemetry
+    repro status --url http://127.0.0.1:8080        # one status snapshot
+    repro status --watch                            # live terminal view
 """
 
 from __future__ import annotations
@@ -67,7 +70,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "'catalog <suite>', 'describe <benchmark>', 'rules <suite>', "
             "'dot <suite>', 'export <suite> <path>', "
             "'trace-summary <trace.jsonl>', 'publish <suite>', 'serve', "
-            "or 'monitor <model-suite> [<traffic-suite>]'"
+            "'status', or 'monitor <model-suite> [<traffic-suite>]'"
         ),
     )
     parser.add_argument(
@@ -159,6 +162,33 @@ def _build_parser() -> argparse.ArgumentParser:
             "serve: boot on an ephemeral port, round-trip one predict "
             "request, verify bit-identical results, exit"
         ),
+    )
+    serving.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help=(
+            "serve: append per-request telemetry (stage timelines, "
+            "X-Repro-Trace ids) to PATH as rotating JSONL"
+        ),
+    )
+    serving.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        metavar="URL",
+        help="status: base URL of a running server (default %(default)s)",
+    )
+    serving.add_argument(
+        "--watch",
+        action="store_true",
+        help="status: refresh the view continuously until Ctrl-C",
+    )
+    serving.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="status: seconds between --watch refreshes (default 2)",
     )
     drift = parser.add_argument_group("drift monitoring ('monitor', 'serve')")
     drift.add_argument(
@@ -350,6 +380,14 @@ def _run_subcommand(args) -> Optional[int]:
             print("serve: --registry DIR is required", file=sys.stderr)
             return 2
         return _serve(args)
+    if command == "status":
+        if len(words) != 1:
+            print(
+                "usage: repro status [--url URL] [--watch] [--interval S]",
+                file=sys.stderr,
+            )
+            return 2
+        return _status(args)
     if command == "monitor":
         suites = ("cpu2006", "omp2001", "cpu2000")
         if len(words) not in (2, 3):
@@ -514,6 +552,54 @@ def _monitor(args, suites: List[str]) -> int:
     return 3 if final_event.verdict is DriftVerdict.TRANSFER_FAILED else 0
 
 
+def _status(args) -> int:
+    """Fetch ``/v1/status`` from a running server and render it.
+
+    ``--watch`` redraws the view every ``--interval`` seconds until
+    Ctrl-C — a terminal twin of the server's ``/dashboard`` page,
+    stdlib-only (urllib + ANSI clear-screen).
+    """
+    import json as _json
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    from repro.serve.status import render_status_text
+
+    url = args.url.rstrip("/") + "/v1/status"
+    if args.interval <= 0:
+        print(
+            f"status: --interval must be positive, got {args.interval}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def fetch():
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return _json.loads(response.read().decode("utf-8"))
+
+    if not args.watch:
+        try:
+            print(render_status_text(fetch()))
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            print(f"status: {url}: {error}", file=sys.stderr)
+            return 2
+        return 0
+    try:
+        while True:
+            try:
+                text = render_status_text(fetch())
+            except (urllib.error.URLError, OSError, ValueError) as error:
+                text = f"status: {url}: {error}"
+            # ANSI clear + home keeps the view flicker-free without
+            # depending on curses.
+            sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _serve(args) -> int:
     """Run the model server until SIGTERM/SIGINT, then drain and exit."""
     from repro.serve.engine import BatchConfig
@@ -549,6 +635,7 @@ def _serve(args) -> int:
             shadow=args.shadow,
             shadow_champion=args.shadow_champion,
             audit_path=args.audit,
+            events_path=args.events,
         )
     except KeyError as error:  # e.g. --shadow ref not in the registry
         print(f"serve: {error}", file=sys.stderr)

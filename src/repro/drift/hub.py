@@ -215,3 +215,22 @@ class DriftHub:
         if self._shadow is not None and model_id == self._shadow_champion:
             payload["shadow"] = self._shadow.recommendation()
         return payload
+
+    def status(self) -> Dict[str, object]:
+        """One JSON-ready rollup across every monitored model.
+
+        Feeds the server's ``/v1/status`` document: per-model verdicts
+        (full :meth:`report` payloads, transition history included) and
+        the shadow recommendation when a champion/challenger pair is
+        configured.
+        """
+        payload: Dict[str, object] = {
+            "monitoring": True,
+            "models": {
+                model_id: self.report(model_id)
+                for model_id in self.model_ids()
+            },
+        }
+        if self._shadow is not None:
+            payload["shadow"] = self._shadow.recommendation()
+        return payload

@@ -37,8 +37,9 @@ import math
 import sys
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -286,6 +287,9 @@ class DriftMonitor:
         self._seq = 0
         self._last_event: Optional[DriftEvent] = None
         self._verdict_since_seen = 0
+        # Bounded memory of verdict transitions, oldest dropped first —
+        # the dashboard's "what happened to this model" timeline.
+        self._transitions: Deque[Dict[str, object]] = deque(maxlen=32)
         # obs instruments (name-stable per model id).
         prefix = f"drift.{profile.model_id}"
         self._g_verdict = gauge(f"{prefix}.verdict_code")
@@ -361,6 +365,15 @@ class DriftMonitor:
         self._seq += 1
         if changed:
             self._verdict_since_seen = self._window.total_seen
+            self._transitions.append(
+                {
+                    "seq": self._seq,
+                    "from": previous.value,
+                    "to": verdict.value,
+                    "records_seen": self._window.total_seen,
+                    "unix_time": self._clock(),
+                }
+            )
         event = DriftEvent(
             model_id=self.profile.model_id,
             seq=self._seq,
@@ -452,4 +465,5 @@ class DriftMonitor:
                     if event is not None
                     else []
                 ),
+                "transitions": [dict(t) for t in self._transitions],
             }

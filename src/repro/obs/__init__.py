@@ -1,16 +1,24 @@
 """repro.obs — observability: tracing, metrics, and run provenance.
 
-Three cooperating pieces (see ``docs/OBSERVABILITY.md``):
+Cooperating pieces (see ``docs/OBSERVABILITY.md``):
 
 * :mod:`repro.obs.trace` — a hierarchical span tracer with a
   zero-overhead disabled mode; instrumentation sites call
   :func:`repro.obs.span` and pay a global load + None check until a
   tracer is installed.
 * :mod:`repro.obs.metrics` — an always-on process-wide registry of
-  counters, gauges and histograms (``repro.obs.counter(...)`` etc.).
+  counters, gauges, log2 histograms and quantile summaries
+  (``repro.obs.counter(...)`` etc.).
 * :mod:`repro.obs.manifest` — run manifests (seed, config, package
-  versions, platform) with schema validation, written as the first
-  line of every exported trace.
+  versions, platform, build provenance) with schema validation,
+  written as the first line of every exported trace.
+* :mod:`repro.obs.telemetry` — request-scoped traces for the serving
+  stack: ``X-Repro-Trace`` propagation, cross-thread stage timing and
+  span-tree reconstruction from the event log.
+* :mod:`repro.obs.events` — the bounded, size-rotated JSONL event log
+  those traces are shipped to.
+* :mod:`repro.obs.slo` — latency/availability SLO tracking with error
+  budgets and burn-rate gauges.
 
 Typical CLI-driven use is ``repro E7 --trace trace.jsonl`` followed by
 ``repro trace-summary trace.jsonl``; programmatic use::
@@ -26,8 +34,10 @@ Typical CLI-driven use is ``repro E7 --trace trace.jsonl`` followed by
                        metrics=obs.get_registry().as_records())
 """
 
+from repro.obs.events import EventLog, read_events
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
+    build_info,
     build_manifest,
     manifest_errors,
     validate_manifest,
@@ -37,17 +47,30 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    Summary,
     counter,
     counter_delta,
     gauge,
     get_registry,
     histogram,
+    summary,
 )
+from repro.obs.slo import SloConfig, SloTracker
 from repro.obs.summary import (
+    escape_label_value,
     format_metrics_table,
     read_trace,
     render_prometheus,
     render_trace_summary,
+)
+from repro.obs.telemetry import (
+    TRACE_HEADER,
+    RequestTrace,
+    TraceView,
+    load_trace,
+    new_trace_id,
+    normalize_trace_id,
+    reconstruct_traces,
 )
 from repro.obs.trace import (
     Span,
@@ -61,22 +84,37 @@ from repro.obs.trace import (
 
 __all__ = [
     "MANIFEST_SCHEMA",
+    "build_info",
     "build_manifest",
     "manifest_errors",
     "validate_manifest",
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricsRegistry",
     "counter",
     "counter_delta",
     "gauge",
     "get_registry",
     "histogram",
+    "summary",
+    "EventLog",
+    "read_events",
+    "SloConfig",
+    "SloTracker",
+    "escape_label_value",
     "format_metrics_table",
     "read_trace",
     "render_prometheus",
     "render_trace_summary",
+    "TRACE_HEADER",
+    "RequestTrace",
+    "TraceView",
+    "load_trace",
+    "new_trace_id",
+    "normalize_trace_id",
+    "reconstruct_traces",
     "Span",
     "Tracer",
     "current_tracer",

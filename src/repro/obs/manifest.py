@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import dataclasses
 import platform
+import subprocess
 import sys
 import time
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = [
@@ -26,9 +28,23 @@ __all__ = [
     "build_manifest",
     "validate_manifest",
     "manifest_errors",
+    "build_info",
 ]
 
 MANIFEST_VERSION = "repro-manifest-v1"
+
+#: Schema versions of every on-disk artifact this package writes, in
+#: one place so ``/healthz``, ``/v1/status`` and the run manifest all
+#: report the same provenance.  Values are kept as literals (rather
+#: than imported) to avoid obs -> serve import cycles.
+SCHEMA_VERSIONS: Dict[str, Any] = {
+    "manifest": MANIFEST_VERSION,
+    "model_record": "repro-model-record-v1",
+    "tree_artifact": 2,
+    "events": "repro-events-v1",
+    "telemetry": "repro-telemetry-v1",
+    "status": "repro-status-v1",
+}
 
 #: Required shape of a manifest.  ``type`` names follow JSON Schema
 #: (object/array/string/number/integer); nested ``properties`` entries
@@ -91,6 +107,60 @@ def _package_versions() -> Dict[str, str]:
     return versions
 
 
+def _git_describe() -> Optional[str]:
+    """``git describe --always --dirty`` of the source tree, if any.
+
+    Installed (non-checkout) copies and containers without git simply
+    report None; provenance is best-effort by design.
+    """
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--tags", "--always", "--dirty"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=2.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    described = result.stdout.strip()
+    return described or None
+
+
+_BUILD_INFO: Optional[Dict[str, Any]] = None
+
+
+def build_info() -> Dict[str, Any]:
+    """Build/version provenance: package version, git state, schemas.
+
+    Computed once per process (the git subprocess is not free) and
+    returned as a fresh copy each call so callers may annotate it.
+    """
+    global _BUILD_INFO
+    if _BUILD_INFO is None:
+        version: Optional[str] = None
+        try:
+            from importlib.metadata import PackageNotFoundError
+            from importlib.metadata import version as package_version
+
+            try:
+                version = package_version("repro")
+            except PackageNotFoundError:
+                version = None
+        except ImportError:  # pragma: no cover - py>=3.8 always has it
+            version = None
+        _BUILD_INFO = {
+            "package": "repro",
+            "version": version,
+            "git": _git_describe(),
+            "python": platform.python_version(),
+            "schemas": dict(SCHEMA_VERSIONS),
+        }
+    return {**_BUILD_INFO, "schemas": dict(_BUILD_INFO["schemas"])}
+
+
 def build_manifest(
     config: Any,
     experiments: Sequence[str] = (),
@@ -125,6 +195,7 @@ def build_manifest(
             "release": platform.release(),
         },
         "packages": _package_versions(),
+        "build": build_info(),
     }
     if jobs is not None:
         manifest["jobs"] = jobs

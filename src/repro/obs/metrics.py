@@ -19,18 +19,22 @@ references in instrumented modules stay valid across tests.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional
+import random
+import zlib
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricsRegistry",
     "get_registry",
     "counter",
     "counter_delta",
     "gauge",
     "histogram",
+    "summary",
 ]
 
 
@@ -135,6 +139,123 @@ class Histogram:
         }
 
 
+class Summary:
+    """Streaming latency-quantile estimator with exact small-sample answers.
+
+    The log2 :class:`Histogram` answers "what order of magnitude?" —
+    this answers "what is p99?".  Observations land in a bounded
+    reservoir: *exact* until ``capacity`` values have been seen, then a
+    uniform random sample of everything seen so far (Vitter's
+    Algorithm R), so quantiles stay unbiased with fixed memory.  The
+    RNG is seeded from the instrument name, making a replayed stream
+    reproduce the same quantiles bit-for-bit.
+
+    ``labels`` distinguish instruments sharing one metric family —
+    per-endpoint or per-model latency series that Prometheus renders
+    as ``repro_serve_http_latency{endpoint="predict",quantile="0.99"}``.
+    """
+
+    __slots__ = (
+        "name",
+        "labels",
+        "capacity",
+        "count",
+        "total",
+        "_values",
+        "_rng",
+        "_sorted",
+    )
+
+    DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 4096,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.labels: Dict[str, str] = dict(labels or {})
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self._values: List[float] = []
+        seed = zlib.crc32(
+            (name + "|" + ",".join(sorted(self.labels.values()))).encode()
+        )
+        self._rng = random.Random(seed)
+        self._sorted: Optional[List[float]] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._values[slot] = value
+            else:
+                return  # reservoir unchanged; sorted cache stays valid
+        self._sorted = None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        return self._sorted
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile of the reservoir (NaN if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        ordered = self._ordered()
+        if not ordered:
+            return math.nan
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def quantiles(
+        self, qs: Sequence[float] = DEFAULT_QUANTILES
+    ) -> Dict[str, float]:
+        return {f"{q:g}": self.quantile(q) for q in qs}
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self._values = []
+        self._sorted = None
+
+    def as_record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "kind": "summary",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "quantiles": self.quantiles(),
+        }
+        if self.labels:
+            record["labels"] = dict(self.labels)
+        return record
+
+
+def _summary_key(name: str, labels: Optional[Mapping[str, str]]) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}|{rendered}"
+
+
 class MetricsRegistry:
     """Named metric instruments, created on first use."""
 
@@ -142,6 +263,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._summaries: Dict[str, Summary] = {}
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
@@ -161,6 +283,20 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(name, scale)
         return instrument
 
+    def summary(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        capacity: int = 4096,
+    ) -> Summary:
+        key = _summary_key(name, labels)
+        instrument = self._summaries.get(key)
+        if instrument is None:
+            instrument = self._summaries[key] = Summary(
+                name, capacity=capacity, labels=labels
+            )
+        return instrument
+
     # -- reporting -------------------------------------------------------
 
     def as_records(self) -> List[Dict[str, Any]]:
@@ -174,7 +310,13 @@ class MetricsRegistry:
         records += [
             h.as_record() for h in self._histograms.values() if h.count > 0
         ]
-        return sorted(records, key=lambda r: r["name"])
+        records += [
+            s.as_record() for s in self._summaries.values() if s.count > 0
+        ]
+        return sorted(
+            records,
+            key=lambda r: (r["name"], sorted((r.get("labels") or {}).items())),
+        )
 
     def counter_values(self) -> Dict[str, int]:
         """Snapshot of all counter values (including zeros)."""
@@ -188,7 +330,12 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Zero every instrument, keeping cached references valid."""
-        for group in (self._counters, self._gauges, self._histograms):
+        for group in (
+            self._counters,
+            self._gauges,
+            self._histograms,
+            self._summaries,
+        ):
             for instrument in group.values():
                 instrument.reset()
 
@@ -225,3 +372,11 @@ def gauge(name: str) -> Gauge:
 
 def histogram(name: str, scale: float = 1.0) -> Histogram:
     return get_registry().histogram(name, scale)
+
+
+def summary(
+    name: str,
+    labels: Optional[Mapping[str, str]] = None,
+    capacity: int = 4096,
+) -> Summary:
+    return get_registry().summary(name, labels=labels, capacity=capacity)

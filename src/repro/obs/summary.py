@@ -17,28 +17,48 @@ __all__ = [
     "render_trace_summary",
     "format_metrics_table",
     "render_prometheus",
+    "escape_label_value",
 ]
 
 
 def read_trace(
-    path: Union[str, Path]
+    path: Union[str, Path],
+    warnings: Optional[List[str]] = None,
 ) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]], List[Dict[str, Any]]]:
-    """Parse a trace file into (manifest, span records, metric records)."""
+    """Parse a trace file into (manifest, span records, metric records).
+
+    A malformed *final* line is tolerated when at least one record
+    parsed before it — that is what a process killed mid-write leaves
+    behind — and noted in ``warnings`` (when the caller passes a list)
+    instead of raised.  Malformed content anywhere else is still a
+    ``ValueError``: it means the file is not a trace at all.
+    """
     manifest: Optional[Dict[str, Any]] = None
     spans: List[Dict[str, Any]] = []
     metrics: List[Dict[str, Any]] = []
-    for line_number, line in enumerate(
-        Path(path).read_text().splitlines(), start=1
-    ):
+    lines = Path(path).read_text().splitlines()
+    last_content = max(
+        (i for i, line in enumerate(lines, start=1) if line.strip()),
+        default=0,
+    )
+    parsed = 0
+    for line_number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as error:
+            if line_number == last_content and parsed > 0:
+                if warnings is not None:
+                    warnings.append(
+                        f"ignored truncated final line {line_number}"
+                    )
+                break
             raise ValueError(
                 f"{path}:{line_number}: not valid JSON ({error})"
             ) from None
+        parsed += 1
         kind = record.get("type")
         if kind == "manifest":
             manifest = record
@@ -118,6 +138,10 @@ def format_metrics_table(
         (m for m in metrics if m.get("kind") == "histogram"),
         key=lambda m: m["name"],
     )
+    summaries = sorted(
+        (m for m in metrics if m.get("kind") == "summary"),
+        key=lambda m: (m["name"], sorted((m.get("labels") or {}).items())),
+    )
     lines: List[str] = []
     for metric in counters[:top]:
         lines.append(f"  {metric['name']:40s} {metric['value']:>14,}")
@@ -128,6 +152,22 @@ def format_metrics_table(
         lines.append(
             f"  {metric['name']:40s} n={metric['count']:<8d}"
             f" mean={mean:.6g} min={metric.get('min')} max={metric.get('max')}"
+        )
+    for metric in summaries[:top]:
+        labels = metric.get("labels") or {}
+        label_text = (
+            "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            if labels
+            else ""
+        )
+        quantiles = metric.get("quantiles", {})
+        quantile_text = " ".join(
+            f"p{float(q) * 100:g}={value:.6g}"
+            for q, value in sorted(quantiles.items(), key=lambda kv: float(kv[0]))
+        )
+        lines.append(
+            f"  {metric['name'] + label_text:40s} n={metric['count']:<8d}"
+            f" {quantile_text}"
         )
     return "\n".join(lines)
 
@@ -140,45 +180,109 @@ def _prometheus_name(name: str) -> str:
     return f"repro_{cleaned}"
 
 
+def escape_label_value(value: Any) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping inside ``label="..."``.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
 def render_prometheus(metrics: List[Dict[str, Any]]) -> str:
     """Text exposition of registry records (the serving ``/metrics``).
 
     Counters and gauges render one sample each; histograms render
     ``_count``/``_sum`` plus cumulative ``_bucket`` samples whose ``le``
-    labels are the upper edges of the registry's log2 buckets.  The
-    output follows the Prometheus text format closely enough for
-    standard scrapers while staying dependency-free.
+    labels are the upper edges of the registry's log2 buckets;
+    summaries render one ``quantile``-labelled sample per tracked
+    quantile (plus ``_count``/``_sum``), carrying any instrument labels
+    such as ``endpoint`` or ``model``.  Records sharing a name form one
+    metric family: a single ``# TYPE`` line followed by every sample,
+    with label values escaped per the exposition format.
     """
+    by_family: Dict[str, List[Dict[str, Any]]] = {}
+    for record in metrics:
+        by_family.setdefault(record["name"], []).append(record)
     lines: List[str] = []
-    for record in sorted(metrics, key=lambda m: m.get("name", "")):
-        name = _prometheus_name(record["name"])
-        kind = record.get("kind")
-        if kind == "counter":
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {record['value']}")
-        elif kind == "gauge":
-            lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {record['value']}")
-        elif kind == "histogram":
-            lines.append(f"# TYPE {name} histogram")
-            cumulative = 0
-            buckets = record.get("buckets", {})
-            for index in sorted(buckets, key=int):
-                cumulative += buckets[index]
+    for family_name in sorted(by_family):
+        records = sorted(
+            by_family[family_name],
+            key=lambda m: sorted((m.get("labels") or {}).items()),
+        )
+        name = _prometheus_name(family_name)
+        lines.append(f"# TYPE {name} {records[0].get('kind')}")
+        for record in records:
+            kind = record.get("kind")
+            labels = dict(record.get("labels") or {})
+            if kind in ("counter", "gauge"):
                 lines.append(
-                    f'{name}_bucket{{le="{2.0 ** int(index):g}"}} '
-                    f"{cumulative}"
+                    f"{name}{_render_labels(labels)} {record['value']}"
                 )
-            lines.append(f'{name}_bucket{{le="+Inf"}} {record["count"]}')
-            lines.append(f"{name}_sum {record['sum']}")
-            lines.append(f"{name}_count {record['count']}")
+            elif kind == "histogram":
+                cumulative = 0
+                buckets = record.get("buckets", {})
+                for index in sorted(buckets, key=int):
+                    cumulative += buckets[index]
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_render_labels({**labels, 'le': f'{2.0 ** int(index):g}'})}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_render_labels({**labels, 'le': '+Inf'})}"
+                    f" {record['count']}"
+                )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} {record['sum']}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} {record['count']}"
+                )
+            elif kind == "summary":
+                for q, value in record.get("quantiles", {}).items():
+                    lines.append(
+                        f"{name}{_render_labels({**labels, 'quantile': q})}"
+                        f" {value}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} {record['sum']}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} {record['count']}"
+                )
     return "\n".join(lines) + ("\n" if lines else "")
 
 
 def render_trace_summary(path: Union[str, Path]) -> str:
-    """Full terminal report for one trace file."""
-    manifest, spans, metrics = read_trace(path)
+    """Full terminal report for one trace file.
+
+    Degenerate files render a message instead of raising: an empty
+    file says so, a manifest-only file renders the manifest, and a
+    file whose final line was cut mid-write notes the dropped line.
+    """
+    warnings: List[str] = []
+    manifest, spans, metrics = read_trace(path, warnings=warnings)
+    if manifest is None and not spans and not metrics:
+        return f"{path}: empty trace (no records)"
     lines: List[str] = []
+    for warning in warnings:
+        lines.append(f"warning: {warning}")
     if manifest is not None:
         config = manifest.get("config", {})
         lines.append(

@@ -11,12 +11,16 @@ package keeps such trees alive beyond the training process:
   requests coalesce in a queue and flush through the vectorized
   ``ModelTree.predict`` (max-batch / max-wait knobs).
 * :mod:`repro.serve.api` — a threaded stdlib HTTP/JSON API with
-  structured errors, request-size limits and graceful drain.
+  structured errors, request-size limits, graceful drain,
+  ``X-Repro-Trace`` propagation, SLO tracking and opt-in per-request
+  telemetry.
+* :mod:`repro.serve.status` — the single ``/v1/status`` document and
+  its ``/dashboard`` HTML / ``repro status`` terminal renderings.
 * :mod:`repro.serve.publish` — train-and-register from an experiment
   configuration, embedding the run manifest as provenance.
 
-CLI entry points: ``repro publish`` and ``repro serve`` (see
-``docs/SERVING.md``).
+CLI entry points: ``repro publish``, ``repro serve`` and
+``repro status`` (see ``docs/SERVING.md``).
 """
 
 from repro.serve.engine import BatchConfig, PredictionEngine
@@ -29,6 +33,11 @@ from repro.serve.registry import (
     ModelRegistry,
     RegistryError,
 )
+from repro.serve.status import (
+    build_status_document,
+    render_dashboard_html,
+    render_status_text,
+)
 
 __all__ = [
     "ApiError",
@@ -40,5 +49,8 @@ __all__ = [
     "ModelServer",
     "PredictionEngine",
     "RegistryError",
+    "build_status_document",
     "publish_from_config",
+    "render_dashboard_html",
+    "render_status_text",
 ]

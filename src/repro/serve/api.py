@@ -7,8 +7,10 @@ vectorized compute path.
 
 Routes (see ``docs/SERVING.md`` for the full reference)::
 
-    GET  /healthz                          liveness + model count
+    GET  /healthz                          liveness + model count + build
     GET  /metrics                          Prometheus text exposition
+    GET  /v1/status                        one-document serving status
+    GET  /dashboard                        self-refreshing HTML status page
     GET  /v1/models                        list published records
     GET  /v1/models/{ref}                  one record (id or alias)
     GET  /v1/models/{ref}/profile          leaf models, equations, shares
@@ -20,11 +22,21 @@ A predict body may carry ``"actuals"`` — observed CPI values (one per
 instance, ``null`` = unlabelled) that feed the drift monitor without
 affecting the returned predictions.
 
+Every response echoes a trace ID in the ``X-Repro-Trace`` header: a
+well-formed client-supplied ID verbatim, otherwise a server-generated
+one.  When the server is constructed with ``events_path``, each
+request additionally records a stage timeline (decode, validate,
+queue_wait, batch_assembly, kernel, respond, drift_observe) into the
+rotating JSONL event log, reconstructable per trace ID with
+``repro.obs.load_trace``; without an event log the only telemetry
+cost is the header echo.
+
 Errors are structured JSON — ``{"error": {"code", "message"}}`` — with
 conventional status codes: 400 malformed body/shape, 404 unknown model
 or route, 405 wrong method, 413 oversized body, 500 integrity or
 internal failures.  Bodies above ``max_body_bytes`` are rejected
-before being read into memory.
+before being read into memory (and counted on
+``serve.http.rejected_oversized``).
 
 Shutdown is graceful: :meth:`ModelServer.shutdown` stops accepting
 connections, then drains the engine queue so every accepted predict
@@ -37,13 +49,19 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import deque
+from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.obs.metrics import counter, histogram
+from repro.obs.events import EventLog
+from repro.obs.manifest import build_info
+from repro.obs.metrics import counter, histogram, summary
+from repro.obs.slo import SloConfig, SloTracker
 from repro.obs.summary import render_prometheus
+from repro.obs.telemetry import TRACE_HEADER, RequestTrace, normalize_trace_id
 from repro.obs.trace import span as obs_span
 from repro.serve.engine import BatchConfig, PredictionEngine
 from repro.serve.registry import (
@@ -52,6 +70,7 @@ from repro.serve.registry import (
     ModelRegistry,
     RegistryError,
 )
+from repro.serve.status import build_status_document, render_dashboard_html
 
 __all__ = ["ApiError", "ModelServer", "DEFAULT_MAX_BODY_BYTES"]
 
@@ -63,6 +82,34 @@ _HTTP_4XX = counter("serve.http.responses_4xx")
 _HTTP_5XX = counter("serve.http.responses_5xx")
 _HTTP_LATENCY = histogram("serve.http.latency_s")
 _PREDICTIONS = counter("serve.http.predictions")
+_REJECTED_OVERSIZED = counter("serve.http.rejected_oversized")
+
+#: How many recent request latencies the dashboard sparkline shows.
+_RECENT_LATENCY_WINDOW = 120
+
+
+def _endpoint_label(path: str) -> str:
+    """Collapse a request path to a bounded-cardinality endpoint label.
+
+    Model refs are folded into ``{ref}`` so the per-endpoint latency
+    summaries cannot grow one instrument per model alias; unknown
+    paths share a single ``other`` label.
+    """
+    path = path.split("?", 1)[0].rstrip("/") or "/"
+    if path in ("/healthz", "/metrics", "/dashboard", "/v1/status"):
+        return path
+    parts = [p for p in path.split("/") if p]
+    if parts[:2] == ["v1", "models"]:
+        rest = parts[2:]
+        if not rest:
+            return "/v1/models"
+        if len(rest) == 1:
+            return "/v1/models/{ref}"
+        if len(rest) == 2 and rest[1] in ("predict", "profile", "drift"):
+            return f"/v1/models/{{ref}}/{rest[1]}"
+        if len(rest) == 3 and rest[1] == "compare":
+            return "/v1/models/{ref}/compare/{ref}"
+    return "other"
 
 
 class ApiError(Exception):
@@ -160,6 +207,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
 
+    #: Per-request telemetry state, reset by :meth:`_dispatch`.
+    _trace_id: Optional[str] = None
+    _trace: Optional[RequestTrace] = None
+
     # -- plumbing --------------------------------------------------------
 
     def log_message(self, format: str, *args: Any) -> None:
@@ -172,6 +223,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id is not None:
+            self.send_header(TRACE_HEADER, self._trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -180,6 +233,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id is not None:
+            self.send_header(TRACE_HEADER, self._trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -196,6 +251,7 @@ class _Handler(BaseHTTPRequestHandler):
                 400, "invalid_length", "Content-Length is not an integer"
             ) from None
         if length > self.server.max_body_bytes:
+            _REJECTED_OVERSIZED.inc()
             raise ApiError(
                 413,
                 "body_too_large",
@@ -225,6 +281,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         start = time.perf_counter()
+        self._trace_id = normalize_trace_id(self.headers.get(TRACE_HEADER))
+        self._trace = (
+            RequestTrace(
+                self._trace_id, sink=self.server.telemetry, t0=start
+            )
+            if self.server.telemetry is not None
+            else None
+        )
+        endpoint = _endpoint_label(self.path)
         with self.server.stats_lock:
             _HTTP_REQUESTS.inc()
         status = 500
@@ -235,41 +300,81 @@ class _Handler(BaseHTTPRequestHandler):
             status = error.status
             self._send_json(
                 error.status,
-                {"error": {"code": error.code, "message": error.message}},
+                {
+                    "error": {"code": error.code, "message": error.message},
+                    "trace": self._trace_id,
+                },
             )
         except ModelNotFound as error:
             status = 404
             self._send_json(
-                404, {"error": {"code": "model_not_found", "message": str(error)}}
+                404,
+                {
+                    "error": {
+                        "code": "model_not_found",
+                        "message": str(error),
+                    },
+                    "trace": self._trace_id,
+                },
             )
         except CorruptArtifact as error:
             status = 500
             self._send_json(
                 500,
-                {"error": {"code": "corrupt_artifact", "message": str(error)}},
+                {
+                    "error": {
+                        "code": "corrupt_artifact",
+                        "message": str(error),
+                    },
+                    "trace": self._trace_id,
+                },
             )
         except ValueError as error:
             # The hardened ModelTree.predict boundary surfaces here.
             status = 400
             self._send_json(
-                400, {"error": {"code": "invalid_input", "message": str(error)}}
+                400,
+                {
+                    "error": {"code": "invalid_input", "message": str(error)},
+                    "trace": self._trace_id,
+                },
             )
         except (BrokenPipeError, ConnectionResetError):
             status = 499  # client went away; nothing to send
         except Exception as error:  # pragma: no cover - defensive
             status = 500
             self._send_json(
-                500, {"error": {"code": "internal", "message": str(error)}}
+                500,
+                {
+                    "error": {"code": "internal", "message": str(error)},
+                    "trace": self._trace_id,
+                },
             )
         finally:
+            duration = time.perf_counter() - start
             with self.server.stats_lock:
-                _HTTP_LATENCY.observe(time.perf_counter() - start)
+                _HTTP_LATENCY.observe(duration)
                 if 200 <= status < 300:
                     _HTTP_2XX.inc()
                 elif 400 <= status < 500:
                     _HTTP_4XX.inc()
                 else:
                     _HTTP_5XX.inc()
+                summary(
+                    "serve.http.request_latency_s",
+                    labels={"endpoint": endpoint},
+                ).observe(duration)
+                self.server.recent_latency.append(duration)
+            self.server.slo.record(duration, status)
+            if self._trace is not None:
+                self._trace.emit(
+                    "http",
+                    method=method,
+                    path=self.path,
+                    endpoint=endpoint,
+                    status=status,
+                    duration_s=duration,
+                )
 
     def _route(self, method: str) -> int:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
@@ -282,6 +387,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "status": "ok",
                     "models": len(self.server.registry),
                     "engine_running": self.server.engine.running,
+                    "build": build_info(),
                 },
             )
             return 200
@@ -294,9 +400,32 @@ class _Handler(BaseHTTPRequestHandler):
                 "text/plain; version=0.0.4",
             )
             return 200
+        if path == "/v1/status" and method == "GET":
+            self._send_json(200, self._status_document())
+            return 200
+        if path == "/dashboard" and method == "GET":
+            self._send_text(
+                200,
+                render_dashboard_html(self._status_document()),
+                "text/html; charset=utf-8",
+            )
+            return 200
         if parts[:2] == ["v1", "models"]:
             return self._route_models(method, parts[2:])
         raise ApiError(404, "not_found", f"no route for {method} {path}")
+
+    def _status_document(self) -> Dict[str, Any]:
+        with self.server.stats_lock:
+            recent = list(self.server.recent_latency)
+        return build_status_document(
+            self.server.registry,
+            self.server.engine,
+            drift=self.server.drift,
+            slo=self.server.slo,
+            events=self.server.telemetry,
+            recent_latency_s=recent,
+            started_unix=self.server.started_unix,
+        )
 
     def _route_models(self, method: str, rest: list) -> int:
         registry = self.server.registry
@@ -362,26 +491,38 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _predict(self, ref: str) -> int:
-        body = self._read_body()
-        record = self.server.registry.record(ref)
-        X = _instances_to_matrix(body, record.feature_names)
-        smooth = body.get("smooth")
-        if smooth is not None and not isinstance(smooth, bool):
-            raise ApiError(400, "invalid_smooth", "'smooth' must be a boolean")
-        actuals = _decode_actuals(body, X.shape[0])
+        trace = self._trace
+        with trace.stage("decode") if trace else nullcontext():
+            body = self._read_body()
+            record = self.server.registry.record(ref)
+            X = _instances_to_matrix(body, record.feature_names)
+            smooth = body.get("smooth")
+            if smooth is not None and not isinstance(smooth, bool):
+                raise ApiError(
+                    400, "invalid_smooth", "'smooth' must be a boolean"
+                )
+            actuals = _decode_actuals(body, X.shape[0])
+        t_predict = time.perf_counter()
         predictions = self.server.engine.predict(
-            ref, X, smooth=smooth, actuals=actuals
+            ref, X, smooth=smooth, actuals=actuals, trace=trace
         )
+        predict_s = time.perf_counter() - t_predict
         with self.server.stats_lock:
             _PREDICTIONS.inc(X.shape[0])
-        self._send_json(
-            200,
-            {
-                "model_id": record.model_id,
-                "n": int(X.shape[0]),
-                "predictions": predictions.tolist(),
-            },
-        )
+            summary(
+                "serve.predict.latency_s",
+                labels={"model": record.model_id},
+            ).observe(predict_s)
+        with trace.stage("respond") if trace else nullcontext():
+            self._send_json(
+                200,
+                {
+                    "model_id": record.model_id,
+                    "n": int(X.shape[0]),
+                    "predictions": predictions.tolist(),
+                    "trace": self._trace_id,
+                },
+            )
         return 200
 
 
@@ -404,12 +545,20 @@ class ModelServer:
         shadow_champion: str = "latest",
         audit_path: Optional[str] = None,
         drift: Optional[Any] = None,
+        events_path: Optional[str] = None,
+        slo: Optional[SloConfig] = None,
     ) -> None:
         """Drift monitoring is on by default (``monitor=False`` turns it
         off); ``shadow`` names a challenger model evaluated against the
         ``shadow_champion`` ref on the champion's live traffic, and
         ``audit_path`` appends every drift evaluation as JSONL.  Pass a
         pre-built hub via ``drift`` to control everything else.
+
+        ``events_path`` enables request telemetry: every request's
+        stage timeline is appended to that rotating JSONL event log
+        (omit it and requests carry only the trace-ID header).  ``slo``
+        overrides the default :class:`~repro.obs.slo.SloConfig`
+        targets; SLO tracking itself is always on.
         """
         self.registry = registry
         if drift is None and monitor:
@@ -430,6 +579,12 @@ class ModelServer:
         self.engine = PredictionEngine(registry, batch=batch, drift=drift)
         self.max_body_bytes = max_body_bytes
         self.stats_lock = threading.Lock()
+        self.telemetry = (
+            EventLog(events_path) if events_path is not None else None
+        )
+        self.slo = SloTracker(slo or SloConfig())
+        self.recent_latency: "deque" = deque(maxlen=_RECENT_LATENCY_WINDOW)
+        self.started_unix = time.time()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         # Handlers reach everything through self.server.<attr>.
@@ -438,6 +593,10 @@ class ModelServer:
         self._httpd.drift = drift  # type: ignore[attr-defined]
         self._httpd.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
         self._httpd.stats_lock = self.stats_lock  # type: ignore[attr-defined]
+        self._httpd.telemetry = self.telemetry  # type: ignore[attr-defined]
+        self._httpd.slo = self.slo  # type: ignore[attr-defined]
+        self._httpd.recent_latency = self.recent_latency  # type: ignore[attr-defined]
+        self._httpd.started_unix = self.started_unix  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -471,6 +630,9 @@ class ModelServer:
         self._httpd.shutdown()
         self._httpd.server_close()
         self.engine.stop()
+        if self.telemetry is not None:
+            # After the engine drain: the last batch's records are in.
+            self.telemetry.close()
         if self._thread is not None:
             self._thread.join(10.0)
             self._thread = None

@@ -39,6 +39,7 @@ import numpy as np
 from repro.characterization.similarity import l1_difference
 from repro.mtree.compare import compare_trees
 from repro.obs.metrics import counter, gauge, histogram
+from repro.obs.telemetry import RequestTrace
 from repro.obs.trace import span as obs_span
 from repro.serve.registry import ModelRegistry
 
@@ -53,6 +54,11 @@ _BATCH_REQUESTS = histogram("serve.engine.batch_requests")
 _WAIT_S = histogram("serve.engine.queue_wait_s")
 _QUEUE_DEPTH = gauge("serve.engine.queue_depth")
 _MONITOR_ERRORS = counter("serve.engine.monitor_errors")
+#: Failure-path accounting, one counter per distinct path: requests
+#: that failed validation before ever occupying queue capacity, and
+#: requests answered by the shutdown drain rather than a live worker.
+_VALIDATION_FAILURES = counter("serve.engine.validation_failures")
+_DRAINED = counter("serve.engine.drained_requests")
 
 
 @dataclass(frozen=True)
@@ -88,6 +94,13 @@ class _Request:
         "event",
         "result",
         "error",
+        "trace",
+        "t_submit",
+        "t_dequeue",
+        "t_flush",
+        "t_kernel_end",
+        "batch_rows",
+        "batch_requests",
     )
 
     def __init__(
@@ -96,6 +109,7 @@ class _Request:
         smooth: Optional[bool],
         X: np.ndarray,
         actuals: Optional[np.ndarray] = None,
+        trace: Optional[RequestTrace] = None,
     ):
         self.model_id = model_id
         self.smooth = smooth
@@ -104,6 +118,19 @@ class _Request:
         self.event = threading.Event()
         self.result: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
+        # Telemetry: the caller's trace, plus raw perf_counter marks the
+        # worker sets before answering.  The worker does NO record
+        # building or I/O per request — it is the serial throughput
+        # bottleneck, so every microsecond it spends per request costs
+        # the whole server; the caller's (parallel) thread turns these
+        # marks into spans after :meth:`PredictionEngine.predict` wakes.
+        self.trace = trace
+        self.t_submit: Optional[float] = None
+        self.t_dequeue: Optional[float] = None
+        self.t_flush: Optional[float] = None
+        self.t_kernel_end: Optional[float] = None
+        self.batch_rows: int = 0
+        self.batch_requests: int = 0
 
 
 _SHUTDOWN = object()
@@ -188,6 +215,7 @@ class PredictionEngine:
         smooth: Optional[bool] = None,
         timeout: Optional[float] = 30.0,
         actuals: Any = None,
+        trace: Optional[RequestTrace] = None,
     ) -> np.ndarray:
         """CPI predictions for ``X`` through the micro-batching worker.
 
@@ -198,25 +226,46 @@ class PredictionEngine:
         ``actuals`` optionally carries observed CPI values (one per
         row; NaN = unlabelled) for the drift monitor.  They do not
         affect the predictions returned.
+
+        ``trace`` optionally carries the caller's
+        :class:`repro.obs.telemetry.RequestTrace`: validation,
+        queue_wait, batch_assembly and kernel stages all land on it *in
+        this thread* — the worker only stamps raw perf_counter marks on
+        the request, and this method converts them to spans after
+        waking, so traced requests add no work to the serial batching
+        loop.  The exception is ``drift_observe``, which happens after
+        callers are answered: when a drift hub is attached the worker
+        emits it as a small supplementary ``engine`` record sharing the
+        trace ID.
         """
         if self._closed or not self.running:
             raise RuntimeError("prediction engine is not running")
-        model_id = self.registry.resolve(ref)
-        _, tree = self.registry.load(model_id)
-        X = tree._check_X(X)
-        if actuals is not None:
-            actuals = np.asarray(actuals, dtype=float).ravel()
-            if actuals.shape[0] != X.shape[0]:
-                raise ValueError(
-                    f"actuals must have one value per row: got "
-                    f"{actuals.shape[0]} for {X.shape[0]} rows"
-                )
-        request = _Request(model_id, smooth, X, actuals)
+        t_validate = time.perf_counter()
+        try:
+            model_id = self.registry.resolve(ref)
+            _, tree = self.registry.load(model_id)
+            X = tree._check_X(X)
+            if actuals is not None:
+                actuals = np.asarray(actuals, dtype=float).ravel()
+                if actuals.shape[0] != X.shape[0]:
+                    raise ValueError(
+                        f"actuals must have one value per row: got "
+                        f"{actuals.shape[0]} for {X.shape[0]} rows"
+                    )
+        except Exception:
+            _VALIDATION_FAILURES.inc()
+            raise
+        if trace is not None:
+            trace.add_stage(
+                "validate", t_validate, time.perf_counter(), model=model_id
+            )
+        request = _Request(model_id, smooth, X, actuals, trace=trace)
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("prediction engine is not running")
             _REQUESTS.inc()
             _ROWS.inc(X.shape[0])
+            request.t_submit = time.perf_counter()
             self._queue.put(request)
             _QUEUE_DEPTH.set(self._queue.qsize())
         if not request.event.wait(timeout):
@@ -224,10 +273,38 @@ class PredictionEngine:
                 f"prediction for model {model_id!r} timed out after "
                 f"{timeout}s"
             )
+        if trace is not None:
+            self._marks_to_spans(request, trace)
         if request.error is not None:
             raise request.error
         assert request.result is not None
         return request.result
+
+    @staticmethod
+    def _marks_to_spans(request: _Request, trace: RequestTrace) -> None:
+        """Convert the worker's perf_counter marks into trace spans.
+
+        Runs on the caller's thread after its event fired; the marks
+        were all written before ``event.set()``, so they are visible
+        here.  Missing marks (a request that errored before the kernel
+        ran) simply yield fewer spans.
+        """
+        if request.t_submit is not None and request.t_dequeue is not None:
+            trace.add_stage(
+                "queue_wait", request.t_submit, request.t_dequeue
+            )
+        if request.t_dequeue is not None and request.t_flush is not None:
+            trace.add_stage(
+                "batch_assembly", request.t_dequeue, request.t_flush
+            )
+        if request.t_flush is not None and request.t_kernel_end is not None:
+            trace.add_stage(
+                "kernel",
+                request.t_flush,
+                request.t_kernel_end,
+                batch_rows=request.batch_rows,
+                batch_requests=request.batch_requests,
+            )
 
     # -- characterization queries ---------------------------------------
 
@@ -299,16 +376,21 @@ class PredictionEngine:
             if head is _SHUTDOWN:
                 # Drain whatever arrived before the close flag was seen.
                 pending: List[_Request] = []
+                t_drain = time.perf_counter()
                 while True:
                     try:
                         item = self._queue.get_nowait()
                     except queue.Empty:
                         break
                     if item is not _SHUTDOWN:
+                        item.t_dequeue = t_drain
                         pending.append(item)
+                if pending:
+                    _DRAINED.inc(len(pending))
                 for group in self._group(pending):
                     self._flush(group)
                 return
+            head.t_dequeue = time.perf_counter()
             group = [head]
             rows = head.X.shape[0]
             deadline = time.monotonic() + cfg.max_wait_s
@@ -324,6 +406,7 @@ class PredictionEngine:
                 if item is _SHUTDOWN:
                     self._queue.put(_SHUTDOWN)  # re-deliver for the drain
                     break
+                item.t_dequeue = time.perf_counter()
                 if (item.model_id, item.smooth) != (
                     head.model_id,
                     head.smooth,
@@ -360,6 +443,7 @@ class PredictionEngine:
         head = group[0]
         rows = sum(r.X.shape[0] for r in group)
         _QUEUE_DEPTH.set(self._queue.qsize())
+        t_flush = time.perf_counter()
         try:
             with obs_span(
                 "serve.batch",
@@ -373,6 +457,7 @@ class PredictionEngine:
                 else:
                     stacked = np.vstack([r.X for r in group])
                     predictions = tree.predict(stacked, smooth=head.smooth)
+            t_kernel_end = time.perf_counter()
             _BATCHES.inc()
             _BATCH_ROWS.observe(rows)
             _BATCH_REQUESTS.observe(len(group))
@@ -381,14 +466,54 @@ class PredictionEngine:
                 n = request.X.shape[0]
                 request.result = predictions[offset : offset + n]
                 offset += n
+                if request.trace is not None:
+                    # Marks only — the caller's thread builds the spans.
+                    request.t_flush = t_flush
+                    request.t_kernel_end = t_kernel_end
+                    request.batch_rows = rows
+                    request.batch_requests = len(group)
                 request.event.set()
+            t_drift_start = time.perf_counter()
             self._notify_drift(group, predictions)
+            t_drift_end = time.perf_counter()
+            self._emit_drift_traces(group, t_drift_start, t_drift_end)
         except BaseException as error:  # answer callers, keep serving
             _ERRORS.inc()
             for request in group:
                 if request.error is None and request.result is None:
                     request.error = error
                 request.event.set()
+
+    def _emit_drift_traces(
+        self,
+        group: List[_Request],
+        t_drift_start: float,
+        t_drift_end: float,
+    ) -> None:
+        """Emit the ``drift_observe`` span for each traced request.
+
+        Drift observation runs after callers are answered, so its span
+        cannot ride in the caller's own record — by the time the hub
+        has seen the batch, the response is already on the wire.  Each
+        traced request instead gets a small supplementary ``engine``
+        record on a child trace sharing its ID and clock;
+        :func:`repro.obs.telemetry.reconstruct_traces` merges the two
+        at read time.  Without a drift hub this is a no-op, keeping
+        the worker's per-request telemetry cost at zero.
+        """
+        if self.drift is None:
+            return
+        for request in group:
+            rt = request.trace
+            if rt is None:
+                continue
+            child = rt.child()
+            child.add_stage("drift_observe", t_drift_start, t_drift_end)
+            child.emit(
+                "engine",
+                model=request.model_id,
+                rows=request.X.shape[0],
+            )
 
     def _notify_drift(
         self, group: List[_Request], predictions: np.ndarray

@@ -5,6 +5,6 @@ figure-like views (CPI distributions, predicted-vs-actual scatter,
 share bars) directly into them without any plotting dependency.
 """
 
-from repro.viz.ascii_plots import bar_chart, histogram, scatter
+from repro.viz.ascii_plots import bar_chart, histogram, scatter, sparkline
 
-__all__ = ["bar_chart", "histogram", "scatter"]
+__all__ = ["bar_chart", "histogram", "scatter", "sparkline"]

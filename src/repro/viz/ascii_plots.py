@@ -1,4 +1,4 @@
-"""ASCII histograms, scatter plots and bar charts."""
+"""ASCII histograms, scatter plots, bar charts and sparklines."""
 
 from __future__ import annotations
 
@@ -6,7 +6,11 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["histogram", "scatter", "bar_chart"]
+__all__ = ["histogram", "scatter", "bar_chart", "sparkline"]
+
+#: Density ramp for sparklines, lowest to highest.  Pure ASCII so the
+#: same string renders in a terminal, a log file and a ``<pre>`` block.
+SPARK_LEVELS = " .:-=+*#%@"
 
 
 def _check_values(values: Sequence[float], label: str) -> np.ndarray:
@@ -101,6 +105,48 @@ def scatter(
         " " * 11 + f"{lo_x:.3g}".ljust(width // 2) + f"{hi_x:.3g}".rjust(width // 2)
     )
     return "\n".join(lines)
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 60,
+    levels: str = SPARK_LEVELS,
+) -> str:
+    """One-line trend glyph string: min maps to the first level glyph,
+    max to the last.
+
+    Non-finite values render as spaces.  Series longer than ``width``
+    keep the most recent ``width`` points (a sparkline is a recency
+    display); shorter series render at their natural length.  An empty
+    series renders as an empty string, a constant one as mid-level
+    glyphs — both useful for dashboards that start cold.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if len(levels) < 2:
+        raise ValueError("levels must provide at least 2 glyphs")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("values must be a 1-D sequence")
+    if arr.size == 0:
+        return ""
+    arr = arr[-width:]
+    finite = np.isfinite(arr)
+    if not finite.any():
+        return " " * arr.size
+    lo = float(arr[finite].min())
+    hi = float(arr[finite].max())
+    span = hi - lo
+    glyphs = []
+    for value, ok in zip(arr, finite):
+        if not ok:
+            glyphs.append(" ")
+        elif span == 0.0:
+            glyphs.append(levels[len(levels) // 2])
+        else:
+            index = int((value - lo) / span * (len(levels) - 1))
+            glyphs.append(levels[index])
+    return "".join(glyphs)
 
 
 def bar_chart(

@@ -1,0 +1,133 @@
+"""Event log: append, rotation, flush batching, tolerant reading."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventLog, read_events
+
+
+def _lines(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestAppend:
+    def test_records_land_as_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.append({"type": "telemetry", "kind": "http"})
+            log.append({"type": "telemetry", "kind": "engine"})
+        records = _lines(path)
+        assert [r["kind"] for r in records] == ["http", "engine"]
+
+    def test_unix_timestamp_added_at_append_time(self, tmp_path):
+        clock = iter([100.0, 200.0])
+        with EventLog(tmp_path / "e.jsonl", clock=lambda: next(clock)) as log:
+            log.append({"a": 1})
+            log.append({"a": 2, "unix": 7.0})  # caller-supplied wins
+        first, second = read_events(tmp_path / "e.jsonl")
+        assert first["unix"] == 100.0
+        assert second["unix"] == 7.0
+
+    def test_serialize_failure_dropped_not_raised(self, tmp_path):
+        with EventLog(tmp_path / "e.jsonl") as log:
+            log.append({"bad": object()})
+            log.append({"good": True})
+            assert log.written == 1
+        (record,) = read_events(tmp_path / "e.jsonl")
+        assert record["good"] is True
+
+    def test_append_after_close_is_silent(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        log.close()
+        log.append({"late": True})  # must not raise
+        assert log.written == 0
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        log.close()
+        log.close()
+
+    def test_flush_makes_records_visible(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path)
+        log.append({"n": 1})  # below the flush batch size
+        log.flush()
+        assert len(read_events(path)) == 1
+        log.close()
+
+
+class TestRotation:
+    def test_rotates_and_keeps_bounded_backups(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=1024, backups=2) as log:
+            payload = "x" * 100
+            for index in range(60):
+                log.append({"i": index, "pad": payload})
+            assert log.rotations >= 2
+        assert path.exists()
+        assert path.with_name("events.jsonl.1").exists()
+        assert path.with_name("events.jsonl.2").exists()
+        assert not path.with_name("events.jsonl.3").exists()
+
+    def test_backups_zero_discards_old_generations(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=1024, backups=0) as log:
+            for index in range(60):
+                log.append({"i": index, "pad": "x" * 100})
+            assert log.rotations > 0
+        assert path.exists()
+        assert not path.with_name("events.jsonl.1").exists()
+
+    def test_read_events_merges_backups_oldest_first(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=1024, backups=3) as log:
+            for index in range(30):
+                log.append({"i": index, "pad": "x" * 100})
+        indices = [r["i"] for r in read_events(path)]
+        assert indices == sorted(indices)
+        assert indices[-1] == 29
+
+    def test_stats_snapshot(self, tmp_path):
+        with EventLog(tmp_path / "e.jsonl", max_bytes=2048, backups=1) as log:
+            log.append({"a": 1})
+            stats = log.stats()
+        assert stats["written"] == 1
+        assert stats["max_bytes"] == 2048
+        assert stats["backups"] == 1
+        assert stats["rotations"] == 0
+        assert stats["bytes"] > 0
+
+    def test_rejects_tiny_max_bytes_and_negative_backups(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            EventLog(tmp_path / "e.jsonl", max_bytes=10)
+        with pytest.raises(ValueError, match="backups"):
+            EventLog(tmp_path / "e.jsonl", backups=-1)
+
+
+class TestReadEvents:
+    def test_missing_file_yields_empty(self, tmp_path):
+        assert read_events(tmp_path / "absent.jsonl") == []
+
+    def test_truncated_final_line_skipped(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"ok": 1}\n{"ok": 2}\n{"trunc')
+        records = read_events(path)
+        assert [r["ok"] for r in records] == [1, 2]
+
+    def test_garbage_and_non_dict_lines_skipped(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('not json\n[1, 2]\n{"ok": true}\n\n')
+        (record,) = read_events(path)
+        assert record["ok"] is True
+
+    def test_include_backups_false_reads_active_only(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"gen": 0}\n')
+        path.with_name("e.jsonl.1").write_text('{"gen": 1}\n')
+        assert len(read_events(path, include_backups=False)) == 1
+        assert len(read_events(path)) == 2

@@ -2,6 +2,8 @@
 
 import math
 
+import pytest
+
 from repro.obs.metrics import (
     MetricsRegistry,
     counter_delta,
@@ -94,6 +96,66 @@ class TestRegistryReporting:
         assert registry.counter("kept") is c
         assert c.value == 0
         assert h.count == 0 and h.buckets == {}
+
+
+class TestSummary:
+    def test_exact_quantiles_below_capacity(self):
+        import numpy as np
+
+        values = list(range(1, 101))  # 1..100, well under capacity
+        s = MetricsRegistry().summary("lat")
+        for value in values:
+            s.observe(value)
+        for q in (0.5, 0.95, 0.99):
+            assert s.quantile(q) == pytest.approx(
+                float(np.percentile(values, 100 * q))
+            )
+
+    def test_reservoir_quantiles_within_2pct_of_offline(self):
+        """The /metrics acceptance bar: p50/p95/p99 from the bounded
+        reservoir must sit within 2% of exact offline percentiles even
+        after seeing many times its capacity.  Deterministic: both the
+        stream and the reservoir's replacement RNG are seeded."""
+        import numpy as np
+
+        rng = np.random.default_rng(20080402)
+        stream = rng.lognormal(mean=-5.0, sigma=0.6, size=40_000)
+        s = MetricsRegistry().summary("lat", capacity=4096)
+        for value in stream:
+            s.observe(value)
+        for q in (0.5, 0.95, 0.99):
+            exact = float(np.percentile(stream, 100 * q))
+            assert s.quantile(q) == pytest.approx(exact, rel=0.02)
+
+    def test_empty_quantile_is_nan_and_bad_q_raises(self):
+        s = MetricsRegistry().summary("lat")
+        assert math.isnan(s.quantile(0.5))
+        with pytest.raises(ValueError):
+            s.quantile(1.5)
+
+    def test_labelled_summaries_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.summary("lat", labels={"endpoint": "/a"})
+        b = registry.summary("lat", labels={"endpoint": "/b"})
+        assert a is not b
+        assert a is registry.summary("lat", labels={"endpoint": "/a"})
+        a.observe(1.0)
+        assert b.count == 0
+
+    def test_as_record_carries_labels_and_quantiles(self):
+        s = MetricsRegistry().summary("lat", labels={"model": "m1"})
+        s.observe(2.0)
+        record = s.as_record()
+        assert record["kind"] == "summary"
+        assert record["labels"] == {"model": "m1"}
+        assert set(record["quantiles"]) == {"0.5", "0.95", "0.99"}
+
+    def test_registry_records_include_nonempty_summaries(self):
+        registry = MetricsRegistry()
+        registry.summary("used", labels={"e": "/x"}).observe(1.0)
+        registry.summary("unused")  # zero observations -> omitted
+        names = [r["name"] for r in registry.as_records()]
+        assert names == ["used"]
 
 
 class TestGlobalRegistry:

@@ -1,0 +1,122 @@
+"""SLO tracker: error-budget arithmetic, burn rates, 5xx handling."""
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.obs.slo import SloConfig, SloTracker
+
+
+class TestSloConfig:
+    def test_defaults_valid(self):
+        config = SloConfig()
+        assert config.latency_target == 0.99
+        assert config.availability_target == 0.999
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_threshold_s": 0.0},
+            {"latency_threshold_s": -1.0},
+            {"latency_target": 0.0},
+            {"latency_target": 1.0},
+            {"availability_target": 1.5},
+            {"burn_window": 0},
+        ],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        with pytest.raises(ValueError):
+            SloConfig(**kwargs)
+
+
+class TestBudgetArithmetic:
+    def test_all_good_leaves_full_budget(self):
+        tracker = SloTracker(SloConfig(latency_threshold_s=0.1))
+        for _ in range(100):
+            tracker.record(0.01, 200)
+        report = tracker.report()
+        assert report["latency"]["budget_remaining"] == pytest.approx(1.0)
+        assert report["availability"]["budget_remaining"] == pytest.approx(
+            1.0
+        )
+        assert report["latency"]["burn_rate"] == 0.0
+
+    def test_budget_consumed_at_exactly_the_allowance(self):
+        # latency target 0.99 -> 1% of requests may be slow.  With
+        # exactly 1% slow, the budget is exactly spent (remaining 0)
+        # and the burn rate is exactly 1.
+        tracker = SloTracker(
+            SloConfig(latency_target=0.99, burn_window=100)
+        )
+        for index in range(100):
+            tracker.record(0.5 if index == 0 else 0.01, 200)
+        latency = tracker.report()["latency"]
+        assert latency["budget_remaining"] == pytest.approx(0.0)
+        assert latency["burn_rate"] == pytest.approx(1.0)
+
+    def test_budget_goes_negative_when_overspent(self):
+        tracker = SloTracker(SloConfig(latency_target=0.99))
+        for _ in range(10):
+            tracker.record(0.5, 200)  # every request slow
+        assert tracker.report()["latency"]["budget_remaining"] < 0
+
+    def test_5xx_counts_against_availability_not_latency(self):
+        tracker = SloTracker(SloConfig())
+        tracker.record(0.01, 500)
+        report = tracker.report()
+        assert report["availability"]["bad_events"] == 1
+        # The failed request must not appear in the latency ledger at
+        # all: a fast error cannot buy back latency budget.
+        assert report["latency"]["events"] == 0
+
+    def test_4xx_is_available(self):
+        tracker = SloTracker(SloConfig())
+        tracker.record(0.01, 404)
+        report = tracker.report()
+        assert report["availability"]["bad_events"] == 0
+        assert report["latency"]["events"] == 1
+
+    def test_burn_rate_recovers_as_window_slides(self):
+        tracker = SloTracker(
+            SloConfig(latency_target=0.5, burn_window=10)
+        )
+        for _ in range(10):
+            tracker.record(1.0, 200)  # slow: burn rate 1/0.5 = 2
+        assert tracker.report()["latency"]["burn_rate"] == pytest.approx(2.0)
+        for _ in range(10):
+            tracker.record(0.01, 200)  # window now all-good
+        report = tracker.report()
+        assert report["latency"]["burn_rate"] == 0.0
+        # ... but lifetime budget accounting remembers everything.
+        assert report["latency"]["bad_fraction"] == pytest.approx(0.5)
+
+    def test_report_shape(self):
+        tracker = SloTracker(SloConfig(latency_threshold_s=0.25))
+        tracker.record(0.1, 200)
+        report = tracker.report()
+        assert report["latency"]["threshold_s"] == 0.25
+        for objective in ("latency", "availability"):
+            for key in (
+                "target",
+                "events",
+                "bad_events",
+                "bad_fraction",
+                "budget_remaining",
+                "burn_rate",
+                "burn_window",
+            ):
+                assert key in report[objective]
+
+
+class TestGaugeExport:
+    def test_record_updates_process_gauges(self):
+        tracker = SloTracker(SloConfig())
+        tracker.record(0.01, 200)
+        registry = get_registry()
+        assert (
+            registry.gauge("serve.slo.latency.budget_remaining").value
+            == pytest.approx(1.0)
+        )
+        assert (
+            registry.gauge("serve.slo.availability.budget_remaining").value
+            == pytest.approx(1.0)
+        )

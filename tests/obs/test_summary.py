@@ -1,10 +1,15 @@
-"""Trace-summary rendering of exported JSONL traces."""
+"""Trace-summary rendering and Prometheus exposition conformance."""
+
+import re
 
 import pytest
 
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.summary import (
+    escape_label_value,
     format_metrics_table,
     read_trace,
+    render_prometheus,
     render_trace_summary,
 )
 from repro.obs.trace import Tracer, span, use_tracer
@@ -88,3 +93,165 @@ class TestReadTrace:
 
     def test_empty_metrics_table(self):
         assert "no metrics" in format_metrics_table([])
+
+
+class TestDegenerateTraceFiles:
+    """A killed or not-yet-started run must render a message, not a
+    traceback — ``repro trace-summary`` exits 0 on these."""
+
+    def test_empty_file_renders_message(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        text = render_trace_summary(path)
+        assert "empty trace" in text
+
+    def test_whitespace_only_file_renders_message(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text("\n\n  \n")
+        assert "empty trace" in render_trace_summary(path)
+
+    def test_truncated_final_line_tolerated_with_warning(self, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        path.write_text(
+            '{"type": "span", "id": 1, "parent": null, "name": "root",'
+            ' "wall_s": 0.5, "cpu_s": 0.4, "start_wall": 0.0}\n'
+            '{"type": "span", "id": 2, "parent": 1, "na'
+        )
+        text = render_trace_summary(path)
+        assert "warning: ignored truncated final line 2" in text
+        assert "root" in text
+
+    def test_truncated_first_line_still_rejected(self, tmp_path):
+        # A file whose ONLY line is malformed is not a trace at all.
+        path = tmp_path / "junk.jsonl"
+        path.write_text('{"type": "sp')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            render_trace_summary(path)
+
+    def test_manifest_only_file_renders_manifest(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        path.write_text(
+            '{"type": "manifest", "argv": ["repro", "E1"],'
+            ' "created_iso": "2026-01-01", "config": {"seed": 1},'
+            ' "platform": {}}\n'
+        )
+        text = render_trace_summary(path)
+        assert "no spans recorded" in text
+        assert "seed 1" in text
+
+
+#: One exposition line: either a comment or ``name{labels} value``.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})? "
+    r"(?P<value>-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\+Inf|-Inf|NaN))$"
+)
+_LABEL_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\\n]|\\\\|\\"|\\n)*)"$'
+)
+
+
+def _split_labels(body):
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    parts, depth, current = [], False, ""
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\":
+            current += body[index : index + 2]
+            index += 2
+            continue
+        if char == '"':
+            depth = not depth
+        if char == "," and not depth:
+            parts.append(current)
+            current = ""
+        else:
+            current += char
+        index += 1
+    if current:
+        parts.append(current)
+    return parts
+
+
+class TestPrometheusConformance:
+    """Parse every exported line against the text exposition format."""
+
+    def _registry_with_nasty_values(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.http.requests").inc(7)
+        registry.gauge("serve.engine.queue_depth").set(3.5)
+        registry.histogram("serve.http.latency_s").observe(0.031)
+        registry.summary(
+            "serve.http.request_latency_s",
+            labels={"endpoint": '/odd"path\\with\nnasties'},
+        ).observe(0.004)
+        registry.summary(
+            "serve.predict.latency_s", labels={"model": "abc123"}
+        ).observe(0.002)
+        return registry
+
+    def test_every_line_parses(self):
+        text = render_prometheus(
+            self._registry_with_nasty_values().as_records()
+        )
+        assert text.endswith("\n")
+        families = set()
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ")
+                assert kind in {"counter", "gauge", "histogram", "summary"}
+                assert name not in families, "duplicate # TYPE for family"
+                families.add(name)
+                continue
+            match = _SAMPLE_RE.match(line)
+            assert match, f"unparseable exposition line: {line!r}"
+            for part in _split_labels(match.group("labels") or ""):
+                if part:
+                    assert _LABEL_RE.match(part), f"bad label: {part!r}"
+
+    def test_samples_follow_their_type_line(self):
+        text = render_prometheus(
+            self._registry_with_nasty_values().as_records()
+        )
+        declared = set()
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                declared.add(line.split(" ")[2])
+                continue
+            name = _SAMPLE_RE.match(line).group("name")
+            base = re.sub(r"_(?:bucket|sum|count)$", "", name)
+            assert name in declared or base in declared
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("wall_s")
+        for value in (0.4, 0.6, 3.0):
+            h.observe(value)
+        text = render_prometheus(registry.as_records())
+        buckets = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_wall_s_bucket")
+        ]
+        counts = [float(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert 'le="+Inf"' in buckets[-1]
+        assert counts[-1] == 3
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.summary(
+            "lat", labels={"endpoint": 'a"b\\c\nd'}
+        ).observe(1.0)
+        text = render_prometheus(registry.as_records())
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        # The raw newline must never appear inside a sample line.
+        for line in text.splitlines():
+            assert "\n" not in line
+
+    def test_escape_label_value_roundtrip_characters(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value(42) == "42"

@@ -1,0 +1,150 @@
+"""Request telemetry: trace IDs, stage timelines, reconstruction."""
+
+import re
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.telemetry import (
+    TRACE_HEADER,
+    RequestTrace,
+    load_trace,
+    new_trace_id,
+    normalize_trace_id,
+    reconstruct_traces,
+)
+
+
+class TestTraceIds:
+    def test_new_ids_are_32_hex_and_unique(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        for trace_id in ids:
+            assert re.fullmatch(r"[0-9a-f]{32}", trace_id)
+
+    def test_wellformed_client_id_kept_verbatim(self):
+        assert normalize_trace_id("client-req.42_a") == "client-req.42_a"
+        assert normalize_trace_id("  padded  ") == "padded"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [None, "", "   ", "has space", "-leading-dash", "x" * 129, 'q"uote'],
+    )
+    def test_malformed_id_replaced_not_rejected(self, bad):
+        replacement = normalize_trace_id(bad)
+        assert replacement != bad
+        assert re.fullmatch(r"[0-9a-f]{32}", replacement)
+
+    def test_header_name(self):
+        assert TRACE_HEADER == "X-Repro-Trace"
+
+
+class TestRequestTrace:
+    def test_stage_context_manager_records_offsets(self):
+        trace = RequestTrace("t1")
+        with trace.stage("decode", size=3):
+            pass
+        (stage,) = trace.stages
+        assert stage["stage"] == "decode"
+        assert stage["size"] == 3
+        assert stage["start_s"] >= 0.0
+        assert stage["duration_s"] >= 0.0
+
+    def test_add_stage_clamps_negative_duration(self):
+        trace = RequestTrace("t1", t0=0.0)
+        trace.add_stage("weird", 5.0, 4.0)
+        assert trace.stages[0]["duration_s"] == 0.0
+
+    def test_child_shares_timeline_and_sink(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        parent = RequestTrace("t1", sink=log, t0=100.0)
+        child = parent.child()
+        assert child.trace_id == "t1"
+        assert child.t0 == 100.0
+        assert child.sink is log
+        # Identical perf_counter readings produce identical offsets on
+        # parent and child — the single-timeline property.
+        parent.add_stage("a", 100.5, 100.6)
+        child.add_stage("b", 100.5, 100.6)
+        assert parent.stages[0]["start_s"] == child.stages[0]["start_s"]
+        log.close()
+
+    def test_emit_without_sink_is_noop(self):
+        RequestTrace("t1").emit("http", status=200)  # must not raise
+
+    def test_emit_writes_schema_and_fields(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path) as log:
+            trace = RequestTrace("abc", sink=log)
+            trace.add_stage("kernel", trace.t0, trace.t0 + 0.5)
+            trace.emit("http", status=200, duration_s=1.0)
+        (view,) = load_trace(path).values()
+        record = view.http
+        assert record["trace"] == "abc"
+        assert record["schema"].startswith("repro-telemetry")
+        assert record["status"] == 200
+        assert record["stages"][0]["duration_s"] == pytest.approx(0.5)
+
+
+class TestReconstruction:
+    def _emitted(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path) as log:
+            http = RequestTrace("req-1", sink=log, t0=0.0)
+            http.add_stage("decode", 0.0, 0.001)
+            http.add_stage("respond", 0.009, 0.010)
+            engine = http.child()
+            engine.add_stage("queue_wait", 0.001, 0.002)
+            engine.add_stage("kernel", 0.002, 0.008, batch_rows=64)
+            engine.emit("engine", model="m1")
+            http.emit(
+                "http", method="POST", path="/p", status=200, duration_s=0.010
+            )
+            other = RequestTrace("req-2", sink=log, t0=0.0)
+            other.emit("http", method="GET", path="/q", status=404,
+                       duration_s=0.001)
+        return path
+
+    def test_records_grouped_by_trace_id(self, tmp_path):
+        views = load_trace(self._emitted(tmp_path))
+        assert set(views) == {"req-1", "req-2"}
+        assert len(views["req-1"].records) == 2
+
+    def test_stages_merge_onto_one_timeline(self, tmp_path):
+        view = load_trace(self._emitted(tmp_path), "req-1")
+        names = [s["stage"] for s in view.all_stages()]
+        assert names == ["decode", "queue_wait", "kernel", "respond"]
+
+    def test_stage_seconds_and_coverage(self, tmp_path):
+        view = load_trace(self._emitted(tmp_path), "req-1")
+        seconds = view.stage_seconds()
+        assert seconds["kernel"] == pytest.approx(0.006)
+        assert view.duration_s == pytest.approx(0.010)
+        assert view.coverage() == pytest.approx(0.9)
+
+    def test_tree_lines_header_and_indent(self, tmp_path):
+        view = load_trace(self._emitted(tmp_path), "req-1")
+        lines = view.tree_lines()
+        assert "POST /p -> 200" in lines[0]
+        assert len(lines) == 5
+        assert all(line.startswith("  ") for line in lines[1:])
+
+    def test_missing_trace_id_returns_none(self, tmp_path):
+        assert load_trace(self._emitted(tmp_path), "absent") is None
+
+    def test_non_telemetry_records_ignored(self):
+        views = reconstruct_traces(
+            [
+                {"type": "other", "trace": "x"},
+                {"type": "telemetry", "trace": 42},  # non-string id
+                {"type": "telemetry", "kind": "http", "trace": "ok"},
+            ]
+        )
+        assert set(views) == {"ok"}
+
+    def test_coverage_none_without_http_record(self):
+        views = reconstruct_traces(
+            [{"type": "telemetry", "kind": "engine", "trace": "e1"}]
+        )
+        assert views["e1"].coverage() is None
+        assert views["e1"].duration_s is None

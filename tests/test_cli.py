@@ -210,6 +210,58 @@ class TestObservabilityFlags:
         assert main(["trace-summary", str(bad)]) == 2
         assert "not valid JSON" in capsys.readouterr().err
 
+    def test_trace_summary_empty_file_is_not_an_error(self, capsys, tmp_path):
+        # A run killed before its first span leaves an empty file; that
+        # deserves a message, not a traceback or a failing exit code.
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace-summary", str(empty)]) == 0
+        assert "empty trace" in capsys.readouterr().out
+
+    def test_trace_summary_truncated_final_line_tolerated(
+        self, capsys, tmp_path
+    ):
+        cut = tmp_path / "cut.jsonl"
+        cut.write_text(
+            '{"type": "span", "id": 1, "parent": null, "name": "root",'
+            ' "wall_s": 0.5, "cpu_s": 0.4, "start_wall": 0.0}\n'
+            '{"type": "span", "id": 2, "par'
+        )
+        assert main(["trace-summary", str(cut)]) == 0
+        out = capsys.readouterr().out
+        assert "ignored truncated final line" in out
+        assert "root" in out
+
+
+class TestStatusCommand:
+    def test_status_snapshot_from_live_server(self, capsys, tmp_path):
+        from repro.serve.api import ModelServer
+        from repro.serve.registry import ModelRegistry
+
+        from tests.serve.conftest import make_tree
+
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(make_tree(seed=3))
+        with ModelServer(registry, port=0, monitor=False) as server:
+            assert main(["status", "--url", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "repro serving status" in out
+        assert "engine" in out
+        assert "models (1)" in out
+
+    def test_status_connection_refused_is_exit_2(self, capsys):
+        # Port 1 is never listening on the loopback of a test machine.
+        assert main(["status", "--url", "http://127.0.0.1:1"]) == 2
+        assert "status:" in capsys.readouterr().err
+
+    def test_status_usage_error(self, capsys):
+        assert main(["status", "extra-word"]) == 2
+        assert "usage: repro status" in capsys.readouterr().err
+
+    def test_status_bad_interval(self, capsys):
+        assert main(["status", "--interval", "0"]) == 2
+        assert "--interval must be positive" in capsys.readouterr().err
+
 
 class TestPublicApi:
     def test_version(self):
