@@ -22,6 +22,9 @@ from repro.experiments.context import ExperimentContext
 #: Maximum tolerated telemetry throughput cost at batch 64.
 _TELEMETRY_OVERHEAD_LIMIT_PCT = 5.0
 
+#: Maximum tolerated cost of arming the MLOps pipeline at batch 64.
+_PIPELINE_OVERHEAD_LIMIT_PCT = 5.0
+
 
 @pytest.fixture(scope="session", autouse=True)
 def compiled_perf_guard() -> None:
@@ -93,6 +96,36 @@ def telemetry_overhead_guard() -> None:
             f"BENCH_serve.json (limit "
             f"{_TELEMETRY_OVERHEAD_LIMIT_PCT:.0f}%) — re-profile "
             "run_servebench.py after trimming the traced path"
+        )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def pipeline_overhead_guard() -> None:
+    """Pipeline cost guard: the committed ``BENCH_pipeline.json`` must
+    show the armed orchestrator within 5% of pipeline-off throughput
+    at batch 64 (both sides monitored; the delta is the hub tap that
+    copies labelled batches into the retrain buffer).
+
+    The figure is the median of paired, interleaved off/armed passes
+    written by ``run_pipelinebench.py``.  A breach means the tap grew
+    work on the serving hot path — regenerate the snapshot after
+    trimming it.
+    """
+    path = Path(__file__).parent / "BENCH_pipeline.json"
+    if not path.exists():  # pragma: no cover - fresh checkout
+        return
+    snapshot = json.loads(path.read_text())
+    serving = snapshot.get("serving_throughput")
+    if not serving:
+        return
+    pct = float(serving["overhead_pct"])
+    if pct > _PIPELINE_OVERHEAD_LIMIT_PCT:
+        pytest.fail(
+            f"arming the pipeline costs {pct:.2f}% of batch-"
+            f"{serving.get('batch_size', 64)} throughput per "
+            f"BENCH_pipeline.json (limit "
+            f"{_PIPELINE_OVERHEAD_LIMIT_PCT:.0f}%) — re-profile "
+            "run_pipelinebench.py after trimming the hub tap"
         )
 
 

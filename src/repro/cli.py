@@ -16,6 +16,11 @@ Examples::
     repro serve --registry ./models --events events.jsonl  # + telemetry
     repro status --url http://127.0.0.1:8080        # one status snapshot
     repro status --watch                            # live terminal view
+    repro serve --registry ./models --pipeline      # arm the MLOps loop
+    repro pipeline run cpu2006 omp2001   # replay detect->retrain->promote
+    repro promotions --registry ./models            # audit trail + verify
+    repro rollback --registry ./models              # undo the last flip
+    repro registry gc --registry ./models --dry-run # plan artifact cleanup
 """
 
 from __future__ import annotations
@@ -70,7 +75,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "'catalog <suite>', 'describe <benchmark>', 'rules <suite>', "
             "'dot <suite>', 'export <suite> <path>', "
             "'trace-summary <trace.jsonl>', 'publish <suite>', 'serve', "
-            "'status', or 'monitor <model-suite> [<traffic-suite>]'"
+            "'status', 'monitor <model-suite> [<traffic-suite>]', "
+            "'pipeline run <train-suite> <traffic-suite>', 'promotions', "
+            "'rollback', or 'registry gc'"
         ),
     )
     parser.add_argument(
@@ -239,6 +246,48 @@ def _build_parser() -> argparse.ArgumentParser:
         default="latest",
         metavar="REF",
         help="serve: the champion the challenger shadows (default: latest)",
+    )
+    pipeline = parser.add_argument_group(
+        "MLOps pipeline ('pipeline run', 'rollback', 'promotions', "
+        "'registry gc', 'serve')"
+    )
+    pipeline.add_argument(
+        "--pipeline",
+        action="store_true",
+        help=(
+            "serve: arm the retrain/shadow/promote loop on the drift "
+            "monitor (requires monitoring)"
+        ),
+    )
+    pipeline.add_argument(
+        "--max-records",
+        type=int,
+        default=8192,
+        metavar="N",
+        help=(
+            "pipeline run: stop the replay after N traffic records "
+            "(default 8192)"
+        ),
+    )
+    pipeline.add_argument(
+        "--to",
+        default=None,
+        metavar="MODEL_ID",
+        help=(
+            "rollback: restore this model id instead of the promotion "
+            "trail's prior model"
+        ),
+    )
+    pipeline.add_argument(
+        "--why",
+        default=None,
+        metavar="TEXT",
+        help="rollback: reason recorded on the promotion trail",
+    )
+    pipeline.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="registry gc: report what would be removed without deleting",
     )
     return parser
 
@@ -414,6 +463,48 @@ def _run_subcommand(args) -> Optional[int]:
             )
             return 2
         return _monitor(args, [w.lower() for w in words[1:]])
+    if command == "pipeline":
+        suites = ("cpu2006", "omp2001", "cpu2000")
+        if (
+            len(words) != 4
+            or words[1].lower() != "run"
+            or words[2].lower() not in suites
+            or words[3].lower() not in suites
+        ):
+            print(
+                "usage: repro pipeline run <train-suite> <traffic-suite> "
+                "[--registry DIR] [--window N] [--max-records N]",
+                file=sys.stderr,
+            )
+            return 2
+        return _pipeline_run(args, words[2].lower(), words[3].lower())
+    if command == "promotions":
+        if len(words) != 1 or args.registry is None:
+            print(
+                "usage: repro promotions --registry DIR", file=sys.stderr
+            )
+            return 2
+        return _promotions(args)
+    if command == "rollback":
+        if len(words) != 1 or args.registry is None:
+            print(
+                "usage: repro rollback --registry DIR [--to MODEL_ID] "
+                "[--why TEXT]",
+                file=sys.stderr,
+            )
+            return 2
+        return _rollback(args)
+    if command == "registry":
+        if len(words) != 2 or words[1].lower() != "gc":
+            print(
+                "usage: repro registry gc --registry DIR [--dry-run]",
+                file=sys.stderr,
+            )
+            return 2
+        if args.registry is None:
+            print("registry gc: --registry DIR is required", file=sys.stderr)
+            return 2
+        return _registry_gc(args)
     if command == "trace-summary":
         if len(words) != 2:
             print("usage: repro trace-summary <trace.jsonl>", file=sys.stderr)
@@ -552,6 +643,126 @@ def _monitor(args, suites: List[str]) -> int:
     return 3 if final_event.verdict is DriftVerdict.TRANSFER_FAILED else 0
 
 
+def _pipeline_run(args, train_suite: str, traffic_suite: str) -> int:
+    """Replay the full detect -> retrain -> shadow -> promote loop.
+
+    Exits 0 when the loop completed a promotion (the candidate took
+    over the 'latest' alias and its verdict recovered), 3 otherwise —
+    the remediation counterpart of ``repro monitor``'s exit 3.
+    """
+    import tempfile
+
+    from repro.pipeline.replay import run_pipeline_replay
+    from repro.serve.registry import ModelRegistry
+
+    if args.window < 2:
+        print(f"pipeline: --window must be >= 2, got {args.window}",
+              file=sys.stderr)
+        return 2
+    if args.stream_batch < 1 or args.max_records < 1:
+        print("pipeline: --stream-batch and --max-records must be >= 1",
+              file=sys.stderr)
+        return 2
+    with tempfile.TemporaryDirectory() as scratch:
+        registry = ModelRegistry(
+            args.registry if args.registry is not None else scratch
+        )
+        result = run_pipeline_replay(
+            registry,
+            train_suite,
+            traffic_suite,
+            config=_config_from_args(args),
+            cache_dir=args.cache_dir,
+            window=args.window,
+            stream_batch=args.stream_batch,
+            max_records=args.max_records,
+        )
+    return 0 if result["promoted"] else 3
+
+
+def _promotions(args) -> int:
+    """Print the promotion trail and verify its hash chain."""
+    from repro.pipeline.promotions import PromotionChainError, PromotionLog
+    from repro.serve.registry import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    log = PromotionLog(registry.root / "promotions.jsonl")
+    entries = log.entries()
+    if not entries:
+        print(f"no promotions recorded in {log.path}")
+        return 0
+    for entry in entries:
+        import time as _time
+
+        stamp = _time.strftime(
+            "%Y-%m-%d %H:%M:%S",
+            _time.localtime(float(entry.get("unix_time", 0))),
+        )
+        print(
+            f"#{entry.get('seq')} {stamp} {entry.get('action')}: "
+            f"{entry.get('alias')} {entry.get('from')} -> {entry.get('to')} "
+            f"[{entry.get('actor')}] {entry.get('why')}"
+        )
+    try:
+        count = log.verify()
+    except PromotionChainError as error:
+        print(f"hash chain BROKEN: {error}", file=sys.stderr)
+        return 1
+    print(f"hash chain verified ({count} entries)")
+    return 0
+
+
+def _rollback(args) -> int:
+    """Restore the 'latest' alias to a prior model from the trail."""
+    from repro.pipeline.promotions import (
+        PromotionChainError,
+        PromotionLog,
+        perform_rollback,
+    )
+    from repro.serve.registry import ModelNotFound, ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    log = PromotionLog(registry.root / "promotions.jsonl")
+    try:
+        entry = perform_rollback(
+            registry,
+            log,
+            to=args.to,
+            why=args.why,
+            actor="cli",
+        )
+    except (PromotionChainError, ModelNotFound) as error:
+        print(f"rollback: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"rolled back 'latest': {entry.get('from')} -> {entry.get('to')} "
+        f"(recorded as promotion-trail entry #{entry.get('seq')})"
+    )
+    return 0
+
+
+def _registry_gc(args) -> int:
+    """Collect registry artifacts unreachable from aliases or the trail."""
+    from repro.pipeline.gc import collect_garbage
+    from repro.serve.registry import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    report = collect_garbage(registry, dry_run=args.dry_run)
+    verb = "would remove" if report["dry_run"] else "removed"
+    for item in report["collected"]:
+        print(f"{verb} {item['model_id']} ({item['bytes']} bytes)")
+    print(
+        f"{verb} {len(report['collected'])} of {report['models_total']} "
+        f"model(s), {report['bytes_freed']} bytes"
+        + (
+            f"; rollback target {report['rollback_target']} kept"
+            if report["rollback_target"]
+            else ""
+        )
+    )
+    return 0
+
+
 def _status(args) -> int:
     """Fetch ``/v1/status`` from a running server and render it.
 
@@ -624,6 +835,13 @@ def _serve(args) -> int:
     from repro.serve.api import ModelServer
     from repro.serve.registry import ModelRegistry
 
+    if args.pipeline and args.no_monitor:
+        print(
+            "serve: --pipeline requires drift monitoring "
+            "(drop --no-monitor)",
+            file=sys.stderr,
+        )
+        return 2
     registry = ModelRegistry(args.registry)
     try:
         server = ModelServer(
@@ -636,6 +854,7 @@ def _serve(args) -> int:
             shadow_champion=args.shadow_champion,
             audit_path=args.audit,
             events_path=args.events,
+            pipeline=args.pipeline,
         )
     except KeyError as error:  # e.g. --shadow ref not in the registry
         print(f"serve: {error}", file=sys.stderr)

@@ -95,6 +95,13 @@ class DriftHub:
         self.actions = tuple(actions)
         self._lock = threading.Lock()
         self._monitors: Dict[str, DriftMonitor] = {}
+        # Taps see every observed batch's raw rows before the monitor
+        # evaluates it — the pipeline's traffic buffer hangs here so
+        # the batch that *trips* a verdict is part of the retrain data.
+        self._taps: Tuple[
+            Callable[[str, np.ndarray, np.ndarray, Optional[np.ndarray]], None],
+            ...,
+        ] = ()
         # Hot-path cache: observe() runs once per served batch, and the
         # registry's resolve()/load() each touch the filesystem, so the
         # (monitor, compiled forest) state is pinned per model id after
@@ -117,6 +124,71 @@ class DriftHub:
                 criteria=criteria.transfer,
                 min_labelled=criteria.min_labelled,
             )
+
+    # -- dynamic wiring (pipeline hooks) ---------------------------------
+
+    def add_action(
+        self, action: Callable[[DriftEvent], None]
+    ) -> None:
+        """Attach an action to the hub and every existing monitor.
+
+        Monitors copy the hub's action list at creation time, so a
+        late-attached consumer (the pipeline orchestrator arms itself
+        after the hub exists) must be spliced into live monitors too.
+        """
+        with self._lock:
+            self.actions = self.actions + (action,)
+            for monitor in self._monitors.values():
+                monitor.actions = monitor.actions + (action,)
+
+    def add_tap(
+        self,
+        tap: Callable[
+            [str, np.ndarray, np.ndarray, Optional[np.ndarray]], None
+        ],
+    ) -> None:
+        """Attach a raw-batch tap: ``tap(model_id, X, predictions,
+        actuals)`` runs at the top of every :meth:`observe` call,
+        before the monitor evaluates the batch."""
+        with self._lock:
+            self._taps = self._taps + (tap,)
+
+    def set_shadow(self, champion_ref: str, challenger_ref: str) -> None:
+        """(Re-)configure the champion/challenger pair at runtime.
+
+        Both refs must resolve; the champion's cached observe state is
+        dropped so its next batch rebuilds the compiled forest with
+        the challenger as member 1.
+        """
+        champion_id = self.registry.resolve(champion_ref)
+        challenger_id = self.registry.resolve(challenger_ref)
+        _, challenger_tree = self.registry.load(challenger_id)
+        criteria = self.config.criteria
+        evaluator = ShadowEvaluator(
+            champion_id,
+            challenger_id,
+            window=self.config.window,
+            criteria=criteria.transfer,
+            min_labelled=criteria.min_labelled,
+        )
+        with self._lock:
+            previous_champion = self._shadow_champion
+            self._shadow = evaluator
+            self._shadow_champion = champion_id
+            self._shadow_tree = challenger_tree
+            self._observe_state.pop(champion_id, None)
+            if previous_champion is not None:
+                self._observe_state.pop(previous_champion, None)
+
+    def clear_shadow(self) -> None:
+        """Drop the shadow pair (end of a pipeline cycle)."""
+        with self._lock:
+            champion_id = self._shadow_champion
+            self._shadow = None
+            self._shadow_champion = None
+            self._shadow_tree = None
+            if champion_id is not None:
+                self._observe_state.pop(champion_id, None)
 
     # -- monitors --------------------------------------------------------
 
@@ -154,15 +226,24 @@ class DriftHub:
         state is cached under the id given here; aliases still share
         one monitor because creation goes through :meth:`monitor_for`.
         """
+        # Snapshot the shadow pair up front: a pipeline promotion (run
+        # from a monitor action *inside* this very call) may clear or
+        # replace it mid-batch, and the challenger feed below must only
+        # reach the evaluator this batch was routed for.
+        with self._lock:
+            shadow = self._shadow
+            shadow_champion = self._shadow_champion
+            shadow_tree = self._shadow_tree
+            taps = self._taps
+        for tap in taps:
+            tap(model_id, X, predictions, actuals)
         state = self._observe_state.get(model_id)
         if state is None:
             monitor = self.monitor_for(model_id)
             _, tree = self.registry.load(model_id)
             members = [(model_id, tree)]
-            if self._shadow is not None and model_id == self._shadow_champion:
-                members.append(
-                    (self._shadow.challenger_id, self._shadow_tree)
-                )
+            if shadow is not None and model_id == shadow_champion:
+                members.append((shadow.challenger_id, shadow_tree))
             state = _ObserveState(monitor, CompiledForest(members))
             with self._lock:
                 self._observe_state[model_id] = state
@@ -173,15 +254,17 @@ class DriftHub:
             checked=True,
             went_left=np.ascontiguousarray(went[:, forest.slices[0]]),
         )
-        event = monitor.observe(predictions, actuals, state.vocab[slots])
-        if len(forest) > 1:
+        if len(forest) > 1 and shadow is not None:
+            # Predict the challenger *before* the monitor fires its
+            # actions: a promote decision made inside an action sees a
+            # shadow evaluator already fed with this batch.
             challenger_pred = forest.members[1].predict(
                 X,
                 checked=True,
                 went_left=np.ascontiguousarray(went[:, forest.slices[1]]),
             )
-            assert self._shadow is not None
-            self._shadow.observe(predictions, challenger_pred, actuals)
+            shadow.observe(predictions, challenger_pred, actuals)
+        event = monitor.observe(predictions, actuals, state.vocab[slots])
         return event
 
     # -- reading ---------------------------------------------------------

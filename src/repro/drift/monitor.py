@@ -234,16 +234,65 @@ class RetrainTrigger:
     Fires on the *transition* (once per failure episode, not once per
     evaluation) — the callback is the hook a deployment wires to its
     retraining pipeline.
+
+    With ``debounce=True`` the trigger also carries an in-flight
+    latch: once fired it stays silent — counting the suppressed
+    attempts — until :meth:`release` is called, so a sustained
+    ``transfer_failed`` streak (or repeated fail/recover flapping)
+    cannot start a second retrain/shadow cycle while one is already
+    running.  The pipeline orchestrator releases the latch when its
+    cycle finishes (promoted, rejected, or aborted).
     """
 
-    def __init__(self, callback: Callable[[DriftEvent], None]) -> None:
+    def __init__(
+        self,
+        callback: Callable[[DriftEvent], None],
+        debounce: bool = False,
+    ) -> None:
         self.callback = callback
+        self.debounce = debounce
         self.fired = 0
+        self.suppressed = 0
+        self._lock = threading.Lock()
+        self._in_flight = False
 
     def __call__(self, event: DriftEvent) -> None:
         if event.changed and event.verdict is DriftVerdict.TRANSFER_FAILED:
+            self.fire(event)
+
+    def fire(self, event: DriftEvent) -> bool:
+        """Attempt to fire for ``event``, honouring the latch.
+
+        Returns True if the callback ran.  Used directly (bypassing
+        the transition check) when a caller needs to re-kick a cycle
+        for a verdict that is *still* TRANSFER_FAILED — e.g. after an
+        aborted retrain — without waiting for a fresh transition.
+        """
+        with self._lock:
+            if self.debounce and self._in_flight:
+                self.suppressed += 1
+                return False
+            if self.debounce:
+                self._in_flight = True
             self.fired += 1
-            self.callback(event)
+        self.callback(event)
+        return True
+
+    def hold(self) -> None:
+        """Engage the latch without firing (crash-resume bookkeeping)."""
+        with self._lock:
+            if self.debounce:
+                self._in_flight = True
+
+    def release(self) -> None:
+        """Release the in-flight latch; the next failure may fire again."""
+        with self._lock:
+            self._in_flight = False
+
+    @property
+    def in_flight(self) -> bool:
+        with self._lock:
+            return self._in_flight
 
 
 class DriftMonitor:

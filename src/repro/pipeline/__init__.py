@@ -1,0 +1,51 @@
+"""The MLOps loop: retrain → shadow → promote → rollback.
+
+:mod:`repro.drift` *detects* that a served model stopped transferring
+(the paper's Section VI result, live); this package *remediates* it:
+
+* :mod:`~repro.pipeline.buffer` — bounded raw-traffic ring the
+  retrain fits against.
+* :mod:`~repro.pipeline.orchestrator` — the event-driven state
+  machine (idle → retraining → shadowing → promoting →
+  promoted | rejected | rolled_back) wired into the drift hub.
+* :mod:`~repro.pipeline.promotions` — hash-chained, append-only
+  promotion audit trail plus one-command rollback.
+* :mod:`~repro.pipeline.journal` — crash-safe orchestrator state.
+* :mod:`~repro.pipeline.gc` — registry garbage collection that never
+  collects anything the trail (hence a rollback) can still reach.
+* :mod:`~repro.pipeline.replay` — offline end-to-end replay
+  (``repro pipeline run``).
+"""
+
+from repro.pipeline.buffer import TrafficBuffer
+from repro.pipeline.gc import collect_garbage
+from repro.pipeline.journal import JOURNAL_SCHEMA, PipelineJournal
+from repro.pipeline.orchestrator import (
+    PipelineConfig,
+    PipelineOrchestrator,
+    PipelineState,
+)
+from repro.pipeline.promotions import (
+    GENESIS_HASH,
+    PROMOTIONS_SCHEMA,
+    PromotionChainError,
+    PromotionLog,
+    perform_rollback,
+)
+from repro.pipeline.replay import run_pipeline_replay
+
+__all__ = [
+    "TrafficBuffer",
+    "collect_garbage",
+    "JOURNAL_SCHEMA",
+    "PipelineJournal",
+    "PipelineConfig",
+    "PipelineOrchestrator",
+    "PipelineState",
+    "GENESIS_HASH",
+    "PROMOTIONS_SCHEMA",
+    "PromotionChainError",
+    "PromotionLog",
+    "perform_rollback",
+    "run_pipeline_replay",
+]

@@ -1,0 +1,70 @@
+"""Registry garbage collection over the promotion trail.
+
+A long-running pipeline accumulates candidates: every retrain
+publishes a model, and rejected candidates lose their alias but keep
+their artifacts.  ``repro registry gc`` removes artifacts that are
+unreachable from
+
+* any current alias, or
+* any model id the promotion trail mentions (either side of any
+  promote/rollback entry) — which makes the default rollback target
+  structurally uncollectable, since it is by definition the ``from``
+  side of the trail's newest entry.
+
+A ``--dry-run`` reports the plan without deleting anything.
+"""
+
+from __future__ import annotations
+
+import shutil
+from typing import Any, Dict, List, Optional, Set
+
+from repro.pipeline.promotions import PromotionLog
+
+__all__ = ["collect_garbage"]
+
+
+def _tree_bytes(path) -> int:
+    return sum(f.stat().st_size for f in path.rglob("*") if f.is_file())
+
+
+def collect_garbage(
+    registry,
+    promotions: Optional[PromotionLog] = None,
+    dry_run: bool = False,
+) -> Dict[str, Any]:
+    """Remove (or plan removal of) unreachable model artifacts.
+
+    Returns a JSON-ready report: reachable/unreachable ids, bytes
+    freed (or freeable), and whether anything was actually deleted.
+    """
+    if promotions is None:
+        promotions = PromotionLog(registry.root / "promotions.jsonl")
+    reachable: Set[str] = set(registry.aliases().values())
+    trail_ids = promotions.model_ids()
+    reachable.update(trail_ids)
+    # Belt and braces: even if the trail is rewritten, the *current*
+    # rollback target must survive a gc run.
+    rollback_target = promotions.rollback_target()
+    if rollback_target is not None:
+        reachable.add(rollback_target)
+    all_ids = [record.model_id for record in registry.list_records()]
+    unreachable = [mid for mid in all_ids if mid not in reachable]
+    removed: List[Dict[str, Any]] = []
+    bytes_total = 0
+    for model_id in unreachable:
+        model_dir = registry.root / "models" / model_id
+        size = _tree_bytes(model_dir)
+        bytes_total += size
+        removed.append({"model_id": model_id, "bytes": size})
+        if not dry_run:
+            shutil.rmtree(model_dir)
+            registry.evict(model_id)
+    return {
+        "dry_run": dry_run,
+        "models_total": len(all_ids),
+        "reachable": sorted(mid for mid in all_ids if mid in reachable),
+        "rollback_target": rollback_target,
+        "collected": removed,
+        "bytes_freed": bytes_total,
+    }

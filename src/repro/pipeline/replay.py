@@ -1,0 +1,172 @@
+"""Offline end-to-end replay of the full MLOps loop.
+
+``repro pipeline run <train_suite> <traffic_suite>`` is this module:
+it publishes a model trained on one suite, then replays another
+suite's data as its live traffic — the PR-4 drift scenario where the
+cross-suite battery trips ``transfer_failed`` around record 192 — and
+lets the armed :class:`~repro.pipeline.orchestrator
+.PipelineOrchestrator` carry the remediation with zero manual steps:
+retrain on the buffered traffic, shadow the candidate, promote it,
+and watch the new champion's verdict recover.
+
+The traffic array is *cycled*: real traffic does not run out, and at
+small ``--scale`` the suite split alone is shorter than one
+detect→promote cycle.  Every batch re-resolves the serving alias
+before predicting, exactly as the serving engine does per request —
+so the replay exercises the same hot-swap semantics: the batch in
+flight when the alias flips still ran against the old champion, the
+next batch serves the new one.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+from repro.drift.hub import DriftHub
+from repro.drift.monitor import DriftMonitorConfig, DriftVerdict, LogSink
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.pipeline.orchestrator import (
+    PipelineConfig,
+    PipelineOrchestrator,
+    PipelineState,
+)
+
+__all__ = ["run_pipeline_replay"]
+
+
+def run_pipeline_replay(
+    registry,
+    train_suite: str,
+    traffic_suite: str,
+    config: Optional[ExperimentConfig] = None,
+    cache_dir: Optional[str] = None,
+    window: int = 256,
+    stream_batch: int = 64,
+    max_records: int = 8192,
+    out: Optional[TextIO] = None,
+) -> Dict[str, Any]:
+    """Drive detect → retrain → shadow → promote on replayed traffic.
+
+    Returns a JSON-ready summary; ``summary["promoted"]`` is the
+    success criterion the CLI maps to its exit code.
+    """
+    out = out if out is not None else sys.stdout
+    config = config or ExperimentConfig()
+    ctx = ExperimentContext(config, cache_dir=cache_dir)
+
+    tree = ctx.tree(train_suite)
+    train = ctx.train_set(train_suite)
+    champion = registry.publish(
+        tree,
+        metadata={
+            "suite": train_suite,
+            "origin": "pipeline-replay",
+            "n_train": len(train),
+            "train_y": {
+                "n": len(train),
+                "mean": float(train.y.mean()),
+                "var": float(train.y.var(ddof=1)),
+            },
+        },
+        aliases=("latest",),
+    )
+    hub = DriftHub(
+        registry,
+        DriftMonitorConfig(window=window),
+        actions=(LogSink(stream=out),),
+    )
+    orchestrator = PipelineOrchestrator(
+        registry,
+        hub,
+        # Scale the retrain gate with the replay's window the same way
+        # the default (384 = 1.5 x 256) scales with the default window.
+        config=PipelineConfig(
+            tree=config.tree,
+            min_retrain_rows=max(128, (3 * window) // 2),
+        ),
+    )
+    # Cross-suite traffic uses the other suite's training-sized pool,
+    # same split discipline as E7/E8 and 'repro monitor'.
+    traffic = (
+        ctx.test_set(traffic_suite)
+        if traffic_suite == train_suite
+        else ctx.train_set(traffic_suite)
+    )
+    print(
+        f"champion {champion.model_id} ({ctx.suite_label(train_suite)}); "
+        f"cycling {len(traffic)} {ctx.suite_label(traffic_suite)} intervals "
+        f"as traffic (window={window}, batch={stream_batch}, "
+        f"budget={max_records} records)",
+        file=out,
+    )
+
+    last_state = orchestrator.state
+    records = 0
+    n = len(traffic)
+    pos = 0
+    while records < max_records:
+        end = min(pos + stream_batch, n)
+        Xb, yb = traffic.X[pos:end], traffic.y[pos:end]
+        pos = end % n
+        # Resolve-then-predict per batch, the engine's own discipline:
+        # this is where a promotion becomes visible to traffic.
+        model_id = registry.resolve("latest")
+        _, serving_tree = registry.load(model_id)
+        hub.observe(model_id, Xb, serving_tree.predict(Xb), yb)
+        records += len(yb)
+        state = orchestrator.state
+        if state is not last_state:
+            print(
+                f"  record {records:>7d}: pipeline "
+                f"{last_state.value} -> {state.value}",
+                file=out,
+            )
+            last_state = state
+        if state is PipelineState.PROMOTED:
+            # Keep streaming until the promoted champion's own monitor
+            # confirms recovery (or the budget runs out).
+            new_id = registry.resolve("latest")
+            if hub.monitor_for(new_id).verdict is DriftVerdict.OK:
+                break
+
+    final_id = registry.resolve("latest")
+    chain = orchestrator.promotions.entries()
+    orchestrator.promotions.verify()
+    promoted = (
+        orchestrator.state is PipelineState.PROMOTED
+        and final_id != champion.model_id
+    )
+    print(
+        f"replayed {records} records; pipeline state "
+        f"{orchestrator.state.value}; 'latest' -> {final_id} "
+        f"(champion was {champion.model_id})",
+        file=out,
+    )
+    print(
+        f"promotion trail: {len(chain)} entr"
+        f"{'y' if len(chain) == 1 else 'ies'}, hash chain verified",
+        file=out,
+    )
+    for entry in chain:
+        print(
+            f"  #{entry['seq']} {entry['action']}: {entry['from']} -> "
+            f"{entry['to']} ({entry['why']})",
+            file=out,
+        )
+    if promoted:
+        print(
+            f"final verdict on promoted model: "
+            f"{hub.monitor_for(final_id).verdict.value}",
+            file=out,
+        )
+    return {
+        "promoted": promoted,
+        "state": orchestrator.state.value,
+        "records": records,
+        "initial_champion": champion.model_id,
+        "final_champion": final_id,
+        "promotions": chain,
+        "report": orchestrator.report(),
+    }

@@ -10,6 +10,7 @@ Routes (see ``docs/SERVING.md`` for the full reference)::
     GET  /healthz                          liveness + model count + build
     GET  /metrics                          Prometheus text exposition
     GET  /v1/status                        one-document serving status
+    GET  /v1/pipeline                      MLOps loop state + promotion trail
     GET  /dashboard                        self-refreshing HTML status page
     GET  /v1/models                        list published records
     GET  /v1/models/{ref}                  one record (id or alias)
@@ -96,7 +97,13 @@ def _endpoint_label(path: str) -> str:
     paths share a single ``other`` label.
     """
     path = path.split("?", 1)[0].rstrip("/") or "/"
-    if path in ("/healthz", "/metrics", "/dashboard", "/v1/status"):
+    if path in (
+        "/healthz",
+        "/metrics",
+        "/dashboard",
+        "/v1/status",
+        "/v1/pipeline",
+    ):
         return path
     parts = [p for p in path.split("/") if p]
     if parts[:2] == ["v1", "models"]:
@@ -403,6 +410,13 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/v1/status" and method == "GET":
             self._send_json(200, self._status_document())
             return 200
+        if path == "/v1/pipeline" and method == "GET":
+            pipeline = self.server.pipeline
+            if pipeline is None:
+                self._send_json(200, {"armed": False})
+                return 200
+            self._send_json(200, pipeline.report())
+            return 200
         if path == "/dashboard" and method == "GET":
             self._send_text(
                 200,
@@ -425,6 +439,7 @@ class _Handler(BaseHTTPRequestHandler):
             events=self.server.telemetry,
             recent_latency_s=recent,
             started_unix=self.server.started_unix,
+            pipeline=self.server.pipeline,
         )
 
     def _route_models(self, method: str, rest: list) -> int:
@@ -547,6 +562,7 @@ class ModelServer:
         drift: Optional[Any] = None,
         events_path: Optional[str] = None,
         slo: Optional[SloConfig] = None,
+        pipeline: Any = False,
     ) -> None:
         """Drift monitoring is on by default (``monitor=False`` turns it
         off); ``shadow`` names a challenger model evaluated against the
@@ -559,6 +575,13 @@ class ModelServer:
         (omit it and requests carry only the trace-ID header).  ``slo``
         overrides the default :class:`~repro.obs.slo.SloConfig`
         targets; SLO tracking itself is always on.
+
+        ``pipeline=True`` arms the MLOps loop: a
+        :class:`~repro.pipeline.orchestrator.PipelineOrchestrator` is
+        attached to the drift hub (monitoring must be on) so a
+        ``transfer_failed`` verdict automatically retrains, shadows
+        and promotes.  Pass a pre-built orchestrator instead to
+        control its configuration.
         """
         self.registry = registry
         if drift is None and monitor:
@@ -585,6 +608,18 @@ class ModelServer:
         self.slo = SloTracker(slo or SloConfig())
         self.recent_latency: "deque" = deque(maxlen=_RECENT_LATENCY_WINDOW)
         self.started_unix = time.time()
+        if pipeline is True:
+            if drift is None:
+                raise ValueError(
+                    "pipeline=True requires drift monitoring "
+                    "(construct with monitor=True or pass a hub)"
+                )
+            from repro.pipeline.orchestrator import PipelineOrchestrator
+
+            pipeline = PipelineOrchestrator(
+                registry, drift, events=self.telemetry
+            )
+        self.pipeline = pipeline if pipeline is not False else None
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         # Handlers reach everything through self.server.<attr>.
@@ -597,6 +632,7 @@ class ModelServer:
         self._httpd.slo = self.slo  # type: ignore[attr-defined]
         self._httpd.recent_latency = self.recent_latency  # type: ignore[attr-defined]
         self._httpd.started_unix = self.started_unix  # type: ignore[attr-defined]
+        self._httpd.pipeline = self.pipeline  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property

@@ -16,11 +16,21 @@ Layout under the registry root::
     models/<model_id>/artifact.json   # canonical tree payload (hashed)
     models/<model_id>/meta.json       # ModelRecord incl. artifact_sha256
     aliases/<name>                    # text file holding a model id
+    alias_history/<name>.jsonl        # one record per move_alias/drop_alias
 
 All writes go through a temp file and ``os.replace`` (atomic on POSIX),
 and ``meta.json`` is written *after* the artifact, so a record is
 visible only once its artifact is complete.  Mutable names ("latest")
 live in ``aliases/`` and are re-pointed atomically the same way.
+
+Alias *moves* — the operation the promotion pipeline builds on — go
+through :meth:`ModelRegistry.move_alias`, which serializes racing
+movers on one per-registry lock so the (read prior, re-point, record
+history) triple is atomic: two concurrent flips land in some order,
+exactly one wins the final pointer, each history entry's ``from``
+equals the previous entry's ``to``, and a reader can never observe a
+dangling or empty alias because the pointer itself is still one
+``os.replace``.
 
 Deserialized trees are kept in a bounded in-process LRU so a serving
 process pays JSON parsing once per model, not once per request.
@@ -49,6 +59,7 @@ __all__ = [
     "CorruptArtifact",
     "ModelRecord",
     "ModelRegistry",
+    "ALIAS_HISTORY_SCHEMA",
 ]
 
 #: Process-wide registry traffic (summed over every ModelRegistry).
@@ -61,6 +72,8 @@ _CACHE_MISSES = counter("serve.registry.cache_misses")
 _ID_LENGTH = 16
 
 RECORD_SCHEMA = "repro-model-record-v1"
+
+ALIAS_HISTORY_SCHEMA = "repro-alias-move-v1"
 
 
 class RegistryError(Exception):
@@ -162,6 +175,11 @@ class ModelRegistry:
         self.root = Path(root)
         self.max_cached_trees = max_cached_trees
         self._lock = threading.Lock()
+        # Serializes move_alias/drop_alias so (read prior, re-point,
+        # record history) is atomic within this process; the pointer
+        # write itself stays a single os.replace for cross-process
+        # readers.
+        self._alias_lock = threading.Lock()
         self._trees: "OrderedDict[str, ModelTree]" = OrderedDict()
 
     # -- paths -----------------------------------------------------------
@@ -173,6 +191,10 @@ class ModelRegistry:
         if not name or any(ch in name for ch in "/\\\0") or name.startswith("."):
             raise RegistryError(f"invalid alias name {name!r}")
         return self.root / "aliases" / name
+
+    def _alias_history_path(self, name: str) -> Path:
+        self._alias_path(name)  # reuse the name validation
+        return self.root / "alias_history" / f"{name}.jsonl"
 
     # -- publishing ------------------------------------------------------
 
@@ -234,6 +256,102 @@ class ModelRegistry:
             for path in sorted(alias_dir.iterdir())
             if path.is_file()
         }
+
+    def move_alias(
+        self,
+        name: str,
+        model_id: str,
+        reason: Optional[str] = None,
+        actor: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Atomically re-point ``name``, recording the prior target.
+
+        Returns the appended history entry.  Racing movers serialize on
+        the registry's alias lock: exactly one ends up as the final
+        pointer, every entry's ``from`` is the target it actually
+        displaced, and the alias file is never absent or empty
+        mid-flip.
+        """
+        with self._alias_lock:
+            alias_path = self._alias_path(name)
+            prior: Optional[str] = None
+            if alias_path.is_file():
+                prior = alias_path.read_text().strip() or None
+            self.set_alias(name, model_id)  # validates target, atomic
+            entry = {
+                "schema": ALIAS_HISTORY_SCHEMA,
+                "alias": name,
+                "from": prior,
+                "to": model_id,
+                "reason": reason,
+                "actor": actor,
+                "unix_time": time.time(),
+            }
+            self._append_alias_history(name, entry)
+        return entry
+
+    def drop_alias(
+        self,
+        name: str,
+        reason: Optional[str] = None,
+        actor: Optional[str] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Remove an alias, recording what it pointed at.
+
+        Returns the history entry, or None if the alias did not exist.
+        """
+        with self._alias_lock:
+            alias_path = self._alias_path(name)
+            if not alias_path.is_file():
+                return None
+            prior = alias_path.read_text().strip() or None
+            alias_path.unlink()
+            entry = {
+                "schema": ALIAS_HISTORY_SCHEMA,
+                "alias": name,
+                "from": prior,
+                "to": None,
+                "reason": reason,
+                "actor": actor,
+                "unix_time": time.time(),
+            }
+            self._append_alias_history(name, entry)
+        return entry
+
+    def alias_history(self, name: str) -> List[Dict[str, Any]]:
+        """Recorded moves for one alias, oldest first.
+
+        Only :meth:`move_alias` / :meth:`drop_alias` record history;
+        plain :meth:`set_alias` (e.g. from publish) does not.
+        """
+        history_path = self._alias_history_path(name)
+        if not history_path.is_file():
+            return []
+        entries: List[Dict[str, Any]] = []
+        for line in history_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # tolerate a torn tail from a crashed writer
+            if isinstance(payload, dict):
+                entries.append(payload)
+        return entries
+
+    def _append_alias_history(self, name: str, entry: Mapping[str, Any]) -> None:
+        # Caller holds self._alias_lock.
+        history_path = self._alias_history_path(name)
+        history_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(history_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+
+    def evict(self, model_id: str) -> None:
+        """Drop a model's tree from the in-process LRU (used by gc)."""
+        with self._lock:
+            self._trees.pop(model_id, None)
 
     def resolve(self, ref: str) -> str:
         """Map a model id or alias to a model id (id wins on collision)."""

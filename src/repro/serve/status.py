@@ -88,12 +88,14 @@ def build_status_document(
     events=None,
     recent_latency_s: Optional[Sequence[float]] = None,
     started_unix: Optional[float] = None,
+    pipeline=None,
 ) -> Dict[str, Any]:
     """Assemble the ``/v1/status`` document from the serving pieces.
 
     Every argument beyond the registry/engine pair is optional so the
     document degrades gracefully: no drift hub reports
-    ``monitoring: false``, no event log reports ``enabled: false``.
+    ``monitoring: false``, no event log reports ``enabled: false``,
+    no pipeline orchestrator reports ``armed: false``.
     """
     now = time.time()
     records = get_registry().as_records()
@@ -138,6 +140,9 @@ def build_status_document(
             {"enabled": True, **events.stats()}
             if events is not None
             else {"enabled": False}
+        ),
+        "pipeline": (
+            pipeline.report() if pipeline is not None else {"armed": False}
         ),
     }
     return document
@@ -270,6 +275,31 @@ def render_status_text(status: Dict[str, Any]) -> str:
     else:
         lines.append("")
         lines.append("drift: monitoring off")
+    pipeline = status.get("pipeline") or {}
+    if pipeline.get("armed"):
+        buffer = pipeline.get("buffer") or {}
+        trigger = pipeline.get("trigger") or {}
+        promotions = pipeline.get("promotions") or {}
+        lines.append("")
+        lines.append(
+            f"pipeline  state={pipeline.get('state', '?')}  "
+            f"champion={pipeline.get('champion') or '?'}  "
+            f"buffer {buffer.get('n', 0)}/{buffer.get('capacity', 0)}  "
+            f"trigger fired={trigger.get('fired', 0)} "
+            f"suppressed={trigger.get('suppressed', 0)}"
+        )
+        lines.append(
+            f"  promotions: {promotions.get('entries', 0)} "
+            f"(chain {'ok' if promotions.get('chain_valid') else 'BROKEN'})"
+        )
+        for entry in (promotions.get("tail") or [])[-3:]:
+            lines.append(
+                f"    #{entry.get('seq')} {entry.get('action')}: "
+                f"{entry.get('from')} -> {entry.get('to')} "
+                f"({entry.get('why')})"
+            )
+    else:
+        lines.append("pipeline: off")
     telemetry = status.get("telemetry") or {}
     if telemetry.get("enabled"):
         lines.append(
@@ -305,6 +335,16 @@ _VERDICT_CLASSES = {
     "warn": "warn",
     "transfer_failed": "bad",
     "insufficient_data": "muted",
+}
+
+_PIPELINE_CLASSES = {
+    "idle": "muted",
+    "retraining": "warn",
+    "shadowing": "warn",
+    "promoting": "warn",
+    "promoted": "ok",
+    "rejected": "muted",
+    "rolled_back": "bad",
 }
 
 
@@ -523,6 +563,46 @@ def render_dashboard_html(
             )
     else:
         parts.append('<p class="muted">monitoring off</p>')
+
+    pipeline = status.get("pipeline") or {}
+    parts.append("<h2>pipeline</h2>")
+    if pipeline.get("armed"):
+        state = str(pipeline.get("state", "?"))
+        css = _PIPELINE_CLASSES.get(state, "")
+        buffer = pipeline.get("buffer") or {}
+        trigger = pipeline.get("trigger") or {}
+        promotions = pipeline.get("promotions") or {}
+        chain_ok = bool(promotions.get("chain_valid"))
+        parts.append(
+            f'<p>state <span class="{css}">{esc(state)}</span>'
+            f" &middot; champion {esc(str(pipeline.get('champion') or '?'))}"
+            f" &middot; buffer {buffer.get('n', 0)}/"
+            f"{buffer.get('capacity', 0)} rows"
+            f" &middot; trigger fired={trigger.get('fired', 0)}"
+            f" suppressed={trigger.get('suppressed', 0)}"
+            f" &middot; chain <span class=\"{'ok' if chain_ok else 'bad'}\">"
+            f"{'verified' if chain_ok else 'BROKEN'}</span></p>"
+        )
+        tail = promotions.get("tail") or []
+        if tail:
+            parts.append("<table>")
+            parts.append(
+                "<tr><th>#</th><th>action</th><th>from</th><th>to</th>"
+                "<th>why</th></tr>"
+            )
+            for entry in tail[-5:]:
+                parts.append(
+                    "<tr>"
+                    f"<td>{entry.get('seq')}</td>"
+                    f"<td>{esc(str(entry.get('action')))}</td>"
+                    f"<td>{esc(str(entry.get('from')))}</td>"
+                    f"<td>{esc(str(entry.get('to')))}</td>"
+                    f"<td>{esc(str(entry.get('why')))}</td>"
+                    "</tr>"
+                )
+            parts.append("</table>")
+    else:
+        parts.append('<p class="muted">pipeline off</p>')
 
     telemetry = status.get("telemetry") or {}
     if telemetry.get("enabled"):

@@ -165,6 +165,80 @@ class TestActions:
         assert trigger.fired == 2
 
 
+def make_event(verdict=DriftVerdict.TRANSFER_FAILED, changed=True, seq=1):
+    from repro.drift.monitor import DriftEvent
+
+    return DriftEvent(
+        model_id="m",
+        seq=seq,
+        records_seen=64 * seq,
+        window_n=64,
+        n_labelled=64,
+        verdict=verdict,
+        previous_verdict=DriftVerdict.WARN,
+        changed=changed,
+        readings=(),
+        unix_time=0.0,
+    )
+
+
+class TestRetrainTriggerDebounce:
+    def test_latch_suppresses_repeat_fires_until_release(self):
+        fired = []
+        trigger = RetrainTrigger(fired.append, debounce=True)
+        assert trigger.fire(make_event(seq=1)) is True
+        assert trigger.in_flight
+        # A second failure episode while the cycle runs: suppressed.
+        assert trigger.fire(make_event(seq=2)) is False
+        assert trigger.fire(make_event(seq=3)) is False
+        assert trigger.fired == 1
+        assert trigger.suppressed == 2
+        assert len(fired) == 1
+        # The cycle finished; the next episode may fire again.
+        trigger.release()
+        assert not trigger.in_flight
+        assert trigger.fire(make_event(seq=4)) is True
+        assert trigger.fired == 2
+        assert trigger.suppressed == 2
+
+    def test_transition_calls_honour_the_latch(self):
+        fired = []
+        trigger = RetrainTrigger(fired.append, debounce=True)
+        trigger(make_event(seq=1))  # transition into TRANSFER_FAILED
+        trigger(make_event(seq=2))  # e.g. after a fail/recover flap
+        assert trigger.fired == 1
+        assert trigger.suppressed == 1
+
+    def test_hold_engages_latch_without_firing(self):
+        fired = []
+        trigger = RetrainTrigger(fired.append, debounce=True)
+        trigger.hold()  # crash-resume: a cycle is already in flight
+        assert trigger.in_flight
+        assert trigger.fire(make_event()) is False
+        assert trigger.fired == 0
+        assert not fired
+
+    def test_non_transfer_failed_events_never_fire(self):
+        fired = []
+        trigger = RetrainTrigger(fired.append, debounce=True)
+        trigger(make_event(verdict=DriftVerdict.WARN))
+        trigger(make_event(changed=False))  # still failed, no transition
+        assert trigger.fired == 0
+        assert trigger.suppressed == 0
+
+    def test_without_debounce_every_episode_fires(self):
+        """Back-compat: the default trigger keeps its old semantics."""
+        fired = []
+        trigger = RetrainTrigger(fired.append)
+        assert trigger.fire(make_event(seq=1)) is True
+        assert trigger.fire(make_event(seq=2)) is True
+        assert trigger.fired == 2
+        assert trigger.suppressed == 0
+        assert not trigger.in_flight
+        trigger.hold()  # a no-op without debounce
+        assert not trigger.in_flight
+
+
 class TestObsInstruments:
     def test_gauges_reach_the_registry(self):
         monitor = make_monitor(model_id="gaugetest")

@@ -1,0 +1,83 @@
+"""Pipeline fixtures: a registry plus a deterministic drift scenario.
+
+The scenario: a champion fitted on one piecewise-linear target serves
+traffic drawn from a *different* (quadratic) target.  Its rolling
+battery breaches immediately, the verdict trips ``transfer_failed``
+after ``fail_after`` evaluations, and a candidate retrained on the
+buffered quadratic traffic qualifies easily — unless the traffic's
+noise is cranked up, in which case nothing qualifies and the shadow
+keeps the champion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+from repro.serve.registry import ModelRegistry
+
+
+def champion_target(X: np.ndarray) -> np.ndarray:
+    return np.where(X[:, 1] <= 0.4, 2.0 * X[:, 0], 5.0 - X[:, 2])
+
+
+def drifted_target(X: np.ndarray) -> np.ndarray:
+    return 3.0 * X[:, 2] ** 2 + 0.5
+
+
+def fit_tree(X: np.ndarray, y: np.ndarray) -> ModelTree:
+    return ModelTree(ModelTreeConfig(min_leaf=15)).fit(X, y, ("p", "q", "r"))
+
+
+def publish_champion(registry: ModelRegistry, seed: int = 7, n: int = 800):
+    """Fit the champion on its own target and publish it as ``latest``."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 3))
+    y = champion_target(X) + 0.01 * rng.standard_normal(n)
+    return registry.publish(
+        fit_tree(X, y),
+        metadata={
+            "suite": "synth",
+            "train_y": {
+                "n": n,
+                "mean": float(y.mean()),
+                "var": float(y.var(ddof=1)),
+            },
+        },
+        aliases=("latest",),
+    )
+
+
+def drifted_batch(rng, n: int = 64, noise: float = 0.05):
+    """One batch of labelled traffic from the drifted target."""
+    X = rng.random((n, 3))
+    y = drifted_target(X) + noise * rng.standard_normal(n)
+    return X, y
+
+
+def stream_drifted(registry, hub, orchestrator, rng, until, *,
+                   max_batches: int = 60, noise: float = 0.05):
+    """Feed drifted batches through the serving discipline.
+
+    Each batch re-resolves ``latest`` before predicting, exactly as
+    the engine does.  Stops once ``orchestrator.state`` reaches one of
+    ``until``; returns the number of batches fed.
+    """
+    states = until if isinstance(until, (set, frozenset)) else {until}
+    for i in range(max_batches):
+        X, y = drifted_batch(rng, noise=noise)
+        model_id = registry.resolve("latest")
+        _, tree = registry.load(model_id)
+        hub.observe(model_id, X, tree.predict(X), y)
+        if orchestrator.state in states:
+            return i + 1
+    raise AssertionError(
+        f"pipeline never reached {sorted(s.value for s in states)} in "
+        f"{max_batches} batches; ended {orchestrator.state.value}"
+    )
+
+
+@pytest.fixture
+def registry(tmp_path) -> ModelRegistry:
+    return ModelRegistry(tmp_path / "registry")

@@ -1,0 +1,129 @@
+"""TrafficBuffer: ring semantics, labelling, validation."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.buffer import TrafficBuffer
+
+
+def rows(start, n):
+    """n consecutive 2-feature rows whose first column identifies them."""
+    X = np.column_stack(
+        [np.arange(start, start + n, dtype=float), np.zeros(n)]
+    )
+    y = np.arange(start, start + n, dtype=float) * 10.0
+    return X, y
+
+
+class TestBasics:
+    def test_round_trip_preserves_order(self):
+        buffer = TrafficBuffer(capacity=32)
+        X, y = rows(0, 10)
+        assert buffer.extend(X, y) == 10
+        got_X, got_y = buffer.labelled()
+        np.testing.assert_array_equal(got_X, X)
+        np.testing.assert_array_equal(got_y, y)
+        assert buffer.n == 10
+        assert buffer.total_seen == 10
+
+    def test_empty_buffer_returns_empty_arrays(self):
+        X, y = TrafficBuffer(capacity=4).labelled()
+        assert X.shape == (0, 0)
+        assert y.shape == (0,)
+
+    def test_no_actuals_keeps_nothing(self):
+        buffer = TrafficBuffer(capacity=4)
+        assert buffer.extend(np.ones((3, 2))) == 0
+        assert buffer.n == 0
+
+    def test_labelled_returns_copies(self):
+        buffer = TrafficBuffer(capacity=8)
+        buffer.extend(*rows(0, 4))
+        got_X, got_y = buffer.labelled()
+        got_X[:] = -1.0
+        got_y[:] = -1.0
+        again_X, again_y = buffer.labelled()
+        assert again_y[0] == 0.0
+        assert again_X[0, 0] == 0.0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficBuffer(capacity=0)
+
+
+class TestRingWrap:
+    def test_wrap_keeps_newest_in_oldest_first_order(self):
+        buffer = TrafficBuffer(capacity=8)
+        for start in (0, 4, 8):  # 12 rows through an 8-slot ring
+            buffer.extend(*rows(start, 4))
+        got_X, got_y = buffer.labelled()
+        np.testing.assert_array_equal(got_y, np.arange(4, 12) * 10.0)
+        np.testing.assert_array_equal(got_X[:, 0], np.arange(4, 12))
+        assert buffer.n == 8
+        assert buffer.total_seen == 12
+
+    def test_batch_larger_than_capacity_keeps_newest(self):
+        buffer = TrafficBuffer(capacity=4)
+        buffer.extend(*rows(0, 10))
+        _, got_y = buffer.labelled()
+        np.testing.assert_array_equal(got_y, np.arange(6, 10) * 10.0)
+        assert buffer.total_seen == 10
+
+    def test_wrap_split_across_the_seam(self):
+        buffer = TrafficBuffer(capacity=5)
+        buffer.extend(*rows(0, 3))
+        buffer.extend(*rows(3, 4))  # 2 rows fit, 2 wrap to the front
+        _, got_y = buffer.labelled()
+        np.testing.assert_array_equal(got_y, np.arange(2, 7) * 10.0)
+
+
+class TestLabelFiltering:
+    def test_nan_actuals_dropped(self):
+        buffer = TrafficBuffer(capacity=8)
+        X, y = rows(0, 5)
+        y = y.copy()
+        y[1] = np.nan
+        y[3] = np.inf
+        assert buffer.extend(X, y) == 3
+        got_X, got_y = buffer.labelled()
+        np.testing.assert_array_equal(got_X[:, 0], [0.0, 2.0, 4.0])
+        assert buffer.total_seen == 3
+
+    def test_fully_unlabelled_batch_is_a_no_op(self):
+        buffer = TrafficBuffer(capacity=8)
+        X, _ = rows(0, 4)
+        assert buffer.extend(X, np.full(4, np.nan)) == 0
+        assert buffer.n == 0
+
+
+class TestValidation:
+    def test_row_count_mismatch_rejected(self):
+        buffer = TrafficBuffer(capacity=8)
+        with pytest.raises(ValueError, match="one row per actual"):
+            buffer.extend(np.ones((3, 2)), np.ones(4))
+
+    def test_width_change_rejected(self):
+        buffer = TrafficBuffer(capacity=8)
+        buffer.extend(*rows(0, 2))
+        with pytest.raises(ValueError, match="row width changed"):
+            buffer.extend(np.ones((2, 5)), np.ones(2))
+
+    def test_non_2d_rejected(self):
+        buffer = TrafficBuffer(capacity=8)
+        with pytest.raises(ValueError):
+            buffer.extend(np.ones(3), np.ones(3))
+
+
+class TestClear:
+    def test_clear_drops_rows_but_keeps_total_seen(self):
+        buffer = TrafficBuffer(capacity=8)
+        buffer.extend(*rows(0, 5))
+        buffer.clear()
+        assert buffer.n == 0
+        assert buffer.total_seen == 5
+        _, got_y = buffer.labelled()
+        assert got_y.size == 0
+        # Refilling after a clear starts ordered from scratch.
+        buffer.extend(*rows(100, 3))
+        _, got_y = buffer.labelled()
+        np.testing.assert_array_equal(got_y, np.arange(100, 103) * 10.0)

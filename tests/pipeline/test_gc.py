@@ -1,0 +1,104 @@
+"""Registry garbage collection over aliases and the promotion trail."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.gc import collect_garbage
+from repro.pipeline.promotions import PromotionLog
+from repro.serve.registry import ModelNotFound
+
+from tests.pipeline.conftest import fit_tree
+
+
+def publish_synth(registry, seed, aliases=()):
+    rng = np.random.default_rng(seed)
+    X = rng.random((300, 3))
+    y = 2.0 * X[:, 0] + seed * X[:, 1] + 0.01 * rng.standard_normal(300)
+    return registry.publish(fit_tree(X, y), aliases=aliases)
+
+
+@pytest.fixture
+def populated(registry):
+    """Aliased model B, trail-only rollback target A, orphan C."""
+    a = publish_synth(registry, seed=1)
+    b = publish_synth(registry, seed=2, aliases=("latest",))
+    c = publish_synth(registry, seed=3)  # reachable from nothing
+    log = PromotionLog(registry.root / "promotions.jsonl")
+    log.append(
+        action="promote",
+        alias="latest",
+        from_id=a.model_id,
+        to_id=b.model_id,
+        why="test promotion",
+    )
+    return registry, log, a, b, c
+
+
+class TestDryRun:
+    def test_plans_without_deleting(self, populated):
+        registry, log, a, b, c = populated
+        report = collect_garbage(registry, dry_run=True)
+        assert report["dry_run"] is True
+        assert [x["model_id"] for x in report["collected"]] == [c.model_id]
+        assert report["bytes_freed"] > 0
+        # Nothing actually removed.
+        assert len(registry) == 3
+        registry.load(c.model_id)
+
+
+class TestCollection:
+    def test_removes_only_unreachable_models(self, populated):
+        registry, log, a, b, c = populated
+        report = collect_garbage(registry)
+        assert report["dry_run"] is False
+        assert [x["model_id"] for x in report["collected"]] == [c.model_id]
+        assert len(registry) == 2
+        with pytest.raises(ModelNotFound):
+            registry.record(c.model_id)
+        # The collected model is gone from the LRU too, not just disk.
+        assert c.model_id not in registry._trees
+
+    def test_rollback_target_is_never_collected(self, populated):
+        registry, log, a, b, c = populated
+        report = collect_garbage(registry)
+        # A has no alias, but it is the trail's rollback target.
+        assert report["rollback_target"] == a.model_id
+        assert a.model_id in report["reachable"]
+        registry.load(a.model_id)
+
+    def test_aliased_model_is_never_collected(self, populated):
+        registry, log, a, b, c = populated
+        collect_garbage(registry)
+        registry.load("latest")
+
+    def test_without_trail_only_aliases_pin(self, registry):
+        kept = publish_synth(registry, seed=4, aliases=("latest",))
+        orphan = publish_synth(registry, seed=5)
+        report = collect_garbage(registry)
+        assert report["rollback_target"] is None
+        assert [x["model_id"] for x in report["collected"]] == [
+            orphan.model_id
+        ]
+        registry.load(kept.model_id)
+
+    def test_fully_reachable_registry_collects_nothing(self, populated):
+        registry, log, a, b, c = populated
+        collect_garbage(registry)
+        second = collect_garbage(registry)
+        assert second["collected"] == []
+        assert second["bytes_freed"] == 0
+        assert second["models_total"] == 2
+
+    def test_explicit_promotions_log(self, registry, tmp_path):
+        kept = publish_synth(registry, seed=6)
+        log = PromotionLog(tmp_path / "elsewhere.jsonl")
+        log.append(
+            action="promote",
+            alias="latest",
+            from_id=None,
+            to_id=kept.model_id,
+            why="pin via external trail",
+        )
+        report = collect_garbage(registry, promotions=log)
+        assert report["collected"] == []
+        registry.load(kept.model_id)

@@ -1,0 +1,45 @@
+"""PipelineJournal: atomic write/read round trips and tolerance."""
+
+import json
+
+from repro.pipeline.journal import JOURNAL_SCHEMA, PipelineJournal
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        journal = PipelineJournal(tmp_path / "state.json")
+        cycle = {"id": 3, "candidate": "abc", "champion": "def"}
+        written = journal.write("shadowing", cycle=cycle, note="resumable")
+        assert written["schema"] == JOURNAL_SCHEMA
+        read = journal.read()
+        assert read["state"] == "shadowing"
+        assert read["cycle"] == cycle
+        assert read["note"] == "resumable"
+
+    def test_rewrite_replaces_whole_document(self, tmp_path):
+        journal = PipelineJournal(tmp_path / "state.json")
+        journal.write("retraining", cycle={"id": 1})
+        journal.write("idle")
+        read = journal.read()
+        assert read["state"] == "idle"
+        assert read["cycle"] is None
+        # Atomic replace leaves no temp droppings behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+    def test_missing_file_reads_none(self, tmp_path):
+        assert PipelineJournal(tmp_path / "absent.json").read() is None
+
+    def test_unparseable_file_reads_none(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text('{"schema": "repro-pipeline-journal-v1", "state')
+        assert PipelineJournal(path).read() is None
+
+    def test_wrong_schema_reads_none(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps({"schema": "other-v9", "state": "idle"}))
+        assert PipelineJournal(path).read() is None
+
+    def test_non_object_payload_reads_none(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps(["not", "a", "dict"]))
+        assert PipelineJournal(path).read() is None

@@ -1,0 +1,218 @@
+"""Promotion trail: hash chaining, tamper detection, rollback."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.pipeline.promotions import (
+    GENESIS_HASH,
+    PROMOTIONS_SCHEMA,
+    PromotionChainError,
+    PromotionLog,
+    perform_rollback,
+)
+from repro.serve.registry import ModelNotFound
+
+from tests.pipeline.conftest import fit_tree
+
+
+def make_log(tmp_path) -> PromotionLog:
+    return PromotionLog(tmp_path / "promotions.jsonl")
+
+
+def append_n(log: PromotionLog, n: int):
+    entries = []
+    for i in range(n):
+        entries.append(
+            log.append(
+                action="promote",
+                alias="latest",
+                from_id=f"model-{i:02d}",
+                to_id=f"model-{i + 1:02d}",
+                why=f"promotion {i}",
+                verdict="promote_challenger",
+                actor="test",
+            )
+        )
+    return entries
+
+
+class TestAppendAndVerify:
+    def test_empty_log_verifies_to_zero(self, tmp_path):
+        assert make_log(tmp_path).verify() == 0
+
+    def test_first_entry_chains_from_genesis(self, tmp_path):
+        log = make_log(tmp_path)
+        (entry,) = append_n(log, 1)
+        assert entry["schema"] == PROMOTIONS_SCHEMA
+        assert entry["seq"] == 0
+        assert entry["prev_hash"] == GENESIS_HASH
+        assert len(entry["hash"]) == 64
+        assert log.verify() == 1
+
+    def test_entries_chain_and_survive_reopen(self, tmp_path):
+        log = make_log(tmp_path)
+        written = append_n(log, 4)
+        reopened = PromotionLog(log.path)
+        entries = reopened.entries()
+        assert [e["seq"] for e in entries] == [0, 1, 2, 3]
+        for prev, entry in zip(entries, entries[1:]):
+            assert entry["prev_hash"] == prev["hash"]
+        assert entries == written
+        assert reopened.verify() == 4
+
+    def test_metrics_payload_round_trips(self, tmp_path):
+        log = make_log(tmp_path)
+        metrics = {"challenger": {"rolling_mae": 0.04, "n_labelled": 64}}
+        log.append(
+            action="promote",
+            alias="latest",
+            from_id="a",
+            to_id="b",
+            why="better",
+            metrics=metrics,
+        )
+        assert log.entries()[0]["metrics"] == metrics
+        assert log.verify() == 1
+
+
+class TestTamperDetection:
+    def test_edited_field_detected(self, tmp_path):
+        log = make_log(tmp_path)
+        append_n(log, 3)
+        lines = log.path.read_text().splitlines()
+        doctored = json.loads(lines[1])
+        doctored["to"] = "evil-model"  # rewrite history
+        lines[1] = json.dumps(doctored, sort_keys=True)
+        log.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(PromotionChainError, match="tampered"):
+            log.verify()
+
+    def test_deleted_entry_detected(self, tmp_path):
+        log = make_log(tmp_path)
+        append_n(log, 3)
+        lines = log.path.read_text().splitlines()
+        log.path.write_text("\n".join([lines[0], lines[2]]) + "\n")
+        with pytest.raises(PromotionChainError, match="sequence"):
+            log.verify()
+
+    def test_reordered_entries_detected(self, tmp_path):
+        log = make_log(tmp_path)
+        append_n(log, 2)
+        lines = log.path.read_text().splitlines()
+        log.path.write_text("\n".join([lines[1], lines[0]]) + "\n")
+        with pytest.raises(PromotionChainError):
+            log.verify()
+
+    def test_truncated_tail_line_is_chain_error(self, tmp_path):
+        log = make_log(tmp_path)
+        append_n(log, 2)
+        text = log.path.read_text()
+        log.path.write_text(text[:-20])
+        with pytest.raises(PromotionChainError, match="unparseable"):
+            log.verify()
+
+    def test_rehashing_a_tampered_entry_still_breaks_the_chain(
+        self, tmp_path
+    ):
+        """Fixing the entry's own hash shifts the break to its successor."""
+        from repro.pipeline.promotions import _entry_hash
+
+        log = make_log(tmp_path)
+        append_n(log, 3)
+        lines = log.path.read_text().splitlines()
+        doctored = json.loads(lines[1])
+        doctored["to"] = "evil-model"
+        doctored["hash"] = _entry_hash(doctored)
+        lines[1] = json.dumps(doctored, sort_keys=True)
+        log.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(PromotionChainError, match="prev_hash"):
+            log.verify()
+
+
+class TestQueries:
+    def test_last_entry_filters_by_alias(self, tmp_path):
+        log = make_log(tmp_path)
+        log.append(
+            action="promote", alias="latest", from_id="a", to_id="b", why="x"
+        )
+        log.append(
+            action="promote", alias="canary", from_id="c", to_id="d", why="y"
+        )
+        assert log.last_entry()["alias"] == "canary"
+        assert log.last_entry(alias="latest")["to"] == "b"
+        assert log.last_entry(alias="ghost") is None
+
+    def test_rollback_target_is_from_side_of_newest_entry(self, tmp_path):
+        log = make_log(tmp_path)
+        assert log.rollback_target() is None
+        append_n(log, 3)
+        assert log.rollback_target() == "model-02"
+        assert log.rollback_target(alias="ghost") is None
+
+    def test_model_ids_covers_both_sides(self, tmp_path):
+        log = make_log(tmp_path)
+        append_n(log, 2)  # 00->01, 01->02
+        assert log.model_ids() == ["model-00", "model-01", "model-02"]
+
+
+class TestPerformRollback:
+    @pytest.fixture
+    def populated(self, registry):
+        rng = np.random.default_rng(5)
+
+        def publish(seed):
+            X = rng.random((400, 3))
+            y = 2.0 * X[:, 0] + seed * X[:, 1] + 0.01 * rng.standard_normal(400)
+            return registry.publish(fit_tree(X, y), aliases=())
+
+        first, second = publish(1), publish(2)
+        registry.set_alias("latest", first.model_id)
+        log = PromotionLog(registry.root / "promotions.jsonl")
+        registry.move_alias("latest", second.model_id, reason="promote")
+        log.append(
+            action="promote",
+            alias="latest",
+            from_id=first.model_id,
+            to_id=second.model_id,
+            why="test promotion",
+        )
+        return registry, log, first, second
+
+    def test_default_target_undoes_last_flip(self, populated):
+        registry, log, first, second = populated
+        entry = perform_rollback(registry, log, actor="test")
+        assert registry.resolve("latest") == first.model_id
+        assert entry["action"] == "rollback"
+        assert entry["from"] == second.model_id
+        assert entry["to"] == first.model_id
+        assert log.verify() == 2
+
+    def test_explicit_target(self, populated):
+        registry, log, first, second = populated
+        entry = perform_rollback(registry, log, to=second.model_id)
+        assert registry.resolve("latest") == second.model_id
+        assert entry["to"] == second.model_id
+
+    def test_no_trail_and_no_target_refuses(self, registry, tmp_path):
+        log = PromotionLog(tmp_path / "empty.jsonl")
+        with pytest.raises(PromotionChainError, match="--to"):
+            perform_rollback(registry, log)
+
+    def test_tampered_trail_refuses_to_steer_a_rollback(self, populated):
+        registry, log, first, second = populated
+        lines = log.path.read_text().splitlines()
+        doctored = json.loads(lines[0])
+        doctored["from"] = "0" * 16
+        lines[0] = json.dumps(doctored, sort_keys=True)
+        log.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(PromotionChainError):
+            perform_rollback(registry, log)
+        assert registry.resolve("latest") == second.model_id  # untouched
+
+    def test_missing_target_model_refuses(self, populated):
+        registry, log, first, second = populated
+        with pytest.raises(ModelNotFound):
+            perform_rollback(registry, log, to="f" * 16)
+        assert registry.resolve("latest") == second.model_id

@@ -1,0 +1,52 @@
+"""Offline replay: the PR-4 cross-suite scenario closes hands-free.
+
+The acceptance criterion for the pipeline subsystem: a model trained
+on SPEC CPU2006 serving SPEC OMP2001 traffic trips ``transfer_failed``
+within the first monitor window, and the armed orchestrator carries
+retrain → shadow → promote with zero manual steps, leaving a verified
+promotion trail and a recovered verdict on the new champion.
+"""
+
+import io
+
+from repro.experiments.config import ExperimentConfig
+from repro.pipeline.replay import run_pipeline_replay
+from repro.serve.registry import ModelRegistry
+
+CONFIG = ExperimentConfig().scaled(0.1)
+
+
+class TestCrossSuiteReplay:
+    def test_cpu2006_model_on_omp2001_traffic_promotes(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        out = io.StringIO()
+        summary = run_pipeline_replay(
+            registry, "cpu2006", "omp2001", config=CONFIG, out=out
+        )
+        assert summary["promoted"] is True
+        assert summary["state"] == "promoted"
+        assert summary["final_champion"] != summary["initial_champion"]
+        (entry,) = summary["promotions"]
+        assert entry["action"] == "promote"
+        assert entry["from"] == summary["initial_champion"]
+        assert entry["to"] == summary["final_champion"]
+        assert summary["report"]["promotions"]["chain_valid"] is True
+        text = out.getvalue()
+        assert "transfer_failed" in text
+        assert "hash chain verified" in text
+        assert "final verdict on promoted model: ok" in text
+
+    def test_same_suite_traffic_never_triggers(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        summary = run_pipeline_replay(
+            registry,
+            "cpu2006",
+            "cpu2006",
+            config=CONFIG,
+            max_records=1024,
+            out=io.StringIO(),
+        )
+        assert summary["promoted"] is False
+        assert summary["state"] == "idle"
+        assert summary["final_champion"] == summary["initial_champion"]
+        assert summary["promotions"] == []

@@ -1,6 +1,7 @@
 """Prediction engine: batching semantics, equivalence, drain, queries."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -117,6 +118,48 @@ class TestPredict:
         np.testing.assert_array_equal(results[1], tree_b.predict(probe))
         np.testing.assert_array_equal(results[0], results[2])
         np.testing.assert_array_equal(results[1], results[3])
+
+
+class TestHotSwap:
+    def test_in_flight_requests_pin_the_old_model_across_alias_flip(
+        self, registry, probe
+    ):
+        """A request submitted before a ``move_alias`` completes against
+        the model the alias resolved to at submit time — bit-identical
+        to that tree — while the next request serves the new model.
+
+        The engine resolves alias -> model_id in the caller's thread
+        before enqueueing, so the pipeline's promotion flip can never
+        re-route a request that is already in a batch.
+        """
+        tree_a, tree_b = make_tree(seed=41), make_tree(seed=42)
+        a = registry.publish(tree_a)  # takes 'latest'
+        b = registry.publish(tree_b, aliases=())
+        results = {}
+        errors = []
+        # A wide-open batch window: the in-flight request sits in A's
+        # accumulating batch until a different model forces a flush.
+        with PredictionEngine(
+            registry, batch=BatchConfig(max_batch=1024, max_wait_s=0.5)
+        ) as engine:
+
+            def call_before_flip() -> None:
+                try:
+                    results["old"] = engine.predict("latest", probe)
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            thread = threading.Thread(target=call_before_flip)
+            thread.start()
+            time.sleep(0.05)  # let the request reach A's open batch
+            registry.move_alias("latest", b.model_id, reason="hot swap")
+            # Resolves to B now; its arrival flushes A's batch at once.
+            results["new"] = engine.predict("latest", probe)
+            thread.join()
+        assert not errors
+        np.testing.assert_array_equal(results["old"], tree_a.predict(probe))
+        np.testing.assert_array_equal(results["new"], tree_b.predict(probe))
+        assert not np.array_equal(results["old"], results["new"])
 
 
 class TestValidation:

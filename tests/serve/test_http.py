@@ -1,6 +1,7 @@
 """HTTP API: end-to-end round trips, validation, limits, metrics."""
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -79,6 +80,64 @@ class TestCoreRoutes:
         assert status == 200
         assert body["name_b"] == other.model_id
         assert 0.0 <= body["split_jaccard"] <= 1.0
+
+
+class TestPipelineRoute:
+    def test_unarmed_server_reports_disarmed(self, server):
+        status, body = get_json(server, "/v1/pipeline")
+        assert status == 200
+        assert body == {"armed": False}
+        status, doc = get_json(server, "/v1/status")
+        assert doc["pipeline"] == {"armed": False}
+
+    def test_armed_server_reports_pipeline_state(
+        self, registry, tiny_tree, probe
+    ):
+        registry.publish(
+            tiny_tree,
+            metadata={
+                "suite": "synth",
+                "train_y": {"n": 600, "mean": 2.5, "var": 1.5},
+            },
+        )
+        with ModelServer(registry, port=0, pipeline=True) as armed:
+            status, body = get_json(armed, "/v1/pipeline")
+            assert status == 200
+            assert body["armed"] is True
+            assert body["state"] == "idle"
+            assert body["alias"] == "latest"
+            assert body["promotions"]["chain_valid"] is True
+            # Labelled predict traffic reaches the pipeline's buffer
+            # through the engine -> hub -> tap path.
+            status, _ = post_json(
+                armed,
+                "/v1/models/latest/predict",
+                {
+                    "instances": probe.tolist(),
+                    "actuals": [2.0] * len(probe),
+                },
+            )
+            assert status == 200
+            for _ in range(100):
+                _, body = get_json(armed, "/v1/pipeline")
+                if body["buffer"]["n"] >= len(probe):
+                    break
+                time.sleep(0.02)
+            assert body["buffer"]["n"] >= len(probe)
+            # The pipeline section rides along in the status document
+            # and on the dashboard.
+            _, doc = get_json(armed, "/v1/status")
+            assert doc["pipeline"]["armed"] is True
+            _, html = get(armed, "/dashboard")
+            assert "<h2>pipeline</h2>" in html.decode()
+            assert "chain" in html.decode()
+
+    def test_pipeline_without_monitoring_is_rejected(
+        self, registry, tiny_tree
+    ):
+        registry.publish(tiny_tree)
+        with pytest.raises(ValueError, match="drift monitoring"):
+            ModelServer(registry, port=0, monitor=False, pipeline=True)
 
 
 class TestPredict:

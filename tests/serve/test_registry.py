@@ -7,6 +7,7 @@ import numpy as np
 import pytest
 
 from repro.serve.registry import (
+    ALIAS_HISTORY_SCHEMA,
     CorruptArtifact,
     ModelNotFound,
     ModelRecord,
@@ -166,6 +167,106 @@ class TestLru:
     def test_invalid_bound_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             ModelRegistry(tmp_path, max_cached_trees=0)
+
+
+class TestAliasHistory:
+    def test_move_alias_records_prior_target(self, registry):
+        a = registry.publish(make_tree(seed=3), aliases=())
+        b = registry.publish(make_tree(seed=4), aliases=())
+        first = registry.move_alias(
+            "latest", a.model_id, reason="initial", actor="test"
+        )
+        second = registry.move_alias("latest", b.model_id, reason="promote")
+        assert first["schema"] == ALIAS_HISTORY_SCHEMA
+        assert first["from"] is None
+        assert first["to"] == a.model_id
+        assert first["actor"] == "test"
+        assert second["from"] == a.model_id
+        assert second["to"] == b.model_id
+        assert registry.resolve("latest") == b.model_id
+
+    def test_history_survives_reopen(self, registry, tmp_path):
+        a = registry.publish(make_tree(seed=3), aliases=())
+        registry.move_alias("latest", a.model_id)
+        history = ModelRegistry(registry.root).alias_history("latest")
+        assert len(history) == 1
+        assert history[0]["to"] == a.model_id
+
+    def test_move_to_unknown_model_leaves_no_history(self, registry):
+        registry.publish(make_tree(seed=3))
+        with pytest.raises(ModelNotFound):
+            registry.move_alias("latest", "0" * 16)
+        assert registry.alias_history("latest") == []
+
+    def test_drop_alias_recorded_with_null_target(self, registry):
+        a = registry.publish(make_tree(seed=3))
+        dropped = registry.drop_alias("latest", reason="retire")
+        assert dropped["from"] == a.model_id
+        assert dropped["to"] is None
+        with pytest.raises(ModelNotFound):
+            registry.resolve("latest")
+        assert registry.drop_alias("latest") is None  # idempotent
+
+    def test_unwritten_alias_has_empty_history(self, registry):
+        assert registry.alias_history("never-seen") == []
+
+    def test_torn_tail_line_tolerated(self, registry):
+        a = registry.publish(make_tree(seed=3), aliases=())
+        registry.move_alias("latest", a.model_id)
+        path = registry.root / "alias_history" / "latest.jsonl"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": "repro-alias-mo')  # crashed writer
+        history = registry.alias_history("latest")
+        assert len(history) == 1
+
+    def test_invalid_alias_name_rejected_for_history(self, registry):
+        with pytest.raises(RegistryError):
+            registry.alias_history("a/b")
+
+
+class TestConcurrentAliasFlips:
+    def test_two_writers_one_winner_no_dangling_alias(self, registry, probe):
+        """Racing flips serialize: the alias always lands on a loadable
+        model and the history forms an unbroken from -> to chain."""
+        a = registry.publish(make_tree(seed=21), aliases=())
+        b = registry.publish(make_tree(seed=22), aliases=())
+        flips_each = 20
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def flip(model_id: str) -> None:
+            try:
+                barrier.wait()
+                for _ in range(flips_each):
+                    registry.move_alias("latest", model_id, actor="racer")
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=flip, args=(model_id,))
+            for model_id in (a.model_id, b.model_id)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # One winner, never a dangling alias.
+        final = registry.resolve("latest")
+        assert final in {a.model_id, b.model_id}
+        record, tree = registry.load("latest")
+        np.testing.assert_array_equal(
+            tree.predict(probe),
+            registry.load(final)[1].predict(probe),
+        )
+        # Every move was recorded, and each entry's `from` is exactly
+        # the previous entry's `to` — no lost updates.
+        history = registry.alias_history("latest")
+        assert len(history) == 2 * flips_each
+        assert history[0]["from"] is None
+        for prev, entry in zip(history, history[1:]):
+            assert entry["from"] == prev["to"]
+        assert history[-1]["to"] == final
 
 
 class TestConcurrentPublish:

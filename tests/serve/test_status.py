@@ -226,6 +226,26 @@ class TestStatusDocument:
         assert "schemas" in body["build"]
 
 
+class TestPipelineSection:
+    def test_unarmed_status_and_text(self, server):
+        body = json.loads(get(server, "/v1/status")[1])
+        assert body["pipeline"] == {"armed": False}
+        assert "pipeline: off" in render_status_text(body)
+
+    def test_armed_status_text_and_dashboard(self, registry, tiny_tree):
+        registry.publish(tiny_tree, metadata={"suite": "synth"})
+        with ModelServer(registry, port=0, pipeline=True) as armed:
+            body = json.loads(get(armed, "/v1/status")[1])
+            assert body["pipeline"]["armed"] is True
+            assert body["pipeline"]["state"] == "idle"
+            text = render_status_text(body)
+            assert "pipeline  state=idle" in text
+            assert "promotions:" in text
+            html = get(armed, "/dashboard")[1].decode()
+            assert "<h2>pipeline</h2>" in html
+            assert "verified" in html
+
+
 class TestDashboard:
     def test_dashboard_is_html(self, server, probe):
         post_json(

@@ -263,6 +263,130 @@ class TestStatusCommand:
         assert "--interval must be positive" in capsys.readouterr().err
 
 
+class TestPipelineCli:
+    """`repro pipeline run / promotions / rollback / registry gc`."""
+
+    @staticmethod
+    def _seeded_registry(tmp_path):
+        """A registry with one recorded promotion: A -> B on 'latest'."""
+        from repro.pipeline.promotions import PromotionLog
+        from repro.serve.registry import ModelRegistry
+
+        from tests.serve.conftest import make_tree
+
+        registry = ModelRegistry(tmp_path / "registry")
+        a = registry.publish(make_tree(seed=3), aliases=())
+        b = registry.publish(make_tree(seed=4), aliases=())
+        registry.move_alias("latest", a.model_id, reason="initial")
+        registry.move_alias("latest", b.model_id, reason="promote")
+        log = PromotionLog(registry.root / "promotions.jsonl")
+        log.append(
+            "promote",
+            "latest",
+            a.model_id,
+            b.model_id,
+            "shadow recommended the challenger",
+            actor="test",
+        )
+        return registry, a, b
+
+    def test_pipeline_usage_errors(self, capsys):
+        assert main(["pipeline"]) == 2
+        assert main(["pipeline", "run"]) == 2
+        assert main(["pipeline", "run", "cpu2006", "spec2017"]) == 2
+        assert "usage: repro pipeline run" in capsys.readouterr().err
+
+    def test_trail_commands_require_registry(self, capsys):
+        assert main(["promotions"]) == 2
+        assert main(["rollback"]) == 2
+        assert main(["registry", "gc"]) == 2
+        assert main(["registry", "prune"]) == 2  # unknown subcommand
+        assert capsys.readouterr().err
+
+    def test_serve_pipeline_conflicts_with_no_monitor(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve",
+                "--registry",
+                str(tmp_path / "registry"),
+                "--pipeline",
+                "--no-monitor",
+            ]
+        )
+        assert code == 2
+        assert "--pipeline requires drift monitoring" in (
+            capsys.readouterr().err
+        )
+
+    def test_promotions_prints_and_verifies_trail(self, capsys, tmp_path):
+        registry, a, b = self._seeded_registry(tmp_path)
+        assert main(["promotions", "--registry", str(registry.root)]) == 0
+        out = capsys.readouterr().out
+        assert "hash chain verified (1 entries)" in out
+        assert f"{a.model_id} -> {b.model_id}" in out
+
+    def test_promotions_empty_trail_is_fine(self, capsys, tmp_path):
+        from repro.serve.registry import ModelRegistry
+
+        registry = ModelRegistry(tmp_path / "registry")
+        assert main(["promotions", "--registry", str(registry.root)]) == 0
+        assert "no promotions recorded" in capsys.readouterr().out
+
+    def test_promotions_tampered_trail_is_exit_1(self, capsys, tmp_path):
+        registry, _, _ = self._seeded_registry(tmp_path)
+        trail = registry.root / "promotions.jsonl"
+        trail.write_text(trail.read_text().replace("promote", "demote"))
+        assert main(["promotions", "--registry", str(registry.root)]) == 1
+        assert "hash chain BROKEN" in capsys.readouterr().err
+
+    def test_rollback_restores_prior_latest(self, capsys, tmp_path):
+        registry, a, b = self._seeded_registry(tmp_path)
+        assert registry.resolve("latest") == b.model_id
+        assert main(["rollback", "--registry", str(registry.root)]) == 0
+        out = capsys.readouterr().out
+        assert f"{b.model_id} -> {a.model_id}" in out
+        assert registry.resolve("latest") == a.model_id
+
+    def test_rollback_without_trail_is_exit_1(self, capsys, tmp_path):
+        from repro.serve.registry import ModelRegistry
+
+        from tests.serve.conftest import make_tree
+
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(make_tree(seed=3))
+        assert main(["rollback", "--registry", str(registry.root)]) == 1
+        assert "--to" in capsys.readouterr().err
+
+    def test_registry_gc_dry_run_then_real(self, capsys, tmp_path):
+        from tests.serve.conftest import make_tree
+
+        registry, a, b = self._seeded_registry(tmp_path)
+        orphan = registry.publish(make_tree(seed=5), aliases=())
+        root = str(registry.root)
+        assert main(["registry", "gc", "--registry", root, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert f"would remove {orphan.model_id}" in out
+        assert registry.load(orphan.model_id)  # nothing deleted yet
+        assert main(["registry", "gc", "--registry", root]) == 0
+        out = capsys.readouterr().out
+        assert f"removed {orphan.model_id}" in out
+        assert f"rollback target {a.model_id} kept" in out
+        remaining = {r.model_id for r in registry.list_records()}
+        assert remaining == {a.model_id, b.model_id}
+
+    def test_pipeline_run_cross_suite_promotes(self, capsys):
+        """The acceptance command: PR-4's cross-suite scenario closes
+        hands-free, exit 0, with a verified single-entry trail."""
+        code = main(
+            ["pipeline", "run", "cpu2006", "omp2001", "--scale", "0.1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "transfer_failed" in out
+        assert "hash chain verified" in out
+        assert "final verdict on promoted model: ok" in out
+
+
 class TestPublicApi:
     def test_version(self):
         import repro
