@@ -19,11 +19,47 @@ import pytest
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
 
-#: Maximum tolerated telemetry throughput cost at batch 64.
-_TELEMETRY_OVERHEAD_LIMIT_PCT = 5.0
-
-#: Maximum tolerated cost of arming the MLOps pipeline at batch 64.
-_PIPELINE_OVERHEAD_LIMIT_PCT = 5.0
+#: One row per committed-snapshot overhead budget: snapshot file, the
+#: section holding the paired-median measurement, what the delta pays
+#: for, the percent limit, and what to trim when it breaches.  All of
+#: these are medians of paired, interleaved on/off passes written by
+#: the matching ``run_*bench.py`` — deterministic at session time,
+#: unlike a live HTTP measurement, whose run-to-run variance at this
+#: scale is of the same order as the budget being enforced.
+_OVERHEAD_BUDGETS = (
+    {
+        "snapshot": "BENCH_serve.json",
+        "section": "telemetry_overhead",
+        "what": "request telemetry",
+        "limit_pct": 5.0,
+        "remedy": "re-profile run_servebench.py after trimming the "
+        "traced path",
+    },
+    {
+        "snapshot": "BENCH_serve.json",
+        "section": "profiler_overhead",
+        "what": "the 99 Hz sampling profiler",
+        "limit_pct": 5.0,
+        "remedy": "re-profile run_servebench.py after cheapening "
+        "repro.obs.prof._sample_once",
+    },
+    {
+        "snapshot": "BENCH_pipeline.json",
+        "section": "serving_throughput",
+        "what": "arming the pipeline",
+        "limit_pct": 5.0,
+        "remedy": "re-profile run_pipelinebench.py after trimming the "
+        "hub tap",
+    },
+    {
+        "snapshot": "BENCH_drift.json",
+        "section": "serving_throughput",
+        "what": "the drift monitor",
+        "limit_pct": 5.0,
+        "remedy": "re-profile run_driftbench.py after trimming the "
+        "monitor tap",
+    },
+)
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -69,63 +105,62 @@ def compiled_perf_guard() -> None:
 
 
 @pytest.fixture(scope="session", autouse=True)
-def telemetry_overhead_guard() -> None:
-    """Telemetry cost guard: the committed ``BENCH_serve.json`` must
-    show request telemetry within 5% of telemetry-off throughput at
-    batch 64.
+def snapshot_overhead_guard() -> None:
+    """Overhead cost guards: every committed snapshot budget in
+    ``_OVERHEAD_BUDGETS`` must hold.
 
-    The figure is the median of paired, interleaved on/off passes
-    written by ``run_servebench.py`` — deterministic at session time,
-    unlike a live HTTP measurement, whose run-to-run variance at this
-    scale is of the same order as the budget being enforced.  A breach
-    means the zero-overhead-when-disabled discipline leaked work onto
-    the untraced hot path: regenerate the snapshot after fixing it.
+    A breach means the zero-overhead-when-disabled discipline leaked
+    work onto a hot path — fail the whole benchmark session rather
+    than record misleading artifacts.  Missing snapshots or sections
+    (fresh checkout, pre-feature snapshot) are skipped: the budget
+    only binds once the measurement exists.
     """
-    path = Path(__file__).parent / "BENCH_serve.json"
-    if not path.exists():  # pragma: no cover - fresh checkout
-        return
-    snapshot = json.loads(path.read_text())
-    overhead = snapshot.get("telemetry_overhead")
-    if not overhead:  # pre-telemetry snapshot; nothing to guard
-        return
-    pct = float(overhead["overhead_pct"])
-    if pct > _TELEMETRY_OVERHEAD_LIMIT_PCT:
-        pytest.fail(
-            f"request telemetry costs {pct:.2f}% of batch-"
-            f"{overhead.get('batch_size', 64)} throughput per "
-            f"BENCH_serve.json (limit "
-            f"{_TELEMETRY_OVERHEAD_LIMIT_PCT:.0f}%) — re-profile "
-            "run_servebench.py after trimming the traced path"
-        )
+    breaches = []
+    for budget in _OVERHEAD_BUDGETS:
+        path = Path(__file__).parent / budget["snapshot"]
+        if not path.exists():  # pragma: no cover - fresh checkout
+            continue
+        snapshot = json.loads(path.read_text())
+        section = snapshot.get(budget["section"])
+        if not section or "overhead_pct" not in section:
+            continue
+        pct = float(section["overhead_pct"])
+        if pct > budget["limit_pct"]:
+            breaches.append(
+                f"{budget['what']} costs {pct:.2f}% of batch-"
+                f"{section.get('batch_size', 64)} throughput per "
+                f"{budget['snapshot']} (limit "
+                f"{budget['limit_pct']:.0f}%) — {budget['remedy']}"
+            )
+    if breaches:
+        pytest.fail("; ".join(breaches))
 
 
 @pytest.fixture(scope="session", autouse=True)
-def pipeline_overhead_guard() -> None:
-    """Pipeline cost guard: the committed ``BENCH_pipeline.json`` must
-    show the armed orchestrator within 5% of pipeline-off throughput
-    at batch 64 (both sides monitored; the delta is the hub tap that
-    copies labelled batches into the retrain buffer).
+def perf_ledger_guard() -> None:
+    """Regression guard: ``repro perf check`` over the committed
+    ledger must be clean before the session records new artifacts.
 
-    The figure is the median of paired, interleaved off/armed passes
-    written by ``run_pipelinebench.py``.  A breach means the tap grew
-    work on the serving hot path — regenerate the snapshot after
-    trimming it.
+    The ledger check is noise-aware (median baseline, MAD band), so a
+    failure here is a real drift of a headline number, not scheduler
+    jitter; fix or consciously re-baseline (regenerate the snapshot
+    and append) before benchmarking on top of it.
     """
-    path = Path(__file__).parent / "BENCH_pipeline.json"
-    if not path.exists():  # pragma: no cover - fresh checkout
+    from repro.obs.ledger import DEFAULT_LEDGER_PATH, check_ledger
+
+    if not DEFAULT_LEDGER_PATH.exists():  # pragma: no cover
         return
-    snapshot = json.loads(path.read_text())
-    serving = snapshot.get("serving_throughput")
-    if not serving:
-        return
-    pct = float(serving["overhead_pct"])
-    if pct > _PIPELINE_OVERHEAD_LIMIT_PCT:
+    findings = check_ledger(DEFAULT_LEDGER_PATH)
+    regressions = [f for f in findings if f.status == "regression"]
+    if regressions:
+        lines = ", ".join(
+            f"{f.bench}.{f.metric} {f.value:.4g} vs median "
+            f"{f.baseline:.4g}"
+            for f in regressions
+        )
         pytest.fail(
-            f"arming the pipeline costs {pct:.2f}% of batch-"
-            f"{serving.get('batch_size', 64)} throughput per "
-            f"BENCH_pipeline.json (limit "
-            f"{_PIPELINE_OVERHEAD_LIMIT_PCT:.0f}%) — re-profile "
-            "run_pipelinebench.py after trimming the hub tap"
+            f"performance ledger shows {len(regressions)} "
+            f"regression(s): {lines} — see `repro perf check`"
         )
 
 

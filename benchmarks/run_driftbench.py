@@ -239,6 +239,16 @@ def main(argv=None) -> int:
         "--output",
         default=str(Path(__file__).parent / "BENCH_drift.json"),
     )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip appending headline numbers to the performance ledger",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="ledger path (default benchmarks/LEDGER.jsonl)",
+    )
     args = parser.parse_args(argv)
     if min(args.batches, args.requests, args.threads, args.reps) < 1:
         parser.error("all sizing arguments must be >= 1")
@@ -271,6 +281,23 @@ def main(argv=None) -> int:
     path = Path(args.output)
     path.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {path}")
+    if not args.no_ledger:
+        from repro.obs.ledger import (
+            DEFAULT_LEDGER_PATH,
+            PerfLedger,
+            headline_metrics,
+        )
+
+        ledger = PerfLedger(args.ledger or DEFAULT_LEDGER_PATH)
+        entry = ledger.append(
+            "drift",
+            headline_metrics("drift", snapshot),
+            meta={"source": "run_driftbench.py"},
+        )
+        print(
+            f"ledger: appended {len(entry['metrics'])} metric(s) "
+            f"to {ledger.path}"
+        )
     return 0 if serving["within_target"] else 1
 
 

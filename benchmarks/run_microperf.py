@@ -158,6 +158,16 @@ def main(argv=None) -> int:
         "--output",
         default=str(Path(__file__).parent / "BENCH_microperf.json"),
     )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip appending headline numbers to the performance ledger",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="ledger path (default benchmarks/LEDGER.jsonl)",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be at least 1")
@@ -166,16 +176,36 @@ def main(argv=None) -> int:
 
     from repro.obs.metrics import get_registry
 
+    # The sweep lives beside (not inside) "results" in the snapshot.
+    compiled_sweep = results.pop("compiled_sweep")
     snapshot = {
         "schema": "repro-microperf-v2",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "results": results,
+        "compiled_sweep": compiled_sweep,
         "metrics": get_registry().as_records(),
     }
     path = Path(args.output)
     path.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {path}")
+    if not args.no_ledger:
+        from repro.obs.ledger import (
+            DEFAULT_LEDGER_PATH,
+            PerfLedger,
+            headline_metrics,
+        )
+
+        ledger = PerfLedger(args.ledger or DEFAULT_LEDGER_PATH)
+        entry = ledger.append(
+            "microperf",
+            headline_metrics("microperf", snapshot),
+            meta={"source": "run_microperf.py"},
+        )
+        print(
+            f"ledger: appended {len(entry['metrics'])} metric(s) "
+            f"to {ledger.path}"
+        )
     return 0
 
 

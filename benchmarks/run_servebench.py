@@ -16,12 +16,15 @@ telemetry: two long-lived servers at batch 64 — one with an event log
 bursts, and the median on/off throughput ratio over
 ``--overhead-reps`` burst pairs is reported (burst-level pairing and
 the median cancel machine drift, which otherwise swamps a
-single-digit-percent effect).  ``benchmarks/conftest.py`` fails the
-benchmark session when the committed ratio says telemetry costs more
-than 5%.
+single-digit-percent effect).  The same paired-burst protocol then
+measures the 99 Hz sampling profiler: one server, alternating bursts
+with a :class:`~repro.obs.prof.SamplingProfiler` running vs stopped.
+``benchmarks/conftest.py`` fails the benchmark session when either
+committed ratio says the cost exceeds 5%.
 
 Results land in ``BENCH_serve.json`` next to this script (or
-``--output PATH``), keyed by batch size.
+``--output PATH``), keyed by batch size; headline numbers are also
+appended to the performance ledger (``--no-ledger`` skips that).
 
 Usage::
 
@@ -260,6 +263,70 @@ def measure_telemetry_overhead(
         }
 
 
+def measure_profiler_overhead(
+    threads: int, requests: int, reps: int, hz: int = 99
+) -> Dict[str, object]:
+    """Median profiler-on/off throughput ratio at batch 64.
+
+    Same paired-burst protocol as the telemetry measurement, but one
+    server and a process-wide toggle: each repetition drives one burst
+    with a :class:`~repro.obs.prof.SamplingProfiler` running at ``hz``
+    and one with it stopped, alternating order.  This is exactly what
+    ``GET /v1/profile/cpu`` costs a live serving process.
+    """
+    import numpy as np
+
+    from repro.obs.prof import SamplingProfiler
+    from repro.serve.api import ModelServer
+    from repro.serve.registry import ModelRegistry
+
+    with tempfile.TemporaryDirectory(prefix="servebench-profiler-") as tmp:
+        registry = ModelRegistry(Path(tmp) / "registry")
+        record, X_train = _publish_model(registry)
+        rng = np.random.default_rng(11)
+        rows = X_train[rng.integers(0, len(X_train), size=_OVERHEAD_BATCH)]
+        body = json.dumps({"instances": rows.tolist()}).encode()
+        payloads = [body] * requests
+        ratios: List[float] = []
+        with ModelServer(registry, port=0, monitor=False) as server:
+            _timed_burst(server, payloads, threads)  # warm off-clock
+            for rep in range(reps):
+                rates: Dict[bool, float] = {}
+                order = (False, True) if rep % 2 == 0 else (True, False)
+                for profiling in order:
+                    if profiling:
+                        profiler = SamplingProfiler(hz=hz).start()
+                        try:
+                            rates[True] = _timed_burst(
+                                server, payloads, threads
+                            )
+                        finally:
+                            profiler.stop()
+                    else:
+                        rates[False] = _timed_burst(
+                            server, payloads, threads
+                        )
+                ratios.append(rates[True] / rates[False])
+                print(
+                    f"profiler rep {rep + 1}/{reps}: "
+                    f"off {rates[False]:7.0f} req/s  "
+                    f"on {rates[True]:7.0f} req/s  "
+                    f"ratio {ratios[-1]:.4f}"
+                )
+        ratios.sort()
+        median = ratios[len(ratios) // 2]
+        return {
+            "batch_size": _OVERHEAD_BATCH,
+            "threads": threads,
+            "requests_per_thread": requests,
+            "reps": reps,
+            "hz": hz,
+            "throughput_ratios": ratios,
+            "median_throughput_ratio": median,
+            "overhead_pct": 100.0 * (1.0 - median),
+        }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--threads", type=int, default=4)
@@ -269,12 +336,23 @@ def main(argv=None) -> int:
         "--overhead-reps",
         type=int,
         default=31,
-        help="telemetry on/off burst pairs (median ratio is reported)",
+        help="on/off burst pairs per overhead measurement "
+        "(median ratio is reported)",
     )
     parser.add_argument(
         "-o",
         "--output",
         default=str(Path(__file__).parent / "BENCH_serve.json"),
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip appending headline numbers to the performance ledger",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="ledger path (default benchmarks/LEDGER.jsonl)",
     )
     args = parser.parse_args(argv)
     if args.threads < 1 or args.requests < 1:
@@ -291,6 +369,16 @@ def main(argv=None) -> int:
         f"{overhead['overhead_pct']:.2f}% "
         f"(median ratio {overhead['median_throughput_ratio']:.4f})"
     )
+    profiler_overhead = measure_profiler_overhead(
+        args.threads, args.requests, args.overhead_reps
+    )
+    print(
+        f"profiler overhead at batch {_OVERHEAD_BATCH} "
+        f"({profiler_overhead['hz']} Hz): "
+        f"{profiler_overhead['overhead_pct']:.2f}% "
+        f"(median ratio "
+        f"{profiler_overhead['median_throughput_ratio']:.4f})"
+    )
 
     snapshot = {
         "schema": "repro-servebench-v2",
@@ -299,10 +387,28 @@ def main(argv=None) -> int:
         "batch_sizes": list(BATCH_SIZES),
         "results": results,
         "telemetry_overhead": overhead,
+        "profiler_overhead": profiler_overhead,
     }
     path = Path(args.output)
     path.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {path}")
+    if not args.no_ledger:
+        from repro.obs.ledger import (
+            DEFAULT_LEDGER_PATH,
+            PerfLedger,
+            headline_metrics,
+        )
+
+        ledger = PerfLedger(args.ledger or DEFAULT_LEDGER_PATH)
+        entry = ledger.append(
+            "serve",
+            headline_metrics("serve", snapshot),
+            meta={"source": "run_servebench.py"},
+        )
+        print(
+            f"ledger: appended {len(entry['metrics'])} metric(s) "
+            f"to {ledger.path}"
+        )
     return 0
 
 

@@ -8,6 +8,12 @@ Examples::
     repro list               # show the experiment index
     repro E7 --trace trace.jsonl   # run with hierarchical tracing
     repro trace-summary trace.jsonl  # render an exported trace
+    repro E7 --profile prof.json   # run under the sampling profiler
+    repro profile-summary prof.json  # top functions, spans, self/cumul
+    repro profile --url http://127.0.0.1:8080 > live.folded  # live capture
+    repro perf record              # ledger entries from BENCH snapshots
+    repro perf log                 # the benchmark result time series
+    repro perf check               # noise-aware perf-regression gate
     repro publish cpu2006 --registry ./models   # train + register a model
     repro serve --registry ./models --port 8080 # serve it over HTTP
     repro monitor cpu2006            # stream held-out traffic, watch drift
@@ -77,7 +83,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "'trace-summary <trace.jsonl>', 'publish <suite>', 'serve', "
             "'status', 'monitor <model-suite> [<traffic-suite>]', "
             "'pipeline run <train-suite> <traffic-suite>', 'promotions', "
-            "'rollback', or 'registry gc'"
+            "'rollback', 'registry gc', 'profile', "
+            "'profile-summary <prof.json>', or 'perf record|log|check'"
         ),
     )
     parser.add_argument(
@@ -124,6 +131,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print the process metrics registry to stderr after the run",
+    )
+    profiling = parser.add_argument_group(
+        "profiling & perf ledger ('profile', 'profile-summary', 'perf', "
+        "and --profile on runs)"
+    )
+    profiling.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        dest="profile",
+        help=(
+            "sample the run's CPU at --profile-hz and write the profile "
+            "to PATH as JSON (mirrors --trace; works on experiment runs "
+            "and 'serve'; inspect with 'repro profile-summary PATH')"
+        ),
+    )
+    profiling.add_argument(
+        "--profile-hz",
+        type=int,
+        default=99,
+        metavar="HZ",
+        help="sampling rate for --profile and 'profile' (default 99)",
+    )
+    profiling.add_argument(
+        "--seconds",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="profile: remote capture window in seconds (default 2)",
+    )
+    profiling.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="perf: ledger file (default benchmarks/LEDGER.jsonl)",
+    )
+    profiling.add_argument(
+        "--last",
+        type=int,
+        default=10,
+        metavar="N",
+        help="perf log: ledger entries to show (default 10)",
     )
     serving = parser.add_argument_group("serving ('publish' and 'serve')")
     serving.add_argument(
@@ -505,6 +554,42 @@ def _run_subcommand(args) -> Optional[int]:
             print("registry gc: --registry DIR is required", file=sys.stderr)
             return 2
         return _registry_gc(args)
+    if command == "profile":
+        if len(words) != 1:
+            print(
+                "usage: repro profile [--url URL] [--seconds S] "
+                "[--profile-hz HZ] [--profile PATH]",
+                file=sys.stderr,
+            )
+            return 2
+        return _profile_client(args)
+    if command == "profile-summary":
+        if len(words) != 2:
+            print(
+                "usage: repro profile-summary <prof.json>", file=sys.stderr
+            )
+            return 2
+        from repro.obs.prof import load_profile, render_profile_table
+
+        try:
+            print(render_profile_table(load_profile(words[1])))
+        except (OSError, ValueError, KeyError) as error:
+            print(f"profile-summary: {error}", file=sys.stderr)
+            return 2
+        return 0
+    if command == "perf":
+        if len(words) != 2 or words[1].lower() not in (
+            "record",
+            "log",
+            "check",
+        ):
+            print(
+                "usage: repro perf record|log|check [--ledger PATH] "
+                "[--last N] [--self-test]",
+                file=sys.stderr,
+            )
+            return 2
+        return _perf(args, words[1].lower())
     if command == "trace-summary":
         if len(words) != 2:
             print("usage: repro trace-summary <trace.jsonl>", file=sys.stderr)
@@ -544,6 +629,181 @@ def _run_subcommand(args) -> Optional[int]:
         print(f"wrote {len(data)} intervals to {path}")
         return 0
     return None
+
+
+def _profile_client(args) -> int:
+    """Capture a live CPU profile from a running server.
+
+    Fetches ``GET /v1/profile/cpu`` (JSON) and prints the folded
+    stacks to stdout — pipe them straight into ``flamegraph.pl``.
+    With ``--profile PATH`` the full profile JSON is saved there and a
+    summary table is printed instead.
+    """
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.prof import Profile, render_profile_table
+
+    if args.seconds <= 0:
+        print(
+            f"profile: --seconds must be positive, got {args.seconds}",
+            file=sys.stderr,
+        )
+        return 2
+    url = (
+        args.url.rstrip("/")
+        + f"/v1/profile/cpu?seconds={args.seconds:g}&hz={args.profile_hz}"
+    )
+    try:
+        with urllib.request.urlopen(
+            url, timeout=args.seconds + 30.0
+        ) as response:
+            payload = _json.loads(response.read().decode("utf-8"))
+        profile = Profile.from_dict(payload)
+    except (urllib.error.URLError, OSError, ValueError, KeyError) as error:
+        print(f"profile: {url}: {error}", file=sys.stderr)
+        return 2
+    if args.profile is not None:
+        profile.save(args.profile)
+        print(f"profile written to {args.profile}", file=sys.stderr)
+        print(render_profile_table(profile))
+    else:
+        sys.stdout.write(profile.folded())
+    return 0
+
+
+def _perf(args, verb: str) -> int:
+    """The performance-ledger verbs: record, log, check."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs.ledger import (
+        BENCH_SNAPSHOTS,
+        DEFAULT_LEDGER_PATH,
+        PerfLedger,
+        check_ledger,
+        headline_metrics,
+        render_findings,
+        render_ledger_log,
+    )
+
+    ledger_path = (
+        Path(args.ledger) if args.ledger is not None else DEFAULT_LEDGER_PATH
+    )
+    if verb == "record":
+        ledger = PerfLedger(ledger_path)
+        # Snapshots live next to the committed ledger regardless of
+        # where --ledger points: record derives entries from what the
+        # benchmark harness actually wrote.
+        snapshot_dir = DEFAULT_LEDGER_PATH.parent
+        recorded = 0
+        for bench, filename in BENCH_SNAPSHOTS.items():
+            path = snapshot_dir / filename
+            if not path.exists():
+                continue
+            try:
+                metrics = headline_metrics(
+                    bench, _json.loads(path.read_text())
+                )
+            except (ValueError, OSError) as error:
+                print(f"perf record: {filename}: {error}", file=sys.stderr)
+                continue
+            if not metrics:
+                continue
+            ledger.append(bench, metrics, meta={"source": filename})
+            print(
+                f"recorded {bench}: {len(metrics)} metric(s) "
+                f"from {filename}"
+            )
+            recorded += 1
+        if not recorded:
+            print(
+                f"perf record: no BENCH_*.json snapshots in {snapshot_dir}",
+                file=sys.stderr,
+            )
+            return 2
+        return 0
+    if verb == "log":
+        if args.last < 1:
+            print(
+                f"perf log: --last must be >= 1, got {args.last}",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_ledger_log(PerfLedger(ledger_path), last=args.last))
+        return 0
+    # verb == "check"
+    if args.self_test:
+        return _perf_self_test(ledger_path)
+    findings = check_ledger(ledger_path)
+    print(render_findings(findings))
+    return 1 if any(f.status == "regression" for f in findings) else 0
+
+
+def _perf_self_test(committed_path) -> int:
+    """Prove the regression gate works before trusting it in CI.
+
+    Two assertions: an injected 2x ``tree_fit_s`` regression in a
+    throwaway ledger IS flagged, and the committed ledger is NOT
+    (no false positive).  Exits 0 only if both hold.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.obs.ledger import PerfLedger, check_ledger, render_findings
+
+    failures = 0
+
+    committed = check_ledger(committed_path)
+    committed_clean = not any(f.status == "regression" for f in committed)
+    if committed:
+        print(
+            f"committed ledger ({committed_path}): "
+            + ("clean" if committed_clean else "REGRESSION FLAGGED")
+        )
+        if not committed_clean:
+            print(render_findings(committed))
+            failures += 1
+    else:
+        print(f"committed ledger ({committed_path}): empty, skipped")
+
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "ledger.jsonl"
+        ledger = PerfLedger(path)
+        # A realistic baseline history with a few percent of jitter,
+        # then a candidate entry at 2x — unambiguous at any noise
+        # level the checker is configured for.
+        for factor in (1.00, 0.97, 1.03, 0.99):
+            ledger.append(
+                "microperf",
+                {
+                    "tree_fit_s": 0.160 * factor,
+                    "compiled_speedup_b64": 5.0 / factor,
+                },
+            )
+        ledger.append(
+            "microperf",
+            {"tree_fit_s": 0.320, "compiled_speedup_b64": 5.0},
+        )
+        findings = check_ledger(path)
+        detected = any(
+            f.metric == "tree_fit_s" and f.status == "regression"
+            for f in findings
+        )
+        print(
+            "injected 2x tree_fit regression: "
+            + ("detected" if detected else "MISSED")
+        )
+        if not detected:
+            print(render_findings(findings))
+            failures += 1
+
+    print(
+        "perf check --self-test: "
+        + ("ok" if not failures else f"{failures} failure(s)")
+    )
+    return 1 if failures else 0
 
 
 def _monitor(args, suites: List[str]) -> int:
@@ -868,6 +1128,15 @@ def _serve(args) -> int:
         sig: signal.signal(sig, _drain)
         for sig in (signal.SIGTERM, signal.SIGINT)
     }
+    profiler = None
+    if args.profile is not None:
+        from repro.obs.prof import SamplingProfiler
+
+        try:
+            profiler = SamplingProfiler(hz=args.profile_hz).start()
+        except ValueError as error:
+            print(f"serve: --profile: {error}", file=sys.stderr)
+            return 2
     server.start()
     host, port = server.address
     print(
@@ -883,6 +1152,15 @@ def _serve(args) -> int:
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
+        if profiler is not None:
+            server_profile = profiler.stop()
+            server_profile.save(args.profile)
+            print(
+                f"profile written to {args.profile} "
+                f"({server_profile.samples} passes at "
+                f"{server_profile.hz} Hz)",
+                file=sys.stderr,
+            )
     served = get_registry().counter("serve.http.requests").value
     print(f"served {served} request(s); bye", file=sys.stderr)
     return 0
@@ -972,6 +1250,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         tracer = Tracer()
         set_tracer(tracer)
 
+    profiler = None
+    profile = None
+    if args.profile is not None:
+        from repro.obs.prof import SamplingProfiler
+
+        try:
+            profiler = SamplingProfiler(hz=args.profile_hz).start()
+        except ValueError as error:
+            print(f"--profile: {error}", file=sys.stderr)
+            return 2
+
     ctx: Optional[ExperimentContext] = None
     try:
         if args.jobs is not None and requested:
@@ -1007,7 +1296,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.obs.trace import set_tracer
 
             set_tracer(None)
+        if profiler is not None:
+            profile = profiler.stop()
 
+    if profile is not None:
+        profile.save(args.profile)
+        print(
+            f"profile written to {args.profile} "
+            f"({profile.samples} passes at {profile.hz} Hz, "
+            f"{profile.attributed_fraction() * 100:.0f}% span-attributed)",
+            file=sys.stderr,
+        )
     if tracer is not None:
         from repro.obs.manifest import build_manifest
         from repro.obs.metrics import get_registry

@@ -19,6 +19,13 @@ Cooperating pieces (see ``docs/OBSERVABILITY.md``):
   those traces are shipped to.
 * :mod:`repro.obs.slo` — latency/availability SLO tracking with error
   budgets and burn-rate gauges.
+* :mod:`repro.obs.prof` — a span-attributed sampling CPU profiler
+  (daemon-thread ``sys._current_frames()`` walker, folded-stack
+  aggregation, flame-graph renderers) with zero overhead when not
+  started.
+* :mod:`repro.obs.ledger` — the append-only benchmark performance
+  ledger (``benchmarks/LEDGER.jsonl``) and its noise-aware
+  regression checker.
 
 Typical CLI-driven use is ``repro E7 --trace trace.jsonl`` followed by
 ``repro trace-summary trace.jsonl``; programmatic use::
@@ -35,6 +42,13 @@ Typical CLI-driven use is ``repro E7 --trace trace.jsonl`` followed by
 """
 
 from repro.obs.events import EventLog, read_events
+from repro.obs.ledger import (
+    CheckConfig,
+    Finding,
+    PerfLedger,
+    check_ledger,
+    headline_metrics,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     build_info,
@@ -54,6 +68,13 @@ from repro.obs.metrics import (
     get_registry,
     histogram,
     summary,
+)
+from repro.obs.prof import (
+    Profile,
+    SamplingProfiler,
+    load_profile,
+    render_flamegraph_html,
+    render_profile_table,
 )
 from repro.obs.slo import SloConfig, SloTracker
 from repro.obs.summary import (
@@ -101,6 +122,16 @@ __all__ = [
     "summary",
     "EventLog",
     "read_events",
+    "CheckConfig",
+    "Finding",
+    "PerfLedger",
+    "check_ledger",
+    "headline_metrics",
+    "Profile",
+    "SamplingProfiler",
+    "load_profile",
+    "render_flamegraph_html",
+    "render_profile_table",
     "SloConfig",
     "SloTracker",
     "escape_label_value",

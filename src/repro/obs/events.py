@@ -13,10 +13,13 @@ Writes are serialized under one lock, so handler threads and the
 batching worker can share a log, and flushed in small batches — every
 16 records or 250 ms of wall time, whichever comes first — because a
 per-record ``flush`` costs 5-10 us on the request hot path while a
-batched one amortizes to well under 1 us.  ``tail -f`` still sees
-records within a quarter second under traffic; callers that need
-exact durability *now* (tests, shutdown) use :meth:`EventLog.flush`
-or :meth:`EventLog.close`.  Serialization reuses one
+batched one amortizes to well under 1 us.  ``tail -f`` sees records
+within a quarter second regardless of traffic: a write that leaves
+records pending arms a one-shot daemon timer, so the 250 ms bound
+holds even when the server goes quiescent right after (previously a
+sub-batch tail sat unflushed until the *next* write arrived).
+Callers that need exact durability *now* (tests, shutdown) use
+:meth:`EventLog.flush` or :meth:`EventLog.close`.  Serialization reuses one
 :class:`json.JSONEncoder` (building a fresh encoder per record is
 measurably slower) and happens outside the lock.  Every record gains
 a ``unix`` timestamp if the caller did not supply one.  Serialization
@@ -83,6 +86,7 @@ class EventLog:
         self.rotations = 0
         self._pending = 0
         self._last_flush = time.monotonic()
+        self._timer: Any = None
 
     # -- writing ---------------------------------------------------------
 
@@ -114,7 +118,23 @@ class EventLog:
                 self._handle.flush()
                 self._pending = 0
                 self._last_flush = now
+            elif self._timer is None:
+                # Idle-flush backstop: without it, a tail below the
+                # batch threshold stays buffered until the next write.
+                self._timer = threading.Timer(
+                    _FLUSH_INTERVAL_S, self._timer_flush
+                )
+                self._timer.daemon = True
+                self._timer.start()
             _WRITTEN.inc()
+
+    def _timer_flush(self) -> None:
+        with self._lock:
+            self._timer = None
+            if self._handle is not None and self._pending:
+                self._handle.flush()
+                self._pending = 0
+                self._last_flush = time.monotonic()
 
     def _rotate_locked(self) -> None:
         self._handle.close()
@@ -142,6 +162,7 @@ class EventLog:
 
     def flush(self) -> None:
         with self._lock:
+            self._cancel_timer_locked()
             if self._handle is not None:
                 self._handle.flush()
                 self._pending = 0
@@ -149,9 +170,15 @@ class EventLog:
 
     def close(self) -> None:
         with self._lock:
+            self._cancel_timer_locked()
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
+
+    def _cancel_timer_locked(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
 
     def __enter__(self) -> "EventLog":
         return self

@@ -44,6 +44,8 @@ SCHEMA_VERSIONS: Dict[str, Any] = {
     "events": "repro-events-v1",
     "telemetry": "repro-telemetry-v1",
     "status": "repro-status-v1",
+    "profile": "repro-profile-v1",
+    "ledger": "repro-ledger-v1",
 }
 
 #: Required shape of a manifest.  ``type`` names follow JSON Schema

@@ -22,12 +22,22 @@ pay only a global load and a ``None`` check.  Enable with::
 Worker processes build their own tracers and ship serialized spans
 back; :meth:`Tracer.adopt` re-parents them under a span of the
 receiving tracer so a parallel battery still exports one tree.
+
+The sampling profiler (:mod:`repro.obs.prof`) consumes a second,
+lighter signal from this module: *span attribution*.  While a
+profiler is running, every :func:`span` call — with or without a full
+tracer installed — pushes its name onto a per-thread stack that
+:func:`thread_span_names` snapshots, so each profile sample can be
+joined to the innermost open span of the thread it came from.  Like
+tracing, attribution costs nothing when off: the disabled
+:func:`span` path is still two global loads and two falsy checks.
 """
 
 from __future__ import annotations
 
 import json
 import resource
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -41,6 +51,10 @@ __all__ = [
     "set_tracer",
     "use_tracer",
     "tracing_enabled",
+    "enable_span_attribution",
+    "disable_span_attribution",
+    "span_attribution_enabled",
+    "thread_span_names",
 ]
 
 #: Number of Span objects ever constructed in this process.  Tests use
@@ -133,15 +147,105 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+# -- span attribution (consumed by repro.obs.prof) -------------------------
+
+#: Count of active attribution consumers (profilers).  Guarded by the
+#: GIL: enable/disable are rare, and a stale read in ``span()`` only
+#: means one span is (or is not) registered for attribution — never an
+#: error.
+_ATTRIB_CONSUMERS = 0
+
+#: thread ident -> stack of currently-open span names on that thread.
+#: Only populated while attribution is enabled.
+_THREAD_SPANS: Dict[int, List[str]] = {}
+
+
+def enable_span_attribution() -> None:
+    """Start registering open span names per thread (profiler support)."""
+    global _ATTRIB_CONSUMERS
+    _ATTRIB_CONSUMERS += 1
+
+
+def disable_span_attribution() -> None:
+    """Undo one :func:`enable_span_attribution`; clears state at zero."""
+    global _ATTRIB_CONSUMERS
+    _ATTRIB_CONSUMERS = max(0, _ATTRIB_CONSUMERS - 1)
+    if _ATTRIB_CONSUMERS == 0:
+        _THREAD_SPANS.clear()
+
+
+def span_attribution_enabled() -> bool:
+    return _ATTRIB_CONSUMERS > 0
+
+
+def thread_span_names() -> Dict[int, str]:
+    """Snapshot of thread ident -> innermost open span name.
+
+    Taken by the profiler's sampling thread; races with concurrent
+    span entry/exit are benign (a sample lands on one side of the
+    boundary or the other).
+    """
+    snapshot: Dict[int, str] = {}
+    for ident, stack in list(_THREAD_SPANS.items()):
+        tail = stack[-1:]  # atomic slice: never IndexErrors on a pop race
+        if tail:
+            snapshot[ident] = tail[0]
+    return snapshot
+
+
+def _attrib_push(name: str) -> int:
+    ident = threading.get_ident()
+    stack = _THREAD_SPANS.get(ident)
+    if stack is None:
+        stack = _THREAD_SPANS[ident] = []
+    stack.append(name)
+    return ident
+
+
+def _attrib_pop(ident: int, name: str) -> None:
+    stack = _THREAD_SPANS.get(ident)
+    if stack and stack[-1] == name:
+        stack.pop()
+        if not stack:
+            _THREAD_SPANS.pop(ident, None)
+
+
+class _AttribSpan:
+    """Name-only span used when a profiler runs without a tracer.
+
+    Registers the span name for per-thread attribution but records no
+    timing and builds no tree — the cheapest object that still lets
+    the sampler say *which* span a sample landed in.
+    """
+
+    __slots__ = ("name", "payload", "_ident")
+
+    def __init__(self, name: str, payload: Dict[str, Any]) -> None:
+        self.name = name
+        self.payload = payload
+        self._ident = 0
+
+    def __enter__(self) -> "_AttribSpan":
+        self._ident = _attrib_push(self.name)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        _attrib_pop(self._ident, self.name)
+        return False
+
+    def note(self, **payload: Any) -> None:
+        self.payload.update(payload)
+
 
 class _OpenSpan:
     """Context manager driving one Span's lifecycle inside a Tracer."""
 
-    __slots__ = ("tracer", "span")
+    __slots__ = ("tracer", "span", "_attrib_ident")
 
     def __init__(self, tracer: "Tracer", span_obj: Span) -> None:
         self.tracer = tracer
         self.span = span_obj
+        self._attrib_ident = 0
 
     def __enter__(self) -> Span:
         tracer, span_obj = self.tracer, self.span
@@ -152,6 +256,8 @@ class _OpenSpan:
         else:
             tracer.roots.append(span_obj)
         tracer._stack.append(span_obj)
+        if _ATTRIB_CONSUMERS:
+            self._attrib_ident = _attrib_push(span_obj.name)
         span_obj.start_wall = time.time()
         span_obj._rss0 = _maxrss_kb()
         span_obj._cpu0 = time.process_time()
@@ -163,6 +269,8 @@ class _OpenSpan:
         span_obj.wall_s = time.perf_counter() - span_obj._t0
         span_obj.cpu_s = time.process_time() - span_obj._cpu0
         span_obj.rss_delta_kb = max(0, _maxrss_kb() - span_obj._rss0)
+        if self._attrib_ident:
+            _attrib_pop(self._attrib_ident, span_obj.name)
         stack = self.tracer._stack
         if stack and stack[-1] is span_obj:
             stack.pop()
@@ -299,14 +407,21 @@ def use_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
         set_tracer(previous)
 
 
-def span(name: str, **payload: Any) -> Union[_OpenSpan, _NullSpan]:
+def span(
+    name: str, **payload: Any
+) -> Union[_OpenSpan, _AttribSpan, _NullSpan]:
     """Open a span on the active tracer, or a shared no-op when disabled.
 
     The disabled path allocates no Span (nor any helper object): it
     returns the module's singleton null context manager, making
-    instrumentation safe to leave in hot loops.
+    instrumentation safe to leave in hot loops.  While a profiler has
+    span attribution enabled but no tracer is installed, a minimal
+    name-only span is returned instead so samples can still be joined
+    to the innermost open span.
     """
     tracer = _ACTIVE
-    if tracer is None:
-        return _NULL_SPAN
-    return tracer.span(name, **payload)
+    if tracer is not None:
+        return tracer.span(name, **payload)
+    if _ATTRIB_CONSUMERS:
+        return _AttribSpan(name, payload)
+    return _NULL_SPAN

@@ -11,6 +11,7 @@ Routes (see ``docs/SERVING.md`` for the full reference)::
     GET  /metrics                          Prometheus text exposition
     GET  /v1/status                        one-document serving status
     GET  /v1/pipeline                      MLOps loop state + promotion trail
+    GET  /v1/profile/cpu                   on-demand sampling CPU profile
     GET  /dashboard                        self-refreshing HTML status page
     GET  /v1/models                        list published records
     GET  /v1/models/{ref}                  one record (id or alias)
@@ -54,12 +55,20 @@ from collections import deque
 from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
 from repro.obs.events import EventLog
 from repro.obs.manifest import build_info
 from repro.obs.metrics import counter, histogram, summary
+from repro.obs.prof import (
+    DEFAULT_HZ,
+    MAX_HZ,
+    Profile,
+    SamplingProfiler,
+    render_flamegraph_html,
+)
 from repro.obs.slo import SloConfig, SloTracker
 from repro.obs.summary import render_prometheus
 from repro.obs.telemetry import TRACE_HEADER, RequestTrace, normalize_trace_id
@@ -103,6 +112,7 @@ def _endpoint_label(path: str) -> str:
         "/dashboard",
         "/v1/status",
         "/v1/pipeline",
+        "/v1/profile/cpu",
     ):
         return path
     parts = [p for p in path.split("/") if p]
@@ -127,6 +137,83 @@ class ApiError(Exception):
         self.status = status
         self.code = code
         self.message = message
+
+
+#: Default and ceiling for one on-demand profile capture.
+_PROFILE_DEFAULT_SECONDS = 2.0
+_PROFILE_MAX_SECONDS = 60.0
+#: How many distinct stacks of the last profile the status document
+#: retains (the dashboard flame graph reads them; unbounded stacks
+#: would bloat every /v1/status response).
+_PROFILE_STATUS_STACKS = 60
+
+_PROFILE_CAPTURES = counter("serve.http.profile_captures")
+_PROFILE_BUSY = counter("serve.http.profile_busy")
+
+
+class _ProfilerState:
+    """Serializes on-demand CPU captures; keeps the latest profile.
+
+    One capture at a time process-wide: two overlapping samplers would
+    each halve the other's throughput measurement and both profiles
+    would include the other's sampling cost.  The loser gets a 409,
+    not a queue — a profile request is interactive diagnostics, and a
+    stale queued capture is worse than an immediate "busy, retry".
+    """
+
+    def __init__(self) -> None:
+        self._gate = threading.Lock()  # held for the whole capture
+        self._mutex = threading.Lock()  # guards the fields below
+        self._busy = False
+        self._captures = 0
+        self._last: Optional[Dict[str, Any]] = None
+
+    def capture(self, seconds: float, hz: int) -> Profile:
+        if not self._gate.acquire(blocking=False):
+            _PROFILE_BUSY.inc()
+            raise ApiError(
+                409,
+                "profile_in_progress",
+                "another CPU profile capture is running; retry shortly",
+            )
+        try:
+            with self._mutex:
+                self._busy = True
+            profiler = SamplingProfiler(hz=hz)
+            profiler.start()
+            # Event.wait, not time.sleep: sleep is a C builtin, so the
+            # sampler would see this thread as busy in `capture`;
+            # Event.wait parks in threading:wait, a known waitpoint.
+            threading.Event().wait(seconds)
+            profile = profiler.stop()
+            with self._mutex:
+                self._busy = False
+                self._captures += 1
+                self._last = self._capped(profile.as_dict())
+            _PROFILE_CAPTURES.inc()
+            return profile
+        finally:
+            with self._mutex:
+                self._busy = False
+            self._gate.release()
+
+    @staticmethod
+    def _capped(payload: Dict[str, Any]) -> Dict[str, Any]:
+        stacks = sorted(
+            payload.get("stacks", []),
+            key=lambda record: -int(record.get("count", 0)),
+        )[:_PROFILE_STATUS_STACKS]
+        return {**payload, "stacks": stacks, "idle": []}
+
+    def report(self) -> Dict[str, Any]:
+        """The ``profiler`` section of the status document."""
+        with self._mutex:
+            return {
+                "available": True,
+                "busy": self._busy,
+                "captures": self._captures,
+                "last": self._last,
+            }
 
 
 def _instances_to_matrix(
@@ -417,6 +504,10 @@ class _Handler(BaseHTTPRequestHandler):
                 return 200
             self._send_json(200, pipeline.report())
             return 200
+        if path == "/v1/profile/cpu":
+            if method != "GET":
+                raise ApiError(405, "method_not_allowed", "use GET")
+            return self._profile_cpu()
         if path == "/dashboard" and method == "GET":
             self._send_text(
                 200,
@@ -440,7 +531,67 @@ class _Handler(BaseHTTPRequestHandler):
             recent_latency_s=recent,
             started_unix=self.server.started_unix,
             pipeline=self.server.pipeline,
+            profiler=self.server.profiler,
         )
+
+    def _profile_cpu(self) -> int:
+        """``GET /v1/profile/cpu?seconds=N&hz=M&format=F``.
+
+        The handler thread sleeps for the capture window while the
+        sampler (its own daemon thread) observes the whole process —
+        other requests proceed normally and are what the profile sees.
+        """
+        query = parse_qs(urlsplit(self.path).query)
+
+        def _param(name: str, default: float, cast) -> Any:
+            raw = query.get(name, [None])[-1]
+            if raw is None:
+                return default
+            try:
+                return cast(raw)
+            except (TypeError, ValueError):
+                raise ApiError(
+                    400,
+                    "invalid_parameter",
+                    f"'{name}' must be a number, got {raw!r}",
+                ) from None
+
+        seconds = _param("seconds", _PROFILE_DEFAULT_SECONDS, float)
+        hz = _param("hz", float(DEFAULT_HZ), float)
+        if not 0.0 < seconds <= _PROFILE_MAX_SECONDS:
+            raise ApiError(
+                400,
+                "invalid_parameter",
+                f"'seconds' must be in (0, {_PROFILE_MAX_SECONDS:g}], "
+                f"got {seconds:g}",
+            )
+        if not 1 <= hz <= MAX_HZ:
+            raise ApiError(
+                400,
+                "invalid_parameter",
+                f"'hz' must be in [1, {MAX_HZ}], got {hz:g}",
+            )
+        fmt = query.get("format", ["json"])[-1]
+        if fmt not in ("json", "collapsed", "html"):
+            raise ApiError(
+                400,
+                "invalid_parameter",
+                f"'format' must be json, collapsed or html, got {fmt!r}",
+            )
+        profile = self.server.profiler.capture(seconds, int(hz))
+        if fmt == "collapsed":
+            self._send_text(
+                200, profile.folded(), "text/plain; charset=utf-8"
+            )
+        elif fmt == "html":
+            self._send_text(
+                200,
+                render_flamegraph_html(profile, title="serving CPU profile"),
+                "text/html; charset=utf-8",
+            )
+        else:
+            self._send_json(200, profile.as_dict())
+        return 200
 
     def _route_models(self, method: str, rest: list) -> int:
         registry = self.server.registry
@@ -620,6 +771,7 @@ class ModelServer:
                 registry, drift, events=self.telemetry
             )
         self.pipeline = pipeline if pipeline is not False else None
+        self.profiler = _ProfilerState()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         # Handlers reach everything through self.server.<attr>.
@@ -633,6 +785,7 @@ class ModelServer:
         self._httpd.recent_latency = self.recent_latency  # type: ignore[attr-defined]
         self._httpd.started_unix = self.started_unix  # type: ignore[attr-defined]
         self._httpd.pipeline = self.pipeline  # type: ignore[attr-defined]
+        self._httpd.profiler = self.profiler  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property

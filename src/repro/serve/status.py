@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.manifest import build_info
 from repro.obs.metrics import get_registry
+from repro.obs.prof import Profile, flamegraph_fragment
 from repro.viz.ascii_plots import sparkline
 
 __all__ = [
@@ -89,6 +90,7 @@ def build_status_document(
     recent_latency_s: Optional[Sequence[float]] = None,
     started_unix: Optional[float] = None,
     pipeline=None,
+    profiler=None,
 ) -> Dict[str, Any]:
     """Assemble the ``/v1/status`` document from the serving pieces.
 
@@ -143,6 +145,11 @@ def build_status_document(
         ),
         "pipeline": (
             pipeline.report() if pipeline is not None else {"armed": False}
+        ),
+        "profiler": (
+            profiler.report()
+            if profiler is not None
+            else {"available": False}
         ),
     }
     return document
@@ -309,7 +316,41 @@ def render_status_text(status: Dict[str, Any]) -> str:
         )
     else:
         lines.append("telemetry: off")
+    profiler = status.get("profiler") or {}
+    if profiler.get("available"):
+        line = (
+            f"profiler: captures={profiler.get('captures', 0)}  "
+            f"busy={profiler.get('busy', False)}"
+        )
+        last = profiler.get("last")
+        if last:
+            top = _top_span(last)
+            line += (
+                f"  last: {last.get('samples', 0)} passes @"
+                f"{last.get('hz', '?')}Hz, "
+                f"{float(last.get('attributed_fraction') or 0) * 100:.0f}% "
+                "span-attributed"
+            )
+            if top:
+                line += f", top span {top[0]} ({top[1]:.0f}%)"
+        lines.append(line)
+    else:
+        lines.append("profiler: off")
     return "\n".join(lines)
+
+
+def _top_span(last: Dict[str, Any]) -> Optional[Any]:
+    """(span, share_pct) of the busiest span in a capped profile dict."""
+    try:
+        profile = Profile.from_dict(last)
+    except (ValueError, KeyError, TypeError):
+        return None
+    busy = profile.busy_count
+    spans = profile.by_span()
+    if not busy or not spans:
+        return None
+    name, count = next(iter(spans.items()))
+    return name, 100.0 * count / busy
 
 
 # -- the dashboard ---------------------------------------------------------
@@ -604,6 +645,35 @@ def render_dashboard_html(
     else:
         parts.append('<p class="muted">pipeline off</p>')
 
+    profiler = status.get("profiler") or {}
+    parts.append("<h2>profiler</h2>")
+    if profiler.get("available"):
+        last = profiler.get("last")
+        if last:
+            top = _top_span(last)
+            parts.append(
+                f"<p>{profiler.get('captures', 0)} capture(s) &middot; "
+                f"last: {last.get('samples', 0)} passes at "
+                f"{last.get('hz', '?')} Hz over "
+                f"{float(last.get('duration_s') or 0):.1f}s &middot; "
+                f"{float(last.get('attributed_fraction') or 0) * 100:.0f}% "
+                "span-attributed"
+                + (f" &middot; top span {esc(str(top[0]))}" if top else "")
+                + "</p>"
+            )
+            try:
+                parts.append(flamegraph_fragment(Profile.from_dict(last)))
+            except (ValueError, KeyError, TypeError):
+                parts.append(
+                    '<p class="muted">last profile unrenderable</p>'
+                )
+        else:
+            parts.append(
+                '<p class="muted">no captures yet &mdash; '
+                "GET /v1/profile/cpu?seconds=2 takes one</p>"
+            )
+    else:
+        parts.append('<p class="muted">profiler off</p>')
     telemetry = status.get("telemetry") or {}
     if telemetry.get("enabled"):
         parts.append(

@@ -61,6 +61,54 @@ class TestAppend:
         log.close()
 
 
+class TestIdleFlush:
+    """A tail below the batch threshold must hit disk within the
+    flush interval even if no further writes ever arrive."""
+
+    def test_single_record_flushed_without_traffic(self, tmp_path):
+        import time
+
+        from repro.obs.events import _FLUSH_INTERVAL_S
+
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path)
+        try:
+            log.append({"n": 1})
+            deadline = time.monotonic() + 4 * _FLUSH_INTERVAL_S
+            while time.monotonic() < deadline:
+                if len(read_events(path)) == 1:
+                    break
+                time.sleep(0.02)
+            assert len(read_events(path)) == 1, (
+                "idle record never flushed within the interval"
+            )
+        finally:
+            log.close()
+
+    def test_timer_armed_once_then_cleared(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        try:
+            log.append({"n": 1})
+            timer = log._timer
+            assert timer is not None
+            log.append({"n": 2})  # still pending; must not re-arm
+            assert log._timer is timer
+            log.flush()
+            assert log._timer is None
+        finally:
+            log.close()
+
+    def test_close_cancels_pending_timer(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        log.append({"n": 1})
+        assert log._timer is not None
+        log.close()
+        assert log._timer is None
+        # The cancelled (or already-fired) timer must not resurrect
+        # activity on a closed log.
+        log._timer_flush()
+
+
 class TestRotation:
     def test_rotates_and_keeps_bounded_backups(self, tmp_path):
         path = tmp_path / "events.jsonl"

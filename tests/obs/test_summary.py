@@ -255,3 +255,36 @@ class TestPrometheusConformance:
         assert escape_label_value("a\\b") == "a\\\\b"
         assert escape_label_value("a\nb") == "a\\nb"
         assert escape_label_value(42) == "42"
+
+    def test_profiler_and_ledger_instruments_export_cleanly(self, tmp_path):
+        """The obs.prof.* / obs.ledger.* families exercised by a real
+        capture and a real check pass must render as valid exposition
+        lines — they flow into the serving ``/metrics`` verbatim."""
+        import threading
+
+        from repro.obs.ledger import PerfLedger, check_ledger
+        from repro.obs.metrics import get_registry
+        from repro.obs.prof import SamplingProfiler
+
+        with SamplingProfiler(hz=200):
+            threading.Event().wait(0.05)
+            ledger = PerfLedger(tmp_path / "LEDGER.jsonl")
+            ledger.append("serve", {"p50_b64_ms": 1.0})
+            check_ledger(ledger.path)
+            # Render while the profiler runs: the registry omits
+            # zero-valued gauges, so `running` is only visible now.
+            text = render_prometheus(get_registry().as_records())
+        for family in (
+            "repro_obs_prof_samples",
+            "repro_obs_prof_running",
+            "repro_obs_prof_hz",
+            "repro_obs_prof_sample_cost_s",
+            "repro_obs_ledger_appends",
+            "repro_obs_ledger_checks",
+        ):
+            assert f"# TYPE {family} " in text, f"missing family {family}"
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            match = _SAMPLE_RE.match(line)
+            assert match, f"unparseable exposition line: {line!r}"

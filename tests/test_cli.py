@@ -387,6 +387,121 @@ class TestPipelineCli:
         assert "final verdict on promoted model: ok" in out
 
 
+class TestProfileVerbs:
+    def test_experiment_profile_is_span_attributed(self, capsys, tmp_path):
+        """The acceptance bar: a profiled experiment run groups >= 90%
+        of busy samples under known span names."""
+        import json
+
+        from repro.obs.prof import Profile
+
+        path = tmp_path / "prof.json"
+        assert main(
+            ["E7", "--scale", "0.1", "--profile", str(path),
+             "--profile-hz", "250"]
+        ) == 0
+        assert path.exists()
+        profile = Profile.from_dict(json.loads(path.read_text()))
+        assert profile.samples > 0
+        assert profile.busy_count > 0
+        assert profile.attributed_fraction() >= 0.9
+        spans = profile.by_span()
+        assert all(name for name in spans)
+
+    def test_profile_summary_renders_table(self, capsys, tmp_path):
+        path = tmp_path / "prof.json"
+        assert main(
+            ["E2", "--scale", "0.1", "--profile", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["profile-summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "passes at" in out
+        assert "span attribution" in out
+
+    def test_profile_summary_usage_and_errors(self, capsys, tmp_path):
+        assert main(["profile-summary"]) == 2
+        assert "usage" in capsys.readouterr().err
+        assert main(["profile-summary", str(tmp_path / "missing.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "wrong"}')
+        assert main(["profile-summary", str(bad)]) == 2
+
+    def test_profile_bad_hz_is_usage_error(self, capsys, tmp_path):
+        code = main(
+            ["E2", "--scale", "0.1",
+             "--profile", str(tmp_path / "p.json"), "--profile-hz", "0"]
+        )
+        assert code == 2
+
+
+class TestPerfVerbs:
+    def test_perf_usage(self, capsys):
+        assert main(["perf"]) == 2
+        assert main(["perf", "bogus"]) == 2
+
+    def test_perf_log_empty_ledger(self, capsys, tmp_path):
+        ledger = tmp_path / "LEDGER.jsonl"
+        assert main(["perf", "log", "--ledger", str(ledger)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_perf_log_last_validated(self, capsys, tmp_path):
+        code = main(
+            ["perf", "log", "--ledger", str(tmp_path / "l.jsonl"),
+             "--last", "0"]
+        )
+        assert code == 2
+
+    def test_perf_check_clean_and_regressed(self, capsys, tmp_path):
+        from repro.obs.ledger import PerfLedger
+
+        ledger_path = tmp_path / "LEDGER.jsonl"
+        ledger = PerfLedger(ledger_path)
+        for value in (0.50, 0.49, 0.51):
+            ledger.append("microperf", {"tree_fit_s": value})
+        assert main(["perf", "check", "--ledger", str(ledger_path)]) == 0
+        assert "perf check: ok" in capsys.readouterr().out
+
+        ledger.append("microperf", {"tree_fit_s": 1.1})
+        assert main(["perf", "check", "--ledger", str(ledger_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_perf_check_self_test_detects_injection(self, capsys, tmp_path):
+        # Point --ledger at an empty scratch file so the self-test's
+        # committed-ledger half is exercised on a known-clean input.
+        code = main(
+            ["perf", "check", "--self-test",
+             "--ledger", str(tmp_path / "LEDGER.jsonl")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "injected 2x tree_fit regression: detected" in out
+        assert "perf check --self-test: ok" in out
+
+    def test_perf_record_derives_from_committed_snapshots(
+        self, capsys, tmp_path
+    ):
+        from repro.obs.ledger import BENCH_SNAPSHOTS, DEFAULT_LEDGER_PATH, PerfLedger
+
+        have_snapshots = any(
+            (DEFAULT_LEDGER_PATH.parent / name).exists()
+            for name in BENCH_SNAPSHOTS.values()
+        )
+        ledger_path = tmp_path / "LEDGER.jsonl"
+        code = main(["perf", "record", "--ledger", str(ledger_path)])
+        out = capsys.readouterr()
+        if not have_snapshots:  # pragma: no cover - fresh checkout
+            assert code == 2
+            return
+        assert code == 0
+        entries = PerfLedger(ledger_path).entries()
+        assert entries
+        for record in entries:
+            assert record["meta"]["source"] in BENCH_SNAPSHOTS.values()
+            assert record["metrics"]
+
+
 class TestPublicApi:
     def test_version(self):
         import repro
