@@ -164,6 +164,48 @@ def perf_ledger_guard() -> None:
         )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def cluster_scaling_guard() -> None:
+    """Scaling guard: the committed loadbench curve must show a
+    4-worker cluster at >= 2x single-worker rows/s on the box that
+    recorded it.
+
+    Skipped (not passed) when the box has fewer than 4 CPUs — N
+    replicas time-sharing one core cannot scale and the snapshot says
+    so honestly via its recorded ``cpu_count`` — or when the snapshot
+    predates the curve.  On a >= 4-CPU box a sub-2x curve means the
+    cluster's horizontal scaling has regressed (accept contention,
+    leader bottleneck, GIL leak into the fork path): re-profile with
+    ``benchmarks/run_loadbench.py`` before recording new artifacts.
+    """
+    import os
+
+    path = Path(__file__).parent / "BENCH_loadbench.json"
+    if not path.exists():  # pragma: no cover - fresh checkout
+        return
+    snapshot = json.loads(path.read_text())
+    recorded_cpus = snapshot.get("cpu_count") or 0
+    if (os.cpu_count() or 1) < 4 or recorded_cpus < 4:
+        # The guard is vacuous without the cores to scale across; a
+        # session-scoped pytest.skip would skip every benchmark, so
+        # "skip" here means "don't bind".
+        return
+    curve = snapshot.get("saturation") or {}
+    single = (curve.get("1") or {}).get("result") or {}
+    quad = (curve.get("4") or {}).get("result") or {}
+    base = single.get("achieved_rows_per_s")
+    wide = quad.get("achieved_rows_per_s")
+    if not base or not wide:
+        return  # curve without both points binds nothing
+    if wide < 2.0 * base:
+        pytest.fail(
+            f"4-worker cluster reached {wide:,.0f} rows/s vs "
+            f"{base:,.0f} single-worker ({wide / base:.2f}x, "
+            "limit >= 2x) per BENCH_loadbench.json — horizontal "
+            "scaling has regressed; re-profile run_loadbench.py"
+        )
+
+
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
     context = ExperimentContext(ExperimentConfig())

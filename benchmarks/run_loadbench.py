@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Cluster saturation curve: the repro.loadbench snapshot.
+
+Publishes a deterministic CPU2006 model into a throwaway registry,
+then for each worker count in ``--workers`` boots a fresh
+:class:`~repro.cluster.ClusterSupervisor` on an ephemeral port and
+drives it closed-loop (``--connections`` persistent connections, no
+think time, ``--batch-rows`` rows per request) for ``--duration``
+seconds.  Before each load run, one predict response is checked
+bit-identical against direct ``ModelTree.predict`` on the same rows —
+a saturation number for a cluster that disagrees with the in-process
+kernel would be worthless.
+
+After the curve, one open-loop run (Poisson arrivals at ``--rate``
+against the widest cluster) records latency at an offered rate with
+coordinated omission accounted for — the latency clock starts at each
+request's *scheduled* arrival (see ``docs/PERFORMANCE.md``).
+
+Results land in ``BENCH_loadbench.json`` keyed by worker count, with
+``cpu_count`` recorded alongside: on a box with fewer cores than
+workers the curve honestly shows no scaling (the replicas time-share
+one core), and the ``benchmarks/conftest.py`` scaling guard skips
+below 4 CPUs for exactly that reason.  Headline numbers are appended
+to the performance ledger (``--no-ledger`` skips that).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_loadbench.py
+    PYTHONPATH=src python benchmarks/run_loadbench.py --workers 1 2 4 8 --duration 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+from pathlib import Path
+
+#: Training scale for the served model (matches run_servebench.py).
+_TRAIN_SAMPLES = 6000
+_TRAIN_SEED = 20080402
+
+
+def _publish_model(registry):
+    from repro.mtree.tree import ModelTree, ModelTreeConfig
+    from repro.workloads.spec_cpu2006 import spec_cpu2006
+    from repro.workloads.suite import SuiteGenerationConfig
+
+    data = spec_cpu2006().generate(
+        SuiteGenerationConfig(total_samples=_TRAIN_SAMPLES, seed=_TRAIN_SEED)
+    )
+    tree = ModelTree(ModelTreeConfig(min_leaf=40)).fit_sample_set(data)
+    record = registry.publish(
+        tree, metadata={"suite": "cpu2006", "origin": "loadbench"}
+    )
+    return record, tree, data.X
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="worker counts for the saturation curve (default 1 2 4)",
+    )
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="seconds of load per curve point (default 10)")
+    parser.add_argument("--connections", type=int, default=8,
+                        help="closed-loop connections (default 8)")
+    parser.add_argument("--batch-rows", type=int, default=64,
+                        help="rows per predict request (default 64)")
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="open-loop offered rate in req/s (default 50)")
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).parent / "BENCH_loadbench.json"),
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip appending headline numbers to the performance ledger",
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="ledger path (default benchmarks/LEDGER.jsonl)",
+    )
+    args = parser.parse_args(argv)
+    if min(args.workers) < 1:
+        parser.error("--workers counts must be at least 1")
+    if args.duration <= 0 or args.connections < 1 or args.batch_rows < 1:
+        parser.error("--duration/--connections/--batch-rows must be positive")
+
+    import numpy as np
+
+    from repro.loadbench import LoadConfig
+    from repro.loadbench.report import run_saturation_curve
+    from repro.serve.registry import ModelRegistry
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        record, tree, X_train = _publish_model(registry)
+        rng = np.random.default_rng(99)
+        rows = X_train[
+            rng.integers(0, len(X_train), size=args.batch_rows)
+        ]
+        instances = rows.tolist()
+        expected = tree.predict(rows).tolist()
+        print(
+            f"published {record.model_id} ({record.n_leaves} leaves); "
+            f"curve over workers={args.workers}, "
+            f"{args.connections} connections, "
+            f"batch {args.batch_rows}, {args.duration:g}s per point "
+            f"(cpu_count={os.cpu_count()})"
+        )
+
+        base = LoadConfig(
+            url="http://placeholder",  # replaced per cluster
+            mode="closed",
+            duration_s=args.duration,
+            connections=args.connections,
+            batch_rows=args.batch_rows,
+            instances=instances,
+        )
+        points = run_saturation_curve(
+            tmp,
+            args.workers,
+            base,
+            model="latest",
+            expected=expected,
+            instances=instances,
+        )
+        saturation = {}
+        for point in points:
+            result = point["result"]
+            saturation[str(point["workers"])] = point
+            print(
+                f"  workers={point['workers']} "
+                f"({point['socket_mode']}): "
+                f"{result['achieved_rows_per_s']:,.0f} rows/s  "
+                f"{result['achieved_rps']:,.1f} req/s  "
+                f"p99 {result['latency_p99_ms']:.2f} ms  "
+                f"errors {result['errors']}  "
+                f"replicas {result['replicas_seen']}  "
+                f"bit_identical={point['bit_identical']}"
+            )
+            if point["bit_identical"] is not True:
+                print("loadbench: bit-equality check FAILED", file=sys.stderr)
+                return 1
+
+        # Open loop against the widest cluster: latency at an offered
+        # rate, with the clock started at scheduled arrivals.
+        from repro.loadbench.harness import run_load
+        from repro.cluster import ClusterConfig, ClusterSupervisor
+        from dataclasses import replace
+
+        widest = max(args.workers)
+        with ClusterSupervisor(
+            ClusterConfig(
+                registry_dir=tmp, workers=widest, port=0, monitor=False
+            )
+        ) as supervisor:
+            open_result = run_load(
+                replace(
+                    base,
+                    url=supervisor.url,
+                    mode="open",
+                    rate=args.rate,
+                )
+            )
+        open_section = open_result.as_dict()
+        open_section["workers"] = widest
+        print(
+            f"  open loop (workers={widest}, offered "
+            f"{open_result.offered_rps:,.1f} req/s): achieved "
+            f"{open_result.achieved_rps:,.1f} req/s  "
+            f"p99 {open_result.latency_p99_ms:.2f} ms"
+        )
+
+    snapshot = {
+        "schema": "repro-loadbench-v1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "batch_rows": args.batch_rows,
+        "connections": args.connections,
+        "duration_s": args.duration,
+        "model_id": record.model_id,
+        "saturation": saturation,
+        "open_loop": open_section,
+    }
+    path = Path(args.output)
+    path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {path}")
+    if not args.no_ledger:
+        from repro.obs.ledger import (
+            DEFAULT_LEDGER_PATH,
+            PerfLedger,
+            headline_metrics,
+        )
+
+        ledger = PerfLedger(args.ledger or DEFAULT_LEDGER_PATH)
+        entry = ledger.append(
+            "loadbench",
+            headline_metrics("loadbench", snapshot),
+            meta={"source": "run_loadbench.py"},
+        )
+        print(
+            f"ledger: appended {len(entry['metrics'])} metric(s) "
+            f"to {ledger.path}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

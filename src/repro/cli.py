@@ -84,7 +84,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "'status', 'monitor <model-suite> [<traffic-suite>]', "
             "'pipeline run <train-suite> <traffic-suite>', 'promotions', "
             "'rollback', 'registry gc', 'profile', "
-            "'profile-summary <prof.json>', or 'perf record|log|check'"
+            "'profile-summary <prof.json>', 'perf record|log|check', "
+            "or 'loadbench'"
         ),
     )
     parser.add_argument(
@@ -216,7 +217,30 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "serve: boot on an ephemeral port, round-trip one predict "
-            "request, verify bit-identical results, exit"
+            "request, verify bit-identical results, exit (with "
+            "--workers N, also self-test through an N-replica cluster)"
+        ),
+    )
+    serving.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "serve: fork N replica processes sharing the host:port "
+            "(SO_REUSEPORT where available); replica 0 leads the "
+            "pipeline (default 1 = single process)"
+        ),
+    )
+    serving.add_argument(
+        "--admin-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "serve --workers: also serve aggregated cluster /metrics "
+            "and /v1/status from the supervisor on this port "
+            "(0 picks an ephemeral port)"
         ),
     )
     serving.add_argument(
@@ -245,6 +269,56 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2.0,
         metavar="S",
         help="status: seconds between --watch refreshes (default 2)",
+    )
+    loadbench = parser.add_argument_group("load harness ('loadbench')")
+    loadbench.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help=(
+            "loadbench: closed loop (K connections + think time, "
+            "measures capacity) or open loop (Poisson arrivals at "
+            "--rate, measures latency at an offered rate; default "
+            "closed)"
+        ),
+    )
+    loadbench.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="loadbench: seconds of load per run (default 10)",
+    )
+    loadbench.add_argument(
+        "--connections",
+        type=int,
+        default=4,
+        metavar="K",
+        help=(
+            "loadbench: concurrent connections (closed) or sender "
+            "pool size (open; default 4)"
+        ),
+    )
+    loadbench.add_argument(
+        "--rate",
+        type=float,
+        default=100.0,
+        metavar="R",
+        help="loadbench --mode open: offered arrival rate, req/s",
+    )
+    loadbench.add_argument(
+        "--think-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="loadbench --mode closed: think time between requests",
+    )
+    loadbench.add_argument(
+        "--batch-rows",
+        type=int,
+        default=64,
+        metavar="N",
+        help="loadbench: rows per predict request (default 64)",
     )
     drift = parser.add_argument_group("drift monitoring ('monitor', 'serve')")
     drift.add_argument(
@@ -486,6 +560,16 @@ def _run_subcommand(args) -> Optional[int]:
             )
             return 2
         return _status(args)
+    if command == "loadbench":
+        if len(words) != 1:
+            print(
+                "usage: repro loadbench [--url URL] [--mode closed|open] "
+                "[--duration S] [--connections K] [--rate R] "
+                "[--think-ms MS] [--batch-rows N] [--model REF]",
+                file=sys.stderr,
+            )
+            return 2
+        return _loadbench(args)
     if command == "monitor":
         suites = ("cpu2006", "omp2001", "cpu2000")
         if len(words) not in (2, 3):
@@ -1071,6 +1155,137 @@ def _status(args) -> int:
         return 0
 
 
+def _loadbench(args) -> int:
+    """Drive closed- or open-loop load at a running server's HTTP path."""
+    import urllib.error
+
+    from repro.loadbench import LoadConfig, run_load
+    from repro.loadbench.report import render_load_text
+
+    try:
+        config = LoadConfig(
+            url=args.url.rstrip("/"),
+            model=args.model or "latest",
+            mode=args.mode,
+            duration_s=args.duration,
+            connections=args.connections,
+            think_ms=args.think_ms,
+            rate=args.rate,
+            batch_rows=args.batch_rows,
+        )
+    except ValueError as error:
+        print(f"loadbench: {error}", file=sys.stderr)
+        return 2
+    # Fail fast on an unreachable server instead of recording a
+    # duration_s-long run of nothing but connection errors, and size
+    # the payload rows from the model's actual schema — a guessed
+    # width would 400 on every request.
+    import json as json_module
+    import urllib.request
+
+    from dataclasses import replace
+
+    from repro.loadbench.harness import _default_instances
+
+    try:
+        with urllib.request.urlopen(
+            f"{config.url}/healthz", timeout=5.0
+        ) as response:
+            response.read()
+        with urllib.request.urlopen(
+            f"{config.url}/v1/models/{config.model}", timeout=5.0
+        ) as response:
+            record = json_module.loads(response.read())
+    except urllib.error.HTTPError as error:
+        print(
+            f"loadbench: no model {config.model!r} at {config.url} "
+            f"(HTTP {error.code})",
+            file=sys.stderr,
+        )
+        return 2
+    except (urllib.error.URLError, OSError) as error:
+        print(f"loadbench: {config.url}: {error}", file=sys.stderr)
+        return 2
+    config = replace(
+        config,
+        instances=_default_instances(
+            config.batch_rows,
+            config.seed,
+            len(record.get("feature_names") or ()) or 3,
+        ),
+    )
+    result = run_load(config)
+    print(render_load_text(result, config.url))
+    if result.requests == 0:
+        print("loadbench: no successful requests", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _serve_cluster(args, batch) -> int:
+    """Run an N-replica cluster until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from repro.cluster import ClusterConfig, ClusterSupervisor
+
+    try:
+        supervisor = ClusterSupervisor(
+            ClusterConfig(
+                registry_dir=args.registry,
+                workers=args.workers,
+                host=args.host,
+                port=args.port,
+                batch=batch,
+                monitor=not args.no_monitor,
+                pipeline=args.pipeline,
+                events_path=args.events,
+                admin_port=args.admin_port,
+                extra_server_kwargs={
+                    "shadow": args.shadow,
+                    "shadow_champion": args.shadow_champion,
+                    "audit_path": args.audit,
+                },
+            )
+        ).start()
+    except (OSError, ValueError) as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+
+    def _drain(signum, frame) -> None:
+        supervisor.request_stop()
+
+    previous = {
+        sig: signal.signal(sig, _drain)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    admin = (
+        f", admin http://{args.host}:{supervisor.admin_port}"
+        if supervisor.admin_port is not None
+        else ""
+    )
+    print(
+        f"serving on http://{args.host}:{supervisor.port} with "
+        f"{args.workers} worker(s) ({supervisor.socket_mode} mode, "
+        f"replica 0 leads{admin}; SIGTERM/Ctrl-C drains and exits)",
+        file=sys.stderr,
+    )
+    try:
+        supervisor.serve_forever()
+        print("draining workers...", file=sys.stderr)
+        unclean = supervisor.shutdown()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    restarts = sum(supervisor.restart_counts())
+    print(
+        f"cluster stopped ({restarts} restart(s), "
+        f"{unclean} unclean exit(s)); bye",
+        file=sys.stderr,
+    )
+    return 1 if unclean else 0
+
+
 def _serve(args) -> int:
     """Run the model server until SIGTERM/SIGINT, then drain and exit."""
     from repro.serve.engine import BatchConfig
@@ -1082,11 +1297,27 @@ def _serve(args) -> int:
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print(f"serve: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
 
     if args.self_test:
         from repro.serve.selftest import run_self_test
 
-        return run_self_test(args.registry, batch=batch)
+        return run_self_test(
+            args.registry, batch=batch, workers=args.workers
+        )
+
+    if args.workers > 1:
+        if args.profile is not None:
+            print(
+                "serve: --profile samples one process; with --workers "
+                "use 'repro profile' against a replica instead",
+                file=sys.stderr,
+            )
+            return 2
+        return _serve_cluster(args, batch)
 
     import signal
     import threading

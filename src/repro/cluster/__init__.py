@@ -1,0 +1,39 @@
+"""Multi-process serving cluster: N replicas behind one host:port.
+
+A single :class:`~repro.serve.api.ModelServer` is capped by the GIL at
+one batching engine no matter how many cores the box has.  This
+package forks N worker processes, each running its own registry-backed
+:class:`~repro.serve.engine.PredictionEngine` with bit-identical
+predictions, all accepting on the same host:port — via per-worker
+``SO_REUSEPORT`` sockets where the kernel load-balances accepts, or a
+single inherited listening socket where it cannot.
+
+The public surface:
+
+- :class:`~repro.cluster.supervisor.ClusterSupervisor` — forks,
+  health-checks, restarts, drains; ``repro serve --workers N``.
+- :class:`~repro.cluster.supervisor.ClusterConfig` — how many workers,
+  where, with what serving options.
+- :func:`~repro.cluster.aggregate.build_cluster_status` /
+  :func:`~repro.cluster.aggregate.render_cluster_metrics` — per-replica
+  ``/v1/status`` and ``/metrics`` folded into cluster-level documents.
+
+See ``docs/SERVING.md`` ("Running a cluster") for the design notes:
+leader election (replica 0 owns the pipeline), the alias watch that
+lets followers pick up promotions without restart, and the shutdown
+ladder (SIGTERM → drain → bounded join → SIGKILL).
+"""
+
+from repro.cluster.aggregate import build_cluster_status, render_cluster_metrics
+from repro.cluster.sockets import create_listen_sockets
+from repro.cluster.supervisor import ClusterConfig, ClusterSupervisor
+from repro.cluster.watch import AliasWatcher
+
+__all__ = [
+    "AliasWatcher",
+    "ClusterConfig",
+    "ClusterSupervisor",
+    "build_cluster_status",
+    "create_listen_sockets",
+    "render_cluster_metrics",
+]

@@ -1,0 +1,113 @@
+"""Fold per-replica telemetry into cluster-level documents.
+
+Aggregation strategy: **label, don't merge**.  Each replica already
+produces complete, self-consistent documents (``/metrics`` records,
+``/v1/status``); the cluster view tags every metric record with a
+``replica`` label and re-renders through the same
+:func:`~repro.obs.summary.render_prometheus` the single-process server
+uses.  That is lossless — every per-replica sample survives, quantile
+sketches are never averaged (averaging p99s is statistically wrong),
+and any Prometheus consumer can ``sum by (__name__)`` where a total is
+wanted.  The status document keeps each replica's full document intact
+and adds a small ``totals`` section for the handful of counters where
+a cluster-wide sum is the number people actually ask for.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.summary import render_prometheus
+
+__all__ = [
+    "CLUSTER_STATUS_SCHEMA_VERSION",
+    "build_cluster_status",
+    "render_cluster_metrics",
+]
+
+CLUSTER_STATUS_SCHEMA_VERSION = "repro-cluster-status-v1"
+
+#: Status-document counter paths summed into the ``totals`` section:
+#: (section, key) of every additive number worth a cluster-wide view.
+_TOTALED = (
+    ("http", "requests"),
+    ("http", "responses_2xx"),
+    ("http", "responses_4xx"),
+    ("http", "responses_5xx"),
+    ("http", "predictions"),
+    ("engine", "requests"),
+    ("engine", "rows"),
+    ("engine", "batches"),
+    ("engine", "errors"),
+    ("engine", "queue_depth"),
+)
+
+
+def render_cluster_metrics(
+    per_replica_records: Dict[int, List[Dict[str, Any]]]
+) -> str:
+    """One Prometheus exposition over every replica's records.
+
+    ``per_replica_records`` maps replica index to that worker's
+    ``MetricsRegistry.as_records()`` payload (fetched over the control
+    pipe).  Each record gains a ``replica`` label; name collisions
+    across replicas then coexist as samples of one family.
+    """
+    labelled: List[Dict[str, Any]] = []
+    for index in sorted(per_replica_records):
+        for record in per_replica_records[index]:
+            labels = dict(record.get("labels") or {})
+            labels["replica"] = str(index)
+            labelled.append({**record, "labels": labels})
+    return render_prometheus(labelled)
+
+
+def build_cluster_status(
+    per_replica_status: Dict[int, Optional[Dict[str, Any]]],
+    supervisor: Dict[str, Any],
+) -> Dict[str, Any]:
+    """The cluster ``/v1/status``: supervisor view + per-replica docs.
+
+    ``per_replica_status`` maps replica index to that worker's own
+    status document, or ``None`` for a replica that did not answer its
+    control pipe in time (crashed, mid-restart) — it still appears in
+    the ``replicas`` list, marked unresponsive, because silently
+    dropping a sick replica is exactly the wrong failure mode for a
+    health surface.
+    """
+    replicas: List[Dict[str, Any]] = []
+    totals: Dict[str, Dict[str, Any]] = {
+        section: {} for section, _ in _TOTALED
+    }
+    responsive = 0
+    for index in sorted(per_replica_status):
+        document = per_replica_status[index]
+        if document is None:
+            replicas.append({"index": index, "responsive": False})
+            continue
+        responsive += 1
+        replicas.append(
+            {"index": index, "responsive": True, "status": document}
+        )
+        for section, key in _TOTALED:
+            value = (document.get(section) or {}).get(key)
+            if isinstance(value, (int, float)):
+                totals[section][key] = totals[section].get(key, 0) + value
+    # Models/aliases are properties of the shared registry directory,
+    # identical across replicas; surface one copy, not N.
+    models: Optional[Dict[str, Any]] = None
+    for entry in replicas:
+        if entry.get("responsive"):
+            models = entry["status"].get("models")
+            break
+    return {
+        "schema": CLUSTER_STATUS_SCHEMA_VERSION,
+        "generated_unix": time.time(),
+        "supervisor": dict(supervisor),
+        "workers": len(per_replica_status),
+        "responsive": responsive,
+        "totals": totals,
+        "models": models,
+        "replicas": replicas,
+    }

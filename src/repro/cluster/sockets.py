@@ -1,0 +1,100 @@
+"""Listening-socket setup for the cluster: reuseport or shared.
+
+Two ways N processes can accept on one host:port:
+
+``reuseport``
+    Every worker gets its *own* listening socket bound with
+    ``SO_REUSEPORT``; the kernel hashes each incoming connection's
+    4-tuple onto one of the sockets in the group.  This is the fast
+    path — no shared accept queue, no thundering herd — and the
+    default wherever the platform supports the option (Linux >= 3.9,
+    modern BSDs).
+
+``shared``
+    The supervisor binds *one* listening socket before forking and
+    every worker inherits it; the kernel wakes one blocked ``accept``
+    per connection (round-robin-ish).  Slightly more accept contention
+    but works everywhere ``fork`` does.
+
+Either way the sockets are created in the *supervisor* before any
+worker exists, for two reasons: an ephemeral-port request (``port=0``)
+must resolve to one concrete port that all N sockets then share, and
+the parent keeping its own copy of every socket means a crashed
+worker's replacement re-inherits the very same socket — connections
+queued while the worker was dead are accepted by its successor instead
+of being reset.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Tuple
+
+__all__ = ["create_listen_sockets", "reuseport_available"]
+
+#: accept() backlog per listening socket.
+LISTEN_BACKLOG = 128
+
+
+def reuseport_available() -> bool:
+    """Can this platform bind N sockets to one port with SO_REUSEPORT?
+
+    ``hasattr`` is necessary but not sufficient — some kernels expose
+    the constant and fail the ``setsockopt`` — so probe with a real
+    socket.
+    """
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        return True
+    except OSError:
+        return False
+    finally:
+        probe.close()
+
+
+def _bind_one(host: str, port: int, reuseport: bool) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuseport:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(LISTEN_BACKLOG)
+        return sock
+    except BaseException:
+        sock.close()
+        raise
+
+
+def create_listen_sockets(
+    host: str, port: int, workers: int
+) -> Tuple[List[socket.socket], int, str]:
+    """All listening sockets for a ``workers``-replica cluster.
+
+    Returns ``(sockets, port, mode)``: one socket per worker and
+    ``mode="reuseport"`` where the platform allows, else a single
+    shared socket and ``mode="shared"``.  ``port=0`` is resolved by
+    the first bind and the remaining sockets join that concrete port,
+    so ephemeral-port clusters (tests) work the same as fixed-port
+    ones.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or not reuseport_available():
+        sock = _bind_one(host, port, reuseport=False)
+        return [sock], sock.getsockname()[1], "shared"
+    sockets: List[socket.socket] = []
+    try:
+        first = _bind_one(host, port, reuseport=True)
+        sockets.append(first)
+        bound_port = first.getsockname()[1]
+        for _ in range(workers - 1):
+            sockets.append(_bind_one(host, bound_port, reuseport=True))
+        return sockets, bound_port, "reuseport"
+    except BaseException:
+        for sock in sockets:
+            sock.close()
+        raise

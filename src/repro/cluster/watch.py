@@ -1,0 +1,137 @@
+"""Follower-side alias watch: pick up promotions without a restart.
+
+In a cluster exactly one replica — the leader, replica 0 — runs the
+MLOps pipeline, so promotions (``move_alias`` re-pointing ``latest``
+to a freshly shadow-validated champion) happen in *another process*.
+Correctness does not depend on this module: every
+:meth:`~repro.serve.registry.ModelRegistry.resolve` re-reads the alias
+file, so a follower's very next request already serves the new
+champion.  What the watcher adds is everything around that:
+
+- **warmth** — it loads the new champion into the follower's LRU the
+  moment the flip lands, so the first post-promotion request pays no
+  deserialization stall;
+- **promptness bounds** — a poll interval is an explicit upper bound
+  on how long a follower can be "behind", visible in the cluster
+  status;
+- **observability** — a ``cluster.alias_flips`` counter and a
+  last-flip record per follower, which the alias-flip e2e test and the
+  cluster status document both read.
+
+Polling (mtime + content compare, default 0.5 s) rather than inotify:
+stdlib-only, works on every filesystem, and an alias flip is a rare
+control-plane event where half a second of watch latency is
+irrelevant — the *data plane* picks the flip up per-request anyway.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.metrics import counter
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["AliasWatcher"]
+
+_FLIPS = counter("cluster.alias_flips")
+
+#: Default poll cadence; an explicit bound on follower staleness.
+DEFAULT_POLL_S = 0.5
+
+
+class AliasWatcher:
+    """Polls the registry's alias map; reacts to re-points.
+
+    ``on_flip(alias, old_id, new_id)`` is called — after the new
+    champion has been warmed into the registry LRU — from the watch
+    thread; keep it quick.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        poll_s: float = DEFAULT_POLL_S,
+        on_flip: Optional[Callable[[str, Optional[str], str], None]] = None,
+    ) -> None:
+        if poll_s <= 0:
+            raise ValueError(f"poll_s must be > 0, got {poll_s}")
+        self.registry = registry
+        self.poll_s = poll_s
+        self.on_flip = on_flip
+        self.flips = 0
+        self.last_flip: Optional[Dict[str, Any]] = None
+        self._known: Dict[str, str] = registry.aliases()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "AliasWatcher":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-alias-watch", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+
+    # -- the watch -------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_s):
+            try:
+                self.check_once()
+            except Exception:  # pragma: no cover - diagnostics only
+                # The watcher must never take a worker down; the data
+                # plane resolves aliases per request regardless.
+                pass
+
+    def check_once(self) -> int:
+        """One poll: detect flips, warm new champions, run callbacks.
+
+        Returns how many aliases changed (tests call this directly to
+        avoid sleeping through the poll interval).
+        """
+        current = self.registry.aliases()
+        changed = 0
+        for alias, model_id in current.items():
+            old_id = self._known.get(alias)
+            if old_id == model_id:
+                continue
+            changed += 1
+            try:
+                # Warm the LRU so the first request after the flip
+                # pays no artifact-deserialization stall.
+                self.registry.load(model_id)
+            except Exception:  # pragma: no cover - corrupt artifact
+                pass
+            with self._lock:
+                self.flips += 1
+                self.last_flip = {
+                    "alias": alias,
+                    "from": old_id,
+                    "to": model_id,
+                }
+            _FLIPS.inc()
+            if self.on_flip is not None:
+                self.on_flip(alias, old_id, model_id)
+        self._known = current
+        return changed
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-ready state for the worker status document."""
+        with self._lock:
+            return {
+                "poll_s": self.poll_s,
+                "flips": self.flips,
+                "last_flip": dict(self.last_flip) if self.last_flip else None,
+            }

@@ -1,0 +1,131 @@
+"""Saturation curves and terminal rendering for the load harness.
+
+:func:`run_saturation_curve` is the orchestration the ISSUE's
+SPEC-CPU2026-style scaling story needs: boot a cluster at each worker
+count, drive identical closed-loop load against it, verify one
+replica-served response is bit-identical to a direct
+``ModelTree.predict`` on the same rows, tear down, repeat.  Each point
+is a fresh cluster on an ephemeral port so the counts never contend
+with each other.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.loadbench.harness import LoadConfig, LoadResult, run_load
+
+__all__ = ["run_saturation_curve", "verify_bit_equality", "render_load_text"]
+
+
+def verify_bit_equality(
+    url: str,
+    model: str,
+    instances: List[List[float]],
+    expected: Sequence[float],
+    timeout_s: float = 30.0,
+) -> Dict[str, Any]:
+    """One HTTP predict vs the caller's direct ``tree.predict`` floats.
+
+    Equality is ``==`` on the JSON-decoded floats: Python round-trips
+    doubles exactly (shortest-repr), so serving is bit-identical to the
+    in-process kernel or this fails — no tolerance, by design.
+    """
+    body = json.dumps({"instances": instances}).encode()
+    request = urllib.request.Request(
+        f"{url}/v1/models/{model}/predict",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout_s) as response:
+        payload = json.loads(response.read())
+        replica = response.headers.get("X-Repro-Replica")
+    served = payload["predictions"]
+    identical = list(served) == list(expected)
+    return {
+        "identical": identical,
+        "replica": replica,
+        "n": len(served),
+    }
+
+
+def run_saturation_curve(
+    registry_dir: str,
+    worker_counts: Sequence[int],
+    base: LoadConfig,
+    model: str = "latest",
+    expected: Optional[Sequence[float]] = None,
+    instances: Optional[List[List[float]]] = None,
+) -> List[Dict[str, Any]]:
+    """One load point per worker count, each against a fresh cluster.
+
+    Returns one dict per count: ``{"workers", "socket_mode", "result",
+    "bit_identical"}`` — ``bit_identical`` is ``None`` unless the
+    caller supplied ``expected`` (the direct-predict floats for
+    ``instances``).
+    """
+    from repro.cluster import ClusterConfig, ClusterSupervisor
+
+    points: List[Dict[str, Any]] = []
+    for workers in worker_counts:
+        supervisor = ClusterSupervisor(
+            ClusterConfig(
+                registry_dir=registry_dir,
+                workers=workers,
+                port=0,
+                monitor=False,
+            )
+        ).start()
+        try:
+            config = replace(base, url=supervisor.url, model=model)
+            check: Optional[Dict[str, Any]] = None
+            if expected is not None and instances is not None:
+                check = verify_bit_equality(
+                    supervisor.url, model, instances, expected
+                )
+            result = run_load(config)
+            points.append(
+                {
+                    "workers": workers,
+                    "socket_mode": supervisor.socket_mode,
+                    "result": result.as_dict(),
+                    "bit_identical": check["identical"] if check else None,
+                }
+            )
+        finally:
+            supervisor.shutdown()
+    return points
+
+
+def render_load_text(result: LoadResult, url: str) -> str:
+    """The ``repro loadbench`` terminal report for one run."""
+    lines = [
+        f"loadbench  {result.mode} loop against {url}",
+        (
+            f"  requests {result.requests}  errors {result.errors}  "
+            f"rows {result.rows}  over {result.duration_s:.2f}s"
+        ),
+        (
+            f"  throughput {result.achieved_rps:,.1f} req/s  "
+            f"{result.achieved_rows_per_s:,.0f} rows/s"
+            + (
+                f"  (offered {result.offered_rps:,.1f} req/s)"
+                if result.offered_rps is not None
+                else ""
+            )
+        ),
+        (
+            f"  latency  p50 {result.latency_p50_ms:.2f} ms  "
+            f"p95 {result.latency_p95_ms:.2f} ms  "
+            f"p99 {result.latency_p99_ms:.2f} ms  "
+            f"max {result.latency_max_ms:.2f} ms"
+        ),
+    ]
+    if result.replicas_seen:
+        lines.append(
+            "  replicas  " + ", ".join(result.replicas_seen)
+        )
+    return "\n".join(lines)

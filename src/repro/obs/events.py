@@ -25,6 +25,19 @@ measurably slower) and happens outside the lock.  Every record gains
 a ``unix`` timestamp if the caller did not supply one.  Serialization
 failures are counted (``obs.events.serialize_errors``), never raised:
 losing one telemetry record must not take a request down with it.
+
+The lock serializes *threads*; it cannot serialize *processes*.  Two
+processes appending to one path would interleave buffered writes and
+race the rotation renames, corrupting records — so multi-process use
+(the :mod:`repro.cluster` workers) passes ``per_pid=True``, which
+suffixes the filename with the writing PID (``events.jsonl`` becomes
+``events.pid-4242.jsonl``) so every process owns its file exclusively.
+As a safety net, every append re-checks ``os.getpid()``: a process
+that forked with an open log silently re-homes onto its own per-PID
+file instead of scribbling over the parent's.  :func:`read_events`
+merges the per-PID siblings of a base path (plus all their rotation
+backups) into one timeline ordered by the ``unix`` stamp, so readers
+never need to know how many processes wrote.
 """
 
 from __future__ import annotations
@@ -60,6 +73,11 @@ _FLUSH_INTERVAL_S = 0.25
 _ENCODER = json.JSONEncoder(separators=(",", ":"), check_circular=False)
 
 
+def _pid_path(base: Path, pid: int) -> Path:
+    """The per-PID sibling of ``base``: events.jsonl -> events.pid-N.jsonl."""
+    return base.with_name(f"{base.stem}.pid-{pid}{base.suffix}")
+
+
 class EventLog:
     """Append-only JSONL sink with size-based rotation."""
 
@@ -69,12 +87,20 @@ class EventLog:
         max_bytes: int = DEFAULT_MAX_BYTES,
         backups: int = DEFAULT_BACKUPS,
         clock=None,
+        per_pid: bool = False,
     ) -> None:
         if max_bytes < 1024:
             raise ValueError(f"max_bytes must be >= 1024, got {max_bytes}")
         if backups < 0:
             raise ValueError(f"backups must be >= 0, got {backups}")
-        self.path = Path(path)
+        self.base_path = Path(path)
+        self.per_pid = per_pid
+        self._pid = os.getpid()
+        self.path = (
+            _pid_path(self.base_path, self._pid)
+            if per_pid
+            else self.base_path
+        )
         self.max_bytes = max_bytes
         self.backups = backups
         self._clock = clock
@@ -90,8 +116,40 @@ class EventLog:
 
     # -- writing ---------------------------------------------------------
 
+    def _rehome_after_fork(self) -> None:
+        """Move a forked child onto its own per-PID file.
+
+        Without this, a child inheriting an open log would append into
+        the parent's file — two processes sharing one file description,
+        interleaving buffered writes and racing rotations.  Closing the
+        inherited handle flushes at most one sub-batch of whole lines
+        the parent also holds (benign duplicates in the old file, never
+        torn records); everything after lands in this PID's own file.
+        """
+        with self._lock:
+            if os.getpid() == self._pid:
+                return  # another thread already re-homed us
+            self._pid = os.getpid()
+            self.per_pid = True
+            self.path = _pid_path(self.base_path, self._pid)
+            if self._timer is not None:
+                # The timer thread did not survive the fork; drop it.
+                self._timer.cancel()
+                self._timer = None
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+            self._handle = open(self.path, "a", encoding="utf-8")
+            self._bytes = self.path.stat().st_size
+            self._pending = 0
+            self._last_flush = time.monotonic()
+
     def append(self, record: Dict[str, Any]) -> None:
         """Serialize one record and append it (rotating first if needed)."""
+        if os.getpid() != self._pid:
+            self._rehome_after_fork()
         if "unix" not in record:
             clock = self._clock
             record = {**record, "unix": (clock or time.time)()}
@@ -192,6 +250,8 @@ class EventLog:
             return {
                 "schema": EVENTS_SCHEMA_VERSION,
                 "path": str(self.path),
+                "per_pid": self.per_pid,
+                "pid": self._pid,
                 "bytes": self._bytes,
                 "max_bytes": self.max_bytes,
                 "backups": self.backups,
@@ -200,17 +260,8 @@ class EventLog:
             }
 
 
-def read_events(
-    path: Union[str, Path],
-    include_backups: bool = True,
-) -> List[Dict[str, Any]]:
-    """Load every parseable record, oldest first, tolerating truncation.
-
-    Rotation and process crashes can leave a final partial line; it is
-    skipped rather than raised, because an event log is diagnostic data
-    — best effort by design.
-    """
-    path = Path(path)
+def _chain_candidates(path: Path, include_backups: bool) -> List[Path]:
+    """One file's read order: oldest rotation backup first, live file last."""
     candidates: List[Path] = []
     if include_backups:
         index = 1
@@ -223,18 +274,58 @@ def read_events(
             index += 1
         candidates.extend(reversed(backups))
     candidates.append(path)
-    records: List[Dict[str, Any]] = []
-    for candidate in candidates:
-        if not candidate.exists():
+    return candidates
+
+
+def _parse_file(path: Path, records: List[Dict[str, Any]]) -> None:
+    if not path.exists():
+        return
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
             continue
-        for line in candidate.read_text(encoding="utf-8").splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(record, dict):
-                records.append(record)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+
+
+def read_events(
+    path: Union[str, Path],
+    include_backups: bool = True,
+) -> List[Dict[str, Any]]:
+    """Load every parseable record, oldest first, tolerating truncation.
+
+    Rotation and process crashes can leave a final partial line; it is
+    skipped rather than raised, because an event log is diagnostic data
+    — best effort by design.
+
+    ``path`` is the *base* path handed to the writers.  When per-PID
+    siblings exist (``per_pid=True`` writers, e.g. cluster workers),
+    their records — and each sibling's rotation backups — are merged
+    with the base file's into one stream ordered by the ``unix``
+    timestamp every record carries, so a multi-process serving run
+    reads back as a single timeline.  With no siblings the single-file
+    read order (and any caller expectations built on it) is unchanged.
+    """
+    path = Path(path)
+    records: List[Dict[str, Any]] = []
+    for candidate in _chain_candidates(path, include_backups):
+        _parse_file(candidate, records)
+    siblings = sorted(
+        p
+        for p in path.parent.glob(f"{path.stem}.pid-*{path.suffix}")
+        if p != path
+    )
+    if not siblings:
+        return records
+    for sibling in siblings:
+        for candidate in _chain_candidates(sibling, include_backups):
+            _parse_file(candidate, records)
+    # One timeline across processes: the per-file streams are already
+    # oldest-first, so a stable sort on the stamp keeps same-instant
+    # records in their per-file order.
+    records.sort(key=lambda record: float(record.get("unix", 0.0) or 0.0))
     return records

@@ -73,6 +73,7 @@ BENCH_SNAPSHOTS = {
     "serve": "BENCH_serve.json",
     "drift": "BENCH_drift.json",
     "pipeline": "BENCH_pipeline.json",
+    "loadbench": "BENCH_loadbench.json",
 }
 
 
@@ -239,6 +240,34 @@ def headline_metrics(bench: str, snapshot: Dict[str, Any]) -> Dict[str, float]:
         put(
             "serving_overhead_pct",
             _get(snapshot, "serving_throughput", "overhead_pct"),
+        )
+    elif bench == "loadbench":
+        # The saturation curve keys points by worker count; headline
+        # the single-process baseline, the widest point, and the
+        # scaling ratio between them (a *_speedup, so higher-better).
+        curve = snapshot.get("saturation") or {}
+        counts = sorted(int(k) for k in curve)
+        if counts:
+            low, high = str(counts[0]), str(counts[-1])
+            put(
+                "rows_per_s_w1",
+                _get(curve, low, "result", "achieved_rows_per_s"),
+            )
+            put(
+                f"rows_per_s_w{high}",
+                _get(curve, high, "result", "achieved_rows_per_s"),
+            )
+            put(
+                "p99_closed_ms",
+                _get(curve, low, "result", "latency_p99_ms"),
+            )
+            low_rate = _get(curve, low, "result", "achieved_rows_per_s")
+            high_rate = _get(curve, high, "result", "achieved_rows_per_s")
+            if low_rate and high_rate:
+                put("cluster_speedup", float(high_rate) / float(low_rate))
+        put(
+            "open_loop_p99_ms",
+            _get(snapshot, "open_loop", "latency_p99_ms"),
         )
     else:
         raise ValueError(f"unknown bench {bench!r}")

@@ -49,6 +49,8 @@ SIGTERM/SIGINT).
 from __future__ import annotations
 
 import json
+import os
+import socket
 import threading
 import time
 from collections import deque
@@ -82,9 +84,17 @@ from repro.serve.registry import (
 )
 from repro.serve.status import build_status_document, render_dashboard_html
 
-__all__ = ["ApiError", "ModelServer", "DEFAULT_MAX_BODY_BYTES"]
+__all__ = [
+    "ApiError",
+    "ModelServer",
+    "DEFAULT_MAX_BODY_BYTES",
+    "REPLICA_HEADER",
+]
 
 DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Which cluster replica answered — absent on single-process servers.
+REPLICA_HEADER = "X-Repro-Replica"
 
 _HTTP_REQUESTS = counter("serve.http.requests")
 _HTTP_2XX = counter("serve.http.responses_2xx")
@@ -319,6 +329,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if self._trace_id is not None:
             self.send_header(TRACE_HEADER, self._trace_id)
+        if self.server.replica is not None:
+            self.send_header(REPLICA_HEADER, str(self.server.replica["index"]))
         self.end_headers()
         self.wfile.write(body)
 
@@ -329,6 +341,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if self._trace_id is not None:
             self.send_header(TRACE_HEADER, self._trace_id)
+        if self.server.replica is not None:
+            self.send_header(REPLICA_HEADER, str(self.server.replica["index"]))
         self.end_headers()
         self.wfile.write(body)
 
@@ -475,15 +489,15 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in path.split("/") if p]
 
         if path == "/healthz" and method == "GET":
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "models": len(self.server.registry),
-                    "engine_running": self.server.engine.running,
-                    "build": build_info(),
-                },
-            )
+            payload = {
+                "status": "ok",
+                "models": len(self.server.registry),
+                "engine_running": self.server.engine.running,
+                "build": build_info(),
+            }
+            if self.server.replica is not None:
+                payload["replica"] = self.server.replica
+            self._send_json(200, payload)
             return 200
         if path == "/metrics" and method == "GET":
             from repro.obs.metrics import get_registry
@@ -532,6 +546,7 @@ class _Handler(BaseHTTPRequestHandler):
             started_unix=self.server.started_unix,
             pipeline=self.server.pipeline,
             profiler=self.server.profiler,
+            replica=self.server.replica,
         )
 
     def _profile_cpu(self) -> int:
@@ -712,8 +727,12 @@ class ModelServer:
         audit_path: Optional[str] = None,
         drift: Optional[Any] = None,
         events_path: Optional[str] = None,
+        events_per_pid: bool = False,
         slo: Optional[SloConfig] = None,
         pipeline: Any = False,
+        reuse_port: bool = False,
+        listen_socket: Optional[socket.socket] = None,
+        replica: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Drift monitoring is on by default (``monitor=False`` turns it
         off); ``shadow`` names a challenger model evaluated against the
@@ -733,6 +752,19 @@ class ModelServer:
         ``transfer_failed`` verdict automatically retrains, shadows
         and promotes.  Pass a pre-built orchestrator instead to
         control its configuration.
+
+        The last four parameters exist for :mod:`repro.cluster`:
+        ``reuse_port`` sets ``SO_REUSEPORT`` before binding so N
+        sibling processes can share one host:port (the kernel
+        load-balances accepts); ``listen_socket`` skips bind/listen
+        entirely and serves on an already-listening socket the
+        supervisor created before forking (the ``SO_REUSEPORT``-less
+        fallback — the server takes ownership and closes it on
+        shutdown); ``replica`` (``{"index", "pid", "leader"}``) tags
+        every response with an ``X-Repro-Replica`` header and shows up
+        in ``/healthz`` and ``/v1/status``; ``events_per_pid`` gives
+        the event log a per-PID filename so sibling workers sharing
+        ``events_path`` never interleave writes.
         """
         self.registry = registry
         if drift is None and monitor:
@@ -754,7 +786,9 @@ class ModelServer:
         self.max_body_bytes = max_body_bytes
         self.stats_lock = threading.Lock()
         self.telemetry = (
-            EventLog(events_path) if events_path is not None else None
+            EventLog(events_path, per_pid=events_per_pid)
+            if events_path is not None
+            else None
         )
         self.slo = SloTracker(slo or SloConfig())
         self.recent_latency: "deque" = deque(maxlen=_RECENT_LATENCY_WINDOW)
@@ -772,7 +806,34 @@ class ModelServer:
             )
         self.pipeline = pipeline if pipeline is not False else None
         self.profiler = _ProfilerState()
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        if replica is not None:
+            replica = {**replica, "pid": os.getpid()}
+        self.replica = replica
+        if listen_socket is not None:
+            # Serve on a socket someone else bound (cluster fallback
+            # mode: the supervisor listens once, children inherit).
+            self._httpd = ThreadingHTTPServer(
+                (host, port), _Handler, bind_and_activate=False
+            )
+            self._httpd.socket.close()  # the unbound one it just made
+            self._httpd.socket = listen_socket
+            bound_host, bound_port = listen_socket.getsockname()[:2]
+            self._httpd.server_address = (bound_host, bound_port)
+            self._httpd.server_name = bound_host
+            self._httpd.server_port = bound_port
+        elif reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+                raise OSError("SO_REUSEPORT is not available on this platform")
+            self._httpd = ThreadingHTTPServer(
+                (host, port), _Handler, bind_and_activate=False
+            )
+            self._httpd.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+            self._httpd.server_bind()
+            self._httpd.server_activate()
+        else:
+            self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         # Handlers reach everything through self.server.<attr>.
         self._httpd.registry = self.registry  # type: ignore[attr-defined]
@@ -786,6 +847,7 @@ class ModelServer:
         self._httpd.started_unix = self.started_unix  # type: ignore[attr-defined]
         self._httpd.pipeline = self.pipeline  # type: ignore[attr-defined]
         self._httpd.profiler = self.profiler  # type: ignore[attr-defined]
+        self._httpd.replica = self.replica  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property

@@ -24,6 +24,17 @@ equations and training shares), Eq. 4 workload profiling (classify
 submitted rows and measure their L1 distance from the training
 distribution), and structural model-vs-model comparison via
 :mod:`repro.mtree.compare`.
+
+The engine is a pure in-process component: it owns no socket, no
+signal handler and no process, only a queue and one worker thread, so
+any front end can embed it — the threaded HTTP server
+(:mod:`repro.serve.api`), a forked cluster replica
+(:mod:`repro.cluster`), or an asyncio loop wrapping
+:meth:`PredictionEngine.submit`'s :class:`PredictionFuture` in an
+executor.  Blocking front ends call :meth:`~PredictionEngine.predict`
+(submit + wait); non-blocking ones call
+:meth:`~PredictionEngine.submit` and wait on the returned future
+however they like.
 """
 
 from __future__ import annotations
@@ -43,7 +54,7 @@ from repro.obs.telemetry import RequestTrace
 from repro.obs.trace import span as obs_span
 from repro.serve.registry import ModelRegistry
 
-__all__ = ["BatchConfig", "PredictionEngine"]
+__all__ = ["BatchConfig", "PredictionEngine", "PredictionFuture"]
 
 _REQUESTS = counter("serve.engine.requests")
 _ROWS = counter("serve.engine.rows")
@@ -83,8 +94,16 @@ class BatchConfig:
             )
 
 
-class _Request:
-    """One caller's rows plus the event its thread blocks on."""
+class PredictionFuture:
+    """Handle to one in-flight prediction.
+
+    Returned by :meth:`PredictionEngine.submit`; the batching worker
+    fulfils it (result or error) and sets its event.  Front ends that
+    block call :meth:`result`; front ends that multiplex (asyncio,
+    pipe shims) hold the future, poll :attr:`done` or park a thread on
+    :meth:`wait`, and collect the result later.  A future is fulfilled
+    exactly once and never re-enqueued.
+    """
 
     __slots__ = (
         "model_id",
@@ -92,7 +111,7 @@ class _Request:
         "X",
         "actuals",
         "event",
-        "result",
+        "result_array",
         "error",
         "trace",
         "t_submit",
@@ -101,6 +120,7 @@ class _Request:
         "t_kernel_end",
         "batch_rows",
         "batch_requests",
+        "_spans_built",
     )
 
     def __init__(
@@ -116,7 +136,7 @@ class _Request:
         self.X = X
         self.actuals = actuals
         self.event = threading.Event()
-        self.result: Optional[np.ndarray] = None
+        self.result_array: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
         # Telemetry: the caller's trace, plus raw perf_counter marks the
         # worker sets before answering.  The worker does NO record
@@ -131,6 +151,61 @@ class _Request:
         self.t_kernel_end: Optional[float] = None
         self.batch_rows: int = 0
         self.batch_requests: int = 0
+        self._spans_built = False
+
+    @property
+    def done(self) -> bool:
+        """True once the worker has fulfilled this future."""
+        return self.event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until fulfilled (or ``timeout``); returns :attr:`done`."""
+        return self.event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """The predictions, blocking up to ``timeout`` seconds.
+
+        Raises :class:`TimeoutError` if the worker has not answered in
+        time, or re-raises whatever error failed the batch.  Safe to
+        call more than once; trace spans are built exactly once, on
+        the first post-fulfilment call (in the caller's thread, never
+        the worker's).
+        """
+        if not self.event.wait(timeout):
+            raise TimeoutError(
+                f"prediction for model {self.model_id!r} timed out after "
+                f"{timeout}s"
+            )
+        if self.trace is not None and not self._spans_built:
+            self._spans_built = True
+            self._marks_to_spans()
+        if self.error is not None:
+            raise self.error
+        assert self.result_array is not None
+        return self.result_array
+
+    def _marks_to_spans(self) -> None:
+        """Convert the worker's perf_counter marks into trace spans.
+
+        Runs on the waiting front end's thread after the event fired;
+        the marks were all written before ``event.set()``, so they are
+        visible here.  Missing marks (a request that errored before
+        the kernel ran) simply yield fewer spans.
+        """
+        trace = self.trace
+        assert trace is not None
+        if self.t_submit is not None and self.t_dequeue is not None:
+            trace.add_stage("queue_wait", self.t_submit, self.t_dequeue)
+        if self.t_dequeue is not None and self.t_flush is not None:
+            trace.add_stage("batch_assembly", self.t_dequeue, self.t_flush)
+        if self.t_flush is not None and self.t_kernel_end is not None:
+            trace.add_stage(
+                "kernel",
+                self.t_flush,
+                self.t_kernel_end,
+                batch_rows=self.batch_rows,
+                batch_requests=self.batch_requests,
+            )
 
 
 _SHUTDOWN = object()
@@ -208,30 +283,32 @@ class PredictionEngine:
 
     # -- prediction ------------------------------------------------------
 
-    def predict(
+    def submit(
         self,
         ref: str,
         X: Any,
         smooth: Optional[bool] = None,
-        timeout: Optional[float] = 30.0,
         actuals: Any = None,
         trace: Optional[RequestTrace] = None,
-    ) -> np.ndarray:
-        """CPI predictions for ``X`` through the micro-batching worker.
+    ) -> PredictionFuture:
+        """Validate and enqueue one prediction; returns its future.
 
         Validation (model existence, shape, finiteness) happens before
         enqueueing, so malformed requests fail fast in the caller's
-        thread and never occupy batch capacity.
+        thread and never occupy batch capacity.  The returned
+        :class:`PredictionFuture` is fulfilled by the batching worker;
+        collect it with :meth:`PredictionFuture.result`.
 
         ``actuals`` optionally carries observed CPI values (one per
         row; NaN = unlabelled) for the drift monitor.  They do not
         affect the predictions returned.
 
         ``trace`` optionally carries the caller's
-        :class:`repro.obs.telemetry.RequestTrace`: validation,
-        queue_wait, batch_assembly and kernel stages all land on it *in
-        this thread* — the worker only stamps raw perf_counter marks on
-        the request, and this method converts them to spans after
+        :class:`repro.obs.telemetry.RequestTrace`: validation happens
+        here, and queue_wait, batch_assembly and kernel stages land on
+        it *in the collecting thread* — the worker only stamps raw
+        perf_counter marks on the future, and
+        :meth:`PredictionFuture.result` converts them to spans after
         waking, so traced requests add no work to the serial batching
         loop.  The exception is ``drift_observe``, which happens after
         callers are answered: when a drift hub is attached the worker
@@ -259,52 +336,34 @@ class PredictionEngine:
             trace.add_stage(
                 "validate", t_validate, time.perf_counter(), model=model_id
             )
-        request = _Request(model_id, smooth, X, actuals, trace=trace)
+        future = PredictionFuture(model_id, smooth, X, actuals, trace=trace)
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("prediction engine is not running")
             _REQUESTS.inc()
             _ROWS.inc(X.shape[0])
-            request.t_submit = time.perf_counter()
-            self._queue.put(request)
+            future.t_submit = time.perf_counter()
+            self._queue.put(future)
             _QUEUE_DEPTH.set(self._queue.qsize())
-        if not request.event.wait(timeout):
-            raise TimeoutError(
-                f"prediction for model {model_id!r} timed out after "
-                f"{timeout}s"
-            )
-        if trace is not None:
-            self._marks_to_spans(request, trace)
-        if request.error is not None:
-            raise request.error
-        assert request.result is not None
-        return request.result
+        return future
 
-    @staticmethod
-    def _marks_to_spans(request: _Request, trace: RequestTrace) -> None:
-        """Convert the worker's perf_counter marks into trace spans.
+    def predict(
+        self,
+        ref: str,
+        X: Any,
+        smooth: Optional[bool] = None,
+        timeout: Optional[float] = 30.0,
+        actuals: Any = None,
+        trace: Optional[RequestTrace] = None,
+    ) -> np.ndarray:
+        """CPI predictions for ``X`` through the micro-batching worker.
 
-        Runs on the caller's thread after its event fired; the marks
-        were all written before ``event.set()``, so they are visible
-        here.  Missing marks (a request that errored before the kernel
-        ran) simply yield fewer spans.
+        Blocking convenience over :meth:`submit` — exactly
+        ``submit(...).result(timeout)``.
         """
-        if request.t_submit is not None and request.t_dequeue is not None:
-            trace.add_stage(
-                "queue_wait", request.t_submit, request.t_dequeue
-            )
-        if request.t_dequeue is not None and request.t_flush is not None:
-            trace.add_stage(
-                "batch_assembly", request.t_dequeue, request.t_flush
-            )
-        if request.t_flush is not None and request.t_kernel_end is not None:
-            trace.add_stage(
-                "kernel",
-                request.t_flush,
-                request.t_kernel_end,
-                batch_rows=request.batch_rows,
-                batch_requests=request.batch_requests,
-            )
+        return self.submit(
+            ref, X, smooth=smooth, actuals=actuals, trace=trace
+        ).result(timeout)
 
     # -- characterization queries ---------------------------------------
 
@@ -375,7 +434,7 @@ class PredictionEngine:
             head = self._queue.get()
             if head is _SHUTDOWN:
                 # Drain whatever arrived before the close flag was seen.
-                pending: List[_Request] = []
+                pending: List[PredictionFuture] = []
                 t_drain = time.perf_counter()
                 while True:
                     try:
@@ -424,9 +483,9 @@ class PredictionEngine:
             self._flush(group)
 
     @staticmethod
-    def _group(requests: List[_Request]) -> List[List[_Request]]:
+    def _group(requests: List[PredictionFuture]) -> List[List[PredictionFuture]]:
         """Partition drained requests into same-(model, smooth) runs."""
-        groups: List[List[_Request]] = []
+        groups: List[List[PredictionFuture]] = []
         for request in requests:
             if groups and (
                 groups[-1][0].model_id,
@@ -437,7 +496,7 @@ class PredictionEngine:
                 groups.append([request])
         return groups
 
-    def _flush(self, group: List[_Request]) -> None:
+    def _flush(self, group: List[PredictionFuture]) -> None:
         if not group:
             return
         head = group[0]
@@ -464,7 +523,7 @@ class PredictionEngine:
             offset = 0
             for request in group:
                 n = request.X.shape[0]
-                request.result = predictions[offset : offset + n]
+                request.result_array = predictions[offset : offset + n]
                 offset += n
                 if request.trace is not None:
                     # Marks only — the caller's thread builds the spans.
@@ -480,13 +539,13 @@ class PredictionEngine:
         except BaseException as error:  # answer callers, keep serving
             _ERRORS.inc()
             for request in group:
-                if request.error is None and request.result is None:
+                if request.error is None and request.result_array is None:
                     request.error = error
                 request.event.set()
 
     def _emit_drift_traces(
         self,
-        group: List[_Request],
+        group: List[PredictionFuture],
         t_drift_start: float,
         t_drift_end: float,
     ) -> None:
@@ -516,7 +575,7 @@ class PredictionEngine:
             )
 
     def _notify_drift(
-        self, group: List[_Request], predictions: np.ndarray
+        self, group: List[PredictionFuture], predictions: np.ndarray
     ) -> None:
         """Feed a flushed batch to the drift hub (callers answered).
 

@@ -16,6 +16,12 @@ If the registry holds no model yet, a small tree is trained and
 published under the ``selftest`` alias first (deterministic seed, a
 few thousand synthetic CPU2006 intervals), so the command works on an
 empty directory.
+
+With ``workers > 1`` (``repro serve --self-test --workers N``) a
+second pass boots a real forked :mod:`repro.cluster` on an ephemeral
+port and repeats the probe through it, asserting every replica's HTTP
+response bit-identical to direct ``ModelTree.predict`` and that at
+least two distinct replicas answered.
 """
 
 from __future__ import annotations
@@ -80,12 +86,102 @@ def _get_json(url: str):
         return json.loads(response.read())
 
 
+def _cluster_self_test(
+    registry_dir: str,
+    ref: str,
+    record,
+    probe: np.ndarray,
+    expected: np.ndarray,
+    workers: int,
+    batch: Optional[BatchConfig],
+    out,
+) -> int:
+    """Smoke the same probe through an N-replica cluster front end.
+
+    Every request carries an ``X-Repro-Replica`` header; the probe is
+    repeated until at least two distinct replicas have answered (the
+    kernel hashes connections, so coverage is probabilistic per
+    request but certain over enough fresh connections), and every
+    single response must be bit-identical to the direct
+    ``ModelTree.predict`` floats.
+    """
+    from repro.cluster import ClusterConfig, ClusterSupervisor
+
+    body = json.dumps({"instances": probe.tolist()}).encode()
+    with ClusterSupervisor(
+        ClusterConfig(
+            registry_dir=registry_dir,
+            workers=workers,
+            port=0,
+            batch=batch,
+            monitor=False,
+        )
+    ) as supervisor:
+        replicas_seen = set()
+        # urllib opens a fresh connection per request — each re-rolls
+        # the SO_REUSEPORT hash, so 40 tries cover 2+ replicas with
+        # overwhelming probability (shared mode round-robins anyway).
+        for attempt in range(40):
+            request = urllib.request.Request(
+                f"{supervisor.url}/v1/models/{ref}/predict",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                reply = json.loads(response.read())
+                replica = response.headers.get("X-Repro-Replica")
+            if replica is not None:
+                replicas_seen.add(replica)
+            got = np.asarray(reply["predictions"], dtype=float)
+            if not np.array_equal(got, expected):
+                print(
+                    f"self-test: replica {replica} predictions differ "
+                    "from direct ModelTree.predict (max diff "
+                    f"{np.max(np.abs(got - expected)):.3g})",
+                    file=out,
+                )
+                return 1
+            if len(replicas_seen) >= min(2, workers) and attempt >= 9:
+                break
+        if len(replicas_seen) < min(2, workers):
+            print(
+                f"self-test: only replica(s) {sorted(replicas_seen)} "
+                f"answered across 40 requests to a {workers}-worker "
+                "cluster",
+                file=out,
+            )
+            return 1
+        status = supervisor.status()
+        if status.get("responsive") != workers:
+            print(
+                f"self-test: {status.get('responsive')}/{workers} "
+                "replicas answered the control plane",
+                file=out,
+            )
+            return 1
+        unclean = 0
+    print(
+        f"self-test: cluster ok ({workers} workers, "
+        f"{supervisor.socket_mode} mode, replicas "
+        f"{sorted(replicas_seen)} all bit-identical over HTTP)",
+        file=out,
+    )
+    return unclean
+
+
 def run_self_test(
     registry_dir: str,
     batch: Optional[BatchConfig] = None,
     out=None,
+    workers: int = 1,
 ) -> int:
-    """Run the smoke sequence; returns a process exit code."""
+    """Run the smoke sequence; returns a process exit code.
+
+    ``workers > 1`` appends a cluster pass: the same probe through a
+    real forked N-replica cluster, asserting HTTP bit-equality against
+    direct ``ModelTree.predict`` on every response and control-plane
+    responsiveness of every replica.
+    """
     out = sys.stderr if out is None else out  # resolve late: tests swap stderr
     registry = ModelRegistry(registry_dir)
     ref = _ensure_model(registry)
@@ -193,4 +289,8 @@ def run_self_test(
         f"compiled == recursive; drift verdict {drift.get('verdict')})",
         file=out,
     )
+    if workers > 1:
+        return _cluster_self_test(
+            registry_dir, ref, record, probe, expected, workers, batch, out
+        )
     return 0

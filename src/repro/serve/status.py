@@ -91,13 +91,17 @@ def build_status_document(
     started_unix: Optional[float] = None,
     pipeline=None,
     profiler=None,
+    replica: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the ``/v1/status`` document from the serving pieces.
 
     Every argument beyond the registry/engine pair is optional so the
     document degrades gracefully: no drift hub reports
     ``monitoring: false``, no event log reports ``enabled: false``,
-    no pipeline orchestrator reports ``armed: false``.
+    no pipeline orchestrator reports ``armed: false``.  ``replica``
+    (``{"index", "pid", "leader"}``) identifies this process inside a
+    :mod:`repro.cluster` group; single-process servers omit it and the
+    document carries ``"replica": null``.
     """
     now = time.time()
     records = get_registry().as_records()
@@ -151,6 +155,7 @@ def build_status_document(
             if profiler is not None
             else {"available": False}
         ),
+        "replica": dict(replica) if replica is not None else None,
     }
     return document
 

@@ -1,0 +1,42 @@
+"""Cluster fixtures: a registry on disk with one published model.
+
+Every e2e test forks real worker processes, so the registry must live
+on a real path (tmp_path), and trees are kept tiny — each test boots,
+probes and drains a whole cluster in a few seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+from repro.serve.registry import ModelRegistry
+
+
+def make_tree(seed: int = 3) -> ModelTree:
+    """A small fitted tree over a 3-feature synthetic piecewise target."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((600, 3))
+    y = np.where(X[:, 1] <= 0.4, 2.0 * X[:, 0], 5.0 - X[:, 2])
+    y = y + 0.01 * rng.standard_normal(600)
+    return ModelTree(ModelTreeConfig(min_leaf=15)).fit(X, y, ("p", "q", "r"))
+
+
+@pytest.fixture
+def registry(tmp_path) -> ModelRegistry:
+    return ModelRegistry(tmp_path / "registry")
+
+
+@pytest.fixture
+def published(registry):
+    """(registry, record, tree): one model aliased 'latest'."""
+    tree = make_tree()
+    record = registry.publish(tree, aliases=("latest",))
+    return registry, record, tree
+
+
+@pytest.fixture
+def probe() -> np.ndarray:
+    rng = np.random.default_rng(99)
+    return rng.random((8, 3))

@@ -1,0 +1,85 @@
+"""Cluster aggregation: label injection and status totals, pure logic."""
+
+from __future__ import annotations
+
+from repro.cluster.aggregate import (
+    CLUSTER_STATUS_SCHEMA_VERSION,
+    build_cluster_status,
+    render_cluster_metrics,
+)
+
+
+def _records(value: float):
+    return [
+        {"name": "serve.http.requests", "kind": "counter", "value": value},
+        {
+            "name": "serve.http.request_latency_s",
+            "kind": "summary",
+            "labels": {"endpoint": "/healthz"},
+            "count": 3,
+            "sum": 0.1,
+            "quantiles": {"0.5": 0.01},
+        },
+    ]
+
+
+class TestRenderClusterMetrics:
+    def test_every_sample_gains_a_replica_label(self):
+        text = render_cluster_metrics({0: _records(5), 1: _records(7)})
+        assert 'repro_serve_http_requests{replica="0"} 5' in text
+        assert 'repro_serve_http_requests{replica="1"} 7' in text
+
+    def test_existing_labels_survive_beside_replica(self):
+        text = render_cluster_metrics({2: _records(1)})
+        assert 'endpoint="/healthz"' in text
+        assert 'replica="2"' in text
+
+    def test_one_type_line_per_family_across_replicas(self):
+        text = render_cluster_metrics({0: _records(1), 1: _records(2)})
+        assert text.count("# TYPE repro_serve_http_requests counter") == 1
+
+    def test_empty_input_renders_empty(self):
+        assert render_cluster_metrics({}) == ""
+
+
+class TestBuildClusterStatus:
+    def _doc(self, requests: int, rows: int):
+        return {
+            "http": {"requests": requests, "responses_2xx": requests},
+            "engine": {"rows": rows},
+            "models": {"count": 1, "aliases": {"latest": "abc"}},
+        }
+
+    def test_totals_sum_across_replicas(self):
+        document = build_cluster_status(
+            {0: self._doc(10, 640), 1: self._doc(6, 384)},
+            {"workers": 2},
+        )
+        assert document["schema"] == CLUSTER_STATUS_SCHEMA_VERSION
+        assert document["totals"]["http"]["requests"] == 16
+        assert document["totals"]["engine"]["rows"] == 1024
+        assert document["responsive"] == 2
+
+    def test_unresponsive_replica_is_marked_not_dropped(self):
+        document = build_cluster_status(
+            {0: self._doc(4, 256), 1: None}, {"workers": 2}
+        )
+        assert document["responsive"] == 1
+        flags = {r["index"]: r["responsive"] for r in document["replicas"]}
+        assert flags == {0: True, 1: False}
+        # The dead replica contributes nothing to totals, silently.
+        assert document["totals"]["http"]["requests"] == 4
+
+    def test_models_taken_from_first_responsive_replica(self):
+        document = build_cluster_status(
+            {0: None, 1: self._doc(1, 64)}, {"workers": 2}
+        )
+        assert document["models"] == {
+            "count": 1,
+            "aliases": {"latest": "abc"},
+        }
+
+    def test_all_dead_cluster_still_builds(self):
+        document = build_cluster_status({0: None, 1: None}, {"workers": 2})
+        assert document["responsive"] == 0
+        assert document["models"] is None

@@ -1,0 +1,64 @@
+"""Listening-socket setup: modes, ephemeral ports, cleanup."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.cluster.sockets import create_listen_sockets, reuseport_available
+
+
+class TestCreateListenSockets:
+    def test_single_worker_uses_shared_mode(self):
+        sockets, port, mode = create_listen_sockets("127.0.0.1", 0, 1)
+        try:
+            assert mode == "shared"
+            assert len(sockets) == 1
+            assert port > 0
+            assert sockets[0].getsockname()[1] == port
+        finally:
+            for sock in sockets:
+                sock.close()
+
+    def test_multi_worker_all_sockets_share_one_port(self):
+        workers = 3
+        sockets, port, mode = create_listen_sockets("127.0.0.1", 0, workers)
+        try:
+            assert port > 0
+            assert all(s.getsockname()[1] == port for s in sockets)
+            if reuseport_available():
+                assert mode == "reuseport"
+                assert len(sockets) == workers
+            else:  # pragma: no cover - platform-dependent
+                assert mode == "shared"
+                assert len(sockets) == 1
+        finally:
+            for sock in sockets:
+                sock.close()
+
+    def test_sockets_are_listening(self):
+        sockets, port, _ = create_listen_sockets("127.0.0.1", 0, 2)
+        try:
+            client = socket.create_connection(("127.0.0.1", port), timeout=5)
+            client.close()
+        finally:
+            for sock in sockets:
+                sock.close()
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            create_listen_sockets("127.0.0.1", 0, 0)
+
+    def test_taken_port_raises_and_leaks_nothing(self):
+        holder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        holder.bind(("127.0.0.1", 0))
+        holder.listen(1)
+        port = holder.getsockname()[1]
+        try:
+            # Without SO_REUSEPORT on the holder, a second bind to the
+            # same port must fail loudly, not silently share.
+            with pytest.raises(OSError):
+                create_listen_sockets("127.0.0.1", port, 1)
+        finally:
+            holder.close()

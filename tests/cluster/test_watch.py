@@ -1,0 +1,89 @@
+"""AliasWatcher: flip detection, warming, callbacks — no processes."""
+
+from __future__ import annotations
+
+from repro.cluster.watch import AliasWatcher
+
+from .conftest import make_tree
+
+
+class TestAliasWatcher:
+    def test_no_change_no_flip(self, published):
+        registry, record, _ = published
+        watcher = AliasWatcher(registry)
+        assert watcher.check_once() == 0
+        assert watcher.flips == 0
+        assert watcher.report()["last_flip"] is None
+
+    def test_detects_a_move_alias(self, published):
+        registry, record, _ = published
+        watcher = AliasWatcher(registry)
+        challenger = registry.publish(make_tree(seed=11))
+        registry.move_alias("latest", challenger.model_id)
+        assert watcher.check_once() == 1
+        assert watcher.flips == 1
+        flip = watcher.report()["last_flip"]
+        assert flip == {
+            "alias": "latest",
+            "from": record.model_id,
+            "to": challenger.model_id,
+        }
+
+    def test_flip_warms_the_new_champion(self, published):
+        from repro.serve.registry import ModelRegistry
+
+        registry, _, _ = published
+        # The real topology: the leader publishes/promotes through its
+        # registry; the follower watches through its *own* registry
+        # over the same directory and has never loaded the challenger.
+        follower = ModelRegistry(registry.root)
+        watcher = AliasWatcher(follower)
+        challenger = registry.publish(make_tree(seed=12))
+        registry.move_alias("latest", challenger.model_id)
+        assert challenger.model_id not in follower._trees
+        watcher.check_once()
+        # The watcher pre-loaded the challenger into the LRU, so the
+        # first post-promotion request pays no deserialization stall.
+        assert challenger.model_id in follower._trees
+
+    def test_new_alias_counts_as_flip(self, published):
+        registry, record, _ = published
+        watcher = AliasWatcher(registry)
+        registry.set_alias("champion", record.model_id)
+        assert watcher.check_once() == 1
+        assert watcher.report()["last_flip"]["from"] is None
+
+    def test_on_flip_callback_receives_the_move(self, published):
+        registry, record, _ = published
+        seen = []
+        watcher = AliasWatcher(
+            registry,
+            on_flip=lambda alias, old, new: seen.append((alias, old, new)),
+        )
+        challenger = registry.publish(make_tree(seed=13))
+        registry.move_alias("latest", challenger.model_id)
+        watcher.check_once()
+        assert seen == [("latest", record.model_id, challenger.model_id)]
+
+    def test_idempotent_across_polls(self, published):
+        registry, _, _ = published
+        watcher = AliasWatcher(registry)
+        challenger = registry.publish(make_tree(seed=14))
+        registry.move_alias("latest", challenger.model_id)
+        assert watcher.check_once() == 1
+        assert watcher.check_once() == 0
+        assert watcher.flips == 1
+
+    def test_thread_lifecycle(self, published):
+        registry, _, _ = published
+        watcher = AliasWatcher(registry, poll_s=0.05).start()
+        assert watcher.start() is watcher  # second start is a no-op
+        watcher.stop()
+        watcher.stop()  # idempotent
+
+    def test_invalid_poll_rejected(self, published):
+        registry, _, _ = published
+        import pytest
+
+        with pytest.raises(ValueError, match="poll_s"):
+            AliasWatcher(registry, poll_s=0.0)

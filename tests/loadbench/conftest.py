@@ -1,0 +1,28 @@
+"""Loadbench fixtures: one in-process ModelServer to drive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mtree.tree import ModelTree, ModelTreeConfig
+from repro.serve.api import ModelServer
+from repro.serve.registry import ModelRegistry
+
+
+def make_tree(seed: int = 3) -> ModelTree:
+    rng = np.random.default_rng(seed)
+    X = rng.random((600, 3))
+    y = np.where(X[:, 1] <= 0.4, 2.0 * X[:, 0], 5.0 - X[:, 2])
+    y = y + 0.01 * rng.standard_normal(600)
+    return ModelTree(ModelTreeConfig(min_leaf=15)).fit(X, y, ("p", "q", "r"))
+
+
+@pytest.fixture
+def served(tmp_path):
+    """(server, registry, tree): one published model behind HTTP."""
+    registry = ModelRegistry(tmp_path / "registry")
+    tree = make_tree()
+    registry.publish(tree, aliases=("latest",))
+    with ModelServer(registry, port=0) as server:
+        yield server, registry, tree

@@ -179,3 +179,91 @@ class TestReadEvents:
         path.with_name("e.jsonl.1").write_text('{"gen": 1}\n')
         assert len(read_events(path, include_backups=False)) == 1
         assert len(read_events(path)) == 2
+
+
+class TestPerPid:
+    def test_per_pid_log_writes_a_pid_suffixed_sibling(self, tmp_path):
+        import os
+
+        base = tmp_path / "events.jsonl"
+        with EventLog(base, per_pid=True) as log:
+            log.append({"who": "me"})
+            expected = tmp_path / f"events.pid-{os.getpid()}.jsonl"
+            assert log.path == expected
+        assert not base.exists()
+        assert expected.exists()
+
+    def test_stats_carry_pid_and_per_pid(self, tmp_path):
+        import os
+
+        with EventLog(tmp_path / "e.jsonl", per_pid=True) as log:
+            stats = log.stats()
+        assert stats["per_pid"] is True
+        assert stats["pid"] == os.getpid()
+        assert f"pid-{os.getpid()}" in stats["path"]
+
+    def test_read_events_merges_siblings_by_timestamp(self, tmp_path):
+        base = tmp_path / "events.jsonl"
+        (tmp_path / "events.pid-100.jsonl").write_text(
+            '{"unix": 1.0, "src": "a"}\n{"unix": 4.0, "src": "a"}\n'
+        )
+        (tmp_path / "events.pid-200.jsonl").write_text(
+            '{"unix": 2.0, "src": "b"}\n{"unix": 3.0, "src": "b"}\n'
+        )
+        records = read_events(base)
+        assert [r["unix"] for r in records] == [1.0, 2.0, 3.0, 4.0]
+        assert [r["src"] for r in records] == ["a", "b", "b", "a"]
+
+    def test_merge_includes_sibling_backups(self, tmp_path):
+        base = tmp_path / "events.jsonl"
+        sibling = tmp_path / "events.pid-100.jsonl"
+        sibling.write_text('{"unix": 5.0}\n')
+        sibling.with_name("events.pid-100.jsonl.1").write_text(
+            '{"unix": 1.0}\n'
+        )
+        records = read_events(base)
+        assert [r["unix"] for r in records] == [1.0, 5.0]
+
+    def test_single_file_read_order_unchanged_without_siblings(
+        self, tmp_path
+    ):
+        # Legacy behavior: no siblings -> file order, not stamp order.
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"unix": 9.0}\n{"unix": 1.0}\n')
+        records = read_events(path)
+        assert [r["unix"] for r in records] == [9.0, 1.0]
+
+    def test_forked_child_rehomes_onto_its_own_file(self, tmp_path):
+        """A real fork: the child's appends land in the child's file."""
+        import os
+
+        base = tmp_path / "events.jsonl"
+        log = EventLog(base)  # parent writes the base path
+        log.append({"who": "parent", "unix": 1.0})
+        pid = os.fork()
+        if pid == 0:
+            # Child: inherited an open log homed on the parent's path.
+            status = 1
+            try:
+                log.append({"who": "child", "unix": 2.0})
+                log.close()
+                status = 0
+            finally:
+                os._exit(status)
+        _, exit_status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(exit_status) == 0
+        log.close()
+        child_files = list(tmp_path.glob("events.pid-*.jsonl"))
+        assert len(child_files) == 1
+        (child_record,) = _lines(child_files[0])
+        assert child_record["who"] == "child"
+        # The child closing the inherited handle may flush the parent's
+        # buffered line a second time — documented benign duplication;
+        # what matters is the base file holds only parent records.
+        parent_records = _lines(base)
+        assert parent_records
+        assert all(r["who"] == "parent" for r in parent_records)
+        # And the merged timeline sees both sources, child last.
+        merged = read_events(base)
+        assert merged[-1]["who"] == "child"
+        assert {r["who"] for r in merged} == {"parent", "child"}

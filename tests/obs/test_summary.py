@@ -141,9 +141,11 @@ class TestDegenerateTraceFiles:
 
 
 #: One exposition line: either a comment or ``name{labels} value``.
+#: The labels body is bare characters or quoted strings — braces are
+#: legal *inside* a quoted label value (endpoint="/v1/models/{ref}/...").
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^{}]*)\})? "
+    r"(?:\{(?P<labels>(?:[^{}\"]|\"(?:[^\"\\]|\\.)*\")*)\})? "
     r"(?P<value>-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\+Inf|-Inf|NaN))$"
 )
 _LABEL_RE = re.compile(
@@ -185,6 +187,10 @@ class TestPrometheusConformance:
         registry.summary(
             "serve.http.request_latency_s",
             labels={"endpoint": '/odd"path\\with\nnasties'},
+        ).observe(0.004)
+        registry.summary(
+            "serve.http.request_latency_s",
+            labels={"endpoint": "/v1/models/{ref}/predict"},
         ).observe(0.004)
         registry.summary(
             "serve.predict.latency_s", labels={"model": "abc123"}

@@ -313,7 +313,7 @@ class TestFailurePathCounters:
         # starts: the worker's first dequeue is the sentinel, so both
         # requests can only be answered by the drain path.
         stranded = [
-            engine_mod._Request(record.model_id, None, np.zeros((1, 3)))
+            engine_mod.PredictionFuture(record.model_id, None, np.zeros((1, 3)))
             for _ in range(2)
         ]
         engine._queue.put(engine_mod._SHUTDOWN)

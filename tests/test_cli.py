@@ -502,6 +502,74 @@ class TestPerfVerbs:
             assert record["metrics"]
 
 
+class TestLoadbenchCommand:
+    def test_usage_error_on_extra_words(self, capsys):
+        assert main(["loadbench", "extra"]) == 2
+        assert "usage: repro loadbench" in capsys.readouterr().err
+
+    def test_bad_mode_is_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["loadbench", "--mode", "bursty"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_unreachable_server_fails_fast(self, capsys):
+        # Pre-flight /healthz check: no 10s run against a dead port.
+        assert main(["loadbench", "--url", "http://127.0.0.1:1"]) == 2
+        assert "loadbench:" in capsys.readouterr().err
+
+    def test_short_run_against_live_server(self, capsys, tmp_path):
+        from repro.serve.api import ModelServer
+        from repro.serve.registry import ModelRegistry
+
+        from tests.serve.conftest import make_tree
+
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(make_tree(seed=3))
+        with ModelServer(registry, port=0, monitor=False) as server:
+            code = main(
+                [
+                    "loadbench",
+                    "--url",
+                    server.url,
+                    "--duration",
+                    "0.5",
+                    "--connections",
+                    "1",
+                    "--batch-rows",
+                    "4",
+                ]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "closed loop" in out
+        assert "p99" in out
+
+
+class TestServeWorkersFlag:
+    def test_zero_workers_is_usage_error(self, capsys, tmp_path):
+        code = main(
+            ["serve", "--registry", str(tmp_path), "--workers", "0"]
+        )
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_profile_excluded_with_cluster(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve",
+                "--registry",
+                str(tmp_path),
+                "--workers",
+                "2",
+                "--profile",
+                str(tmp_path / "prof.json"),
+            ]
+        )
+        assert code == 2
+        assert "--profile" in capsys.readouterr().err
+
+
 class TestPublicApi:
     def test_version(self):
         import repro
